@@ -1,0 +1,100 @@
+// Ablation A1 — design choices inside the group-blind repair (E8):
+//   (a) calibration of the posterior-expected deficit on vs off (the
+//       shrinkage correction DESIGN.md documents), and
+//   (b) quality of the reference research sample (its size), which
+//       drives both the posterior densities and the calibration factor.
+// The ablation shows the calibration factor is what closes the group-
+// mean gap, and that a few hundred reference rows per group suffice —
+// the paper's "small research data sets" ([13]) premise.
+#include <cmath>
+#include <cstdio>
+
+#include "mitigation/group_blind_repair.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace {
+
+using fairlaw::mitigation::GroupBlindRepair;
+using fairlaw::stats::Rng;
+
+constexpr double kShift = 1.5;
+
+struct Pool {
+  std::vector<double> scores;
+  std::vector<bool> is_minority;
+};
+
+Pool MakePool(size_t n, Rng* rng) {
+  Pool pool;
+  pool.scores.resize(n);
+  pool.is_minority.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    pool.is_minority[i] = rng->Bernoulli(0.3);
+    pool.scores[i] = pool.is_minority[i] ? rng->Normal(-kShift, 1.0)
+                                         : rng->Normal(0.0, 1.0);
+  }
+  return pool;
+}
+
+double MeanGap(const Pool& pool, const std::vector<double>& scores) {
+  double sum[2] = {0.0, 0.0};
+  double cnt[2] = {0.0, 0.0};
+  for (size_t i = 0; i < scores.size(); ++i) {
+    int g = pool.is_minority[i] ? 1 : 0;
+    sum[g] += scores[i];
+    cnt[g] += 1.0;
+  }
+  return std::fabs(sum[0] / cnt[0] - sum[1] / cnt[1]);
+}
+
+GroupBlindRepair FitWithReference(size_t reference_n, Rng* rng) {
+  std::vector<double> ref_majority(reference_n);
+  std::vector<double> ref_minority(reference_n);
+  for (double& v : ref_majority) v = rng->Normal(0.0, 1.0);
+  for (double& v : ref_minority) v = rng->Normal(-kShift, 1.0);
+  return GroupBlindRepair::Fit({ref_majority, ref_minority}, {0.7, 0.3})
+      .ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ablation A1: group-blind repair design choices ===\n");
+  Rng rng(77);
+  Pool pool = MakePool(20000, &rng);
+  double raw_gap = MeanGap(pool, pool.scores);
+  std::printf("unrepaired group mean gap: %.4f\n\n", raw_gap);
+
+  std::printf("--- (a) calibration on vs off (reference n=500/group) ---\n");
+  GroupBlindRepair repair = FitWithReference(500, &rng);
+  std::vector<double> calibrated =
+      repair.Apply(pool.scores, 1.0).ValueOrDie();
+  // "Calibration off" = scale the applied correction back down by the
+  // calibration factor, i.e. run at strength 1/k.
+  std::vector<double> uncalibrated =
+      repair.Apply(pool.scores, 1.0 / repair.calibration()).ValueOrDie();
+  std::printf("calibration factor: %.3f\n", repair.calibration());
+  std::printf("%-22s mean_gap=%.4f (%.0f%% repaired)\n", "raw posterior",
+              MeanGap(pool, uncalibrated),
+              100.0 * (1.0 - MeanGap(pool, uncalibrated) / raw_gap));
+  std::printf("%-22s mean_gap=%.4f (%.0f%% repaired)\n", "calibrated",
+              MeanGap(pool, calibrated),
+              100.0 * (1.0 - MeanGap(pool, calibrated) / raw_gap));
+
+  std::printf("\n--- (b) reference sample size per group ---\n");
+  std::printf("%-10s %-12s %-12s\n", "ref_n", "calibration", "mean_gap");
+  for (size_t reference_n : {10, 50, 200, 1000, 5000}) {
+    GroupBlindRepair fitted = FitWithReference(reference_n, &rng);
+    std::vector<double> repaired =
+        fitted.Apply(pool.scores, 1.0).ValueOrDie();
+    std::printf("%-10zu %-12.3f %-12.4f\n", reference_n,
+                fitted.calibration(), MeanGap(pool, repaired));
+  }
+  std::printf("\nExpected shape: without calibration only ~40%% of the "
+              "gap closes (posterior shrinkage); with it ~100%%. The "
+              "repair quality saturates by a few hundred reference rows "
+              "per group — the 'small research data set' premise of "
+              "[13].\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E5 — §IV-D feedback loops. Runs the retrain-on-own-decisions hiring
+// loop across discouragement strengths and mitigation policies, printing
+// the demographic-parity gap and female applicant share per round. The
+// unmitigated loop sustains/amplifies the gap and erodes the applicant
+// pool; mitigation flattens both curves.
+#include <cstdio>
+
+#include "simulation/feedback_loop.h"
+
+namespace {
+
+using fairlaw::sim::FeedbackLoopOptions;
+using fairlaw::sim::FeedbackLoopResult;
+using fairlaw::sim::LoopMitigation;
+using fairlaw::sim::RunFeedbackLoop;
+using fairlaw::stats::Rng;
+
+const char* MitigationName(LoopMitigation mitigation) {
+  switch (mitigation) {
+    case LoopMitigation::kNone:
+      return "none";
+    case LoopMitigation::kReweighing:
+      return "reweighing";
+    case LoopMitigation::kGroupThresholds:
+      return "group-thresholds";
+  }
+  return "?";
+}
+
+void RunOne(double discouragement, LoopMitigation mitigation) {
+  Rng rng(99);
+  FeedbackLoopOptions options;
+  options.initial_n = 3000;
+  options.applicants_per_round = 1500;
+  options.rounds = 10;
+  options.label_bias = 1.2;
+  options.proxy_strength = 1.2;
+  options.discouragement = discouragement;
+  options.mitigation = mitigation;
+  FeedbackLoopResult result = RunFeedbackLoop(options, &rng).ValueOrDie();
+
+  std::printf("discouragement=%.2f mitigation=%-16s gap per round: ",
+              discouragement, MitigationName(mitigation));
+  for (const auto& round : result.rounds) {
+    std::printf("%.3f ", round.dp_gap);
+  }
+  std::printf("\n    female applicant share: ");
+  for (const auto& round : result.rounds) {
+    std::printf("%.3f ", round.female_applicant_share);
+  }
+  std::printf("\n    gap drift (last - first): %+.4f\n", result.gap_drift);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E5: feedback-loop amplification (SS IV-D) ===\n");
+  for (double discouragement : {0.0, 0.5, 1.0}) {
+    RunOne(discouragement, LoopMitigation::kNone);
+  }
+  std::printf("\n--- with mitigation (discouragement = 1.0) ---\n");
+  RunOne(1.0, LoopMitigation::kReweighing);
+  RunOne(1.0, LoopMitigation::kGroupThresholds);
+  std::printf("\nExpected shape: unmitigated gaps persist and the female "
+              "applicant share erodes faster with stronger discouragement; "
+              "group thresholds pin the gap near zero and the pool stays "
+              "balanced.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E6 — §IV-E robustness to manipulation. Sweeps the adversarial masking
+// penalty: as it grows, the protected coefficient's attribution share
+// collapses (the attribution audit is fooled) while accuracy and the
+// outcome-based demographic-parity gap barely move — reproducing the
+// Dimanov et al. [3] phenomenon and the defense (cross-check attribution
+// audits with outcome audits).
+#include <cstdio>
+
+#include "audit/manipulation.h"
+#include "ml/feature_importance.h"
+#include "ml/model_eval.h"
+#include "simulation/adversary.h"
+#include "simulation/scenarios.h"
+
+namespace {
+
+using fairlaw::stats::Rng;
+namespace audit = fairlaw::audit;
+namespace metrics = fairlaw::metrics;
+namespace ml = fairlaw::ml;
+namespace sim = fairlaw::sim;
+
+}  // namespace
+
+int main() {
+  std::printf("=== E6: adversarial attribution masking (SS IV-E) ===\n");
+
+  // Training data WITH the gender indicator plus proxies.
+  Rng rng(23);
+  sim::HiringOptions options;
+  options.n = 8000;
+  options.label_bias = 1.5;
+  options.proxy_strength = 1.5;
+  sim::ScenarioData scenario =
+      sim::MakeHiringScenario(options, &rng).ValueOrDie();
+  auto proxies = ml::FeaturesFromTable(scenario.table,
+                                       scenario.feature_columns)
+                     .ValueOrDie();
+  const auto* gender_col = scenario.table.GetColumn("gender").ValueOrDie();
+  const auto* hired_col = scenario.table.GetColumn("hired").ValueOrDie();
+  ml::Dataset dataset;
+  dataset.feature_names = {"gender", "university", "experience",
+                           "test_score"};
+  std::vector<std::string> genders;
+  for (size_t i = 0; i < scenario.table.num_rows(); ++i) {
+    std::string gender = gender_col->GetString(i).ValueOrDie();
+    genders.push_back(gender);
+    std::vector<double> row = {gender == "female" ? 1.0 : 0.0};
+    row.insert(row.end(), proxies[i].begin(), proxies[i].end());
+    dataset.features.push_back(std::move(row));
+    dataset.labels.push_back(
+        static_cast<int>(hired_col->GetInt64(i).ValueOrDie()));
+  }
+
+  std::printf("%-10s %-12s %-10s %-10s %-12s %-12s %-10s\n", "penalty",
+              "gender_share", "accuracy", "dp_gap", "attr_audit",
+              "outcome", "masking?");
+  for (double penalty : {0.0, 1.0, 10.0, 100.0, 1000.0}) {
+    sim::MaskingOptions masking;
+    masking.masking_penalty = penalty;
+    ml::LogisticRegression model =
+        sim::TrainMaskedModel(dataset, 0, masking).ValueOrDie();
+
+    auto importances =
+        ml::LinearAttribution(model.weights(), dataset).ValueOrDie();
+    metrics::MetricInput outcomes;
+    outcomes.groups = genders;
+    outcomes.predictions =
+        model.PredictBatch(dataset.features).ValueOrDie();
+    audit::ManipulationAuditReport report =
+        audit::AuditManipulation(importances, "gender", outcomes)
+            .ValueOrDie();
+    double accuracy =
+        ml::Accuracy(dataset.labels, outcomes.predictions).ValueOrDie();
+
+    std::printf("%-10.0f %-12.4f %-10.4f %-10.4f %-12s %-12s %-10s\n",
+                penalty, report.sensitive_attribution_share, accuracy,
+                report.outcome_gap,
+                report.attribution_says_fair ? "fair" : "unfair",
+                report.outcome_says_fair ? "fair" : "unfair",
+                report.masking_suspected ? "SUSPECTED" : "-");
+  }
+  std::printf("\nExpected shape: gender_share collapses to ~0 as the "
+              "penalty grows while accuracy and dp_gap stay roughly flat; "
+              "the attribution audit flips to 'fair', the outcome audit "
+              "does not, and the masking flag fires.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E8 — §IV-F group-blind repair ([13], [24]). The operational credit-
+// score pool carries no protected attribute; only a small research
+// sample (per-group score distributions) and the population marginals
+// are available. Sweeps the repair strength and reports the group mean
+// gap and the selection-rate gap at the pooled median, against the
+// group-aware disparate-impact remover as the information skyline.
+#include <cmath>
+#include <cstdio>
+
+#include "mitigation/di_remover.h"
+#include "mitigation/group_blind_repair.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace {
+
+using fairlaw::mitigation::GroupBlindRepair;
+using fairlaw::stats::Rng;
+
+struct Gaps {
+  double mean_gap;
+  double rate_gap_at_median;
+};
+
+Gaps Measure(const std::vector<double>& scores,
+             const std::vector<bool>& is_minority) {
+  double sum[2] = {0.0, 0.0};
+  double cnt[2] = {0.0, 0.0};
+  double threshold = fairlaw::stats::Median(scores).ValueOrDie();
+  double sel[2] = {0.0, 0.0};
+  for (size_t i = 0; i < scores.size(); ++i) {
+    int g = is_minority[i] ? 1 : 0;
+    sum[g] += scores[i];
+    cnt[g] += 1.0;
+    if (scores[i] >= threshold) sel[g] += 1.0;
+  }
+  Gaps gaps;
+  gaps.mean_gap = std::fabs(sum[0] / cnt[0] - sum[1] / cnt[1]);
+  gaps.rate_gap_at_median =
+      std::fabs(sel[0] / cnt[0] - sel[1] / cnt[1]);
+  return gaps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E8: group-blind OT repair (SS IV-F, refs [13],[24]) "
+              "===\n");
+  Rng rng(31);
+  const double kShift = 1.5;
+
+  // Small research sample (500 per group) with known group labels.
+  std::vector<double> ref_majority(500);
+  std::vector<double> ref_minority(500);
+  for (double& v : ref_majority) v = rng.Normal(0.0, 1.0);
+  for (double& v : ref_minority) v = rng.Normal(-kShift, 1.0);
+  GroupBlindRepair repair =
+      GroupBlindRepair::Fit({ref_majority, ref_minority}, {0.7, 0.3})
+          .ValueOrDie();
+  std::printf("fitted calibration factor: %.3f\n", repair.calibration());
+
+  // Operational pool WITHOUT labels (we keep them only to evaluate).
+  const size_t n = 20000;
+  std::vector<double> pooled(n);
+  std::vector<bool> is_minority(n);
+  std::vector<std::string> group_names(n);
+  for (size_t i = 0; i < n; ++i) {
+    is_minority[i] = rng.Bernoulli(0.3);
+    pooled[i] =
+        is_minority[i] ? rng.Normal(-kShift, 1.0) : rng.Normal(0.0, 1.0);
+    group_names[i] = is_minority[i] ? "minority" : "majority";
+  }
+
+  std::printf("%-10s %-12s %-16s\n", "strength", "mean_gap",
+              "rate_gap@median");
+  for (double strength : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    std::vector<double> repaired =
+        repair.Apply(pooled, strength).ValueOrDie();
+    Gaps gaps = Measure(repaired, is_minority);
+    std::printf("%-10.2f %-12.4f %-16.4f\n", strength, gaps.mean_gap,
+                gaps.rate_gap_at_median);
+  }
+
+  // Skyline: the group-AWARE quantile repair (needs per-row labels).
+  std::vector<double> aware =
+      fairlaw::mitigation::RepairFeature(group_names, pooled, 1.0)
+          .ValueOrDie();
+  Gaps aware_gaps = Measure(aware, is_minority);
+  std::printf("%-10s %-12.4f %-16.4f  (group-aware skyline)\n", "aware",
+              aware_gaps.mean_gap, aware_gaps.rate_gap_at_median);
+
+  std::printf("\nExpected shape: both gaps fall monotonically with the "
+              "repair strength; the group-blind repair closes most of the "
+              "gap but cannot match the group-aware skyline — the residue "
+              "is the posterior-overlap limit of repairing without the "
+              "protected attribute.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Microbenchmarks for the bias-detection distance hot paths (§IV-F's
+// runtime-complexity point): W1 and KS are sort-bound (n log n), the
+// binned distances are linear, MMD is quadratic.
+#include <benchmark/benchmark.h>
+
+#include "stats/distance.h"
+#include "stats/histogram.h"
+#include "stats/ot.h"
+#include "stats/mmd.h"
+#include "stats/rng.h"
+
+namespace {
+
+using fairlaw::stats::Histogram;
+using fairlaw::stats::Rng;
+
+std::vector<double> Draw(size_t n, double mean, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> sample(n);
+  for (double& v : sample) v = rng.Normal(mean, 1.0);
+  return sample;
+}
+
+void BM_Wasserstein1(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = Draw(n, 0.0, 1);
+  std::vector<double> y = Draw(n, 1.0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fairlaw::stats::Wasserstein1Samples(x, y).ValueOrDie());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Wasserstein1)->Range(256, 1 << 16)->Complexity();
+
+void BM_KolmogorovSmirnov(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = Draw(n, 0.0, 3);
+  std::vector<double> y = Draw(n, 1.0, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fairlaw::stats::KolmogorovSmirnov(x, y).ValueOrDie());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KolmogorovSmirnov)->Range(256, 1 << 16)->Complexity();
+
+void BM_BinnedTotalVariation(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = Draw(n, 0.0, 5);
+  std::vector<double> y = Draw(n, 1.0, 6);
+  for (auto _ : state) {
+    Histogram hx = Histogram::Make(-5.0, 6.0, 40).ValueOrDie();
+    Histogram hy = Histogram::Make(-5.0, 6.0, 40).ValueOrDie();
+    hx.AddAll(x);
+    hy.AddAll(y);
+    benchmark::DoNotOptimize(
+        fairlaw::stats::TotalVariation(hx.Probabilities(),
+                                       hy.Probabilities())
+            .ValueOrDie());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BinnedTotalVariation)->Range(256, 1 << 16)->Complexity();
+
+void BM_MmdBiased(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = Draw(n, 0.0, 7);
+  std::vector<double> y = Draw(n, 1.0, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fairlaw::stats::MmdSquaredBiased1d(x, y, 1.0).ValueOrDie());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MmdBiased)->Range(256, 2048)->Complexity();
+
+void BM_ExactTransport(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));  // support size
+  Rng rng(9);
+  std::vector<double> p(k);
+  std::vector<double> q(k);
+  double sp = 0.0;
+  double sq = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    p[i] = rng.Exponential(1.0);
+    q[i] = rng.Exponential(1.0);
+    sp += p[i];
+    sq += q[i];
+  }
+  for (size_t i = 0; i < k; ++i) {
+    p[i] /= sp;
+    q[i] /= sq;
+  }
+  std::vector<std::vector<double>> cost(k, std::vector<double>(k));
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      cost[i][j] = std::abs(static_cast<double>(i) -
+                            static_cast<double>(j));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fairlaw::stats::ExactTransport(p, q, cost).ValueOrDie());
+  }
+}
+BENCHMARK(BM_ExactTransport)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

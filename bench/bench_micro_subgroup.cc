@@ -1,0 +1,69 @@
+// Microbenchmarks for the subgroup (gerrymandering) auditor: cost vs
+// enumeration depth and row count — the computational face of §IV-C.
+#include <benchmark/benchmark.h>
+
+#include "audit/subgroup.h"
+#include "data/column.h"
+#include "stats/rng.h"
+
+namespace {
+
+using fairlaw::stats::Rng;
+namespace audit = fairlaw::audit;
+namespace data = fairlaw::data;
+
+data::Table MakeTable(size_t rows, size_t attrs, size_t arity) {
+  Rng rng(13);
+  std::vector<data::Field> fields;
+  std::vector<data::Column> columns;
+  for (size_t a = 0; a < attrs; ++a) {
+    std::vector<std::string> values(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      values[i] = "v" + std::to_string(rng.UniformInt(arity));
+    }
+    fields.push_back({"attr" + std::to_string(a),
+                      data::DataType::kString});
+    columns.push_back(data::Column::FromStrings(std::move(values)));
+  }
+  std::vector<int64_t> predictions(rows);
+  for (size_t i = 0; i < rows; ++i) predictions[i] = rng.Bernoulli(0.4);
+  fields.push_back({"pred", data::DataType::kInt64});
+  columns.push_back(data::Column::FromInt64s(std::move(predictions)));
+  return data::Table::Make(data::Schema::Make(fields).ValueOrDie(),
+                           std::move(columns))
+      .ValueOrDie();
+}
+
+void BM_SubgroupAuditDepth(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  data::Table table = MakeTable(10000, 5, 3);
+  std::vector<std::string> attrs = {"attr0", "attr1", "attr2", "attr3",
+                                    "attr4"};
+  audit::SubgroupAuditOptions options;
+  options.max_depth = depth;
+  options.min_support = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        audit::AuditSubgroups(table, attrs, "pred", options).ValueOrDie());
+  }
+}
+BENCHMARK(BM_SubgroupAuditDepth)->DenseRange(1, 4);
+
+void BM_SubgroupAuditRows(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  data::Table table = MakeTable(rows, 3, 3);
+  std::vector<std::string> attrs = {"attr0", "attr1", "attr2"};
+  audit::SubgroupAuditOptions options;
+  options.max_depth = 2;
+  options.min_support = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        audit::AuditSubgroups(table, attrs, "pred", options).ValueOrDie());
+  }
+  state.SetComplexityN(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_SubgroupAuditRows)->Range(1000, 64000)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// §IV-D demo: the same decision loop run twice — once letting the model
+// retrain on its own decisions unchecked, once with demographic-parity
+// thresholds applied at every round — printing the gap trajectory side
+// by side.
+#include <cstdio>
+
+#include "simulation/feedback_loop.h"
+
+int main() {
+  using fairlaw::sim::FeedbackLoopOptions;
+  using fairlaw::sim::FeedbackLoopResult;
+  using fairlaw::sim::LoopMitigation;
+  using fairlaw::sim::RunFeedbackLoop;
+  using fairlaw::stats::Rng;
+
+  FeedbackLoopOptions options;
+  options.initial_n = 3000;
+  options.applicants_per_round = 1500;
+  options.rounds = 10;
+  options.label_bias = 1.3;
+  options.proxy_strength = 1.3;
+  options.discouragement = 0.8;
+
+  Rng rng_plain(7);
+  FeedbackLoopResult plain =
+      RunFeedbackLoop(options, &rng_plain).ValueOrDie();
+
+  options.mitigation = LoopMitigation::kGroupThresholds;
+  Rng rng_fixed(7);
+  FeedbackLoopResult mitigated =
+      RunFeedbackLoop(options, &rng_fixed).ValueOrDie();
+
+  std::printf("feedback loop: retrain-on-own-decisions hiring, 10 rounds\n");
+  std::printf("%-6s | %-22s | %-22s\n", "", "unmitigated", "DP thresholds");
+  std::printf("%-6s | %-10s %-10s | %-10s %-10s\n", "round", "dp_gap",
+              "f_share", "dp_gap", "f_share");
+  for (size_t r = 0; r < plain.rounds.size(); ++r) {
+    std::printf("%-6d | %-10.4f %-10.4f | %-10.4f %-10.4f\n",
+                plain.rounds[r].round, plain.rounds[r].dp_gap,
+                plain.rounds[r].female_applicant_share,
+                mitigated.rounds[r].dp_gap,
+                mitigated.rounds[r].female_applicant_share);
+  }
+  std::printf("\nunmitigated gap drift: %+.4f; mitigated: %+.4f\n",
+              plain.gap_drift, mitigated.gap_drift);
+  std::printf("The unmitigated column shows the self-reinforcing process "
+              "of SS IV-D: biased decisions become labels, rejected "
+              "groups stop applying. The mitigated column shows the loop "
+              "flattened by per-round parity thresholds.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: load decisions from CSV, run the one-call fairness suite,
+// print the report.
+//
+//   $ ./example_quickstart [decisions.csv]
+//
+// Without an argument a small embedded hiring CSV is used. The CSV needs
+// a protected-attribute column, a binary prediction column, and
+// (optionally) a binary label column.
+#include <cstdio>
+#include <string>
+
+#include "core/suite.h"
+#include "data/csv.h"
+
+namespace {
+
+constexpr const char* kEmbeddedCsv =
+    "gender,university,pred,hired\n"
+    "male,2.1,1,1\nmale,1.7,1,1\nmale,0.3,1,0\nmale,0.9,1,1\n"
+    "male,1.4,1,1\nmale,-0.2,0,0\nmale,0.8,1,0\nmale,1.1,1,1\n"
+    "male,-0.5,0,0\nmale,0.1,0,0\nmale,2.4,1,1\nmale,1.9,1,1\n"
+    "female,1.8,1,1\nfemale,0.6,0,1\nfemale,-0.1,0,0\nfemale,1.2,0,1\n"
+    "female,0.4,0,0\nfemale,-0.8,0,0\nfemale,0.9,0,1\nfemale,2.2,1,1\n"
+    "female,-0.3,0,0\nfemale,0.7,0,0\nfemale,1.5,1,1\nfemale,0.2,0,0\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fairlaw::Result<fairlaw::data::Table> table =
+      argc > 1 ? fairlaw::data::ReadCsvFile(argv[1])
+               : fairlaw::data::ReadCsvString(kEmbeddedCsv);
+  if (!table.ok()) {
+    std::fprintf(stderr, "failed to load CSV: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu rows x %zu columns\n%s\n", table->num_rows(),
+              table->num_columns(), table->Preview(5).c_str());
+
+  fairlaw::SuiteConfig config;
+  config.audit.protected_column = "gender";
+  config.audit.prediction_column = "pred";
+  config.audit.label_column = "hired";
+  config.audit.tolerance = 0.1;
+  config.proxy_candidates = {"university"};
+  config.subgroup_columns = {"gender"};
+  config.subgroup_options.min_support = 5;
+  config.sampling_options.min_count = 10;
+  config.sampling_options.max_ci_halfwidth = 0.5;
+
+  fairlaw::Result<fairlaw::SuiteReport> report =
+      fairlaw::RunFairnessSuite(*table, config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "audit failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", report->Render().c_str());
+  return report->all_clear ? 0 : 2;
+}

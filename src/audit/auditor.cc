@@ -1,0 +1,198 @@
+#include "audit/auditor.h"
+
+#include "base/string_util.h"
+#include "metrics/group_metrics.h"
+
+namespace fairlaw::audit {
+namespace {
+
+Result<std::vector<int>> BinaryColumn(const data::Table& table,
+                                      const std::string& name) {
+  FAIRLAW_ASSIGN_OR_RETURN(const data::Column* column, table.GetColumn(name));
+  FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> values, column->ToDoubles());
+  std::vector<int> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != 0.0 && values[i] != 1.0) {
+      return Status::Invalid("column '" + name + "' must be binary 0/1");
+    }
+    out[i] = values[i] == 1.0 ? 1 : 0;
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> StringKeys(const data::Table& table,
+                                            const std::string& name) {
+  FAIRLAW_ASSIGN_OR_RETURN(const data::Column* column, table.GetColumn(name));
+  if (column->null_count() > 0) {
+    return Status::Invalid("column '" + name + "' has nulls; audits require "
+                           "explicit missing-value handling upstream");
+  }
+  std::vector<std::string> out(column->size());
+  for (size_t i = 0; i < column->size(); ++i) {
+    out[i] = column->ValueToString(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<metrics::MetricInput> MetricInputFromTable(
+    const data::Table& table, const std::string& protected_column,
+    const std::string& prediction_column, const std::string& label_column) {
+  metrics::MetricInput input;
+  FAIRLAW_ASSIGN_OR_RETURN(input.groups,
+                           StringKeys(table, protected_column));
+  FAIRLAW_ASSIGN_OR_RETURN(input.predictions,
+                           BinaryColumn(table, prediction_column));
+  if (!label_column.empty()) {
+    FAIRLAW_ASSIGN_OR_RETURN(input.labels, BinaryColumn(table, label_column));
+  }
+  FAIRLAW_RETURN_NOT_OK(input.Validate(/*require_labels=*/false));
+  return input;
+}
+
+Result<metrics::MetricInput> MetricInputFromTableMulti(
+    const data::Table& table,
+    const std::vector<std::string>& protected_columns,
+    const std::string& prediction_column, const std::string& label_column) {
+  if (protected_columns.empty()) {
+    return Status::Invalid("MetricInputFromTableMulti: no protected "
+                           "columns");
+  }
+  metrics::MetricInput input;
+  FAIRLAW_ASSIGN_OR_RETURN(input.groups,
+                           StrataFromTable(table, protected_columns));
+  FAIRLAW_ASSIGN_OR_RETURN(input.predictions,
+                           BinaryColumn(table, prediction_column));
+  if (!label_column.empty()) {
+    FAIRLAW_ASSIGN_OR_RETURN(input.labels, BinaryColumn(table, label_column));
+  }
+  FAIRLAW_RETURN_NOT_OK(input.Validate(/*require_labels=*/false));
+  return input;
+}
+
+Result<std::vector<std::string>> StrataFromTable(
+    const data::Table& table,
+    const std::vector<std::string>& strata_columns) {
+  if (strata_columns.empty()) {
+    return Status::Invalid("StrataFromTable: no strata columns");
+  }
+  std::vector<std::vector<std::string>> keys;
+  keys.reserve(strata_columns.size());
+  for (const std::string& name : strata_columns) {
+    FAIRLAW_ASSIGN_OR_RETURN(std::vector<std::string> column_keys,
+                             StringKeys(table, name));
+    keys.push_back(std::move(column_keys));
+  }
+  std::vector<std::string> strata(table.num_rows());
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    std::string key;
+    for (size_t c = 0; c < keys.size(); ++c) {
+      if (c > 0) key += "|";
+      key += keys[c][row];
+    }
+    strata[row] = key;
+  }
+  return strata;
+}
+
+std::string AuditResult::Render() const {
+  std::string out;
+  out += "=== fairness audit: " +
+         std::string(all_satisfied ? "ALL SATISFIED" : "VIOLATIONS FOUND") +
+         " ===\n";
+  for (const metrics::MetricReport& report : reports) {
+    out += metrics::RenderReport(report);
+  }
+  for (const metrics::ConditionalReport& report : conditional_reports) {
+    out += metrics::RenderConditionalReport(report);
+  }
+  if (calibration.has_value()) {
+    out += "calibration_within_groups: " +
+           std::string(calibration->satisfied ? "SATISFIED" : "VIOLATED") +
+           " (max ECE " + FormatDouble(calibration->max_ece, 4) +
+           ", gap " + FormatDouble(calibration->ece_gap, 4) + ")\n";
+    for (const metrics::GroupCalibration& gc : calibration->groups) {
+      out += "  " + gc.group + ": ece=" + FormatDouble(gc.ece, 4) +
+             " mean_score=" + FormatDouble(gc.mean_score, 4) +
+             " base_rate=" + FormatDouble(gc.positive_rate, 4) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<const metrics::MetricReport*> AuditResult::Find(
+    const std::string& name) const {
+  for (const metrics::MetricReport& report : reports) {
+    if (report.metric_name == name) return &report;
+  }
+  return Status::NotFound("audit has no metric named '" + name + "'");
+}
+
+Result<AuditResult> RunAudit(const data::Table& table,
+                             const AuditConfig& config) {
+  FAIRLAW_ASSIGN_OR_RETURN(
+      metrics::MetricInput input,
+      MetricInputFromTable(table, config.protected_column,
+                           config.prediction_column, config.label_column));
+
+  AuditResult result;
+  auto add = [&result](Result<metrics::MetricReport> report) -> Status {
+    FAIRLAW_ASSIGN_OR_RETURN(metrics::MetricReport r, std::move(report));
+    result.all_satisfied = result.all_satisfied && r.satisfied;
+    result.reports.push_back(std::move(r));
+    return Status::OK();
+  };
+
+  FAIRLAW_RETURN_NOT_OK(add(metrics::DemographicParity(input,
+                                                       config.tolerance)));
+  FAIRLAW_RETURN_NOT_OK(add(metrics::DemographicDisparity(input)));
+  FAIRLAW_RETURN_NOT_OK(
+      add(metrics::DisparateImpactRatio(input, config.di_threshold)));
+  if (!config.label_column.empty()) {
+    FAIRLAW_RETURN_NOT_OK(add(metrics::EqualOpportunity(input,
+                                                        config.tolerance)));
+    FAIRLAW_RETURN_NOT_OK(add(metrics::EqualizedOdds(input,
+                                                     config.tolerance)));
+    FAIRLAW_RETURN_NOT_OK(add(metrics::PredictiveParity(input,
+                                                        config.tolerance)));
+    FAIRLAW_RETURN_NOT_OK(add(metrics::AccuracyEquality(input,
+                                                        config.tolerance)));
+  }
+  if (!config.score_column.empty()) {
+    if (config.label_column.empty()) {
+      return Status::Invalid("RunAudit: calibration audit requires a label "
+                             "column alongside the score column");
+    }
+    FAIRLAW_ASSIGN_OR_RETURN(const data::Column* score_col,
+                             table.GetColumn(config.score_column));
+    FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> scores,
+                             score_col->ToDoubles());
+    FAIRLAW_ASSIGN_OR_RETURN(
+        metrics::CalibrationReport calibration,
+        metrics::CalibrationWithinGroups(input.groups, input.labels, scores,
+                                         config.calibration_bins,
+                                         config.calibration_tolerance));
+    result.all_satisfied = result.all_satisfied && calibration.satisfied;
+    result.calibration = std::move(calibration);
+  }
+  if (!config.strata_columns.empty()) {
+    FAIRLAW_ASSIGN_OR_RETURN(std::vector<std::string> strata,
+                             StrataFromTable(table, config.strata_columns));
+    FAIRLAW_ASSIGN_OR_RETURN(
+        metrics::ConditionalReport csp,
+        metrics::ConditionalStatisticalParity(input, strata, config.tolerance,
+                                              config.min_stratum_size));
+    result.all_satisfied = result.all_satisfied && csp.satisfied;
+    result.conditional_reports.push_back(std::move(csp));
+    FAIRLAW_ASSIGN_OR_RETURN(
+        metrics::ConditionalReport cdd,
+        metrics::ConditionalDemographicDisparity(input, strata,
+                                                 config.min_stratum_size));
+    result.all_satisfied = result.all_satisfied && cdd.satisfied;
+    result.conditional_reports.push_back(std::move(cdd));
+  }
+  return result;
+}
+
+}  // namespace fairlaw::audit

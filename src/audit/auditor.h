@@ -1,0 +1,88 @@
+#ifndef FAIRLAW_AUDIT_AUDITOR_H_
+#define FAIRLAW_AUDIT_AUDITOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "data/table.h"
+#include "metrics/calibration_metric.h"
+#include "metrics/conditional_metrics.h"
+#include "metrics/fairness_metric.h"
+
+namespace fairlaw::audit {
+
+/// Which metric families a table audit should run.
+struct AuditConfig {
+  /// Column holding the protected attribute A (any type; values are
+  /// compared as rendered strings).
+  std::string protected_column;
+  /// Column holding the model decision R (int64/bool, values 0/1).
+  std::string prediction_column;
+  /// Column holding the actual outcome Y; empty to skip the
+  /// label-dependent metrics (equal opportunity, equalized odds,
+  /// predictive parity, accuracy equality).
+  std::string label_column;
+  /// Columns holding legitimate factors S for the conditional metrics;
+  /// empty to skip them. Multiple columns stratify on their combination.
+  std::vector<std::string> strata_columns;
+  /// Column holding the model probability score in [0,1]; set together
+  /// with label_column to add the calibration-within-groups audit (the
+  /// calibration definition §V lists among the legally distinguished
+  /// ones). Empty to skip.
+  std::string score_column;
+
+  /// Gap tolerance shared by the equality-style metrics.
+  double tolerance = 0.05;
+  /// Ratio threshold for disparate impact (EEOC four-fifths rule).
+  double di_threshold = 0.8;
+  /// Minimum rows per stratum for the conditional metrics.
+  size_t min_stratum_size = 10;
+  /// Bins and max per-group ECE for the calibration audit.
+  size_t calibration_bins = 10;
+  double calibration_tolerance = 0.05;
+};
+
+/// Everything a table audit produced.
+struct AuditResult {
+  std::vector<metrics::MetricReport> reports;
+  std::vector<metrics::ConditionalReport> conditional_reports;
+  /// Present when a score column was configured.
+  std::optional<metrics::CalibrationReport> calibration;
+  bool all_satisfied = true;
+
+  /// Renders the full audit as human-readable text.
+  std::string Render() const;
+
+  /// Looks up a report by metric name ("demographic_parity", ...).
+  Result<const metrics::MetricReport*> Find(const std::string& name) const;
+};
+
+/// Extracts a MetricInput from table columns. `label_column` may be empty.
+Result<metrics::MetricInput> MetricInputFromTable(
+    const data::Table& table, const std::string& protected_column,
+    const std::string& prediction_column, const std::string& label_column);
+
+/// Intersectional variant: the group key is the combination of several
+/// protected columns joined with '|' ("female|caucasian"), so all the
+/// group metrics operate directly on §IV-C subpopulations.
+Result<metrics::MetricInput> MetricInputFromTableMulti(
+    const data::Table& table,
+    const std::vector<std::string>& protected_columns,
+    const std::string& prediction_column, const std::string& label_column);
+
+/// Extracts the stratum key per row (values of `strata_columns` joined
+/// with '|').
+Result<std::vector<std::string>> StrataFromTable(
+    const data::Table& table, const std::vector<std::string>& strata_columns);
+
+/// Runs the configured metric suite over `table`. Metrics that need
+/// labels are skipped when `label_column` is empty; conditional metrics
+/// are skipped when `strata_columns` is empty.
+Result<AuditResult> RunAudit(const data::Table& table,
+                             const AuditConfig& config);
+
+}  // namespace fairlaw::audit
+
+#endif  // FAIRLAW_AUDIT_AUDITOR_H_

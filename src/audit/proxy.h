@@ -1,0 +1,58 @@
+#ifndef FAIRLAW_AUDIT_PROXY_H_
+#define FAIRLAW_AUDIT_PROXY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "data/table.h"
+
+namespace fairlaw::audit {
+
+// Proxy-discrimination detection (§IV-B). A feature is a proxy when it is
+// statistically associated with the protected attribute strongly enough
+// that a model trained without the protected attribute can reconstruct
+// the bias through it ("fairness through unawareness" failure).
+
+/// Association scores between one candidate feature and the protected
+/// attribute.
+struct ProxyFinding {
+  std::string feature;
+  /// Cramér's V of the (discretized) feature vs the protected attribute,
+  /// in [0,1].
+  double cramers_v = 0.0;
+  /// Mutual information (nats) of the same contingency table.
+  double mutual_information = 0.0;
+  /// Accuracy of predicting the protected attribute from this feature
+  /// alone (majority class per feature bin), minus the majority-class
+  /// baseline; > 0 means the feature carries protected information.
+  double predictability_gain = 0.0;
+  /// True when cramers_v exceeds the configured threshold.
+  bool flagged = false;
+};
+
+struct ProxyDetectionOptions {
+  /// Quantile bins used to discretize continuous candidates.
+  size_t bins = 10;
+  /// Cramér's V above which a feature is flagged as a proxy.
+  double flag_threshold = 0.3;
+};
+
+/// Scores every candidate column against the protected column. Candidates
+/// may be numeric (discretized into quantile bins) or categorical.
+/// Findings are sorted by descending Cramér's V.
+Result<std::vector<ProxyFinding>> DetectProxies(
+    const data::Table& table, const std::string& protected_column,
+    const std::vector<std::string>& candidate_columns,
+    const ProxyDetectionOptions& options = {});
+
+/// Builds the contingency table of (discretized) `feature_column` x
+/// `protected_column`. Exposed for tests and for custom association
+/// scores.
+Result<std::vector<std::vector<int64_t>>> ProxyContingencyTable(
+    const data::Table& table, const std::string& feature_column,
+    const std::string& protected_column, size_t bins);
+
+}  // namespace fairlaw::audit
+
+#endif  // FAIRLAW_AUDIT_PROXY_H_

@@ -1,0 +1,165 @@
+#include "audit/subgroup.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/group_by.h"
+
+namespace fairlaw::audit {
+
+std::string SubgroupDefinition::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += conditions[i].first + "=" + conditions[i].second;
+  }
+  return out.empty() ? "(everyone)" : out;
+}
+
+std::vector<SubgroupFinding> SubgroupAuditResult::Violations(
+    double tolerance) const {
+  std::vector<SubgroupFinding> out;
+  for (const SubgroupFinding& finding : findings) {
+    if (finding.gap > tolerance) out.push_back(finding);
+  }
+  return out;
+}
+
+namespace {
+
+struct AttributeColumn {
+  std::string name;
+  std::vector<std::string> values;          // per-row rendered value
+  std::vector<std::string> distinct;        // value universe
+};
+
+/// Recursively extends the current conjunction with conditions on
+/// attributes with index >= `next_attribute` (attributes are used at most
+/// once per conjunction, in ascending order, so each subgroup is
+/// enumerated exactly once).
+void Enumerate(const std::vector<AttributeColumn>& attributes,
+               const std::vector<int>& predictions, double overall_rate,
+               const SubgroupAuditOptions& options, size_t next_attribute,
+               int depth, std::vector<std::pair<std::string, std::string>>*
+                              conditions,
+               std::vector<size_t>* member_rows, SubgroupAuditResult* result) {
+  if (depth > 0) {
+    ++result->subgroups_examined;
+    if (member_rows->size() < options.min_support) {
+      ++result->subgroups_skipped_small;
+    } else {
+      SubgroupFinding finding;
+      finding.subgroup.conditions = *conditions;
+      finding.count = member_rows->size();
+      size_t positives = 0;
+      for (size_t row : *member_rows) positives += predictions[row];
+      finding.selection_rate = static_cast<double>(positives) /
+                               static_cast<double>(member_rows->size());
+      finding.overall_rate = overall_rate;
+      finding.gap = std::fabs(finding.selection_rate - overall_rate);
+      finding.weighted_gap = finding.gap *
+                             static_cast<double>(member_rows->size()) /
+                             static_cast<double>(predictions.size());
+      if (finding.gap > options.tolerance) result->any_violation = true;
+      result->findings.push_back(std::move(finding));
+    }
+  }
+  if (depth >= options.max_depth) return;
+  for (size_t a = next_attribute; a < attributes.size(); ++a) {
+    const AttributeColumn& attribute = attributes[a];
+    for (const std::string& value : attribute.distinct) {
+      std::vector<size_t> narrowed;
+      narrowed.reserve(member_rows->size());
+      for (size_t row : *member_rows) {
+        if (attribute.values[row] == value) narrowed.push_back(row);
+      }
+      if (narrowed.empty()) continue;
+      conditions->push_back({attribute.name, value});
+      Enumerate(attributes, predictions, overall_rate, options, a + 1,
+                depth + 1, conditions, &narrowed, result);
+      conditions->pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+Result<SubgroupAuditResult> AuditSubgroups(
+    const data::Table& table,
+    const std::vector<std::string>& attribute_columns,
+    const std::string& prediction_column,
+    const SubgroupAuditOptions& options) {
+  if (attribute_columns.empty()) {
+    return Status::Invalid("AuditSubgroups: no attribute columns");
+  }
+  if (options.max_depth < 1) {
+    return Status::Invalid("AuditSubgroups: max_depth must be >= 1");
+  }
+  if (table.num_rows() == 0) {
+    return Status::Invalid("AuditSubgroups: empty table");
+  }
+
+  FAIRLAW_ASSIGN_OR_RETURN(const data::Column* prediction_col,
+                           table.GetColumn(prediction_column));
+  FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> raw_predictions,
+                           prediction_col->ToDoubles());
+  std::vector<int> predictions(raw_predictions.size());
+  size_t positives = 0;
+  for (size_t i = 0; i < raw_predictions.size(); ++i) {
+    if (raw_predictions[i] != 0.0 && raw_predictions[i] != 1.0) {
+      return Status::Invalid("AuditSubgroups: prediction column must be 0/1");
+    }
+    predictions[i] = raw_predictions[i] == 1.0 ? 1 : 0;
+    positives += predictions[i];
+  }
+  const double overall_rate =
+      static_cast<double>(positives) / static_cast<double>(predictions.size());
+
+  std::vector<AttributeColumn> attributes;
+  attributes.reserve(attribute_columns.size());
+  for (const std::string& name : attribute_columns) {
+    FAIRLAW_ASSIGN_OR_RETURN(const data::Column* column,
+                             table.GetColumn(name));
+    AttributeColumn attribute;
+    attribute.name = name;
+    attribute.values.resize(column->size());
+    for (size_t row = 0; row < column->size(); ++row) {
+      attribute.values[row] = column->ValueToString(row);
+    }
+    FAIRLAW_ASSIGN_OR_RETURN(attribute.distinct,
+                             data::DistinctValues(table, name));
+    attributes.push_back(std::move(attribute));
+  }
+
+  SubgroupAuditResult result;
+  std::vector<std::pair<std::string, std::string>> conditions;
+  std::vector<size_t> all_rows(table.num_rows());
+  for (size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+  Enumerate(attributes, predictions, overall_rate, options,
+            /*next_attribute=*/0, /*depth=*/0, &conditions, &all_rows,
+            &result);
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const SubgroupFinding& a, const SubgroupFinding& b) {
+              return a.gap > b.gap;
+            });
+  return result;
+}
+
+size_t CountConjunctions(const std::vector<size_t>& cardinalities,
+                         int max_depth) {
+  // Sum over non-empty attribute subsets of size <= max_depth of the
+  // product of their cardinalities, computed by dynamic programming over
+  // attributes.
+  std::vector<size_t> by_depth(static_cast<size_t>(max_depth) + 1, 0);
+  by_depth[0] = 1;  // the empty conjunction (not counted in the result)
+  for (size_t cardinality : cardinalities) {
+    for (int d = max_depth; d >= 1; --d) {
+      by_depth[d] += by_depth[d - 1] * cardinality;
+    }
+  }
+  size_t total = 0;
+  for (int d = 1; d <= max_depth; ++d) total += by_depth[d];
+  return total;
+}
+
+}  // namespace fairlaw::audit

@@ -1,0 +1,29 @@
+#ifndef FAIRLAW_BASE_CHECK_H_
+#define FAIRLAW_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal-invariant checks. These fire regardless of NDEBUG: a violated
+/// invariant inside the library is a bug, and continuing would corrupt
+/// results that downstream users may act on. User-facing validation must
+/// use Status instead.
+#define FAIRLAW_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FAIRLAW_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #cond);                            \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define FAIRLAW_CHECK_MSG(cond, msg)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FAIRLAW_CHECK failed at %s:%d: %s (%s)\n",    \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // FAIRLAW_BASE_CHECK_H_

@@ -1,0 +1,95 @@
+#ifndef FAIRLAW_BASE_RESULT_H_
+#define FAIRLAW_BASE_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace fairlaw {
+
+/// Result<T> holds either a value of type T or a non-OK Status.
+///
+/// It is the value-returning counterpart of Status. Typical use:
+///
+///   Result<Table> table = CsvReader::ReadFile(path);
+///   if (!table.ok()) return table.status();
+///   Use(table.ValueOrDie());
+///
+/// or, inside a function that itself returns Status/Result:
+///
+///   FAIRLAW_ASSIGN_OR_RETURN(Table table, CsvReader::ReadFile(path));
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit so functions can
+  /// `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error (implicit so functions can
+  /// `return Status::Invalid(...);`). Aborts if `status` is OK: an OK
+  /// Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) std::abort();
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// Returns the status (OK when a value is held).
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// Returns the held value; aborts if !ok(). The *OrDie name signals the
+  /// crash-on-error contract at the call site.
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::move(*value_);
+  }
+
+  /// Returns the held value or `fallback` when in error state.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  /// Dereference-style access; same contract as ValueOrDie().
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fairlaw
+
+#define FAIRLAW_CONCAT_IMPL_(x, y) x##y
+#define FAIRLAW_CONCAT_(x, y) FAIRLAW_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its Status
+/// from the enclosing function, otherwise declares `lhs` initialized with
+/// the moved value.
+#define FAIRLAW_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  FAIRLAW_ASSIGN_OR_RETURN_IMPL_(                                         \
+      FAIRLAW_CONCAT_(_fairlaw_result_, __LINE__), lhs, rexpr)
+
+#define FAIRLAW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return std::move(tmp).status();        \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // FAIRLAW_BASE_RESULT_H_

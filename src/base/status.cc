@@ -1,0 +1,52 @@
+#include "base/status.h"
+
+namespace fairlaw {
+namespace {
+
+const std::string& EmptyString() {
+  static const std::string& empty = *new std::string;
+  return empty;
+}
+
+}  // namespace
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kIOError:
+      return "io error";
+    case StatusCode::kNotImplemented:
+      return "not implemented";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : state_(std::make_unique<State>(State{code, std::move(message)})) {}
+
+const std::string& Status::message() const {
+  return ok() ? EmptyString() : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(code()));
+  result += ": ";
+  result += state_->message;
+  return result;
+}
+
+}  // namespace fairlaw

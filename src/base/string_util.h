@@ -1,0 +1,40 @@
+#ifndef FAIRLAW_BASE_STRING_UTIL_H_
+#define FAIRLAW_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a decimal floating-point number. The whole (stripped) input must
+/// be consumed; otherwise returns InvalidArgument.
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a decimal integer. The whole (stripped) input must be consumed;
+/// otherwise returns InvalidArgument.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// True if `text` equals "true"/"false" (case-insensitive) or "1"/"0".
+Result<bool> ParseBool(std::string_view text);
+
+/// Lowercases ASCII characters.
+std::string AsciiToLower(std::string_view text);
+
+}  // namespace fairlaw
+
+#endif  // FAIRLAW_BASE_STRING_UTIL_H_

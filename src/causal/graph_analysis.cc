@@ -1,0 +1,119 @@
+#include "causal/graph_analysis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace fairlaw::causal {
+
+Result<std::vector<std::string>> Children(const Scm& scm,
+                                          const std::string& node) {
+  FAIRLAW_RETURN_NOT_OK(scm.NodeIndex(node).status());
+  std::vector<std::string> children;
+  for (const NodeSpec& candidate : scm.nodes()) {
+    if (std::find(candidate.parents.begin(), candidate.parents.end(),
+                  node) != candidate.parents.end()) {
+      children.push_back(candidate.name);
+    }
+  }
+  return children;
+}
+
+Result<std::vector<std::string>> Descendants(const Scm& scm,
+                                             const std::string& node) {
+  FAIRLAW_RETURN_NOT_OK(scm.NodeIndex(node).status());
+  // Nodes are stored in topological order, so one forward pass suffices.
+  std::set<std::string> reached = {node};
+  std::vector<std::string> descendants;
+  for (const NodeSpec& candidate : scm.nodes()) {
+    if (reached.contains(candidate.name)) continue;
+    for (const std::string& parent : candidate.parents) {
+      if (reached.contains(parent)) {
+        reached.insert(candidate.name);
+        descendants.push_back(candidate.name);
+        break;
+      }
+    }
+  }
+  return descendants;
+}
+
+Result<std::vector<std::string>> Ancestors(const Scm& scm,
+                                           const std::string& node) {
+  FAIRLAW_RETURN_NOT_OK(scm.NodeIndex(node).status());
+  // Walk the topological order backwards, collecting transitive parents.
+  std::set<std::string> reached = {node};
+  std::vector<std::string> ancestors;
+  for (auto it = scm.nodes().rbegin(); it != scm.nodes().rend(); ++it) {
+    if (!reached.contains(it->name)) continue;
+    for (const std::string& parent : it->parents) {
+      if (reached.insert(parent).second) {
+        ancestors.push_back(parent);
+      }
+    }
+  }
+  return ancestors;
+}
+
+Result<std::vector<std::string>> FindDirectedPath(const Scm& scm,
+                                                  const std::string& from,
+                                                  const std::string& to) {
+  FAIRLAW_RETURN_NOT_OK(scm.NodeIndex(from).status());
+  FAIRLAW_RETURN_NOT_OK(scm.NodeIndex(to).status());
+  if (from == to) return std::vector<std::string>{from};
+  // Forward pass over the topological order, remembering one predecessor
+  // on a path from `from`.
+  std::set<std::string> reached = {from};
+  std::vector<std::string> via(scm.num_nodes());
+  for (size_t k = 0; k < scm.num_nodes(); ++k) {
+    const NodeSpec& node = scm.nodes()[k];
+    if (reached.contains(node.name)) continue;
+    for (const std::string& parent : node.parents) {
+      if (reached.contains(parent)) {
+        reached.insert(node.name);
+        via[k] = parent;
+        break;
+      }
+    }
+  }
+  if (!reached.contains(to)) return std::vector<std::string>{};
+  // Reconstruct backwards.
+  std::vector<std::string> path = {to};
+  std::string cursor = to;
+  while (cursor != from) {
+    size_t index = scm.NodeIndex(cursor).ValueOrDie();
+    cursor = via[index];
+    path.push_back(cursor);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Result<FeaturePathReport> AnalyzeFeaturePaths(
+    const Scm& scm, const std::string& protected_node,
+    const std::vector<std::string>& features) {
+  if (features.empty()) {
+    return Status::Invalid("AnalyzeFeaturePaths: no features");
+  }
+  FAIRLAW_ASSIGN_OR_RETURN(std::vector<std::string> descendants,
+                           Descendants(scm, protected_node));
+  std::set<std::string> descendant_set(descendants.begin(),
+                                       descendants.end());
+  FeaturePathReport report;
+  for (const std::string& feature : features) {
+    FAIRLAW_RETURN_NOT_OK(scm.NodeIndex(feature).status());
+    if (descendant_set.contains(feature)) {
+      report.proxy_features.push_back(feature);
+      FAIRLAW_ASSIGN_OR_RETURN(
+          std::vector<std::string> path,
+          FindDirectedPath(scm, protected_node, feature));
+      report.witness_paths.push_back(std::move(path));
+    } else {
+      report.clean_features.push_back(feature);
+    }
+  }
+  report.counterfactually_fair_by_construction =
+      report.proxy_features.empty();
+  return report;
+}
+
+}  // namespace fairlaw::causal

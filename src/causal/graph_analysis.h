@@ -1,0 +1,64 @@
+#ifndef FAIRLAW_CAUSAL_GRAPH_ANALYSIS_H_
+#define FAIRLAW_CAUSAL_GRAPH_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "causal/scm.h"
+
+namespace fairlaw::causal {
+
+// Structural analysis of an SCM's graph. The formal criterion behind
+// §IV-B and §III-G: a feature is a *structural proxy* for the protected
+// attribute exactly when it is a causal descendant of it, and a model is
+// counterfactually fair iff every feature it consumes is a non-descendant
+// of the protected attribute (Kusner et al. [12], Lemma 1). These
+// functions compute that criterion directly on the graph, complementing
+// the statistical proxy detector in audit/proxy.h.
+
+/// Direct children of `node` (nodes listing it as a parent).
+Result<std::vector<std::string>> Children(const Scm& scm,
+                                          const std::string& node);
+
+/// All descendants of `node` (children, transitively), in topological
+/// order, excluding the node itself.
+Result<std::vector<std::string>> Descendants(const Scm& scm,
+                                             const std::string& node);
+
+/// All ancestors of `node` (parents, transitively), excluding itself.
+Result<std::vector<std::string>> Ancestors(const Scm& scm,
+                                           const std::string& node);
+
+/// One directed path from `from` to `to`, or empty when none exists.
+/// Paths name the mechanism chain through which protected information
+/// reaches a feature ("gender -> university -> hired").
+Result<std::vector<std::string>> FindDirectedPath(const Scm& scm,
+                                                  const std::string& from,
+                                                  const std::string& to);
+
+/// Classification of a feature set against a protected node.
+struct FeaturePathReport {
+  /// Features that are descendants of the protected node — each carries
+  /// protected information structurally; any model using them fails
+  /// counterfactual fairness whenever the mechanism weights are nonzero.
+  std::vector<std::string> proxy_features;
+  /// Features with no directed path from the protected node — safe under
+  /// the Kusner criterion.
+  std::vector<std::string> clean_features;
+  /// For each proxy feature, one witnessing path (aligned with
+  /// proxy_features).
+  std::vector<std::vector<std::string>> witness_paths;
+  /// True when proxy_features is empty: a model on these features is
+  /// counterfactually fair by construction.
+  bool counterfactually_fair_by_construction = false;
+};
+
+/// Classifies `features` against `protected_node`.
+Result<FeaturePathReport> AnalyzeFeaturePaths(
+    const Scm& scm, const std::string& protected_node,
+    const std::vector<std::string>& features);
+
+}  // namespace fairlaw::causal
+
+#endif  // FAIRLAW_CAUSAL_GRAPH_ANALYSIS_H_

@@ -1,0 +1,164 @@
+#include "causal/scm.h"
+
+#include "base/check.h"
+
+namespace fairlaw::causal {
+
+ScmSample::ScmSample(std::vector<std::string> names, size_t rows)
+    : names_(std::move(names)),
+      rows_(rows),
+      values_(names_.size(), std::vector<double>(rows, 0.0)),
+      noise_(names_.size(), std::vector<double>(rows, 0.0)) {}
+
+Result<size_t> ScmSample::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return Status::NotFound("ScmSample: no node named '" + name + "'");
+}
+
+Result<const std::vector<double>*> ScmSample::Values(
+    const std::string& name) const {
+  FAIRLAW_ASSIGN_OR_RETURN(size_t index, IndexOf(name));
+  return &values_[index];
+}
+
+Result<const std::vector<double>*> ScmSample::Noise(
+    const std::string& name) const {
+  FAIRLAW_ASSIGN_OR_RETURN(size_t index, IndexOf(name));
+  return &noise_[index];
+}
+
+Status Scm::AddNode(NodeSpec node) {
+  if (node.name.empty()) return Status::Invalid("Scm: empty node name");
+  if (index_.contains(node.name)) {
+    return Status::AlreadyExists("Scm: node '" + node.name +
+                                 "' already exists");
+  }
+  for (const std::string& parent : node.parents) {
+    if (!index_.contains(parent)) {
+      return Status::Invalid("Scm: node '" + node.name +
+                             "' references unknown parent '" + parent +
+                             "' (parents must be declared first)");
+    }
+  }
+  if (!node.mechanism) {
+    return Status::Invalid("Scm: node '" + node.name + "' has no mechanism");
+  }
+  if (node.noise.type == NoiseType::kGaussian && node.noise.param2 < 0.0) {
+    return Status::Invalid("Scm: negative noise stddev");
+  }
+  if (node.noise.type == NoiseType::kUniform &&
+      node.noise.param2 < node.noise.param1) {
+    return Status::Invalid("Scm: uniform noise with hi < lo");
+  }
+  index_[node.name] = nodes_.size();
+  nodes_.push_back(std::move(node));
+  return Status::OK();
+}
+
+Result<size_t> Scm::NodeIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("Scm: no node named '" + name + "'");
+  }
+  return it->second;
+}
+
+namespace {
+
+double DrawNoise(const NoiseSpec& noise, stats::Rng* rng) {
+  switch (noise.type) {
+    case NoiseType::kNone:
+      return 0.0;
+    case NoiseType::kGaussian:
+      return rng->Normal(noise.param1, noise.param2);
+    case NoiseType::kUniform:
+      return rng->Uniform(noise.param1, noise.param2);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<ScmSample> Scm::Sample(size_t n, stats::Rng* rng) const {
+  if (rng == nullptr) return Status::Invalid("Scm::Sample: null rng");
+  if (nodes_.empty()) return Status::Invalid("Scm::Sample: empty model");
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const NodeSpec& node : nodes_) names.push_back(node.name);
+  ScmSample sample(std::move(names), n);
+
+  std::vector<double> parent_values;
+  for (size_t row = 0; row < n; ++row) {
+    for (size_t k = 0; k < nodes_.size(); ++k) {
+      const NodeSpec& node = nodes_[k];
+      parent_values.clear();
+      for (const std::string& parent : node.parents) {
+        size_t pi = index_.at(parent);
+        parent_values.push_back((*sample.mutable_values(pi))[row]);
+      }
+      double u = DrawNoise(node.noise, rng);
+      (*sample.mutable_noise(k))[row] = u;
+      (*sample.mutable_values(k))[row] = node.mechanism(parent_values) + u;
+    }
+  }
+  return sample;
+}
+
+Result<Scm> Scm::Do(const std::string& name, double value) const {
+  FAIRLAW_ASSIGN_OR_RETURN(size_t index, NodeIndex(name));
+  Scm intervened = *this;
+  intervened.nodes_[index].mechanism =
+      [value](std::span<const double>) { return value; };
+  intervened.nodes_[index].noise = NoiseSpec::None();
+  return intervened;
+}
+
+Result<std::vector<double>> Scm::Abduct(
+    std::span<const double> observed) const {
+  if (observed.size() != nodes_.size()) {
+    return Status::Invalid("Abduct: expected " +
+                           std::to_string(nodes_.size()) + " values, got " +
+                           std::to_string(observed.size()));
+  }
+  std::vector<double> noise(nodes_.size(), 0.0);
+  std::vector<double> parent_values;
+  for (size_t k = 0; k < nodes_.size(); ++k) {
+    const NodeSpec& node = nodes_[k];
+    parent_values.clear();
+    for (const std::string& parent : node.parents) {
+      parent_values.push_back(observed[index_.at(parent)]);
+    }
+    noise[k] = observed[k] - node.mechanism(parent_values);
+  }
+  return noise;
+}
+
+Result<std::vector<double>> Scm::Counterfactual(
+    std::span<const double> observed,
+    const std::unordered_map<std::string, double>& interventions) const {
+  FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> noise, Abduct(observed));
+  for (const auto& [name, value] : interventions) {
+    (void)value;
+    FAIRLAW_RETURN_NOT_OK(NodeIndex(name).status());
+  }
+  std::vector<double> result(nodes_.size(), 0.0);
+  std::vector<double> parent_values;
+  for (size_t k = 0; k < nodes_.size(); ++k) {
+    const NodeSpec& node = nodes_[k];
+    auto it = interventions.find(node.name);
+    if (it != interventions.end()) {
+      result[k] = it->second;
+      continue;
+    }
+    parent_values.clear();
+    for (const std::string& parent : node.parents) {
+      parent_values.push_back(result[index_.at(parent)]);
+    }
+    result[k] = node.mechanism(parent_values) + noise[k];
+  }
+  return result;
+}
+
+}  // namespace fairlaw::causal

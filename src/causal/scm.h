@@ -1,0 +1,116 @@
+#ifndef FAIRLAW_CAUSAL_SCM_H_
+#define FAIRLAW_CAUSAL_SCM_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "stats/rng.h"
+
+namespace fairlaw::causal {
+
+/// Deterministic part of a structural equation: node value from parent
+/// values (ordered as declared).
+using Mechanism = std::function<double(std::span<const double>)>;
+
+/// Exogenous noise attached to a node.
+enum class NoiseType {
+  kNone,      // deterministic node: value = f(parents)
+  kGaussian,  // value = f(parents) + N(param1, param2)
+  kUniform,   // value = f(parents) + U(param1, param2)
+};
+
+struct NoiseSpec {
+  NoiseType type = NoiseType::kNone;
+  double param1 = 0.0;  // mean / lower bound
+  double param2 = 1.0;  // stddev / upper bound
+
+  static NoiseSpec None() { return {NoiseType::kNone, 0.0, 0.0}; }
+  static NoiseSpec Gaussian(double mean, double stddev) {
+    return {NoiseType::kGaussian, mean, stddev};
+  }
+  static NoiseSpec Uniform(double lo, double hi) {
+    return {NoiseType::kUniform, lo, hi};
+  }
+};
+
+/// One node of the SCM.
+struct NodeSpec {
+  std::string name;
+  std::vector<std::string> parents;
+  Mechanism mechanism;
+  NoiseSpec noise;
+};
+
+/// A draw of n rows from the model: per-node value and noise columns.
+class ScmSample {
+ public:
+  ScmSample(std::vector<std::string> names, size_t rows);
+
+  size_t num_rows() const { return rows_; }
+  const std::vector<std::string>& node_names() const { return names_; }
+
+  /// Values of node `name` across rows; NotFound if absent.
+  Result<const std::vector<double>*> Values(const std::string& name) const;
+  /// Realized exogenous noise of node `name` across rows.
+  Result<const std::vector<double>*> Noise(const std::string& name) const;
+
+  std::vector<double>* mutable_values(size_t node) { return &values_[node]; }
+  std::vector<double>* mutable_noise(size_t node) { return &noise_[node]; }
+
+ private:
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  std::vector<std::string> names_;
+  size_t rows_;
+  std::vector<std::vector<double>> values_;
+  std::vector<std::vector<double>> noise_;
+};
+
+/// Structural causal model over real-valued nodes.
+///
+/// Nodes must be added parents-first (the declaration order is the
+/// topological order). All noise is additive, which keeps abduction — the
+/// first step of Pearl's abduction/action/prediction recipe for
+/// counterfactuals — exact: u = observed - f(parents). Binary variables
+/// are modeled as deterministic threshold nodes over a noisy latent
+/// parent, which preserves exact abduction.
+class Scm {
+ public:
+  /// Adds a node. Fails if the name is duplicated or a parent is unknown
+  /// (which also enforces acyclicity).
+  Status AddNode(NodeSpec node);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<NodeSpec>& nodes() const { return nodes_; }
+  Result<size_t> NodeIndex(const std::string& name) const;
+
+  /// Draws `n` i.i.d. rows, recording values and exogenous noise.
+  Result<ScmSample> Sample(size_t n, stats::Rng* rng) const;
+
+  /// Returns a copy of the model where `name` is replaced by the constant
+  /// `value` (the do-operator).
+  Result<Scm> Do(const std::string& name, double value) const;
+
+  /// Abduction: recovers the exogenous noise behind one observed row
+  /// (`observed[i]` is the value of node i in declaration order).
+  Result<std::vector<double>> Abduct(std::span<const double> observed) const;
+
+  /// Counterfactual for one observed row: abducts its noise, applies the
+  /// interventions, and recomputes all non-intervened nodes with the same
+  /// noise. Returns the counterfactual node values in declaration order.
+  Result<std::vector<double>> Counterfactual(
+      std::span<const double> observed,
+      const std::unordered_map<std::string, double>& interventions) const;
+
+ private:
+  std::vector<NodeSpec> nodes_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace fairlaw::causal
+
+#endif  // FAIRLAW_CAUSAL_SCM_H_

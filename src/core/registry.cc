@@ -1,0 +1,83 @@
+#include "core/registry.h"
+
+#include "metrics/group_metrics.h"
+
+namespace fairlaw {
+
+const MetricRegistry& MetricRegistry::Default() {
+  static const MetricRegistry& registry = *[] {
+    auto* r = new MetricRegistry;
+    auto must = [r](MetricEntry entry) {
+      Status status = r->Register(std::move(entry));
+      (void)status;  // names are distinct by construction
+    };
+    must({"demographic_parity", false, "III-A",
+          [](const metrics::MetricInput& input, double tolerance) {
+            return metrics::DemographicParity(input, tolerance);
+          }});
+    must({"equal_opportunity", true, "III-C",
+          [](const metrics::MetricInput& input, double tolerance) {
+            return metrics::EqualOpportunity(input, tolerance);
+          }});
+    must({"equalized_odds", true, "III-D",
+          [](const metrics::MetricInput& input, double tolerance) {
+            return metrics::EqualizedOdds(input, tolerance);
+          }});
+    must({"demographic_disparity", false, "III-E",
+          [](const metrics::MetricInput& input, double tolerance) {
+            (void)tolerance;  // definition has a fixed 1/2 cut
+            return metrics::DemographicDisparity(input);
+          }});
+    must({"disparate_impact_ratio", false, "IV-A",
+          [](const metrics::MetricInput& input, double tolerance) {
+            // tolerance is reused as the ratio threshold; 0 means the
+            // default 0.8 four-fifths cut.
+            return metrics::DisparateImpactRatio(
+                input, tolerance > 0.0 ? tolerance : 0.8);
+          }});
+    must({"predictive_parity", true, "III (companion)",
+          [](const metrics::MetricInput& input, double tolerance) {
+            return metrics::PredictiveParity(input, tolerance);
+          }});
+    must({"accuracy_equality", true, "III (companion)",
+          [](const metrics::MetricInput& input, double tolerance) {
+            return metrics::AccuracyEquality(input, tolerance);
+          }});
+    return r;
+  }();
+  return registry;
+}
+
+Status MetricRegistry::Register(MetricEntry entry) {
+  if (entry.name.empty()) {
+    return Status::Invalid("MetricRegistry: empty metric name");
+  }
+  if (!entry.fn) {
+    return Status::Invalid("MetricRegistry: metric '" + entry.name +
+                           "' has no function");
+  }
+  for (const MetricEntry& existing : entries_) {
+    if (existing.name == entry.name) {
+      return Status::AlreadyExists("MetricRegistry: '" + entry.name +
+                                   "' already registered");
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Result<const MetricEntry*> MetricRegistry::Get(const std::string& name) const {
+  for (const MetricEntry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return Status::NotFound("MetricRegistry: no metric named '" + name + "'");
+}
+
+std::vector<std::string> MetricRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const MetricEntry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace fairlaw

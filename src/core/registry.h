@@ -1,0 +1,53 @@
+#ifndef FAIRLAW_CORE_REGISTRY_H_
+#define FAIRLAW_CORE_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "metrics/fairness_metric.h"
+
+namespace fairlaw {
+
+/// A registered group-fairness metric: evaluates a MetricInput at a
+/// tolerance.
+using MetricFn = std::function<Result<metrics::MetricReport>(
+    const metrics::MetricInput&, double tolerance)>;
+
+/// Descriptor of one registered metric.
+struct MetricEntry {
+  std::string name;
+  bool requires_labels = false;
+  std::string paper_section;  // §III anchor, e.g. "III-A"
+  MetricFn fn;
+};
+
+/// Registry of the group metrics fairlaw ships, keyed by the canonical
+/// names used across reports, the legal doctrine mapping, and the
+/// checklist. Custom metrics can be registered on a copy.
+class MetricRegistry {
+ public:
+  /// The built-in registry (demographic parity, equal opportunity,
+  /// equalized odds, demographic disparity, disparate impact, predictive
+  /// parity, accuracy equality).
+  static const MetricRegistry& Default();
+
+  /// Registers a metric; fails on duplicate name.
+  Status Register(MetricEntry entry);
+
+  /// Looks up a metric by name.
+  Result<const MetricEntry*> Get(const std::string& name) const;
+
+  /// All registered names in registration order.
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<MetricEntry> entries_;
+};
+
+}  // namespace fairlaw
+
+#endif  // FAIRLAW_CORE_REGISTRY_H_

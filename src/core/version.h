@@ -1,0 +1,14 @@
+#ifndef FAIRLAW_CORE_VERSION_H_
+#define FAIRLAW_CORE_VERSION_H_
+
+namespace fairlaw {
+
+/// Library version (semantic).
+inline constexpr int kVersionMajor = 0;
+inline constexpr int kVersionMinor = 1;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "0.1.0";
+
+}  // namespace fairlaw
+
+#endif  // FAIRLAW_CORE_VERSION_H_

@@ -1,0 +1,100 @@
+#ifndef FAIRLAW_DATA_COLUMN_H_
+#define FAIRLAW_DATA_COLUMN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/result.h"
+#include "data/schema.h"
+
+namespace fairlaw::data {
+
+/// A single cell value (without nullness); the variant alternative must
+/// match the column type.
+using Cell = std::variant<double, int64_t, std::string, bool>;
+
+/// Renders a cell for CSV output / previews.
+std::string CellToString(const Cell& cell);
+
+/// One typed column with a validity mask.
+///
+/// Storage is dense: every row slot exists in the value vector, and
+/// `valid_[i]` says whether the slot holds data or is null. Analytical
+/// accessors (mean, group keys, ...) are expected to either require
+/// null-free columns or handle nulls explicitly; the audit entry points
+/// surface nulls as Status errors rather than silently dropping rows,
+/// because silently dropping protected-group rows is itself a bias risk.
+class Column {
+ public:
+  /// Creates an empty column of the given type.
+  explicit Column(DataType type);
+
+  /// Convenience factories from dense (all-valid) values.
+  static Column FromDoubles(std::vector<double> values);
+  static Column FromInt64s(std::vector<int64_t> values);
+  static Column FromStrings(std::vector<std::string> values);
+  static Column FromBools(std::vector<bool> values);
+
+  DataType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+  bool empty() const { return valid_.empty(); }
+
+  /// Number of null slots.
+  size_t null_count() const { return null_count_; }
+  bool IsValid(size_t row) const { return valid_[row]; }
+
+  /// Appends a typed value. The overload must match type(); a mismatch is
+  /// a programming error and aborts.
+  void AppendDouble(double value);
+  void AppendInt64(int64_t value);
+  void AppendString(std::string value);
+  void AppendBool(bool value);
+  void AppendNull();
+
+  /// Appends `cell`, which must match type().
+  Status AppendCell(const Cell& cell);
+
+  /// Typed scalar access; fails on type mismatch, row out of range, or
+  /// null slot.
+  Result<double> GetDouble(size_t row) const;
+  Result<int64_t> GetInt64(size_t row) const;
+  Result<std::string> GetString(size_t row) const;
+  Result<bool> GetBool(size_t row) const;
+
+  /// Cell access (type-erased); fails on out-of-range or null.
+  Result<Cell> GetCell(size_t row) const;
+
+  /// Dense typed views. Fail unless the column has the right type and no
+  /// nulls.
+  Result<std::span<const double>> Doubles() const;
+  Result<std::span<const int64_t>> Int64s() const;
+  Result<const std::vector<std::string>*> Strings() const;
+  Result<const std::vector<bool>*> Bools() const;
+
+  /// Returns the column converted to double values (int64 and bool are
+  /// widened; string fails). Requires no nulls.
+  Result<std::vector<double>> ToDoubles() const;
+
+  /// Returns a copy containing only the rows in `indices` (in order).
+  Result<Column> Take(std::span<const size_t> indices) const;
+
+  /// Renders the value at `row` ("null" for null slots) for previews.
+  std::string ValueToString(size_t row) const;
+
+ private:
+  DataType type_;
+  std::vector<bool> valid_;
+  size_t null_count_ = 0;
+  std::vector<double> doubles_;
+  std::vector<int64_t> int64s_;
+  std::vector<std::string> strings_;
+  std::vector<bool> bools_;
+};
+
+}  // namespace fairlaw::data
+
+#endif  // FAIRLAW_DATA_COLUMN_H_

@@ -1,0 +1,237 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "base/string_util.h"
+
+namespace fairlaw::data {
+namespace {
+
+/// Splits raw CSV text into rows of fields honoring quoting. Returns an
+/// error on an unterminated quote.
+Result<std::vector<std::vector<std::string>>> Tokenize(
+    const std::string& text, char delimiter) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      row_has_content = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      row.push_back(std::move(field));
+      field.clear();
+      row_has_content = true;
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      if (row_has_content || !field.empty()) {
+        row.push_back(std::move(field));
+        field.clear();
+        rows.push_back(std::move(row));
+        row.clear();
+        row_has_content = false;
+      }
+      ++i;
+      continue;
+    }
+    field += c;
+    row_has_content = true;
+    ++i;
+  }
+  if (in_quotes) return Status::Invalid("CSV: unterminated quoted field");
+  if (row_has_content || !field.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+bool IsNullToken(const std::string& raw, const CsvOptions& options) {
+  std::string stripped(StripWhitespace(raw));
+  for (const std::string& token : options.null_tokens) {
+    if (stripped == token) return true;
+  }
+  return false;
+}
+
+DataType InferColumnType(const std::vector<std::vector<std::string>>& rows,
+                         size_t column, size_t first_data_row,
+                         const CsvOptions& options) {
+  bool all_int = true;
+  bool all_double = true;
+  bool all_bool = true;
+  bool any_value = false;
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    if (column >= rows[r].size()) continue;
+    const std::string& raw = rows[r][column];
+    if (IsNullToken(raw, options)) continue;
+    any_value = true;
+    if (all_int && !ParseInt64(raw).ok()) all_int = false;
+    if (all_double && !ParseDouble(raw).ok()) all_double = false;
+    if (all_bool && !ParseBool(raw).ok()) all_bool = false;
+    if (!all_int && !all_double && !all_bool) return DataType::kString;
+  }
+  if (!any_value) return DataType::kString;
+  if (all_int) return DataType::kInt64;
+  if (all_double) return DataType::kDouble;
+  if (all_bool) return DataType::kBool;
+  return DataType::kString;
+}
+
+Result<std::optional<Cell>> ParseCell(const std::string& raw, DataType type,
+                                      const CsvOptions& options) {
+  if (IsNullToken(raw, options)) return std::optional<Cell>();
+  switch (type) {
+    case DataType::kDouble: {
+      FAIRLAW_ASSIGN_OR_RETURN(double v, ParseDouble(raw));
+      return std::optional<Cell>(Cell(v));
+    }
+    case DataType::kInt64: {
+      FAIRLAW_ASSIGN_OR_RETURN(int64_t v, ParseInt64(raw));
+      return std::optional<Cell>(Cell(v));
+    }
+    case DataType::kBool: {
+      FAIRLAW_ASSIGN_OR_RETURN(bool v, ParseBool(raw));
+      return std::optional<Cell>(Cell(v));
+    }
+    case DataType::kString:
+      return std::optional<Cell>(Cell(raw));
+  }
+  return Status::Internal("ParseCell: unknown type");
+}
+
+std::string EscapeField(const std::string& value, char delimiter) {
+  bool needs_quotes = value.find(delimiter) != std::string::npos ||
+                      value.find('"') != std::string::npos ||
+                      value.find('\n') != std::string::npos ||
+                      value.find('\r') != std::string::npos;
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options) {
+  FAIRLAW_ASSIGN_OR_RETURN(auto rows, Tokenize(text, options.delimiter));
+  if (rows.empty()) return Status::Invalid("CSV: input has no rows");
+
+  const size_t num_columns = rows[0].size();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != num_columns) {
+      return Status::Invalid("CSV: row " + std::to_string(r) + " has " +
+                             std::to_string(rows[r].size()) +
+                             " fields, expected " +
+                             std::to_string(num_columns));
+    }
+  }
+
+  std::vector<std::string> names(num_columns);
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    for (size_t c = 0; c < num_columns; ++c) {
+      names[c] = std::string(StripWhitespace(rows[0][c]));
+    }
+    first_data_row = 1;
+  } else {
+    for (size_t c = 0; c < num_columns; ++c) {
+      names[c] = "c" + std::to_string(c);
+    }
+  }
+
+  std::vector<Field> fields(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    fields[c] = Field{names[c],
+                      InferColumnType(rows, c, first_data_row, options)};
+  }
+  FAIRLAW_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+
+  TableBuilder builder(schema);
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    std::vector<std::optional<Cell>> cells(num_columns);
+    for (size_t c = 0; c < num_columns; ++c) {
+      FAIRLAW_ASSIGN_OR_RETURN(
+          cells[c], ParseCell(rows[r][c], schema.field(c).type, options));
+    }
+    FAIRLAW_RETURN_NOT_OK(builder.AppendRowWithNulls(cells));
+  }
+  return builder.Finish();
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream input(path, std::ios::binary);
+  if (!input) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  if (input.bad()) return Status::IOError("error reading '" + path + "'");
+  return ReadCsvString(buffer.str(), options);
+}
+
+Result<std::string> WriteCsvString(const Table& table,
+                                   const CsvOptions& options) {
+  std::string out;
+  const std::string delimiter(1, options.delimiter);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += delimiter;
+    out += EscapeField(table.schema().field(c).name, options.delimiter);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += delimiter;
+      const Column& column = table.column(c);
+      if (!column.IsValid(r)) continue;  // null renders as empty field
+      FAIRLAW_ASSIGN_OR_RETURN(Cell cell, column.GetCell(r));
+      out += EscapeField(CellToString(cell), options.delimiter);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  FAIRLAW_ASSIGN_OR_RETURN(std::string text, WriteCsvString(table, options));
+  std::ofstream output(path, std::ios::binary);
+  if (!output) return Status::IOError("cannot open '" + path +
+                                      "' for writing");
+  output << text;
+  if (!output) return Status::IOError("error writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace fairlaw::data

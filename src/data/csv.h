@@ -1,0 +1,45 @@
+#ifndef FAIRLAW_DATA_CSV_H_
+#define FAIRLAW_DATA_CSV_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "data/table.h"
+
+namespace fairlaw::data {
+
+/// CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true the first row provides column names; otherwise columns are
+  /// named c0, c1, ...
+  bool has_header = true;
+  /// Strings that read as null (after whitespace stripping).
+  std::vector<std::string> null_tokens = {"", "NA", "null", "NULL"};
+};
+
+/// Parses CSV text into a table. Column types are inferred from the data:
+/// a column is int64 if every non-null cell parses as an integer, else
+/// double if every non-null cell parses as a number, else bool if every
+/// non-null cell is true/false, else string. Quoted fields ("a,b" with
+/// embedded delimiters and "" escapes) are supported.
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options = {});
+
+/// Reads and parses a CSV file.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Serializes a table to CSV text (header row + data rows; nulls render
+/// as empty fields; strings containing the delimiter, quotes, or newlines
+/// are quoted).
+Result<std::string> WriteCsvString(const Table& table,
+                                   const CsvOptions& options = {});
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace fairlaw::data
+
+#endif  // FAIRLAW_DATA_CSV_H_

@@ -1,0 +1,66 @@
+#include "data/group_by.h"
+
+#include <map>
+
+namespace fairlaw::data {
+
+std::string Group::KeyString(const std::vector<std::string>& columns) const {
+  std::string out;
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i > 0) out += ",";
+    if (i < columns.size()) {
+      out += columns[i];
+      out += "=";
+    }
+    out += key[i];
+  }
+  return out;
+}
+
+Result<std::vector<Group>> GroupBy(const Table& table,
+                                   const std::vector<std::string>& columns) {
+  if (columns.empty()) return Status::Invalid("GroupBy: no grouping columns");
+  std::vector<const Column*> group_columns;
+  group_columns.reserve(columns.size());
+  for (const std::string& name : columns) {
+    FAIRLAW_ASSIGN_OR_RETURN(const Column* column, table.GetColumn(name));
+    group_columns.push_back(column);
+  }
+
+  std::vector<Group> groups;
+  std::map<std::vector<std::string>, size_t> index_of;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    std::vector<std::string> key(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      key[c] = group_columns[c]->ValueToString(row);
+    }
+    auto [it, inserted] = index_of.try_emplace(key, groups.size());
+    if (inserted) {
+      groups.push_back(Group{key, {}});
+    }
+    groups[it->second].rows.push_back(row);
+  }
+  return groups;
+}
+
+Result<std::vector<std::string>> DistinctValues(const Table& table,
+                                                const std::string& column) {
+  FAIRLAW_ASSIGN_OR_RETURN(auto groups, GroupBy(table, {column}));
+  std::vector<std::string> values;
+  values.reserve(groups.size());
+  for (const Group& group : groups) values.push_back(group.key[0]);
+  return values;
+}
+
+Result<std::vector<int64_t>> ValueCounts(const Table& table,
+                                         const std::string& column) {
+  FAIRLAW_ASSIGN_OR_RETURN(auto groups, GroupBy(table, {column}));
+  std::vector<int64_t> counts;
+  counts.reserve(groups.size());
+  for (const Group& group : groups) {
+    counts.push_back(static_cast<int64_t>(group.rows.size()));
+  }
+  return counts;
+}
+
+}  // namespace fairlaw::data

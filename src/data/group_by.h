@@ -1,0 +1,42 @@
+#ifndef FAIRLAW_DATA_GROUP_BY_H_
+#define FAIRLAW_DATA_GROUP_BY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "data/table.h"
+
+namespace fairlaw::data {
+
+/// One group produced by GroupBy: the key values (aligned with the
+/// grouping columns) and the member row indices.
+struct Group {
+  std::vector<std::string> key;
+  std::vector<size_t> rows;
+
+  /// Renders "col=a,col2=b" given the grouping column names.
+  std::string KeyString(const std::vector<std::string>& columns) const;
+};
+
+/// Partitions table rows by the combination of values in `columns`
+/// (rendered to strings; null cells render as "null"). Groups appear in
+/// first-seen row order, members in ascending row order. Any column type
+/// may be used, but fairness audits typically group by protected
+/// attributes stored as strings.
+Result<std::vector<Group>> GroupBy(const Table& table,
+                                   const std::vector<std::string>& columns);
+
+/// Distinct values of one column in first-seen order (nulls rendered as
+/// "null").
+Result<std::vector<std::string>> DistinctValues(const Table& table,
+                                                const std::string& column);
+
+/// Counts of each distinct value of `column`, aligned with
+/// DistinctValues.
+Result<std::vector<int64_t>> ValueCounts(const Table& table,
+                                         const std::string& column);
+
+}  // namespace fairlaw::data
+
+#endif  // FAIRLAW_DATA_GROUP_BY_H_

@@ -1,0 +1,154 @@
+#include "data/impute.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/descriptive.h"
+
+namespace fairlaw::data {
+namespace {
+
+/// Non-null values of a numeric column as doubles.
+Result<std::vector<double>> NonNullNumeric(const Column& column) {
+  std::vector<double> values;
+  values.reserve(column.size() - column.null_count());
+  for (size_t row = 0; row < column.size(); ++row) {
+    if (!column.IsValid(row)) continue;
+    switch (column.type()) {
+      case DataType::kDouble:
+        values.push_back(column.GetDouble(row).ValueOrDie());
+        break;
+      case DataType::kInt64:
+        values.push_back(
+            static_cast<double>(column.GetInt64(row).ValueOrDie()));
+        break;
+      case DataType::kBool:
+        values.push_back(column.GetBool(row).ValueOrDie() ? 1.0 : 0.0);
+        break;
+      case DataType::kString:
+        return Status::Invalid("numeric imputation on string column");
+    }
+  }
+  if (values.empty()) {
+    return Status::Invalid("imputation: column has no non-null values");
+  }
+  return values;
+}
+
+/// The fill cell for one column under one strategy.
+Result<Cell> FillCell(const Column& column, const ImputeSpec& spec) {
+  switch (spec.strategy) {
+    case ImputeStrategy::kConstant:
+      return spec.constant;
+    case ImputeStrategy::kMean: {
+      FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> values,
+                               NonNullNumeric(column));
+      FAIRLAW_ASSIGN_OR_RETURN(double mean, stats::Mean(values));
+      if (column.type() == DataType::kInt64) {
+        return Cell(static_cast<int64_t>(std::llround(mean)));
+      }
+      if (column.type() == DataType::kBool) return Cell(mean >= 0.5);
+      return Cell(mean);
+    }
+    case ImputeStrategy::kMedian: {
+      FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> values,
+                               NonNullNumeric(column));
+      FAIRLAW_ASSIGN_OR_RETURN(double median, stats::Median(values));
+      if (column.type() == DataType::kInt64) {
+        return Cell(static_cast<int64_t>(std::llround(median)));
+      }
+      if (column.type() == DataType::kBool) return Cell(median >= 0.5);
+      return Cell(median);
+    }
+    case ImputeStrategy::kMode: {
+      std::map<std::string, size_t> counts;
+      std::map<std::string, Cell> representative;
+      for (size_t row = 0; row < column.size(); ++row) {
+        if (!column.IsValid(row)) continue;
+        FAIRLAW_ASSIGN_OR_RETURN(Cell cell, column.GetCell(row));
+        std::string key = CellToString(cell);
+        ++counts[key];
+        representative.emplace(key, cell);
+      }
+      if (counts.empty()) {
+        return Status::Invalid("imputation: column has no non-null values");
+      }
+      auto best = std::max_element(
+          counts.begin(), counts.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      return representative.at(best->first);
+    }
+  }
+  return Status::Internal("unknown imputation strategy");
+}
+
+}  // namespace
+
+Result<Table> ImputeNulls(const Table& table,
+                          const std::vector<ImputeSpec>& specs) {
+  if (specs.empty()) return Status::Invalid("ImputeNulls: no columns named");
+  Table result = table;
+  for (const ImputeSpec& spec : specs) {
+    FAIRLAW_ASSIGN_OR_RETURN(const Column* column,
+                             result.GetColumn(spec.column));
+    if (column->null_count() == 0) continue;
+    FAIRLAW_ASSIGN_OR_RETURN(Cell fill, FillCell(*column, spec));
+    Column replacement(column->type());
+    for (size_t row = 0; row < column->size(); ++row) {
+      if (column->IsValid(row)) {
+        FAIRLAW_ASSIGN_OR_RETURN(Cell cell, column->GetCell(row));
+        FAIRLAW_RETURN_NOT_OK(replacement.AppendCell(cell));
+      } else {
+        FAIRLAW_RETURN_NOT_OK(replacement.AppendCell(fill));
+      }
+    }
+    FAIRLAW_ASSIGN_OR_RETURN(result, result.ReplaceColumn(spec.column,
+                                                          replacement));
+  }
+  return result;
+}
+
+Result<DropNullsReport> DropNullRows(const Table& table,
+                                     const std::vector<std::string>& columns,
+                                     const std::string& group_column) {
+  std::vector<const Column*> checked;
+  if (columns.empty()) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      checked.push_back(&table.column(c));
+    }
+  } else {
+    for (const std::string& name : columns) {
+      FAIRLAW_ASSIGN_OR_RETURN(const Column* column, table.GetColumn(name));
+      checked.push_back(column);
+    }
+  }
+  const Column* group = nullptr;
+  if (!group_column.empty()) {
+    FAIRLAW_ASSIGN_OR_RETURN(group, table.GetColumn(group_column));
+  }
+
+  std::vector<size_t> keep;
+  std::map<std::string, size_t> dropped;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    bool has_null = false;
+    for (const Column* column : checked) {
+      if (!column->IsValid(row)) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) {
+      if (group != nullptr) ++dropped[group->ValueToString(row)];
+    } else {
+      keep.push_back(row);
+    }
+  }
+  DropNullsReport report;
+  FAIRLAW_ASSIGN_OR_RETURN(report.table, table.Take(keep));
+  report.rows_dropped = table.num_rows() - keep.size();
+  report.dropped_per_group.assign(dropped.begin(), dropped.end());
+  return report;
+}
+
+}  // namespace fairlaw::data

@@ -1,0 +1,62 @@
+#ifndef FAIRLAW_DATA_IMPUTE_H_
+#define FAIRLAW_DATA_IMPUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "data/table.h"
+
+namespace fairlaw::data {
+
+// Explicit missing-value handling. fairlaw's audits refuse columns with
+// nulls by design — silently dropping rows distorts exactly the
+// group compositions an audit is supposed to measure. These helpers are
+// the sanctioned alternatives: impute with a visible strategy, or drop
+// rows *with a report of what was dropped per group* so the analyst can
+// check the missingness itself is not group-correlated (missingness as a
+// §IV-B proxy channel).
+
+/// Imputation strategy for one column.
+enum class ImputeStrategy {
+  kMean,      // numeric columns: mean of non-null values
+  kMedian,    // numeric columns: median of non-null values
+  kMode,      // any column: most frequent non-null value
+  kConstant,  // caller-supplied fill value
+};
+
+/// Per-column imputation request.
+struct ImputeSpec {
+  std::string column;
+  ImputeStrategy strategy = ImputeStrategy::kMean;
+  /// Fill cell for kConstant (type must match the column).
+  Cell constant = 0.0;
+};
+
+/// Returns a new table with the requested columns' nulls filled. Columns
+/// not named keep their nulls. Fails if a numeric strategy is applied to
+/// a string column or a column has no non-null values to estimate from.
+Result<Table> ImputeNulls(const Table& table,
+                          const std::vector<ImputeSpec>& specs);
+
+/// Result of dropping null rows.
+struct DropNullsReport {
+  Table table;
+  size_t rows_dropped = 0;
+  /// Rendered value of `group_column` -> rows dropped from that group;
+  /// populated when a group column was supplied. Skewed counts mean the
+  /// missingness itself carries protected information.
+  std::vector<std::pair<std::string, size_t>> dropped_per_group;
+};
+
+/// Returns the table restricted to rows with no nulls in `columns`
+/// (all columns when empty). `group_column` (optional, may be empty)
+/// attributes the dropped rows to protected groups for the missingness
+/// report.
+Result<DropNullsReport> DropNullRows(const Table& table,
+                                     const std::vector<std::string>& columns,
+                                     const std::string& group_column = "");
+
+}  // namespace fairlaw::data
+
+#endif  // FAIRLAW_DATA_IMPUTE_H_

@@ -1,0 +1,97 @@
+#ifndef FAIRLAW_DATA_TABLE_H_
+#define FAIRLAW_DATA_TABLE_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "data/column.h"
+#include "data/schema.h"
+
+namespace fairlaw::data {
+
+/// In-memory columnar table: a schema plus equally sized columns.
+///
+/// Tables are value types (copyable); audits and mitigations never mutate
+/// a caller's table in place — transformations return new tables so an
+/// audit trail of "data before repair / after repair" is always available.
+class Table {
+ public:
+  /// Creates an empty table with no columns.
+  Table() = default;
+
+  /// Builds a table from a schema and matching columns (same count and
+  /// per-column type; all columns the same length).
+  static Result<Table> Make(Schema schema, std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Column access by index / name.
+  const Column& column(size_t i) const { return columns_[i]; }
+  Result<const Column*> GetColumn(const std::string& name) const;
+
+  /// Returns a new table with `column` appended under `name`. The column
+  /// length must equal num_rows() (any length is accepted when the table
+  /// has no columns yet).
+  Result<Table> AddColumn(const std::string& name, Column column) const;
+
+  /// Returns a new table without the named column.
+  Result<Table> RemoveColumn(const std::string& name) const;
+
+  /// Returns a new table with the named column replaced (same type not
+  /// required; the schema entry is updated).
+  Result<Table> ReplaceColumn(const std::string& name, Column column) const;
+
+  /// Returns the rows whose index appears in `indices`, in order.
+  Result<Table> Take(std::span<const size_t> indices) const;
+
+  /// Returns the rows for which `predicate` is true. The predicate
+  /// receives the row index.
+  Result<Table> Filter(const std::function<bool(size_t)>& predicate) const;
+
+  /// Returns rows [offset, offset+length).
+  Result<Table> Slice(size_t offset, size_t length) const;
+
+  /// Row indices where the named string column equals `value`.
+  Result<std::vector<size_t>> RowsWhereEquals(const std::string& column,
+                                              const std::string& value) const;
+
+  /// Renders the first `max_rows` rows as an aligned text preview.
+  std::string Preview(size_t max_rows = 10) const;
+
+ private:
+  Table(Schema schema, std::vector<Column> columns)
+      : schema_(std::move(schema)), columns_(std::move(columns)) {}
+
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+/// Incremental row-oriented builder used by the CSV reader and the
+/// synthetic generators.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// Appends one row; `cells` must match the schema arity and types.
+  Status AppendRow(const std::vector<Cell>& cells);
+
+  /// Appends one row where individual cells may be missing (null).
+  Status AppendRowWithNulls(const std::vector<std::optional<Cell>>& cells);
+
+  /// Finalizes into a table; the builder is left empty.
+  Result<Table> Finish();
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace fairlaw::data
+
+#endif  // FAIRLAW_DATA_TABLE_H_

@@ -1,0 +1,72 @@
+#include "legal/burden_shifting.h"
+
+namespace fairlaw::legal {
+
+std::string_view BurdenStageToString(BurdenStage stage) {
+  switch (stage) {
+    case BurdenStage::kNoPrimaFacie:
+      return "no prima facie case";
+    case BurdenStage::kBusinessNecessityFails:
+      return "business-necessity defense fails";
+    case BurdenStage::kAlternativeExists:
+      return "less discriminatory alternative exists";
+    case BurdenStage::kDefenseHolds:
+      return "defense holds";
+  }
+  return "unknown";
+}
+
+Result<BurdenShiftingResult> RunBurdenShifting(
+    const metrics::MetricInput& outcomes, const BurdenShiftingFacts& facts,
+    double threshold, double alpha) {
+  BurdenShiftingResult result;
+  FAIRLAW_ASSIGN_OR_RETURN(result.prima_facie,
+                           FourFifthsTest(outcomes, threshold, alpha));
+
+  // Stage 1: prima facie adverse impact (ratio failure + significance).
+  if (!result.prima_facie.adverse_impact_indicated) {
+    result.stage = BurdenStage::kNoPrimaFacie;
+    result.liability = false;
+    result.reasoning =
+        result.prima_facie.passed
+            ? "All impact ratios are at or above the threshold; no prima "
+              "facie case of disparate impact."
+            : "Some ratios fall below the threshold but the differences "
+              "are not statistically significant; the prima facie showing "
+              "fails.";
+    return result;
+  }
+
+  // Stage 2: business necessity.
+  if (!facts.business_necessity_shown) {
+    result.stage = BurdenStage::kBusinessNecessityFails;
+    result.liability = true;
+    result.reasoning =
+        "Prima facie disparate impact established and the defendant has "
+        "not shown the practice to be job-related and consistent with "
+        "business necessity: liability.";
+    return result;
+  }
+
+  // Stage 3: less discriminatory alternative.
+  if (facts.less_discriminatory_alternative_exists) {
+    result.stage = BurdenStage::kAlternativeExists;
+    result.liability = true;
+    result.reasoning =
+        "Business necessity was shown ('" + facts.necessity_justification +
+        "') but a less discriminatory alternative serving the same "
+        "interest exists ('" + facts.alternative + "'): liability.";
+    return result;
+  }
+
+  result.stage = BurdenStage::kDefenseHolds;
+  result.liability = false;
+  result.reasoning =
+      "Prima facie impact established, but the practice is justified by "
+      "business necessity ('" + facts.necessity_justification +
+      "') and no less discriminatory alternative was identified: no "
+      "liability.";
+  return result;
+}
+
+}  // namespace fairlaw::legal

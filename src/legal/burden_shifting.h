@@ -1,0 +1,55 @@
+#ifndef FAIRLAW_LEGAL_BURDEN_SHIFTING_H_
+#define FAIRLAW_LEGAL_BURDEN_SHIFTING_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "legal/four_fifths.h"
+#include "metrics/fairness_metric.h"
+
+namespace fairlaw::legal {
+
+// US disparate-impact burden-shifting pipeline (§II-B(4)):
+//   1. Plaintiff: prima facie showing of disproportionate adverse impact
+//      (here: the four-fifths screen with statistical significance).
+//   2. Defendant: the practice is job-related and consistent with
+//      business necessity.
+//   3. Plaintiff: a less discriminatory alternative practice exists that
+//      serves the same interest.
+// Liability attaches when stage 1 succeeds and the defense chain fails.
+
+/// Assessor-supplied facts for stages 2 and 3.
+struct BurdenShiftingFacts {
+  bool business_necessity_shown = false;
+  std::string necessity_justification;
+  bool less_discriminatory_alternative_exists = false;
+  std::string alternative;
+};
+
+/// Stage at which the analysis resolved.
+enum class BurdenStage {
+  kNoPrimaFacie,           // stage 1 failed: no disparate impact shown
+  kBusinessNecessityFails, // stage 2 failed: liability
+  kAlternativeExists,      // stage 3: plaintiff rebuts -> liability
+  kDefenseHolds,           // necessity shown, no alternative -> no liability
+};
+
+std::string_view BurdenStageToString(BurdenStage stage);
+
+struct BurdenShiftingResult {
+  FourFifthsResult prima_facie;
+  BurdenStage stage = BurdenStage::kNoPrimaFacie;
+  bool liability = false;
+  std::string reasoning;
+};
+
+/// Runs the pipeline over the observed outcomes plus the qualitative
+/// facts. The prima facie stage requires both a four-fifths ratio
+/// failure and statistical significance.
+Result<BurdenShiftingResult> RunBurdenShifting(
+    const metrics::MetricInput& outcomes, const BurdenShiftingFacts& facts,
+    double threshold = 0.8, double alpha = 0.05);
+
+}  // namespace fairlaw::legal
+
+#endif  // FAIRLAW_LEGAL_BURDEN_SHIFTING_H_

@@ -1,0 +1,153 @@
+#include "legal/checklist.h"
+
+#include <algorithm>
+
+namespace fairlaw::legal {
+
+std::string ChecklistReport::Render() const {
+  std::string out = "=== fairness-method selection checklist ===\n";
+  out += "recommended definitions (by priority):\n";
+  for (const Recommendation& rec : metrics) {
+    out += "  " + std::to_string(rec.priority) + ". " + rec.metric + " — " +
+           rec.rationale + "\n";
+  }
+  if (!required_audits.empty()) {
+    out += "required audits:\n";
+    for (const std::string& audit : required_audits) {
+      out += "  - " + audit + "\n";
+    }
+  }
+  if (!warnings.empty()) {
+    out += "warnings:\n";
+    for (const std::string& warning : warnings) {
+      out += "  ! " + warning + "\n";
+    }
+  }
+  return out;
+}
+
+Result<ChecklistReport> EvaluateChecklist(const UseCaseProfile& profile) {
+  if (profile.sample_size > 0 &&
+      profile.smallest_group_size > profile.sample_size) {
+    return Status::Invalid("EvaluateChecklist: smallest group exceeds the "
+                           "sample size");
+  }
+
+  ChecklistReport report;
+  int priority = 0;
+
+  // §III-G / §V: counterfactual fairness leads when a causal model
+  // exists — the paper calls it expressive enough to represent
+  // substantive equality in the spirit of EU law.
+  if (profile.causal_model_available) {
+    report.metrics.push_back(
+        {"counterfactual_fairness", ++priority,
+         "a causal model is available; the paper's discussion singles out "
+         "counterfactual fairness as the adaptable middle ground between "
+         "equal treatment and equal outcome (substantive equality)"});
+  }
+
+  // §IV-A: structural bias + positive action -> equal-outcome family.
+  if (profile.structural_bias_recognized) {
+    report.metrics.push_back(
+        {"demographic_parity", ++priority,
+         "structural/historical bias is recognized, so equal-outcome "
+         "definitions are the appropriate family (§IV-A)"});
+    report.metrics.push_back(
+        {"conditional_demographic_disparity", ++priority,
+         "conditioning on legitimate factors keeps the outcome comparison "
+         "meaningful across heterogeneous strata (§III-F; favored for the "
+         "EU context by Wachter et al.)"});
+    if (profile.positive_action_mandated) {
+      report.required_audits.push_back(
+          "quota compliance: verify the mitigation::SelectWithQuota shares "
+          "against the mandated positive-action quota, and clear the "
+          "legal::AssessProportionality test for the measure");
+    }
+  }
+
+  // Labels reliable -> the Y-conditional (equal treatment) family is
+  // meaningful; unreliable labels poison it.
+  if (profile.labels_reliable) {
+    report.metrics.push_back(
+        {"equal_opportunity", ++priority,
+         "ground-truth labels are reliable, so conditioning on actual "
+         "qualification is meaningful (§III-C, equal treatment)"});
+    report.metrics.push_back(
+        {"equalized_odds", ++priority,
+         "both error rates matter and labels are trustworthy (§III-D)"});
+  } else {
+    report.warnings.push_back(
+        "labels encode historical decisions, not ground truth: equal "
+        "opportunity / equalized odds would certify bias preservation "
+        "(Wachter et al. [23]); prefer outcome-based definitions");
+  }
+
+  // §IV-B proxies.
+  if (profile.proxies_suspected) {
+    report.required_audits.push_back(
+        "proxy audit: audit::DetectProxies over all candidate features "
+        "against each protected attribute");
+    report.warnings.push_back(
+        "removing the protected attribute does NOT ensure fairness "
+        "(fairness through unawareness fails under proxies, §IV-B); audit "
+        "outcomes, not feature lists");
+  }
+
+  // §IV-C intersectionality.
+  if (profile.multiple_sensitive_attributes) {
+    report.required_audits.push_back(
+        "subgroup audit: audit::AuditSubgroups at depth >= 2 over all "
+        "sensitive attributes (fairness gerrymandering, §IV-C)");
+  }
+
+  // §IV-D feedback loops.
+  if (profile.feedback_risk) {
+    report.required_audits.push_back(
+        "feedback monitoring: re-run the audit suite every retraining "
+        "cycle and track the metric trajectory (sim::RunFeedbackLoop "
+        "models the risk, §IV-D)");
+  }
+
+  // §IV-E manipulation.
+  if (profile.adversarial_risk) {
+    report.required_audits.push_back(
+        "manipulation cross-check: audit::AuditManipulation — never "
+        "accept attribution-based fairness evidence without an outcome "
+        "audit (§IV-E)");
+  }
+
+  // §IV-F sampling.
+  if (profile.smallest_group_size > 0 && profile.smallest_group_size < 30) {
+    report.warnings.push_back(
+        "smallest protected group has fewer than 30 samples: rate "
+        "estimates are unreliable (§IV-F); run "
+        "audit::AssessSamplingAdequacy and consider pooling strata");
+  }
+
+  // Jurisdiction-specific instruments.
+  if (profile.jurisdiction == Jurisdiction::kUs) {
+    report.metrics.push_back(
+        {"disparate_impact_ratio", ++priority,
+         "US jurisdiction: the EEOC four-fifths screen is the operational "
+         "disparate-impact test (legal::FourFifthsTest)"});
+  } else {
+    report.metrics.push_back(
+        {"conditional_statistical_parity", ++priority,
+         "EU jurisdiction: stratified outcome comparisons support the "
+         "indirect-discrimination analysis and its proportionality "
+         "defense"});
+  }
+
+  if (report.metrics.empty()) {
+    report.warnings.push_back(
+        "profile gave no affirmative signals; defaulting to demographic "
+        "parity as the minimal outcome screen");
+    report.metrics.push_back(
+        {"demographic_parity", 1,
+         "default outcome screen in the absence of stronger signals"});
+  }
+  return report;
+}
+
+}  // namespace fairlaw::legal

@@ -1,0 +1,64 @@
+#ifndef FAIRLAW_LEGAL_CHECKLIST_H_
+#define FAIRLAW_LEGAL_CHECKLIST_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "legal/doctrine.h"
+
+namespace fairlaw::legal {
+
+// The §IV selection-criteria checklist, machine-readable: answer the
+// questions the paper says must be asked before picking a fairness
+// definition, get back a ranked metric recommendation plus the audits
+// and warnings the answers trigger.
+
+/// Answers to the §IV questions for one use case.
+struct UseCaseProfile {
+  std::string use_case;  // e.g. "hiring recommendation system"
+  Jurisdiction jurisdiction = Jurisdiction::kEu;
+  /// §IV-A: is structural/historical bias recognized in this domain?
+  bool structural_bias_recognized = false;
+  /// §IV-A: do directives / policy impose positive action (quotas)?
+  bool positive_action_mandated = false;
+  /// Are the training labels trustworthy ground truth, or do they encode
+  /// historical decisions (label bias)? Equal-treatment metrics
+  /// conditioned on Y are only meaningful when labels are reliable.
+  bool labels_reliable = false;
+  /// §IV-B: are proxy variables for protected attributes suspected?
+  bool proxies_suspected = false;
+  /// §IV-C: more than one sensitive attribute in play?
+  bool multiple_sensitive_attributes = false;
+  /// §IV-D: will the system's decisions feed back into future training
+  /// data or applicant behavior?
+  bool feedback_risk = false;
+  /// §IV-E: could the model owner manipulate audits?
+  bool adversarial_risk = false;
+  /// §IV-F: sample sizes.
+  size_t sample_size = 0;
+  size_t smallest_group_size = 0;
+  /// §III-G: is a defensible causal model of the domain available?
+  bool causal_model_available = false;
+};
+
+/// One recommended metric with its rationale.
+struct Recommendation {
+  std::string metric;     // fairlaw metric name
+  int priority = 0;       // 1 = strongest recommendation
+  std::string rationale;  // which profile answers drove it
+};
+
+struct ChecklistReport {
+  std::vector<Recommendation> metrics;   // sorted by priority
+  std::vector<std::string> required_audits;  // audits the profile mandates
+  std::vector<std::string> warnings;
+  std::string Render() const;
+};
+
+/// Evaluates the checklist.
+Result<ChecklistReport> EvaluateChecklist(const UseCaseProfile& profile);
+
+}  // namespace fairlaw::legal
+
+#endif  // FAIRLAW_LEGAL_CHECKLIST_H_

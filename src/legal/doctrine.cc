@@ -1,0 +1,114 @@
+#include "legal/doctrine.h"
+
+namespace fairlaw::legal {
+
+std::string_view JurisdictionToString(Jurisdiction jurisdiction) {
+  switch (jurisdiction) {
+    case Jurisdiction::kEu:
+      return "EU";
+    case Jurisdiction::kUs:
+      return "US";
+  }
+  return "unknown";
+}
+
+const std::vector<DoctrineInfo>& AllDoctrines() {
+  static const std::vector<DoctrineInfo>& doctrines =
+      *new std::vector<DoctrineInfo>{
+          {Doctrine::kEuDirectDiscrimination, Jurisdiction::kEu,
+           "direct discrimination", /*requires_intent=*/false,
+           /*justification_available=*/false,
+           "A person is treated less favorably based on a protected "
+           "attribute in a protected sector; grounded in treating like "
+           "cases alike (formal equality / merit principle).",
+           "ECHR Art. 14; Protocol 12; EU Charter Art. 21; Directives "
+           "2000/43/EC, 2000/78/EC, 2004/113/EC, 2006/54/EC"},
+          {Doctrine::kEuIndirectDiscrimination, Jurisdiction::kEu,
+           "indirect discrimination", /*requires_intent=*/false,
+           /*justification_available=*/true,
+           "An ostensibly neutral provision or practice, universally "
+           "applied, disproportionately disadvantages persons with a "
+           "protected characteristic; justifiable only for a legitimate "
+           "aim passing the proportionality test.",
+           "Directives 2000/43/EC Art. 2(2)(b) and parallel provisions"},
+          {Doctrine::kUsDisparateTreatment, Jurisdiction::kUs,
+           "disparate treatment", /*requires_intent=*/true,
+           /*justification_available=*/false,
+           "Intentional differential treatment based on a protected "
+           "characteristic; the plaintiff must show the characteristic "
+           "was a motivating factor or but-for cause of the adverse "
+           "decision.",
+           "Title VII of the Civil Rights Act of 1964"},
+          {Doctrine::kUsDisparateImpact, Jurisdiction::kUs,
+           "disparate impact", /*requires_intent=*/false,
+           /*justification_available=*/true,
+           "A facially neutral practice disproportionately burdens a "
+           "protected class; no intent required; analyzed under "
+           "burden-shifting (prima facie impact, business necessity, "
+           "less discriminatory alternative).",
+           "Title VII; Griggs v. Duke Power; EEOC Uniform Guidelines "
+           "(four-fifths rule)"},
+      };
+  return doctrines;
+}
+
+Result<DoctrineInfo> GetDoctrine(Doctrine doctrine) {
+  for (const DoctrineInfo& info : AllDoctrines()) {
+    if (info.doctrine == doctrine) return info;
+  }
+  return Status::NotFound("unknown doctrine");
+}
+
+std::string_view EqualityConceptToString(EqualityConcept equality) {
+  switch (equality) {
+    case EqualityConcept::kEqualTreatment:
+      return "equal treatment";
+    case EqualityConcept::kEqualOutcome:
+      return "equal outcome";
+    case EqualityConcept::kSubstantive:
+      return "substantive equality";
+  }
+  return "unknown";
+}
+
+Result<EqualityConcept> ConceptForMetric(const std::string& metric_name) {
+  // §IV-A: definitions A, B, E, F align with equal outcome; C, D with
+  // equal treatment; G (counterfactual fairness) is the middle ground.
+  if (metric_name == "demographic_parity" ||
+      metric_name == "conditional_statistical_parity" ||
+      metric_name == "demographic_disparity" ||
+      metric_name == "conditional_demographic_disparity" ||
+      metric_name == "disparate_impact_ratio") {
+    return EqualityConcept::kEqualOutcome;
+  }
+  if (metric_name == "equal_opportunity" || metric_name == "equalized_odds" ||
+      metric_name == "predictive_parity" ||
+      metric_name == "accuracy_equality" ||
+      metric_name == "calibration_within_groups") {
+    return EqualityConcept::kEqualTreatment;
+  }
+  if (metric_name == "counterfactual_fairness") {
+    return EqualityConcept::kSubstantive;
+  }
+  return Status::NotFound("no equality-concept mapping for metric '" +
+                          metric_name + "'");
+}
+
+Result<Doctrine> DoctrineForMetric(const std::string& metric_name,
+                                   Jurisdiction jurisdiction) {
+  if (metric_name == "counterfactual_fairness") {
+    // A flipped decision when only the protected attribute changes is the
+    // algorithmic analogue of treating like cases differently.
+    return jurisdiction == Jurisdiction::kEu
+               ? Doctrine::kEuDirectDiscrimination
+               : Doctrine::kUsDisparateTreatment;
+  }
+  FAIRLAW_RETURN_NOT_OK(ConceptForMetric(metric_name).status());
+  // Group-rate gaps from facially neutral models evidence impact-style
+  // doctrines.
+  return jurisdiction == Jurisdiction::kEu
+             ? Doctrine::kEuIndirectDiscrimination
+             : Doctrine::kUsDisparateImpact;
+}
+
+}  // namespace fairlaw::legal

@@ -1,0 +1,80 @@
+#ifndef FAIRLAW_LEGAL_DOCTRINE_H_
+#define FAIRLAW_LEGAL_DOCTRINE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::legal {
+
+/// Legal system whose anti-discrimination doctrine applies.
+enum class Jurisdiction { kEu, kUs };
+
+std::string_view JurisdictionToString(Jurisdiction jurisdiction);
+
+/// The four discrimination doctrines §II of the paper maps out.
+enum class Doctrine {
+  /// EU: less favorable treatment based on a protected attribute.
+  kEuDirectDiscrimination,
+  /// EU: neutral provision disproportionately disadvantaging a protected
+  /// group; justifiable via the proportionality test.
+  kEuIndirectDiscrimination,
+  /// US: intentional differential treatment (Title VII); requires
+  /// motive ("motivating factor" or "but-for cause").
+  kUsDisparateTreatment,
+  /// US: neutral practice with disproportionate adverse impact; intent
+  /// not required; analyzed under burden shifting.
+  kUsDisparateImpact,
+};
+
+/// Description of one doctrine.
+struct DoctrineInfo {
+  Doctrine doctrine;
+  Jurisdiction jurisdiction;
+  std::string name;
+  /// Whether liability requires proof of discriminatory intent.
+  bool requires_intent;
+  /// Whether a justification defense exists (proportionality / business
+  /// necessity).
+  bool justification_available;
+  std::string description;
+  std::string legal_basis;
+};
+
+/// All four doctrines with their descriptions.
+const std::vector<DoctrineInfo>& AllDoctrines();
+
+/// Looks up one doctrine.
+Result<DoctrineInfo> GetDoctrine(Doctrine doctrine);
+
+/// Equality concept a fairness definition pursues (§IV-A's distinction).
+enum class EqualityConcept {
+  /// Same chances given the same merits (formal equality).
+  kEqualTreatment,
+  /// Proportional outcomes across groups (distributive equality).
+  kEqualOutcome,
+  /// Equal treatment that accounts for historical bias (the paper's
+  /// reading of counterfactual fairness).
+  kSubstantive,
+};
+
+std::string_view EqualityConceptToString(EqualityConcept equality);
+
+/// Maps a fairlaw metric name to the equality concept it operationalizes,
+/// following §IV-A: demographic parity, conditional statistical parity,
+/// demographic disparity and conditional demographic disparity align with
+/// equal outcome; equal opportunity and equalized odds with equal
+/// treatment; counterfactual fairness is the middle ground.
+Result<EqualityConcept> ConceptForMetric(const std::string& metric_name);
+
+/// The doctrine a metric violation is most probative of, per
+/// jurisdiction. Outcome-style gaps evidence indirect discrimination /
+/// disparate impact; counterfactual flips (holding all else fixed)
+/// evidence direct discrimination / disparate treatment.
+Result<Doctrine> DoctrineForMetric(const std::string& metric_name,
+                                   Jurisdiction jurisdiction);
+
+}  // namespace fairlaw::legal
+
+#endif  // FAIRLAW_LEGAL_DOCTRINE_H_

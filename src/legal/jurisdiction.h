@@ -1,0 +1,59 @@
+#ifndef FAIRLAW_LEGAL_JURISDICTION_H_
+#define FAIRLAW_LEGAL_JURISDICTION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "legal/doctrine.h"
+
+namespace fairlaw::legal {
+
+/// One legal instrument (statute, directive, convention article).
+struct Statute {
+  std::string name;
+  Jurisdiction jurisdiction;
+  int year;
+  /// Protected sector(s) the instrument covers ("employment", "credit",
+  /// "housing", "goods_and_services", "general", ...).
+  std::vector<std::string> sectors;
+  /// Protected attributes the instrument names (canonical lowercase
+  /// tokens: "race", "sex", "age", "disability", "religion",
+  /// "national_origin", "sexual_orientation", "genetic_information",
+  /// "pregnancy", "color", "familial_status", "language", "birth",
+  /// "political_opinion", "property").
+  std::vector<std::string> protected_attributes;
+  std::string summary;
+};
+
+/// The US anti-discrimination statutes §II-B(2) of the paper enumerates.
+const std::vector<Statute>& UsStatutes();
+
+/// The EU / Council of Europe instruments of §II-A.
+const std::vector<Statute>& EuInstruments();
+
+/// All instruments of a jurisdiction.
+const std::vector<Statute>& StatutesOf(Jurisdiction jurisdiction);
+
+/// Instruments of `jurisdiction` protecting `attribute` (canonical
+/// token). Empty result is NOT an error — it means the attribute is not
+/// protected there.
+std::vector<const Statute*> StatutesProtecting(const std::string& attribute,
+                                               Jurisdiction jurisdiction);
+
+/// Instruments of `jurisdiction` covering `sector`.
+std::vector<const Statute*> StatutesForSector(const std::string& sector,
+                                              Jurisdiction jurisdiction);
+
+/// True when at least one instrument of the jurisdiction protects the
+/// attribute.
+bool IsProtectedAttribute(const std::string& attribute,
+                          Jurisdiction jurisdiction);
+
+/// Canonical attribute tokens protected in the jurisdiction (union over
+/// instruments, sorted, deduplicated).
+std::vector<std::string> ProtectedAttributesOf(Jurisdiction jurisdiction);
+
+}  // namespace fairlaw::legal
+
+#endif  // FAIRLAW_LEGAL_JURISDICTION_H_

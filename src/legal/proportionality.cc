@@ -1,0 +1,68 @@
+#include "legal/proportionality.h"
+
+#include "base/string_util.h"
+
+namespace fairlaw::legal {
+
+std::string_view ProportionalityStageToString(ProportionalityStage stage) {
+  switch (stage) {
+    case ProportionalityStage::kLegitimateAim:
+      return "legitimate aim";
+    case ProportionalityStage::kSuitability:
+      return "suitability";
+    case ProportionalityStage::kNecessity:
+      return "necessity";
+    case ProportionalityStage::kBalance:
+      return "balance (proportionality stricto sensu)";
+    case ProportionalityStage::kJustified:
+      return "justified";
+  }
+  return "unknown";
+}
+
+Result<ProportionalityVerdict> AssessProportionality(
+    const ProportionalityCase& facts) {
+  if (facts.measured_disparity < 0.0 || facts.proportionate_disparity < 0.0) {
+    return Status::Invalid("AssessProportionality: disparities must be >= 0");
+  }
+  ProportionalityVerdict verdict;
+  if (!facts.has_legitimate_aim) {
+    verdict.stage = ProportionalityStage::kLegitimateAim;
+    verdict.reasoning = "The measure '" + facts.measure +
+                        "' pursues no legitimate aim; the indirect "
+                        "discrimination cannot be justified.";
+    return verdict;
+  }
+  if (!facts.suitable) {
+    verdict.stage = ProportionalityStage::kSuitability;
+    verdict.reasoning = "The aim '" + facts.aim +
+                        "' is legitimate but the measure is not capable of "
+                        "achieving it; justification fails at suitability.";
+    return verdict;
+  }
+  if (!facts.necessary) {
+    verdict.stage = ProportionalityStage::kNecessity;
+    verdict.reasoning = "A less discriminatory alternative achieving '" +
+                        facts.aim + "' equally well exists; the measure is "
+                        "not necessary.";
+    return verdict;
+  }
+  if (facts.measured_disparity > facts.proportionate_disparity) {
+    verdict.stage = ProportionalityStage::kBalance;
+    verdict.reasoning =
+        "The measured disparity (" +
+        FormatDouble(facts.measured_disparity, 4) +
+        ") exceeds what is proportionate to the aim (" +
+        FormatDouble(facts.proportionate_disparity, 4) +
+        "); the burden on the protected group outweighs the benefit.";
+    return verdict;
+  }
+  verdict.justified = true;
+  verdict.stage = ProportionalityStage::kJustified;
+  verdict.reasoning = "The measure pursues the legitimate aim '" + facts.aim +
+                      "' with suitable, necessary means and a disparity "
+                      "within the proportionate bound.";
+  return verdict;
+}
+
+}  // namespace fairlaw::legal

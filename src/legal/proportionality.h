@@ -1,0 +1,59 @@
+#ifndef FAIRLAW_LEGAL_PROPORTIONALITY_H_
+#define FAIRLAW_LEGAL_PROPORTIONALITY_H_
+
+#include <string>
+
+#include "base/result.h"
+
+namespace fairlaw::legal {
+
+// EU proportionality test for justified indirect discrimination (§II-A).
+// A neutral measure that disproportionately disadvantages a protected
+// group is nevertheless lawful when it pursues a legitimate aim and the
+// means are appropriate and necessary. fairlaw encodes the test as a
+// staged checklist: the assessor supplies the qualitative findings, the
+// library supplies the measured disparity and the staged verdict.
+
+/// The facts of one assessed measure.
+struct ProportionalityCase {
+  std::string measure;  // description of the neutral provision/practice
+  /// Stage 1: does the measure pursue a legitimate aim?
+  bool has_legitimate_aim = false;
+  std::string aim;
+  /// Stage 2: is the measure suitable (capable of achieving the aim)?
+  bool suitable = false;
+  /// Stage 3: is it necessary — no less discriminatory alternative that
+  /// achieves the aim equally well?
+  bool necessary = false;
+  /// Stage 4 (balance): the measured disparity the measure causes (e.g.
+  /// a demographic-parity gap or 1 - impact ratio) and the worst
+  /// disparity the assessor deems proportionate to the aim.
+  double measured_disparity = 0.0;
+  double proportionate_disparity = 0.0;
+};
+
+/// Stage at which the assessment concluded.
+enum class ProportionalityStage {
+  kLegitimateAim,
+  kSuitability,
+  kNecessity,
+  kBalance,
+  kJustified,  // all stages passed
+};
+
+std::string_view ProportionalityStageToString(ProportionalityStage stage);
+
+struct ProportionalityVerdict {
+  bool justified = false;
+  /// First failed stage (kJustified when none failed).
+  ProportionalityStage stage = ProportionalityStage::kJustified;
+  std::string reasoning;
+};
+
+/// Runs the staged test.
+Result<ProportionalityVerdict> AssessProportionality(
+    const ProportionalityCase& facts);
+
+}  // namespace fairlaw::legal
+
+#endif  // FAIRLAW_LEGAL_PROPORTIONALITY_H_

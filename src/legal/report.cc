@@ -1,0 +1,88 @@
+#include "legal/report.h"
+
+#include "base/string_util.h"
+#include "legal/jurisdiction.h"
+
+namespace fairlaw::legal {
+
+Result<std::string> RenderComplianceReport(
+    const ComplianceReportInputs& inputs) {
+  if (inputs.system_name.empty()) {
+    return Status::Invalid("RenderComplianceReport: empty system name");
+  }
+  std::string out;
+  out += "==========================================================\n";
+  out += " FAIRNESS COMPLIANCE REPORT: " + inputs.system_name + "\n";
+  out += " jurisdiction: " +
+         std::string(JurisdictionToString(inputs.jurisdiction)) +
+         ", sector: " + inputs.sector + ", protected attribute: " +
+         inputs.protected_attribute + "\n";
+  out += "==========================================================\n\n";
+
+  // Statutory frame.
+  out += "--- statutory frame ---\n";
+  auto protecting =
+      StatutesProtecting(inputs.protected_attribute, inputs.jurisdiction);
+  if (protecting.empty()) {
+    out += "No instrument of this jurisdiction names '" +
+           inputs.protected_attribute +
+           "' — verify the canonical attribute token.\n";
+  } else {
+    for (const Statute* statute : protecting) {
+      out += "* " + statute->name + " (" + std::to_string(statute->year) +
+             "): " + statute->summary + "\n";
+    }
+  }
+  out += "\n";
+
+  // Metric results with doctrine mapping.
+  out += "--- audited fairness definitions ---\n";
+  for (const metrics::MetricReport& report : inputs.audit.reports) {
+    out += metrics::RenderReport(report);
+    Result<EqualityConcept> equality = ConceptForMetric(report.metric_name);
+    if (equality.ok()) {
+      out += "  equality concept: " +
+             std::string(EqualityConceptToString(*equality)) + "\n";
+    }
+    if (!report.satisfied) {
+      Result<Doctrine> doctrine =
+          DoctrineForMetric(report.metric_name, inputs.jurisdiction);
+      if (doctrine.ok()) {
+        FAIRLAW_ASSIGN_OR_RETURN(DoctrineInfo info, GetDoctrine(*doctrine));
+        out += "  legal exposure: evidence relevant to " + info.name +
+               " (" + info.legal_basis + ")" +
+               (info.justification_available
+                    ? "; a justification defense is available"
+                    : "; no justification defense") +
+               "\n";
+      }
+    }
+  }
+  for (const metrics::ConditionalReport& report :
+       inputs.audit.conditional_reports) {
+    out += metrics::RenderConditionalReport(report);
+  }
+  out += "\n";
+
+  if (inputs.four_fifths.has_value()) {
+    out += "--- EEOC four-fifths screen ---\n";
+    out += RenderFourFifths(*inputs.four_fifths);
+    out += "\n";
+  }
+
+  if (inputs.checklist.has_value()) {
+    out += inputs.checklist->Render();
+    out += "\n";
+  }
+
+  out += "--- overall ---\n";
+  out += inputs.audit.all_satisfied
+             ? "All configured fairness definitions are satisfied at the "
+               "configured tolerances.\n"
+             : "One or more fairness definitions are violated; see the "
+               "doctrine mapping above for the legal exposure and "
+               "DESIGN.md for the mitigation toolbox.\n";
+  return out;
+}
+
+}  // namespace fairlaw::legal

@@ -1,0 +1,38 @@
+#ifndef FAIRLAW_LEGAL_REPORT_H_
+#define FAIRLAW_LEGAL_REPORT_H_
+
+#include <optional>
+#include <string>
+
+#include "audit/auditor.h"
+#include "base/result.h"
+#include "legal/checklist.h"
+#include "legal/doctrine.h"
+#include "legal/four_fifths.h"
+
+namespace fairlaw::legal {
+
+/// Inputs for a compliance report.
+struct ComplianceReportInputs {
+  std::string system_name;
+  Jurisdiction jurisdiction = Jurisdiction::kEu;
+  /// Canonical token of the protected attribute audited ("sex", "race",
+  /// ...), used to cite the instruments that protect it.
+  std::string protected_attribute;
+  /// Protected sector of the use case ("employment", "credit", ...).
+  std::string sector;
+  audit::AuditResult audit;
+  std::optional<FourFifthsResult> four_fifths;
+  std::optional<ChecklistReport> checklist;
+};
+
+/// Renders a full compliance report: the statutory frame (which
+/// instruments protect the attribute in the sector), the metric results
+/// with their doctrine mapping (§IV-A), the four-fifths screen, and the
+/// checklist recommendations.
+Result<std::string> RenderComplianceReport(
+    const ComplianceReportInputs& inputs);
+
+}  // namespace fairlaw::legal
+
+#endif  // FAIRLAW_LEGAL_REPORT_H_

@@ -1,0 +1,68 @@
+#include "metrics/calibration_metric.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ml/calibration.h"
+
+namespace fairlaw::metrics {
+
+Result<CalibrationReport> CalibrationWithinGroups(
+    const std::vector<std::string>& groups, const std::vector<int>& labels,
+    const std::vector<double>& scores, size_t num_bins, double tolerance) {
+  if (groups.empty()) {
+    return Status::Invalid("CalibrationWithinGroups: empty input");
+  }
+  if (labels.size() != groups.size() || scores.size() != groups.size()) {
+    return Status::Invalid("CalibrationWithinGroups: size mismatch");
+  }
+  if (tolerance < 0.0) {
+    return Status::Invalid("CalibrationWithinGroups: tolerance must be >= 0");
+  }
+
+  std::map<std::string, std::vector<size_t>> members;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    members[groups[i]].push_back(i);
+  }
+
+  CalibrationReport report;
+  report.tolerance = tolerance;
+  for (const auto& [group, rows] : members) {
+    std::vector<int> group_labels;
+    std::vector<double> group_scores;
+    group_labels.reserve(rows.size());
+    group_scores.reserve(rows.size());
+    for (size_t row : rows) {
+      group_labels.push_back(labels[row]);
+      group_scores.push_back(scores[row]);
+    }
+    GroupCalibration gc;
+    gc.group = group;
+    gc.count = rows.size();
+    FAIRLAW_ASSIGN_OR_RETURN(
+        gc.ece,
+        ml::ExpectedCalibrationError(group_labels, group_scores, num_bins));
+    double score_sum = 0.0;
+    double positives = 0.0;
+    for (size_t k = 0; k < rows.size(); ++k) {
+      score_sum += group_scores[k];
+      positives += group_labels[k];
+    }
+    gc.mean_score = score_sum / static_cast<double>(rows.size());
+    gc.positive_rate = positives / static_cast<double>(rows.size());
+    report.groups.push_back(std::move(gc));
+  }
+
+  double min_ece = report.groups[0].ece;
+  double max_ece = report.groups[0].ece;
+  for (const GroupCalibration& gc : report.groups) {
+    min_ece = std::min(min_ece, gc.ece);
+    max_ece = std::max(max_ece, gc.ece);
+  }
+  report.ece_gap = max_ece - min_ece;
+  report.max_ece = max_ece;
+  report.satisfied = report.max_ece <= tolerance;
+  return report;
+}
+
+}  // namespace fairlaw::metrics

@@ -1,0 +1,43 @@
+#ifndef FAIRLAW_METRICS_CALIBRATION_METRIC_H_
+#define FAIRLAW_METRICS_CALIBRATION_METRIC_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::metrics {
+
+/// Calibration within one protected group.
+struct GroupCalibration {
+  std::string group;
+  size_t count = 0;
+  double ece = 0.0;          // expected calibration error within the group
+  double mean_score = 0.0;   // average predicted probability
+  double positive_rate = 0.0;  // empirical base rate
+};
+
+/// Calibration-within-groups report: the paper's §V lists calibration
+/// among the definitions prominent legal-algorithmic studies single out.
+struct CalibrationReport {
+  std::vector<GroupCalibration> groups;
+  /// Largest pairwise |ECE_a - ECE_b|.
+  double ece_gap = 0.0;
+  /// Largest group ECE (a model can be uniformly miscalibrated with zero
+  /// gap; both numbers matter).
+  double max_ece = 0.0;
+  double tolerance = 0.0;
+  bool satisfied = false;  // max_ece <= tolerance
+};
+
+/// Audits calibration within each protected group. `scores[i]` is the
+/// model probability for row i, `labels[i]` the actual outcome,
+/// `groups[i]` the protected-attribute value.
+Result<CalibrationReport> CalibrationWithinGroups(
+    const std::vector<std::string>& groups, const std::vector<int>& labels,
+    const std::vector<double>& scores, size_t num_bins = 10,
+    double tolerance = 0.05);
+
+}  // namespace fairlaw::metrics
+
+#endif  // FAIRLAW_METRICS_CALIBRATION_METRIC_H_

@@ -1,0 +1,83 @@
+#include "metrics/counterfactual_fairness.h"
+
+#include "base/string_util.h"
+
+namespace fairlaw::metrics {
+
+Result<CounterfactualFairnessReport> AuditCounterfactualFairness(
+    const causal::Scm& scm, const causal::ScmSample& sample,
+    const std::string& protected_node, double value_a, double value_b,
+    const ml::Classifier& model,
+    const std::vector<std::string>& feature_nodes, double threshold,
+    double tolerance) {
+  if (tolerance < 0.0) {
+    return Status::Invalid("counterfactual fairness: tolerance must be >= 0");
+  }
+  if (feature_nodes.empty()) {
+    return Status::Invalid("counterfactual fairness: no feature nodes");
+  }
+  FAIRLAW_RETURN_NOT_OK(scm.NodeIndex(protected_node).status());
+  std::vector<size_t> feature_indices(feature_nodes.size());
+  for (size_t j = 0; j < feature_nodes.size(); ++j) {
+    FAIRLAW_ASSIGN_OR_RETURN(feature_indices[j],
+                             scm.NodeIndex(feature_nodes[j]));
+  }
+  if (sample.node_names().size() != scm.num_nodes()) {
+    return Status::Invalid("counterfactual fairness: sample/model mismatch");
+  }
+
+  const size_t num_nodes = scm.num_nodes();
+  std::vector<const std::vector<double>*> observed(num_nodes);
+  for (size_t k = 0; k < num_nodes; ++k) {
+    FAIRLAW_ASSIGN_OR_RETURN(observed[k],
+                             sample.Values(sample.node_names()[k]));
+  }
+
+  CounterfactualFairnessReport report;
+  report.n = sample.num_rows();
+  report.tolerance = tolerance;
+
+  std::unordered_map<std::string, double> do_a{{protected_node, value_a}};
+  std::unordered_map<std::string, double> do_b{{protected_node, value_b}};
+  std::vector<double> row(num_nodes);
+  std::vector<double> features(feature_nodes.size());
+  size_t positives_a = 0;
+  size_t positives_b = 0;
+  for (size_t r = 0; r < sample.num_rows(); ++r) {
+    for (size_t k = 0; k < num_nodes; ++k) row[k] = (*observed[k])[r];
+
+    FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> world_a,
+                             scm.Counterfactual(row, do_a));
+    for (size_t j = 0; j < feature_indices.size(); ++j) {
+      features[j] = world_a[feature_indices[j]];
+    }
+    FAIRLAW_ASSIGN_OR_RETURN(int pred_a, model.Predict(features, threshold));
+
+    FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> world_b,
+                             scm.Counterfactual(row, do_b));
+    for (size_t j = 0; j < feature_indices.size(); ++j) {
+      features[j] = world_b[feature_indices[j]];
+    }
+    FAIRLAW_ASSIGN_OR_RETURN(int pred_b, model.Predict(features, threshold));
+
+    positives_a += pred_a;
+    positives_b += pred_b;
+    if (pred_a != pred_b) ++report.flipped;
+  }
+
+  const double n = static_cast<double>(report.n);
+  report.flip_rate = n > 0.0 ? static_cast<double>(report.flipped) / n : 0.0;
+  report.positive_rate_a = n > 0.0 ? static_cast<double>(positives_a) / n
+                                   : 0.0;
+  report.positive_rate_b = n > 0.0 ? static_cast<double>(positives_b) / n
+                                   : 0.0;
+  report.satisfied = report.flip_rate <= tolerance;
+  report.detail = "flip_rate=" + FormatDouble(report.flip_rate, 4) +
+                  " P(+|do(A=" + FormatDouble(value_a, 1) +
+                  "))=" + FormatDouble(report.positive_rate_a, 4) +
+                  " P(+|do(A=" + FormatDouble(value_b, 1) +
+                  "))=" + FormatDouble(report.positive_rate_b, 4);
+  return report;
+}
+
+}  // namespace fairlaw::metrics

@@ -1,0 +1,50 @@
+#ifndef FAIRLAW_METRICS_COUNTERFACTUAL_FAIRNESS_H_
+#define FAIRLAW_METRICS_COUNTERFACTUAL_FAIRNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "causal/scm.h"
+#include "ml/classifier.h"
+
+namespace fairlaw::metrics {
+
+/// Result of a counterfactual-fairness audit (§III-G).
+struct CounterfactualFairnessReport {
+  size_t n = 0;        // audited individuals
+  size_t flipped = 0;  // individuals whose prediction changes under the flip
+  double flip_rate = 0.0;
+  double tolerance = 0.0;
+  bool satisfied = false;
+  /// Positive rates under the two interventions (do(A=a) vs do(A=b)).
+  double positive_rate_a = 0.0;
+  double positive_rate_b = 0.0;
+  std::string detail;
+};
+
+/// Audits counterfactual fairness of `model` over the individuals in
+/// `sample` drawn from `scm`.
+///
+/// For each individual, the exogenous noise is abducted from the observed
+/// row; the world is then re-simulated under do(protected = value_a) and
+/// do(protected = value_b) with that same noise, the model's feature
+/// vector rebuilt from `feature_nodes` in both worlds, and the two hard
+/// predictions (at `threshold`) compared. The definition is satisfied
+/// when the fraction of individuals whose prediction flips is <=
+/// `tolerance` (0 is the paper's strict reading).
+///
+/// Note feature_nodes may deliberately exclude the protected node — that
+/// is the "unawareness" configuration, and this audit is exactly the tool
+/// that shows unawareness does not imply counterfactual fairness when
+/// proxies (descendants of A) are among the features.
+Result<CounterfactualFairnessReport> AuditCounterfactualFairness(
+    const causal::Scm& scm, const causal::ScmSample& sample,
+    const std::string& protected_node, double value_a, double value_b,
+    const ml::Classifier& model,
+    const std::vector<std::string>& feature_nodes, double threshold = 0.5,
+    double tolerance = 0.0);
+
+}  // namespace fairlaw::metrics
+
+#endif  // FAIRLAW_METRICS_COUNTERFACTUAL_FAIRNESS_H_

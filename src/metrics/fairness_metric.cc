@@ -1,0 +1,120 @@
+#include "metrics/fairness_metric.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/string_util.h"
+
+namespace fairlaw::metrics {
+
+Status MetricInput::Validate(bool require_labels) const {
+  if (groups.empty()) return Status::Invalid("MetricInput: empty input");
+  if (predictions.size() != groups.size()) {
+    return Status::Invalid("MetricInput: predictions/groups size mismatch");
+  }
+  for (int p : predictions) {
+    if (p != 0 && p != 1) {
+      return Status::Invalid("MetricInput: predictions must be 0/1");
+    }
+  }
+  if (require_labels) {
+    if (labels.size() != groups.size()) {
+      return Status::Invalid("MetricInput: this metric requires labels for "
+                             "every row");
+    }
+  }
+  if (!labels.empty()) {
+    if (labels.size() != groups.size()) {
+      return Status::Invalid("MetricInput: labels/groups size mismatch");
+    }
+    for (int y : labels) {
+      if (y != 0 && y != 1) {
+        return Status::Invalid("MetricInput: labels must be 0/1");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<GroupStats>> ComputeGroupStats(const MetricInput& input,
+                                                  bool with_labels) {
+  FAIRLAW_RETURN_NOT_OK(input.Validate(with_labels));
+  std::vector<GroupStats> stats;
+  std::map<std::string, size_t> index_of;
+  for (size_t i = 0; i < input.size(); ++i) {
+    auto [it, inserted] = index_of.try_emplace(input.groups[i], stats.size());
+    if (inserted) {
+      stats.push_back(GroupStats{});
+      stats.back().group = input.groups[i];
+    }
+    GroupStats& gs = stats[it->second];
+    ++gs.count;
+    const bool predicted_positive = input.predictions[i] == 1;
+    if (predicted_positive) ++gs.positive_predictions;
+    if (with_labels) {
+      if (input.labels[i] == 1) {
+        ++gs.actual_positives;
+        if (predicted_positive) ++gs.true_positives;
+      } else {
+        ++gs.actual_negatives;
+        if (predicted_positive) ++gs.false_positives;
+      }
+    }
+  }
+  for (GroupStats& gs : stats) {
+    gs.selection_rate = gs.count > 0 ? static_cast<double>(
+                                           gs.positive_predictions) /
+                                           static_cast<double>(gs.count)
+                                     : 0.0;
+    if (with_labels) {
+      gs.tpr = gs.actual_positives > 0
+                   ? static_cast<double>(gs.true_positives) /
+                         static_cast<double>(gs.actual_positives)
+                   : 0.0;
+      gs.fpr = gs.actual_negatives > 0
+                   ? static_cast<double>(gs.false_positives) /
+                         static_cast<double>(gs.actual_negatives)
+                   : 0.0;
+      gs.ppv = gs.positive_predictions > 0
+                   ? static_cast<double>(gs.true_positives) /
+                         static_cast<double>(gs.positive_predictions)
+                   : 0.0;
+    }
+  }
+  return stats;
+}
+
+double MaxGap(const std::vector<double>& rates) {
+  if (rates.size() < 2) return 0.0;
+  auto [lo, hi] = std::minmax_element(rates.begin(), rates.end());
+  return *hi - *lo;
+}
+
+double MinRatio(const std::vector<double>& rates) {
+  if (rates.size() < 2) return 1.0;
+  auto [lo, hi] = std::minmax_element(rates.begin(), rates.end());
+  if (*hi == 0.0) return 1.0;  // all rates zero: no disparity
+  return *lo / *hi;
+}
+
+std::string RenderReport(const MetricReport& report) {
+  std::string out = report.metric_name + ": " +
+                    (report.satisfied ? "SATISFIED" : "VIOLATED") +
+                    " (max gap " + FormatDouble(report.max_gap, 4) +
+                    ", tolerance " + FormatDouble(report.tolerance, 4) +
+                    ", min ratio " + FormatDouble(report.min_ratio, 4) + ")\n";
+  for (const GroupStats& gs : report.groups) {
+    out += "  " + gs.group + ": n=" + std::to_string(gs.count) +
+           " selection_rate=" + FormatDouble(gs.selection_rate, 4);
+    if (gs.actual_positives + gs.actual_negatives > 0) {
+      out += " tpr=" + FormatDouble(gs.tpr, 4) +
+             " fpr=" + FormatDouble(gs.fpr, 4) +
+             " ppv=" + FormatDouble(gs.ppv, 4);
+    }
+    out += "\n";
+  }
+  if (!report.detail.empty()) out += "  " + report.detail + "\n";
+  return out;
+}
+
+}  // namespace fairlaw::metrics

@@ -1,0 +1,83 @@
+#ifndef FAIRLAW_METRICS_FAIRNESS_METRIC_H_
+#define FAIRLAW_METRICS_FAIRNESS_METRIC_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::metrics {
+
+/// Per-group outcome statistics for one value of the protected attribute.
+struct GroupStats {
+  std::string group;                // protected-attribute value, e.g. "female"
+  int64_t count = 0;                // group size
+  int64_t positive_predictions = 0;  // predictions == 1 (R = +)
+  double selection_rate = 0.0;      // P(R=+ | A=a)
+
+  // Populated only when ground-truth labels were supplied:
+  int64_t actual_positives = 0;  // Y = +
+  int64_t actual_negatives = 0;  // Y = -
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  double tpr = 0.0;  // P(R=+ | Y=+, A=a); 0 when no actual positives
+  double fpr = 0.0;  // P(R=+ | Y=-, A=a); 0 when no actual negatives
+  double ppv = 0.0;  // P(Y=+ | R=+, A=a); 0 when no positive predictions
+};
+
+/// Input to the group fairness metrics: one row per audited individual.
+///
+/// `groups[i]` is the protected-attribute value of individual i (§III's A),
+/// `predictions[i]` the classifier output R in {0,1} with 1 = the
+/// favorable outcome, and `labels[i]` the actual outcome Y in {0,1}.
+/// Labels may be empty for metrics that only look at predicted outcomes
+/// (demographic parity, demographic disparity).
+struct MetricInput {
+  std::vector<std::string> groups;
+  std::vector<int> predictions;
+  std::vector<int> labels;
+
+  size_t size() const { return groups.size(); }
+
+  /// Structural validation; `require_labels` additionally demands a full
+  /// label vector.
+  Status Validate(bool require_labels) const;
+};
+
+/// Result of evaluating one fairness definition.
+struct MetricReport {
+  std::string metric_name;
+  std::vector<GroupStats> groups;
+  /// Largest absolute pairwise difference of the rate the definition
+  /// constrains (selection rate, TPR, ...).
+  double max_gap = 0.0;
+  /// Smallest pairwise ratio of that rate (used by the four-fifths rule);
+  /// 1.0 when all rates are equal; 0 when some group has rate 0 while
+  /// another does not.
+  double min_ratio = 1.0;
+  /// Gap tolerance the verdict used.
+  double tolerance = 0.0;
+  /// True when max_gap <= tolerance.
+  bool satisfied = false;
+  /// Human-readable summary (one line per group plus the verdict).
+  std::string detail;
+};
+
+/// Computes per-group statistics. `with_labels` toggles the Y-conditional
+/// fields; when true the input must carry labels.
+Result<std::vector<GroupStats>> ComputeGroupStats(const MetricInput& input,
+                                                  bool with_labels);
+
+/// Max absolute pairwise gap of the selected per-group rates.
+double MaxGap(const std::vector<double>& rates);
+
+/// Min pairwise ratio of the selected per-group rates (see
+/// MetricReport::min_ratio).
+double MinRatio(const std::vector<double>& rates);
+
+/// Renders a MetricReport as a short human-readable block.
+std::string RenderReport(const MetricReport& report);
+
+}  // namespace fairlaw::metrics
+
+#endif  // FAIRLAW_METRICS_FAIRNESS_METRIC_H_

@@ -1,0 +1,99 @@
+#include "metrics/impossibility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/string_util.h"
+#include "metrics/fairness_metric.h"
+
+namespace fairlaw::metrics {
+
+Result<ImpossibilityReport> CheckImpossibility(
+    const std::vector<std::string>& groups, const std::vector<int>& labels,
+    const std::vector<int>& predictions, double tolerance) {
+  if (tolerance < 0.0) {
+    return Status::Invalid("CheckImpossibility: tolerance must be >= 0");
+  }
+  MetricInput input;
+  input.groups = groups;
+  input.labels = labels;
+  input.predictions = predictions;
+  FAIRLAW_ASSIGN_OR_RETURN(std::vector<GroupStats> stats,
+                           ComputeGroupStats(input, /*with_labels=*/true));
+  if (stats.size() < 2) {
+    return Status::Invalid("CheckImpossibility: need >= 2 groups");
+  }
+
+  ImpossibilityReport report;
+  report.tolerance = tolerance;
+  std::vector<double> base_rates;
+  std::vector<double> tprs;
+  std::vector<double> fprs;
+  std::vector<double> ppvs;
+  for (const GroupStats& gs : stats) {
+    if (gs.actual_positives == 0 || gs.actual_negatives == 0) {
+      return Status::Invalid("CheckImpossibility: group '" + gs.group +
+                             "' lacks positives or negatives");
+    }
+    if (gs.positive_predictions == 0) {
+      return Status::Invalid("CheckImpossibility: group '" + gs.group +
+                             "' has no positive predictions; PPV "
+                             "undefined");
+    }
+    ImpossibilityGroupStats row;
+    row.group = gs.group;
+    row.base_rate = static_cast<double>(gs.actual_positives) /
+                    static_cast<double>(gs.count);
+    row.tpr = gs.tpr;
+    row.fpr = gs.fpr;
+    row.ppv = gs.ppv;
+    // Chouldechova identity; PPV > 0 because positive predictions could
+    // still all be false — guard the division.
+    if (row.ppv > 0.0 && row.base_rate < 1.0) {
+      double implied_fpr = row.base_rate / (1.0 - row.base_rate) *
+                           (1.0 - row.ppv) / row.ppv * row.tpr;
+      row.identity_residual = std::fabs(row.fpr - implied_fpr);
+    }
+    base_rates.push_back(row.base_rate);
+    tprs.push_back(row.tpr);
+    fprs.push_back(row.fpr);
+    ppvs.push_back(row.ppv);
+    report.groups.push_back(std::move(row));
+  }
+
+  report.base_rate_gap = MaxGap(base_rates);
+  report.equalized_odds_satisfied =
+      MaxGap(tprs) <= tolerance && MaxGap(fprs) <= tolerance;
+  report.predictive_parity_satisfied = MaxGap(ppvs) <= tolerance;
+  report.theorem_boundary_case = report.base_rate_gap > tolerance &&
+                                 report.equalized_odds_satisfied &&
+                                 report.predictive_parity_satisfied;
+
+  if (report.base_rate_gap <= tolerance) {
+    report.verdict =
+        "base rates are (near) equal (gap " +
+        FormatDouble(report.base_rate_gap, 4) +
+        "): equalized odds and predictive parity are jointly attainable";
+  } else if (report.theorem_boundary_case) {
+    report.verdict =
+        "base rates differ (gap " + FormatDouble(report.base_rate_gap, 4) +
+        ") yet both criteria hold — only (near-)perfect classification "
+        "permits this; verify the decision rule is not degenerate";
+  } else {
+    report.verdict =
+        "base rates differ (gap " + FormatDouble(report.base_rate_gap, 4) +
+        "): equalized odds and predictive parity cannot both hold "
+        "(Chouldechova/Kleinberg); currently " +
+        std::string(report.equalized_odds_satisfied
+                        ? "equalized odds holds, predictive parity is "
+                          "sacrificed"
+                        : (report.predictive_parity_satisfied
+                               ? "predictive parity holds, equalized odds "
+                                 "is sacrificed"
+                               : "neither holds")) +
+        " — the choice between them is the legal layer's call (SS IV-A)";
+  }
+  return report;
+}
+
+}  // namespace fairlaw::metrics

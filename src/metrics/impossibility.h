@@ -1,0 +1,59 @@
+#ifndef FAIRLAW_METRICS_IMPOSSIBILITY_H_
+#define FAIRLAW_METRICS_IMPOSSIBILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::metrics {
+
+// The impossibility theorems behind the paper's §V observation that
+// "no one-size-fits-all fairness definitions exist". Chouldechova (2017)
+// / Kleinberg et al. (2017): when group base rates differ, a non-perfect
+// classifier cannot simultaneously satisfy calibration (equal PPV/FOR),
+// equal false positive rates, and equal false negative rates. The
+// binding identity per group is
+//     FPR = p/(1-p) * (1-PPV)/PPV * TPR,
+// with p the group base rate: fixing equal TPR/FPR across groups with
+// different p forces PPV to differ, and vice versa. This checker makes
+// the theorem operational: it measures all three families on real
+// decisions and reports which are satisfied, the base-rate difference
+// that makes them jointly unattainable, and the identity's residual (a
+// consistency check on the audit itself).
+
+/// Per-group quantities entering the theorem.
+struct ImpossibilityGroupStats {
+  std::string group;
+  double base_rate = 0.0;  // P(Y=1 | A=a)
+  double tpr = 0.0;
+  double fpr = 0.0;
+  double ppv = 0.0;
+  /// | FPR - p/(1-p) * (1-PPV)/PPV * TPR | — zero up to rounding for any
+  /// confusion matrix; reported as a self-check.
+  double identity_residual = 0.0;
+};
+
+struct ImpossibilityReport {
+  std::vector<ImpossibilityGroupStats> groups;
+  double base_rate_gap = 0.0;  // max pairwise |p_a - p_b|
+  /// Gap tolerances used for the three verdicts.
+  double tolerance = 0.0;
+  bool equalized_odds_satisfied = false;   // TPR and FPR gaps <= tol
+  bool predictive_parity_satisfied = false;  // PPV gap <= tol
+  /// True when base rates differ beyond `tolerance` AND both criteria
+  /// nevertheless hold — possible only for (near-)perfect classifiers,
+  /// so it flags either a trivial decision rule or an audit bug.
+  bool theorem_boundary_case = false;
+  std::string verdict;
+};
+
+/// Evaluates the theorem's quantities on decisions. Requires labels;
+/// every group needs both classes and at least one positive prediction.
+Result<ImpossibilityReport> CheckImpossibility(
+    const std::vector<std::string>& groups, const std::vector<int>& labels,
+    const std::vector<int>& predictions, double tolerance = 0.05);
+
+}  // namespace fairlaw::metrics
+
+#endif  // FAIRLAW_METRICS_IMPOSSIBILITY_H_

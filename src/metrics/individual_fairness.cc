@@ -1,0 +1,133 @@
+#include "metrics/individual_fairness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairlaw::metrics {
+
+double EuclideanDistance(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  double total = 0.0;
+  for (size_t d = 0; d < x.size(); ++d) {
+    double diff = x[d] - y[d];
+    total += diff * diff;
+  }
+  return std::sqrt(total);
+}
+
+namespace {
+
+Status CheckInputs(const std::vector<std::vector<double>>& features,
+                   const std::vector<double>& scores) {
+  if (features.empty()) {
+    return Status::Invalid("individual fairness: empty input");
+  }
+  if (scores.size() != features.size()) {
+    return Status::Invalid("individual fairness: scores/features size "
+                           "mismatch");
+  }
+  for (const std::vector<double>& row : features) {
+    if (row.size() != features[0].size()) {
+      return Status::Invalid("individual fairness: ragged feature matrix");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ConsistencyReport> KnnConsistency(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& scores, size_t k, size_t worst,
+    const SimilarityMetric& metric) {
+  FAIRLAW_RETURN_NOT_OK(CheckInputs(features, scores));
+  if (k == 0) return Status::Invalid("KnnConsistency: k must be >= 1");
+  if (k >= features.size()) {
+    return Status::Invalid("KnnConsistency: k must be < n");
+  }
+  if (!metric) return Status::Invalid("KnnConsistency: null metric");
+
+  const size_t n = features.size();
+  std::vector<double> deviation(n, 0.0);
+  std::vector<std::pair<double, size_t>> distances(n);
+  double total_deviation = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      distances[j] = {j == i ? std::numeric_limits<double>::infinity()
+                             : metric(features[i], features[j]),
+                      j};
+    }
+    std::nth_element(distances.begin(),
+                     distances.begin() + static_cast<ptrdiff_t>(k - 1),
+                     distances.end());
+    double neighbor_mean = 0.0;
+    for (size_t m = 0; m < k; ++m) {
+      neighbor_mean += scores[distances[m].second];
+    }
+    neighbor_mean /= static_cast<double>(k);
+    deviation[i] = std::fabs(scores[i] - neighbor_mean);
+    total_deviation += deviation[i];
+  }
+
+  ConsistencyReport report;
+  report.k = k;
+  report.consistency = 1.0 - total_deviation / static_cast<double>(n);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&deviation](size_t a, size_t b) {
+    return deviation[a] > deviation[b];
+  });
+  order.resize(std::min(worst, n));
+  report.least_consistent = std::move(order);
+  return report;
+}
+
+Result<LipschitzReport> AuditLipschitz(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& scores, double lipschitz_bound,
+    double epsilon, size_t max_violations, const SimilarityMetric& metric) {
+  FAIRLAW_RETURN_NOT_OK(CheckInputs(features, scores));
+  if (lipschitz_bound <= 0.0) {
+    return Status::Invalid("AuditLipschitz: bound must be > 0");
+  }
+  if (epsilon <= 0.0) {
+    return Status::Invalid("AuditLipschitz: epsilon must be > 0");
+  }
+  if (!metric) return Status::Invalid("AuditLipschitz: null metric");
+
+  LipschitzReport report;
+  report.lipschitz_bound = lipschitz_bound;
+  const size_t n = features.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double distance = metric(features[i], features[j]);
+      if (distance > epsilon) continue;
+      ++report.pairs_checked;
+      double gap = std::fabs(scores[i] - scores[j]);
+      if (distance > 0.0) {
+        report.empirical_constant =
+            std::max(report.empirical_constant, gap / distance);
+      } else if (gap > 0.0) {
+        // Identical individuals, different scores: infinite constant.
+        report.empirical_constant =
+            std::numeric_limits<double>::infinity();
+      }
+      if (gap > lipschitz_bound * distance) {
+        report.violations.push_back({i, j, distance, gap});
+      }
+    }
+  }
+  std::sort(report.violations.begin(), report.violations.end(),
+            [lipschitz_bound](const LipschitzViolation& a,
+                              const LipschitzViolation& b) {
+              return a.score_gap - lipschitz_bound * a.distance >
+                     b.score_gap - lipschitz_bound * b.distance;
+            });
+  report.satisfied = report.violations.empty();
+  if (report.violations.size() > max_violations) {
+    report.violations.resize(max_violations);
+  }
+  return report;
+}
+
+}  // namespace fairlaw::metrics

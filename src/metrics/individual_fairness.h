@@ -1,0 +1,75 @@
+#ifndef FAIRLAW_METRICS_INDIVIDUAL_FAIRNESS_H_
+#define FAIRLAW_METRICS_INDIVIDUAL_FAIRNESS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::metrics {
+
+// Individual fairness — "fairness through awareness" (Dwork et al. [4],
+// the paper's reference for §III-A): similar individuals should receive
+// similar decisions, formalized as a Lipschitz condition
+// d_outcome(f(x), f(y)) <= L * d_task(x, y) for a task-specific
+// similarity metric. fairlaw audits two operational forms: the kNN
+// consistency score (how much each individual's score deviates from
+// their nearest neighbors') and explicit Lipschitz-violation pairs.
+
+/// Task-specific distance between two feature vectors.
+using SimilarityMetric = std::function<double(
+    const std::vector<double>&, const std::vector<double>&)>;
+
+/// Euclidean distance (the default task metric when none is supplied —
+/// standardize features first or provide a domain metric).
+double EuclideanDistance(const std::vector<double>& x,
+                         const std::vector<double>& y);
+
+/// kNN consistency: 1 - mean_i |score_i - mean(score of i's k nearest
+/// neighbors)|. 1 means every individual is scored like their peers;
+/// lower values mean similar individuals receive dissimilar outcomes.
+struct ConsistencyReport {
+  double consistency = 1.0;
+  size_t k = 0;
+  /// Indices of the `worst` individuals with the largest deviation from
+  /// their neighborhood (descending), for case-level review.
+  std::vector<size_t> least_consistent;
+};
+
+Result<ConsistencyReport> KnnConsistency(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& scores, size_t k = 5, size_t worst = 5,
+    const SimilarityMetric& metric = EuclideanDistance);
+
+/// One Lipschitz violation: a pair closer than `epsilon` in task space
+/// whose scores differ by more than L * distance.
+struct LipschitzViolation {
+  size_t i = 0;
+  size_t j = 0;
+  double distance = 0.0;
+  double score_gap = 0.0;
+};
+
+struct LipschitzReport {
+  double lipschitz_bound = 1.0;  // the audited L
+  size_t pairs_checked = 0;
+  std::vector<LipschitzViolation> violations;  // sorted by excess, capped
+  /// Smallest L under which no audited pair violates (the empirical
+  /// Lipschitz constant of the decision function on this sample).
+  double empirical_constant = 0.0;
+  bool satisfied = false;
+};
+
+/// Audits all pairs with distance <= `epsilon` (O(n^2); intended for
+/// audit samples up to a few thousand rows). `max_violations` caps the
+/// reported list.
+Result<LipschitzReport> AuditLipschitz(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& scores, double lipschitz_bound,
+    double epsilon, size_t max_violations = 20,
+    const SimilarityMetric& metric = EuclideanDistance);
+
+}  // namespace fairlaw::metrics
+
+#endif  // FAIRLAW_METRICS_INDIVIDUAL_FAIRNESS_H_

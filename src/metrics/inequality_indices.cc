@@ -1,0 +1,111 @@
+#include "metrics/inequality_indices.h"
+
+#include <cmath>
+#include <map>
+
+namespace fairlaw::metrics {
+namespace {
+
+Result<double> MeanBenefit(std::span<const double> benefits, double alpha) {
+  if (benefits.empty()) {
+    return Status::Invalid("entropy index: empty benefit vector");
+  }
+  double total = 0.0;
+  for (double b : benefits) {
+    if (b < 0.0) {
+      return Status::Invalid("entropy index: benefits must be non-negative");
+    }
+    if (b == 0.0 && alpha <= 0.0) {
+      return Status::Invalid("entropy index: zero benefit is degenerate for "
+                             "alpha <= 0");
+    }
+    total += b;
+  }
+  double mean = total / static_cast<double>(benefits.size());
+  if (mean <= 0.0) {
+    return Status::Invalid("entropy index: mean benefit must be positive");
+  }
+  return mean;
+}
+
+}  // namespace
+
+Result<double> GeneralizedEntropyIndex(std::span<const double> benefits,
+                                       double alpha) {
+  FAIRLAW_ASSIGN_OR_RETURN(double mean, MeanBenefit(benefits, alpha));
+  const double n = static_cast<double>(benefits.size());
+  if (alpha == 1.0) {
+    // Theil: (1/n) sum (b/mu) ln(b/mu), with 0·ln 0 = 0.
+    double total = 0.0;
+    for (double b : benefits) {
+      double ratio = b / mean;
+      if (ratio > 0.0) total += ratio * std::log(ratio);
+    }
+    return total / n;
+  }
+  if (alpha == 0.0) {
+    // Mean log deviation: (1/n) sum ln(mu/b).
+    double total = 0.0;
+    for (double b : benefits) total += std::log(mean / b);
+    return total / n;
+  }
+  double total = 0.0;
+  for (double b : benefits) {
+    total += std::pow(b / mean, alpha) - 1.0;
+  }
+  return total / (n * alpha * (alpha - 1.0));
+}
+
+Result<double> TheilIndex(std::span<const double> benefits) {
+  return GeneralizedEntropyIndex(benefits, 1.0);
+}
+
+Result<std::vector<double>> BinaryBenefits(std::span<const int> labels,
+                                           std::span<const int> predictions) {
+  if (labels.size() != predictions.size()) {
+    return Status::Invalid("BinaryBenefits: size mismatch");
+  }
+  std::vector<double> benefits(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if ((labels[i] != 0 && labels[i] != 1) ||
+        (predictions[i] != 0 && predictions[i] != 1)) {
+      return Status::Invalid("BinaryBenefits: values must be 0/1");
+    }
+    benefits[i] = static_cast<double>(predictions[i] - labels[i] + 1);
+  }
+  return benefits;
+}
+
+Result<EntropyDecomposition> DecomposeEntropyIndex(
+    std::span<const double> benefits, const std::vector<std::string>& groups,
+    double alpha) {
+  if (groups.size() != benefits.size()) {
+    return Status::Invalid("DecomposeEntropyIndex: size mismatch");
+  }
+  FAIRLAW_ASSIGN_OR_RETURN(double total_index,
+                           GeneralizedEntropyIndex(benefits, alpha));
+
+  // Between-group component: every individual's benefit replaced by the
+  // mean of their group; the within component is the remainder, which
+  // matches the additive decomposition of generalized entropy.
+  std::map<std::string, std::pair<double, size_t>> sums;
+  for (size_t i = 0; i < benefits.size(); ++i) {
+    auto& [sum, count] = sums[groups[i]];
+    sum += benefits[i];
+    ++count;
+  }
+  std::vector<double> replaced(benefits.size());
+  for (size_t i = 0; i < benefits.size(); ++i) {
+    const auto& [sum, count] = sums[groups[i]];
+    replaced[i] = sum / static_cast<double>(count);
+  }
+  FAIRLAW_ASSIGN_OR_RETURN(double between,
+                           GeneralizedEntropyIndex(replaced, alpha));
+  EntropyDecomposition decomposition;
+  decomposition.total = total_index;
+  decomposition.between_groups = between;
+  decomposition.within_groups = total_index - between;
+  return decomposition;
+}
+
+}  // namespace fairlaw::metrics

@@ -1,0 +1,49 @@
+#ifndef FAIRLAW_METRICS_INEQUALITY_INDICES_H_
+#define FAIRLAW_METRICS_INEQUALITY_INDICES_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::metrics {
+
+// Individual/inequality-based fairness indices (Speicher et al. style).
+// Benefits are non-negative per-individual outcome scores; the canonical
+// fairness benefit for binary decisions is b_i = prediction_i - label_i
+// + 1 (2 for an unjustified advantage, 0 for an unjustified denial, 1 for
+// a correct decision).
+
+/// Generalized entropy index of the benefit vector with parameter alpha
+/// (alpha != 0, 1 uses the power form; alpha = 1 is the Theil index,
+/// alpha = 0 the mean log deviation). Benefits must be non-negative with
+/// a positive mean. Zero benefits are fine for alpha > 0 (the x·ln x
+/// convention handles alpha = 1) but degenerate for alpha <= 0, where
+/// they are rejected.
+Result<double> GeneralizedEntropyIndex(std::span<const double> benefits,
+                                       double alpha);
+
+/// Theil index (generalized entropy at alpha = 1).
+Result<double> TheilIndex(std::span<const double> benefits);
+
+/// Canonical benefit vector for binary decisions: prediction - label + 1.
+Result<std::vector<double>> BinaryBenefits(std::span<const int> labels,
+                                           std::span<const int> predictions);
+
+/// Decomposition of the generalized entropy index into between-group and
+/// within-group components (they sum to the total index).
+struct EntropyDecomposition {
+  double total = 0.0;
+  double between_groups = 0.0;
+  double within_groups = 0.0;
+};
+
+/// Decomposes the index over the given group assignment.
+Result<EntropyDecomposition> DecomposeEntropyIndex(
+    std::span<const double> benefits, const std::vector<std::string>& groups,
+    double alpha);
+
+}  // namespace fairlaw::metrics
+
+#endif  // FAIRLAW_METRICS_INEQUALITY_INDICES_H_

@@ -1,0 +1,179 @@
+#include "metrics/ranking_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/string_util.h"
+
+namespace fairlaw::metrics {
+
+double ExposureWeight(size_t rank) {
+  return 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+}
+
+Result<RankingFairnessReport> ExposureFairness(
+    const std::vector<std::string>& ranked_groups, double threshold) {
+  if (ranked_groups.empty()) {
+    return Status::Invalid("ExposureFairness: empty ranking");
+  }
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::Invalid("ExposureFairness: threshold must lie in (0,1]");
+  }
+  std::map<std::string, GroupExposure> by_group;
+  double total_exposure = 0.0;
+  for (size_t position = 0; position < ranked_groups.size(); ++position) {
+    GroupExposure& exposure = by_group[ranked_groups[position]];
+    exposure.group = ranked_groups[position];
+    ++exposure.count;
+    double weight = ExposureWeight(position + 1);
+    exposure.exposure += weight;
+    total_exposure += weight;
+  }
+  if (by_group.size() < 2) {
+    return Status::Invalid("ExposureFairness: need >= 2 groups in the "
+                           "ranking");
+  }
+
+  RankingFairnessReport report;
+  report.threshold = threshold;
+  report.min_exposure_ratio = std::numeric_limits<double>::infinity();
+  const double n = static_cast<double>(ranked_groups.size());
+  std::string worst;
+  for (auto& [group, exposure] : by_group) {
+    exposure.population_share = static_cast<double>(exposure.count) / n;
+    exposure.exposure_share = exposure.exposure / total_exposure;
+    exposure.exposure_ratio =
+        exposure.exposure_share / exposure.population_share;
+    if (exposure.exposure_ratio < report.min_exposure_ratio) {
+      report.min_exposure_ratio = exposure.exposure_ratio;
+      worst = group;
+    }
+    report.groups.push_back(exposure);
+  }
+  report.satisfied = report.min_exposure_ratio >= threshold;
+  if (!report.satisfied) {
+    report.detail = "group '" + worst + "' receives only " +
+                    FormatDouble(report.min_exposure_ratio, 4) +
+                    " of its size-proportional exposure";
+  }
+  return report;
+}
+
+Result<PrefixParityReport> TopKParity(
+    const std::vector<std::string>& ranked_groups,
+    const std::vector<size_t>& prefix_sizes, double tolerance) {
+  if (ranked_groups.empty()) {
+    return Status::Invalid("TopKParity: empty ranking");
+  }
+  if (prefix_sizes.empty()) {
+    return Status::Invalid("TopKParity: no prefixes to audit");
+  }
+  if (tolerance < 0.0) {
+    return Status::Invalid("TopKParity: tolerance must be >= 0");
+  }
+  const double n = static_cast<double>(ranked_groups.size());
+  std::map<std::string, double> overall_share;
+  for (const std::string& group : ranked_groups) {
+    overall_share[group] += 1.0 / n;
+  }
+
+  PrefixParityReport report;
+  report.tolerance = tolerance;
+  for (size_t k : prefix_sizes) {
+    if (k == 0 || k > ranked_groups.size()) {
+      return Status::Invalid("TopKParity: prefix size " + std::to_string(k) +
+                             " out of range");
+    }
+    std::map<std::string, double> prefix_count;
+    for (size_t position = 0; position < k; ++position) {
+      prefix_count[ranked_groups[position]] += 1.0;
+    }
+    for (const auto& [group, share] : overall_share) {
+      double prefix_share = prefix_count[group] / static_cast<double>(k);
+      double gap = std::fabs(prefix_share - share);
+      if (gap > report.max_gap) {
+        report.max_gap = gap;
+        report.worst_prefix = k;
+        report.worst_group = group;
+      }
+    }
+  }
+  report.satisfied = report.max_gap <= tolerance;
+  return report;
+}
+
+Result<std::vector<size_t>> FairRerank(
+    const std::vector<std::string>& groups, const std::vector<double>& scores,
+    const std::map<std::string, double>& min_share) {
+  if (groups.empty()) return Status::Invalid("FairRerank: empty input");
+  if (scores.size() != groups.size()) {
+    return Status::Invalid("FairRerank: scores/groups size mismatch");
+  }
+  double share_sum = 0.0;
+  for (const auto& [group, share] : min_share) {
+    (void)group;
+    if (share < 0.0 || share > 1.0) {
+      return Status::Invalid("FairRerank: shares must lie in [0,1]");
+    }
+    share_sum += share;
+  }
+  if (share_sum > 1.0 + 1e-12) {
+    return Status::Invalid("FairRerank: shares sum above 1");
+  }
+
+  // Per-group score-sorted queues.
+  std::map<std::string, std::vector<size_t>> queues;
+  for (size_t i = 0; i < groups.size(); ++i) queues[groups[i]].push_back(i);
+  for (auto& [group, queue] : queues) {
+    (void)group;
+    std::sort(queue.begin(), queue.end(), [&scores](size_t a, size_t b) {
+      return scores[a] > scores[b];
+    });
+    std::reverse(queue.begin(), queue.end());  // pop_back = best
+  }
+  for (const auto& [group, share] : min_share) {
+    (void)share;
+    if (!queues.contains(group)) {
+      return Status::NotFound("FairRerank: constrained group '" + group +
+                              "' has no candidates");
+    }
+  }
+
+  std::map<std::string, size_t> placed;
+  std::vector<size_t> order;
+  order.reserve(groups.size());
+  for (size_t position = 1; position <= groups.size(); ++position) {
+    // Find constrained groups whose floor(share*k) quota would be missed.
+    std::string forced;
+    for (const auto& [group, share] : min_share) {
+      size_t required = static_cast<size_t>(
+          std::floor(share * static_cast<double>(position) + 1e-12));
+      if (placed[group] < required && !queues[group].empty()) {
+        forced = group;
+        break;
+      }
+    }
+    size_t chosen;
+    if (!forced.empty()) {
+      chosen = queues[forced].back();
+      queues[forced].pop_back();
+    } else {
+      // Globally best remaining candidate.
+      double best_score = -std::numeric_limits<double>::infinity();
+      std::string best_group;
+      for (const auto& [group, queue] : queues) {
+        if (!queue.empty() && scores[queue.back()] > best_score) {
+          best_score = scores[queue.back()];
+          best_group = group;
+        }
+      }
+      chosen = queues[best_group].back();
+      queues[best_group].pop_back();
+    }
+    ++placed[groups[chosen]];
+    order.push_back(chosen);
+  }
+  return order;
+}
+
+}  // namespace fairlaw::metrics

@@ -1,0 +1,76 @@
+#ifndef FAIRLAW_METRICS_RANKING_METRICS_H_
+#define FAIRLAW_METRICS_RANKING_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::metrics {
+
+// Fairness in rankings (the recommendation/ranking setting the paper's
+// related work covers via Pitoura et al. [18]). Rankings concentrate
+// attention at the top: a group can hold half the list yet receive a
+// sliver of the exposure. Exposure fairness weights positions by the
+// standard logarithmic position bias 1/log2(rank+1); prefix parity
+// checks representation in every top-k window.
+
+/// Exposure weight of 1-based `rank`: 1 / log2(rank + 1).
+double ExposureWeight(size_t rank);
+
+/// Per-group exposure statistics over one ranking.
+struct GroupExposure {
+  std::string group;
+  size_t count = 0;
+  double population_share = 0.0;  // share of the ranked items
+  double exposure = 0.0;          // sum of position weights
+  double exposure_share = 0.0;    // exposure / total exposure
+  /// exposure_share / population_share; < 1 means the group sits lower
+  /// in the ranking than its size warrants.
+  double exposure_ratio = 1.0;
+};
+
+struct RankingFairnessReport {
+  std::vector<GroupExposure> groups;
+  double min_exposure_ratio = 1.0;
+  double threshold = 0.8;
+  bool satisfied = false;  // min ratio >= threshold
+  std::string detail;
+};
+
+/// Audits group exposure over `ranked_groups` (the group of the item at
+/// each position, best first). `threshold` plays the four-fifths role
+/// for exposure.
+Result<RankingFairnessReport> ExposureFairness(
+    const std::vector<std::string>& ranked_groups, double threshold = 0.8);
+
+/// Representation in every top-k prefix.
+struct PrefixParityReport {
+  /// Largest |top-k share - overall share| over all audited prefixes and
+  /// groups.
+  double max_gap = 0.0;
+  /// Prefix achieving it.
+  size_t worst_prefix = 0;
+  std::string worst_group;
+  double tolerance = 0.0;
+  bool satisfied = false;
+};
+
+/// Audits the prefixes in `prefix_sizes` (each in [1, n]).
+Result<PrefixParityReport> TopKParity(
+    const std::vector<std::string>& ranked_groups,
+    const std::vector<size_t>& prefix_sizes, double tolerance = 0.1);
+
+/// Fair re-ranking: greedily rebuilds the ranking by score while
+/// guaranteeing that every prefix k contains at least
+/// floor(min_share[g] * k) members of each constrained group (Celis-style
+/// constrained top-k). Returns the item indices in their new order.
+/// Shares must sum to <= 1.
+Result<std::vector<size_t>> FairRerank(
+    const std::vector<std::string>& groups, const std::vector<double>& scores,
+    const std::map<std::string, double>& min_share);
+
+}  // namespace fairlaw::metrics
+
+#endif  // FAIRLAW_METRICS_RANKING_METRICS_H_

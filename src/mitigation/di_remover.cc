@@ -1,0 +1,78 @@
+#include "mitigation/di_remover.h"
+
+#include <map>
+
+#include "stats/empirical.h"
+
+namespace fairlaw::mitigation {
+
+Result<std::vector<double>> RepairFeature(
+    const std::vector<std::string>& groups, const std::vector<double>& values,
+    double repair_level) {
+  if (groups.size() != values.size()) {
+    return Status::Invalid("RepairFeature: size mismatch");
+  }
+  if (groups.empty()) return Status::Invalid("RepairFeature: empty input");
+  if (repair_level < 0.0 || repair_level > 1.0) {
+    return Status::Invalid("RepairFeature: repair_level must lie in [0,1]");
+  }
+
+  FAIRLAW_ASSIGN_OR_RETURN(stats::EmpiricalDistribution pooled,
+                           stats::EmpiricalDistribution::Make(values));
+
+  std::map<std::string, std::vector<double>> by_group;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    by_group[groups[i]].push_back(values[i]);
+  }
+  std::map<std::string, stats::EmpiricalDistribution> group_dist;
+  for (const auto& [group, group_values] : by_group) {
+    FAIRLAW_ASSIGN_OR_RETURN(
+        stats::EmpiricalDistribution dist,
+        stats::EmpiricalDistribution::Make(group_values));
+    group_dist.emplace(group, std::move(dist));
+  }
+
+  // x -> (1-t) x + t * Q_pooled(F_group(x)): within-group rank maps to the
+  // pooled quantile at that rank.
+  std::vector<double> repaired(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const stats::EmpiricalDistribution& dist = group_dist.at(groups[i]);
+    double rank = dist.Cdf(values[i]);
+    // Use the mid-rank convention so the top value maps to a high (not
+    // out-of-range) pooled quantile.
+    double u = rank - 0.5 / static_cast<double>(dist.size());
+    double target = pooled.Quantile(u);
+    repaired[i] =
+        (1.0 - repair_level) * values[i] + repair_level * target;
+  }
+  return repaired;
+}
+
+Status RepairFeatures(const std::vector<std::string>& groups,
+                      std::vector<std::vector<double>>* features,
+                      const std::vector<size_t>& columns,
+                      double repair_level) {
+  if (features == nullptr) {
+    return Status::Invalid("RepairFeatures: null features");
+  }
+  if (features->size() != groups.size()) {
+    return Status::Invalid("RepairFeatures: size mismatch");
+  }
+  for (size_t column : columns) {
+    std::vector<double> values(features->size());
+    for (size_t i = 0; i < features->size(); ++i) {
+      if (column >= (*features)[i].size()) {
+        return Status::OutOfRange("RepairFeatures: column index out of range");
+      }
+      values[i] = (*features)[i][column];
+    }
+    FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> repaired,
+                             RepairFeature(groups, values, repair_level));
+    for (size_t i = 0; i < features->size(); ++i) {
+      (*features)[i][column] = repaired[i];
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fairlaw::mitigation

@@ -1,0 +1,32 @@
+#ifndef FAIRLAW_MITIGATION_DI_REMOVER_H_
+#define FAIRLAW_MITIGATION_DI_REMOVER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::mitigation {
+
+// Disparate-impact remover (Feldman et al. style quantile repair): move
+// each group's conditional distribution of a feature toward the pooled
+// barycenter so the feature no longer reveals (or penalizes) group
+// membership, with `repair_level` interpolating between the original
+// (0) and fully repaired (1) values. Rank order *within* each group is
+// preserved, which is what keeps the feature predictive after repair.
+
+/// Repairs one numeric feature. `groups[i]` is row i's protected value,
+/// `values[i]` the feature. Returns the repaired values.
+Result<std::vector<double>> RepairFeature(
+    const std::vector<std::string>& groups, const std::vector<double>& values,
+    double repair_level);
+
+/// Repairs several feature columns in place (each independently).
+/// `features` is row-major; `columns` lists the indices to repair.
+Status RepairFeatures(const std::vector<std::string>& groups,
+                      std::vector<std::vector<double>>* features,
+                      const std::vector<size_t>& columns, double repair_level);
+
+}  // namespace fairlaw::mitigation
+
+#endif  // FAIRLAW_MITIGATION_DI_REMOVER_H_

@@ -1,0 +1,127 @@
+#include "mitigation/group_blind_repair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "stats/descriptive.h"
+
+namespace fairlaw::mitigation {
+
+Result<GroupBlindRepair> GroupBlindRepair::Fit(
+    const std::vector<std::vector<double>>& reference_group_scores,
+    const std::vector<double>& group_marginals) {
+  if (reference_group_scores.size() < 2) {
+    return Status::Invalid("GroupBlindRepair: need >= 2 reference groups");
+  }
+  if (group_marginals.size() != reference_group_scores.size()) {
+    return Status::Invalid("GroupBlindRepair: marginals/groups size "
+                           "mismatch");
+  }
+  double total = 0.0;
+  for (double m : group_marginals) {
+    if (m < 0.0) {
+      return Status::Invalid("GroupBlindRepair: negative marginal");
+    }
+    total += m;
+  }
+  if (total <= 0.0) {
+    return Status::Invalid("GroupBlindRepair: marginals sum to zero");
+  }
+
+  std::vector<double> means;
+  std::vector<double> stddevs;
+  for (const std::vector<double>& scores : reference_group_scores) {
+    if (scores.size() < 2) {
+      return Status::Invalid("GroupBlindRepair: each reference group needs "
+                             ">= 2 samples");
+    }
+    FAIRLAW_ASSIGN_OR_RETURN(double mean, stats::Mean(scores));
+    FAIRLAW_ASSIGN_OR_RETURN(double stddev, stats::StdDev(scores));
+    means.push_back(mean);
+    // Floor so degenerate reference samples keep a proper density.
+    stddevs.push_back(std::max(stddev, 1e-6));
+  }
+  std::vector<double> marginals(group_marginals);
+  for (double& m : marginals) m /= total;
+  double barycenter = 0.0;
+  for (size_t a = 0; a < means.size(); ++a) {
+    barycenter += marginals[a] * means[a];
+  }
+  GroupBlindRepair repair(std::move(means), std::move(stddevs),
+                          std::move(marginals), barycenter);
+
+  // Calibrate: the posterior-expected deficit under-compensates because
+  // the posterior shrinks each group's correction toward the population
+  // average. Measure the achieved group-mean compensation on the
+  // reference samples and scale so that at strength 1 the group means
+  // meet the barycenter (clamped to avoid blow-ups when groups are
+  // near-identical).
+  double needed_total = 0.0;
+  double achieved_total = 0.0;
+  for (size_t a = 0; a < repair.means_.size(); ++a) {
+    double needed = repair.barycenter_mean_ - repair.means_[a];
+    double achieved = 0.0;
+    for (double x : reference_group_scores[a]) {
+      achieved += repair.RawCorrection(x);
+    }
+    achieved /= static_cast<double>(reference_group_scores[a].size());
+    needed_total += repair.marginals_[a] * std::fabs(needed);
+    achieved_total += repair.marginals_[a] * std::fabs(achieved);
+  }
+  if (achieved_total > 1e-9 && needed_total > 1e-9) {
+    repair.calibration_ =
+        std::clamp(needed_total / achieved_total, 1.0, 10.0);
+  }
+  return repair;
+}
+
+double GroupBlindRepair::RawCorrection(double score) const {
+  std::vector<double> posterior = PosteriorGroupProbabilities(score);
+  double correction = 0.0;
+  for (size_t a = 0; a < means_.size(); ++a) {
+    correction += posterior[a] * (barycenter_mean_ - means_[a]);
+  }
+  return correction;
+}
+
+std::vector<double> GroupBlindRepair::PosteriorGroupProbabilities(
+    double score) const {
+  // Log-domain normal mixture posterior for numerical stability in the
+  // tails.
+  std::vector<double> log_joint(means_.size());
+  double max_log = -std::numeric_limits<double>::infinity();
+  for (size_t a = 0; a < means_.size(); ++a) {
+    double z = (score - means_[a]) / stddevs_[a];
+    log_joint[a] = std::log(marginals_[a]) - std::log(stddevs_[a]) -
+                   0.5 * z * z -
+                   0.5 * std::log(2.0 * std::numbers::pi);
+    max_log = std::max(max_log, log_joint[a]);
+  }
+  double denom = 0.0;
+  std::vector<double> posterior(means_.size());
+  for (size_t a = 0; a < means_.size(); ++a) {
+    posterior[a] = std::exp(log_joint[a] - max_log);
+    denom += posterior[a];
+  }
+  for (double& p : posterior) p /= denom;
+  return posterior;
+}
+
+Result<std::vector<double>> GroupBlindRepair::Apply(
+    std::span<const double> pooled_scores, double strength) const {
+  if (strength < 0.0 || strength > 1.0) {
+    return Status::Invalid("GroupBlindRepair: strength must lie in [0,1]");
+  }
+  if (pooled_scores.empty()) {
+    return Status::Invalid("GroupBlindRepair: empty scores");
+  }
+  std::vector<double> repaired(pooled_scores.size());
+  for (size_t i = 0; i < pooled_scores.size(); ++i) {
+    repaired[i] = pooled_scores[i] +
+                  strength * calibration_ * RawCorrection(pooled_scores[i]);
+  }
+  return repaired;
+}
+
+}  // namespace fairlaw::mitigation

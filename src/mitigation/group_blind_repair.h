@@ -1,0 +1,86 @@
+#ifndef FAIRLAW_MITIGATION_GROUP_BLIND_REPAIR_H_
+#define FAIRLAW_MITIGATION_GROUP_BLIND_REPAIR_H_
+
+#include <span>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::mitigation {
+
+// Group-blind repair (§IV-F; Langbridge et al. [13], Zhou & Marecek
+// [24]). The operational dataset does NOT carry the protected attribute;
+// all that is available is (a) a small archival/research sample with
+// per-group score distributions, and (b) the population-wide marginal
+// shares of the protected groups.
+//
+// A shared *monotone* transport map cannot help here: it preserves ranks,
+// so any threshold rule selects exactly the same individuals before and
+// after. What group-blind information does allow is posterior
+// compensation: from the reference group densities f_a and the marginals
+// pi_a, every operational score x yields a posterior P(a | x), and the
+// repair adds the posterior-expected deficit to the common barycenter,
+//   T(x) = x + t * sum_a P(a | x) * (mu_bar - mu_a),
+// with mu_bar = sum_a pi_a mu_a. Low scores, which are more likely to
+// come from the disadvantaged group, get boosted; the map is non-
+// monotone overall, so ranks — and therefore selections — genuinely
+// change. In expectation the injected group bias is fully compensated;
+// the residual per-threshold gap is bounded by the overlap of the group
+// densities (the posterior's irreducible uncertainty), which is the
+// honest information-theoretic limit of repairing without per-row access
+// to the protected attribute.
+
+/// Fitted group-blind repairer. Group densities are modeled as normals
+/// estimated from the reference samples.
+class GroupBlindRepair {
+ public:
+  /// Fits from reference per-group score samples (the small research
+  /// dataset; >= 2 points each) and the population-wide group marginals
+  /// (same order, non-negative, positive total; normalized internally).
+  static Result<GroupBlindRepair> Fit(
+      const std::vector<std::vector<double>>& reference_group_scores,
+      const std::vector<double>& group_marginals);
+
+  /// Applies the repair with strength t in [0,1] to operational scores
+  /// that do not carry group labels.
+  Result<std::vector<double>> Apply(std::span<const double> pooled_scores,
+                                    double strength) const;
+
+  /// Posterior P(group = a | score) under the fitted normal mixture.
+  /// Exposed for tests and for downstream diagnostics.
+  std::vector<double> PosteriorGroupProbabilities(double score) const;
+
+  /// Marginal-weighted barycenter mean sum_a pi_a mu_a.
+  double BarycenterMean() const { return barycenter_mean_; }
+
+  /// Fitted per-group means (reference-sample order).
+  const std::vector<double>& group_means() const { return means_; }
+
+  /// Calibration factor applied to the posterior-expected deficit. The
+  /// raw posterior correction under-compensates (posterior shrinkage
+  /// averages each group's deficit toward zero), so Fit measures the
+  /// achieved compensation on the reference samples and scales the
+  /// correction so the *group-mean* gaps close at strength 1.
+  double calibration() const { return calibration_; }
+
+ private:
+  GroupBlindRepair(std::vector<double> means, std::vector<double> stddevs,
+                   std::vector<double> marginals, double barycenter_mean)
+      : means_(std::move(means)),
+        stddevs_(std::move(stddevs)),
+        marginals_(std::move(marginals)),
+        barycenter_mean_(barycenter_mean) {}
+
+  /// Uncalibrated posterior-expected deficit at `score`.
+  double RawCorrection(double score) const;
+
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+  std::vector<double> marginals_;
+  double barycenter_mean_;
+  double calibration_ = 1.0;
+};
+
+}  // namespace fairlaw::mitigation
+
+#endif  // FAIRLAW_MITIGATION_GROUP_BLIND_REPAIR_H_

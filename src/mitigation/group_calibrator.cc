@@ -1,0 +1,56 @@
+#include "mitigation/group_calibrator.h"
+
+namespace fairlaw::mitigation {
+
+Result<GroupCalibrator> GroupCalibrator::Fit(
+    const std::vector<std::string>& groups, const std::vector<double>& scores,
+    const std::vector<int>& labels) {
+  if (groups.empty()) return Status::Invalid("GroupCalibrator: empty input");
+  if (scores.size() != groups.size() || labels.size() != groups.size()) {
+    return Status::Invalid("GroupCalibrator: size mismatch");
+  }
+  std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+      per_group;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (labels[i] != 0 && labels[i] != 1) {
+      return Status::Invalid("GroupCalibrator: labels must be 0/1");
+    }
+    auto& [group_scores, group_targets] = per_group[groups[i]];
+    group_scores.push_back(scores[i]);
+    group_targets.push_back(static_cast<double>(labels[i]));
+  }
+  std::map<std::string, ml::IsotonicCalibrator> calibrators;
+  for (const auto& [group, data] : per_group) {
+    FAIRLAW_ASSIGN_OR_RETURN(
+        ml::IsotonicCalibrator calibrator,
+        ml::IsotonicCalibrator::Fit(data.first, data.second));
+    calibrators.emplace(group, std::move(calibrator));
+  }
+  return GroupCalibrator(std::move(calibrators));
+}
+
+Result<double> GroupCalibrator::Calibrate(const std::string& group,
+                                          double score) const {
+  auto it = calibrators_.find(group);
+  if (it == calibrators_.end()) {
+    return Status::NotFound("GroupCalibrator: no calibrator fitted for "
+                            "group '" + group + "'");
+  }
+  return it->second.Predict(score);
+}
+
+Result<std::vector<double>> GroupCalibrator::CalibrateBatch(
+    const std::vector<std::string>& groups,
+    const std::vector<double>& scores) const {
+  if (groups.size() != scores.size()) {
+    return Status::Invalid("GroupCalibrator: size mismatch");
+  }
+  std::vector<double> calibrated(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    FAIRLAW_ASSIGN_OR_RETURN(calibrated[i],
+                             Calibrate(groups[i], scores[i]));
+  }
+  return calibrated;
+}
+
+}  // namespace fairlaw::mitigation

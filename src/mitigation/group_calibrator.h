@@ -1,0 +1,48 @@
+#ifndef FAIRLAW_MITIGATION_GROUP_CALIBRATOR_H_
+#define FAIRLAW_MITIGATION_GROUP_CALIBRATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ml/isotonic.h"
+
+namespace fairlaw::mitigation {
+
+// Per-group probability calibration: one isotonic calibrator per
+// protected group, fitted on validation (score, outcome) pairs. Repairs
+// calibration-within-groups violations (the calibration definition §V
+// lists among the legally distinguished ones) without touching the
+// ranking within any group. Note the impossibility backdrop: calibration
+// within groups and equalized odds cannot hold simultaneously when base
+// rates differ, so the legal checklist — not the toolbox — decides which
+// to target.
+
+class GroupCalibrator {
+ public:
+  /// Fits one isotonic calibrator per group on validation data.
+  static Result<GroupCalibrator> Fit(const std::vector<std::string>& groups,
+                                     const std::vector<double>& scores,
+                                     const std::vector<int>& labels);
+
+  /// Calibrated probability for one (group, score); NotFound for groups
+  /// absent at Fit time.
+  Result<double> Calibrate(const std::string& group, double score) const;
+
+  /// Batch calibration.
+  Result<std::vector<double>> CalibrateBatch(
+      const std::vector<std::string>& groups,
+      const std::vector<double>& scores) const;
+
+ private:
+  explicit GroupCalibrator(
+      std::map<std::string, ml::IsotonicCalibrator> calibrators)
+      : calibrators_(std::move(calibrators)) {}
+
+  std::map<std::string, ml::IsotonicCalibrator> calibrators_;
+};
+
+}  // namespace fairlaw::mitigation
+
+#endif  // FAIRLAW_MITIGATION_GROUP_CALIBRATOR_H_

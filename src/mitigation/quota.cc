@@ -1,0 +1,89 @@
+#include "mitigation/quota.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairlaw::mitigation {
+
+Result<QuotaSelection> SelectWithQuota(const std::vector<std::string>& groups,
+                                       const std::vector<double>& scores,
+                                       const QuotaOptions& options) {
+  if (groups.empty()) return Status::Invalid("SelectWithQuota: empty input");
+  if (scores.size() != groups.size()) {
+    return Status::Invalid("SelectWithQuota: scores/groups size mismatch");
+  }
+  const size_t n = groups.size();
+  if (options.total_selections == 0 || options.total_selections > n) {
+    return Status::Invalid("SelectWithQuota: total_selections must lie in "
+                           "[1, n]");
+  }
+  double share_sum = 0.0;
+  for (const auto& [group, share] : options.min_share) {
+    (void)group;
+    if (share < 0.0 || share > 1.0) {
+      return Status::Invalid("SelectWithQuota: shares must lie in [0,1]");
+    }
+    share_sum += share;
+  }
+  if (share_sum > 1.0 + 1e-12) {
+    return Status::Invalid("SelectWithQuota: shares sum above 1");
+  }
+
+  // Group members sorted by descending score.
+  std::map<std::string, std::vector<size_t>> members;
+  for (size_t i = 0; i < n; ++i) members[groups[i]].push_back(i);
+  for (auto& [group, rows] : members) {
+    (void)group;
+    std::sort(rows.begin(), rows.end(),
+              [&scores](size_t a, size_t b) { return scores[a] > scores[b]; });
+  }
+
+  QuotaSelection result;
+  result.selected.assign(n, 0);
+
+  // Phase 1: fill reserved slots with each quota group's top scorers.
+  size_t slots_used = 0;
+  for (const auto& [group, share] : options.min_share) {
+    auto it = members.find(group);
+    if (it == members.end()) {
+      return Status::NotFound("SelectWithQuota: quota group '" + group +
+                              "' has no candidates");
+    }
+    size_t reserved = static_cast<size_t>(std::ceil(
+        share * static_cast<double>(options.total_selections) - 1e-12));
+    reserved = std::min({reserved, it->second.size(),
+                         options.total_selections - slots_used});
+    for (size_t k = 0; k < reserved; ++k) {
+      result.selected[it->second[k]] = 1;
+    }
+    slots_used += reserved;
+  }
+
+  // Phase 2: fill the open pool by global score order.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] > scores[b]; });
+  for (size_t i : order) {
+    if (slots_used >= options.total_selections) break;
+    if (result.selected[i] == 0) {
+      result.selected[i] = 1;
+      ++slots_used;
+    }
+  }
+
+  // Bookkeeping: per-group counts and displacement vs pure top-k.
+  for (size_t i = 0; i < n; ++i) {
+    if (result.selected[i] == 1) ++result.selected_per_group[groups[i]];
+  }
+  std::vector<int> pure_topk(n, 0);
+  for (size_t k = 0; k < options.total_selections; ++k) {
+    pure_topk[order[k]] = 1;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (result.selected[i] == 1 && pure_topk[i] == 0) ++result.displaced;
+  }
+  return result;
+}
+
+}  // namespace fairlaw::mitigation

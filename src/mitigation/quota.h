@@ -1,0 +1,50 @@
+#ifndef FAIRLAW_MITIGATION_QUOTA_H_
+#define FAIRLAW_MITIGATION_QUOTA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::mitigation {
+
+// Affirmative-action quota selector (§IV-A). Equal outcome is achieved
+// through an explicit positive-action instrument: reserve a minimum share
+// of the selections for each protected group, fill the reserved slots
+// with each group's best-scoring candidates, and allocate the remaining
+// slots purely by score. This is the instrument EU positive action and
+// US race-aware program design reason about, so its use must clear the
+// legal::Proportionality test for the jurisdiction at hand.
+
+struct QuotaOptions {
+  /// Total number of candidates to select (1 <= total <= n).
+  size_t total_selections = 0;
+  /// Minimum share of the selections per group, e.g. {"female", 0.4}.
+  /// Shares must be in [0,1] and sum to <= 1. Groups absent from the map
+  /// have no reserved slots.
+  std::map<std::string, double> min_share;
+};
+
+/// Result of a quota selection.
+struct QuotaSelection {
+  /// 0/1 selection per candidate.
+  std::vector<int> selected;
+  /// Selections per group actually made.
+  std::map<std::string, size_t> selected_per_group;
+  /// Candidates who displaced a higher-scoring candidate from another
+  /// group because of a reserved slot (the "cost" of the quota).
+  size_t displaced = 0;
+};
+
+/// Selects `options.total_selections` candidates by score subject to the
+/// per-group minimum shares. If a group has fewer members than its
+/// reserved slots, all its members are selected and the spare slots
+/// return to the open pool.
+Result<QuotaSelection> SelectWithQuota(const std::vector<std::string>& groups,
+                                       const std::vector<double>& scores,
+                                       const QuotaOptions& options);
+
+}  // namespace fairlaw::mitigation
+
+#endif  // FAIRLAW_MITIGATION_QUOTA_H_

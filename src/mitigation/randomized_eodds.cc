@@ -1,0 +1,211 @@
+#include "mitigation/randomized_eodds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fairlaw::mitigation {
+namespace {
+
+/// One ROC vertex: the threshold rule "predict 1 iff score >= threshold"
+/// and its operating point.
+struct RocVertex {
+  double threshold;
+  double fpr;
+  double tpr;
+};
+
+struct GroupData {
+  std::vector<double> positives;
+  std::vector<double> negatives;
+};
+
+/// Upper concave hull of the group's ROC curve, from (0,0) to (1,1), as
+/// vertices in increasing-FPR order.
+std::vector<RocVertex> RocUpperHull(const GroupData& group) {
+  // Candidate thresholds: +inf (predict nobody) then each distinct score
+  // descending.
+  std::vector<double> all_scores;
+  all_scores.reserve(group.positives.size() + group.negatives.size());
+  all_scores.insert(all_scores.end(), group.positives.begin(),
+                    group.positives.end());
+  all_scores.insert(all_scores.end(), group.negatives.begin(),
+                    group.negatives.end());
+  std::sort(all_scores.begin(), all_scores.end(), std::greater<double>());
+  all_scores.erase(std::unique(all_scores.begin(), all_scores.end()),
+                   all_scores.end());
+
+  std::vector<double> sorted_pos = group.positives;
+  std::vector<double> sorted_neg = group.negatives;
+  std::sort(sorted_pos.begin(), sorted_pos.end());
+  std::sort(sorted_neg.begin(), sorted_neg.end());
+  auto rate_at = [](const std::vector<double>& sorted, double threshold) {
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), threshold);
+    return static_cast<double>(sorted.end() - it) /
+           static_cast<double>(sorted.size());
+  };
+
+  std::vector<RocVertex> points;
+  points.push_back({std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  for (double threshold : all_scores) {
+    points.push_back({threshold, rate_at(sorted_neg, threshold),
+                      rate_at(sorted_pos, threshold)});
+  }
+  // Ensure the terminal (1,1) vertex exists (threshold below every score).
+  if (points.back().fpr < 1.0 || points.back().tpr < 1.0) {
+    points.push_back({-std::numeric_limits<double>::infinity(), 1.0, 1.0});
+  }
+
+  // Monotone-chain upper hull over (fpr, tpr); points are already in
+  // nondecreasing fpr order.
+  std::vector<RocVertex> hull;
+  for (const RocVertex& point : points) {
+    while (hull.size() >= 2) {
+      const RocVertex& a = hull[hull.size() - 2];
+      const RocVertex& b = hull[hull.size() - 1];
+      double cross = (b.fpr - a.fpr) * (point.tpr - a.tpr) -
+                     (b.tpr - a.tpr) * (point.fpr - a.fpr);
+      if (cross >= 0.0) {
+        hull.pop_back();  // b is under the a->point segment
+      } else {
+        break;
+      }
+    }
+    hull.push_back(point);
+  }
+  return hull;
+}
+
+/// Hull TPR at the given FPR (linear interpolation).
+double HullTprAt(const std::vector<RocVertex>& hull, double fpr) {
+  for (size_t i = 1; i < hull.size(); ++i) {
+    if (fpr <= hull[i].fpr + 1e-15) {
+      const RocVertex& a = hull[i - 1];
+      const RocVertex& b = hull[i];
+      if (b.fpr <= a.fpr) return std::max(a.tpr, b.tpr);
+      double mix = (fpr - a.fpr) / (b.fpr - a.fpr);
+      return a.tpr + mix * (b.tpr - a.tpr);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Result<RandomizedEqualizedOdds> RandomizedEqualizedOdds::Fit(
+    const std::vector<std::string>& groups, const std::vector<double>& scores,
+    const std::vector<int>& labels, size_t fpr_grid) {
+  if (groups.empty()) {
+    return Status::Invalid("RandomizedEqualizedOdds: empty input");
+  }
+  if (scores.size() != groups.size() || labels.size() != groups.size()) {
+    return Status::Invalid("RandomizedEqualizedOdds: size mismatch");
+  }
+  if (fpr_grid < 3) {
+    return Status::Invalid("RandomizedEqualizedOdds: fpr_grid must be >= 3");
+  }
+  std::map<std::string, GroupData> data;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (labels[i] != 0 && labels[i] != 1) {
+      return Status::Invalid("RandomizedEqualizedOdds: labels must be 0/1");
+    }
+    GroupData& group = data[groups[i]];
+    (labels[i] == 1 ? group.positives : group.negatives)
+        .push_back(scores[i]);
+  }
+  if (data.size() < 2) {
+    return Status::Invalid("RandomizedEqualizedOdds: need >= 2 groups");
+  }
+  std::map<std::string, std::vector<RocVertex>> hulls;
+  for (const auto& [group, group_data] : data) {
+    if (group_data.positives.empty() || group_data.negatives.empty()) {
+      return Status::Invalid("RandomizedEqualizedOdds: group '" + group +
+                             "' lacks positives or negatives");
+    }
+    hulls[group] = RocUpperHull(group_data);
+  }
+
+  // Shared target: maximize Youden's J on the lower envelope of the
+  // hulls.
+  double best_j = -1.0;
+  double target_fpr = 0.5;
+  double target_tpr = 0.5;
+  for (size_t g = 0; g < fpr_grid; ++g) {
+    double fpr = static_cast<double>(g) / static_cast<double>(fpr_grid - 1);
+    double envelope = 1.0;
+    for (const auto& [group, hull] : hulls) {
+      (void)group;
+      envelope = std::min(envelope, HullTprAt(hull, fpr));
+    }
+    double j = envelope - fpr;
+    if (j > best_j) {
+      best_j = j;
+      target_fpr = fpr;
+      target_tpr = envelope;
+    }
+  }
+
+  RandomizedEqualizedOdds fitted;
+  fitted.target_fpr_ = target_fpr;
+  fitted.target_tpr_ = target_tpr;
+  for (const auto& [group, hull] : hulls) {
+    GroupRule rule;
+    rule.coin_rate = target_fpr;
+    // Hull segment spanning target_fpr.
+    size_t seg = 1;
+    while (seg + 1 < hull.size() && hull[seg].fpr < target_fpr) ++seg;
+    const RocVertex& a = hull[seg - 1];
+    const RocVertex& b = hull[seg];
+    rule.threshold_hi = a.threshold;
+    rule.threshold_lo = b.threshold;
+    rule.vertex_mix =
+        b.fpr > a.fpr ? (target_fpr - a.fpr) / (b.fpr - a.fpr) : 0.0;
+    rule.vertex_mix = std::clamp(rule.vertex_mix, 0.0, 1.0);
+    double hull_tpr = a.tpr + rule.vertex_mix * (b.tpr - a.tpr);
+    // Mix the hull point down toward the diagonal coin to land exactly
+    // on target_tpr.
+    rule.hull_weight =
+        hull_tpr > target_fpr
+            ? std::clamp((target_tpr - target_fpr) /
+                             (hull_tpr - target_fpr),
+                         0.0, 1.0)
+            : 0.0;
+    fitted.rules_[group] = rule;
+  }
+  return fitted;
+}
+
+Result<double> RandomizedEqualizedOdds::PositiveProbability(
+    const std::string& group, double score) const {
+  auto it = rules_.find(group);
+  if (it == rules_.end()) {
+    return Status::NotFound("RandomizedEqualizedOdds: no rule fitted for "
+                            "group '" + group + "'");
+  }
+  const GroupRule& rule = it->second;
+  double hull_prob =
+      rule.vertex_mix * (score >= rule.threshold_lo ? 1.0 : 0.0) +
+      (1.0 - rule.vertex_mix) * (score >= rule.threshold_hi ? 1.0 : 0.0);
+  return rule.hull_weight * hull_prob +
+         (1.0 - rule.hull_weight) * rule.coin_rate;
+}
+
+Result<std::vector<int>> RandomizedEqualizedOdds::Apply(
+    const std::vector<std::string>& groups, const std::vector<double>& scores,
+    stats::Rng* rng) const {
+  if (groups.size() != scores.size()) {
+    return Status::Invalid("RandomizedEqualizedOdds: size mismatch");
+  }
+  if (rng == nullptr) {
+    return Status::Invalid("RandomizedEqualizedOdds: null rng");
+  }
+  std::vector<int> decisions(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    FAIRLAW_ASSIGN_OR_RETURN(double p,
+                             PositiveProbability(groups[i], scores[i]));
+    decisions[i] = rng->Bernoulli(p) ? 1 : 0;
+  }
+  return decisions;
+}
+
+}  // namespace fairlaw::mitigation

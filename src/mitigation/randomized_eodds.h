@@ -1,0 +1,75 @@
+#ifndef FAIRLAW_MITIGATION_RANDOMIZED_EODDS_H_
+#define FAIRLAW_MITIGATION_RANDOMIZED_EODDS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "stats/rng.h"
+
+namespace fairlaw::mitigation {
+
+// Exact equalized-odds post-processing (Hardt, Price & Srebro [6], the
+// full construction). Deterministic per-group thresholds can only reach
+// points ON each group's ROC curve, and different groups' curves rarely
+// intersect — which is why the grid search in threshold_optimizer.h is
+// only approximate. The exact fix is a *randomized* decision rule: any
+// (FPR, TPR) point inside a group's ROC hull is achievable by mixing
+// threshold rules, so all groups can be driven to one shared target
+// point in the intersection of their hulls, making TPR and FPR exactly
+// equal in expectation.
+//
+// Construction per group, for a shared target (f*, t*):
+//   1. The hull boundary point A = (f*, hull_g(f*)) is a mixture of the
+//      two ROC vertices whose segment spans f*.
+//   2. The diagonal point D = (f*, f*) is a label-blind coin with
+//      P(positive) = f*.
+//   3. Any t* in [f*, hull_g(f*)] is the mixture lambda*A + (1-lambda)*D.
+// The shared target maximizes Youden's J = t - f over the lower envelope
+// min_g hull_g(f).
+
+/// Fitted randomized equalized-odds rule.
+class RandomizedEqualizedOdds {
+ public:
+  /// Fits from validation data: per-row group, score, and true label.
+  /// Every group needs both classes present.
+  static Result<RandomizedEqualizedOdds> Fit(
+      const std::vector<std::string>& groups,
+      const std::vector<double>& scores, const std::vector<int>& labels,
+      size_t fpr_grid = 101);
+
+  /// Probability that the rule outputs 1 for a member of `group` with
+  /// `score` (the decision is a Bernoulli draw of this probability).
+  Result<double> PositiveProbability(const std::string& group,
+                                     double score) const;
+
+  /// Samples hard decisions for a batch.
+  Result<std::vector<int>> Apply(const std::vector<std::string>& groups,
+                                 const std::vector<double>& scores,
+                                 stats::Rng* rng) const;
+
+  /// The shared operating point all groups are driven to.
+  double target_fpr() const { return target_fpr_; }
+  double target_tpr() const { return target_tpr_; }
+
+ private:
+  /// Mixture of two threshold rules plus a diagonal coin.
+  struct GroupRule {
+    double threshold_hi = 0.0;  // stricter rule (lower FPR vertex)
+    double threshold_lo = 0.0;  // looser rule (higher FPR vertex)
+    double vertex_mix = 0.0;    // P(use lo rule) when playing the hull point
+    double hull_weight = 1.0;   // P(play hull point); else diagonal coin
+    double coin_rate = 0.0;     // diagonal coin P(positive) = f*
+  };
+
+  RandomizedEqualizedOdds() = default;
+
+  std::map<std::string, GroupRule> rules_;
+  double target_fpr_ = 0.0;
+  double target_tpr_ = 0.0;
+};
+
+}  // namespace fairlaw::mitigation
+
+#endif  // FAIRLAW_MITIGATION_RANDOMIZED_EODDS_H_

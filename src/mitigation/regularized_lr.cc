@@ -1,0 +1,115 @@
+#include "mitigation/regularized_lr.h"
+
+#include <cmath>
+
+#include "ml/logistic_regression.h"
+
+namespace fairlaw::mitigation {
+
+FairLogisticRegression::FairLogisticRegression(std::vector<int> group_indicator,
+                                               FairLrOptions options)
+    : group_indicator_(std::move(group_indicator)), options_(options) {}
+
+Status FairLogisticRegression::Fit(const ml::Dataset& data) {
+  FAIRLAW_RETURN_NOT_OK(data.Validate());
+  if (group_indicator_.size() != data.size()) {
+    return Status::Invalid("FairLogisticRegression: group indicator size "
+                           "mismatch");
+  }
+  if (options_.fairness_weight < 0.0) {
+    return Status::Invalid("FairLogisticRegression: fairness_weight must be "
+                           ">= 0");
+  }
+  double n_group[2] = {0.0, 0.0};
+  for (int g : group_indicator_) {
+    if (g != 0 && g != 1) {
+      return Status::Invalid("FairLogisticRegression: group indicator must "
+                             "be 0/1");
+    }
+    n_group[g] += 1.0;
+  }
+  if (n_group[0] == 0.0 || n_group[1] == 0.0) {
+    return Status::Invalid("FairLogisticRegression: both groups must be "
+                           "present");
+  }
+
+  const size_t n = data.size();
+  const size_t d = data.num_features();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  std::vector<double> probs(n);
+  std::vector<double> gradient(d);
+  std::vector<double> gap_gradient(d);
+  double previous_loss = std::numeric_limits<double>::infinity();
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    // Forward pass.
+    double mean_score[2] = {0.0, 0.0};
+    for (size_t i = 0; i < n; ++i) {
+      double z = bias_;
+      for (size_t j = 0; j < d; ++j) z += weights_[j] * data.features[i][j];
+      probs[i] = ml::Sigmoid(z);
+      mean_score[group_indicator_[i]] += probs[i];
+    }
+    mean_score[0] /= n_group[0];
+    mean_score[1] /= n_group[1];
+    const double gap = mean_score[1] - mean_score[0];
+
+    // Gradients: NLL + L2 + 2*lambda*gap * d(gap)/d(params).
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    std::fill(gap_gradient.begin(), gap_gradient.end(), 0.0);
+    double bias_gradient = 0.0;
+    double gap_bias_gradient = 0.0;
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double error = probs[i] - static_cast<double>(data.labels[i]);
+      double sensitivity = probs[i] * (1.0 - probs[i]);
+      double group_scale = group_indicator_[i] == 1 ? 1.0 / n_group[1]
+                                                    : -1.0 / n_group[0];
+      for (size_t j = 0; j < d; ++j) {
+        gradient[j] += error * data.features[i][j];
+        gap_gradient[j] += group_scale * sensitivity * data.features[i][j];
+      }
+      bias_gradient += error;
+      gap_bias_gradient += group_scale * sensitivity;
+      double pc = std::clamp(probs[i], 1e-12, 1.0 - 1e-12);
+      loss -= data.labels[i] == 1 ? std::log(pc) : std::log(1.0 - pc);
+    }
+    loss /= static_cast<double>(n);
+    loss += options_.fairness_weight * gap * gap;
+    const double penalty_scale = 2.0 * options_.fairness_weight * gap;
+    for (size_t j = 0; j < d; ++j) {
+      gradient[j] = gradient[j] / static_cast<double>(n) +
+                    options_.l2 * weights_[j] +
+                    penalty_scale * gap_gradient[j];
+      loss += 0.5 * options_.l2 * weights_[j] * weights_[j];
+    }
+    bias_gradient = bias_gradient / static_cast<double>(n) +
+                    penalty_scale * gap_bias_gradient;
+
+    for (size_t j = 0; j < d; ++j) {
+      weights_[j] -= options_.learning_rate * gradient[j];
+    }
+    bias_ -= options_.learning_rate * bias_gradient;
+
+    if (std::fabs(previous_loss - loss) < options_.tolerance) break;
+    previous_loss = loss;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> FairLogisticRegression::PredictProba(
+    std::span<const double> x) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("FairLogisticRegression: not fitted");
+  }
+  if (x.size() != weights_.size()) {
+    return Status::Invalid("FairLogisticRegression: feature width mismatch");
+  }
+  double z = bias_;
+  for (size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+  return ml::Sigmoid(z);
+}
+
+}  // namespace fairlaw::mitigation

@@ -1,0 +1,53 @@
+#ifndef FAIRLAW_MITIGATION_REGULARIZED_LR_H_
+#define FAIRLAW_MITIGATION_REGULARIZED_LR_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace fairlaw::ml {}  // forward-friendly
+
+namespace fairlaw::mitigation {
+
+/// Options for the fairness-regularized logistic regression.
+struct FairLrOptions {
+  double learning_rate = 0.1;
+  int max_epochs = 500;
+  double l2 = 1e-4;
+  /// Weight of the demographic-parity penalty
+  /// (mean score group1 - mean score group0)^2 added to the loss.
+  double fairness_weight = 1.0;
+  double tolerance = 1e-8;
+};
+
+/// In-processing mitigator: logistic regression whose training objective
+/// adds a squared demographic-parity penalty on the mean predicted
+/// probability between the two protected groups. `group_indicator[i]` is
+/// 0/1 group membership for training row i (binary protected attribute).
+///
+/// Sweeping `fairness_weight` traces the accuracy-vs-parity frontier of
+/// experiment E2.
+class FairLogisticRegression : public ml::Classifier {
+ public:
+  FairLogisticRegression(std::vector<int> group_indicator,
+                         FairLrOptions options = {});
+
+  std::string name() const override { return "fair_logistic_regression"; }
+  Status Fit(const ml::Dataset& data) override;
+  Result<double> PredictProba(std::span<const double> x) const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  std::vector<int> group_indicator_;
+  FairLrOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace fairlaw::mitigation
+
+#endif  // FAIRLAW_MITIGATION_REGULARIZED_LR_H_

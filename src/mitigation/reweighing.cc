@@ -1,0 +1,51 @@
+#include "mitigation/reweighing.h"
+
+#include <map>
+
+namespace fairlaw::mitigation {
+
+Result<std::vector<double>> ReweighingWeights(
+    const std::vector<std::string>& groups, const std::vector<int>& labels) {
+  if (groups.empty()) return Status::Invalid("ReweighingWeights: empty input");
+  if (groups.size() != labels.size()) {
+    return Status::Invalid("ReweighingWeights: size mismatch");
+  }
+  const double n = static_cast<double>(groups.size());
+  std::map<std::string, double> group_count;
+  double label_count[2] = {0.0, 0.0};
+  std::map<std::pair<std::string, int>, double> cell_count;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (labels[i] != 0 && labels[i] != 1) {
+      return Status::Invalid("ReweighingWeights: labels must be 0/1");
+    }
+    group_count[groups[i]] += 1.0;
+    label_count[labels[i]] += 1.0;
+    cell_count[{groups[i], labels[i]}] += 1.0;
+  }
+  std::vector<double> weights(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    double expected =
+        (group_count[groups[i]] / n) * (label_count[labels[i]] / n);
+    double observed = cell_count[{groups[i], labels[i]}] / n;
+    weights[i] = expected / observed;  // observed > 0: the cell contains row i
+  }
+  return weights;
+}
+
+Status ApplyReweighing(const std::vector<std::string>& groups,
+                       ml::Dataset* data) {
+  if (data == nullptr) return Status::Invalid("ApplyReweighing: null dataset");
+  FAIRLAW_RETURN_NOT_OK(data->Validate());
+  FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> weights,
+                           ReweighingWeights(groups, data->labels));
+  if (data->weights.empty()) {
+    data->weights = std::move(weights);
+  } else {
+    for (size_t i = 0; i < weights.size(); ++i) {
+      data->weights[i] *= weights[i];
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fairlaw::mitigation

@@ -1,0 +1,31 @@
+#ifndef FAIRLAW_MITIGATION_REWEIGHING_H_
+#define FAIRLAW_MITIGATION_REWEIGHING_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ml/dataset.h"
+
+namespace fairlaw::mitigation {
+
+// Reweighing (Kamiran & Calders [8]) — the pre-processing mitigator: give
+// each (group, label) cell the weight that makes group and label
+// statistically independent in the weighted data,
+//   w(a, y) = P(A=a) * P(Y=y) / P(A=a, Y=y).
+// A classifier trained on the weighted data no longer sees the historical
+// association between the protected attribute and the favorable label.
+
+/// Per-row reweighing weights for the given group/label assignment.
+/// Every (group, label) cell present in the data must be non-empty.
+Result<std::vector<double>> ReweighingWeights(
+    const std::vector<std::string>& groups, const std::vector<int>& labels);
+
+/// Convenience: computes the weights and installs them into
+/// `data->weights` (multiplying into existing weights if present).
+Status ApplyReweighing(const std::vector<std::string>& groups,
+                       ml::Dataset* data);
+
+}  // namespace fairlaw::mitigation
+
+#endif  // FAIRLAW_MITIGATION_REWEIGHING_H_

@@ -1,0 +1,52 @@
+#include "mitigation/sampling.h"
+
+#include <cmath>
+#include <map>
+
+#include "mitigation/reweighing.h"
+
+namespace fairlaw::mitigation {
+
+Result<std::vector<size_t>> PreferentialSamplingIndices(
+    const std::vector<std::string>& groups, const std::vector<int>& labels,
+    stats::Rng* rng) {
+  if (rng == nullptr) {
+    return Status::Invalid("PreferentialSampling: null rng");
+  }
+  // Reuse the reweighing targets: cell (a, y) should appear with
+  // expected multiplicity w(a, y).
+  FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> weights,
+                           ReweighingWeights(groups, labels));
+
+  std::vector<size_t> indices;
+  indices.reserve(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    // Deterministic floor copies plus a Bernoulli for the fraction keeps
+    // the expected cell size exactly at the reweighing target.
+    double copies = weights[i];
+    size_t whole = static_cast<size_t>(std::floor(copies));
+    double fraction = copies - static_cast<double>(whole);
+    for (size_t c = 0; c < whole; ++c) indices.push_back(i);
+    if (rng->Bernoulli(fraction)) indices.push_back(i);
+  }
+  if (indices.empty()) {
+    return Status::Internal("PreferentialSampling: produced empty sample");
+  }
+  return indices;
+}
+
+Result<ml::Dataset> ApplyPreferentialSampling(
+    const std::vector<std::string>& groups, const ml::Dataset& data,
+    stats::Rng* rng) {
+  FAIRLAW_RETURN_NOT_OK(data.Validate());
+  if (groups.size() != data.size()) {
+    return Status::Invalid("PreferentialSampling: groups/data size "
+                           "mismatch");
+  }
+  FAIRLAW_ASSIGN_OR_RETURN(
+      std::vector<size_t> indices,
+      PreferentialSamplingIndices(groups, data.labels, rng));
+  return data.Take(indices);
+}
+
+}  // namespace fairlaw::mitigation

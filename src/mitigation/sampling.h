@@ -1,0 +1,34 @@
+#ifndef FAIRLAW_MITIGATION_SAMPLING_H_
+#define FAIRLAW_MITIGATION_SAMPLING_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ml/dataset.h"
+#include "stats/rng.h"
+
+namespace fairlaw::mitigation {
+
+// Preferential sampling (Kamiran & Calders' companion to reweighing):
+// instead of attaching weights, physically resample the training data so
+// that the protected attribute and the label become independent. Useful
+// when the downstream learner ignores example weights. Cells that
+// reweighing would up-weight are oversampled (with replacement); cells it
+// would down-weight are undersampled.
+
+/// Row indices of a resampled dataset (size ~ the original) in which
+/// group and label are independent. Duplicate indices realize
+/// oversampling.
+Result<std::vector<size_t>> PreferentialSamplingIndices(
+    const std::vector<std::string>& groups, const std::vector<int>& labels,
+    stats::Rng* rng);
+
+/// Convenience: materializes the resampled dataset.
+Result<ml::Dataset> ApplyPreferentialSampling(
+    const std::vector<std::string>& groups, const ml::Dataset& data,
+    stats::Rng* rng);
+
+}  // namespace fairlaw::mitigation
+
+#endif  // FAIRLAW_MITIGATION_SAMPLING_H_

@@ -1,0 +1,213 @@
+#include "mitigation/threshold_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "base/string_util.h"
+#include "stats/empirical.h"
+
+namespace fairlaw::mitigation {
+namespace {
+
+struct GroupRows {
+  std::vector<double> scores;
+  std::vector<int> labels;  // empty when labels were not supplied
+};
+
+Result<std::map<std::string, GroupRows>> Partition(
+    const std::vector<std::string>& groups, const std::vector<double>& scores,
+    const std::vector<int>& labels, bool require_labels) {
+  if (groups.empty()) {
+    return Status::Invalid("OptimizeThresholds: empty input");
+  }
+  if (scores.size() != groups.size()) {
+    return Status::Invalid("OptimizeThresholds: scores/groups size mismatch");
+  }
+  if (require_labels && labels.size() != groups.size()) {
+    return Status::Invalid("OptimizeThresholds: this criterion requires "
+                           "labels");
+  }
+  if (!labels.empty() && labels.size() != groups.size()) {
+    return Status::Invalid("OptimizeThresholds: labels/groups size mismatch");
+  }
+  std::map<std::string, GroupRows> partition;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    GroupRows& rows = partition[groups[i]];
+    rows.scores.push_back(scores[i]);
+    if (!labels.empty()) rows.labels.push_back(labels[i]);
+  }
+  if (partition.size() < 2) {
+    return Status::Invalid("OptimizeThresholds: need >= 2 groups");
+  }
+  return partition;
+}
+
+/// Quantile threshold selecting the top `rate` fraction of `values`.
+Result<double> TopFractionThreshold(const std::vector<double>& values,
+                                    double rate) {
+  FAIRLAW_ASSIGN_OR_RETURN(stats::EmpiricalDistribution dist,
+                           stats::EmpiricalDistribution::Make(values));
+  if (rate <= 0.0) return dist.max() + 1.0;  // select nobody
+  if (rate >= 1.0) return dist.min();        // select everybody
+  return dist.Quantile(1.0 - rate);
+}
+
+double RateAtThreshold(const std::vector<double>& scores, double threshold) {
+  size_t selected = 0;
+  for (double s : scores) selected += s >= threshold ? 1 : 0;
+  return scores.empty() ? 0.0
+                        : static_cast<double>(selected) /
+                              static_cast<double>(scores.size());
+}
+
+struct OddsRates {
+  double tpr = 0.0;
+  double fpr = 0.0;
+};
+
+OddsRates OddsAtThreshold(const GroupRows& rows, double threshold) {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t positives = 0;
+  size_t negatives = 0;
+  for (size_t i = 0; i < rows.scores.size(); ++i) {
+    bool selected = rows.scores[i] >= threshold;
+    if (rows.labels[i] == 1) {
+      ++positives;
+      if (selected) ++tp;
+    } else {
+      ++negatives;
+      if (selected) ++fp;
+    }
+  }
+  OddsRates rates;
+  rates.tpr = positives > 0 ? static_cast<double>(tp) /
+                                  static_cast<double>(positives)
+                            : 0.0;
+  rates.fpr = negatives > 0 ? static_cast<double>(fp) /
+                                  static_cast<double>(negatives)
+                            : 0.0;
+  return rates;
+}
+
+}  // namespace
+
+Result<std::vector<int>> GroupThresholds::Apply(
+    const std::vector<std::string>& groups,
+    const std::vector<double>& scores) const {
+  if (groups.size() != scores.size()) {
+    return Status::Invalid("GroupThresholds::Apply: size mismatch");
+  }
+  std::vector<int> predictions(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    auto it = threshold.find(groups[i]);
+    if (it == threshold.end()) {
+      return Status::NotFound("GroupThresholds::Apply: no threshold fitted "
+                              "for group '" + groups[i] + "'");
+    }
+    predictions[i] = scores[i] >= it->second ? 1 : 0;
+  }
+  return predictions;
+}
+
+Result<GroupThresholds> OptimizeThresholds(
+    const std::vector<std::string>& groups, const std::vector<double>& scores,
+    const std::vector<int>& labels, ThresholdCriterion criterion,
+    const ThresholdOptimizerOptions& options) {
+  const bool needs_labels = criterion != ThresholdCriterion::kDemographicParity;
+  FAIRLAW_ASSIGN_OR_RETURN(auto partition,
+                           Partition(groups, scores, labels, needs_labels));
+
+  GroupThresholds fitted;
+  fitted.criterion = criterion;
+
+  switch (criterion) {
+    case ThresholdCriterion::kDemographicParity: {
+      double target = options.target_rate;
+      if (target < 0.0) target = RateAtThreshold(scores, 0.5);
+      if (target > 1.0) {
+        return Status::Invalid("OptimizeThresholds: target_rate > 1");
+      }
+      for (const auto& [group, rows] : partition) {
+        FAIRLAW_ASSIGN_OR_RETURN(double threshold,
+                                 TopFractionThreshold(rows.scores, target));
+        fitted.threshold[group] = threshold;
+      }
+      fitted.detail = "target selection rate " + FormatDouble(target, 4);
+      return fitted;
+    }
+    case ThresholdCriterion::kEqualOpportunity: {
+      double target = options.target_tpr;
+      if (target < 0.0) {
+        // Pooled TPR at threshold 0.5.
+        size_t tp = 0;
+        size_t positives = 0;
+        for (size_t i = 0; i < scores.size(); ++i) {
+          if (labels[i] == 1) {
+            ++positives;
+            if (scores[i] >= 0.5) ++tp;
+          }
+        }
+        if (positives == 0) {
+          return Status::Invalid("OptimizeThresholds: no actual positives");
+        }
+        target = static_cast<double>(tp) / static_cast<double>(positives);
+      }
+      if (target > 1.0) {
+        return Status::Invalid("OptimizeThresholds: target_tpr > 1");
+      }
+      for (const auto& [group, rows] : partition) {
+        std::vector<double> positive_scores;
+        for (size_t i = 0; i < rows.scores.size(); ++i) {
+          if (rows.labels[i] == 1) positive_scores.push_back(rows.scores[i]);
+        }
+        if (positive_scores.empty()) {
+          return Status::Invalid("OptimizeThresholds: group '" + group +
+                                 "' has no actual positives");
+        }
+        FAIRLAW_ASSIGN_OR_RETURN(double threshold,
+                                 TopFractionThreshold(positive_scores,
+                                                      target));
+        fitted.threshold[group] = threshold;
+      }
+      fitted.detail = "target TPR " + FormatDouble(target, 4);
+      return fitted;
+    }
+    case ThresholdCriterion::kEqualizedOdds: {
+      if (options.grid < 3) {
+        return Status::Invalid("OptimizeThresholds: grid must be >= 3");
+      }
+      // Targets: pooled TPR/FPR at threshold 0.5.
+      GroupRows pooled;
+      pooled.scores = scores;
+      pooled.labels = labels;
+      OddsRates target = OddsAtThreshold(pooled, 0.5);
+      for (const auto& [group, rows] : partition) {
+        double best_threshold = 0.5;
+        double best_cost = std::numeric_limits<double>::infinity();
+        double lo = *std::min_element(rows.scores.begin(), rows.scores.end());
+        double hi = *std::max_element(rows.scores.begin(), rows.scores.end());
+        for (size_t g = 0; g < options.grid; ++g) {
+          double threshold =
+              lo + (hi - lo + 1e-12) * static_cast<double>(g) /
+                       static_cast<double>(options.grid - 1);
+          OddsRates rates = OddsAtThreshold(rows, threshold);
+          double cost = (rates.tpr - target.tpr) * (rates.tpr - target.tpr) +
+                        (rates.fpr - target.fpr) * (rates.fpr - target.fpr);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_threshold = threshold;
+          }
+        }
+        fitted.threshold[group] = best_threshold;
+      }
+      fitted.detail = "target tpr " + FormatDouble(target.tpr, 4) +
+                      " fpr " + FormatDouble(target.fpr, 4);
+      return fitted;
+    }
+  }
+  return Status::Internal("OptimizeThresholds: unknown criterion");
+}
+
+}  // namespace fairlaw::mitigation

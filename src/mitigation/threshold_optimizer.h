@@ -1,0 +1,59 @@
+#ifndef FAIRLAW_MITIGATION_THRESHOLD_OPTIMIZER_H_
+#define FAIRLAW_MITIGATION_THRESHOLD_OPTIMIZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::mitigation {
+
+// Post-processing threshold optimizer (Hardt, Price & Srebro [6]):
+// instead of retraining, pick a separate decision threshold per protected
+// group so the chosen criterion holds on the score distribution. This is
+// the "equal outcome via group-dependent treatment" instrument — exactly
+// the legal tension §IV-A describes, which is why the legal layer must be
+// consulted before deploying it.
+
+/// Criterion the per-group thresholds target.
+enum class ThresholdCriterion {
+  /// Equal selection rates P(R=+|A=a).
+  kDemographicParity,
+  /// Equal true positive rates (requires labels).
+  kEqualOpportunity,
+  /// Jointly near-equal TPR and FPR (requires labels; grid search).
+  kEqualizedOdds,
+};
+
+/// Fitted per-group thresholds.
+struct GroupThresholds {
+  std::map<std::string, double> threshold;
+  ThresholdCriterion criterion = ThresholdCriterion::kDemographicParity;
+  std::string detail;
+
+  /// Applies the thresholds: prediction_i = scores[i] >= threshold[group].
+  Result<std::vector<int>> Apply(const std::vector<std::string>& groups,
+                                 const std::vector<double>& scores) const;
+};
+
+struct ThresholdOptimizerOptions {
+  /// Target selection rate for demographic parity; negative = use the
+  /// pooled base selection rate at threshold 0.5.
+  double target_rate = -1.0;
+  /// Target TPR for equal opportunity; negative = pooled TPR at 0.5.
+  double target_tpr = -1.0;
+  /// Grid resolution for the equalized-odds search.
+  size_t grid = 101;
+};
+
+/// Fits per-group thresholds on (groups, scores[, labels]).
+/// Labels may be empty for kDemographicParity and are required otherwise.
+Result<GroupThresholds> OptimizeThresholds(
+    const std::vector<std::string>& groups, const std::vector<double>& scores,
+    const std::vector<int>& labels, ThresholdCriterion criterion,
+    const ThresholdOptimizerOptions& options = {});
+
+}  // namespace fairlaw::mitigation
+
+#endif  // FAIRLAW_MITIGATION_THRESHOLD_OPTIMIZER_H_

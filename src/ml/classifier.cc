@@ -1,0 +1,31 @@
+#include "ml/classifier.h"
+
+namespace fairlaw::ml {
+
+Result<int> Classifier::Predict(std::span<const double> x,
+                                double threshold) const {
+  FAIRLAW_ASSIGN_OR_RETURN(double p, PredictProba(x));
+  return p >= threshold ? 1 : 0;
+}
+
+Result<std::vector<double>> Classifier::PredictProbaBatch(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<double> probs(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    FAIRLAW_ASSIGN_OR_RETURN(probs[i], PredictProba(rows[i]));
+  }
+  return probs;
+}
+
+Result<std::vector<int>> Classifier::PredictBatch(
+    const std::vector<std::vector<double>>& rows, double threshold) const {
+  FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> probs,
+                           PredictProbaBatch(rows));
+  std::vector<int> labels(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    labels[i] = probs[i] >= threshold ? 1 : 0;
+  }
+  return labels;
+}
+
+}  // namespace fairlaw::ml

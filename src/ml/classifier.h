@@ -1,0 +1,47 @@
+#ifndef FAIRLAW_ML_CLASSIFIER_H_
+#define FAIRLAW_ML_CLASSIFIER_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ml/dataset.h"
+
+namespace fairlaw::ml {
+
+/// Interface for binary probabilistic classifiers.
+///
+/// Implementations honor per-example weights in Fit (the contract the
+/// reweighing mitigator depends on) and expose calibated-ish scores via
+/// PredictProba so post-processing threshold optimizers can operate on
+/// them.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Short human-readable model name ("logistic_regression", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains on `data` (validated internally). Refitting replaces the
+  /// previous model.
+  virtual Status Fit(const Dataset& data) = 0;
+
+  /// P(label = 1 | x). Fails if the model is not fitted or the feature
+  /// width is wrong.
+  virtual Result<double> PredictProba(std::span<const double> x) const = 0;
+
+  /// Hard prediction at the given probability threshold.
+  Result<int> Predict(std::span<const double> x, double threshold = 0.5) const;
+
+  /// Batch variants.
+  Result<std::vector<double>> PredictProbaBatch(
+      const std::vector<std::vector<double>>& rows) const;
+  Result<std::vector<int>> PredictBatch(
+      const std::vector<std::vector<double>>& rows,
+      double threshold = 0.5) const;
+};
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_CLASSIFIER_H_

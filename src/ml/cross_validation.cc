@@ -1,0 +1,60 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/model_eval.h"
+#include "ml/split.h"
+#include "stats/descriptive.h"
+
+namespace fairlaw::ml {
+
+Result<CrossValidationResult> CrossValidate(const Dataset& data,
+                                            const ModelFactory& factory,
+                                            size_t folds, stats::Rng* rng) {
+  FAIRLAW_RETURN_NOT_OK(data.Validate());
+  if (!factory) return Status::Invalid("CrossValidate: null model factory");
+  FAIRLAW_ASSIGN_OR_RETURN(auto fold_indices,
+                           KFoldIndices(data.size(), folds, rng));
+
+  CrossValidationResult result;
+  for (const std::vector<size_t>& validation_rows : fold_indices) {
+    std::vector<bool> in_validation(data.size(), false);
+    for (size_t row : validation_rows) in_validation[row] = true;
+    std::vector<size_t> train_rows;
+    train_rows.reserve(data.size() - validation_rows.size());
+    for (size_t row = 0; row < data.size(); ++row) {
+      if (!in_validation[row]) train_rows.push_back(row);
+    }
+    FAIRLAW_ASSIGN_OR_RETURN(Dataset train, data.Take(train_rows));
+    FAIRLAW_ASSIGN_OR_RETURN(Dataset validation, data.Take(validation_rows));
+
+    std::unique_ptr<Classifier> model = factory();
+    if (model == nullptr) {
+      return Status::Invalid("CrossValidate: factory returned null");
+    }
+    FAIRLAW_RETURN_NOT_OK(model->Fit(train));
+
+    FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> scores,
+                             model->PredictProbaBatch(validation.features));
+    std::vector<int> predictions(scores.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      predictions[i] = scores[i] >= 0.5 ? 1 : 0;
+    }
+    FAIRLAW_ASSIGN_OR_RETURN(double accuracy,
+                             Accuracy(validation.labels, predictions));
+    FAIRLAW_ASSIGN_OR_RETURN(double auc,
+                             AucRoc(validation.labels, scores));
+    result.fold_accuracy.push_back(accuracy);
+    result.fold_auc.push_back(auc);
+  }
+  result.mean_accuracy = stats::Mean(result.fold_accuracy).ValueOrDie();
+  result.stddev_accuracy =
+      result.fold_accuracy.size() >= 2
+          ? stats::StdDev(result.fold_accuracy).ValueOrDie()
+          : 0.0;
+  result.mean_auc = stats::Mean(result.fold_auc).ValueOrDie();
+  return result;
+}
+
+}  // namespace fairlaw::ml

@@ -1,0 +1,38 @@
+#ifndef FAIRLAW_ML_CROSS_VALIDATION_H_
+#define FAIRLAW_ML_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "stats/rng.h"
+
+namespace fairlaw::ml {
+
+/// Builds a fresh untrained classifier for one CV fold.
+using ModelFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// Per-fold and aggregate cross-validation scores.
+struct CrossValidationResult {
+  std::vector<double> fold_accuracy;
+  std::vector<double> fold_auc;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  double mean_auc = 0.0;
+};
+
+/// K-fold cross-validation: trains `factory()` models on k-1 folds and
+/// scores accuracy (threshold 0.5) and AUC on the held-out fold.
+/// Requires every validation fold to contain both classes for the AUC;
+/// returns an error otherwise (shuffle with a different seed or reduce
+/// k).
+Result<CrossValidationResult> CrossValidate(const Dataset& data,
+                                            const ModelFactory& factory,
+                                            size_t folds, stats::Rng* rng);
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_CROSS_VALIDATION_H_

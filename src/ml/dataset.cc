@@ -1,0 +1,101 @@
+#include "ml/dataset.h"
+
+namespace fairlaw::ml {
+
+Status Dataset::Validate() const {
+  if (features.empty()) return Status::Invalid("Dataset: no examples");
+  if (labels.size() != features.size()) {
+    return Status::Invalid("Dataset: labels/features size mismatch");
+  }
+  const size_t width = features[0].size();
+  if (width == 0) return Status::Invalid("Dataset: zero-width features");
+  if (!feature_names.empty() && feature_names.size() != width) {
+    return Status::Invalid("Dataset: feature_names/width mismatch");
+  }
+  for (const std::vector<double>& row : features) {
+    if (row.size() != width) {
+      return Status::Invalid("Dataset: ragged feature matrix");
+    }
+  }
+  for (int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::Invalid("Dataset: labels must be 0/1");
+    }
+  }
+  if (!weights.empty()) {
+    if (weights.size() != features.size()) {
+      return Status::Invalid("Dataset: weights/features size mismatch");
+    }
+    for (double w : weights) {
+      if (w < 0.0) return Status::Invalid("Dataset: negative weight");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> Dataset::Take(std::span<const size_t> indices) const {
+  Dataset out;
+  out.feature_names = feature_names;
+  out.features.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  if (!weights.empty()) out.weights.reserve(indices.size());
+  for (size_t index : indices) {
+    if (index >= features.size()) {
+      return Status::OutOfRange("Dataset::Take: index out of range");
+    }
+    out.features.push_back(features[index]);
+    out.labels.push_back(labels[index]);
+    if (!weights.empty()) out.weights.push_back(weights[index]);
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<double>>> FeaturesFromTable(
+    const data::Table& table,
+    const std::vector<std::string>& feature_columns) {
+  if (feature_columns.empty()) {
+    return Status::Invalid("FeaturesFromTable: no feature columns");
+  }
+  std::vector<std::vector<double>> column_values;
+  column_values.reserve(feature_columns.size());
+  for (const std::string& name : feature_columns) {
+    FAIRLAW_ASSIGN_OR_RETURN(const data::Column* column,
+                             table.GetColumn(name));
+    FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> values, column->ToDoubles());
+    column_values.push_back(std::move(values));
+  }
+  std::vector<std::vector<double>> rows(
+      table.num_rows(), std::vector<double>(feature_columns.size()));
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < feature_columns.size(); ++c) {
+      rows[r][c] = column_values[c][r];
+    }
+  }
+  return rows;
+}
+
+Result<Dataset> DatasetFromTable(
+    const data::Table& table, const std::vector<std::string>& feature_columns,
+    const std::string& label_column) {
+  Dataset dataset;
+  dataset.feature_names = feature_columns;
+  FAIRLAW_ASSIGN_OR_RETURN(dataset.features,
+                           FeaturesFromTable(table, feature_columns));
+
+  FAIRLAW_ASSIGN_OR_RETURN(const data::Column* label_col,
+                           table.GetColumn(label_column));
+  FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> raw_labels,
+                           label_col->ToDoubles());
+  dataset.labels.resize(raw_labels.size());
+  for (size_t i = 0; i < raw_labels.size(); ++i) {
+    if (raw_labels[i] != 0.0 && raw_labels[i] != 1.0) {
+      return Status::Invalid("DatasetFromTable: label column '" +
+                             label_column + "' has non-binary value");
+    }
+    dataset.labels[i] = raw_labels[i] == 1.0 ? 1 : 0;
+  }
+  FAIRLAW_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace fairlaw::ml

@@ -1,0 +1,57 @@
+#ifndef FAIRLAW_ML_DATASET_H_
+#define FAIRLAW_ML_DATASET_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "data/table.h"
+
+namespace fairlaw::ml {
+
+/// A supervised binary-classification dataset.
+///
+/// `features` is row-major (features[i] is example i); `labels` are 0/1
+/// with 1 the favorable outcome throughout fairlaw (hire, loan granted,
+/// promoted). `weights` is either empty (all weights 1) or per-example;
+/// pre-processing mitigators such as reweighing express themselves purely
+/// through these weights.
+struct Dataset {
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;
+  std::vector<double> weights;
+
+  size_t size() const { return features.size(); }
+  size_t num_features() const {
+    return features.empty() ? feature_names.size() : features[0].size();
+  }
+
+  /// Weight of example i (1.0 when weights is empty).
+  double weight(size_t i) const { return weights.empty() ? 1.0 : weights[i]; }
+
+  /// Structural validation: rectangular features, labels in {0,1},
+  /// weights (if present) non-negative and aligned, at least one example.
+  Status Validate() const;
+
+  /// Returns the subset at `indices` (weights preserved).
+  Result<Dataset> Take(std::span<const size_t> indices) const;
+};
+
+/// Builds a Dataset from a table: `feature_columns` become the feature
+/// matrix (numeric or bool columns; int64 widened), `label_column` must be
+/// an int64/bool column with values in {0,1}. Null cells anywhere in the
+/// used columns are an error — callers must handle missingness explicitly
+/// before modeling.
+Result<Dataset> DatasetFromTable(const data::Table& table,
+                                 const std::vector<std::string>& feature_columns,
+                                 const std::string& label_column);
+
+/// Extracts only the feature matrix (no labels) from a table.
+Result<std::vector<std::vector<double>>> FeaturesFromTable(
+    const data::Table& table, const std::vector<std::string>& feature_columns);
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_DATASET_H_

@@ -1,0 +1,136 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairlaw::ml {
+namespace {
+
+double GiniFromCounts(double positive, double total) {
+  if (total <= 0.0) return 0.0;
+  double p = positive / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeOptions options) : options_(options) {}
+
+Status DecisionTree::Fit(const Dataset& data) {
+  FAIRLAW_RETURN_NOT_OK(data.Validate());
+  if (options_.max_depth < 0) {
+    return Status::Invalid("DecisionTree: max_depth must be >= 0");
+  }
+  if (options_.min_samples_leaf <= 0.0) {
+    return Status::Invalid("DecisionTree: min_samples_leaf must be > 0");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  num_features_ = data.num_features();
+  std::vector<size_t> indices(data.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  BuildNode(data, indices, 0);
+  fitted_ = true;
+  return Status::OK();
+}
+
+int DecisionTree::BuildNode(const Dataset& data, std::vector<size_t>& indices,
+                            int depth) {
+  depth_ = std::max(depth_, depth);
+  double total_weight = 0.0;
+  double positive_weight = 0.0;
+  for (size_t index : indices) {
+    double w = data.weight(index);
+    total_weight += w;
+    if (data.labels[index] == 1) positive_weight += w;
+  }
+
+  Node node;
+  node.probability = total_weight > 0.0 ? positive_weight / total_weight : 0.5;
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+
+  const double parent_impurity = GiniFromCounts(positive_weight, total_weight);
+  if (depth >= options_.max_depth || parent_impurity == 0.0 ||
+      total_weight < 2.0 * options_.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Best weighted-Gini split across features; candidate thresholds are
+  // midpoints between consecutive distinct sorted values.
+  double best_gain = options_.min_impurity_decrease;
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+  std::vector<size_t> order(indices);
+  for (size_t feature = 0; feature < num_features_; ++feature) {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return data.features[a][feature] < data.features[b][feature];
+    });
+    double left_weight = 0.0;
+    double left_positive = 0.0;
+    for (size_t k = 0; k + 1 < order.size(); ++k) {
+      size_t index = order[k];
+      double w = data.weight(index);
+      left_weight += w;
+      if (data.labels[index] == 1) left_positive += w;
+      double current = data.features[index][feature];
+      double next = data.features[order[k + 1]][feature];
+      if (current == next) continue;
+      double right_weight = total_weight - left_weight;
+      double right_positive = positive_weight - left_positive;
+      if (left_weight < options_.min_samples_leaf ||
+          right_weight < options_.min_samples_leaf) {
+        continue;
+      }
+      double impurity =
+          (left_weight * GiniFromCounts(left_positive, left_weight) +
+           right_weight * GiniFromCounts(right_positive, right_weight)) /
+          total_weight;
+      double gain = parent_impurity - impurity;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = feature;
+        best_threshold = 0.5 * (current + next);
+      }
+    }
+  }
+  if (best_gain <= options_.min_impurity_decrease) return node_id;
+
+  std::vector<size_t> left_indices;
+  std::vector<size_t> right_indices;
+  for (size_t index : indices) {
+    if (data.features[index][best_feature] <= best_threshold) {
+      left_indices.push_back(index);
+    } else {
+      right_indices.push_back(index);
+    }
+  }
+  if (left_indices.empty() || right_indices.empty()) return node_id;
+
+  indices.clear();
+  indices.shrink_to_fit();  // free before recursing
+
+  int left_id = BuildNode(data, left_indices, depth + 1);
+  int right_id = BuildNode(data, right_indices, depth + 1);
+  nodes_[node_id].is_leaf = false;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  nodes_[node_id].left = left_id;
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+Result<double> DecisionTree::PredictProba(std::span<const double> x) const {
+  if (!fitted_) return Status::FailedPrecondition("DecisionTree: not fitted");
+  if (x.size() != num_features_) {
+    return Status::Invalid("DecisionTree: feature width mismatch");
+  }
+  int node_id = 0;
+  while (!nodes_[node_id].is_leaf) {
+    const Node& node = nodes_[node_id];
+    node_id = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[node_id].probability;
+}
+
+}  // namespace fairlaw::ml

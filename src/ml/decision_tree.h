@@ -1,0 +1,55 @@
+#ifndef FAIRLAW_ML_DECISION_TREE_H_
+#define FAIRLAW_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace fairlaw::ml {
+
+/// Training configuration for the CART tree.
+struct DecisionTreeOptions {
+  int max_depth = 8;
+  double min_samples_leaf = 5.0;  // minimum total example weight per leaf
+  double min_impurity_decrease = 1e-7;
+};
+
+/// CART binary decision tree with weighted Gini impurity, axis-aligned
+/// threshold splits, and probability leaves (weighted positive fraction).
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {});
+
+  std::string name() const override { return "decision_tree"; }
+  Status Fit(const Dataset& data) override;
+  Result<double> PredictProba(std::span<const double> x) const override;
+
+  /// Number of nodes in the fitted tree (0 before Fit).
+  size_t num_nodes() const { return nodes_.size(); }
+  /// Depth of the fitted tree (root = 0; 0 for a single-leaf tree).
+  int depth() const { return depth_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    double probability = 0.0;  // leaves: weighted P(y=1)
+    size_t feature = 0;        // internal: split feature
+    double threshold = 0.0;    // internal: go left when x[feature] <= t
+    int left = -1;
+    int right = -1;
+  };
+
+  int BuildNode(const Dataset& data, std::vector<size_t>& indices, int depth);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  size_t num_features_ = 0;
+  int depth_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_DECISION_TREE_H_

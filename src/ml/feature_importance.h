@@ -1,0 +1,37 @@
+#ifndef FAIRLAW_ML_FEATURE_IMPORTANCE_H_
+#define FAIRLAW_ML_FEATURE_IMPORTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ml/classifier.h"
+#include "stats/rng.h"
+
+namespace fairlaw::ml {
+
+/// Importance score for one feature.
+struct FeatureImportance {
+  std::string feature;
+  double importance = 0.0;
+};
+
+/// Permutation importance: the drop in accuracy on `data` when the values
+/// of one feature are randomly permuted across examples, averaged over
+/// `repeats` permutations. This is the attribution signal the §IV-E
+/// manipulation experiment audits — an adversarially retrained model can
+/// drive the sensitive feature's importance to ~0 while still
+/// discriminating through proxies.
+Result<std::vector<FeatureImportance>> PermutationImportance(
+    const Classifier& model, const Dataset& data, int repeats,
+    stats::Rng* rng);
+
+/// Coefficient attributions for a linear model: |weight_j| * stddev of
+/// feature j over `data` (the contribution scale of each feature to the
+/// logit).
+Result<std::vector<FeatureImportance>> LinearAttribution(
+    const std::vector<double>& weights, const Dataset& data);
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_FEATURE_IMPORTANCE_H_

@@ -1,0 +1,88 @@
+#include "ml/isotonic.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fairlaw::ml {
+
+Result<IsotonicCalibrator> IsotonicCalibrator::Fit(
+    const std::vector<double>& scores, const std::vector<double>& targets,
+    const std::vector<double>& weights) {
+  if (scores.empty()) {
+    return Status::Invalid("IsotonicCalibrator: empty input");
+  }
+  if (targets.size() != scores.size()) {
+    return Status::Invalid("IsotonicCalibrator: scores/targets size "
+                           "mismatch");
+  }
+  if (!weights.empty() && weights.size() != scores.size()) {
+    return Status::Invalid("IsotonicCalibrator: weights size mismatch");
+  }
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::Invalid("IsotonicCalibrator: negative weight");
+    }
+  }
+
+  // Sort by score.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Pool-adjacent-violators over weighted blocks.
+  struct Block {
+    double score_sum;
+    double value_sum;  // weighted target sum
+    double weight;
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(scores.size());
+  for (size_t index : order) {
+    double w = weights.empty() ? 1.0 : weights[index];
+    if (w == 0.0) continue;
+    blocks.push_back({scores[index] * w, targets[index] * w, w});
+    // Merge while the monotonicity constraint is violated.
+    while (blocks.size() >= 2) {
+      const Block& prev = blocks[blocks.size() - 2];
+      const Block& last = blocks.back();
+      if (prev.value_sum / prev.weight <= last.value_sum / last.weight) {
+        break;
+      }
+      Block merged{prev.score_sum + last.score_sum,
+                   prev.value_sum + last.value_sum,
+                   prev.weight + last.weight};
+      blocks.pop_back();
+      blocks.back() = merged;
+    }
+  }
+  if (blocks.empty()) {
+    return Status::Invalid("IsotonicCalibrator: all weights are zero");
+  }
+
+  std::vector<double> knot_scores;
+  std::vector<double> knot_values;
+  knot_scores.reserve(blocks.size());
+  knot_values.reserve(blocks.size());
+  for (const Block& block : blocks) {
+    knot_scores.push_back(block.score_sum / block.weight);
+    knot_values.push_back(block.value_sum / block.weight);
+  }
+  return IsotonicCalibrator(std::move(knot_scores), std::move(knot_values));
+}
+
+double IsotonicCalibrator::Predict(double score) const {
+  if (score <= knot_scores_.front()) return knot_values_.front();
+  if (score >= knot_scores_.back()) return knot_values_.back();
+  auto it = std::upper_bound(knot_scores_.begin(), knot_scores_.end(),
+                             score);
+  size_t hi = static_cast<size_t>(it - knot_scores_.begin());
+  size_t lo = hi - 1;
+  double span = knot_scores_[hi] - knot_scores_[lo];
+  if (span <= 0.0) return knot_values_[lo];
+  double mix = (score - knot_scores_[lo]) / span;
+  return knot_values_[lo] + mix * (knot_values_[hi] - knot_values_[lo]);
+}
+
+}  // namespace fairlaw::ml

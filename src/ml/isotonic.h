@@ -1,0 +1,46 @@
+#ifndef FAIRLAW_ML_ISOTONIC_H_
+#define FAIRLAW_ML_ISOTONIC_H_
+
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::ml {
+
+/// Isotonic regression calibrator: fits a monotone non-decreasing map
+/// from raw scores to calibrated probabilities via the pool-adjacent-
+/// violators (PAV) algorithm, then predicts by linear interpolation
+/// between block means. The standard non-parametric probability
+/// calibrator; fairlaw uses it per protected group to repair
+/// calibration-within-groups violations.
+class IsotonicCalibrator {
+ public:
+  /// Fits on (score, outcome) pairs with optional per-example weights
+  /// (empty = 1.0). Outcomes need not be binary — any bounded target
+  /// works — but probability calibration passes 0/1 labels.
+  static Result<IsotonicCalibrator> Fit(
+      const std::vector<double>& scores, const std::vector<double>& targets,
+      const std::vector<double>& weights = {});
+
+  /// Calibrated value at `score`: interpolates between fitted block
+  /// centers; clamps outside the fitted range.
+  double Predict(double score) const;
+
+  /// Fitted block boundaries (score -> value), non-decreasing in both
+  /// coordinates.
+  const std::vector<double>& knot_scores() const { return knot_scores_; }
+  const std::vector<double>& knot_values() const { return knot_values_; }
+
+ private:
+  IsotonicCalibrator(std::vector<double> knot_scores,
+                     std::vector<double> knot_values)
+      : knot_scores_(std::move(knot_scores)),
+        knot_values_(std::move(knot_values)) {}
+
+  std::vector<double> knot_scores_;
+  std::vector<double> knot_values_;
+};
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_ISOTONIC_H_

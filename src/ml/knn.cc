@@ -1,0 +1,47 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairlaw::ml {
+
+KnnClassifier::KnnClassifier(int k) : k_(k) {}
+
+Status KnnClassifier::Fit(const Dataset& data) {
+  FAIRLAW_RETURN_NOT_OK(data.Validate());
+  if (k_ <= 0) return Status::Invalid("KnnClassifier: k must be > 0");
+  train_ = data;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> KnnClassifier::PredictProba(std::span<const double> x) const {
+  if (!fitted_) return Status::FailedPrecondition("KnnClassifier: not fitted");
+  if (x.size() != train_.num_features()) {
+    return Status::Invalid("KnnClassifier: feature width mismatch");
+  }
+  const size_t k = std::min(static_cast<size_t>(k_), train_.size());
+  std::vector<std::pair<double, size_t>> distances(train_.size());
+  for (size_t i = 0; i < train_.size(); ++i) {
+    double total = 0.0;
+    for (size_t j = 0; j < x.size(); ++j) {
+      double diff = x[j] - train_.features[i][j];
+      total += diff * diff;
+    }
+    distances[i] = {total, i};
+  }
+  std::nth_element(distances.begin(),
+                   distances.begin() + static_cast<ptrdiff_t>(k - 1),
+                   distances.end());
+  double weight_total = 0.0;
+  double weight_positive = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    size_t index = distances[i].second;
+    double w = train_.weight(index);
+    weight_total += w;
+    if (train_.labels[index] == 1) weight_positive += w;
+  }
+  return weight_total > 0.0 ? weight_positive / weight_total : 0.5;
+}
+
+}  // namespace fairlaw::ml

@@ -1,0 +1,30 @@
+#ifndef FAIRLAW_ML_KNN_H_
+#define FAIRLAW_ML_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace fairlaw::ml {
+
+/// k-nearest-neighbors classifier with Euclidean distance and
+/// weight-aware voting: PredictProba returns the example-weighted positive
+/// fraction among the k nearest training points.
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(int k = 5);
+
+  std::string name() const override { return "knn"; }
+  Status Fit(const Dataset& data) override;
+  Result<double> PredictProba(std::span<const double> x) const override;
+
+ private:
+  int k_;
+  Dataset train_;
+  bool fitted_ = false;
+};
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_KNN_H_

@@ -1,0 +1,107 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fairlaw::ml {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
+    : options_(options) {}
+
+Status LogisticRegression::Fit(const Dataset& data) {
+  FAIRLAW_RETURN_NOT_OK(data.Validate());
+  if (options_.learning_rate <= 0.0) {
+    return Status::Invalid("LogisticRegression: learning_rate must be > 0");
+  }
+  if (options_.max_epochs <= 0) {
+    return Status::Invalid("LogisticRegression: max_epochs must be > 0");
+  }
+  if (options_.l2 < 0.0) {
+    return Status::Invalid("LogisticRegression: l2 must be >= 0");
+  }
+
+  const size_t n = data.size();
+  const size_t d = data.num_features();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  double total_weight = 0.0;
+  for (size_t i = 0; i < n; ++i) total_weight += data.weight(i);
+  if (total_weight <= 0.0) {
+    return Status::Invalid("LogisticRegression: total example weight is 0");
+  }
+
+  std::vector<double> gradient(d, 0.0);
+  double previous_loss = std::numeric_limits<double>::infinity();
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    double bias_gradient = 0.0;
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const std::vector<double>& x = data.features[i];
+      double z = bias_;
+      for (size_t j = 0; j < d; ++j) z += weights_[j] * x[j];
+      double p = Sigmoid(z);
+      double w = data.weight(i);
+      double error = p - static_cast<double>(data.labels[i]);
+      for (size_t j = 0; j < d; ++j) gradient[j] += w * error * x[j];
+      bias_gradient += w * error;
+      // Weighted NLL with clamping to avoid log(0).
+      double pc = std::clamp(p, 1e-12, 1.0 - 1e-12);
+      loss -= w * (data.labels[i] == 1 ? std::log(pc) : std::log(1.0 - pc));
+    }
+    loss /= total_weight;
+    for (size_t j = 0; j < d; ++j) {
+      gradient[j] = gradient[j] / total_weight + options_.l2 * weights_[j];
+      loss += 0.5 * options_.l2 * weights_[j] * weights_[j];
+    }
+    bias_gradient /= total_weight;
+
+    for (size_t j = 0; j < d; ++j) {
+      weights_[j] -= options_.learning_rate * gradient[j];
+    }
+    bias_ -= options_.learning_rate * bias_gradient;
+
+    if (options_.verbose && epoch % 50 == 0) {
+      std::fprintf(stderr, "epoch %d loss %.6f\n", epoch, loss);
+    }
+    final_loss_ = loss;
+    if (std::fabs(previous_loss - loss) < options_.tolerance) break;
+    previous_loss = loss;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> LogisticRegression::PredictProba(
+    std::span<const double> x) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("LogisticRegression: not fitted");
+  }
+  if (x.size() != weights_.size()) {
+    return Status::Invalid("LogisticRegression: feature width " +
+                           std::to_string(x.size()) + " != " +
+                           std::to_string(weights_.size()));
+  }
+  double z = bias_;
+  for (size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+  return Sigmoid(z);
+}
+
+void LogisticRegression::SetParameters(std::vector<double> weights,
+                                       double bias) {
+  weights_ = std::move(weights);
+  bias_ = bias;
+  fitted_ = true;
+}
+
+}  // namespace fairlaw::ml

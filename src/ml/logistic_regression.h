@@ -1,0 +1,58 @@
+#ifndef FAIRLAW_ML_LOGISTIC_REGRESSION_H_
+#define FAIRLAW_ML_LOGISTIC_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace fairlaw::ml {
+
+/// Training configuration for logistic regression.
+struct LogisticRegressionOptions {
+  double learning_rate = 0.1;
+  int max_epochs = 500;
+  double l2 = 1e-4;           // ridge penalty on weights (not the bias)
+  double tolerance = 1e-7;    // stop when the loss improvement drops below
+  bool verbose = false;
+};
+
+/// L2-regularized logistic regression trained by full-batch gradient
+/// descent, honoring per-example weights. The reference model of the
+/// fairness literature: its coefficients double as exact feature
+/// attributions, which the manipulation experiments (§IV-E) exploit.
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {});
+
+  std::string name() const override { return "logistic_regression"; }
+  Status Fit(const Dataset& data) override;
+  Result<double> PredictProba(std::span<const double> x) const override;
+
+  /// Fitted weights (feature order of the training set); empty before Fit.
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  bool fitted() const { return fitted_; }
+
+  /// Overrides the fitted parameters (used by the adversarial retrainer
+  /// and by tests). Width must stay consistent with later PredictProba
+  /// calls.
+  void SetParameters(std::vector<double> weights, double bias);
+
+  /// Final training loss (weighted mean negative log-likelihood + L2).
+  double final_loss() const { return final_loss_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+  double final_loss_ = 0.0;
+};
+
+/// Numerically-stable logistic sigmoid.
+double Sigmoid(double z);
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_LOGISTIC_REGRESSION_H_

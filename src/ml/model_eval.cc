@@ -1,0 +1,122 @@
+#include "ml/model_eval.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace fairlaw::ml {
+
+double ConfusionMatrix::accuracy() const {
+  return total() > 0
+             ? static_cast<double>(tp + tn) / static_cast<double>(total())
+             : 0.0;
+}
+
+double ConfusionMatrix::precision() const {
+  int64_t pp = predicted_positive();
+  return pp > 0 ? static_cast<double>(tp) / static_cast<double>(pp) : 0.0;
+}
+
+double ConfusionMatrix::recall() const {
+  int64_t ap = actual_positive();
+  return ap > 0 ? static_cast<double>(tp) / static_cast<double>(ap) : 0.0;
+}
+
+double ConfusionMatrix::false_positive_rate() const {
+  int64_t an = actual_negative();
+  return an > 0 ? static_cast<double>(fp) / static_cast<double>(an) : 0.0;
+}
+
+double ConfusionMatrix::selection_rate() const {
+  return total() > 0 ? static_cast<double>(predicted_positive()) /
+                           static_cast<double>(total())
+                     : 0.0;
+}
+
+double ConfusionMatrix::f1() const {
+  double p = precision();
+  double r = recall();
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  return "tp=" + std::to_string(tp) + " fp=" + std::to_string(fp) +
+         " tn=" + std::to_string(tn) + " fn=" + std::to_string(fn) +
+         " acc=" + FormatDouble(accuracy(), 4);
+}
+
+Result<ConfusionMatrix> MakeConfusionMatrix(
+    std::span<const int> labels, std::span<const int> predictions) {
+  if (labels.size() != predictions.size()) {
+    return Status::Invalid("MakeConfusionMatrix: size mismatch");
+  }
+  if (labels.empty()) {
+    return Status::Invalid("MakeConfusionMatrix: empty input");
+  }
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if ((labels[i] != 0 && labels[i] != 1) ||
+        (predictions[i] != 0 && predictions[i] != 1)) {
+      return Status::Invalid("MakeConfusionMatrix: values must be 0/1");
+    }
+    if (labels[i] == 1) {
+      predictions[i] == 1 ? ++cm.tp : ++cm.fn;
+    } else {
+      predictions[i] == 1 ? ++cm.fp : ++cm.tn;
+    }
+  }
+  return cm;
+}
+
+Result<double> AucRoc(std::span<const int> labels,
+                      std::span<const double> scores) {
+  if (labels.size() != scores.size()) {
+    return Status::Invalid("AucRoc: size mismatch");
+  }
+  size_t positives = 0;
+  for (int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::Invalid("AucRoc: labels must be 0/1");
+    }
+    positives += label == 1 ? 1 : 0;
+  }
+  size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    return Status::Invalid("AucRoc: both classes must be present");
+  }
+
+  // Mann–Whitney U via mid-ranks (correct under ties).
+  std::vector<size_t> order(labels.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(labels.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    double mid_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                      1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid_rank;
+    i = j + 1;
+  }
+  double rank_sum_positive = 0.0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) rank_sum_positive += rank[k];
+  }
+  double u = rank_sum_positive -
+             static_cast<double>(positives) *
+                 (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+Result<double> Accuracy(std::span<const int> labels,
+                        std::span<const int> predictions) {
+  FAIRLAW_ASSIGN_OR_RETURN(ConfusionMatrix cm,
+                           MakeConfusionMatrix(labels, predictions));
+  return cm.accuracy();
+}
+
+}  // namespace fairlaw::ml

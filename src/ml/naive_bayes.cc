@@ -1,0 +1,155 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace fairlaw::ml {
+namespace {
+
+Status CheckBothClassesPresent(const Dataset& data) {
+  double weight[2] = {0.0, 0.0};
+  for (size_t i = 0; i < data.size(); ++i) {
+    weight[data.labels[i]] += data.weight(i);
+  }
+  if (weight[0] <= 0.0 || weight[1] <= 0.0) {
+    return Status::Invalid("naive Bayes: both classes must carry positive "
+                           "weight in the training data");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+GaussianNaiveBayes::GaussianNaiveBayes(double var_floor)
+    : var_floor_(var_floor) {}
+
+Status GaussianNaiveBayes::Fit(const Dataset& data) {
+  FAIRLAW_RETURN_NOT_OK(data.Validate());
+  FAIRLAW_RETURN_NOT_OK(CheckBothClassesPresent(data));
+  if (var_floor_ <= 0.0) {
+    return Status::Invalid("GaussianNaiveBayes: var_floor must be > 0");
+  }
+  const size_t d = data.num_features();
+  double class_weight[2] = {0.0, 0.0};
+  for (int c = 0; c < 2; ++c) {
+    mean_[c].assign(d, 0.0);
+    var_[c].assign(d, 0.0);
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    int c = data.labels[i];
+    double w = data.weight(i);
+    class_weight[c] += w;
+    for (size_t j = 0; j < d; ++j) mean_[c][j] += w * data.features[i][j];
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (size_t j = 0; j < d; ++j) mean_[c][j] /= class_weight[c];
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    int c = data.labels[i];
+    double w = data.weight(i);
+    for (size_t j = 0; j < d; ++j) {
+      double diff = data.features[i][j] - mean_[c][j];
+      var_[c][j] += w * diff * diff;
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      var_[c][j] = std::max(var_[c][j] / class_weight[c], var_floor_);
+    }
+  }
+  double total = class_weight[0] + class_weight[1];
+  log_prior_[0] = std::log(class_weight[0] / total);
+  log_prior_[1] = std::log(class_weight[1] / total);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> GaussianNaiveBayes::PredictProba(
+    std::span<const double> x) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("GaussianNaiveBayes: not fitted");
+  }
+  if (x.size() != mean_[0].size()) {
+    return Status::Invalid("GaussianNaiveBayes: feature width mismatch");
+  }
+  double log_joint[2];
+  for (int c = 0; c < 2; ++c) {
+    double total = log_prior_[c];
+    for (size_t j = 0; j < x.size(); ++j) {
+      double diff = x[j] - mean_[c][j];
+      total += -0.5 * std::log(2.0 * std::numbers::pi * var_[c][j]) -
+               0.5 * diff * diff / var_[c][j];
+    }
+    log_joint[c] = total;
+  }
+  // P(1|x) via the log-sum-exp-stable ratio.
+  double m = std::max(log_joint[0], log_joint[1]);
+  double e0 = std::exp(log_joint[0] - m);
+  double e1 = std::exp(log_joint[1] - m);
+  return e1 / (e0 + e1);
+}
+
+BernoulliNaiveBayes::BernoulliNaiveBayes(double alpha) : alpha_(alpha) {}
+
+Status BernoulliNaiveBayes::Fit(const Dataset& data) {
+  FAIRLAW_RETURN_NOT_OK(data.Validate());
+  FAIRLAW_RETURN_NOT_OK(CheckBothClassesPresent(data));
+  if (alpha_ <= 0.0) {
+    return Status::Invalid("BernoulliNaiveBayes: alpha must be > 0");
+  }
+  const size_t d = data.num_features();
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      double v = data.features[i][j];
+      if (v != 0.0 && v != 1.0) {
+        return Status::Invalid("BernoulliNaiveBayes: features must be 0/1");
+      }
+    }
+  }
+  double class_weight[2] = {0.0, 0.0};
+  for (int c = 0; c < 2; ++c) p_one_[c].assign(d, 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    int c = data.labels[i];
+    double w = data.weight(i);
+    class_weight[c] += w;
+    for (size_t j = 0; j < d; ++j) {
+      if (data.features[i][j] == 1.0) p_one_[c][j] += w;
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      p_one_[c][j] =
+          (p_one_[c][j] + alpha_) / (class_weight[c] + 2.0 * alpha_);
+    }
+  }
+  double total = class_weight[0] + class_weight[1];
+  log_prior_[0] = std::log(class_weight[0] / total);
+  log_prior_[1] = std::log(class_weight[1] / total);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> BernoulliNaiveBayes::PredictProba(
+    std::span<const double> x) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("BernoulliNaiveBayes: not fitted");
+  }
+  if (x.size() != p_one_[0].size()) {
+    return Status::Invalid("BernoulliNaiveBayes: feature width mismatch");
+  }
+  double log_joint[2];
+  for (int c = 0; c < 2; ++c) {
+    double total = log_prior_[c];
+    for (size_t j = 0; j < x.size(); ++j) {
+      bool one = x[j] > 0.5;
+      total += std::log(one ? p_one_[c][j] : 1.0 - p_one_[c][j]);
+    }
+    log_joint[c] = total;
+  }
+  double m = std::max(log_joint[0], log_joint[1]);
+  double e0 = std::exp(log_joint[0] - m);
+  double e1 = std::exp(log_joint[1] - m);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace fairlaw::ml

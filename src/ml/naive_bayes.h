@@ -1,0 +1,52 @@
+#ifndef FAIRLAW_ML_NAIVE_BAYES_H_
+#define FAIRLAW_ML_NAIVE_BAYES_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace fairlaw::ml {
+
+/// Gaussian naive Bayes: per-class, per-feature normal likelihoods with
+/// weighted maximum-likelihood estimates and a variance floor for
+/// numerical stability.
+class GaussianNaiveBayes : public Classifier {
+ public:
+  /// `var_floor` is the minimum per-feature variance.
+  explicit GaussianNaiveBayes(double var_floor = 1e-9);
+
+  std::string name() const override { return "gaussian_naive_bayes"; }
+  Status Fit(const Dataset& data) override;
+  Result<double> PredictProba(std::span<const double> x) const override;
+
+ private:
+  double var_floor_;
+  bool fitted_ = false;
+  double log_prior_[2] = {0.0, 0.0};
+  std::vector<double> mean_[2];
+  std::vector<double> var_[2];
+};
+
+/// Bernoulli naive Bayes for 0/1 features with Laplace smoothing.
+/// Non-binary feature values are an error at Fit time; at prediction time
+/// any value > 0.5 reads as 1.
+class BernoulliNaiveBayes : public Classifier {
+ public:
+  /// `alpha` is the Laplace smoothing pseudo-count (> 0).
+  explicit BernoulliNaiveBayes(double alpha = 1.0);
+
+  std::string name() const override { return "bernoulli_naive_bayes"; }
+  Status Fit(const Dataset& data) override;
+  Result<double> PredictProba(std::span<const double> x) const override;
+
+ private:
+  double alpha_;
+  bool fitted_ = false;
+  double log_prior_[2] = {0.0, 0.0};
+  std::vector<double> p_one_[2];  // P(feature=1 | class)
+};
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_NAIVE_BAYES_H_

@@ -1,0 +1,47 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+namespace fairlaw::ml {
+
+RandomForest::RandomForest(RandomForestOptions options)
+    : options_(options) {}
+
+Status RandomForest::Fit(const Dataset& data) {
+  FAIRLAW_RETURN_NOT_OK(data.Validate());
+  if (options_.num_trees <= 0) {
+    return Status::Invalid("RandomForest: num_trees must be > 0");
+  }
+  if (options_.sample_fraction <= 0.0 || options_.sample_fraction > 1.0) {
+    return Status::Invalid("RandomForest: sample_fraction must lie in "
+                           "(0,1]");
+  }
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(options_.num_trees));
+  stats::Rng rng(options_.seed);
+  const size_t bag_size = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             options_.sample_fraction * static_cast<double>(data.size()))));
+  for (int t = 0; t < options_.num_trees; ++t) {
+    std::vector<size_t> bag(bag_size);
+    for (size_t& index : bag) index = rng.UniformInt(data.size());
+    FAIRLAW_ASSIGN_OR_RETURN(Dataset bootstrap, data.Take(bag));
+    DecisionTree tree(options_.tree);
+    FAIRLAW_RETURN_NOT_OK(tree.Fit(bootstrap));
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> RandomForest::PredictProba(std::span<const double> x) const {
+  if (!fitted_) return Status::FailedPrecondition("RandomForest: not fitted");
+  double total = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    FAIRLAW_ASSIGN_OR_RETURN(double p, tree.PredictProba(x));
+    total += p;
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace fairlaw::ml

@@ -1,0 +1,47 @@
+#ifndef FAIRLAW_ML_RANDOM_FOREST_H_
+#define FAIRLAW_ML_RANDOM_FOREST_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+#include "stats/rng.h"
+
+namespace fairlaw::ml {
+
+/// Training configuration for the bagged forest.
+struct RandomForestOptions {
+  int num_trees = 25;
+  DecisionTreeOptions tree;
+  /// Bootstrap sample fraction per tree.
+  double sample_fraction = 1.0;
+  /// Seed for the internal bootstrap generator (forests own their
+  /// randomness so Fit stays deterministic given options).
+  uint64_t seed = 0x5eed;
+};
+
+/// Bagging ensemble of CART trees with probability averaging. A
+/// non-linear reference model for the audits: unlike logistic
+/// regression, it has no coefficient attributions, so permutation
+/// importance is the only attribution channel (relevant to the §IV-E
+/// manipulation discussion).
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {});
+
+  std::string name() const override { return "random_forest"; }
+  Status Fit(const Dataset& data) override;
+  Result<double> PredictProba(std::span<const double> x) const override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  bool fitted_ = false;
+};
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_RANDOM_FOREST_H_

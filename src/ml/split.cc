@@ -1,0 +1,56 @@
+#include "ml/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairlaw::ml {
+
+Result<TrainTestSplit> SplitTrainTest(const Dataset& data,
+                                      double test_fraction, stats::Rng* rng) {
+  FAIRLAW_RETURN_NOT_OK(data.Validate());
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return Status::Invalid("SplitTrainTest: test_fraction must lie in (0,1)");
+  }
+  if (rng == nullptr) return Status::Invalid("SplitTrainTest: null rng");
+  const size_t n = data.size();
+  if (n < 2) return Status::Invalid("SplitTrainTest: need >= 2 examples");
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  size_t test_size = static_cast<size_t>(
+      std::round(test_fraction * static_cast<double>(n)));
+  test_size = std::clamp<size_t>(test_size, 1, n - 1);
+
+  TrainTestSplit split;
+  split.test_indices.assign(order.begin(),
+                            order.begin() + static_cast<ptrdiff_t>(test_size));
+  split.train_indices.assign(order.begin() + static_cast<ptrdiff_t>(test_size),
+                             order.end());
+  std::sort(split.test_indices.begin(), split.test_indices.end());
+  std::sort(split.train_indices.begin(), split.train_indices.end());
+  FAIRLAW_ASSIGN_OR_RETURN(split.train, data.Take(split.train_indices));
+  FAIRLAW_ASSIGN_OR_RETURN(split.test, data.Take(split.test_indices));
+  return split;
+}
+
+Result<std::vector<std::vector<size_t>>> KFoldIndices(size_t n, size_t k,
+                                                      stats::Rng* rng) {
+  if (k < 2) return Status::Invalid("KFoldIndices: k must be >= 2");
+  if (k > n) return Status::Invalid("KFoldIndices: k exceeds sample count");
+  if (rng == nullptr) return Status::Invalid("KFoldIndices: null rng");
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng->Shuffle(&order);
+  std::vector<std::vector<size_t>> folds(k);
+  for (size_t i = 0; i < n; ++i) {
+    folds[i % k].push_back(order[i]);
+  }
+  for (std::vector<size_t>& fold : folds) {
+    std::sort(fold.begin(), fold.end());
+  }
+  return folds;
+}
+
+}  // namespace fairlaw::ml

@@ -1,0 +1,32 @@
+#ifndef FAIRLAW_ML_SPLIT_H_
+#define FAIRLAW_ML_SPLIT_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "ml/dataset.h"
+#include "stats/rng.h"
+
+namespace fairlaw::ml {
+
+/// A train/test partition of a dataset.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+  std::vector<size_t> train_indices;  // row indices into the source dataset
+  std::vector<size_t> test_indices;
+};
+
+/// Random shuffle split. `test_fraction` in (0,1); both sides are
+/// guaranteed non-empty.
+Result<TrainTestSplit> SplitTrainTest(const Dataset& data,
+                                      double test_fraction, stats::Rng* rng);
+
+/// K-fold partition: returns `k` folds of row indices covering the
+/// dataset exactly once each (shuffled). Requires 2 <= k <= n.
+Result<std::vector<std::vector<size_t>>> KFoldIndices(size_t n, size_t k,
+                                                      stats::Rng* rng);
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_SPLIT_H_

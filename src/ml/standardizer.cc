@@ -1,0 +1,60 @@
+#include "ml/standardizer.h"
+
+#include <cmath>
+
+namespace fairlaw::ml {
+
+Status Standardizer::Fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Status::Invalid("Standardizer: no rows");
+  const size_t d = rows[0].size();
+  if (d == 0) return Status::Invalid("Standardizer: zero-width rows");
+  means_.assign(d, 0.0);
+  scales_.assign(d, 1.0);
+  for (const std::vector<double>& row : rows) {
+    if (row.size() != d) return Status::Invalid("Standardizer: ragged rows");
+    for (size_t j = 0; j < d; ++j) means_[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) {
+    means_[j] /= static_cast<double>(rows.size());
+  }
+  std::vector<double> sum_sq(d, 0.0);
+  for (const std::vector<double>& row : rows) {
+    for (size_t j = 0; j < d; ++j) {
+      double diff = row[j] - means_[j];
+      sum_sq[j] += diff * diff;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    double var = sum_sq[j] / static_cast<double>(rows.size());
+    scales_[j] = var > 0.0 ? std::sqrt(var) : 1.0;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status Standardizer::Transform(std::vector<std::vector<double>>* rows) const {
+  if (!fitted_) return Status::FailedPrecondition("Standardizer: not fitted");
+  if (rows == nullptr) return Status::Invalid("Standardizer: null rows");
+  for (std::vector<double>& row : *rows) {
+    if (row.size() != means_.size()) {
+      return Status::Invalid("Standardizer: width mismatch");
+    }
+    for (size_t j = 0; j < row.size(); ++j) {
+      row[j] = (row[j] - means_[j]) / scales_[j];
+    }
+  }
+  return Status::OK();
+}
+
+Status Standardizer::FitTransform(Dataset* data) {
+  if (data == nullptr) return Status::Invalid("Standardizer: null dataset");
+  FAIRLAW_RETURN_NOT_OK(Fit(data->features));
+  return Transform(&data->features);
+}
+
+Status Standardizer::TransformDataset(Dataset* data) const {
+  if (data == nullptr) return Status::Invalid("Standardizer: null dataset");
+  return Transform(&data->features);
+}
+
+}  // namespace fairlaw::ml

@@ -1,0 +1,41 @@
+#ifndef FAIRLAW_ML_STANDARDIZER_H_
+#define FAIRLAW_ML_STANDARDIZER_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "ml/dataset.h"
+
+namespace fairlaw::ml {
+
+/// Per-feature z-score standardization fitted on training data and
+/// applied to train and test consistently. Features with zero variance
+/// pass through unchanged (scale 1).
+class Standardizer {
+ public:
+  /// Estimates per-feature mean and standard deviation.
+  Status Fit(const std::vector<std::vector<double>>& rows);
+
+  /// Transforms rows in place; fails before Fit or on width mismatch.
+  Status Transform(std::vector<std::vector<double>>* rows) const;
+
+  /// Fits on `data.features` and transforms them; convenience for
+  /// training pipelines.
+  Status FitTransform(Dataset* data);
+
+  /// Applies the fitted transform to a dataset's features.
+  Status TransformDataset(Dataset* data) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& scales() const { return scales_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+  bool fitted_ = false;
+};
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_STANDARDIZER_H_

@@ -1,0 +1,37 @@
+#ifndef FAIRLAW_SIMULATION_ADVERSARY_H_
+#define FAIRLAW_SIMULATION_ADVERSARY_H_
+
+#include <cstddef>
+
+#include "base/result.h"
+#include "ml/dataset.h"
+#include "ml/logistic_regression.h"
+
+namespace fairlaw::sim {
+
+// Adversarial attribution masking (§IV-E; Dimanov et al. [3]). The
+// attacker retrains a model so that explanation methods assign ~zero
+// importance to the protected feature while discrimination continues
+// through correlated proxies. For a linear model the attack is an
+// asymmetric ridge: a very large L2 penalty on the protected coefficient
+// only. The optimizer drives that coefficient to ~0 and re-routes its
+// predictive (and discriminatory) signal through the proxies — accuracy
+// barely moves, attribution audits go quiet, outcome audits do not.
+
+struct MaskingOptions {
+  /// Extra L2 penalty applied to the protected coefficient.
+  double masking_penalty = 1000.0;
+  ml::LogisticRegressionOptions lr;
+};
+
+/// Trains the masked model on `data` (which must INCLUDE the protected
+/// feature at `protected_feature_index` — the attacker controls training
+/// and has it). Returns a logistic regression whose protected coefficient
+/// is suppressed.
+Result<ml::LogisticRegression> TrainMaskedModel(
+    const ml::Dataset& data, size_t protected_feature_index,
+    const MaskingOptions& options = {});
+
+}  // namespace fairlaw::sim
+
+#endif  // FAIRLAW_SIMULATION_ADVERSARY_H_

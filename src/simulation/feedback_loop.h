@@ -1,0 +1,68 @@
+#ifndef FAIRLAW_SIMULATION_FEEDBACK_LOOP_H_
+#define FAIRLAW_SIMULATION_FEEDBACK_LOOP_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "stats/rng.h"
+
+namespace fairlaw::sim {
+
+// Feedback-loop simulator (§IV-D). Round zero trains a hiring model on
+// historically biased labels. Each subsequent round: a fresh applicant
+// pool arrives, the model decides, the decisions are appended to the
+// training data as if they were ground truth, and the model is retrained.
+// Two reinforcement channels operate: (1) label feedback — the model's
+// own biased decisions become training labels; (2) discouragement —
+// members of a group whose past selection rate trails the other group's
+// become less likely to apply at all. Mitigation (reweighing before each
+// retrain, or post-processing group thresholds) can be switched on to
+// show the loop flattening.
+
+enum class LoopMitigation {
+  kNone,
+  kReweighing,       // pre-processing before every retrain
+  kGroupThresholds,  // demographic-parity thresholds on every decision round
+};
+
+struct FeedbackLoopOptions {
+  size_t initial_n = 4000;           // historical training pool
+  size_t applicants_per_round = 2000;
+  int rounds = 12;
+  double selection_rate = 0.3;       // fraction hired each round
+  double label_bias = 1.0;           // historical bias in round-0 labels
+  double proxy_strength = 1.0;       // gender proxy strength in features
+  /// Discouragement sensitivity: after each round, the disadvantaged
+  /// group's application propensity is multiplied by
+  /// (1 - discouragement * selection-rate gap).
+  double discouragement = 0.5;
+  LoopMitigation mitigation = LoopMitigation::kNone;
+};
+
+/// Per-round measurements.
+struct RoundStats {
+  int round = 0;
+  double selection_rate_female = 0.0;
+  double selection_rate_male = 0.0;
+  double dp_gap = 0.0;
+  /// Share of women among this round's applicants (starts at the
+  /// population share and erodes under discouragement).
+  double female_applicant_share = 0.0;
+  /// Model accuracy against gender-blind merit.
+  double accuracy_vs_merit = 0.0;
+};
+
+struct FeedbackLoopResult {
+  std::vector<RoundStats> rounds;
+  /// dp_gap of the last round minus the first round (> 0 = amplification).
+  double gap_drift = 0.0;
+};
+
+/// Runs the simulation.
+Result<FeedbackLoopResult> RunFeedbackLoop(const FeedbackLoopOptions& options,
+                                           stats::Rng* rng);
+
+}  // namespace fairlaw::sim
+
+#endif  // FAIRLAW_SIMULATION_FEEDBACK_LOOP_H_

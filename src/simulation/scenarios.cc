@@ -1,0 +1,424 @@
+#include "simulation/scenarios.h"
+
+#include "causal/counterfactual.h"
+
+namespace fairlaw::sim {
+namespace {
+
+using causal::LinearMechanism;
+using causal::Mechanism;
+using causal::NodeSpec;
+using causal::NoiseSpec;
+using causal::Scm;
+using causal::ScmSample;
+using causal::ThresholdMechanism;
+
+/// Root node: value = 0 + noise.
+NodeSpec Root(const std::string& name, NoiseSpec noise) {
+  return NodeSpec{name, {}, causal::ConstantMechanism(0.0), noise};
+}
+
+/// Converts a 0/1-valued node to a string column with the given names.
+Result<data::Column> BinaryToStrings(const ScmSample& sample,
+                                     const std::string& node,
+                                     const std::string& zero_name,
+                                     const std::string& one_name) {
+  FAIRLAW_ASSIGN_OR_RETURN(const std::vector<double>* values,
+                           sample.Values(node));
+  std::vector<std::string> strings(values->size());
+  for (size_t i = 0; i < values->size(); ++i) {
+    strings[i] = (*values)[i] == 1.0 ? one_name : zero_name;
+  }
+  return data::Column::FromStrings(std::move(strings));
+}
+
+Result<data::Column> NodeToDoubles(const ScmSample& sample,
+                                   const std::string& node) {
+  FAIRLAW_ASSIGN_OR_RETURN(const std::vector<double>* values,
+                           sample.Values(node));
+  return data::Column::FromDoubles(*values);
+}
+
+Result<data::Column> BinaryToInt64(const ScmSample& sample,
+                                   const std::string& node) {
+  FAIRLAW_ASSIGN_OR_RETURN(const std::vector<double>* values,
+                           sample.Values(node));
+  std::vector<int64_t> ints(values->size());
+  for (size_t i = 0; i < values->size(); ++i) {
+    ints[i] = (*values)[i] == 1.0 ? 1 : 0;
+  }
+  return data::Column::FromInt64s(std::move(ints));
+}
+
+}  // namespace
+
+Result<ScenarioData> MakeHiringScenario(const HiringOptions& options,
+                                        stats::Rng* rng) {
+  if (options.n < 10) {
+    return Status::Invalid("MakeHiringScenario: n must be >= 10");
+  }
+  if (options.female_share <= 0.0 || options.female_share >= 1.0) {
+    return Status::Invalid("MakeHiringScenario: female_share must lie in "
+                           "(0,1)");
+  }
+  Scm scm;
+  // gender = 1 (female) iff the uniform latent falls below female_share.
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(Root("gender_u",
+                                         NoiseSpec::Uniform(0.0, 1.0))));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "gender",
+      {"gender_u"},
+      ThresholdMechanism({-1.0}, options.female_share),
+      NoiseSpec::None()}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(Root("skill",
+                                         NoiseSpec::Gaussian(0.0, 1.0))));
+  // University prestige: driven by skill but depressed for women in
+  // proportion to proxy_strength — the §IV-B proxy channel.
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "university",
+      {"skill", "gender"},
+      LinearMechanism({0.8, -options.proxy_strength}, 0.0),
+      NoiseSpec::Gaussian(0.0, 0.6)}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "experience",
+      {"skill"},
+      LinearMechanism({0.7}, 0.0),
+      NoiseSpec::Gaussian(0.0, 0.7)}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "test_score",
+      {"skill"},
+      LinearMechanism({0.9}, 0.0),
+      NoiseSpec::Gaussian(0.0, 0.4)}));
+  // Merit is gender-blind: a good match iff skill is above average.
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "merit", {"skill"}, ThresholdMechanism({1.0}, 0.0), NoiseSpec::None()}));
+  // Historical hiring: skill-driven but with a direct gender penalty —
+  // the disparate-treatment channel the label carries into training data.
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "hire_latent",
+      {"skill", "gender"},
+      LinearMechanism({1.2, -options.label_bias}, 0.0),
+      NoiseSpec::Gaussian(0.0, 0.8)}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "hired",
+      {"hire_latent"},
+      ThresholdMechanism({1.0}, -0.2),
+      NoiseSpec::None()}));
+
+  FAIRLAW_ASSIGN_OR_RETURN(ScmSample sample, scm.Sample(options.n, rng));
+
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column gender,
+                           BinaryToStrings(sample, "gender", "male",
+                                           "female"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column university,
+                           NodeToDoubles(sample, "university"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column experience,
+                           NodeToDoubles(sample, "experience"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column test_score,
+                           NodeToDoubles(sample, "test_score"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column merit, BinaryToInt64(sample, "merit"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column hired, BinaryToInt64(sample, "hired"));
+  FAIRLAW_ASSIGN_OR_RETURN(
+      data::Schema schema,
+      data::Schema::Make({{"gender", data::DataType::kString},
+                          {"university", data::DataType::kDouble},
+                          {"experience", data::DataType::kDouble},
+                          {"test_score", data::DataType::kDouble},
+                          {"merit", data::DataType::kInt64},
+                          {"hired", data::DataType::kInt64}}));
+  FAIRLAW_ASSIGN_OR_RETURN(
+      data::Table table,
+      data::Table::Make(std::move(schema),
+                        {std::move(gender), std::move(university),
+                         std::move(experience), std::move(test_score),
+                         std::move(merit), std::move(hired)}));
+
+  ScenarioData scenario{std::move(scm), std::move(sample), std::move(table),
+                        {"university", "experience", "test_score"},
+                        {"gender"},
+                        "hired",
+                        "merit"};
+  return scenario;
+}
+
+Result<ScenarioData> MakeLendingScenario(const LendingOptions& options,
+                                         stats::Rng* rng) {
+  if (options.n < 10) {
+    return Status::Invalid("MakeLendingScenario: n must be >= 10");
+  }
+  if (options.minority_share <= 0.0 || options.minority_share >= 1.0) {
+    return Status::Invalid("MakeLendingScenario: minority_share must lie in "
+                           "(0,1)");
+  }
+  Scm scm;
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(Root("group_u",
+                                         NoiseSpec::Uniform(0.0, 1.0))));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "group",
+      {"group_u"},
+      ThresholdMechanism({-1.0}, options.minority_share),
+      NoiseSpec::None()}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(Root("earning_ability",
+                                         NoiseSpec::Gaussian(0.0, 1.0))));
+  // Structural income gap: the §IV-A "structural/historical inequality"
+  // channel, distinct from decision bias.
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "income",
+      {"earning_ability", "group"},
+      LinearMechanism({0.8, -options.income_gap}, 0.0),
+      NoiseSpec::Gaussian(0.0, 0.5)}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "credit_history",
+      {"earning_ability"},
+      LinearMechanism({0.6}, 0.0),
+      NoiseSpec::Gaussian(0.0, 0.6)}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "debt_ratio",
+      {"income"},
+      LinearMechanism({-0.4}, 0.0),
+      NoiseSpec::Gaussian(0.0, 0.8)}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "merit",
+      {"earning_ability", "debt_ratio"},
+      ThresholdMechanism({1.0, -0.3}, 0.1),
+      NoiseSpec::None()}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "approve_latent",
+      {"earning_ability", "debt_ratio", "group"},
+      LinearMechanism({1.0, -0.3, -options.label_bias}, 0.0),
+      NoiseSpec::Gaussian(0.0, 0.7)}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "approved",
+      {"approve_latent"},
+      ThresholdMechanism({1.0}, 0.0),
+      NoiseSpec::None()}));
+
+  FAIRLAW_ASSIGN_OR_RETURN(ScmSample sample, scm.Sample(options.n, rng));
+
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column group,
+                           BinaryToStrings(sample, "group", "majority",
+                                           "minority"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column income,
+                           NodeToDoubles(sample, "income"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column credit_history,
+                           NodeToDoubles(sample, "credit_history"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column debt_ratio,
+                           NodeToDoubles(sample, "debt_ratio"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column merit, BinaryToInt64(sample, "merit"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column approved,
+                           BinaryToInt64(sample, "approved"));
+  FAIRLAW_ASSIGN_OR_RETURN(
+      data::Schema schema,
+      data::Schema::Make({{"group", data::DataType::kString},
+                          {"income", data::DataType::kDouble},
+                          {"credit_history", data::DataType::kDouble},
+                          {"debt_ratio", data::DataType::kDouble},
+                          {"merit", data::DataType::kInt64},
+                          {"approved", data::DataType::kInt64}}));
+  FAIRLAW_ASSIGN_OR_RETURN(
+      data::Table table,
+      data::Table::Make(std::move(schema),
+                        {std::move(group), std::move(income),
+                         std::move(credit_history), std::move(debt_ratio),
+                         std::move(merit), std::move(approved)}));
+
+  ScenarioData scenario{std::move(scm), std::move(sample), std::move(table),
+                        {"income", "credit_history", "debt_ratio"},
+                        {"group"},
+                        "approved",
+                        "merit"};
+  return scenario;
+}
+
+Result<ScenarioData> MakePromotionScenario(const PromotionOptions& options,
+                                           stats::Rng* rng) {
+  if (options.n < 10) {
+    return Status::Invalid("MakePromotionScenario: n must be >= 10");
+  }
+  if (options.female_share <= 0.0 || options.female_share >= 1.0 ||
+      options.caucasian_share <= 0.0 || options.caucasian_share >= 1.0) {
+    return Status::Invalid("MakePromotionScenario: shares must lie in (0,1)");
+  }
+  Scm scm;
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(Root("gender_u",
+                                         NoiseSpec::Uniform(0.0, 1.0))));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "gender",
+      {"gender_u"},
+      ThresholdMechanism({-1.0}, options.female_share),
+      NoiseSpec::None()}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(Root("race_u",
+                                         NoiseSpec::Uniform(0.0, 1.0))));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "race",
+      {"race_u"},
+      ThresholdMechanism({-1.0}, options.caucasian_share),
+      NoiseSpec::None()}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(Root("ability",
+                                         NoiseSpec::Gaussian(0.0, 1.0))));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "performance",
+      {"ability"},
+      LinearMechanism({0.9}, 0.0),
+      NoiseSpec::Gaussian(0.0, 0.5)}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "tenure",
+      {"ability"},
+      LinearMechanism({0.5}, 0.0),
+      NoiseSpec::Gaussian(0.0, 0.8)}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "merit",
+      {"ability"},
+      ThresholdMechanism({1.0}, 0.0),
+      NoiseSpec::None()}));
+  // Gerrymandered penalty cell: the §IV-C pattern. Penalized iff
+  // gender == race (i.e. female&caucasian or male&non_caucasian), which
+  // leaves both marginal selection rates balanced for balanced shares.
+  Mechanism gerrymander = [](std::span<const double> parents) {
+    return parents[0] == parents[1] ? 1.0 : 0.0;
+  };
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "penalized", {"gender", "race"}, gerrymander, NoiseSpec::None()}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "promote_latent",
+      {"ability", "penalized"},
+      LinearMechanism({1.0, -options.subgroup_bias}, 0.3),
+      NoiseSpec::Gaussian(0.0, 0.7)}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "promoted",
+      {"promote_latent"},
+      ThresholdMechanism({1.0}, 0.0),
+      NoiseSpec::None()}));
+
+  FAIRLAW_ASSIGN_OR_RETURN(ScmSample sample, scm.Sample(options.n, rng));
+
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column gender,
+                           BinaryToStrings(sample, "gender", "male",
+                                           "female"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column race,
+                           BinaryToStrings(sample, "race", "non_caucasian",
+                                           "caucasian"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column performance,
+                           NodeToDoubles(sample, "performance"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column tenure,
+                           NodeToDoubles(sample, "tenure"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column merit, BinaryToInt64(sample, "merit"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column promoted,
+                           BinaryToInt64(sample, "promoted"));
+  FAIRLAW_ASSIGN_OR_RETURN(
+      data::Schema schema,
+      data::Schema::Make({{"gender", data::DataType::kString},
+                          {"race", data::DataType::kString},
+                          {"performance", data::DataType::kDouble},
+                          {"tenure", data::DataType::kDouble},
+                          {"merit", data::DataType::kInt64},
+                          {"promoted", data::DataType::kInt64}}));
+  FAIRLAW_ASSIGN_OR_RETURN(
+      data::Table table,
+      data::Table::Make(std::move(schema),
+                        {std::move(gender), std::move(race),
+                         std::move(performance), std::move(tenure),
+                         std::move(merit), std::move(promoted)}));
+
+  ScenarioData scenario{std::move(scm), std::move(sample), std::move(table),
+                        {"performance", "tenure"},
+                        {"gender", "race"},
+                        "promoted",
+                        "merit"};
+  return scenario;
+}
+
+Result<ScenarioData> MakeAdmissionsScenario(const AdmissionsOptions& options,
+                                            stats::Rng* rng) {
+  if (options.n < 10) {
+    return Status::Invalid("MakeAdmissionsScenario: n must be >= 10");
+  }
+  if (options.first_gen_share <= 0.0 || options.first_gen_share >= 1.0) {
+    return Status::Invalid("MakeAdmissionsScenario: first_gen_share must "
+                           "lie in (0,1)");
+  }
+  Scm scm;
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(Root("first_gen_u",
+                                         NoiseSpec::Uniform(0.0, 1.0))));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "first_gen",
+      {"first_gen_u"},
+      ThresholdMechanism({-1.0}, options.first_gen_share),
+      NoiseSpec::None()}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(Root("ability",
+                                         NoiseSpec::Gaussian(0.0, 1.0))));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "gpa",
+      {"ability"},
+      LinearMechanism({0.8}, 0.0),
+      NoiseSpec::Gaussian(0.0, 0.5)}));
+  // Test-prep access: the proxy channel — first-gen applicants score
+  // lower on the standardized test at equal ability.
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "test_score",
+      {"ability", "first_gen"},
+      LinearMechanism({0.9, -options.coaching_gap}, 0.0),
+      NoiseSpec::Gaussian(0.0, 0.5)}));
+  // Legacy status: overwhelmingly non-first-gen.
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "legacy_latent",
+      {"first_gen"},
+      LinearMechanism({-2.0}, -0.5),
+      NoiseSpec::Gaussian(0.0, 1.0)}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "legacy",
+      {"legacy_latent"},
+      ThresholdMechanism({1.0}, 0.0),
+      NoiseSpec::None()}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "merit", {"ability"}, ThresholdMechanism({1.0}, 0.0),
+      NoiseSpec::None()}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "admit_latent",
+      {"ability", "legacy", "first_gen"},
+      LinearMechanism({1.0, options.legacy_weight, -options.label_bias},
+                      -0.2),
+      NoiseSpec::Gaussian(0.0, 0.7)}));
+  FAIRLAW_RETURN_NOT_OK(scm.AddNode(NodeSpec{
+      "admitted",
+      {"admit_latent"},
+      ThresholdMechanism({1.0}, 0.0),
+      NoiseSpec::None()}));
+
+  FAIRLAW_ASSIGN_OR_RETURN(ScmSample sample, scm.Sample(options.n, rng));
+
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column first_gen,
+                           BinaryToStrings(sample, "first_gen",
+                                           "continuing_gen", "first_gen"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column gpa, NodeToDoubles(sample, "gpa"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column test_score,
+                           NodeToDoubles(sample, "test_score"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column legacy,
+                           NodeToDoubles(sample, "legacy"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column merit, BinaryToInt64(sample, "merit"));
+  FAIRLAW_ASSIGN_OR_RETURN(data::Column admitted,
+                           BinaryToInt64(sample, "admitted"));
+  FAIRLAW_ASSIGN_OR_RETURN(
+      data::Schema schema,
+      data::Schema::Make({{"first_gen", data::DataType::kString},
+                          {"gpa", data::DataType::kDouble},
+                          {"test_score", data::DataType::kDouble},
+                          {"legacy", data::DataType::kDouble},
+                          {"merit", data::DataType::kInt64},
+                          {"admitted", data::DataType::kInt64}}));
+  FAIRLAW_ASSIGN_OR_RETURN(
+      data::Table table,
+      data::Table::Make(std::move(schema),
+                        {std::move(first_gen), std::move(gpa),
+                         std::move(test_score), std::move(legacy),
+                         std::move(merit), std::move(admitted)}));
+
+  ScenarioData scenario{std::move(scm), std::move(sample), std::move(table),
+                        {"gpa", "test_score", "legacy"},
+                        {"first_gen"},
+                        "admitted",
+                        "merit"};
+  return scenario;
+}
+
+}  // namespace fairlaw::sim

@@ -1,0 +1,97 @@
+#ifndef FAIRLAW_SIMULATION_SCENARIOS_H_
+#define FAIRLAW_SIMULATION_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "causal/scm.h"
+#include "data/table.h"
+#include "stats/rng.h"
+
+namespace fairlaw::sim {
+
+// Synthetic population generators. Each scenario is a structural causal
+// model with explicit bias knobs, standing in for the proprietary
+// hiring/lending/promotion datasets the paper's use cases assume (see
+// DESIGN.md, substitution table). Because the ground-truth mechanisms are
+// known, every audit in fairlaw can be validated against the injected
+// bias: turn a knob to zero and the corresponding detector must go quiet.
+
+/// A generated scenario: the causal model, the raw sample (with exogenous
+/// noise, for counterfactual audits), and a ready-to-audit table.
+struct ScenarioData {
+  causal::Scm scm;
+  causal::ScmSample sample;
+  data::Table table;
+  /// Feature columns a model may legitimately use (excludes protected
+  /// attributes and the label).
+  std::vector<std::string> feature_columns;
+  /// Protected attribute column(s), string-valued.
+  std::vector<std::string> protected_columns;
+  /// Historical decision column (0/1 int64) — the biased training label.
+  std::string label_column;
+  /// Ground-truth merit column (0/1 int64): whether the individual is
+  /// actually a "good match", independent of historical bias.
+  std::string merit_column;
+};
+
+/// Hiring scenario (§III's running example + §IV-B proxies).
+///
+/// Causal graph: gender -> university, gender -> hired (via label_bias);
+/// skill -> {university, experience, test_score} -> hired.
+/// `proxy_strength` scales the gender->university edge: with the gender
+/// column removed, university remains a gender proxy of that strength.
+/// `label_bias` scales the direct gender penalty in the *historical*
+/// hiring decision, while merit stays gender-blind.
+struct HiringOptions {
+  size_t n = 10000;
+  double female_share = 1.0 / 3.0;  // the paper's 10-female/20-male ratio
+  double label_bias = 1.0;          // logit penalty applied to women
+  double proxy_strength = 1.0;      // gender -> university edge weight
+};
+Result<ScenarioData> MakeHiringScenario(const HiringOptions& options,
+                                        stats::Rng* rng);
+
+/// Lending scenario (ECOA setting): continuous credit score, group-based
+/// historical bias in approvals; group B is the disadvantaged minority.
+struct LendingOptions {
+  size_t n = 10000;
+  double minority_share = 0.3;
+  double label_bias = 1.0;      // logit penalty on minority approvals
+  double income_gap = 0.5;      // structural income difference (std units)
+};
+Result<ScenarioData> MakeLendingScenario(const LendingOptions& options,
+                                         stats::Rng* rng);
+
+/// Promotion scenario with two protected attributes (§IV-C). The injected
+/// bias is gerrymandered: it penalizes exactly the subgroups
+/// (male, non_caucasian) and (female, caucasian), so both marginal audits
+/// pass while the depth-2 subgroup audit fails.
+struct PromotionOptions {
+  size_t n = 20000;
+  double female_share = 0.5;
+  double caucasian_share = 0.5;
+  double subgroup_bias = 1.5;  // logit penalty on the two gerrymandered cells
+};
+Result<ScenarioData> MakePromotionScenario(const PromotionOptions& options,
+                                           stats::Rng* rng);
+
+/// University admissions scenario: first-generation applicants face two
+/// structural channels — a test-prep gap depressing test scores (proxy)
+/// and a legacy-status advantage they rarely hold — plus an optional
+/// direct decision bias. Exercises the same audits on a third domain
+/// (education, EU Directive 2000/43 sector coverage).
+struct AdmissionsOptions {
+  size_t n = 10000;
+  double first_gen_share = 0.4;
+  double coaching_gap = 0.8;   // test-score depression for first-gen
+  double legacy_weight = 0.6;  // admission boost from legacy status
+  double label_bias = 0.5;     // direct logit penalty on first-gen
+};
+Result<ScenarioData> MakeAdmissionsScenario(const AdmissionsOptions& options,
+                                            stats::Rng* rng);
+
+}  // namespace fairlaw::sim
+
+#endif  // FAIRLAW_SIMULATION_SCENARIOS_H_

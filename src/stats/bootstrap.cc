@@ -1,0 +1,76 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace fairlaw::stats {
+namespace {
+
+std::vector<double> Resample(std::span<const double> sample, Rng* rng) {
+  std::vector<double> out(sample.size());
+  for (double& v : out) {
+    v = sample[rng->UniformInt(sample.size())];
+  }
+  return out;
+}
+
+Result<ConfidenceInterval> PercentileInterval(std::vector<double> replicas,
+                                              double estimate, double level) {
+  std::sort(replicas.begin(), replicas.end());
+  const double alpha = (1.0 - level) / 2.0;
+  ConfidenceInterval ci;
+  ci.estimate = estimate;
+  ci.level = level;
+  FAIRLAW_ASSIGN_OR_RETURN(ci.lower, Quantile(replicas, alpha));
+  FAIRLAW_ASSIGN_OR_RETURN(ci.upper, Quantile(replicas, 1.0 - alpha));
+  return ci;
+}
+
+}  // namespace
+
+Result<ConfidenceInterval> BootstrapCi(std::span<const double> sample,
+                                       const Statistic& statistic,
+                                       int replicates, double level,
+                                       Rng* rng) {
+  if (sample.empty()) return Status::Invalid("BootstrapCi: empty sample");
+  if (replicates < 2) {
+    return Status::Invalid("BootstrapCi: need >= 2 replicates");
+  }
+  if (level <= 0.0 || level >= 1.0) {
+    return Status::Invalid("BootstrapCi: level must lie in (0,1)");
+  }
+  if (rng == nullptr) return Status::Invalid("BootstrapCi: null rng");
+  std::vector<double> replicas(replicates);
+  for (int r = 0; r < replicates; ++r) {
+    std::vector<double> resampled = Resample(sample, rng);
+    replicas[r] = statistic(resampled);
+  }
+  return PercentileInterval(std::move(replicas), statistic(sample), level);
+}
+
+Result<ConfidenceInterval> BootstrapCiTwoSample(
+    std::span<const double> sample_a, std::span<const double> sample_b,
+    const TwoSampleStatistic& statistic, int replicates, double level,
+    Rng* rng) {
+  if (sample_a.empty() || sample_b.empty()) {
+    return Status::Invalid("BootstrapCiTwoSample: empty sample");
+  }
+  if (replicates < 2) {
+    return Status::Invalid("BootstrapCiTwoSample: need >= 2 replicates");
+  }
+  if (level <= 0.0 || level >= 1.0) {
+    return Status::Invalid("BootstrapCiTwoSample: level must lie in (0,1)");
+  }
+  if (rng == nullptr) return Status::Invalid("BootstrapCiTwoSample: null rng");
+  std::vector<double> replicas(replicates);
+  for (int r = 0; r < replicates; ++r) {
+    std::vector<double> ra = Resample(sample_a, rng);
+    std::vector<double> rb = Resample(sample_b, rng);
+    replicas[r] = statistic(ra, rb);
+  }
+  return PercentileInterval(std::move(replicas),
+                            statistic(sample_a, sample_b), level);
+}
+
+}  // namespace fairlaw::stats

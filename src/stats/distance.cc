@@ -1,0 +1,188 @@
+#include "stats/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairlaw::stats {
+namespace {
+
+Status CheckAligned(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) {
+    return Status::Invalid("distributions have different support sizes");
+  }
+  if (p.empty()) return Status::Invalid("empty distributions");
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] < 0.0 || q[i] < 0.0) {
+      return Status::Invalid("negative probability mass");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> TotalVariation(std::span<const double> p,
+                              std::span<const double> q) {
+  FAIRLAW_RETURN_NOT_OK(CheckAligned(p, q));
+  double total = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) total += std::fabs(p[i] - q[i]);
+  return 0.5 * total;
+}
+
+Result<double> Hellinger(std::span<const double> p,
+                         std::span<const double> q) {
+  FAIRLAW_RETURN_NOT_OK(CheckAligned(p, q));
+  double bhattacharyya = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    bhattacharyya += std::sqrt(p[i] * q[i]);
+  }
+  // Clamp: rounding can push the coefficient slightly above 1.
+  return std::sqrt(std::max(0.0, 1.0 - std::min(1.0, bhattacharyya)));
+}
+
+Result<double> KlDivergence(std::span<const double> p,
+                            std::span<const double> q) {
+  FAIRLAW_RETURN_NOT_OK(CheckAligned(p, q));
+  double total = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == 0.0) continue;
+    if (q[i] == 0.0) {
+      return Status::Invalid("KL divergence is infinite: q has a zero where "
+                             "p has mass");
+    }
+    total += p[i] * std::log(p[i] / q[i]);
+  }
+  return total;
+}
+
+Result<double> JensenShannon(std::span<const double> p,
+                             std::span<const double> q) {
+  FAIRLAW_RETURN_NOT_OK(CheckAligned(p, q));
+  std::vector<double> mid(p.size());
+  for (size_t i = 0; i < p.size(); ++i) mid[i] = 0.5 * (p[i] + q[i]);
+  // The midpoint dominates both inputs, so the KL terms are finite.
+  FAIRLAW_ASSIGN_OR_RETURN(double kl_p, KlDivergence(p, mid));
+  FAIRLAW_ASSIGN_OR_RETURN(double kl_q, KlDivergence(q, mid));
+  return 0.5 * kl_p + 0.5 * kl_q;
+}
+
+Result<double> ChiSquareDivergence(std::span<const double> p,
+                                   std::span<const double> q) {
+  FAIRLAW_RETURN_NOT_OK(CheckAligned(p, q));
+  double total = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double diff = p[i] - q[i];
+    if (diff == 0.0) continue;
+    if (q[i] == 0.0) {
+      return Status::Invalid("chi-square divergence undefined: q has a zero "
+                             "where p differs");
+    }
+    total += diff * diff / q[i];
+  }
+  return total;
+}
+
+Result<double> Wasserstein1Samples(std::span<const double> x,
+                                   std::span<const double> y) {
+  if (x.empty() || y.empty()) {
+    return Status::Invalid("Wasserstein1Samples: empty sample");
+  }
+  std::vector<double> xs(x.begin(), x.end());
+  std::vector<double> ys(y.begin(), y.end());
+  std::sort(xs.begin(), xs.end());
+  std::sort(ys.begin(), ys.end());
+  // Integrate |F_x^{-1}(u) - F_y^{-1}(u)| du by sweeping the merged
+  // quantile grid: each sample point owns a block of quantile mass, and on
+  // the intersection of two blocks both inverse CDFs are constant.
+  const double nx = static_cast<double>(xs.size());
+  const double ny = static_cast<double>(ys.size());
+  size_t i = 0;
+  size_t j = 0;
+  double cursor = 0.0;  // current quantile level
+  double total = 0.0;
+  while (i < xs.size() && j < ys.size()) {
+    double next_x = static_cast<double>(i + 1) / nx;
+    double next_y = static_cast<double>(j + 1) / ny;
+    double next = std::min(next_x, next_y);
+    total += (next - cursor) * std::fabs(xs[i] - ys[j]);
+    cursor = next;
+    if (next_x <= next) ++i;
+    if (next_y <= next) ++j;
+  }
+  return total;
+}
+
+Result<double> Wasserstein1Discrete(std::span<const double> support_p,
+                                    std::span<const double> p,
+                                    std::span<const double> support_q,
+                                    std::span<const double> q) {
+  if (support_p.size() != p.size() || support_q.size() != q.size()) {
+    return Status::Invalid("Wasserstein1Discrete: support/probability size "
+                           "mismatch");
+  }
+  if (p.empty() || q.empty()) {
+    return Status::Invalid("Wasserstein1Discrete: empty distribution");
+  }
+  for (size_t i = 1; i < support_p.size(); ++i) {
+    if (support_p[i] <= support_p[i - 1]) {
+      return Status::Invalid("Wasserstein1Discrete: support_p not strictly "
+                             "increasing");
+    }
+  }
+  for (size_t i = 1; i < support_q.size(); ++i) {
+    if (support_q[i] <= support_q[i - 1]) {
+      return Status::Invalid("Wasserstein1Discrete: support_q not strictly "
+                             "increasing");
+    }
+  }
+  // W1 on the line = integral over t of |F_p(t) - F_q(t)| dt; sweep the
+  // merged support.
+  std::vector<double> grid;
+  grid.reserve(support_p.size() + support_q.size());
+  grid.insert(grid.end(), support_p.begin(), support_p.end());
+  grid.insert(grid.end(), support_q.begin(), support_q.end());
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+
+  double total = 0.0;
+  double cdf_p = 0.0;
+  double cdf_q = 0.0;
+  size_t ip = 0;
+  size_t iq = 0;
+  for (size_t g = 0; g + 1 < grid.size(); ++g) {
+    while (ip < support_p.size() && support_p[ip] <= grid[g]) {
+      cdf_p += p[ip++];
+    }
+    while (iq < support_q.size() && support_q[iq] <= grid[g]) {
+      cdf_q += q[iq++];
+    }
+    total += std::fabs(cdf_p - cdf_q) * (grid[g + 1] - grid[g]);
+  }
+  return total;
+}
+
+Result<double> KolmogorovSmirnov(std::span<const double> x,
+                                 std::span<const double> y) {
+  if (x.empty() || y.empty()) {
+    return Status::Invalid("KolmogorovSmirnov: empty sample");
+  }
+  std::vector<double> xs(x.begin(), x.end());
+  std::vector<double> ys(y.begin(), y.end());
+  std::sort(xs.begin(), xs.end());
+  std::sort(ys.begin(), ys.end());
+  const double nx = static_cast<double>(xs.size());
+  const double ny = static_cast<double>(ys.size());
+  size_t i = 0;
+  size_t j = 0;
+  double best = 0.0;
+  while (i < xs.size() && j < ys.size()) {
+    double t = std::min(xs[i], ys[j]);
+    while (i < xs.size() && xs[i] <= t) ++i;
+    while (j < ys.size() && ys[j] <= t) ++j;
+    best = std::max(best, std::fabs(static_cast<double>(i) / nx -
+                                    static_cast<double>(j) / ny));
+  }
+  return best;
+}
+
+}  // namespace fairlaw::stats

@@ -1,0 +1,66 @@
+#ifndef FAIRLAW_STATS_EMPIRICAL_H_
+#define FAIRLAW_STATS_EMPIRICAL_H_
+
+#include <span>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::stats {
+
+/// Empirical distribution of a univariate continuous sample.
+///
+/// Stores the sorted sample and answers CDF / quantile queries; this is
+/// the common substrate for the 1-D Wasserstein distance, the
+/// Kolmogorov–Smirnov statistic, and quantile-based repair methods.
+class EmpiricalDistribution {
+ public:
+  /// Builds from a non-empty sample (copied and sorted).
+  static Result<EmpiricalDistribution> Make(std::span<const double> values);
+
+  size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Right-continuous empirical CDF: fraction of sample <= x.
+  double Cdf(double x) const;
+
+  /// Empirical quantile with linear interpolation (type-7). q in [0,1] is
+  /// clamped.
+  double Quantile(double q) const;
+
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+
+ private:
+  explicit EmpiricalDistribution(std::vector<double> sorted)
+      : sorted_(std::move(sorted)) {}
+
+  std::vector<double> sorted_;
+};
+
+/// Discrete probability distribution over categories 0..k-1.
+class DiscreteDistribution {
+ public:
+  /// Builds from non-negative masses with a positive total; masses are
+  /// normalized to sum to 1.
+  static Result<DiscreteDistribution> FromMasses(
+      std::span<const double> masses);
+
+  /// Builds from integer counts.
+  static Result<DiscreteDistribution> FromCounts(
+      std::span<const int64_t> counts);
+
+  size_t size() const { return probs_.size(); }
+  double prob(size_t i) const { return probs_[i]; }
+  const std::vector<double>& probs() const { return probs_; }
+
+ private:
+  explicit DiscreteDistribution(std::vector<double> probs)
+      : probs_(std::move(probs)) {}
+
+  std::vector<double> probs_;
+};
+
+}  // namespace fairlaw::stats
+
+#endif  // FAIRLAW_STATS_EMPIRICAL_H_

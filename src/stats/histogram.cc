@@ -1,0 +1,106 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace fairlaw::stats {
+
+Result<Histogram> Histogram::Make(double lo, double hi, size_t bins) {
+  if (!(lo < hi)) return Status::Invalid("Histogram: requires lo < hi");
+  if (bins == 0) return Status::Invalid("Histogram: requires bins >= 1");
+  return Histogram(lo, hi, bins);
+}
+
+Result<Histogram> Histogram::FromValues(std::span<const double> values,
+                                        size_t bins) {
+  FAIRLAW_ASSIGN_OR_RETURN(double lo, Min(values));
+  FAIRLAW_ASSIGN_OR_RETURN(double hi, Max(values));
+  if (lo == hi) {
+    return Status::Invalid("Histogram::FromValues: constant sample");
+  }
+  FAIRLAW_ASSIGN_OR_RETURN(Histogram hist, Make(lo, hi, bins));
+  hist.AddAll(values);
+  return hist;
+}
+
+size_t Histogram::BinIndex(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  double fraction = (value - lo_) / (hi_ - lo_);
+  size_t index = static_cast<size_t>(fraction *
+                                     static_cast<double>(counts_.size()));
+  return std::min(index, counts_.size() - 1);
+}
+
+void Histogram::Add(double value, double weight) {
+  counts_[BinIndex(value)] += weight;
+  total_weight_ += weight;
+}
+
+void Histogram::AddAll(std::span<const double> values) {
+  for (double v : values) Add(v);
+}
+
+std::vector<double> Histogram::Probabilities() const {
+  std::vector<double> probs(counts_.size());
+  if (total_weight_ <= 0.0) {
+    std::fill(probs.begin(), probs.end(),
+              1.0 / static_cast<double>(counts_.size()));
+    return probs;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    probs[i] = counts_[i] / total_weight_;
+  }
+  return probs;
+}
+
+double Histogram::BinCenter(size_t i) const {
+  double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+void CategoricalHistogram::Add(const std::string& category, double weight) {
+  for (size_t i = 0; i < categories_.size(); ++i) {
+    if (categories_[i] == category) {
+      counts_[i] += weight;
+      total_weight_ += weight;
+      return;
+    }
+  }
+  categories_.push_back(category);
+  counts_.push_back(weight);
+  total_weight_ += weight;
+}
+
+double CategoricalHistogram::count(const std::string& category) const {
+  for (size_t i = 0; i < categories_.size(); ++i) {
+    if (categories_[i] == category) return counts_[i];
+  }
+  return 0.0;
+}
+
+std::vector<double> CategoricalHistogram::Probabilities() const {
+  std::vector<double> probs(counts_.size());
+  if (total_weight_ <= 0.0) {
+    std::fill(probs.begin(), probs.end(),
+              counts_.empty() ? 0.0 : 1.0 / static_cast<double>(counts_.size()));
+    return probs;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    probs[i] = counts_[i] / total_weight_;
+  }
+  return probs;
+}
+
+std::vector<double> CategoricalHistogram::ProbabilitiesFor(
+    const std::vector<std::string>& order) const {
+  std::vector<double> probs(order.size(), 0.0);
+  if (total_weight_ <= 0.0) return probs;
+  for (size_t i = 0; i < order.size(); ++i) {
+    probs[i] = count(order[i]) / total_weight_;
+  }
+  return probs;
+}
+
+}  // namespace fairlaw::stats

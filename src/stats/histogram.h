@@ -1,0 +1,94 @@
+#ifndef FAIRLAW_STATS_HISTOGRAM_H_
+#define FAIRLAW_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::stats {
+
+/// Equal-width histogram over [lo, hi] with a fixed bin count.
+///
+/// Values outside [lo, hi] are clamped into the first/last bin so that a
+/// histogram built from a sample always accounts for every observation —
+/// bias-detection distances must compare full distributions, not trimmed
+/// ones.
+class Histogram {
+ public:
+  /// Creates an empty histogram. Requires lo < hi and bins >= 1.
+  static Result<Histogram> Make(double lo, double hi, size_t bins);
+
+  /// Creates a histogram spanning the min/max of `values` and adds them.
+  /// Requires a non-empty, non-constant sample.
+  static Result<Histogram> FromValues(std::span<const double> values,
+                                      size_t bins);
+
+  /// Adds one observation (clamped into range) with the given weight.
+  void Add(double value, double weight = 1.0);
+
+  /// Adds every value in `values` with weight 1.
+  void AddAll(std::span<const double> values);
+
+  size_t num_bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double total_weight() const { return total_weight_; }
+
+  /// Weight accumulated in bin `i`.
+  double count(size_t i) const { return counts_[i]; }
+
+  /// Bin probabilities (counts normalized to sum 1). Returns a uniform
+  /// vector when the histogram is empty so that distance computations
+  /// remain well defined.
+  std::vector<double> Probabilities() const;
+
+  /// Midpoint of bin `i`.
+  double BinCenter(size_t i) const;
+
+  /// Index of the bin receiving `value`.
+  size_t BinIndex(double value) const;
+
+ private:
+  Histogram(double lo, double hi, size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0.0) {}
+
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_weight_ = 0.0;
+};
+
+/// Frequency table over categorical values identified by string labels.
+class CategoricalHistogram {
+ public:
+  /// Adds one observation of `category` with the given weight.
+  void Add(const std::string& category, double weight = 1.0);
+
+  /// Categories in first-seen order.
+  const std::vector<std::string>& categories() const { return categories_; }
+
+  /// Weight for `category` (0 if unseen).
+  double count(const std::string& category) const;
+
+  double total_weight() const { return total_weight_; }
+
+  /// Probabilities aligned with categories(). Uniform when empty.
+  std::vector<double> Probabilities() const;
+
+  /// Probabilities aligned with an externally supplied category order;
+  /// unseen categories get probability 0.
+  std::vector<double> ProbabilitiesFor(
+      const std::vector<std::string>& order) const;
+
+ private:
+  std::vector<std::string> categories_;
+  std::vector<double> counts_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace fairlaw::stats
+
+#endif  // FAIRLAW_STATS_HISTOGRAM_H_

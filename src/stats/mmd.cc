@@ -1,0 +1,146 @@
+#include "stats/mmd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace fairlaw::stats {
+namespace {
+
+double SquaredDistance(const Point& x, const Point& y) {
+  FAIRLAW_CHECK(x.size() == y.size());
+  double total = 0.0;
+  for (size_t d = 0; d < x.size(); ++d) {
+    double diff = x[d] - y[d];
+    total += diff * diff;
+  }
+  return total;
+}
+
+std::vector<Point> Lift(std::span<const double> values) {
+  std::vector<Point> points(values.size());
+  for (size_t i = 0; i < values.size(); ++i) points[i] = {values[i]};
+  return points;
+}
+
+}  // namespace
+
+double RbfKernel(const Point& x, const Point& y, double sigma) {
+  return std::exp(-SquaredDistance(x, y) / (2.0 * sigma * sigma));
+}
+
+double MedianHeuristicBandwidth(std::span<const Point> x,
+                                std::span<const Point> y, size_t max_pairs) {
+  std::vector<const Point*> pooled;
+  pooled.reserve(x.size() + y.size());
+  for (const Point& p : x) pooled.push_back(&p);
+  for (const Point& p : y) pooled.push_back(&p);
+  if (pooled.size() < 2) return 1.0;
+
+  // Deterministic subsampling by striding so the heuristic stays cheap on
+  // large pooled samples.
+  const size_t n = pooled.size();
+  const size_t total_pairs = n * (n - 1) / 2;
+  size_t stride = 1;
+  if (total_pairs > max_pairs) {
+    stride = total_pairs / max_pairs + 1;
+  }
+  std::vector<double> distances;
+  distances.reserve(std::min(total_pairs, max_pairs) + 1);
+  size_t counter = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (counter++ % stride != 0) continue;
+      distances.push_back(std::sqrt(SquaredDistance(*pooled[i], *pooled[j])));
+    }
+  }
+  if (distances.empty()) return 1.0;
+  std::nth_element(distances.begin(),
+                   distances.begin() + distances.size() / 2, distances.end());
+  double median = distances[distances.size() / 2];
+  return median > 0.0 ? median : 1.0;
+}
+
+Result<double> MmdSquaredUnbiased(std::span<const Point> x,
+                                  std::span<const Point> y, double sigma) {
+  if (x.size() < 2 || y.size() < 2) {
+    return Status::Invalid("MMD unbiased estimator needs >= 2 points per "
+                           "sample");
+  }
+  if (sigma <= 0.0) return Status::Invalid("MMD: sigma must be positive");
+  const double nx = static_cast<double>(x.size());
+  const double ny = static_cast<double>(y.size());
+
+  double kxx = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (size_t j = 0; j < x.size(); ++j) {
+      if (i == j) continue;
+      kxx += RbfKernel(x[i], x[j], sigma);
+    }
+  }
+  kxx /= nx * (nx - 1.0);
+
+  double kyy = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    for (size_t j = 0; j < y.size(); ++j) {
+      if (i == j) continue;
+      kyy += RbfKernel(y[i], y[j], sigma);
+    }
+  }
+  kyy /= ny * (ny - 1.0);
+
+  double kxy = 0.0;
+  for (const Point& a : x) {
+    for (const Point& b : y) kxy += RbfKernel(a, b, sigma);
+  }
+  kxy /= nx * ny;
+
+  return kxx + kyy - 2.0 * kxy;
+}
+
+Result<double> MmdSquaredBiased(std::span<const Point> x,
+                                std::span<const Point> y, double sigma) {
+  if (x.empty() || y.empty()) {
+    return Status::Invalid("MMD biased estimator needs non-empty samples");
+  }
+  if (sigma <= 0.0) return Status::Invalid("MMD: sigma must be positive");
+  const double nx = static_cast<double>(x.size());
+  const double ny = static_cast<double>(y.size());
+
+  double kxx = 0.0;
+  for (const Point& a : x) {
+    for (const Point& b : x) kxx += RbfKernel(a, b, sigma);
+  }
+  kxx /= nx * nx;
+
+  double kyy = 0.0;
+  for (const Point& a : y) {
+    for (const Point& b : y) kyy += RbfKernel(a, b, sigma);
+  }
+  kyy /= ny * ny;
+
+  double kxy = 0.0;
+  for (const Point& a : x) {
+    for (const Point& b : y) kxy += RbfKernel(a, b, sigma);
+  }
+  kxy /= nx * ny;
+
+  return std::max(0.0, kxx + kyy - 2.0 * kxy);
+}
+
+Result<double> MmdSquaredUnbiased1d(std::span<const double> x,
+                                    std::span<const double> y, double sigma) {
+  std::vector<Point> px = Lift(x);
+  std::vector<Point> py = Lift(y);
+  return MmdSquaredUnbiased(px, py, sigma);
+}
+
+Result<double> MmdSquaredBiased1d(std::span<const double> x,
+                                  std::span<const double> y, double sigma) {
+  std::vector<Point> px = Lift(x);
+  std::vector<Point> py = Lift(y);
+  return MmdSquaredBiased(px, py, sigma);
+}
+
+}  // namespace fairlaw::stats

@@ -1,0 +1,44 @@
+#ifndef FAIRLAW_STATS_MMD_H_
+#define FAIRLAW_STATS_MMD_H_
+
+#include <span>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::stats {
+
+/// A point in d-dimensional feature space.
+using Point = std::vector<double>;
+
+/// RBF (Gaussian) kernel exp(-||x-y||^2 / (2 sigma^2)).
+double RbfKernel(const Point& x, const Point& y, double sigma);
+
+/// Median heuristic bandwidth: the median pairwise Euclidean distance over
+/// the pooled sample (subsampled to at most `max_pairs` pairs for large
+/// inputs). Returns a strictly positive value; falls back to 1.0 when all
+/// points coincide.
+double MedianHeuristicBandwidth(std::span<const Point> x,
+                                std::span<const Point> y,
+                                size_t max_pairs = 100000);
+
+/// Unbiased estimator of squared Maximum Mean Discrepancy between samples
+/// x and y under the RBF kernel with bandwidth sigma. Requires at least 2
+/// points per sample. The estimator may be slightly negative for close
+/// distributions; callers wanting a distance should clamp at 0.
+Result<double> MmdSquaredUnbiased(std::span<const Point> x,
+                                  std::span<const Point> y, double sigma);
+
+/// Biased (V-statistic) estimator of squared MMD; always >= 0.
+Result<double> MmdSquaredBiased(std::span<const Point> x,
+                                std::span<const Point> y, double sigma);
+
+/// Convenience overloads for 1-D samples.
+Result<double> MmdSquaredUnbiased1d(std::span<const double> x,
+                                    std::span<const double> y, double sigma);
+Result<double> MmdSquaredBiased1d(std::span<const double> x,
+                                  std::span<const double> y, double sigma);
+
+}  // namespace fairlaw::stats
+
+#endif  // FAIRLAW_STATS_MMD_H_

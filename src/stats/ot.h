@@ -1,0 +1,49 @@
+#ifndef FAIRLAW_STATS_OT_H_
+#define FAIRLAW_STATS_OT_H_
+
+#include <span>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fairlaw::stats {
+
+/// A transport plan between two discrete distributions: plan[i][j] is the
+/// mass moved from source atom i to target atom j.
+struct TransportPlan {
+  std::vector<std::vector<double>> plan;
+  double cost = 0.0;  // total transport cost under the supplied cost matrix
+};
+
+/// Exact discrete optimal transport between source masses `p` and target
+/// masses `q` under `cost` (cost[i][j] >= 0), solved by successive
+/// shortest augmenting paths on the bipartite residual graph.
+///
+/// `p` and `q` must each sum to the same positive total (tolerance 1e-9;
+/// they are normalized internally). Intended for small/medium supports
+/// (up to a few hundred atoms), which covers the discrete protected-
+/// attribute and quantile-bin use cases in fairness repair.
+Result<TransportPlan> ExactTransport(
+    std::span<const double> p, std::span<const double> q,
+    const std::vector<std::vector<double>>& cost);
+
+/// Entropy-regularized OT via Sinkhorn–Knopp iterations. Faster and
+/// smoother than the exact solver; `epsilon` is the entropic regularization
+/// strength (> 0), `max_iters` bounds the iteration count and `tolerance`
+/// is the marginal violation at which iteration stops.
+Result<TransportPlan> SinkhornTransport(
+    std::span<const double> p, std::span<const double> q,
+    const std::vector<std::vector<double>>& cost, double epsilon,
+    int max_iters = 1000, double tolerance = 1e-9);
+
+/// Barycentric projection of a transport plan: for each source atom i,
+/// the cost-weighted average target location sum_j plan[i][j]*target[j] /
+/// sum_j plan[i][j]. Source atoms with no outgoing mass keep their own
+/// location from `source`.
+Result<std::vector<double>> BarycentricProjection(
+    const TransportPlan& plan, std::span<const double> source,
+    std::span<const double> target);
+
+}  // namespace fairlaw::stats
+
+#endif  // FAIRLAW_STATS_OT_H_

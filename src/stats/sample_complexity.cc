@@ -1,0 +1,82 @@
+#include "stats/sample_complexity.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace fairlaw::stats {
+
+Result<ComplexityCurve> MeasureSampleComplexity(
+    const std::string& name, const Sampler& sampler_p,
+    const Sampler& sampler_q, const DistanceEstimator& estimator,
+    double true_distance, const std::vector<size_t>& sample_sizes,
+    int repetitions, Rng* rng) {
+  if (sample_sizes.empty()) {
+    return Status::Invalid("MeasureSampleComplexity: no sample sizes");
+  }
+  if (repetitions < 2) {
+    return Status::Invalid("MeasureSampleComplexity: need >= 2 repetitions");
+  }
+  if (rng == nullptr) {
+    return Status::Invalid("MeasureSampleComplexity: null rng");
+  }
+
+  ComplexityCurve curve;
+  curve.name = name;
+  curve.true_distance = true_distance;
+
+  for (size_t n : sample_sizes) {
+    if (n < 2) {
+      return Status::Invalid("MeasureSampleComplexity: sample size must be "
+                             ">= 2");
+    }
+    std::vector<double> estimates;
+    estimates.reserve(repetitions);
+    double total_us = 0.0;
+    for (int r = 0; r < repetitions; ++r) {
+      std::vector<double> x = sampler_p(n, rng);
+      std::vector<double> y = sampler_q(n, rng);
+      auto start = std::chrono::steady_clock::now();
+      FAIRLAW_ASSIGN_OR_RETURN(double est, estimator(x, y));
+      auto end = std::chrono::steady_clock::now();
+      total_us += std::chrono::duration<double, std::micro>(end - start)
+                      .count();
+      estimates.push_back(est);
+    }
+    ComplexityPoint point;
+    point.n = n;
+    point.mean_estimate = Mean(estimates).ValueOrDie();
+    double abs_error = 0.0;
+    for (double est : estimates) abs_error += std::fabs(est - true_distance);
+    point.mean_abs_error = abs_error / static_cast<double>(estimates.size());
+    point.stddev_estimate = StdDev(estimates).ValueOrDie();
+    point.mean_runtime_us = total_us / static_cast<double>(repetitions);
+    curve.points.push_back(point);
+  }
+
+  // Fit log(error) = a + b log(n) by least squares over points with
+  // positive error; b is the convergence exponent.
+  std::vector<double> log_n;
+  std::vector<double> log_err;
+  for (const ComplexityPoint& point : curve.points) {
+    if (point.mean_abs_error > 0.0) {
+      log_n.push_back(std::log(static_cast<double>(point.n)));
+      log_err.push_back(std::log(point.mean_abs_error));
+    }
+  }
+  if (log_n.size() >= 2) {
+    double mean_x = Mean(log_n).ValueOrDie();
+    double mean_y = Mean(log_err).ValueOrDie();
+    double sxy = 0.0;
+    double sxx = 0.0;
+    for (size_t i = 0; i < log_n.size(); ++i) {
+      sxy += (log_n[i] - mean_x) * (log_err[i] - mean_y);
+      sxx += (log_n[i] - mean_x) * (log_n[i] - mean_x);
+    }
+    curve.error_rate_exponent = sxx > 0.0 ? sxy / sxx : 0.0;
+  }
+  return curve;
+}
+
+}  // namespace fairlaw::stats

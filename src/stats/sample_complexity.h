@@ -1,0 +1,54 @@
+#ifndef FAIRLAW_STATS_SAMPLE_COMPLEXITY_H_
+#define FAIRLAW_STATS_SAMPLE_COMPLEXITY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "stats/rng.h"
+
+namespace fairlaw::stats {
+
+// Empirical sample-complexity measurement for bias-detection distances
+// (§IV-F): how fast does the estimated distance between two sampled
+// distributions converge to the population value as n grows, and what does
+// each estimate cost to compute?
+
+/// Draws one sample of size n from a population.
+using Sampler = std::function<std::vector<double>(size_t n, Rng* rng)>;
+
+/// Computes a distance estimate from two samples.
+using DistanceEstimator = std::function<Result<double>(
+    const std::vector<double>& x, const std::vector<double>& y)>;
+
+/// One row of the sweep: estimation error statistics at a sample size.
+struct ComplexityPoint {
+  size_t n = 0;
+  double mean_estimate = 0.0;
+  double mean_abs_error = 0.0;   // vs the supplied true distance
+  double stddev_estimate = 0.0;  // spread across repetitions
+  double mean_runtime_us = 0.0;  // wall time per estimate, microseconds
+};
+
+struct ComplexityCurve {
+  std::string name;
+  double true_distance = 0.0;
+  std::vector<ComplexityPoint> points;
+  /// Least-squares slope of log(mean_abs_error) vs log(n); roughly -0.5
+  /// for root-n estimators.
+  double error_rate_exponent = 0.0;
+};
+
+/// Runs the sweep: for each n in `sample_sizes`, draws `repetitions`
+/// sample pairs from the two populations, computes the estimator, and
+/// records error and runtime against `true_distance`.
+Result<ComplexityCurve> MeasureSampleComplexity(
+    const std::string& name, const Sampler& sampler_p,
+    const Sampler& sampler_q, const DistanceEstimator& estimator,
+    double true_distance, const std::vector<size_t>& sample_sizes,
+    int repetitions, Rng* rng);
+
+}  // namespace fairlaw::stats
+
+#endif  // FAIRLAW_STATS_SAMPLE_COMPLEXITY_H_

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audit/manipulation.h"
+#include "ml/feature_importance.h"
+#include "ml/model_eval.h"
+#include "simulation/adversary.h"
+#include "simulation/scenarios.h"
+
+namespace fairlaw::sim {
+namespace {
+
+using fairlaw::stats::Rng;
+
+/// Training data WITH the gender indicator as feature 0, plus proxies.
+struct AdversaryData {
+  ml::Dataset data;              // features: [gender, university, experience]
+  std::vector<std::string> genders;
+};
+
+AdversaryData MakeData(size_t n) {
+  Rng rng(23);
+  HiringOptions options;
+  options.n = n;
+  options.label_bias = 1.5;
+  options.proxy_strength = 1.5;
+  ScenarioData scenario = MakeHiringScenario(options, &rng).ValueOrDie();
+  AdversaryData out;
+  out.data.feature_names = {"gender", "university", "experience"};
+  auto features =
+      ml::FeaturesFromTable(scenario.table,
+                            {"university", "experience"})
+          .ValueOrDie();
+  const data::Column* gender =
+      scenario.table.GetColumn("gender").ValueOrDie();
+  const data::Column* hired =
+      scenario.table.GetColumn("hired").ValueOrDie();
+  for (size_t i = 0; i < n; ++i) {
+    std::string g = gender->GetString(i).ValueOrDie();
+    out.genders.push_back(g);
+    out.data.features.push_back(
+        {g == "female" ? 1.0 : 0.0, features[i][0], features[i][1]});
+    out.data.labels.push_back(
+        static_cast<int>(hired->GetInt64(i).ValueOrDie()));
+  }
+  return out;
+}
+
+TEST(AdversaryTest, MaskingSuppressesSensitiveCoefficient) {
+  AdversaryData adversary = MakeData(4000);
+
+  MaskingOptions honest_options;
+  honest_options.masking_penalty = 0.0;
+  ml::LogisticRegression honest =
+      TrainMaskedModel(adversary.data, 0, honest_options).ValueOrDie();
+
+  MaskingOptions masked_options;
+  masked_options.masking_penalty = 1000.0;
+  ml::LogisticRegression masked =
+      TrainMaskedModel(adversary.data, 0, masked_options).ValueOrDie();
+
+  // The sensitive coefficient collapses under masking.
+  EXPECT_GT(std::fabs(honest.weights()[0]), 0.2);
+  EXPECT_LT(std::fabs(masked.weights()[0]), 0.02);
+
+  // Accuracy barely moves (the proxies re-absorb the signal).
+  auto accuracy = [&](const ml::Classifier& model) {
+    auto preds = model.PredictBatch(adversary.data.features).ValueOrDie();
+    return ml::Accuracy(adversary.data.labels, preds).ValueOrDie();
+  };
+  EXPECT_NEAR(accuracy(masked), accuracy(honest), 0.03);
+}
+
+TEST(AdversaryTest, OutcomeAuditStillCatchesMaskedModel) {
+  AdversaryData adversary = MakeData(4000);
+  MaskingOptions options;
+  options.masking_penalty = 1000.0;
+  ml::LogisticRegression masked =
+      TrainMaskedModel(adversary.data, 0, options).ValueOrDie();
+
+  auto importances =
+      ml::LinearAttribution(masked.weights(), adversary.data).ValueOrDie();
+  metrics::MetricInput outcomes;
+  outcomes.groups = adversary.genders;
+  outcomes.predictions =
+      masked.PredictBatch(adversary.data.features).ValueOrDie();
+
+  audit::ManipulationAuditReport report =
+      audit::AuditManipulation(importances, "gender", outcomes)
+          .ValueOrDie();
+  EXPECT_TRUE(report.attribution_says_fair);   // explanation audit fooled
+  EXPECT_FALSE(report.outcome_says_fair);      // outcome audit is not
+  EXPECT_TRUE(report.masking_suspected);
+}
+
+TEST(AdversaryTest, Validation) {
+  AdversaryData adversary = MakeData(100);
+  EXPECT_FALSE(TrainMaskedModel(adversary.data, 99, {}).ok());
+  MaskingOptions options;
+  options.masking_penalty = -1.0;
+  EXPECT_FALSE(TrainMaskedModel(adversary.data, 0, options).ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::sim

@@ -1,0 +1,113 @@
+// §III-G counterfactual fairness: flip the protected attribute, keep the
+// exogenous noise, re-predict.
+#include <gtest/gtest.h>
+
+#include "causal/counterfactual.h"
+#include "metrics/counterfactual_fairness.h"
+#include "ml/logistic_regression.h"
+
+namespace fairlaw::metrics {
+namespace {
+
+using causal::ConstantMechanism;
+using causal::LinearMechanism;
+using causal::NoiseSpec;
+using causal::Scm;
+using causal::ScmSample;
+using fairlaw::stats::Rng;
+
+/// gender -> education; skill -> education; model sees education only.
+Scm MakeModel(double gender_effect) {
+  Scm scm;
+  EXPECT_TRUE(scm.AddNode({"gender", {}, ConstantMechanism(0.0),
+                           NoiseSpec::Uniform(0.0, 1.0)})
+                  .ok());
+  EXPECT_TRUE(scm.AddNode({"skill", {}, ConstantMechanism(0.0),
+                           NoiseSpec::Gaussian(0.0, 1.0)})
+                  .ok());
+  EXPECT_TRUE(scm.AddNode({"education",
+                           {"skill", "gender"},
+                           LinearMechanism({1.0, -gender_effect}, 0.0),
+                           NoiseSpec::Gaussian(0.0, 0.2)})
+                  .ok());
+  return scm;
+}
+
+ml::LogisticRegression EducationModel() {
+  // Fixed model: p = sigmoid(2 * education).
+  ml::LogisticRegression model;
+  model.SetParameters({2.0}, 0.0);
+  return model;
+}
+
+TEST(CounterfactualFairnessTest, FairWhenProtectedHasNoEffect) {
+  Scm scm = MakeModel(/*gender_effect=*/0.0);
+  Rng rng(3);
+  ScmSample sample = scm.Sample(500, &rng).ValueOrDie();
+  ml::LogisticRegression model = EducationModel();
+  CounterfactualFairnessReport report =
+      AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0, model,
+                                  {"education"})
+          .ValueOrDie();
+  EXPECT_EQ(report.flipped, 0u);
+  EXPECT_TRUE(report.satisfied);
+  EXPECT_DOUBLE_EQ(report.positive_rate_a, report.positive_rate_b);
+}
+
+TEST(CounterfactualFairnessTest, UnfairUnderProxyEvenWithoutGenderFeature) {
+  // The model never sees gender, but education is a descendant of gender:
+  // flipping gender changes education changes the prediction — the
+  // "fairness through unawareness" failure §IV-B warns about.
+  Scm scm = MakeModel(/*gender_effect=*/2.0);
+  Rng rng(5);
+  ScmSample sample = scm.Sample(500, &rng).ValueOrDie();
+  ml::LogisticRegression model = EducationModel();
+  CounterfactualFairnessReport report =
+      AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0, model,
+                                  {"education"})
+          .ValueOrDie();
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_GT(report.flip_rate, 0.3);
+  // do(gender=0) is the favorable world.
+  EXPECT_GT(report.positive_rate_a, report.positive_rate_b);
+}
+
+TEST(CounterfactualFairnessTest, ToleranceSemantics) {
+  Scm scm = MakeModel(/*gender_effect=*/0.3);
+  Rng rng(7);
+  ScmSample sample = scm.Sample(500, &rng).ValueOrDie();
+  ml::LogisticRegression model = EducationModel();
+  CounterfactualFairnessReport strict =
+      AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0, model,
+                                  {"education"}, 0.5, /*tolerance=*/0.0)
+          .ValueOrDie();
+  CounterfactualFairnessReport lenient =
+      AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0, model,
+                                  {"education"}, 0.5, /*tolerance=*/1.0)
+          .ValueOrDie();
+  EXPECT_FALSE(strict.satisfied);
+  EXPECT_TRUE(lenient.satisfied);
+  EXPECT_EQ(strict.flipped, lenient.flipped);
+}
+
+TEST(CounterfactualFairnessTest, Validation) {
+  Scm scm = MakeModel(1.0);
+  Rng rng(9);
+  ScmSample sample = scm.Sample(10, &rng).ValueOrDie();
+  ml::LogisticRegression model = EducationModel();
+  EXPECT_FALSE(AuditCounterfactualFairness(scm, sample, "nope", 0.0, 1.0,
+                                           model, {"education"})
+                   .ok());
+  EXPECT_FALSE(AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0,
+                                           model, {})
+                   .ok());
+  EXPECT_FALSE(AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0,
+                                           model, {"education"}, 0.5, -1.0)
+                   .ok());
+  EXPECT_FALSE(AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0,
+                                           model, {"unknown_node"})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::metrics

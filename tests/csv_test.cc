@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/csv.h"
+
+namespace fairlaw::data {
+namespace {
+
+TEST(CsvTest, ParsesTypesFromHeaderedText) {
+  std::string text =
+      "name,age,score,active\n"
+      "ann,30,1.5,true\n"
+      "bob,40,2.5,false\n";
+  Table table = ReadCsvString(text).ValueOrDie();
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.schema().field(0).type, DataType::kString);
+  EXPECT_EQ(table.schema().field(1).type, DataType::kInt64);
+  EXPECT_EQ(table.schema().field(2).type, DataType::kDouble);
+  EXPECT_EQ(table.schema().field(3).type, DataType::kBool);
+  EXPECT_EQ(table.GetColumn("name").ValueOrDie()->GetString(1).ValueOrDie(),
+            "bob");
+  EXPECT_EQ(table.GetColumn("age").ValueOrDie()->GetInt64(0).ValueOrDie(),
+            30);
+}
+
+TEST(CsvTest, HeaderlessGetsGeneratedNames) {
+  Table table = ReadCsvString("1,2\n3,4\n", {.has_header = false})
+                    .ValueOrDie();
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_TRUE(table.schema().HasField("c0"));
+  EXPECT_TRUE(table.schema().HasField("c1"));
+}
+
+TEST(CsvTest, NullTokensBecomeNulls) {
+  std::string text = "x,y\n1.5,a\n,b\nNA,c\n";
+  Table table = ReadCsvString(text).ValueOrDie();
+  const Column* x = table.GetColumn("x").ValueOrDie();
+  EXPECT_EQ(x->type(), DataType::kDouble);
+  EXPECT_EQ(x->null_count(), 2u);
+  EXPECT_DOUBLE_EQ(x->GetDouble(0).ValueOrDie(), 1.5);
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndEscapes) {
+  std::string text =
+      "a,b\n"
+      "\"x,y\",\"he said \"\"hi\"\"\"\n";
+  Table table = ReadCsvString(text).ValueOrDie();
+  EXPECT_EQ(table.GetColumn("a").ValueOrDie()->GetString(0).ValueOrDie(),
+            "x,y");
+  EXPECT_EQ(table.GetColumn("b").ValueOrDie()->GetString(0).ValueOrDie(),
+            "he said \"hi\"");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  Table table = ReadCsvString("a\r\n1\r\n2\r\n").ValueOrDie();
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+  EXPECT_FALSE(ReadCsvString("a,b\n1\n").ok());          // ragged row
+  EXPECT_FALSE(ReadCsvString("a\n\"unterminated\n").ok());  // open quote
+}
+
+TEST(CsvTest, MixedIntAndDoubleColumnBecomesDouble) {
+  Table table = ReadCsvString("x\n1\n2.5\n").ValueOrDie();
+  EXPECT_EQ(table.schema().field(0).type, DataType::kDouble);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  Table table =
+      ReadCsvString("a;b\n1;2\n", {.delimiter = ';'}).ValueOrDie();
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_EQ(table.GetColumn("b").ValueOrDie()->GetInt64(0).ValueOrDie(), 2);
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  std::string text =
+      "name,score,ok\n"
+      "ann,1.500000,true\n"
+      "\"b,ob\",2.250000,false\n";
+  Table table = ReadCsvString(text).ValueOrDie();
+  std::string written = WriteCsvString(table).ValueOrDie();
+  Table reparsed = ReadCsvString(written).ValueOrDie();
+  EXPECT_EQ(reparsed.num_rows(), table.num_rows());
+  EXPECT_EQ(
+      reparsed.GetColumn("name").ValueOrDie()->GetString(1).ValueOrDie(),
+      "b,ob");
+  EXPECT_DOUBLE_EQ(
+      reparsed.GetColumn("score").ValueOrDie()->GetDouble(1).ValueOrDie(),
+      2.25);
+}
+
+TEST(CsvTest, RoundTripPreservesNulls) {
+  Table table = ReadCsvString("x,y\n1,a\n,b\n").ValueOrDie();
+  std::string written = WriteCsvString(table).ValueOrDie();
+  Table reparsed = ReadCsvString(written).ValueOrDie();
+  EXPECT_EQ(reparsed.GetColumn("x").ValueOrDie()->null_count(), 1u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/fairlaw_csv_test.csv";
+  Table table = ReadCsvString("a,b\n1,x\n2,y\n").ValueOrDie();
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  Table read = ReadCsvFile(path).ValueOrDie();
+  EXPECT_EQ(read.num_rows(), 2u);
+  std::remove(path.c_str());
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/nope.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace fairlaw::data

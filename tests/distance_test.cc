@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distance.h"
+#include "stats/rng.h"
+
+namespace fairlaw::stats {
+namespace {
+
+using V = std::vector<double>;
+
+TEST(TotalVariationTest, IdenticalIsZero) {
+  std::vector<double> p = {0.25, 0.25, 0.5};
+  EXPECT_DOUBLE_EQ(TotalVariation(p, p).ValueOrDie(), 0.0);
+}
+
+TEST(TotalVariationTest, DisjointIsOne) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(TotalVariation(p, q).ValueOrDie(), 1.0);
+}
+
+TEST(TotalVariationTest, KnownValue) {
+  std::vector<double> p = {0.5, 0.5};
+  std::vector<double> q = {0.8, 0.2};
+  EXPECT_NEAR(TotalVariation(p, q).ValueOrDie(), 0.3, 1e-12);
+}
+
+TEST(TotalVariationTest, RejectsMismatchedOrNegative) {
+  EXPECT_FALSE(TotalVariation(V{0.5}, V{0.5, 0.5}).ok());
+  EXPECT_FALSE(TotalVariation(V{-0.1, 1.1}, V{0.5, 0.5}).ok());
+  EXPECT_FALSE(TotalVariation(V{}, V{}).ok());
+}
+
+TEST(HellingerTest, BoundsAndKnownValues) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(Hellinger(p, p).ValueOrDie(), 0.0);
+  EXPECT_DOUBLE_EQ(Hellinger(p, q).ValueOrDie(), 1.0);
+  // H^2 = 1 - sum sqrt(p q); for p=(.5,.5), q=(.9,.1):
+  std::vector<double> a = {0.5, 0.5};
+  std::vector<double> b = {0.9, 0.1};
+  double bc = std::sqrt(0.45) + std::sqrt(0.05);
+  EXPECT_NEAR(Hellinger(a, b).ValueOrDie(), std::sqrt(1.0 - bc), 1e-12);
+}
+
+TEST(KlDivergenceTest, KnownValueAndInfiniteCase) {
+  std::vector<double> p = {0.5, 0.5};
+  std::vector<double> q = {0.25, 0.75};
+  double expected = 0.5 * std::log(2.0) + 0.5 * std::log(2.0 / 3.0);
+  EXPECT_NEAR(KlDivergence(p, q).ValueOrDie(), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(KlDivergence(p, p).ValueOrDie(), 0.0);
+  // Support mismatch -> infinite -> error.
+  EXPECT_FALSE(KlDivergence(V{0.5, 0.5}, V{1.0, 0.0}).ok());
+  // Zero in p is fine.
+  EXPECT_NEAR(KlDivergence(V{1.0, 0.0}, V{0.5, 0.5}).ValueOrDie(),
+              std::log(2.0), 1e-12);
+}
+
+TEST(JensenShannonTest, SymmetricAndBounded) {
+  std::vector<double> p = {0.9, 0.1};
+  std::vector<double> q = {0.1, 0.9};
+  double pq = JensenShannon(p, q).ValueOrDie();
+  double qp = JensenShannon(q, p).ValueOrDie();
+  EXPECT_DOUBLE_EQ(pq, qp);
+  EXPECT_GT(pq, 0.0);
+  EXPECT_LE(pq, std::log(2.0) + 1e-12);
+  // Works on disjoint supports where KL is infinite.
+  EXPECT_NEAR(JensenShannon(V{1.0, 0.0}, V{0.0, 1.0}).ValueOrDie(),
+              std::log(2.0), 1e-12);
+}
+
+TEST(ChiSquareDivergenceTest, KnownValue) {
+  std::vector<double> p = {0.5, 0.5};
+  std::vector<double> q = {0.25, 0.75};
+  // (0.25)^2/0.25 + (0.25)^2/0.75
+  EXPECT_NEAR(ChiSquareDivergence(p, q).ValueOrDie(),
+              0.25 + 0.0625 / 0.75, 1e-12);
+  EXPECT_FALSE(ChiSquareDivergence(V{0.5, 0.5}, V{1.0, 0.0}).ok());
+}
+
+TEST(Wasserstein1Test, PointMassShift) {
+  // Two point masses distance d apart: W1 = d.
+  std::vector<double> x = {0.0, 0.0, 0.0};
+  std::vector<double> y = {2.5, 2.5, 2.5};
+  EXPECT_NEAR(Wasserstein1Samples(x, y).ValueOrDie(), 2.5, 1e-12);
+}
+
+TEST(Wasserstein1Test, LocationShiftEqualsShift) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {2.0, 3.0, 4.0, 5.0};
+  EXPECT_NEAR(Wasserstein1Samples(x, y).ValueOrDie(), 1.0, 1e-12);
+}
+
+TEST(Wasserstein1Test, DifferentSampleSizes) {
+  std::vector<double> x = {0.0, 1.0};        // uniform on {0,1}
+  std::vector<double> y = {0.0, 0.5, 1.0};   // uniform on {0,.5,1}
+  double d = Wasserstein1Samples(x, y).ValueOrDie();
+  EXPECT_GE(d, 0.0);
+  EXPECT_LT(d, 0.25);
+}
+
+TEST(Wasserstein1Test, SymmetryAndIdentity) {
+  Rng rng(5);
+  std::vector<double> x(100);
+  std::vector<double> y(80);
+  for (double& v : x) v = rng.Normal();
+  for (double& v : y) v = rng.Normal(1.0, 2.0);
+  double xy = Wasserstein1Samples(x, y).ValueOrDie();
+  double yx = Wasserstein1Samples(y, x).ValueOrDie();
+  EXPECT_NEAR(xy, yx, 1e-12);
+  EXPECT_NEAR(Wasserstein1Samples(x, x).ValueOrDie(), 0.0, 1e-12);
+}
+
+TEST(Wasserstein1Test, GaussianShiftConverges) {
+  // W1 between N(0,1) and N(mu,1) is |mu|.
+  Rng rng(71);
+  const size_t n = 20000;
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal(1.5, 1.0);
+  }
+  EXPECT_NEAR(Wasserstein1Samples(x, y).ValueOrDie(), 1.5, 0.05);
+}
+
+TEST(Wasserstein1DiscreteTest, MatchesHandComputation) {
+  // p: mass 1 at 0. q: mass 1 at 3. W1 = 3.
+  EXPECT_NEAR(Wasserstein1Discrete(V{0.0}, V{1.0}, V{3.0}, V{1.0}).ValueOrDie(),
+              3.0, 1e-12);
+  // p uniform on {0,1}, q uniform on {1,2}: W1 = 1.
+  EXPECT_NEAR(Wasserstein1Discrete(V{0.0, 1.0}, V{0.5, 0.5}, V{1.0, 2.0},
+                                   V{0.5, 0.5})
+                  .ValueOrDie(),
+              1.0, 1e-12);
+}
+
+TEST(Wasserstein1DiscreteTest, RejectsUnsortedSupport) {
+  EXPECT_FALSE(
+      Wasserstein1Discrete(V{1.0, 0.0}, V{0.5, 0.5}, V{0.0}, V{1.0}).ok());
+}
+
+TEST(KolmogorovSmirnovTest, KnownValues) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnov(x, x).ValueOrDie(), 0.0);
+  std::vector<double> y = {10.0, 11.0};
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnov(x, y).ValueOrDie(), 1.0);
+  // Half-overlapping.
+  std::vector<double> z = {3.5, 4.5};
+  double ks = KolmogorovSmirnov(x, z).ValueOrDie();
+  EXPECT_GT(ks, 0.5);
+  EXPECT_LE(ks, 1.0);
+}
+
+// Property sweep: metric axioms on random distributions.
+class DistancePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::vector<double> RandomSimplex(Rng* rng, size_t k) {
+  std::vector<double> p(k);
+  double total = 0.0;
+  for (double& v : p) {
+    v = rng->Exponential(1.0);
+    total += v;
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+
+TEST_P(DistancePropertyTest, AxiomsHold) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t k = 2 + rng.UniformInt(6);
+    std::vector<double> p = RandomSimplex(&rng, k);
+    std::vector<double> q = RandomSimplex(&rng, k);
+    std::vector<double> r = RandomSimplex(&rng, k);
+
+    double tv_pq = TotalVariation(p, q).ValueOrDie();
+    double tv_qp = TotalVariation(q, p).ValueOrDie();
+    double tv_pr = TotalVariation(p, r).ValueOrDie();
+    double tv_rq = TotalVariation(r, q).ValueOrDie();
+    EXPECT_NEAR(tv_pq, tv_qp, 1e-12);              // symmetry
+    EXPECT_GE(tv_pq, 0.0);                         // non-negativity
+    EXPECT_LE(tv_pq, 1.0);                         // boundedness
+    EXPECT_LE(tv_pq, tv_pr + tv_rq + 1e-12);       // triangle inequality
+
+    double h_pq = Hellinger(p, q).ValueOrDie();
+    double h_qp = Hellinger(q, p).ValueOrDie();
+    double h_pr = Hellinger(p, r).ValueOrDie();
+    double h_rq = Hellinger(r, q).ValueOrDie();
+    EXPECT_NEAR(h_pq, h_qp, 1e-12);
+    EXPECT_GE(h_pq, 0.0);
+    EXPECT_LE(h_pq, 1.0);
+    EXPECT_LE(h_pq, h_pr + h_rq + 1e-9);
+
+    // Pinsker-flavored cross-bounds: H^2 <= TV <= sqrt(2) H.
+    EXPECT_LE(h_pq * h_pq, tv_pq + 1e-9);
+    EXPECT_LE(tv_pq, std::sqrt(2.0) * h_pq + 1e-9);
+
+    // KL is non-negative (Gibbs) when finite.
+    Result<double> kl = KlDivergence(p, q);
+    if (kl.ok()) EXPECT_GE(*kl, -1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistancePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace fairlaw::stats

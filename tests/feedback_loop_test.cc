@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "simulation/feedback_loop.h"
+
+namespace fairlaw::sim {
+namespace {
+
+using fairlaw::stats::Rng;
+
+FeedbackLoopOptions SmallLoop() {
+  FeedbackLoopOptions options;
+  options.initial_n = 1500;
+  options.applicants_per_round = 800;
+  options.rounds = 6;
+  options.label_bias = 1.2;
+  options.proxy_strength = 1.2;
+  options.discouragement = 0.5;
+  return options;
+}
+
+TEST(FeedbackLoopTest, UnmitigatedLoopKeepsOrAmplifiesGap) {
+  Rng rng(3);
+  FeedbackLoopOptions options = SmallLoop();
+  FeedbackLoopResult result = RunFeedbackLoop(options, &rng).ValueOrDie();
+  ASSERT_EQ(result.rounds.size(), 6u);
+  // The biased model disadvantages women from round 0 and the gap does
+  // not heal on its own.
+  EXPECT_GT(result.rounds.front().dp_gap, 0.1);
+  EXPECT_GT(result.rounds.back().dp_gap, 0.1);
+  // Discouragement shrinks the female applicant share over rounds.
+  EXPECT_LT(result.rounds.back().female_applicant_share,
+            result.rounds.front().female_applicant_share);
+}
+
+TEST(FeedbackLoopTest, GroupThresholdsFlattenTheLoop) {
+  Rng rng(5);
+  FeedbackLoopOptions options = SmallLoop();
+  options.mitigation = LoopMitigation::kGroupThresholds;
+  FeedbackLoopResult mitigated = RunFeedbackLoop(options, &rng).ValueOrDie();
+  for (const RoundStats& round : mitigated.rounds) {
+    EXPECT_LT(round.dp_gap, 0.08) << "round " << round.round;
+  }
+  // Applicant pool stays balanced because nobody is discouraged.
+  EXPECT_GT(mitigated.rounds.back().female_applicant_share, 0.4);
+}
+
+TEST(FeedbackLoopTest, ReweighingReducesGapVsNone) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  FeedbackLoopOptions plain = SmallLoop();
+  FeedbackLoopOptions reweighed = SmallLoop();
+  reweighed.mitigation = LoopMitigation::kReweighing;
+  double plain_final =
+      RunFeedbackLoop(plain, &rng_a).ValueOrDie().rounds.back().dp_gap;
+  double reweighed_final =
+      RunFeedbackLoop(reweighed, &rng_b).ValueOrDie().rounds.back().dp_gap;
+  EXPECT_LT(reweighed_final, plain_final);
+}
+
+TEST(FeedbackLoopTest, Validation) {
+  Rng rng(1);
+  FeedbackLoopOptions options = SmallLoop();
+  EXPECT_FALSE(RunFeedbackLoop(options, nullptr).ok());
+  options.rounds = 0;
+  EXPECT_FALSE(RunFeedbackLoop(options, &rng).ok());
+  options.rounds = 2;
+  options.selection_rate = 0.0;
+  EXPECT_FALSE(RunFeedbackLoop(options, &rng).ok());
+  options.selection_rate = 0.3;
+  options.discouragement = -1.0;
+  EXPECT_FALSE(RunFeedbackLoop(options, &rng).ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::sim

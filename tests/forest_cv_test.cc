@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ml/cross_validation.h"
+#include "ml/logistic_regression.h"
+#include "ml/random_forest.h"
+#include "stats/rng.h"
+
+namespace fairlaw::ml {
+namespace {
+
+using fairlaw::stats::Rng;
+
+Dataset MakeXor(size_t n, Rng* rng) {
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng->Uniform(-1.0, 1.0);
+    double x1 = rng->Uniform(-1.0, 1.0);
+    data.features.push_back({x0, x1});
+    data.labels.push_back((x0 > 0.0) != (x1 > 0.0) ? 1 : 0);
+  }
+  return data;
+}
+
+double AccuracyOn(const Classifier& model, const Dataset& data) {
+  std::vector<int> predictions =
+      model.PredictBatch(data.features).ValueOrDie();
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (predictions[i] == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+TEST(RandomForestTest, LearnsXorAndBeatsSingleShallowTree) {
+  Rng rng(5);
+  Dataset train = MakeXor(1500, &rng);
+  Dataset test = MakeXor(500, &rng);
+
+  RandomForestOptions options;
+  options.num_trees = 20;
+  options.tree.max_depth = 6;
+  RandomForest forest(options);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  EXPECT_EQ(forest.num_trees(), 20u);
+  double forest_accuracy = AccuracyOn(forest, test);
+  EXPECT_GT(forest_accuracy, 0.9);
+
+  DecisionTreeOptions stump_options;
+  stump_options.max_depth = 1;
+  DecisionTree stump(stump_options);
+  ASSERT_TRUE(stump.Fit(train).ok());
+  EXPECT_GT(forest_accuracy, AccuracyOn(stump, test) + 0.2);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  Rng rng(7);
+  Dataset data = MakeXor(400, &rng);
+  RandomForestOptions options;
+  options.num_trees = 5;
+  options.seed = 123;
+  RandomForest a(options);
+  RandomForest b(options);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  std::vector<double> x = {0.3, -0.4};
+  EXPECT_DOUBLE_EQ(a.PredictProba(x).ValueOrDie(),
+                   b.PredictProba(x).ValueOrDie());
+}
+
+TEST(RandomForestTest, Validation) {
+  RandomForest unfitted;
+  std::vector<double> x = {0.0, 0.0};
+  EXPECT_TRUE(unfitted.PredictProba(x).status().IsFailedPrecondition());
+  Rng rng(9);
+  Dataset data = MakeXor(50, &rng);
+  RandomForestOptions bad;
+  bad.num_trees = 0;
+  EXPECT_FALSE(RandomForest(bad).Fit(data).ok());
+  bad.num_trees = 3;
+  bad.sample_fraction = 0.0;
+  EXPECT_FALSE(RandomForest(bad).Fit(data).ok());
+}
+
+TEST(CrossValidationTest, ScoresReasonableOnSeparableData) {
+  Rng rng(11);
+  Dataset data;
+  for (int i = 0; i < 600; ++i) {
+    int label = rng.Bernoulli(0.5) ? 1 : 0;
+    double center = label == 1 ? 1.5 : -1.5;
+    data.features.push_back({rng.Normal(center, 1.0)});
+    data.labels.push_back(label);
+  }
+  CrossValidationResult result =
+      CrossValidate(
+          data,
+          [] {
+            return std::unique_ptr<Classifier>(new LogisticRegression());
+          },
+          5, &rng)
+          .ValueOrDie();
+  EXPECT_EQ(result.fold_accuracy.size(), 5u);
+  EXPECT_GT(result.mean_accuracy, 0.85);
+  EXPECT_GT(result.mean_auc, 0.9);
+  EXPECT_LT(result.stddev_accuracy, 0.1);
+}
+
+TEST(CrossValidationTest, Validation) {
+  Rng rng(13);
+  Dataset data;
+  data.features = {{1.0}, {2.0}, {3.0}, {4.0}};
+  data.labels = {0, 1, 0, 1};
+  auto factory = [] {
+    return std::unique_ptr<Classifier>(new LogisticRegression());
+  };
+  EXPECT_FALSE(CrossValidate(data, factory, 1, &rng).ok());
+  EXPECT_FALSE(CrossValidate(data, factory, 2, nullptr).ok());
+  EXPECT_FALSE(CrossValidate(data, ModelFactory(), 2, &rng).ok());
+  ModelFactory null_factory = [] {
+    return std::unique_ptr<Classifier>();
+  };
+  EXPECT_FALSE(CrossValidate(data, null_factory, 2, &rng).ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::ml

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "causal/counterfactual.h"
+#include "causal/graph_analysis.h"
+#include "simulation/scenarios.h"
+
+namespace fairlaw::causal {
+namespace {
+
+using fairlaw::stats::Rng;
+
+/// a -> b -> d; a -> c; e isolated.
+Scm MakeDiamondish() {
+  Scm scm;
+  auto add = [&scm](const std::string& name,
+                    std::vector<std::string> parents) {
+    std::vector<double> weights(parents.size(), 1.0);
+    Mechanism mechanism = parents.empty()
+                              ? ConstantMechanism(0.0)
+                              : LinearMechanism(weights, 0.0);
+    EXPECT_TRUE(scm.AddNode({name, std::move(parents), mechanism,
+                             NoiseSpec::Gaussian(0.0, 1.0)})
+                    .ok());
+  };
+  add("a", {});
+  add("b", {"a"});
+  add("c", {"a"});
+  add("d", {"b"});
+  add("e", {});
+  return scm;
+}
+
+TEST(GraphAnalysisTest, Children) {
+  Scm scm = MakeDiamondish();
+  EXPECT_EQ(Children(scm, "a").ValueOrDie(),
+            (std::vector<std::string>{"b", "c"}));
+  EXPECT_TRUE(Children(scm, "e").ValueOrDie().empty());
+  EXPECT_FALSE(Children(scm, "zzz").ok());
+}
+
+TEST(GraphAnalysisTest, DescendantsTransitive) {
+  Scm scm = MakeDiamondish();
+  EXPECT_EQ(Descendants(scm, "a").ValueOrDie(),
+            (std::vector<std::string>{"b", "c", "d"}));
+  EXPECT_EQ(Descendants(scm, "b").ValueOrDie(),
+            (std::vector<std::string>{"d"}));
+  EXPECT_TRUE(Descendants(scm, "d").ValueOrDie().empty());
+}
+
+TEST(GraphAnalysisTest, AncestorsTransitive) {
+  Scm scm = MakeDiamondish();
+  std::vector<std::string> ancestors = Ancestors(scm, "d").ValueOrDie();
+  EXPECT_EQ(ancestors.size(), 2u);
+  EXPECT_NE(std::find(ancestors.begin(), ancestors.end(), "a"),
+            ancestors.end());
+  EXPECT_NE(std::find(ancestors.begin(), ancestors.end(), "b"),
+            ancestors.end());
+  EXPECT_TRUE(Ancestors(scm, "a").ValueOrDie().empty());
+}
+
+TEST(GraphAnalysisTest, DirectedPath) {
+  Scm scm = MakeDiamondish();
+  EXPECT_EQ(FindDirectedPath(scm, "a", "d").ValueOrDie(),
+            (std::vector<std::string>{"a", "b", "d"}));
+  EXPECT_TRUE(FindDirectedPath(scm, "c", "d").ValueOrDie().empty());
+  EXPECT_TRUE(FindDirectedPath(scm, "d", "a").ValueOrDie().empty());
+  EXPECT_EQ(FindDirectedPath(scm, "a", "a").ValueOrDie(),
+            (std::vector<std::string>{"a"}));
+}
+
+TEST(GraphAnalysisTest, FeaturePathReportSeparatesProxiesFromClean) {
+  Scm scm = MakeDiamondish();
+  FeaturePathReport report =
+      AnalyzeFeaturePaths(scm, "a", {"d", "e", "c"}).ValueOrDie();
+  EXPECT_EQ(report.proxy_features, (std::vector<std::string>{"d", "c"}));
+  EXPECT_EQ(report.clean_features, (std::vector<std::string>{"e"}));
+  EXPECT_FALSE(report.counterfactually_fair_by_construction);
+  ASSERT_EQ(report.witness_paths.size(), 2u);
+  EXPECT_EQ(report.witness_paths[0],
+            (std::vector<std::string>{"a", "b", "d"}));
+
+  FeaturePathReport clean =
+      AnalyzeFeaturePaths(scm, "a", {"e"}).ValueOrDie();
+  EXPECT_TRUE(clean.counterfactually_fair_by_construction);
+  EXPECT_FALSE(AnalyzeFeaturePaths(scm, "a", {}).ok());
+  EXPECT_FALSE(AnalyzeFeaturePaths(scm, "a", {"zzz"}).ok());
+}
+
+TEST(GraphAnalysisTest, HiringScenarioFeaturesAreAllGenderDescendants) {
+  // In the hiring SCM every model feature descends from gender via the
+  // university proxy edge — the structural reason 'unawareness' fails
+  // there (§IV-B).
+  Rng rng(3);
+  sim::HiringOptions options;
+  options.n = 100;
+  sim::ScenarioData scenario =
+      sim::MakeHiringScenario(options, &rng).ValueOrDie();
+  FeaturePathReport report =
+      AnalyzeFeaturePaths(scenario.scm, "gender", scenario.feature_columns)
+          .ValueOrDie();
+  EXPECT_EQ(report.proxy_features, (std::vector<std::string>{"university"}));
+  EXPECT_EQ(report.clean_features,
+            (std::vector<std::string>{"experience", "test_score"}));
+}
+
+}  // namespace
+}  // namespace fairlaw::causal

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/group_by.h"
+
+namespace fairlaw::data {
+namespace {
+
+Table MakeTable() {
+  return ReadCsvString(
+             "gender,dept,hired\n"
+             "f,eng,1\n"
+             "m,eng,1\n"
+             "f,sales,0\n"
+             "m,eng,0\n"
+             "f,eng,1\n")
+      .ValueOrDie();
+}
+
+TEST(GroupByTest, SingleColumn) {
+  Table table = MakeTable();
+  std::vector<Group> groups = GroupBy(table, {"gender"}).ValueOrDie();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].key[0], "f");  // first-seen order
+  EXPECT_EQ(groups[0].rows, (std::vector<size_t>{0, 2, 4}));
+  EXPECT_EQ(groups[1].key[0], "m");
+  EXPECT_EQ(groups[1].rows, (std::vector<size_t>{1, 3}));
+}
+
+TEST(GroupByTest, MultiColumn) {
+  Table table = MakeTable();
+  std::vector<Group> groups =
+      GroupBy(table, {"gender", "dept"}).ValueOrDie();
+  EXPECT_EQ(groups.size(), 3u);  // f/eng, m/eng, f/sales
+  EXPECT_EQ(groups[0].KeyString({"gender", "dept"}), "gender=f,dept=eng");
+}
+
+TEST(GroupByTest, NonStringColumnsGroupByRenderedValue) {
+  Table table = MakeTable();
+  std::vector<Group> groups = GroupBy(table, {"hired"}).ValueOrDie();
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(GroupByTest, Validation) {
+  Table table = MakeTable();
+  EXPECT_FALSE(GroupBy(table, {}).ok());
+  EXPECT_FALSE(GroupBy(table, {"missing"}).ok());
+}
+
+TEST(DistinctValuesTest, FirstSeenOrder) {
+  Table table = MakeTable();
+  EXPECT_EQ(DistinctValues(table, "dept").ValueOrDie(),
+            (std::vector<std::string>{"eng", "sales"}));
+}
+
+TEST(ValueCountsTest, AlignedWithDistinct) {
+  Table table = MakeTable();
+  EXPECT_EQ(ValueCounts(table, "gender").ValueOrDie(),
+            (std::vector<int64_t>{3, 2}));
+}
+
+}  // namespace
+}  // namespace fairlaw::data

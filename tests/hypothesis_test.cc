@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/hypothesis.h"
+
+namespace fairlaw::stats {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (double p : {0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99}) {
+    double z = NormalQuantile(p).ValueOrDie();
+    EXPECT_NEAR(NormalCdf(z), p, 1e-8) << "p=" << p;
+  }
+  EXPECT_NEAR(NormalQuantile(0.975).ValueOrDie(), 1.959964, 1e-5);
+  EXPECT_FALSE(NormalQuantile(0.0).ok());
+  EXPECT_FALSE(NormalQuantile(1.0).ok());
+}
+
+TEST(TwoProportionZTest, EqualRatesNotSignificant) {
+  TestResult result = TwoProportionZTest(50, 100, 50, 100).ValueOrDie();
+  EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-12);
+  EXPECT_FALSE(result.significant);
+}
+
+TEST(TwoProportionZTest, LargeGapSignificant) {
+  TestResult result = TwoProportionZTest(80, 100, 40, 100).ValueOrDie();
+  EXPECT_GT(std::fabs(result.statistic), 4.0);
+  EXPECT_LT(result.p_value, 0.001);
+  EXPECT_TRUE(result.significant);
+}
+
+TEST(TwoProportionZTest, SmallSampleNotSignificant) {
+  // Same rates as above but tiny n: the gap cannot be established.
+  TestResult result = TwoProportionZTest(4, 5, 2, 5).ValueOrDie();
+  EXPECT_FALSE(result.significant);
+}
+
+TEST(TwoProportionZTest, DegenerateRates) {
+  TestResult result = TwoProportionZTest(0, 10, 0, 10).ValueOrDie();
+  EXPECT_FALSE(result.significant);
+  result = TwoProportionZTest(10, 10, 10, 10).ValueOrDie();
+  EXPECT_FALSE(result.significant);
+}
+
+TEST(TwoProportionZTest, Validation) {
+  EXPECT_FALSE(TwoProportionZTest(1, 0, 1, 2).ok());
+  EXPECT_FALSE(TwoProportionZTest(3, 2, 1, 2).ok());
+  EXPECT_FALSE(TwoProportionZTest(-1, 2, 1, 2).ok());
+}
+
+TEST(ChiSquareTest, IndependentTableNotSignificant) {
+  // Perfectly proportional rows.
+  std::vector<std::vector<int64_t>> table = {{20, 80}, {40, 160}};
+  TestResult result = ChiSquareIndependence(table).ValueOrDie();
+  EXPECT_NEAR(result.statistic, 0.0, 1e-9);
+  EXPECT_FALSE(result.significant);
+}
+
+TEST(ChiSquareTest, DependentTableSignificant) {
+  std::vector<std::vector<int64_t>> table = {{90, 10}, {10, 90}};
+  TestResult result = ChiSquareIndependence(table).ValueOrDie();
+  EXPECT_GT(result.statistic, 100.0);
+  EXPECT_TRUE(result.significant);
+}
+
+TEST(ChiSquareTest, Validation) {
+  EXPECT_FALSE(ChiSquareIndependence({}).ok());
+  EXPECT_FALSE(ChiSquareIndependence({{1, 2}, {3}}).ok());
+  EXPECT_FALSE(ChiSquareIndependence({{-1, 2}, {3, 4}}).ok());
+  // Single effective row.
+  EXPECT_FALSE(ChiSquareIndependence({{1, 2}, {0, 0}}).ok());
+}
+
+TEST(RegularizedGammaQTest, KnownChiSquareTail) {
+  // Chi-square df=1: P(X > 3.841) ~ 0.05.
+  EXPECT_NEAR(RegularizedGammaQ(0.5, 3.841 / 2.0), 0.05, 1e-3);
+  // df=2: survival is exp(-x/2); at x=4.605 -> 0.1.
+  EXPECT_NEAR(RegularizedGammaQ(1.0, 4.605 / 2.0), 0.1, 1e-3);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(1.0, 0.0), 1.0);
+}
+
+TEST(CramersVTest, PerfectAssociationIsOne) {
+  std::vector<std::vector<int64_t>> table = {{50, 0}, {0, 50}};
+  EXPECT_NEAR(CramersV(table).ValueOrDie(), 1.0, 1e-9);
+}
+
+TEST(CramersVTest, IndependenceIsZero) {
+  std::vector<std::vector<int64_t>> table = {{25, 25}, {25, 25}};
+  EXPECT_NEAR(CramersV(table).ValueOrDie(), 0.0, 1e-9);
+}
+
+TEST(MutualInformationTest, IndependenceIsZero) {
+  std::vector<std::vector<int64_t>> table = {{25, 25}, {25, 25}};
+  EXPECT_NEAR(MutualInformation(table).ValueOrDie(), 0.0, 1e-9);
+}
+
+TEST(MutualInformationTest, PerfectAssociationIsEntropy) {
+  std::vector<std::vector<int64_t>> table = {{50, 0}, {0, 50}};
+  EXPECT_NEAR(MutualInformation(table).ValueOrDie(), std::log(2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace fairlaw::stats

@@ -1,0 +1,95 @@
+// Chouldechova/Kleinberg impossibility checker.
+#include <gtest/gtest.h>
+
+#include "metrics/impossibility.h"
+#include "stats/rng.h"
+
+namespace fairlaw::metrics {
+namespace {
+
+using fairlaw::stats::Rng;
+
+struct Decisions {
+  std::vector<std::string> groups;
+  std::vector<int> labels;
+  std::vector<int> predictions;
+};
+
+/// Threshold classifier on a noisy score; group base rates configurable.
+Decisions Make(double base_a, double base_b, uint64_t seed) {
+  Rng rng(seed);
+  Decisions data;
+  for (int i = 0; i < 20000; ++i) {
+    bool b = rng.Bernoulli(0.5);
+    double base = b ? base_b : base_a;
+    int label = rng.Bernoulli(base) ? 1 : 0;
+    double score = (label == 1 ? 1.0 : -1.0) + rng.Normal(0.0, 1.0);
+    data.groups.push_back(b ? "b" : "a");
+    data.labels.push_back(label);
+    data.predictions.push_back(score > 0.0 ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(ImpossibilityTest, IdentityResidualIsZeroForAnyConfusionMatrix) {
+  Decisions data = Make(0.3, 0.6, 3);
+  ImpossibilityReport report =
+      CheckImpossibility(data.groups, data.labels, data.predictions)
+          .ValueOrDie();
+  for (const ImpossibilityGroupStats& row : report.groups) {
+    EXPECT_NEAR(row.identity_residual, 0.0, 1e-9) << row.group;
+  }
+}
+
+TEST(ImpossibilityTest, DifferentBaseRatesForceATradeoff) {
+  // Same score->decision rule for both groups: TPR/FPR are ~equal, so
+  // PPV must differ (the theorem's bite).
+  Decisions data = Make(0.2, 0.6, 5);
+  ImpossibilityReport report =
+      CheckImpossibility(data.groups, data.labels, data.predictions, 0.05)
+          .ValueOrDie();
+  EXPECT_GT(report.base_rate_gap, 0.3);
+  EXPECT_TRUE(report.equalized_odds_satisfied);
+  EXPECT_FALSE(report.predictive_parity_satisfied);
+  EXPECT_FALSE(report.theorem_boundary_case);
+  EXPECT_NE(report.verdict.find("cannot both hold"), std::string::npos);
+}
+
+TEST(ImpossibilityTest, EqualBaseRatesAreCompatible) {
+  Decisions data = Make(0.4, 0.4, 7);
+  ImpossibilityReport report =
+      CheckImpossibility(data.groups, data.labels, data.predictions, 0.05)
+          .ValueOrDie();
+  EXPECT_LT(report.base_rate_gap, 0.05);
+  EXPECT_TRUE(report.equalized_odds_satisfied);
+  EXPECT_TRUE(report.predictive_parity_satisfied);
+  EXPECT_NE(report.verdict.find("jointly attainable"), std::string::npos);
+}
+
+TEST(ImpossibilityTest, PerfectClassifierIsTheBoundaryCase) {
+  // Oracle decisions: everything holds despite different base rates.
+  Decisions data = Make(0.2, 0.6, 9);
+  data.predictions = data.labels;
+  ImpossibilityReport report =
+      CheckImpossibility(data.groups, data.labels, data.predictions, 0.05)
+          .ValueOrDie();
+  EXPECT_TRUE(report.theorem_boundary_case);
+  EXPECT_NE(report.verdict.find("perfect"), std::string::npos);
+}
+
+TEST(ImpossibilityTest, Validation) {
+  Decisions data = Make(0.3, 0.5, 11);
+  EXPECT_FALSE(CheckImpossibility(data.groups, data.labels,
+                                  data.predictions, -0.1)
+                   .ok());
+  std::vector<std::string> one_group(data.groups.size(), "a");
+  EXPECT_FALSE(
+      CheckImpossibility(one_group, data.labels, data.predictions).ok());
+  // Group with no positive predictions.
+  std::vector<int> all_negative(data.predictions.size(), 0);
+  EXPECT_FALSE(
+      CheckImpossibility(data.groups, data.labels, all_negative).ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::metrics

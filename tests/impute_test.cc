@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/impute.h"
+
+namespace fairlaw::data {
+namespace {
+
+Table TableWithNulls() {
+  return ReadCsvString(
+             "g,x,n,s\n"
+             "a,1.0,10,red\n"
+             "a,,20,red\n"
+             "b,3.0,,blue\n"
+             "b,5.0,40,\n"
+             "b,,,red\n")
+      .ValueOrDie();
+}
+
+TEST(ImputeTest, MeanFillsNumericNulls) {
+  Table table = TableWithNulls();
+  Table imputed =
+      ImputeNulls(table, {{"x", ImputeStrategy::kMean}}).ValueOrDie();
+  const Column* x = imputed.GetColumn("x").ValueOrDie();
+  EXPECT_EQ(x->null_count(), 0u);
+  // mean of {1, 3, 5} = 3.
+  EXPECT_DOUBLE_EQ(x->GetDouble(1).ValueOrDie(), 3.0);
+  EXPECT_DOUBLE_EQ(x->GetDouble(4).ValueOrDie(), 3.0);
+  // Valid cells untouched.
+  EXPECT_DOUBLE_EQ(x->GetDouble(0).ValueOrDie(), 1.0);
+  // Original table untouched.
+  EXPECT_GT(table.GetColumn("x").ValueOrDie()->null_count(), 0u);
+}
+
+TEST(ImputeTest, MedianOnIntColumnRoundsToInt) {
+  Table table = TableWithNulls();
+  Table imputed =
+      ImputeNulls(table, {{"n", ImputeStrategy::kMedian}}).ValueOrDie();
+  const Column* n = imputed.GetColumn("n").ValueOrDie();
+  EXPECT_EQ(n->null_count(), 0u);
+  EXPECT_EQ(n->type(), DataType::kInt64);
+  EXPECT_EQ(n->GetInt64(2).ValueOrDie(), 20);  // median of {10,20,40}
+}
+
+TEST(ImputeTest, ModeFillsStringNulls) {
+  Table table = TableWithNulls();
+  Table imputed =
+      ImputeNulls(table, {{"s", ImputeStrategy::kMode}}).ValueOrDie();
+  const Column* s = imputed.GetColumn("s").ValueOrDie();
+  EXPECT_EQ(s->null_count(), 0u);
+  EXPECT_EQ(s->GetString(3).ValueOrDie(), "red");  // mode of {red x3, blue}
+}
+
+TEST(ImputeTest, ConstantFill) {
+  Table table = TableWithNulls();
+  ImputeSpec spec;
+  spec.column = "x";
+  spec.strategy = ImputeStrategy::kConstant;
+  spec.constant = Cell(-1.0);
+  Table imputed = ImputeNulls(table, {spec}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(
+      imputed.GetColumn("x").ValueOrDie()->GetDouble(1).ValueOrDie(), -1.0);
+}
+
+TEST(ImputeTest, MultipleColumnsInOneCall) {
+  Table table = TableWithNulls();
+  Table imputed = ImputeNulls(table, {{"x", ImputeStrategy::kMean},
+                                      {"n", ImputeStrategy::kMean},
+                                      {"s", ImputeStrategy::kMode}})
+                      .ValueOrDie();
+  for (const char* name : {"x", "n", "s"}) {
+    EXPECT_EQ(imputed.GetColumn(name).ValueOrDie()->null_count(), 0u)
+        << name;
+  }
+}
+
+TEST(ImputeTest, Validation) {
+  Table table = TableWithNulls();
+  EXPECT_FALSE(ImputeNulls(table, {}).ok());
+  EXPECT_FALSE(
+      ImputeNulls(table, {{"missing", ImputeStrategy::kMean}}).ok());
+  // Numeric strategy on a string column.
+  EXPECT_FALSE(ImputeNulls(table, {{"s", ImputeStrategy::kMean}}).ok());
+  // Type-mismatched constant.
+  ImputeSpec bad;
+  bad.column = "x";
+  bad.strategy = ImputeStrategy::kConstant;
+  bad.constant = Cell(std::string("oops"));
+  EXPECT_FALSE(ImputeNulls(table, {bad}).ok());
+  // All-null column cannot be estimated.
+  Table all_null = ReadCsvString("y\n\n1\n").ValueOrDie();
+  Table only_null = ReadCsvString("a,y\n1,\n2,\n").ValueOrDie();
+  EXPECT_FALSE(
+      ImputeNulls(only_null, {{"y", ImputeStrategy::kMode}}).ok());
+}
+
+TEST(DropNullsTest, DropsAndAttributesPerGroup) {
+  Table table = TableWithNulls();
+  DropNullsReport report =
+      DropNullRows(table, {"x", "n"}, "g").ValueOrDie();
+  EXPECT_EQ(report.table.num_rows(), 2u);  // rows 0 and 3 survive
+  EXPECT_EQ(report.rows_dropped, 3u);
+  // One dropped row belongs to a, two to b.
+  ASSERT_EQ(report.dropped_per_group.size(), 2u);
+  EXPECT_EQ(report.dropped_per_group[0].first, "a");
+  EXPECT_EQ(report.dropped_per_group[0].second, 1u);
+  EXPECT_EQ(report.dropped_per_group[1].first, "b");
+  EXPECT_EQ(report.dropped_per_group[1].second, 2u);
+}
+
+TEST(DropNullsTest, AllColumnsWhenUnspecified) {
+  Table table = TableWithNulls();
+  DropNullsReport report = DropNullRows(table, {}).ValueOrDie();
+  EXPECT_EQ(report.table.num_rows(), 1u);  // only row 0 is fully non-null
+  EXPECT_TRUE(report.dropped_per_group.empty());
+}
+
+TEST(DropNullsTest, Validation) {
+  Table table = TableWithNulls();
+  EXPECT_FALSE(DropNullRows(table, {"missing"}).ok());
+  EXPECT_FALSE(DropNullRows(table, {}, "missing").ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::data

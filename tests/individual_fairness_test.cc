@@ -1,0 +1,119 @@
+// Individual fairness (Dwork et al. [4]): kNN consistency and Lipschitz
+// audits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/individual_fairness.h"
+#include "stats/rng.h"
+
+namespace fairlaw::metrics {
+namespace {
+
+using fairlaw::stats::Rng;
+
+TEST(EuclideanDistanceTest, Basics) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1.0}, {1.0}), 0.0);
+}
+
+TEST(KnnConsistencyTest, SmoothScoresAreConsistent) {
+  // Score = smooth function of the feature: neighbors agree.
+  std::vector<std::vector<double>> features;
+  std::vector<double> scores;
+  for (int i = 0; i < 200; ++i) {
+    double x = static_cast<double>(i) / 200.0;
+    features.push_back({x});
+    scores.push_back(0.5 * x);
+  }
+  ConsistencyReport report =
+      KnnConsistency(features, scores, 5).ValueOrDie();
+  EXPECT_GT(report.consistency, 0.99);
+}
+
+TEST(KnnConsistencyTest, ArbitraryScoresAreInconsistent) {
+  Rng rng(7);
+  std::vector<std::vector<double>> features;
+  std::vector<double> scores;
+  for (int i = 0; i < 200; ++i) {
+    features.push_back({rng.Uniform(0.0, 1.0)});
+    scores.push_back(rng.Bernoulli(0.5) ? 1.0 : 0.0);  // ignores features
+  }
+  ConsistencyReport report =
+      KnnConsistency(features, scores, 5).ValueOrDie();
+  EXPECT_LT(report.consistency, 0.75);
+}
+
+TEST(KnnConsistencyTest, FlagsTheOutlierIndividual) {
+  std::vector<std::vector<double>> features;
+  std::vector<double> scores;
+  for (int i = 0; i < 50; ++i) {
+    features.push_back({static_cast<double>(i)});
+    scores.push_back(0.5);
+  }
+  scores[25] = 1.0;  // one individual treated unlike identical peers
+  ConsistencyReport report =
+      KnnConsistency(features, scores, 3, /*worst=*/1).ValueOrDie();
+  ASSERT_EQ(report.least_consistent.size(), 1u);
+  EXPECT_EQ(report.least_consistent[0], 25u);
+}
+
+TEST(KnnConsistencyTest, Validation) {
+  std::vector<std::vector<double>> features = {{1.0}, {2.0}};
+  std::vector<double> scores = {0.5, 0.6};
+  EXPECT_FALSE(KnnConsistency({}, {}, 1).ok());
+  EXPECT_FALSE(KnnConsistency(features, {0.5}, 1).ok());
+  EXPECT_FALSE(KnnConsistency(features, scores, 0).ok());
+  EXPECT_FALSE(KnnConsistency(features, scores, 2).ok());  // k >= n
+}
+
+TEST(LipschitzTest, SmoothFunctionSatisfiesItsConstant) {
+  std::vector<std::vector<double>> features;
+  std::vector<double> scores;
+  for (int i = 0; i < 100; ++i) {
+    double x = static_cast<double>(i) / 100.0;
+    features.push_back({x});
+    scores.push_back(0.8 * x);  // true Lipschitz constant 0.8
+  }
+  LipschitzReport report =
+      AuditLipschitz(features, scores, /*bound=*/1.0, /*epsilon=*/0.2)
+          .ValueOrDie();
+  EXPECT_TRUE(report.satisfied);
+  EXPECT_NEAR(report.empirical_constant, 0.8, 1e-9);
+  EXPECT_GT(report.pairs_checked, 0u);
+}
+
+TEST(LipschitzTest, JumpViolates) {
+  std::vector<std::vector<double>> features = {{0.0}, {0.01}, {1.0}};
+  std::vector<double> scores = {0.1, 0.9, 0.9};  // jump across 0.01
+  LipschitzReport report =
+      AuditLipschitz(features, scores, /*bound=*/1.0, /*epsilon=*/0.5)
+          .ValueOrDie();
+  EXPECT_FALSE(report.satisfied);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations[0].i, 0u);
+  EXPECT_EQ(report.violations[0].j, 1u);
+  EXPECT_NEAR(report.violations[0].score_gap, 0.8, 1e-12);
+  EXPECT_GT(report.empirical_constant, 10.0);
+}
+
+TEST(LipschitzTest, IdenticalIndividualsDifferentScoresIsInfinite) {
+  std::vector<std::vector<double>> features = {{1.0}, {1.0}};
+  std::vector<double> scores = {0.0, 1.0};
+  LipschitzReport report =
+      AuditLipschitz(features, scores, 1.0, 0.5).ValueOrDie();
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_TRUE(std::isinf(report.empirical_constant));
+}
+
+TEST(LipschitzTest, Validation) {
+  std::vector<std::vector<double>> features = {{1.0}, {2.0}};
+  std::vector<double> scores = {0.5, 0.6};
+  EXPECT_FALSE(AuditLipschitz(features, scores, 0.0, 1.0).ok());
+  EXPECT_FALSE(AuditLipschitz(features, scores, 1.0, 0.0).ok());
+  std::vector<std::vector<double>> ragged = {{1.0}, {2.0, 3.0}};
+  EXPECT_FALSE(AuditLipschitz(ragged, scores, 1.0, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::metrics

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/inequality_indices.h"
+
+namespace fairlaw::metrics {
+namespace {
+
+using V = std::vector<double>;
+
+TEST(EntropyIndexTest, PerfectEqualityIsZero) {
+  V equal = {2.0, 2.0, 2.0, 2.0};
+  for (double alpha : {0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(GeneralizedEntropyIndex(equal, alpha).ValueOrDie(), 0.0,
+                1e-12)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(EntropyIndexTest, TheilKnownValue) {
+  // Benefits {1, 3}: mu=2; T = 1/2[(1/2)ln(1/2) + (3/2)ln(3/2)].
+  V benefits = {1.0, 3.0};
+  double expected =
+      0.5 * (0.5 * std::log(0.5) + 1.5 * std::log(1.5));
+  EXPECT_NEAR(TheilIndex(benefits).ValueOrDie(), expected, 1e-12);
+}
+
+TEST(EntropyIndexTest, Alpha2KnownValue) {
+  // GE(2) = 1/(2n) sum((b/mu)^2 - 1) = half squared coefficient of
+  // variation. For {1,3}: mu=2, CV^2 = ((0.5-1)^2+(1.5-1)^2)/2/1 = 0.25.
+  V benefits = {1.0, 3.0};
+  EXPECT_NEAR(GeneralizedEntropyIndex(benefits, 2.0).ValueOrDie(), 0.125,
+              1e-12);
+}
+
+TEST(EntropyIndexTest, MoreUnequalIsLarger) {
+  V mild = {1.5, 2.5};
+  V severe = {0.5, 3.5};
+  for (double alpha : {0.5, 1.0, 2.0}) {
+    EXPECT_GT(GeneralizedEntropyIndex(severe, alpha).ValueOrDie(),
+              GeneralizedEntropyIndex(mild, alpha).ValueOrDie());
+  }
+}
+
+TEST(EntropyIndexTest, ZerosAllowedForPositiveAlpha) {
+  V benefits = {0.0, 2.0};
+  EXPECT_TRUE(GeneralizedEntropyIndex(benefits, 1.0).ok());
+  EXPECT_TRUE(GeneralizedEntropyIndex(benefits, 2.0).ok());
+  EXPECT_FALSE(GeneralizedEntropyIndex(benefits, 0.0).ok());
+  EXPECT_FALSE(GeneralizedEntropyIndex(benefits, -1.0).ok());
+}
+
+TEST(EntropyIndexTest, Validation) {
+  EXPECT_FALSE(GeneralizedEntropyIndex(V{}, 1.0).ok());
+  EXPECT_FALSE(GeneralizedEntropyIndex(V{-1.0, 2.0}, 1.0).ok());
+  EXPECT_FALSE(GeneralizedEntropyIndex(V{0.0, 0.0}, 2.0).ok());
+}
+
+TEST(BinaryBenefitsTest, CanonicalCoding) {
+  std::vector<int> labels = {1, 0, 1, 0};
+  std::vector<int> preds = {1, 1, 0, 0};
+  V benefits = BinaryBenefits(labels, preds).ValueOrDie();
+  // correct pos: 1; unjustified advantage: 2; unjustified denial: 0;
+  // correct neg: 1.
+  EXPECT_EQ(benefits, (V{1.0, 2.0, 0.0, 1.0}));
+  EXPECT_FALSE(BinaryBenefits(std::vector<int>{0, 2}, std::vector<int>{0, 1}).ok());
+  EXPECT_FALSE(BinaryBenefits(std::vector<int>{0}, std::vector<int>{0, 1}).ok());
+}
+
+TEST(DecompositionTest, ComponentsSumToTotal) {
+  V benefits = {1.0, 2.0, 3.0, 4.0};
+  std::vector<std::string> groups = {"a", "a", "b", "b"};
+  EntropyDecomposition decomposition =
+      DecomposeEntropyIndex(benefits, groups, 2.0).ValueOrDie();
+  EXPECT_NEAR(decomposition.between_groups + decomposition.within_groups,
+              decomposition.total, 1e-12);
+  EXPECT_GT(decomposition.between_groups, 0.0);  // group means 1.5 vs 3.5
+  EXPECT_GT(decomposition.within_groups, 0.0);
+}
+
+TEST(DecompositionTest, NoBetweenComponentForEqualGroupMeans) {
+  V benefits = {1.0, 3.0, 1.0, 3.0};
+  std::vector<std::string> groups = {"a", "a", "b", "b"};
+  EntropyDecomposition decomposition =
+      DecomposeEntropyIndex(benefits, groups, 2.0).ValueOrDie();
+  EXPECT_NEAR(decomposition.between_groups, 0.0, 1e-12);
+  EXPECT_NEAR(decomposition.within_groups, decomposition.total, 1e-12);
+}
+
+TEST(DecompositionTest, AllInequalityBetweenGroups) {
+  V benefits = {1.0, 1.0, 3.0, 3.0};
+  std::vector<std::string> groups = {"a", "a", "b", "b"};
+  EntropyDecomposition decomposition =
+      DecomposeEntropyIndex(benefits, groups, 2.0).ValueOrDie();
+  EXPECT_NEAR(decomposition.within_groups, 0.0, 1e-12);
+  EXPECT_NEAR(decomposition.between_groups, decomposition.total, 1e-12);
+}
+
+TEST(DecompositionTest, Validation) {
+  EXPECT_FALSE(
+      DecomposeEntropyIndex(V{1.0}, {"a", "b"}, 2.0).ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::metrics

@@ -1,0 +1,116 @@
+// Isotonic (PAV) calibration and the per-group calibration repairer.
+#include <gtest/gtest.h>
+
+#include "metrics/calibration_metric.h"
+#include "ml/calibration.h"
+#include "ml/isotonic.h"
+#include "mitigation/group_calibrator.h"
+#include "stats/rng.h"
+
+namespace fairlaw {
+namespace {
+
+using fairlaw::stats::Rng;
+using ml::IsotonicCalibrator;
+
+TEST(IsotonicTest, AlreadyMonotoneDataIsInterpolated) {
+  std::vector<double> scores = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> targets = {0.1, 0.2, 0.3, 0.4};
+  IsotonicCalibrator calibrator =
+      IsotonicCalibrator::Fit(scores, targets).ValueOrDie();
+  EXPECT_DOUBLE_EQ(calibrator.Predict(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(calibrator.Predict(4.0), 0.4);
+  EXPECT_NEAR(calibrator.Predict(2.5), 0.25, 1e-12);
+  // Clamped outside the range.
+  EXPECT_DOUBLE_EQ(calibrator.Predict(-10.0), 0.1);
+  EXPECT_DOUBLE_EQ(calibrator.Predict(10.0), 0.4);
+}
+
+TEST(IsotonicTest, PoolsViolators) {
+  // Decreasing segment {0.9, 0.1} must merge into its mean.
+  std::vector<double> scores = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> targets = {0.0, 0.9, 0.1, 1.0};
+  IsotonicCalibrator calibrator =
+      IsotonicCalibrator::Fit(scores, targets).ValueOrDie();
+  // Fitted values are non-decreasing.
+  const std::vector<double>& values = calibrator.knot_values();
+  for (size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LE(values[i - 1], values[i]);
+  }
+  // Violating pair pooled to 0.5.
+  EXPECT_NEAR(calibrator.Predict(2.5), 0.5, 1e-12);
+}
+
+TEST(IsotonicTest, WeightsShiftPooledMeans) {
+  std::vector<double> scores = {1.0, 2.0};
+  std::vector<double> targets = {1.0, 0.0};  // violator pair
+  std::vector<double> weights = {3.0, 1.0};
+  IsotonicCalibrator calibrator =
+      IsotonicCalibrator::Fit(scores, targets, weights).ValueOrDie();
+  // Pooled mean = (3*1 + 1*0) / 4 = 0.75 everywhere.
+  EXPECT_NEAR(calibrator.Predict(1.5), 0.75, 1e-12);
+}
+
+TEST(IsotonicTest, UnsortedInputHandled) {
+  std::vector<double> scores = {3.0, 1.0, 2.0};
+  std::vector<double> targets = {0.3, 0.1, 0.2};
+  IsotonicCalibrator calibrator =
+      IsotonicCalibrator::Fit(scores, targets).ValueOrDie();
+  EXPECT_NEAR(calibrator.Predict(2.0), 0.2, 1e-12);
+}
+
+TEST(IsotonicTest, Validation) {
+  EXPECT_FALSE(IsotonicCalibrator::Fit({}, {}).ok());
+  EXPECT_FALSE(IsotonicCalibrator::Fit({1.0}, {0.5, 0.6}).ok());
+  EXPECT_FALSE(IsotonicCalibrator::Fit({1.0}, {0.5}, {-1.0}).ok());
+  EXPECT_FALSE(IsotonicCalibrator::Fit({1.0}, {0.5}, {0.0}).ok());
+}
+
+TEST(GroupCalibratorTest, RepairsMiscalibratedGroup) {
+  // Group b's raw scores systematically overstate the outcome rate.
+  Rng rng(13);
+  std::vector<std::string> groups;
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 6000; ++i) {
+    bool b = rng.Bernoulli(0.5);
+    double score = rng.Uniform(0.05, 0.95);
+    double true_rate = b ? std::max(0.0, score - 0.25) : score;
+    groups.push_back(b ? "b" : "a");
+    scores.push_back(score);
+    labels.push_back(rng.Bernoulli(true_rate) ? 1 : 0);
+  }
+
+  metrics::CalibrationReport before =
+      metrics::CalibrationWithinGroups(groups, labels, scores)
+          .ValueOrDie();
+  EXPECT_GT(before.max_ece, 0.15);
+
+  mitigation::GroupCalibrator calibrator =
+      mitigation::GroupCalibrator::Fit(groups, scores, labels).ValueOrDie();
+  std::vector<double> repaired =
+      calibrator.CalibrateBatch(groups, scores).ValueOrDie();
+  // Calibrated outputs must be valid probabilities.
+  for (double p : repaired) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  metrics::CalibrationReport after =
+      metrics::CalibrationWithinGroups(groups, labels, repaired)
+          .ValueOrDie();
+  EXPECT_LT(after.max_ece, before.max_ece * 0.3);
+}
+
+TEST(GroupCalibratorTest, Validation) {
+  EXPECT_FALSE(mitigation::GroupCalibrator::Fit({}, {}, {}).ok());
+  EXPECT_FALSE(
+      mitigation::GroupCalibrator::Fit({"a"}, {0.5}, {2}).ok());
+  mitigation::GroupCalibrator calibrator =
+      mitigation::GroupCalibrator::Fit({"a", "a"}, {0.2, 0.8}, {0, 1})
+          .ValueOrDie();
+  EXPECT_TRUE(calibrator.Calibrate("zzz", 0.5).status().IsNotFound());
+  EXPECT_FALSE(calibrator.CalibrateBatch({"a"}, {0.5, 0.6}).ok());
+}
+
+}  // namespace
+}  // namespace fairlaw

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "audit/manipulation.h"
+
+namespace fairlaw::audit {
+namespace {
+
+metrics::MetricInput BiasedOutcomes() {
+  metrics::MetricInput input;
+  for (int i = 0; i < 100; ++i) {
+    input.groups.push_back("male");
+    input.predictions.push_back(i < 70 ? 1 : 0);  // 0.7
+  }
+  for (int i = 0; i < 100; ++i) {
+    input.groups.push_back("female");
+    input.predictions.push_back(i < 30 ? 1 : 0);  // 0.3
+  }
+  return input;
+}
+
+metrics::MetricInput FairOutcomes() {
+  metrics::MetricInput input;
+  for (int i = 0; i < 100; ++i) {
+    input.groups.push_back("male");
+    input.predictions.push_back(i < 50 ? 1 : 0);
+    input.groups.push_back("female");
+    input.predictions.push_back(i < 50 ? 1 : 0);
+  }
+  return input;
+}
+
+std::vector<ml::FeatureImportance> Importances(double sensitive,
+                                               double proxy) {
+  return {{"gender", sensitive}, {"university", proxy}, {"skill", 1.0}};
+}
+
+TEST(ManipulationAuditTest, MaskedModelFlagged) {
+  // Attribution says fair (sensitive share ~0) but outcomes are biased:
+  // the Dimanov signature.
+  ManipulationAuditReport report =
+      AuditManipulation(Importances(0.001, 2.0), "gender", BiasedOutcomes())
+          .ValueOrDie();
+  EXPECT_TRUE(report.attribution_says_fair);
+  EXPECT_FALSE(report.outcome_says_fair);
+  EXPECT_TRUE(report.masking_suspected);
+  EXPECT_NEAR(report.outcome_gap, 0.4, 1e-12);
+  EXPECT_NE(report.detail.find("MASKING SUSPECTED"), std::string::npos);
+}
+
+TEST(ManipulationAuditTest, HonestBiasedModelNotMasking) {
+  // The sensitive feature visibly drives the model: attribution audit
+  // already fails, no masking.
+  ManipulationAuditReport report =
+      AuditManipulation(Importances(3.0, 1.0), "gender", BiasedOutcomes())
+          .ValueOrDie();
+  EXPECT_FALSE(report.attribution_says_fair);
+  EXPECT_FALSE(report.outcome_says_fair);
+  EXPECT_FALSE(report.masking_suspected);
+  EXPECT_GT(report.sensitive_attribution_share, 0.5);
+}
+
+TEST(ManipulationAuditTest, GenuinelyFairModelClean) {
+  ManipulationAuditReport report =
+      AuditManipulation(Importances(0.001, 1.0), "gender", FairOutcomes())
+          .ValueOrDie();
+  EXPECT_TRUE(report.attribution_says_fair);
+  EXPECT_TRUE(report.outcome_says_fair);
+  EXPECT_FALSE(report.masking_suspected);
+}
+
+TEST(ManipulationAuditTest, Validation) {
+  EXPECT_FALSE(AuditManipulation({}, "gender", FairOutcomes()).ok());
+  EXPECT_TRUE(AuditManipulation(Importances(1.0, 1.0), "zzz",
+                                FairOutcomes())
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace fairlaw::audit

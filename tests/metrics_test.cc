@@ -1,0 +1,304 @@
+// Reproduces the worked examples of paper §III exactly: each TEST below
+// builds the literal population the paper describes and checks that the
+// metric reaches the paper's verdict.
+#include <gtest/gtest.h>
+
+#include "metrics/group_metrics.h"
+
+namespace fairlaw::metrics {
+namespace {
+
+/// Appends `count` rows with the given group/prediction/label.
+void AddRows(MetricInput* input, const std::string& group, int prediction,
+             int label, int count) {
+  for (int i = 0; i < count; ++i) {
+    input->groups.push_back(group);
+    input->predictions.push_back(prediction);
+    if (label >= 0) input->labels.push_back(label);
+  }
+}
+
+// ---- §III-A demographic parity: 10 female / 20 male applicants; 10
+// males hired (50%); fair iff exactly 5 females hired. ----
+
+MetricInput HiringExample(int females_hired) {
+  MetricInput input;
+  AddRows(&input, "male", 1, -1, 10);
+  AddRows(&input, "male", 0, -1, 10);
+  AddRows(&input, "female", 1, -1, females_hired);
+  AddRows(&input, "female", 0, -1, 10 - females_hired);
+  return input;
+}
+
+TEST(PaperExampleA, FiveFemalesHiredIsFair) {
+  MetricReport report = DemographicParity(HiringExample(5)).ValueOrDie();
+  EXPECT_TRUE(report.satisfied);
+  EXPECT_DOUBLE_EQ(report.max_gap, 0.0);
+  // Both groups at exactly 50%.
+  for (const GroupStats& gs : report.groups) {
+    EXPECT_DOUBLE_EQ(gs.selection_rate, 0.5);
+  }
+}
+
+TEST(PaperExampleA, FewerThanFiveIsBiasedAgainstFemales) {
+  MetricReport report = DemographicParity(HiringExample(3)).ValueOrDie();
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NEAR(report.max_gap, 0.2, 1e-12);  // 0.5 vs 0.3
+}
+
+TEST(PaperExampleA, MoreThanFiveIsBiasedAgainstMales) {
+  MetricReport report = DemographicParity(HiringExample(8)).ValueOrDie();
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NEAR(report.max_gap, 0.3, 1e-12);  // 0.8 vs 0.5
+}
+
+// ---- §III-C equal opportunity: 10 male good matches, 6 female good
+// matches; 5 good males hired (TPR 50%); fair iff 3 good females hired.
+// ----
+
+MetricInput EqualOpportunityExample(int good_females_hired) {
+  MetricInput input;
+  // 20 males: 10 good matches (5 hired), 10 bad (not hired).
+  AddRows(&input, "male", 1, 1, 5);
+  AddRows(&input, "male", 0, 1, 5);
+  AddRows(&input, "male", 0, 0, 10);
+  // 10 females: 6 good matches, 4 bad (not hired).
+  AddRows(&input, "female", 1, 1, good_females_hired);
+  AddRows(&input, "female", 0, 1, 6 - good_females_hired);
+  AddRows(&input, "female", 0, 0, 4);
+  return input;
+}
+
+TEST(PaperExampleC, ThreeGoodFemalesHiredIsFair) {
+  MetricReport report =
+      EqualOpportunity(EqualOpportunityExample(3)).ValueOrDie();
+  EXPECT_TRUE(report.satisfied);
+  EXPECT_DOUBLE_EQ(report.max_gap, 0.0);
+  for (const GroupStats& gs : report.groups) {
+    EXPECT_DOUBLE_EQ(gs.tpr, 0.5);
+  }
+}
+
+TEST(PaperExampleC, FewerIsBiasedAgainstFemales) {
+  MetricReport report =
+      EqualOpportunity(EqualOpportunityExample(1)).ValueOrDie();
+  EXPECT_FALSE(report.satisfied);
+  // Female TPR 1/6 vs male 1/2.
+  EXPECT_NEAR(report.max_gap, 0.5 - 1.0 / 6.0, 1e-12);
+}
+
+TEST(PaperExampleC, MoreIsBiasedAgainstMales) {
+  MetricReport report =
+      EqualOpportunity(EqualOpportunityExample(6)).ValueOrDie();
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NEAR(report.max_gap, 0.5, 1e-12);  // 1.0 vs 0.5
+}
+
+// ---- §III-D equalized odds: 6 female / 12 male; 6 male good matches all
+// hired, 6 male bad matches all rejected (TPR=1, FPR=0); fair iff all 3
+// good females hired and all 3 bad females rejected. ----
+
+MetricInput EqualizedOddsExample(int good_females_hired,
+                                 int bad_females_hired) {
+  MetricInput input;
+  AddRows(&input, "male", 1, 1, 6);   // good matches hired
+  AddRows(&input, "male", 0, 0, 6);   // bad matches rejected
+  AddRows(&input, "female", 1, 1, good_females_hired);
+  AddRows(&input, "female", 0, 1, 3 - good_females_hired);
+  AddRows(&input, "female", 1, 0, bad_females_hired);
+  AddRows(&input, "female", 0, 0, 3 - bad_females_hired);
+  return input;
+}
+
+TEST(PaperExampleD, PerfectSeparationIsFair) {
+  MetricReport report =
+      EqualizedOdds(EqualizedOddsExample(3, 0)).ValueOrDie();
+  EXPECT_TRUE(report.satisfied);
+  EXPECT_DOUBLE_EQ(report.max_gap, 0.0);
+}
+
+TEST(PaperExampleD, WrongPositivesViolate) {
+  // Hiring a bad-match female breaks FPR equality even with TPR equal.
+  MetricReport report =
+      EqualizedOdds(EqualizedOddsExample(3, 1)).ValueOrDie();
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NEAR(report.max_gap, 1.0 / 3.0, 1e-12);
+}
+
+TEST(PaperExampleD, MissedPositivesViolate) {
+  MetricReport report =
+      EqualizedOdds(EqualizedOddsExample(2, 0)).ValueOrDie();
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NEAR(report.max_gap, 1.0 / 3.0, 1e-12);
+}
+
+TEST(PaperExampleD, EqualOpportunityIsWeakerThanEqualizedOdds) {
+  // TPR equal but FPR broken: EO passes, EOdds fails — the paper's
+  // "more restrictive" claim.
+  MetricInput input = EqualizedOddsExample(3, 1);
+  EXPECT_TRUE(EqualOpportunity(input).ValueOrDie().satisfied);
+  EXPECT_FALSE(EqualizedOdds(input).ValueOrDie().satisfied);
+}
+
+// ---- §III-E demographic disparity: 10 females; fair iff more hired
+// than rejected. ----
+
+TEST(PaperExampleE, MoreHiredThanRejectedIsFair) {
+  MetricInput input;
+  AddRows(&input, "female", 1, -1, 6);
+  AddRows(&input, "female", 0, -1, 4);
+  MetricReport report = DemographicDisparity(input).ValueOrDie();
+  EXPECT_TRUE(report.satisfied);
+}
+
+TEST(PaperExampleE, MoreThanFiveRejectedIsUnfair) {
+  MetricInput input;
+  AddRows(&input, "female", 1, -1, 4);
+  AddRows(&input, "female", 0, -1, 6);
+  MetricReport report = DemographicDisparity(input).ValueOrDie();
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NE(report.detail.find("female"), std::string::npos);
+}
+
+TEST(PaperExampleE, ExactTieIsUnfair) {
+  // P(R=+) must strictly exceed P(R=-).
+  MetricInput input;
+  AddRows(&input, "female", 1, -1, 5);
+  AddRows(&input, "female", 0, -1, 5);
+  EXPECT_FALSE(DemographicDisparity(input).ValueOrDie().satisfied);
+}
+
+// ---- Disparate impact / four-fifths companion ----
+
+TEST(DisparateImpactTest, RatioComputedAgainstBestGroup) {
+  MetricInput input;
+  AddRows(&input, "male", 1, -1, 50);
+  AddRows(&input, "male", 0, -1, 50);   // rate 0.5
+  AddRows(&input, "female", 1, -1, 30);
+  AddRows(&input, "female", 0, -1, 70);  // rate 0.3
+  MetricReport report = DisparateImpactRatio(input, 0.8).ValueOrDie();
+  EXPECT_NEAR(report.min_ratio, 0.6, 1e-12);
+  EXPECT_FALSE(report.satisfied);
+  MetricReport lenient = DisparateImpactRatio(input, 0.5).ValueOrDie();
+  EXPECT_TRUE(lenient.satisfied);
+}
+
+TEST(DisparateImpactTest, AllZeroRatesIsNoDisparity) {
+  MetricInput input;
+  AddRows(&input, "a", 0, -1, 10);
+  AddRows(&input, "b", 0, -1, 10);
+  MetricReport report = DisparateImpactRatio(input).ValueOrDie();
+  EXPECT_DOUBLE_EQ(report.min_ratio, 1.0);
+  EXPECT_TRUE(report.satisfied);
+}
+
+// ---- Predictive parity & accuracy equality companions ----
+
+TEST(PredictiveParityTest, EqualPpvSatisfied) {
+  MetricInput input;
+  // Group a: 4 predicted positive, 3 correct (PPV .75).
+  AddRows(&input, "a", 1, 1, 3);
+  AddRows(&input, "a", 1, 0, 1);
+  AddRows(&input, "a", 0, 0, 6);
+  // Group b: 8 predicted positive, 6 correct (PPV .75).
+  AddRows(&input, "b", 1, 1, 6);
+  AddRows(&input, "b", 1, 0, 2);
+  AddRows(&input, "b", 0, 0, 2);
+  MetricReport report = PredictiveParity(input).ValueOrDie();
+  EXPECT_TRUE(report.satisfied);
+  EXPECT_DOUBLE_EQ(report.max_gap, 0.0);
+}
+
+TEST(PredictiveParityTest, UndefinedWithoutPositivePredictions) {
+  MetricInput input;
+  AddRows(&input, "a", 0, 1, 5);
+  AddRows(&input, "b", 1, 1, 5);
+  EXPECT_FALSE(PredictiveParity(input).ok());
+}
+
+TEST(AccuracyEqualityTest, GapComputed) {
+  MetricInput input;
+  AddRows(&input, "a", 1, 1, 9);
+  AddRows(&input, "a", 0, 1, 1);   // group a accuracy 0.9
+  AddRows(&input, "b", 1, 1, 5);
+  AddRows(&input, "b", 0, 1, 5);   // group b accuracy 0.5
+  MetricReport report = AccuracyEquality(input, 0.05).ValueOrDie();
+  EXPECT_NEAR(report.max_gap, 0.4, 1e-12);
+  EXPECT_FALSE(report.satisfied);
+}
+
+// ---- Tolerance semantics & validation ----
+
+TEST(MetricValidationTest, ToleranceAllowsSmallGaps) {
+  MetricInput input = HiringExample(4);  // gap 0.1
+  EXPECT_FALSE(DemographicParity(input, 0.05).ValueOrDie().satisfied);
+  EXPECT_TRUE(DemographicParity(input, 0.15).ValueOrDie().satisfied);
+  EXPECT_FALSE(DemographicParity(input, -0.1).ok());
+}
+
+TEST(MetricValidationTest, SingleGroupRejected) {
+  MetricInput input;
+  AddRows(&input, "only", 1, -1, 10);
+  EXPECT_FALSE(DemographicParity(input).ok());
+}
+
+TEST(MetricValidationTest, LabelRequirementsEnforced) {
+  MetricInput input = HiringExample(5);  // no labels
+  EXPECT_FALSE(EqualOpportunity(input).ok());
+  EXPECT_FALSE(EqualizedOdds(input).ok());
+  EXPECT_FALSE(PredictiveParity(input).ok());
+}
+
+TEST(MetricValidationTest, GroupWithoutPositivesRejectedForEo) {
+  MetricInput input;
+  AddRows(&input, "a", 1, 1, 5);
+  AddRows(&input, "a", 0, 0, 5);
+  AddRows(&input, "b", 0, 0, 10);  // no actual positives in b
+  EXPECT_FALSE(EqualOpportunity(input).ok());
+  EXPECT_FALSE(EqualizedOdds(input).ok());
+}
+
+TEST(MetricValidationTest, InputStructuralChecks) {
+  MetricInput input;
+  EXPECT_FALSE(input.Validate(false).ok());  // empty
+  input.groups = {"a", "b"};
+  input.predictions = {0, 2};
+  EXPECT_FALSE(input.Validate(false).ok());  // bad prediction value
+  input.predictions = {0, 1};
+  input.labels = {1};
+  EXPECT_FALSE(input.Validate(false).ok());  // label length
+  input.labels = {1, 3};
+  EXPECT_FALSE(input.Validate(false).ok());  // bad label value
+  input.labels = {1, 0};
+  EXPECT_TRUE(input.Validate(true).ok());
+}
+
+TEST(GroupStatsTest, RatesComputedPerGroup) {
+  MetricInput input;
+  AddRows(&input, "a", 1, 1, 2);
+  AddRows(&input, "a", 1, 0, 1);
+  AddRows(&input, "a", 0, 1, 1);
+  AddRows(&input, "a", 0, 0, 2);
+  AddRows(&input, "b", 1, 1, 1);
+  AddRows(&input, "b", 0, 0, 1);
+  auto stats = ComputeGroupStats(input, true).ValueOrDie();
+  ASSERT_EQ(stats.size(), 2u);
+  const GroupStats& a = stats[0];
+  EXPECT_EQ(a.group, "a");
+  EXPECT_EQ(a.count, 6);
+  EXPECT_DOUBLE_EQ(a.selection_rate, 0.5);
+  EXPECT_DOUBLE_EQ(a.tpr, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(a.fpr, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(a.ppv, 2.0 / 3.0);
+}
+
+TEST(RenderReportTest, MentionsVerdictAndGroups) {
+  MetricReport report = DemographicParity(HiringExample(3)).ValueOrDie();
+  std::string text = RenderReport(report);
+  EXPECT_NE(text.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(text.find("female"), std::string::npos);
+  EXPECT_NE(text.find("male"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairlaw::metrics

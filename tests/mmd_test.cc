@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/mmd.h"
+#include "stats/rng.h"
+
+namespace fairlaw::stats {
+namespace {
+
+std::vector<double> Draw(Rng* rng, size_t n, double mean, double stddev) {
+  std::vector<double> values(n);
+  for (double& v : values) v = rng->Normal(mean, stddev);
+  return values;
+}
+
+TEST(RbfKernelTest, KnownValues) {
+  Point x = {0.0};
+  Point y = {1.0};
+  EXPECT_DOUBLE_EQ(RbfKernel(x, x, 1.0), 1.0);
+  EXPECT_NEAR(RbfKernel(x, y, 1.0), std::exp(-0.5), 1e-12);
+  // Larger bandwidth -> larger similarity.
+  EXPECT_GT(RbfKernel(x, y, 2.0), RbfKernel(x, y, 1.0));
+}
+
+TEST(MedianHeuristicTest, TwoPointsGivesTheirDistance) {
+  std::vector<Point> x = {{0.0}};
+  std::vector<Point> y = {{3.0}};
+  EXPECT_NEAR(MedianHeuristicBandwidth(x, y), 3.0, 1e-12);
+}
+
+TEST(MedianHeuristicTest, DegenerateFallsBackToOne) {
+  std::vector<Point> x = {{1.0}, {1.0}};
+  std::vector<Point> y = {{1.0}};
+  EXPECT_DOUBLE_EQ(MedianHeuristicBandwidth(x, y), 1.0);
+  EXPECT_DOUBLE_EQ(MedianHeuristicBandwidth({}, {}), 1.0);
+}
+
+TEST(MmdTest, IdenticalDistributionsNearZero) {
+  Rng rng(5);
+  std::vector<double> x = Draw(&rng, 300, 0.0, 1.0);
+  std::vector<double> y = Draw(&rng, 300, 0.0, 1.0);
+  double mmd2 = MmdSquaredUnbiased1d(x, y, 1.0).ValueOrDie();
+  EXPECT_NEAR(mmd2, 0.0, 0.02);
+}
+
+TEST(MmdTest, SeparatedDistributionsPositive) {
+  Rng rng(7);
+  std::vector<double> x = Draw(&rng, 300, 0.0, 1.0);
+  std::vector<double> y = Draw(&rng, 300, 3.0, 1.0);
+  double mmd2 = MmdSquaredUnbiased1d(x, y, 1.0).ValueOrDie();
+  EXPECT_GT(mmd2, 0.3);
+}
+
+TEST(MmdTest, BiasedEstimatorNonNegative) {
+  Rng rng(9);
+  std::vector<double> x = Draw(&rng, 100, 0.0, 1.0);
+  std::vector<double> y = Draw(&rng, 100, 0.0, 1.0);
+  EXPECT_GE(MmdSquaredBiased1d(x, y, 1.0).ValueOrDie(), 0.0);
+}
+
+TEST(MmdTest, MonotoneInSeparation) {
+  Rng rng(11);
+  std::vector<double> x = Draw(&rng, 200, 0.0, 1.0);
+  std::vector<double> near = Draw(&rng, 200, 0.5, 1.0);
+  std::vector<double> far = Draw(&rng, 200, 2.0, 1.0);
+  double mmd_near = MmdSquaredBiased1d(x, near, 1.0).ValueOrDie();
+  double mmd_far = MmdSquaredBiased1d(x, far, 1.0).ValueOrDie();
+  EXPECT_LT(mmd_near, mmd_far);
+}
+
+TEST(MmdTest, MultivariatePoints) {
+  Rng rng(13);
+  std::vector<Point> x(100);
+  std::vector<Point> y(100);
+  for (auto& p : x) p = {rng.Normal(), rng.Normal()};
+  for (auto& p : y) p = {rng.Normal(2.0, 1.0), rng.Normal(2.0, 1.0)};
+  double sigma = MedianHeuristicBandwidth(x, y);
+  EXPECT_GT(sigma, 0.0);
+  EXPECT_GT(MmdSquaredUnbiased(x, y, sigma).ValueOrDie(), 0.1);
+}
+
+TEST(MmdTest, InputValidation) {
+  std::vector<double> one = {1.0};
+  std::vector<double> two = {1.0, 2.0};
+  EXPECT_FALSE(MmdSquaredUnbiased1d(one, two, 1.0).ok());  // needs >= 2
+  EXPECT_FALSE(MmdSquaredUnbiased1d(two, two, 0.0).ok());  // bad sigma
+  EXPECT_FALSE(MmdSquaredBiased1d({}, two, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::stats

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "audit/proxy.h"
+#include "data/column.h"
+#include "data/schema.h"
+#include "stats/rng.h"
+
+namespace fairlaw::audit {
+namespace {
+
+using fairlaw::stats::Rng;
+
+/// gender with one strong numeric proxy, one weak proxy, one independent
+/// feature, and one categorical proxy.
+data::Table ProxyTable(size_t n, double strong, double weak) {
+  Rng rng(13);
+  std::vector<std::string> gender(n);
+  std::vector<double> strong_proxy(n);
+  std::vector<double> weak_proxy(n);
+  std::vector<double> independent(n);
+  std::vector<std::string> district(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool female = rng.Bernoulli(0.5);
+    gender[i] = female ? "female" : "male";
+    strong_proxy[i] = (female ? -strong : strong) + rng.Normal(0.0, 1.0);
+    weak_proxy[i] = (female ? -weak : weak) + rng.Normal(0.0, 1.0);
+    independent[i] = rng.Normal(0.0, 1.0);
+    // Categorical proxy: females mostly in district "north".
+    district[i] = rng.Bernoulli(female ? 0.85 : 0.15) ? "north" : "south";
+  }
+  data::Schema schema =
+      data::Schema::Make({{"gender", data::DataType::kString},
+                          {"strong_proxy", data::DataType::kDouble},
+                          {"weak_proxy", data::DataType::kDouble},
+                          {"independent", data::DataType::kDouble},
+                          {"district", data::DataType::kString}})
+          .ValueOrDie();
+  return data::Table::Make(
+             schema, {data::Column::FromStrings(gender),
+                      data::Column::FromDoubles(strong_proxy),
+                      data::Column::FromDoubles(weak_proxy),
+                      data::Column::FromDoubles(independent),
+                      data::Column::FromStrings(district)})
+      .ValueOrDie();
+}
+
+TEST(ProxyDetectionTest, RanksProxiesByAssociation) {
+  data::Table table = ProxyTable(4000, 2.0, 0.5);
+  std::vector<ProxyFinding> findings =
+      DetectProxies(table, "gender",
+                    {"strong_proxy", "weak_proxy", "independent",
+                     "district"})
+          .ValueOrDie();
+  ASSERT_EQ(findings.size(), 4u);
+  // Sorted by Cramér's V; the strong proxy or district leads, the
+  // independent feature is last.
+  EXPECT_EQ(findings.back().feature, "independent");
+  EXPECT_LT(findings.back().cramers_v, 0.1);
+  // Find the named entries.
+  auto find = [&](const std::string& name) -> const ProxyFinding& {
+    for (const ProxyFinding& f : findings) {
+      if (f.feature == name) return f;
+    }
+    ADD_FAILURE() << name << " missing";
+    return findings[0];
+  };
+  EXPECT_GT(find("strong_proxy").cramers_v, 0.5);
+  EXPECT_TRUE(find("strong_proxy").flagged);
+  EXPECT_GT(find("district").cramers_v, 0.5);
+  EXPECT_TRUE(find("district").flagged);
+  EXPECT_FALSE(find("independent").flagged);
+  EXPECT_GT(find("strong_proxy").cramers_v, find("weak_proxy").cramers_v);
+  // Mutual information is ordered consistently.
+  EXPECT_GT(find("strong_proxy").mutual_information,
+            find("independent").mutual_information);
+  // Predictability gain: strong proxy predicts gender well above the
+  // majority baseline.
+  EXPECT_GT(find("strong_proxy").predictability_gain, 0.2);
+  EXPECT_LT(find("independent").predictability_gain, 0.05);
+}
+
+TEST(ProxyDetectionTest, NoProxiesWhenIndependent) {
+  data::Table table = ProxyTable(2000, 0.0, 0.0);
+  std::vector<ProxyFinding> findings =
+      DetectProxies(table, "gender", {"strong_proxy", "weak_proxy"})
+          .ValueOrDie();
+  for (const ProxyFinding& finding : findings) {
+    EXPECT_FALSE(finding.flagged);
+    EXPECT_LT(finding.cramers_v, 0.1);
+  }
+}
+
+TEST(ProxyContingencyTest, ShapeMatchesBinsAndGroups) {
+  data::Table table = ProxyTable(500, 1.0, 0.0);
+  auto contingency =
+      ProxyContingencyTable(table, "strong_proxy", "gender", 10)
+          .ValueOrDie();
+  EXPECT_EQ(contingency.size(), 10u);  // 10 quantile bins
+  EXPECT_EQ(contingency[0].size(), 2u);  // two genders
+  int64_t total = 0;
+  for (const auto& row : contingency) {
+    for (int64_t cell : row) total += cell;
+  }
+  EXPECT_EQ(total, 500);
+}
+
+TEST(ProxyDetectionTest, Validation) {
+  data::Table table = ProxyTable(100, 1.0, 0.0);
+  EXPECT_FALSE(DetectProxies(table, "gender", {}).ok());
+  EXPECT_FALSE(
+      DetectProxies(table, "gender", {"gender"}).ok());  // self-proxy
+  EXPECT_FALSE(DetectProxies(table, "gender", {"missing"}).ok());
+  ProxyDetectionOptions options;
+  options.flag_threshold = 2.0;
+  EXPECT_FALSE(
+      DetectProxies(table, "gender", {"strong_proxy"}, options).ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::audit

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/ranking_metrics.h"
+
+namespace fairlaw::metrics {
+namespace {
+
+TEST(ExposureWeightTest, LogDiscount) {
+  EXPECT_DOUBLE_EQ(ExposureWeight(1), 1.0);
+  EXPECT_NEAR(ExposureWeight(3), 0.5, 1e-12);
+  EXPECT_GT(ExposureWeight(2), ExposureWeight(3));
+}
+
+TEST(ExposureFairnessTest, InterleavedRankingIsNearFair) {
+  std::vector<std::string> ranking;
+  for (int i = 0; i < 25; ++i) {
+    ranking.push_back("a");
+    ranking.push_back("b");
+  }
+  RankingFairnessReport report = ExposureFairness(ranking).ValueOrDie();
+  EXPECT_TRUE(report.satisfied);
+  EXPECT_GT(report.min_exposure_ratio, 0.9);
+}
+
+TEST(ExposureFairnessTest, SegregatedRankingFails) {
+  // All of group b stacked at the bottom.
+  std::vector<std::string> ranking(25, "a");
+  ranking.insert(ranking.end(), 25, "b");
+  RankingFairnessReport report = ExposureFairness(ranking).ValueOrDie();
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_LT(report.min_exposure_ratio, 0.8);
+  EXPECT_NE(report.detail.find("b"), std::string::npos);
+  // Exposure shares sum to 1.
+  double total = 0.0;
+  for (const GroupExposure& exposure : report.groups) {
+    total += exposure.exposure_share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ExposureFairnessTest, Validation) {
+  EXPECT_FALSE(ExposureFairness({}).ok());
+  EXPECT_FALSE(ExposureFairness({"a", "a"}).ok());  // single group
+  EXPECT_FALSE(ExposureFairness({"a", "b"}, 0.0).ok());
+}
+
+TEST(TopKParityTest, DetectsTopHeavySkew) {
+  std::vector<std::string> ranking(10, "a");
+  ranking.insert(ranking.end(), 10, "b");
+  PrefixParityReport report =
+      TopKParity(ranking, {5, 10, 20}).ValueOrDie();
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NEAR(report.max_gap, 0.5, 1e-12);  // top-5 is 100% a vs 50%
+  EXPECT_TRUE(report.worst_prefix == 5 || report.worst_prefix == 10);
+  // The full prefix is always fair.
+  PrefixParityReport full = TopKParity(ranking, {20}).ValueOrDie();
+  EXPECT_TRUE(full.satisfied);
+  EXPECT_NEAR(full.max_gap, 0.0, 1e-12);
+}
+
+TEST(TopKParityTest, Validation) {
+  std::vector<std::string> ranking = {"a", "b"};
+  EXPECT_FALSE(TopKParity({}, {1}).ok());
+  EXPECT_FALSE(TopKParity(ranking, {}).ok());
+  EXPECT_FALSE(TopKParity(ranking, {0}).ok());
+  EXPECT_FALSE(TopKParity(ranking, {3}).ok());
+  EXPECT_FALSE(TopKParity(ranking, {1}, -0.1).ok());
+}
+
+TEST(FairRerankTest, EnforcesPrefixQuota) {
+  // Group b's candidates all score below group a's.
+  std::vector<std::string> groups = {"a", "a", "a", "a", "b", "b", "b",
+                                     "b"};
+  std::vector<double> scores = {8, 7, 6, 5, 4, 3, 2, 1};
+  std::vector<size_t> order =
+      FairRerank(groups, scores, {{"b", 0.5}}).ValueOrDie();
+  ASSERT_EQ(order.size(), 8u);
+  // Every prefix k must contain >= floor(k/2) b's.
+  size_t b_count = 0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (groups[order[k]] == "b") ++b_count;
+    EXPECT_GE(b_count, (k + 1) / 2) << "prefix " << k + 1;
+  }
+  // Within each group the score order is preserved.
+  double last_a = 1e9;
+  double last_b = 1e9;
+  for (size_t index : order) {
+    double& last = groups[index] == "a" ? last_a : last_b;
+    EXPECT_LE(scores[index], last);
+    last = scores[index];
+  }
+  // And the re-ranked list passes the exposure audit.
+  std::vector<std::string> reranked_groups;
+  for (size_t index : order) reranked_groups.push_back(groups[index]);
+  EXPECT_TRUE(ExposureFairness(reranked_groups).ValueOrDie().satisfied);
+}
+
+TEST(FairRerankTest, NoConstraintsIsPureScoreOrder) {
+  std::vector<std::string> groups = {"a", "b", "a"};
+  std::vector<double> scores = {1.0, 3.0, 2.0};
+  std::vector<size_t> order = FairRerank(groups, scores, {}).ValueOrDie();
+  EXPECT_EQ(order, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(FairRerankTest, QuotaGroupExhaustionFallsBackGracefully) {
+  // Only one b exists; after it is placed the quota is unsatisfiable and
+  // the remaining slots go by score.
+  std::vector<std::string> groups = {"a", "a", "a", "b"};
+  std::vector<double> scores = {4, 3, 2, 1};
+  std::vector<size_t> order =
+      FairRerank(groups, scores, {{"b", 0.5}}).ValueOrDie();
+  EXPECT_EQ(order.size(), 4u);
+  // b appears by position 2 (floor(2*0.5)=1 requires one b in top 2).
+  EXPECT_TRUE(groups[order[0]] == "b" || groups[order[1]] == "b");
+}
+
+TEST(FairRerankTest, Validation) {
+  std::vector<std::string> groups = {"a", "b"};
+  std::vector<double> scores = {1.0, 2.0};
+  EXPECT_FALSE(FairRerank({}, {}, {}).ok());
+  EXPECT_FALSE(FairRerank(groups, {1.0}, {}).ok());
+  EXPECT_FALSE(FairRerank(groups, scores, {{"a", 1.5}}).ok());
+  EXPECT_FALSE(FairRerank(groups, scores, {{"a", 0.6}, {"b", 0.6}}).ok());
+  EXPECT_TRUE(
+      FairRerank(groups, scores, {{"zzz", 0.5}}).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace fairlaw::metrics

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "audit/representation.h"
+#include "data/csv.h"
+
+namespace fairlaw::audit {
+namespace {
+
+data::Table TableWithShares(int a, int b, int c) {
+  std::string csv = "g\n";
+  for (int i = 0; i < a; ++i) csv += "a\n";
+  for (int i = 0; i < b; ++i) csv += "b\n";
+  for (int i = 0; i < c; ++i) csv += "c\n";
+  return data::ReadCsvString(csv).ValueOrDie();
+}
+
+TEST(RepresentationTest, MatchedCompositionPasses) {
+  data::Table table = TableWithShares(500, 300, 200);
+  RepresentationReport report =
+      AuditRepresentation(table, "g",
+                          {{"a", 0.5}, {"b", 0.3}, {"c", 0.2}})
+          .ValueOrDie();
+  EXPECT_TRUE(report.composition_ok);
+  EXPECT_NEAR(report.total_variation, 0.0, 1e-12);
+  EXPECT_NEAR(report.hellinger, 0.0, 1e-12);
+  EXPECT_GT(report.chi_square_p_value, 0.9);
+  for (const GroupRepresentation& rep : report.groups) {
+    EXPECT_FALSE(rep.under_represented);
+    EXPECT_NEAR(rep.representation_ratio, 1.0, 1e-12);
+  }
+}
+
+TEST(RepresentationTest, UnderRepresentationFlagged) {
+  // Group c should be 20% of the population but is 5% of the data.
+  data::Table table = TableWithShares(600, 350, 50);
+  RepresentationReport report =
+      AuditRepresentation(table, "g",
+                          {{"a", 0.5}, {"b", 0.3}, {"c", 0.2}})
+          .ValueOrDie();
+  EXPECT_FALSE(report.composition_ok);
+  EXPECT_GT(report.total_variation, 0.1);
+  EXPECT_LT(report.chi_square_p_value, 0.001);
+  bool c_flagged = false;
+  for (const GroupRepresentation& rep : report.groups) {
+    if (rep.group == "c") {
+      c_flagged = rep.under_represented;
+      EXPECT_NEAR(rep.representation_ratio, 0.25, 1e-9);
+    }
+  }
+  EXPECT_TRUE(c_flagged);
+  EXPECT_NE(report.detail.find("c"), std::string::npos);
+}
+
+TEST(RepresentationTest, ReferenceSharesNormalized) {
+  // Shares given as raw census counts rather than probabilities.
+  data::Table table = TableWithShares(500, 500, 0);
+  EXPECT_FALSE(AuditRepresentation(table, "g",
+                                   {{"a", 5000.0}, {"b", 5000.0},
+                                    {"c", 1.0}})
+                   .ok());  // c in reference but not in data
+  data::Table with_c = TableWithShares(495, 495, 10);
+  RepresentationReport report =
+      AuditRepresentation(with_c, "g",
+                          {{"a", 4950.0}, {"b", 4950.0}, {"c", 100.0}})
+          .ValueOrDie();
+  EXPECT_TRUE(report.composition_ok);
+}
+
+TEST(RepresentationTest, CategoryMismatchesAreErrors) {
+  data::Table table = TableWithShares(10, 10, 10);
+  // Data group c missing from the reference.
+  EXPECT_FALSE(
+      AuditRepresentation(table, "g", {{"a", 0.5}, {"b", 0.5}}).ok());
+  // Reference group d missing from the data.
+  EXPECT_FALSE(AuditRepresentation(table, "g",
+                                   {{"a", 0.25},
+                                    {"b", 0.25},
+                                    {"c", 0.25},
+                                    {"d", 0.25}})
+                   .ok());
+}
+
+TEST(RepresentationTest, Validation) {
+  data::Table table = TableWithShares(10, 10, 0);
+  EXPECT_FALSE(AuditRepresentation(table, "g", {{"a", 1.0}}).ok());
+  EXPECT_FALSE(
+      AuditRepresentation(table, "g", {{"a", -1.0}, {"b", 2.0}}).ok());
+  RepresentationAuditOptions options;
+  options.under_representation_threshold = 0.0;
+  EXPECT_FALSE(AuditRepresentation(table, "g", {{"a", 0.5}, {"b", 0.5}},
+                                   options)
+                   .ok());
+  EXPECT_FALSE(AuditRepresentation(table, "missing",
+                                   {{"a", 0.5}, {"b", 0.5}})
+                   .ok());
+}
+
+TEST(RequiredDatasetSizeTest, DrivenBySmallestGroup) {
+  // Smallest share 10%: need 10x the per-group minimum.
+  EXPECT_EQ(RequiredDatasetSize({{"a", 0.9}, {"b", 0.1}}, 30).ValueOrDie(),
+            300u);
+  EXPECT_EQ(RequiredDatasetSize({{"a", 0.5}, {"b", 0.5}}, 30).ValueOrDie(),
+            60u);
+  EXPECT_FALSE(RequiredDatasetSize({}, 30).ok());
+  EXPECT_FALSE(RequiredDatasetSize({{"a", 1.0}}, 0).ok());
+  EXPECT_FALSE(RequiredDatasetSize({{"a", 0.0}, {"b", 0.0}}, 10).ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::audit

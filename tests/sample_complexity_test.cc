@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "stats/distance.h"
+#include "stats/sample_complexity.h"
+
+namespace fairlaw::stats {
+namespace {
+
+Sampler GaussianSampler(double mean, double stddev) {
+  return [mean, stddev](size_t n, Rng* rng) {
+    std::vector<double> sample(n);
+    for (double& v : sample) v = rng->Normal(mean, stddev);
+    return sample;
+  };
+}
+
+DistanceEstimator W1Estimator() {
+  return [](const std::vector<double>& x, const std::vector<double>& y) {
+    return Wasserstein1Samples(x, y);
+  };
+}
+
+TEST(SampleComplexityTest, ErrorShrinksWithN) {
+  Rng rng(17);
+  ComplexityCurve curve =
+      MeasureSampleComplexity("w1", GaussianSampler(0.0, 1.0),
+                              GaussianSampler(2.0, 1.0), W1Estimator(),
+                              /*true_distance=*/2.0, {50, 500, 5000},
+                              /*repetitions=*/10, &rng)
+          .ValueOrDie();
+  ASSERT_EQ(curve.points.size(), 3u);
+  EXPECT_GT(curve.points[0].mean_abs_error, curve.points[2].mean_abs_error);
+  // Root-n-ish convergence: exponent clearly negative.
+  EXPECT_LT(curve.error_rate_exponent, -0.2);
+  // Estimates center near the truth at large n.
+  EXPECT_NEAR(curve.points[2].mean_estimate, 2.0, 0.1);
+}
+
+TEST(SampleComplexityTest, RuntimeGrowsWithN) {
+  Rng rng(19);
+  ComplexityCurve curve =
+      MeasureSampleComplexity("w1", GaussianSampler(0.0, 1.0),
+                              GaussianSampler(0.0, 1.0), W1Estimator(), 0.0,
+                              {100, 10000}, 5, &rng)
+          .ValueOrDie();
+  EXPECT_GT(curve.points[1].mean_runtime_us,
+            curve.points[0].mean_runtime_us);
+}
+
+TEST(SampleComplexityTest, Validation) {
+  Rng rng(1);
+  auto sampler = GaussianSampler(0.0, 1.0);
+  auto estimator = W1Estimator();
+  EXPECT_FALSE(MeasureSampleComplexity("x", sampler, sampler, estimator, 0.0,
+                                       {}, 5, &rng)
+                   .ok());
+  EXPECT_FALSE(MeasureSampleComplexity("x", sampler, sampler, estimator, 0.0,
+                                       {100}, 1, &rng)
+                   .ok());
+  EXPECT_FALSE(MeasureSampleComplexity("x", sampler, sampler, estimator, 0.0,
+                                       {1}, 5, &rng)
+                   .ok());
+  EXPECT_FALSE(MeasureSampleComplexity("x", sampler, sampler, estimator, 0.0,
+                                       {100}, 5, nullptr)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::stats

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "audit/sampling_adequacy.h"
+
+namespace fairlaw::audit {
+namespace {
+
+metrics::MetricInput MakeInput(int big_n, int small_n) {
+  metrics::MetricInput input;
+  for (int i = 0; i < big_n; ++i) {
+    input.groups.push_back("majority");
+    input.predictions.push_back(i % 2);
+  }
+  for (int i = 0; i < small_n; ++i) {
+    input.groups.push_back("minority");
+    input.predictions.push_back(i % 2);
+  }
+  return input;
+}
+
+TEST(SamplingAdequacyTest, SmallGroupFlagged) {
+  metrics::MetricInput input = MakeInput(2000, 8);
+  SamplingReport report = AssessSamplingAdequacy(input).ValueOrDie();
+  ASSERT_EQ(report.groups.size(), 2u);
+  EXPECT_FALSE(report.all_adequate);
+  for (const GroupSupport& support : report.groups) {
+    if (support.group == "majority") {
+      EXPECT_TRUE(support.adequate);
+      EXPECT_LT(support.ci_halfwidth, 0.03);
+    } else {
+      EXPECT_FALSE(support.adequate);
+      EXPECT_GT(support.ci_halfwidth, 0.3);
+    }
+  }
+  EXPECT_NE(report.detail.find("minority"), std::string::npos);
+}
+
+TEST(SamplingAdequacyTest, BalancedLargeGroupsPass) {
+  metrics::MetricInput input = MakeInput(1000, 1000);
+  SamplingReport report = AssessSamplingAdequacy(input).ValueOrDie();
+  EXPECT_TRUE(report.all_adequate);
+  EXPECT_TRUE(report.detail.empty());
+}
+
+TEST(SamplingAdequacyTest, HalfwidthMatchesNormalFormula) {
+  metrics::MetricInput input = MakeInput(400, 400);
+  SamplingReport report = AssessSamplingAdequacy(input).ValueOrDie();
+  // p = 0.5, n = 400, z(0.95) = 1.96: hw = 1.96*sqrt(.25/400) = 0.049.
+  EXPECT_NEAR(report.groups[0].ci_halfwidth, 0.049, 0.001);
+}
+
+TEST(SamplingAdequacyTest, Validation) {
+  metrics::MetricInput input = MakeInput(10, 10);
+  SamplingAdequacyOptions options;
+  options.confidence = 1.5;
+  EXPECT_FALSE(AssessSamplingAdequacy(input, options).ok());
+  options.confidence = 0.95;
+  options.max_ci_halfwidth = 0.0;
+  EXPECT_FALSE(AssessSamplingAdequacy(input, options).ok());
+}
+
+TEST(RequiredSampleSizeTest, MatchesClosedForm) {
+  // Worst case p=.5, hw=.05, 95%: n = 1.96^2*.25/.0025 ~ 384.
+  size_t n = RequiredSampleSize(0.5, 0.05, 0.95).ValueOrDie();
+  EXPECT_NEAR(static_cast<double>(n), 384.0, 2.0);
+  // Smaller halfwidth quadruples the requirement when halved.
+  size_t n2 = RequiredSampleSize(0.5, 0.025, 0.95).ValueOrDie();
+  EXPECT_NEAR(static_cast<double>(n2), 4.0 * static_cast<double>(n), 8.0);
+  // Degenerate rate needs 1 sample.
+  EXPECT_EQ(RequiredSampleSize(0.0, 0.05, 0.95).ValueOrDie(), 1u);
+}
+
+TEST(RequiredSampleSizeTest, Validation) {
+  EXPECT_FALSE(RequiredSampleSize(1.5, 0.05, 0.95).ok());
+  EXPECT_FALSE(RequiredSampleSize(0.5, 0.0, 0.95).ok());
+  EXPECT_FALSE(RequiredSampleSize(0.5, 0.05, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::audit

@@ -1,0 +1,102 @@
+// Preferential sampling (the resampling twin of reweighing).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mitigation/sampling.h"
+#include "stats/rng.h"
+
+namespace fairlaw::mitigation {
+namespace {
+
+using fairlaw::stats::Rng;
+
+struct Cells {
+  std::vector<std::string> groups;
+  std::vector<int> labels;
+};
+
+Cells MakeBiasedCells() {
+  Cells cells;
+  auto add = [&cells](const std::string& g, int y, int count) {
+    for (int i = 0; i < count; ++i) {
+      cells.groups.push_back(g);
+      cells.labels.push_back(y);
+    }
+  };
+  add("male", 1, 600);
+  add("male", 0, 200);
+  add("female", 1, 50);
+  add("female", 0, 150);
+  return cells;
+}
+
+TEST(PreferentialSamplingTest, RestoresIndependenceInExpectation) {
+  Cells cells = MakeBiasedCells();
+  Rng rng(3);
+  std::vector<size_t> indices =
+      PreferentialSamplingIndices(cells.groups, cells.labels, &rng)
+          .ValueOrDie();
+
+  std::map<std::string, double> positive;
+  std::map<std::string, double> total;
+  for (size_t index : indices) {
+    total[cells.groups[index]] += 1.0;
+    if (cells.labels[index] == 1) positive[cells.groups[index]] += 1.0;
+  }
+  double male_rate = positive["male"] / total["male"];
+  double female_rate = positive["female"] / total["female"];
+  // Stochastic rounding: rates agree to within a small tolerance.
+  EXPECT_NEAR(male_rate, female_rate, 0.05);
+  // Resampled size stays near the original.
+  EXPECT_NEAR(static_cast<double>(indices.size()),
+              static_cast<double>(cells.groups.size()),
+              0.05 * static_cast<double>(cells.groups.size()));
+}
+
+TEST(PreferentialSamplingTest, IndependentDataKeptVerbatim) {
+  Cells cells;
+  for (int i = 0; i < 100; ++i) {
+    cells.groups.push_back(i % 2 == 0 ? "a" : "b");
+    cells.labels.push_back(i % 4 < 2 ? 1 : 0);
+  }
+  Rng rng(5);
+  std::vector<size_t> indices =
+      PreferentialSamplingIndices(cells.groups, cells.labels, &rng)
+          .ValueOrDie();
+  // All weights are exactly 1: every row exactly once.
+  EXPECT_EQ(indices.size(), cells.groups.size());
+  std::vector<bool> seen(cells.groups.size(), false);
+  for (size_t index : indices) {
+    EXPECT_FALSE(seen[index]);
+    seen[index] = true;
+  }
+}
+
+TEST(PreferentialSamplingTest, ApplyBuildsDataset) {
+  Cells cells = MakeBiasedCells();
+  ml::Dataset data;
+  for (size_t i = 0; i < cells.groups.size(); ++i) {
+    data.features.push_back({static_cast<double>(i)});
+    data.labels.push_back(cells.labels[i]);
+  }
+  Rng rng(7);
+  ml::Dataset resampled =
+      ApplyPreferentialSampling(cells.groups, data, &rng).ValueOrDie();
+  EXPECT_TRUE(resampled.Validate().ok());
+  EXPECT_GT(resampled.size(), cells.groups.size() / 2);
+}
+
+TEST(PreferentialSamplingTest, Validation) {
+  Rng rng(9);
+  EXPECT_FALSE(PreferentialSamplingIndices({}, {}, &rng).ok());
+  EXPECT_FALSE(
+      PreferentialSamplingIndices({"a"}, {1}, nullptr).ok());
+  ml::Dataset data;
+  data.features = {{1.0}};
+  data.labels = {1};
+  EXPECT_FALSE(ApplyPreferentialSampling({"a", "b"}, data, &rng).ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::mitigation

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "audit/subgroup.h"
+#include "data/csv.h"
+
+namespace fairlaw::audit {
+namespace {
+
+/// Gerrymandered table (§IV-C): marginal rates balanced, the cells
+/// (male, non_caucasian) and (female, caucasian) heavily disfavored.
+data::Table GerrymanderedTable() {
+  std::string csv = "gender,race,pred\n";
+  auto add = [&csv](const std::string& g, const std::string& r, int p,
+                    int count) {
+    for (int i = 0; i < count; ++i) {
+      csv += g + "," + r + "," + std::to_string(p) + "\n";
+    }
+  };
+  // Favored cells: 80% selected. Disfavored: 20%. 100 per cell.
+  add("male", "caucasian", 1, 80);
+  add("male", "caucasian", 0, 20);
+  add("male", "non_caucasian", 1, 20);
+  add("male", "non_caucasian", 0, 80);
+  add("female", "caucasian", 1, 20);
+  add("female", "caucasian", 0, 80);
+  add("female", "non_caucasian", 1, 80);
+  add("female", "non_caucasian", 0, 20);
+  return data::ReadCsvString(csv).ValueOrDie();
+}
+
+TEST(SubgroupAuditTest, MarginalsPassButDepth2Fails) {
+  data::Table table = GerrymanderedTable();
+  SubgroupAuditOptions options;
+  options.max_depth = 1;
+  options.tolerance = 0.05;
+  SubgroupAuditResult marginal =
+      AuditSubgroups(table, {"gender", "race"}, "pred", options)
+          .ValueOrDie();
+  EXPECT_FALSE(marginal.any_violation);  // every marginal is exactly 50%
+
+  options.max_depth = 2;
+  SubgroupAuditResult deep =
+      AuditSubgroups(table, {"gender", "race"}, "pred", options)
+          .ValueOrDie();
+  EXPECT_TRUE(deep.any_violation);
+  auto violations = deep.Violations(0.05);
+  EXPECT_EQ(violations.size(), 4u);  // all four depth-2 cells deviate 0.3
+  EXPECT_NEAR(violations[0].gap, 0.3, 1e-12);
+  EXPECT_EQ(violations[0].subgroup.conditions.size(), 2u);
+}
+
+TEST(SubgroupAuditTest, FindingsSortedByGap) {
+  data::Table table = GerrymanderedTable();
+  SubgroupAuditOptions options;
+  options.max_depth = 2;
+  SubgroupAuditResult result =
+      AuditSubgroups(table, {"gender", "race"}, "pred", options)
+          .ValueOrDie();
+  for (size_t i = 1; i < result.findings.size(); ++i) {
+    EXPECT_GE(result.findings[i - 1].gap, result.findings[i].gap);
+  }
+}
+
+TEST(SubgroupAuditTest, WeightedGapDiscountsSmallGroups) {
+  data::Table table = GerrymanderedTable();
+  SubgroupAuditOptions options;
+  options.max_depth = 2;
+  SubgroupAuditResult result =
+      AuditSubgroups(table, {"gender", "race"}, "pred", options)
+          .ValueOrDie();
+  for (const SubgroupFinding& finding : result.findings) {
+    double expected = finding.gap * static_cast<double>(finding.count) /
+                      static_cast<double>(table.num_rows());
+    EXPECT_NEAR(finding.weighted_gap, expected, 1e-12);
+  }
+}
+
+TEST(SubgroupAuditTest, MinSupportSkipsSmallCells) {
+  data::Table table =
+      data::ReadCsvString(
+          "g,pred\n"
+          "a,1\na,1\na,0\na,0\n"
+          "b,1\n")  // group b has one member
+          .ValueOrDie();
+  SubgroupAuditOptions options;
+  options.max_depth = 1;
+  options.min_support = 2;
+  SubgroupAuditResult result =
+      AuditSubgroups(table, {"g"}, "pred", options).ValueOrDie();
+  EXPECT_EQ(result.subgroups_skipped_small, 1u);
+  EXPECT_EQ(result.findings.size(), 1u);
+}
+
+TEST(SubgroupAuditTest, Validation) {
+  data::Table table = GerrymanderedTable();
+  SubgroupAuditOptions options;
+  EXPECT_FALSE(AuditSubgroups(table, {}, "pred", options).ok());
+  options.max_depth = 0;
+  EXPECT_FALSE(AuditSubgroups(table, {"gender"}, "pred", options).ok());
+  options.max_depth = 1;
+  EXPECT_FALSE(AuditSubgroups(table, {"gender"}, "race", options).ok());
+  EXPECT_FALSE(AuditSubgroups(table, {"gender"}, "missing", options).ok());
+}
+
+TEST(CountConjunctionsTest, MatchesExhaustiveEnumeration) {
+  // Two attributes of arity 2: depth 1 -> 4; depth 2 -> 4 + 4 = 8.
+  EXPECT_EQ(CountConjunctions({2, 2}, 1), 4u);
+  EXPECT_EQ(CountConjunctions({2, 2}, 2), 8u);
+  // Three attributes of arity 3: depth 2 -> 9 + 3*9 = 36.
+  EXPECT_EQ(CountConjunctions({3, 3, 3}, 2), 36u);
+  // Depth 3 adds 27.
+  EXPECT_EQ(CountConjunctions({3, 3, 3}, 3), 63u);
+}
+
+TEST(CountConjunctionsTest, AgreesWithAuditExaminedCount) {
+  data::Table table = GerrymanderedTable();
+  SubgroupAuditOptions options;
+  options.max_depth = 2;
+  options.min_support = 0;
+  SubgroupAuditResult result =
+      AuditSubgroups(table, {"gender", "race"}, "pred", options)
+          .ValueOrDie();
+  EXPECT_EQ(result.subgroups_examined, CountConjunctions({2, 2}, 2));
+}
+
+TEST(SubgroupDefinitionTest, ToStringFormat) {
+  SubgroupDefinition definition;
+  EXPECT_EQ(definition.ToString(), "(everyone)");
+  definition.conditions = {{"gender", "female"}, {"race", "caucasian"}};
+  EXPECT_EQ(definition.ToString(), "gender=female & race=caucasian");
+}
+
+}  // namespace
+}  // namespace fairlaw::audit

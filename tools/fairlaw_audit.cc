@@ -1,0 +1,145 @@
+// fairlaw_audit — command-line fairness auditor.
+//
+//   fairlaw_audit decisions.csv --protected=gender --pred=decision
+//       [--label=outcome] [--score=probability]
+//       [--strata=dept,level] [--proxies=zip,education]
+//       [--subgroups=gender,race] [--tolerance=0.05] [--json]
+//
+// Reads a CSV, runs the configured fairness suite, and prints either the
+// human-readable report or (with --json) the machine-readable artifact.
+// Exit codes: 0 = all clear, 2 = violations found, 1 = error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/string_util.h"
+#include "core/json.h"
+#include "core/suite.h"
+#include "data/csv.h"
+
+namespace {
+
+struct CliOptions {
+  std::string csv_path;
+  fairlaw::SuiteConfig suite;
+  bool json = false;
+  bool show_help = false;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: fairlaw_audit <csv> --protected=COL --pred=COL\n"
+      "       [--label=COL] [--score=COL] [--strata=COL[,COL...]]\n"
+      "       [--proxies=COL[,COL...]] [--subgroups=COL[,COL...]]\n"
+      "       [--tolerance=F] [--di-threshold=F] [--json]\n"
+      "\n"
+      "Audits the decisions in <csv> for the fairness definitions of\n"
+      "'Fairness in AI: bridging algorithms and law' (ICDE 2024 wksp).\n"
+      "exit codes: 0 all clear, 2 violations found, 1 error\n");
+}
+
+fairlaw::Result<CliOptions> Parse(int argc, char** argv) {
+  CliOptions options;
+  auto value_of = [](const char* arg,
+                     const char* name) -> const char* {
+    size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+      return arg + len + 1;
+    }
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      options.show_help = true;
+      return options;
+    }
+    if (std::strcmp(arg, "--json") == 0) {
+      options.json = true;
+    } else if (const char* v = value_of(arg, "--protected")) {
+      options.suite.audit.protected_column = v;
+    } else if (const char* v = value_of(arg, "--pred")) {
+      options.suite.audit.prediction_column = v;
+    } else if (const char* v = value_of(arg, "--label")) {
+      options.suite.audit.label_column = v;
+    } else if (const char* v = value_of(arg, "--score")) {
+      options.suite.audit.score_column = v;
+    } else if (const char* v = value_of(arg, "--strata")) {
+      options.suite.audit.strata_columns = fairlaw::Split(v, ',');
+    } else if (const char* v = value_of(arg, "--proxies")) {
+      options.suite.proxy_candidates = fairlaw::Split(v, ',');
+    } else if (const char* v = value_of(arg, "--subgroups")) {
+      options.suite.subgroup_columns = fairlaw::Split(v, ',');
+    } else if (const char* v = value_of(arg, "--tolerance")) {
+      FAIRLAW_ASSIGN_OR_RETURN(options.suite.audit.tolerance,
+                               fairlaw::ParseDouble(v));
+    } else if (const char* v = value_of(arg, "--di-threshold")) {
+      FAIRLAW_ASSIGN_OR_RETURN(options.suite.audit.di_threshold,
+                               fairlaw::ParseDouble(v));
+    } else if (arg[0] == '-') {
+      return fairlaw::Status::Invalid(std::string("unknown flag: ") + arg);
+    } else if (options.csv_path.empty()) {
+      options.csv_path = arg;
+    } else {
+      return fairlaw::Status::Invalid("more than one input file given");
+    }
+  }
+  if (options.csv_path.empty()) {
+    return fairlaw::Status::Invalid("no input CSV given");
+  }
+  if (options.suite.audit.protected_column.empty() ||
+      options.suite.audit.prediction_column.empty()) {
+    return fairlaw::Status::Invalid(
+        "--protected and --pred are required");
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fairlaw::Result<CliOptions> parsed = Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n\n",
+                 parsed.status().message().c_str());
+    PrintUsage();
+    return 1;
+  }
+  if (parsed->show_help) {
+    PrintUsage();
+    return 0;
+  }
+
+  fairlaw::Result<fairlaw::data::Table> table =
+      fairlaw::data::ReadCsvFile(parsed->csv_path);
+  if (!table.ok()) {
+    std::fprintf(stderr, "error reading '%s': %s\n",
+                 parsed->csv_path.c_str(),
+                 table.status().ToString().c_str());
+    return 1;
+  }
+
+  fairlaw::Result<fairlaw::SuiteReport> report =
+      fairlaw::RunFairnessSuite(*table, parsed->suite);
+  if (!report.ok()) {
+    std::fprintf(stderr, "audit error: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  if (parsed->json) {
+    fairlaw::Result<std::string> json =
+        fairlaw::SuiteReportToJson(*report);
+    if (!json.ok()) {
+      std::fprintf(stderr, "serialization error: %s\n",
+                   json.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", json->c_str());
+  } else {
+    std::printf("%s", report->Render().c_str());
+  }
+  return report->all_clear ? 0 : 2;
+}
