@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subgroup.dir/bench_ablation_subgroup.cc.o"
+  "CMakeFiles/bench_ablation_subgroup.dir/bench_ablation_subgroup.cc.o.d"
+  "bench_ablation_subgroup"
+  "bench_ablation_subgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_legal.dir/bench_e10_legal.cc.o"
+  "CMakeFiles/bench_e10_legal.dir/bench_e10_legal.cc.o.d"
+  "bench_e10_legal"
+  "bench_e10_legal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_legal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_definitions.dir/bench_e1_definitions.cc.o"
+  "CMakeFiles/bench_e1_definitions.dir/bench_e1_definitions.cc.o.d"
+  "bench_e1_definitions"
+  "bench_e1_definitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_definitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

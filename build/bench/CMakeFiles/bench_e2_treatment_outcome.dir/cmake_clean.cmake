@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_treatment_outcome.dir/bench_e2_treatment_outcome.cc.o"
+  "CMakeFiles/bench_e2_treatment_outcome.dir/bench_e2_treatment_outcome.cc.o.d"
+  "bench_e2_treatment_outcome"
+  "bench_e2_treatment_outcome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_treatment_outcome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

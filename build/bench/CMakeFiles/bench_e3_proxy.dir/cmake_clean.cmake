@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_proxy.dir/bench_e3_proxy.cc.o"
+  "CMakeFiles/bench_e3_proxy.dir/bench_e3_proxy.cc.o.d"
+  "bench_e3_proxy"
+  "bench_e3_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_subgroup.dir/bench_e4_subgroup.cc.o"
+  "CMakeFiles/bench_e4_subgroup.dir/bench_e4_subgroup.cc.o.d"
+  "bench_e4_subgroup"
+  "bench_e4_subgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_subgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

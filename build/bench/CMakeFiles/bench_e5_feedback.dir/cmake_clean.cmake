@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_feedback.dir/bench_e5_feedback.cc.o"
+  "CMakeFiles/bench_e5_feedback.dir/bench_e5_feedback.cc.o.d"
+  "bench_e5_feedback"
+  "bench_e5_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_masking.dir/bench_e6_masking.cc.o"
+  "CMakeFiles/bench_e6_masking.dir/bench_e6_masking.cc.o.d"
+  "bench_e6_masking"
+  "bench_e6_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_groupblind.dir/bench_e8_groupblind.cc.o"
+  "CMakeFiles/bench_e8_groupblind.dir/bench_e8_groupblind.cc.o.d"
+  "bench_e8_groupblind"
+  "bench_e8_groupblind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_groupblind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_mitigation_grid.dir/bench_e9_mitigation_grid.cc.o"
+  "CMakeFiles/bench_e9_mitigation_grid.dir/bench_e9_mitigation_grid.cc.o.d"
+  "bench_e9_mitigation_grid"
+  "bench_e9_mitigation_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_mitigation_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_distances.dir/bench_micro_distances.cc.o"
+  "CMakeFiles/bench_micro_distances.dir/bench_micro_distances.cc.o.d"
+  "bench_micro_distances"
+  "bench_micro_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_subgroup.dir/bench_micro_subgroup.cc.o"
+  "CMakeFiles/bench_micro_subgroup.dir/bench_micro_subgroup.cc.o.d"
+  "bench_micro_subgroup"
+  "bench_micro_subgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_subgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

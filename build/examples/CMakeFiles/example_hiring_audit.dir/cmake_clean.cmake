@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hiring_audit.dir/hiring_audit.cpp.o"
+  "CMakeFiles/example_hiring_audit.dir/hiring_audit.cpp.o.d"
+  "example_hiring_audit"
+  "example_hiring_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hiring_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

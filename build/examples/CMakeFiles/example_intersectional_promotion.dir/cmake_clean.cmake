@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_intersectional_promotion.dir/intersectional_promotion.cpp.o"
+  "CMakeFiles/example_intersectional_promotion.dir/intersectional_promotion.cpp.o.d"
+  "example_intersectional_promotion"
+  "example_intersectional_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_intersectional_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

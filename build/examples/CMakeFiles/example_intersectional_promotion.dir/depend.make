@@ -1,0 +1,2 @@
+# Empty dependencies file for example_intersectional_promotion.
+# This may be replaced when dependencies are built.

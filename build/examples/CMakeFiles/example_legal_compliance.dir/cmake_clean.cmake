@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_legal_compliance.dir/legal_compliance.cpp.o"
+  "CMakeFiles/example_legal_compliance.dir/legal_compliance.cpp.o.d"
+  "example_legal_compliance"
+  "example_legal_compliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_legal_compliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lending_feedback_loop.dir/lending_feedback_loop.cpp.o"
+  "CMakeFiles/example_lending_feedback_loop.dir/lending_feedback_loop.cpp.o.d"
+  "example_lending_feedback_loop"
+  "example_lending_feedback_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lending_feedback_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

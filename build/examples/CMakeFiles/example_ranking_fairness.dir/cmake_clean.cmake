@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ranking_fairness.dir/ranking_fairness.cpp.o"
+  "CMakeFiles/example_ranking_fairness.dir/ranking_fairness.cpp.o.d"
+  "example_ranking_fairness"
+  "example_ranking_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ranking_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

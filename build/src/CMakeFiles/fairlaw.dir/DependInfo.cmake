@@ -1,0 +1,90 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audit/auditor.cc" "src/CMakeFiles/fairlaw.dir/audit/auditor.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/audit/auditor.cc.o.d"
+  "/root/repo/src/audit/manipulation.cc" "src/CMakeFiles/fairlaw.dir/audit/manipulation.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/audit/manipulation.cc.o.d"
+  "/root/repo/src/audit/proxy.cc" "src/CMakeFiles/fairlaw.dir/audit/proxy.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/audit/proxy.cc.o.d"
+  "/root/repo/src/audit/representation.cc" "src/CMakeFiles/fairlaw.dir/audit/representation.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/audit/representation.cc.o.d"
+  "/root/repo/src/audit/sampling_adequacy.cc" "src/CMakeFiles/fairlaw.dir/audit/sampling_adequacy.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/audit/sampling_adequacy.cc.o.d"
+  "/root/repo/src/audit/subgroup.cc" "src/CMakeFiles/fairlaw.dir/audit/subgroup.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/audit/subgroup.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/fairlaw.dir/base/status.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/base/status.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "src/CMakeFiles/fairlaw.dir/base/string_util.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/base/string_util.cc.o.d"
+  "/root/repo/src/causal/counterfactual.cc" "src/CMakeFiles/fairlaw.dir/causal/counterfactual.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/causal/counterfactual.cc.o.d"
+  "/root/repo/src/causal/graph_analysis.cc" "src/CMakeFiles/fairlaw.dir/causal/graph_analysis.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/causal/graph_analysis.cc.o.d"
+  "/root/repo/src/causal/scm.cc" "src/CMakeFiles/fairlaw.dir/causal/scm.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/causal/scm.cc.o.d"
+  "/root/repo/src/core/json.cc" "src/CMakeFiles/fairlaw.dir/core/json.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/core/json.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/fairlaw.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/suite.cc" "src/CMakeFiles/fairlaw.dir/core/suite.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/core/suite.cc.o.d"
+  "/root/repo/src/data/column.cc" "src/CMakeFiles/fairlaw.dir/data/column.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/data/column.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/fairlaw.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/group_by.cc" "src/CMakeFiles/fairlaw.dir/data/group_by.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/data/group_by.cc.o.d"
+  "/root/repo/src/data/impute.cc" "src/CMakeFiles/fairlaw.dir/data/impute.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/data/impute.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/fairlaw.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/fairlaw.dir/data/table.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/data/table.cc.o.d"
+  "/root/repo/src/legal/burden_shifting.cc" "src/CMakeFiles/fairlaw.dir/legal/burden_shifting.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/legal/burden_shifting.cc.o.d"
+  "/root/repo/src/legal/checklist.cc" "src/CMakeFiles/fairlaw.dir/legal/checklist.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/legal/checklist.cc.o.d"
+  "/root/repo/src/legal/doctrine.cc" "src/CMakeFiles/fairlaw.dir/legal/doctrine.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/legal/doctrine.cc.o.d"
+  "/root/repo/src/legal/four_fifths.cc" "src/CMakeFiles/fairlaw.dir/legal/four_fifths.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/legal/four_fifths.cc.o.d"
+  "/root/repo/src/legal/jurisdiction.cc" "src/CMakeFiles/fairlaw.dir/legal/jurisdiction.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/legal/jurisdiction.cc.o.d"
+  "/root/repo/src/legal/proportionality.cc" "src/CMakeFiles/fairlaw.dir/legal/proportionality.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/legal/proportionality.cc.o.d"
+  "/root/repo/src/legal/report.cc" "src/CMakeFiles/fairlaw.dir/legal/report.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/legal/report.cc.o.d"
+  "/root/repo/src/metrics/calibration_metric.cc" "src/CMakeFiles/fairlaw.dir/metrics/calibration_metric.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/metrics/calibration_metric.cc.o.d"
+  "/root/repo/src/metrics/conditional_metrics.cc" "src/CMakeFiles/fairlaw.dir/metrics/conditional_metrics.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/metrics/conditional_metrics.cc.o.d"
+  "/root/repo/src/metrics/counterfactual_fairness.cc" "src/CMakeFiles/fairlaw.dir/metrics/counterfactual_fairness.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/metrics/counterfactual_fairness.cc.o.d"
+  "/root/repo/src/metrics/fairness_metric.cc" "src/CMakeFiles/fairlaw.dir/metrics/fairness_metric.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/metrics/fairness_metric.cc.o.d"
+  "/root/repo/src/metrics/group_metrics.cc" "src/CMakeFiles/fairlaw.dir/metrics/group_metrics.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/metrics/group_metrics.cc.o.d"
+  "/root/repo/src/metrics/impossibility.cc" "src/CMakeFiles/fairlaw.dir/metrics/impossibility.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/metrics/impossibility.cc.o.d"
+  "/root/repo/src/metrics/individual_fairness.cc" "src/CMakeFiles/fairlaw.dir/metrics/individual_fairness.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/metrics/individual_fairness.cc.o.d"
+  "/root/repo/src/metrics/inequality_indices.cc" "src/CMakeFiles/fairlaw.dir/metrics/inequality_indices.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/metrics/inequality_indices.cc.o.d"
+  "/root/repo/src/metrics/ranking_metrics.cc" "src/CMakeFiles/fairlaw.dir/metrics/ranking_metrics.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/metrics/ranking_metrics.cc.o.d"
+  "/root/repo/src/mitigation/di_remover.cc" "src/CMakeFiles/fairlaw.dir/mitigation/di_remover.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/mitigation/di_remover.cc.o.d"
+  "/root/repo/src/mitigation/group_blind_repair.cc" "src/CMakeFiles/fairlaw.dir/mitigation/group_blind_repair.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/mitigation/group_blind_repair.cc.o.d"
+  "/root/repo/src/mitigation/group_calibrator.cc" "src/CMakeFiles/fairlaw.dir/mitigation/group_calibrator.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/mitigation/group_calibrator.cc.o.d"
+  "/root/repo/src/mitigation/quota.cc" "src/CMakeFiles/fairlaw.dir/mitigation/quota.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/mitigation/quota.cc.o.d"
+  "/root/repo/src/mitigation/randomized_eodds.cc" "src/CMakeFiles/fairlaw.dir/mitigation/randomized_eodds.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/mitigation/randomized_eodds.cc.o.d"
+  "/root/repo/src/mitigation/regularized_lr.cc" "src/CMakeFiles/fairlaw.dir/mitigation/regularized_lr.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/mitigation/regularized_lr.cc.o.d"
+  "/root/repo/src/mitigation/reweighing.cc" "src/CMakeFiles/fairlaw.dir/mitigation/reweighing.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/mitigation/reweighing.cc.o.d"
+  "/root/repo/src/mitigation/sampling.cc" "src/CMakeFiles/fairlaw.dir/mitigation/sampling.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/mitigation/sampling.cc.o.d"
+  "/root/repo/src/mitigation/threshold_optimizer.cc" "src/CMakeFiles/fairlaw.dir/mitigation/threshold_optimizer.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/mitigation/threshold_optimizer.cc.o.d"
+  "/root/repo/src/ml/calibration.cc" "src/CMakeFiles/fairlaw.dir/ml/calibration.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/calibration.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "src/CMakeFiles/fairlaw.dir/ml/classifier.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/classifier.cc.o.d"
+  "/root/repo/src/ml/cross_validation.cc" "src/CMakeFiles/fairlaw.dir/ml/cross_validation.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/cross_validation.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/CMakeFiles/fairlaw.dir/ml/dataset.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/fairlaw.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/feature_importance.cc" "src/CMakeFiles/fairlaw.dir/ml/feature_importance.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/feature_importance.cc.o.d"
+  "/root/repo/src/ml/isotonic.cc" "src/CMakeFiles/fairlaw.dir/ml/isotonic.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/isotonic.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/CMakeFiles/fairlaw.dir/ml/knn.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/knn.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/fairlaw.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/model_eval.cc" "src/CMakeFiles/fairlaw.dir/ml/model_eval.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/model_eval.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/fairlaw.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/fairlaw.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/split.cc" "src/CMakeFiles/fairlaw.dir/ml/split.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/split.cc.o.d"
+  "/root/repo/src/ml/standardizer.cc" "src/CMakeFiles/fairlaw.dir/ml/standardizer.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/ml/standardizer.cc.o.d"
+  "/root/repo/src/simulation/adversary.cc" "src/CMakeFiles/fairlaw.dir/simulation/adversary.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/simulation/adversary.cc.o.d"
+  "/root/repo/src/simulation/feedback_loop.cc" "src/CMakeFiles/fairlaw.dir/simulation/feedback_loop.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/simulation/feedback_loop.cc.o.d"
+  "/root/repo/src/simulation/scenarios.cc" "src/CMakeFiles/fairlaw.dir/simulation/scenarios.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/simulation/scenarios.cc.o.d"
+  "/root/repo/src/stats/bootstrap.cc" "src/CMakeFiles/fairlaw.dir/stats/bootstrap.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/stats/bootstrap.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/fairlaw.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/distance.cc" "src/CMakeFiles/fairlaw.dir/stats/distance.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/stats/distance.cc.o.d"
+  "/root/repo/src/stats/empirical.cc" "src/CMakeFiles/fairlaw.dir/stats/empirical.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/stats/empirical.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/fairlaw.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/hypothesis.cc" "src/CMakeFiles/fairlaw.dir/stats/hypothesis.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/stats/hypothesis.cc.o.d"
+  "/root/repo/src/stats/mmd.cc" "src/CMakeFiles/fairlaw.dir/stats/mmd.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/stats/mmd.cc.o.d"
+  "/root/repo/src/stats/ot.cc" "src/CMakeFiles/fairlaw.dir/stats/ot.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/stats/ot.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/CMakeFiles/fairlaw.dir/stats/rng.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/stats/rng.cc.o.d"
+  "/root/repo/src/stats/sample_complexity.cc" "src/CMakeFiles/fairlaw.dir/stats/sample_complexity.cc.o" "gcc" "src/CMakeFiles/fairlaw.dir/stats/sample_complexity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

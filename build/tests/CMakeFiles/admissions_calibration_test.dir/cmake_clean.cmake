@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admissions_calibration_test.dir/admissions_calibration_test.cc.o"
+  "CMakeFiles/admissions_calibration_test.dir/admissions_calibration_test.cc.o.d"
+  "admissions_calibration_test"
+  "admissions_calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admissions_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checklist_report_test.dir/checklist_report_test.cc.o"
+  "CMakeFiles/checklist_report_test.dir/checklist_report_test.cc.o.d"
+  "checklist_report_test"
+  "checklist_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checklist_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

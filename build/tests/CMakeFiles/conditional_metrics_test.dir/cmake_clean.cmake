@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditional_metrics_test.dir/conditional_metrics_test.cc.o"
+  "CMakeFiles/conditional_metrics_test.dir/conditional_metrics_test.cc.o.d"
+  "conditional_metrics_test"
+  "conditional_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditional_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterfactual_fairness_test.dir/counterfactual_fairness_test.cc.o"
+  "CMakeFiles/counterfactual_fairness_test.dir/counterfactual_fairness_test.cc.o.d"
+  "counterfactual_fairness_test"
+  "counterfactual_fairness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterfactual_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

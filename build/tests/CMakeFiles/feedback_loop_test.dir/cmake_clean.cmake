@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_loop_test.dir/feedback_loop_test.cc.o"
+  "CMakeFiles/feedback_loop_test.dir/feedback_loop_test.cc.o.d"
+  "feedback_loop_test"
+  "feedback_loop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

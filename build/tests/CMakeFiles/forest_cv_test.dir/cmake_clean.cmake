@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forest_cv_test.dir/forest_cv_test.cc.o"
+  "CMakeFiles/forest_cv_test.dir/forest_cv_test.cc.o.d"
+  "forest_cv_test"
+  "forest_cv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forest_cv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

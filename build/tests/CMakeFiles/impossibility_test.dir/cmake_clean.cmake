@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impossibility_test.dir/impossibility_test.cc.o"
+  "CMakeFiles/impossibility_test.dir/impossibility_test.cc.o.d"
+  "impossibility_test"
+  "impossibility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impossibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/individual_fairness_test.dir/individual_fairness_test.cc.o"
+  "CMakeFiles/individual_fairness_test.dir/individual_fairness_test.cc.o.d"
+  "individual_fairness_test"
+  "individual_fairness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/individual_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inequality_test.dir/inequality_test.cc.o"
+  "CMakeFiles/inequality_test.dir/inequality_test.cc.o.d"
+  "inequality_test"
+  "inequality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inequality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isotonic_calibrator_test.dir/isotonic_calibrator_test.cc.o"
+  "CMakeFiles/isotonic_calibrator_test.dir/isotonic_calibrator_test.cc.o.d"
+  "isotonic_calibrator_test"
+  "isotonic_calibrator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isotonic_calibrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmd_test.dir/mmd_test.cc.o"
+  "CMakeFiles/mmd_test.dir/mmd_test.cc.o.d"
+  "mmd_test"
+  "mmd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

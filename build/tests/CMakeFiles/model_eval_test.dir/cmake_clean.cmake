@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_eval_test.dir/model_eval_test.cc.o"
+  "CMakeFiles/model_eval_test.dir/model_eval_test.cc.o.d"
+  "model_eval_test"
+  "model_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

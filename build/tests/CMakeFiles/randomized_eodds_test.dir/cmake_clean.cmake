@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_eodds_test.dir/randomized_eodds_test.cc.o"
+  "CMakeFiles/randomized_eodds_test.dir/randomized_eodds_test.cc.o.d"
+  "randomized_eodds_test"
+  "randomized_eodds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_eodds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_adequacy_test.dir/sampling_adequacy_test.cc.o"
+  "CMakeFiles/sampling_adequacy_test.dir/sampling_adequacy_test.cc.o.d"
+  "sampling_adequacy_test"
+  "sampling_adequacy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_adequacy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgroup_test.dir/subgroup_test.cc.o"
+  "CMakeFiles/subgroup_test.dir/subgroup_test.cc.o.d"
+  "subgroup_test"
+  "subgroup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgroup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

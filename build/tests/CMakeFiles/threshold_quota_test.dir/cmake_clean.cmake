@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_quota_test.dir/threshold_quota_test.cc.o"
+  "CMakeFiles/threshold_quota_test.dir/threshold_quota_test.cc.o.d"
+  "threshold_quota_test"
+  "threshold_quota_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_quota_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

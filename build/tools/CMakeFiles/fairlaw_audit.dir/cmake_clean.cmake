@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairlaw_audit.dir/fairlaw_audit.cc.o"
+  "CMakeFiles/fairlaw_audit.dir/fairlaw_audit.cc.o.d"
+  "fairlaw_audit"
+  "fairlaw_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairlaw_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

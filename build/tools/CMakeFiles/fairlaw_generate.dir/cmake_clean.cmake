@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairlaw_generate.dir/fairlaw_generate.cc.o"
+  "CMakeFiles/fairlaw_generate.dir/fairlaw_generate.cc.o.d"
+  "fairlaw_generate"
+  "fairlaw_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairlaw_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
