@@ -30,14 +30,14 @@ void Part1() {
   sim::ScenarioData scenario =
       sim::MakePromotionScenario(options, &rng).ValueOrDie();
 
-  for (const std::string& attribute : {"gender", "race"}) {
+  for (const char* attribute : {"gender", "race"}) {
     audit::AuditConfig config;
     config.protected_column = attribute;
     config.prediction_column = "promoted";
     audit::AuditResult result =
         audit::RunAudit(scenario.table, config).ValueOrDie();
     std::printf("marginal audit on %-7s: dp_gap=%.4f -> %s\n",
-                attribute.c_str(),
+                attribute,
                 result.Find("demographic_parity").ValueOrDie()->max_gap,
                 result.Find("demographic_parity").ValueOrDie()->satisfied
                     ? "pass"

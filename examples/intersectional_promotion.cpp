@@ -25,14 +25,14 @@ int main() {
               scenario.table.num_rows());
 
   std::printf("--- marginal audits (what a naive review would run) ---\n");
-  for (const std::string& attribute : {"gender", "race"}) {
+  for (const char* attribute : {"gender", "race"}) {
     audit::AuditConfig config;
     config.protected_column = attribute;
     config.prediction_column = "promoted";
     audit::AuditResult result =
         audit::RunAudit(scenario.table, config).ValueOrDie();
     const auto* dp = result.Find("demographic_parity").ValueOrDie();
-    std::printf("  %-7s: dp_gap=%.4f -> %s\n", attribute.c_str(),
+    std::printf("  %-7s: dp_gap=%.4f -> %s\n", attribute,
                 dp->max_gap, dp->satisfied ? "looks fair" : "VIOLATED");
   }
 

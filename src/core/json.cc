@@ -56,8 +56,10 @@ void JsonWriter::BeginObject() {
 }
 
 void JsonWriter::EndObject() {
-  FAIRLAW_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
-  FAIRLAW_CHECK(!expecting_value_);
+  FAIRLAW_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                    "EndObject() without a matching BeginObject()");
+  FAIRLAW_CHECK_MSG(!expecting_value_,
+                    "EndObject() called while a key awaits its value");
   out_ += '}';
   stack_.pop_back();
   has_items_.pop_back();
@@ -73,7 +75,8 @@ void JsonWriter::BeginArray() {
 }
 
 void JsonWriter::EndArray() {
-  FAIRLAW_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  FAIRLAW_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kArray,
+                    "EndArray() without a matching BeginArray()");
   out_ += ']';
   stack_.pop_back();
   has_items_.pop_back();
@@ -81,8 +84,9 @@ void JsonWriter::EndArray() {
 }
 
 void JsonWriter::Key(const std::string& key) {
-  FAIRLAW_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
-  FAIRLAW_CHECK(!expecting_value_);
+  FAIRLAW_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                    "Key() called outside an open object");
+  FAIRLAW_CHECK_MSG(!expecting_value_, "Key() called while a value is due");
   if (has_items_.back()) out_ += ',';
   out_ += '"';
   out_ += JsonEscape(key);

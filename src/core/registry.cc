@@ -1,5 +1,6 @@
 #include "core/registry.h"
 
+#include "base/check.h"
 #include "metrics/group_metrics.h"
 
 namespace fairlaw {
@@ -8,8 +9,7 @@ const MetricRegistry& MetricRegistry::Default() {
   static const MetricRegistry& registry = *[] {
     auto* r = new MetricRegistry;
     auto must = [r](MetricEntry entry) {
-      Status status = r->Register(std::move(entry));
-      (void)status;  // names are distinct by construction
+      FAIRLAW_CHECK_OK(r->Register(std::move(entry)));
     };
     must({"demographic_parity", false, "III-A",
           [](const metrics::MetricInput& input, double tolerance) {

@@ -50,25 +50,29 @@ Column Column::FromBools(std::vector<bool> values) {
 }
 
 void Column::AppendDouble(double value) {
-  FAIRLAW_CHECK(type_ == DataType::kDouble);
+  FAIRLAW_CHECK_MSG(type_ == DataType::kDouble,
+                    "column accessed as double but holds another type");
   doubles_.push_back(value);
   valid_.push_back(true);
 }
 
 void Column::AppendInt64(int64_t value) {
-  FAIRLAW_CHECK(type_ == DataType::kInt64);
+  FAIRLAW_CHECK_MSG(type_ == DataType::kInt64,
+                    "column accessed as int64 but holds another type");
   int64s_.push_back(value);
   valid_.push_back(true);
 }
 
 void Column::AppendString(std::string value) {
-  FAIRLAW_CHECK(type_ == DataType::kString);
+  FAIRLAW_CHECK_MSG(type_ == DataType::kString,
+                    "column accessed as string but holds another type");
   strings_.push_back(std::move(value));
   valid_.push_back(true);
 }
 
 void Column::AppendBool(bool value) {
-  FAIRLAW_CHECK(type_ == DataType::kBool);
+  FAIRLAW_CHECK_MSG(type_ == DataType::kBool,
+                    "column accessed as bool but holds another type");
   bools_.push_back(value);
   valid_.push_back(true);
 }
@@ -119,7 +123,7 @@ Status Column::AppendCell(const Cell& cell) {
       AppendBool(std::get<bool>(cell));
       return Status::OK();
   }
-  return Status::Internal("AppendCell: unknown column type");
+  FAIRLAW_NOTREACHED("AppendCell: unknown column type");
 }
 
 namespace {

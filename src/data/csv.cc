@@ -169,7 +169,7 @@ Result<Table> ReadCsvString(const std::string& text,
     first_data_row = 1;
   } else {
     for (size_t c = 0; c < num_columns; ++c) {
-      names[c] = "c" + std::to_string(c);
+      names[c] = std::string("c").append(std::to_string(c));
     }
   }
 

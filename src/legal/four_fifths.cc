@@ -18,7 +18,20 @@ Result<FourFifthsResult> FourFifthsTest(const metrics::MetricInput& input,
 
   const metrics::GroupStats* reference = &stats[0];
   for (const metrics::GroupStats& gs : stats) {
+    if (gs.count == 0) {
+      // ComputeGroupStats only materializes observed groups, so this is a
+      // library invariant, not user input.
+      return Status::Internal("FourFifthsTest: empty group '" + gs.group +
+                              "' in group stats");
+    }
     if (gs.selection_rate > reference->selection_rate) reference = &gs;
+  }
+  if (reference->selection_rate <= 0.0) {
+    // Every group selects nobody: the impact ratio 0/0 is undefined and a
+    // silent 1.0 would read as a clean screen in a legal report.
+    return Status::FailedPrecondition(
+        "FourFifthsTest: no group has a positive selection rate; impact "
+        "ratios are undefined");
   }
 
   FourFifthsResult result;
@@ -33,10 +46,7 @@ Result<FourFifthsResult> FourFifthsTest(const metrics::MetricInput& input,
     group.count = gs.count;
     group.selected = gs.positive_predictions;
     group.selection_rate = gs.selection_rate;
-    group.impact_ratio =
-        result.reference_rate > 0.0
-            ? gs.selection_rate / result.reference_rate
-            : 1.0;
+    group.impact_ratio = gs.selection_rate / result.reference_rate;
     group.below_threshold = group.impact_ratio < threshold;
     if (gs.group != result.reference_group) {
       FAIRLAW_ASSIGN_OR_RETURN(

@@ -140,6 +140,13 @@ Result<MetricReport> DisparateImpactRatio(const MetricInput& input,
   std::vector<double> rates;
   rates.reserve(stats.size());
   for (const GroupStats& gs : stats) rates.push_back(gs.selection_rate);
+  if (*std::max_element(rates.begin(), rates.end()) <= 0.0) {
+    // 0/0 is undefined; a silent ratio of 1.0 would report a clean screen
+    // for a selection process that admitted nobody.
+    return Status::FailedPrecondition(
+        "disparate_impact_ratio: no group has a positive selection rate; "
+        "the ratio is undefined");
+  }
   MetricReport report;
   report.metric_name = "disparate_impact_ratio";
   report.groups = std::move(stats);

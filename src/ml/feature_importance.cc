@@ -28,7 +28,7 @@ Result<std::vector<FeatureImportance>> PermutationImportance(
   for (size_t j = 0; j < d; ++j) {
     importances[j].feature =
         j < data.feature_names.size() ? data.feature_names[j]
-                                      : "f" + std::to_string(j);
+                                      : std::string("f").append(std::to_string(j));
     double total_drop = 0.0;
     for (int r = 0; r < repeats; ++r) {
       // Permute column j.
@@ -74,7 +74,7 @@ Result<std::vector<FeatureImportance>> LinearAttribution(
     var /= static_cast<double>(n);
     importances[j].feature =
         j < data.feature_names.size() ? data.feature_names[j]
-                                      : "f" + std::to_string(j);
+                                      : std::string("f").append(std::to_string(j));
     importances[j].importance = std::fabs(weights[j]) * std::sqrt(var);
   }
   return importances;

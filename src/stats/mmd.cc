@@ -9,7 +9,7 @@ namespace fairlaw::stats {
 namespace {
 
 double SquaredDistance(const Point& x, const Point& y) {
-  FAIRLAW_CHECK(x.size() == y.size());
+  FAIRLAW_CHECK_MSG(x.size() == y.size(), "kernel rows must have equal dimension");
   double total = 0.0;
   for (size_t d = 0; d < x.size(); ++d) {
     double diff = x[d] - y[d];

@@ -42,12 +42,12 @@ double Rng::Uniform() {
 }
 
 double Rng::Uniform(double lo, double hi) {
-  FAIRLAW_CHECK(lo <= hi);
+  FAIRLAW_CHECK_MSG(lo <= hi, "Uniform: lo must not exceed hi");
   return lo + (hi - lo) * Uniform();
 }
 
 uint64_t Rng::UniformInt(uint64_t n) {
-  FAIRLAW_CHECK(n > 0);
+  FAIRLAW_CHECK_MSG(n > 0, "UniformInt: n must be positive");
   const uint64_t threshold = (~n + 1) % n;  // = 2^64 mod n
   while (true) {
     uint64_t r = Next();
@@ -71,7 +71,7 @@ double Rng::Normal() {
 }
 
 double Rng::Normal(double mean, double stddev) {
-  FAIRLAW_CHECK(stddev >= 0.0);
+  FAIRLAW_CHECK_MSG(stddev >= 0.0, "Normal: stddev must be >= 0");
   return mean + stddev * Normal();
 }
 
@@ -82,22 +82,22 @@ bool Rng::Bernoulli(double p) {
 }
 
 int64_t Rng::Binomial(int64_t n, double p) {
-  FAIRLAW_CHECK(n >= 0);
+  FAIRLAW_CHECK_MSG(n >= 0, "Binomial: n must be >= 0");
   int64_t successes = 0;
   for (int64_t i = 0; i < n; ++i) successes += Bernoulli(p) ? 1 : 0;
   return successes;
 }
 
 double Rng::Exponential(double rate) {
-  FAIRLAW_CHECK(rate > 0.0);
+  FAIRLAW_CHECK_MSG(rate > 0.0, "Exponential: rate must be positive");
   return -std::log(1.0 - Uniform()) / rate;
 }
 
 size_t Rng::Categorical(const std::vector<double>& weights) {
-  FAIRLAW_CHECK(!weights.empty());
+  FAIRLAW_CHECK_MSG(!weights.empty(), "Categorical: weights must be non-empty");
   double total = 0.0;
   for (double w : weights) {
-    FAIRLAW_CHECK(w >= 0.0);
+    FAIRLAW_CHECK_MSG(w >= 0.0, "Categorical: weights must be >= 0");
     total += w;
   }
   if (total <= 0.0) return static_cast<size_t>(UniformInt(weights.size()));
@@ -111,7 +111,7 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 }
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
-  FAIRLAW_CHECK(k <= n);
+  FAIRLAW_CHECK_MSG(k <= n, "SampleWithoutReplacement: k must not exceed n");
   // Partial Fisher–Yates over an index vector; O(n) memory is fine at the
   // population sizes fairlaw works with.
   std::vector<size_t> indices(n);

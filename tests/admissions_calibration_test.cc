@@ -50,8 +50,12 @@ TEST(AdmissionsScenarioTest, StructuralChannelsPresent) {
                                        {"gpa", "test_score", "legacy"})
                       .ValueOrDie();
   for (const audit::ProxyFinding& finding : findings) {
-    if (finding.feature == "gpa") EXPECT_FALSE(finding.flagged);
-    if (finding.feature == "legacy") EXPECT_TRUE(finding.flagged);
+    if (finding.feature == "gpa") {
+      EXPECT_FALSE(finding.flagged);
+    }
+    if (finding.feature == "legacy") {
+      EXPECT_TRUE(finding.flagged);
+    }
   }
 }
 

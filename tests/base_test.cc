@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "base/check.h"
 #include "base/result.h"
 #include "base/status.h"
 #include "base/string_util.h"
@@ -139,6 +140,32 @@ TEST(StringUtilTest, FormatDouble) {
 
 TEST(StringUtilTest, AsciiToLower) {
   EXPECT_EQ(AsciiToLower("AbC"), "abc");
+}
+
+TEST(CheckDeathTest, CheckMsgAbortsWithMessage) {
+  EXPECT_DEATH(FAIRLAW_CHECK_MSG(1 == 2, "one is not two"),
+               "one is not two");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsWithStatusText) {
+  EXPECT_DEATH(FAIRLAW_CHECK_OK(Status::Invalid("bad denominator")),
+               "bad denominator");
+}
+
+TEST(CheckDeathTest, NotReachedAborts) {
+  EXPECT_DEATH(FAIRLAW_NOTREACHED("unhandled enum value"),
+               "unhandled enum value");
+}
+
+TEST(CheckDeathTest, BoundsCheckAbortsOnOutOfRange) {
+  EXPECT_DEATH(FAIRLAW_BOUNDS_CHECK(5, 3), "index 5 out of range for size 3");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  FAIRLAW_CHECK_MSG(1 + 1 == 2, "arithmetic holds");
+  FAIRLAW_CHECK_OK(Status::OK());
+  FAIRLAW_BOUNDS_CHECK(2, 3);
+  FAIRLAW_DCHECK(true, "never fires");
 }
 
 }  // namespace

@@ -68,8 +68,12 @@ TEST(PaperExampleB, FewerYoungFemalesHiredIsUnfair) {
   EXPECT_NEAR(report.max_gap, 0.5 - 1.0 / 6.0, 1e-12);
   // The old stratum individually is fine.
   for (const StratumReport& sr : report.strata) {
-    if (sr.stratum == "old") EXPECT_TRUE(sr.report.satisfied);
-    if (sr.stratum == "young") EXPECT_FALSE(sr.report.satisfied);
+    if (sr.stratum == "old") {
+      EXPECT_TRUE(sr.report.satisfied);
+    }
+    if (sr.stratum == "young") {
+      EXPECT_FALSE(sr.report.satisfied);
+    }
   }
 }
 

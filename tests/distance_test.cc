@@ -200,7 +200,9 @@ TEST_P(DistancePropertyTest, AxiomsHold) {
 
     // KL is non-negative (Gibbs) when finite.
     Result<double> kl = KlDivergence(p, q);
-    if (kl.ok()) EXPECT_GE(*kl, -1e-12);
+    if (kl.ok()) {
+      EXPECT_GE(*kl, -1e-12);
+    }
   }
 }
 

@@ -183,13 +183,16 @@ TEST(DisparateImpactTest, RatioComputedAgainstBestGroup) {
   EXPECT_TRUE(lenient.satisfied);
 }
 
-TEST(DisparateImpactTest, AllZeroRatesIsNoDisparity) {
+TEST(DisparateImpactTest, AllZeroRatesIsAnError) {
+  // 0/0 impact is undefined; reporting "no disparity" for a process that
+  // selected nobody would be a wrong legal conclusion, so the metric
+  // refuses instead of passing silently.
   MetricInput input;
   AddRows(&input, "a", 0, -1, 10);
   AddRows(&input, "b", 0, -1, 10);
-  MetricReport report = DisparateImpactRatio(input).ValueOrDie();
-  EXPECT_DOUBLE_EQ(report.min_ratio, 1.0);
-  EXPECT_TRUE(report.satisfied);
+  Result<MetricReport> report = DisparateImpactRatio(input);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsFailedPrecondition());
 }
 
 // ---- Predictive parity & accuracy equality companions ----

@@ -44,6 +44,31 @@ TEST(RegistryTest, EntriesAreInvocable) {
   }
 }
 
+TEST(RegistryTest, EveryRegisteredMetricIsPinnedByName) {
+  // fairlaw_lint requires each name registered in core/registry.cc to be
+  // referenced by a test; this test pins the full set, so adding a metric
+  // without naming it in a test fails both lint and this expectation.
+  const std::vector<std::string> expected = {
+      "demographic_parity",     "equal_opportunity", "equalized_odds",
+      "demographic_disparity",  "disparate_impact_ratio",
+      "predictive_parity",      "accuracy_equality",
+  };
+  EXPECT_EQ(MetricRegistry::Default().Names(), expected);
+}
+
+TEST(RegistryTest, CompanionMetricsComputeOnBalancedInput) {
+  const MetricRegistry& registry = MetricRegistry::Default();
+  metrics::MetricInput input = SampleInput();
+  Result<metrics::MetricReport> ppv =
+      registry.Get("predictive_parity").ValueOrDie()->fn(input, 0.1);
+  ASSERT_TRUE(ppv.ok()) << ppv.status().ToString();
+  EXPECT_EQ(ppv->metric_name, "predictive_parity");
+  Result<metrics::MetricReport> acc =
+      registry.Get("accuracy_equality").ValueOrDie()->fn(input, 0.1);
+  ASSERT_TRUE(acc.ok()) << acc.status().ToString();
+  EXPECT_EQ(acc->metric_name, "accuracy_equality");
+}
+
 TEST(RegistryTest, RegisterRejectsDuplicatesAndBadEntries) {
   MetricRegistry registry;
   MetricEntry entry;

@@ -106,7 +106,7 @@ TEST(PromotionScenarioTest, GerrymanderedBiasInvisibleToMarginals) {
   ScenarioData scenario = MakePromotionScenario(options, &rng).ValueOrDie();
 
   // Marginal audits on each protected attribute look fine.
-  for (const std::string& attribute : {"gender", "race"}) {
+  for (const char* attribute : {"gender", "race"}) {
     audit::AuditConfig config;
     config.protected_column = attribute;
     config.prediction_column = "promoted";

@@ -52,32 +52,44 @@ fairlaw::Result<CliOptions> Parse(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    const char* v = nullptr;
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       options.show_help = true;
       return options;
     }
     if (std::strcmp(arg, "--json") == 0) {
       options.json = true;
-    } else if (const char* v = value_of(arg, "--protected")) {
+    } else if ((v = value_of(arg, "--protected"))) {
       options.suite.audit.protected_column = v;
-    } else if (const char* v = value_of(arg, "--pred")) {
+    } else if ((v = value_of(arg, "--pred"))) {
       options.suite.audit.prediction_column = v;
-    } else if (const char* v = value_of(arg, "--label")) {
+    } else if ((v = value_of(arg, "--label"))) {
       options.suite.audit.label_column = v;
-    } else if (const char* v = value_of(arg, "--score")) {
+    } else if ((v = value_of(arg, "--score"))) {
       options.suite.audit.score_column = v;
-    } else if (const char* v = value_of(arg, "--strata")) {
+    } else if ((v = value_of(arg, "--strata"))) {
       options.suite.audit.strata_columns = fairlaw::Split(v, ',');
-    } else if (const char* v = value_of(arg, "--proxies")) {
+    } else if ((v = value_of(arg, "--proxies"))) {
       options.suite.proxy_candidates = fairlaw::Split(v, ',');
-    } else if (const char* v = value_of(arg, "--subgroups")) {
+    } else if ((v = value_of(arg, "--subgroups"))) {
       options.suite.subgroup_columns = fairlaw::Split(v, ',');
-    } else if (const char* v = value_of(arg, "--tolerance")) {
+    } else if ((v = value_of(arg, "--tolerance"))) {
+      // ParseDouble wraps std::from_chars: whole-input, checked conversion.
       FAIRLAW_ASSIGN_OR_RETURN(options.suite.audit.tolerance,
                                fairlaw::ParseDouble(v));
-    } else if (const char* v = value_of(arg, "--di-threshold")) {
+      if (options.suite.audit.tolerance < 0.0 ||
+          options.suite.audit.tolerance > 1.0) {
+        return fairlaw::Status::Invalid(
+            "--tolerance must lie in [0,1], got " + std::string(v));
+      }
+    } else if ((v = value_of(arg, "--di-threshold"))) {
       FAIRLAW_ASSIGN_OR_RETURN(options.suite.audit.di_threshold,
                                fairlaw::ParseDouble(v));
+      if (options.suite.audit.di_threshold <= 0.0 ||
+          options.suite.audit.di_threshold > 1.0) {
+        return fairlaw::Status::Invalid(
+            "--di-threshold must lie in (0,1], got " + std::string(v));
+      }
     } else if (arg[0] == '-') {
       return fairlaw::Status::Invalid(std::string("unknown flag: ") + arg);
     } else if (options.csv_path.empty()) {

@@ -32,6 +32,7 @@ void PrintUsage() {
 
 struct CliOptions {
   std::string scenario;
+  bool show_help = false;
   size_t n = 10000;
   uint64_t seed = 42;
   double label_bias = 1.0;
@@ -51,22 +52,35 @@ fairlaw::Result<CliOptions> Parse(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (const char* v = value_of(arg, "--n")) {
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      options.show_help = true;
+      return options;
+    }
+    if ((v = value_of(arg, "--n"))) {
+      // ParseInt64 wraps std::from_chars: whole-input, checked conversion.
       FAIRLAW_ASSIGN_OR_RETURN(int64_t n, fairlaw::ParseInt64(v));
-      if (n < 10) return fairlaw::Status::Invalid("--n must be >= 10");
+      if (n < 10 || n > (int64_t{1} << 31)) {
+        return fairlaw::Status::Invalid(
+            "--n must lie in [10, 2^31], got " + std::string(v));
+      }
       options.n = static_cast<size_t>(n);
-    } else if (const char* v = value_of(arg, "--seed")) {
+    } else if ((v = value_of(arg, "--seed"))) {
       FAIRLAW_ASSIGN_OR_RETURN(int64_t seed, fairlaw::ParseInt64(v));
+      if (seed < 0) {
+        return fairlaw::Status::Invalid("--seed must be >= 0, got " +
+                                        std::string(v));
+      }
       options.seed = static_cast<uint64_t>(seed);
-    } else if (const char* v = value_of(arg, "--label-bias")) {
+    } else if ((v = value_of(arg, "--label-bias"))) {
       FAIRLAW_ASSIGN_OR_RETURN(options.label_bias,
                                fairlaw::ParseDouble(v));
-    } else if (const char* v = value_of(arg, "--proxy")) {
+    } else if ((v = value_of(arg, "--proxy"))) {
       FAIRLAW_ASSIGN_OR_RETURN(options.proxy, fairlaw::ParseDouble(v));
-    } else if (const char* v = value_of(arg, "--subgroup-bias")) {
+    } else if ((v = value_of(arg, "--subgroup-bias"))) {
       FAIRLAW_ASSIGN_OR_RETURN(options.subgroup_bias,
                                fairlaw::ParseDouble(v));
-    } else if (const char* v = value_of(arg, "--out")) {
+    } else if ((v = value_of(arg, "--out"))) {
       options.out = v;
     } else if (arg[0] == '-') {
       return fairlaw::Status::Invalid(std::string("unknown flag: ") + arg);
@@ -123,6 +137,10 @@ int main(int argc, char** argv) {
                  parsed.status().message().c_str());
     PrintUsage();
     return 1;
+  }
+  if (parsed->show_help) {
+    PrintUsage();
+    return 0;
   }
   fairlaw::Result<fairlaw::sim::ScenarioData> scenario = Generate(*parsed);
   if (!scenario.ok()) {

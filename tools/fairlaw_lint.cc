@@ -1,0 +1,364 @@
+// fairlaw_lint — project-invariant static analysis pass.
+//
+//   fairlaw_lint [--root=DIR] [--verbose]
+//
+// Walks the source tree under --root (default: current directory) and
+// enforces the fairlaw project invariants that generic compiler warnings
+// cannot express:
+//
+//   1. include-guard   every header under src/ uses the canonical
+//                      FAIRLAW_<DIR>_<FILE>_H_ guard derived from its path.
+//   2. banned-function library code (src/) must not call rand, srand,
+//                      atoi, strtod, or printf-to-stdout: randomness goes
+//                      through stats::Rng (reproducible audits), parsing
+//                      through base/string_util.h (checked conversions),
+//                      and diagnostics to stderr.
+//   3. bare-check      every FAIRLAW_CHECK failure path must carry a
+//                      message (use FAIRLAW_CHECK_MSG / FAIRLAW_CHECK_OK);
+//                      messages must be non-empty.
+//   4. registry-coverage
+//                      every metric name registered in src/core/registry.cc
+//                      must be referenced by name in some tests/*_test.cc.
+//
+// Comments and string literals are stripped before rules 2 and 3 run, so
+// prose mentioning a banned identifier does not trip the pass. Exit code
+// 0 = clean, 1 = violations (listed one per line as file:line: rule: msg),
+// 2 = usage or I/O error. Registered as a ctest test so violations fail
+// tier-1.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+class Linter {
+ public:
+  explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+  /// Runs every rule; returns the collected violations.
+  const std::vector<Violation>& Run() {
+    const fs::path src = root_ / "src";
+    if (fs::is_directory(src)) {
+      for (const fs::directory_entry& entry :
+           fs::recursive_directory_iterator(src)) {
+        if (!entry.is_regular_file()) continue;
+        const fs::path& path = entry.path();
+        const std::string ext = path.extension().string();
+        if (ext == ".h") CheckIncludeGuard(path);
+        if (ext == ".h" || ext == ".cc") {
+          std::string stripped = StripCommentsAndStrings(ReadFile(path));
+          CheckBannedFunctions(path, stripped);
+          CheckMessagedChecks(path, stripped, ReadFile(path));
+        }
+      }
+    } else {
+      Report(src.string(), 0, "tree", "missing src/ directory under root");
+    }
+    CheckRegistryCoverage();
+    return violations_;
+  }
+
+ private:
+  std::string ReadFile(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  std::string RelPath(const fs::path& path) {
+    std::error_code ec;
+    fs::path rel = fs::relative(path, root_, ec);
+    return ec ? path.string() : rel.generic_string();
+  }
+
+  void Report(std::string file, size_t line, std::string rule,
+              std::string message) {
+    violations_.push_back(Violation{std::move(file), line, std::move(rule),
+                                    std::move(message)});
+  }
+
+  /// Blanks comment bodies and string/char literal contents, preserving
+  /// newlines so that byte offsets still map to the right line.
+  static std::string StripCommentsAndStrings(const std::string& text) {
+    std::string out = text;
+    enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+    State state = State::kCode;
+    for (size_t i = 0; i < out.size(); ++i) {
+      const char c = out[i];
+      const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            out[i] = ' ';
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            out[i] = ' ';
+          } else if (c == '"') {
+            state = State::kString;
+          } else if (c == '\'') {
+            state = State::kChar;
+          }
+          break;
+        case State::kLineComment:
+          if (c == '\n') {
+            state = State::kCode;
+          } else {
+            out[i] = ' ';
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            out[i] = ' ';
+            out[i + 1] = ' ';
+            ++i;
+            state = State::kCode;
+          } else if (c != '\n') {
+            out[i] = ' ';
+          }
+          break;
+        case State::kString:
+          if (c == '\\' && next != '\0') {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+          } else if (c != '\n') {
+            out[i] = ' ';
+          }
+          break;
+        case State::kChar:
+          if (c == '\\' && next != '\0') {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+          } else if (c != '\n') {
+            out[i] = ' ';
+          }
+          break;
+      }
+    }
+    return out;
+  }
+
+  static size_t LineOfOffset(std::string_view text, size_t offset) {
+    size_t line = 1;
+    for (size_t i = 0; i < offset && i < text.size(); ++i) {
+      if (text[i] == '\n') ++line;
+    }
+    return line;
+  }
+
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  }
+
+  /// Finds `ident` as a whole identifier token starting at or after `from`;
+  /// returns npos when absent.
+  static size_t FindIdentifier(std::string_view text, std::string_view ident,
+                               size_t from) {
+    while (true) {
+      size_t pos = text.find(ident, from);
+      if (pos == std::string_view::npos) return pos;
+      const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+      const size_t end = pos + ident.size();
+      const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+      if (left_ok && right_ok) return pos;
+      from = pos + 1;
+    }
+  }
+
+  /// Rule 1: canonical include guards. src/metrics/group_metrics.h must
+  /// guard with FAIRLAW_METRICS_GROUP_METRICS_H_.
+  void CheckIncludeGuard(const fs::path& path) {
+    std::error_code ec;
+    fs::path rel = fs::relative(path, root_ / "src", ec);
+    if (ec) return;
+    std::string guard = "FAIRLAW_";
+    for (const char c : rel.generic_string()) {
+      if (c == '/' || c == '.' || c == '-') {
+        guard += '_';
+      } else {
+        guard += static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c)));
+      }
+    }
+    guard += "_";  // FAIRLAW_<DIR>_<FILE>_H -> ..._H_
+
+    const std::string text = ReadFile(path);
+    const std::string ifndef_line = "#ifndef " + guard;
+    const std::string define_line = "#define " + guard;
+    if (text.find(ifndef_line) == std::string::npos ||
+        text.find(define_line) == std::string::npos) {
+      Report(RelPath(path), 1, "include-guard",
+             "expected guard '" + guard + "' (#ifndef/#define pair)");
+    }
+  }
+
+  /// Rule 2: banned functions in library code.
+  void CheckBannedFunctions(const fs::path& path,
+                            const std::string& stripped) {
+    struct Ban {
+      const char* ident;
+      const char* why;
+    };
+    static constexpr Ban kBans[] = {
+        {"rand", "use stats::Rng: audits must be reproducible"},
+        {"srand", "use stats::Rng: audits must be reproducible"},
+        {"atoi", "use fairlaw::ParseInt64: unchecked parse loses errors"},
+        {"strtod", "use fairlaw::ParseDouble: unchecked parse loses errors"},
+        {"printf", "library code must not write to stdout; report via "
+                   "Status or render strings"},
+    };
+    for (const Ban& ban : kBans) {
+      size_t pos = 0;
+      while ((pos = FindIdentifier(stripped, ban.ident, pos)) !=
+             std::string::npos) {
+        Report(RelPath(path), LineOfOffset(stripped, pos), "banned-function",
+               std::string("call to '") + ban.ident + "': " + ban.why);
+        pos += std::strlen(ban.ident);
+      }
+    }
+  }
+
+  /// Rule 3: every check carries a non-empty message. Bare FAIRLAW_CHECK
+  /// is only allowed inside its defining header.
+  void CheckMessagedChecks(const fs::path& path, const std::string& stripped,
+                           const std::string& original) {
+    const std::string rel = RelPath(path);
+    if (rel == "src/base/check.h") return;
+    size_t pos = 0;
+    while ((pos = FindIdentifier(stripped, "FAIRLAW_CHECK", pos)) !=
+           std::string::npos) {
+      Report(rel, LineOfOffset(stripped, pos), "bare-check",
+             "FAIRLAW_CHECK without a message; use FAIRLAW_CHECK_MSG so a "
+             "production crash names the violated invariant");
+      pos += std::strlen("FAIRLAW_CHECK");
+    }
+    for (const char* macro : {"FAIRLAW_CHECK_MSG", "FAIRLAW_NOTREACHED"}) {
+      pos = 0;
+      while ((pos = FindIdentifier(stripped, macro, pos)) !=
+             std::string::npos) {
+        const size_t open = stripped.find('(', pos);
+        pos += std::strlen(macro);
+        if (open == std::string::npos) continue;
+        size_t close = open;
+        int depth = 0;
+        do {
+          if (stripped[close] == '(') ++depth;
+          if (stripped[close] == ')') --depth;
+          if (depth == 0) break;
+          ++close;
+        } while (close < stripped.size());
+        if (close >= stripped.size()) continue;
+        // The stripped text blanks literal contents, so an empty message
+        // shows up as `""` in the original at the argument tail.
+        std::string_view tail =
+            std::string_view(original).substr(open, close - open);
+        const size_t last_quote = tail.rfind('"');
+        if (last_quote != std::string_view::npos && last_quote > 0 &&
+            tail[last_quote - 1] == '"') {
+          Report(rel, LineOfOffset(stripped, pos), "bare-check",
+                 std::string(macro) + " with an empty message");
+        }
+      }
+    }
+  }
+
+  /// Rule 4: every metric name registered in src/core/registry.cc must be
+  /// referenced (as a quoted string) by at least one tests/*_test.cc.
+  void CheckRegistryCoverage() {
+    const fs::path registry = root_ / "src" / "core" / "registry.cc";
+    const fs::path tests = root_ / "tests";
+    if (!fs::is_regular_file(registry) || !fs::is_directory(tests)) return;
+    const std::string text = ReadFile(registry);
+
+    std::vector<std::string> names;
+    size_t pos = 0;
+    while ((pos = text.find("{\"", pos)) != std::string::npos) {
+      const size_t begin = pos + 2;
+      const size_t end = text.find('"', begin);
+      if (end == std::string::npos) break;
+      names.push_back(text.substr(begin, end - begin));
+      pos = end + 1;
+    }
+
+    std::string corpus;
+    for (const fs::directory_entry& entry : fs::directory_iterator(tests)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string filename = entry.path().filename().string();
+      if (filename.size() > 8 &&
+          filename.substr(filename.size() - 8) == "_test.cc") {
+        corpus += ReadFile(entry.path());
+      }
+    }
+    for (const std::string& name : names) {
+      if (corpus.find("\"" + name + "\"") == std::string::npos) {
+        Report("src/core/registry.cc", LineOfOffset(text, text.find(name)),
+               "registry-coverage",
+               "registered metric '" + name +
+                   "' is never referenced by name in tests/*_test.cc");
+      }
+    }
+  }
+
+  fs::path root_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = fs::path(std::string(arg.substr(7)));
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "usage: fairlaw_lint [--root=DIR] [--verbose]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "fairlaw_lint: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "fairlaw_lint: root '%s' is not a directory\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  Linter linter(root);
+  const std::vector<Violation>& violations = linter.Run();
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "%s:%zu: %s: %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (verbose || !violations.empty()) {
+    std::fprintf(stderr, "fairlaw_lint: %zu violation(s)\n",
+                 violations.size());
+  }
+  return violations.empty() ? 0 : 1;
+}

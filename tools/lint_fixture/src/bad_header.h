@@ -1,0 +1,21 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+// Deliberately violating fixture for the fairlaw_lint self-test: wrong
+// include guard, banned functions, and a bare FAIRLAW_CHECK. The
+// fairlaw_lint_detects_violations ctest runs the pass over this tree and
+// requires it to FAIL; if the pass ever stops catching these, tier-1 goes
+// red.
+
+inline int BadParse(const char* text) {
+  return atoi(text);
+}
+
+inline void BadSeed() {
+  srand(42);
+  (void)rand();
+}
+
+#define USE_BARE_CHECK(x) FAIRLAW_CHECK(x)
+
+#endif  // WRONG_GUARD_H
