@@ -10,7 +10,6 @@
 #include <cstdio>
 
 #include "mitigation/group_blind_repair.h"
-#include "stats/descriptive.h"
 #include "stats/rng.h"
 
 namespace {

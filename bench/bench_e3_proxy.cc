@@ -101,7 +101,10 @@ int main() {
     metrics::CounterfactualFairnessReport cf =
         metrics::AuditCounterfactualFairness(
             scenario.scm, scenario.sample, "gender", 0.0, 1.0,
-            unaware_model, scenario.feature_columns)
+            [&unaware_model](std::span<const double> x) {
+              return unaware_model.Predict(x, 0.5);
+            },
+            scenario.feature_columns)
             .ValueOrDie();
 
     std::printf("%-6.2f %-10.3f %-10.4f %-10.4f %-10.4f %-10.4f\n", rho,

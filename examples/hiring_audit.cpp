@@ -3,6 +3,7 @@
 // definitions, apply reweighing, retrain, and re-audit. Shows the full
 // generate -> train -> audit -> mitigate -> re-audit loop of the library.
 #include <cstdio>
+#include <span>
 
 #include "audit/auditor.h"
 #include "metrics/counterfactual_fairness.h"
@@ -73,7 +74,10 @@ int main() {
   // sees gender?
   metrics::CounterfactualFairnessReport cf =
       metrics::AuditCounterfactualFairness(
-          scenario.scm, scenario.sample, "gender", 0.0, 1.0, unaware,
+          scenario.scm, scenario.sample, "gender", 0.0, 1.0,
+          [&unaware](std::span<const double> x) {
+            return unaware.Predict(x, /*threshold=*/0.5);
+          },
           scenario.feature_columns)
           .ValueOrDie();
   std::printf("counterfactual fairness: %s\n\n", cf.detail.c_str());

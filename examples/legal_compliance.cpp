@@ -53,7 +53,8 @@ int main() {
   inputs.jurisdiction = legal::Jurisdiction::kUs;
   inputs.protected_attribute = "sex";
   inputs.sector = "employment";
-  inputs.audit = audit::RunAudit(table, config).ValueOrDie();
+  inputs.audit =
+      audit::RunAudit(table, config).ValueOrDie().ToLegalFindings();
   inputs.four_fifths =
       legal::FourFifthsTest(
           audit::MetricInputFromTable(table, "gender", "pred", "")

@@ -1,6 +1,14 @@
 #include "audit/auditor.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "base/mutex.h"
 #include "base/string_util.h"
+#include "base/thread_annotations.h"
+#include "base/thread_pool.h"
 #include "metrics/group_metrics.h"
 
 namespace fairlaw::audit {
@@ -33,6 +41,92 @@ Result<std::vector<std::string>> StringKeys(const data::Table& table,
   }
   return out;
 }
+
+/// Collects metric results completed on worker threads. Each result
+/// carries the sequence number of its job in the canonical (serial)
+/// evaluation order, so Finish() can assemble an AuditResult that is
+/// byte-identical for any thread count — including which error wins when
+/// several metrics fail at once.
+class ResultAggregator {
+ public:
+  void AddMetric(size_t seq, Result<metrics::MetricReport> report)
+      FAIRLAW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    metric_reports_.emplace_back(seq, std::move(report));
+  }
+
+  void AddConditional(size_t seq, Result<metrics::ConditionalReport> report)
+      FAIRLAW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    conditional_reports_.emplace_back(seq, std::move(report));
+  }
+
+  void AddCalibration(size_t seq, Result<metrics::CalibrationReport> report)
+      FAIRLAW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    calibration_.emplace(seq, std::move(report));
+  }
+
+  /// Deterministic assembly; call only after every job has completed.
+  Result<AuditResult> Finish() FAIRLAW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    auto by_seq = [](const auto& a, const auto& b) {
+      return a.first < b.first;
+    };
+    std::sort(metric_reports_.begin(), metric_reports_.end(), by_seq);
+    std::sort(conditional_reports_.begin(), conditional_reports_.end(),
+              by_seq);
+
+    // Serial evaluation returns the error of the first failing job; keep
+    // that contract by picking the non-OK status with the lowest seq.
+    size_t first_error_seq = SIZE_MAX;
+    const Status* first_error = nullptr;
+    auto consider = [&](size_t seq, const Status& status) {
+      if (!status.ok() && seq < first_error_seq) {
+        first_error_seq = seq;
+        first_error = &status;
+      }
+    };
+    for (const auto& [seq, report] : metric_reports_) {
+      consider(seq, report.status());
+    }
+    if (calibration_.has_value()) {
+      consider(calibration_->first, calibration_->second.status());
+    }
+    for (const auto& [seq, report] : conditional_reports_) {
+      consider(seq, report.status());
+    }
+    if (first_error != nullptr) return *first_error;
+
+    AuditResult result;
+    for (auto& [seq, report] : metric_reports_) {
+      metrics::MetricReport r = std::move(report).ValueOrDie();
+      result.all_satisfied = result.all_satisfied && r.satisfied;
+      result.reports.push_back(std::move(r));
+    }
+    if (calibration_.has_value()) {
+      metrics::CalibrationReport calibration =
+          std::move(calibration_->second).ValueOrDie();
+      result.all_satisfied = result.all_satisfied && calibration.satisfied;
+      result.calibration = std::move(calibration);
+    }
+    for (auto& [seq, report] : conditional_reports_) {
+      metrics::ConditionalReport r = std::move(report).ValueOrDie();
+      result.all_satisfied = result.all_satisfied && r.satisfied;
+      result.conditional_reports.push_back(std::move(r));
+    }
+    return result;
+  }
+
+ private:
+  Mutex mu_;
+  std::vector<std::pair<size_t, Result<metrics::MetricReport>>>
+      metric_reports_ FAIRLAW_GUARDED_BY(mu_);
+  std::vector<std::pair<size_t, Result<metrics::ConditionalReport>>>
+      conditional_reports_ FAIRLAW_GUARDED_BY(mu_);
+  std::optional<std::pair<size_t, Result<metrics::CalibrationReport>>>
+      calibration_ FAIRLAW_GUARDED_BY(mu_);
+};
 
 }  // namespace
 
@@ -121,6 +215,14 @@ std::string AuditResult::Render() const {
   return out;
 }
 
+legal::AuditFindings AuditResult::ToLegalFindings() const {
+  legal::AuditFindings findings;
+  findings.reports = reports;
+  findings.conditional_reports = conditional_reports;
+  findings.all_satisfied = all_satisfied;
+  return findings;
+}
+
 Result<const metrics::MetricReport*> AuditResult::Find(
     const std::string& name) const {
   for (const metrics::MetricReport& report : reports) {
@@ -136,29 +238,10 @@ Result<AuditResult> RunAudit(const data::Table& table,
       MetricInputFromTable(table, config.protected_column,
                            config.prediction_column, config.label_column));
 
-  AuditResult result;
-  auto add = [&result](Result<metrics::MetricReport> report) -> Status {
-    FAIRLAW_ASSIGN_OR_RETURN(metrics::MetricReport r, std::move(report));
-    result.all_satisfied = result.all_satisfied && r.satisfied;
-    result.reports.push_back(std::move(r));
-    return Status::OK();
-  };
-
-  FAIRLAW_RETURN_NOT_OK(add(metrics::DemographicParity(input,
-                                                       config.tolerance)));
-  FAIRLAW_RETURN_NOT_OK(add(metrics::DemographicDisparity(input)));
-  FAIRLAW_RETURN_NOT_OK(
-      add(metrics::DisparateImpactRatio(input, config.di_threshold)));
-  if (!config.label_column.empty()) {
-    FAIRLAW_RETURN_NOT_OK(add(metrics::EqualOpportunity(input,
-                                                        config.tolerance)));
-    FAIRLAW_RETURN_NOT_OK(add(metrics::EqualizedOdds(input,
-                                                     config.tolerance)));
-    FAIRLAW_RETURN_NOT_OK(add(metrics::PredictiveParity(input,
-                                                        config.tolerance)));
-    FAIRLAW_RETURN_NOT_OK(add(metrics::AccuracyEquality(input,
-                                                        config.tolerance)));
-  }
+  // Column extraction stays serial (the table is not guarded); the metric
+  // evaluations below are pure functions of the extracted vectors, so they
+  // parallelize without touching shared mutable state.
+  std::vector<double> scores;
   if (!config.score_column.empty()) {
     if (config.label_column.empty()) {
       return Status::Invalid("RunAudit: calibration audit requires a label "
@@ -166,33 +249,84 @@ Result<AuditResult> RunAudit(const data::Table& table,
     }
     FAIRLAW_ASSIGN_OR_RETURN(const data::Column* score_col,
                              table.GetColumn(config.score_column));
-    FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> scores,
-                             score_col->ToDoubles());
-    FAIRLAW_ASSIGN_OR_RETURN(
-        metrics::CalibrationReport calibration,
-        metrics::CalibrationWithinGroups(input.groups, input.labels, scores,
-                                         config.calibration_bins,
-                                         config.calibration_tolerance));
-    result.all_satisfied = result.all_satisfied && calibration.satisfied;
-    result.calibration = std::move(calibration);
+    FAIRLAW_ASSIGN_OR_RETURN(scores, score_col->ToDoubles());
+  }
+  std::vector<std::string> strata;
+  if (!config.strata_columns.empty()) {
+    FAIRLAW_ASSIGN_OR_RETURN(strata,
+                             StrataFromTable(table, config.strata_columns));
+  }
+
+  // One closure per metric, sequenced in the canonical report order. Each
+  // job publishes its result through the mutex-guarded aggregator; the
+  // sequence number, not completion order, decides the final layout.
+  ResultAggregator aggregator;
+  std::vector<std::function<void()>> jobs;
+  size_t seq = 0;
+  auto add_metric =
+      [&](std::function<Result<metrics::MetricReport>()> compute) {
+        jobs.push_back([&aggregator, seq, compute = std::move(compute)] {
+          aggregator.AddMetric(seq, compute());
+        });
+        ++seq;
+      };
+
+  add_metric([&] { return metrics::DemographicParity(input,
+                                                     config.tolerance); });
+  add_metric([&] { return metrics::DemographicDisparity(input); });
+  add_metric([&] {
+    return metrics::DisparateImpactRatio(input, config.di_threshold);
+  });
+  if (!config.label_column.empty()) {
+    add_metric([&] { return metrics::EqualOpportunity(input,
+                                                      config.tolerance); });
+    add_metric([&] { return metrics::EqualizedOdds(input,
+                                                   config.tolerance); });
+    add_metric([&] { return metrics::PredictiveParity(input,
+                                                      config.tolerance); });
+    add_metric([&] { return metrics::AccuracyEquality(input,
+                                                      config.tolerance); });
+  }
+  if (!config.score_column.empty()) {
+    jobs.push_back([&aggregator, seq, &input, &scores, &config] {
+      aggregator.AddCalibration(
+          seq, metrics::CalibrationWithinGroups(input.groups, input.labels,
+                                                scores,
+                                                config.calibration_bins,
+                                                config.calibration_tolerance));
+    });
+    ++seq;
   }
   if (!config.strata_columns.empty()) {
-    FAIRLAW_ASSIGN_OR_RETURN(std::vector<std::string> strata,
-                             StrataFromTable(table, config.strata_columns));
-    FAIRLAW_ASSIGN_OR_RETURN(
-        metrics::ConditionalReport csp,
-        metrics::ConditionalStatisticalParity(input, strata, config.tolerance,
-                                              config.min_stratum_size));
-    result.all_satisfied = result.all_satisfied && csp.satisfied;
-    result.conditional_reports.push_back(std::move(csp));
-    FAIRLAW_ASSIGN_OR_RETURN(
-        metrics::ConditionalReport cdd,
-        metrics::ConditionalDemographicDisparity(input, strata,
-                                                 config.min_stratum_size));
-    result.all_satisfied = result.all_satisfied && cdd.satisfied;
-    result.conditional_reports.push_back(std::move(cdd));
+    auto add_conditional =
+        [&](std::function<Result<metrics::ConditionalReport>()> compute) {
+          jobs.push_back([&aggregator, seq, compute = std::move(compute)] {
+            aggregator.AddConditional(seq, compute());
+          });
+          ++seq;
+        };
+    add_conditional([&] {
+      return metrics::ConditionalStatisticalParity(input, strata,
+                                                   config.tolerance,
+                                                   config.min_stratum_size);
+    });
+    add_conditional([&] {
+      return metrics::ConditionalDemographicDisparity(
+          input, strata, config.min_stratum_size);
+    });
   }
-  return result;
+
+  if (config.num_threads == 1) {
+    for (const std::function<void()>& job : jobs) job();
+  } else {
+    // num_threads == 0 sizes the pool to the hardware; otherwise never
+    // spawn more workers than there are jobs.
+    ThreadPool pool(config.num_threads == 0
+                        ? 0
+                        : std::min(config.num_threads, jobs.size()));
+    pool.ParallelFor(jobs.size(), [&jobs](size_t i) { jobs[i](); });
+  }
+  return aggregator.Finish();
 }
 
 }  // namespace fairlaw::audit

@@ -7,6 +7,7 @@
 
 #include "base/result.h"
 #include "data/table.h"
+#include "legal/report.h"
 #include "metrics/calibration_metric.h"
 #include "metrics/conditional_metrics.h"
 #include "metrics/fairness_metric.h"
@@ -42,6 +43,10 @@ struct AuditConfig {
   /// Bins and max per-group ECE for the calibration audit.
   size_t calibration_bins = 10;
   double calibration_tolerance = 0.05;
+  /// Worker threads for metric evaluation: 1 = serial (default), 0 = one
+  /// per hardware thread. The audit output is byte-identical for every
+  /// thread count — results are sequenced by metric, not by completion.
+  size_t num_threads = 1;
 };
 
 /// Everything a table audit produced.
@@ -57,6 +62,10 @@ struct AuditResult {
 
   /// Looks up a report by metric name ("demographic_parity", ...).
   Result<const metrics::MetricReport*> Find(const std::string& name) const;
+
+  /// Copies the metric-level findings into the shape the legal layer's
+  /// compliance report takes (legal depends on metrics, not on audit).
+  legal::AuditFindings ToLegalFindings() const;
 };
 
 /// Extracts a MetricInput from table columns. `label_column` may be empty.

@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "base/string_util.h"
 #include "stats/hypothesis.h"
 
 namespace fairlaw::audit {

@@ -5,7 +5,7 @@
 #include <optional>
 #include <utility>
 
-#include "base/status.h"
+#include "base/status.h"  // IWYU pragma: export
 
 namespace fairlaw {
 

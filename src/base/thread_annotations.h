@@ -1,0 +1,52 @@
+#ifndef FAIRLAW_BASE_THREAD_ANNOTATIONS_H_
+#define FAIRLAW_BASE_THREAD_ANNOTATIONS_H_
+
+// Thread-safety annotations wrapping Clang's -Wthread-safety attribute
+// set. Under Clang the annotations are compiler-checked: a member
+// declared FAIRLAW_GUARDED_BY(mu) read or written without `mu` held is a
+// build error in the thread-safety CI job. Under GCC (which has no
+// thread-safety analysis) they expand to nothing, so annotated code
+// stays portable while the Clang job keeps the claims honest.
+//
+// The macro names mirror Clang's capability vocabulary
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with a
+// FAIRLAW_ prefix so the deps/lint passes can recognize them:
+//
+//   FAIRLAW_GUARDED_BY(mu)      data member requires `mu` held to access
+//   FAIRLAW_PT_GUARDED_BY(mu)   pointee requires `mu` held to access
+//   FAIRLAW_REQUIRES(mu)        function requires `mu` held by the caller
+//   FAIRLAW_EXCLUDES(mu)        function must NOT be called with `mu` held
+//   FAIRLAW_ACQUIRE(mu)         function acquires `mu` and does not release
+//   FAIRLAW_RELEASE(mu)         function releases `mu`
+//   FAIRLAW_CAPABILITY(name)    type is a lockable capability ("mutex")
+//   FAIRLAW_SCOPED_CAPABILITY   RAII type that acquires in ctor/releases
+//                               in dtor
+//   FAIRLAW_NO_THREAD_SAFETY_ANALYSIS
+//                               opt a function out of the analysis (rare;
+//                               justify with a comment at each use)
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define FAIRLAW_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef FAIRLAW_THREAD_ANNOTATION_
+#define FAIRLAW_THREAD_ANNOTATION_(x)
+#endif
+
+#define FAIRLAW_GUARDED_BY(x) FAIRLAW_THREAD_ANNOTATION_(guarded_by(x))
+#define FAIRLAW_PT_GUARDED_BY(x) FAIRLAW_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define FAIRLAW_REQUIRES(...) \
+  FAIRLAW_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define FAIRLAW_EXCLUDES(...) \
+  FAIRLAW_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define FAIRLAW_ACQUIRE(...) \
+  FAIRLAW_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define FAIRLAW_RELEASE(...) \
+  FAIRLAW_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define FAIRLAW_CAPABILITY(x) FAIRLAW_THREAD_ANNOTATION_(capability(x))
+#define FAIRLAW_SCOPED_CAPABILITY FAIRLAW_THREAD_ANNOTATION_(scoped_lockable)
+#define FAIRLAW_NO_THREAD_SAFETY_ANALYSIS \
+  FAIRLAW_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // FAIRLAW_BASE_THREAD_ANNOTATIONS_H_

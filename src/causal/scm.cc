@@ -1,6 +1,5 @@
 #include "causal/scm.h"
 
-#include "base/check.h"
 
 namespace fairlaw::causal {
 

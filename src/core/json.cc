@@ -3,7 +3,13 @@
 #include <cmath>
 #include <cstdio>
 
+#include "audit/proxy.h"
+#include "audit/sampling_adequacy.h"
+#include "audit/subgroup.h"
 #include "base/check.h"
+#include "legal/four_fifths.h"
+#include "metrics/conditional_metrics.h"
+#include "metrics/fairness_metric.h"
 
 namespace fairlaw {
 

@@ -6,6 +6,7 @@
 
 #include "base/result.h"
 #include "core/suite.h"
+#include "metrics/fairness_metric.h"
 
 namespace fairlaw {
 

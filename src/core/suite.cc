@@ -1,6 +1,7 @@
 #include "core/suite.h"
 
 #include "base/string_util.h"
+#include "metrics/fairness_metric.h"
 
 namespace fairlaw {
 

@@ -8,8 +8,8 @@
 #include <vector>
 
 #include "base/result.h"
-#include "data/column.h"
-#include "data/schema.h"
+#include "data/column.h"  // IWYU pragma: export
+#include "data/schema.h"  // IWYU pragma: export
 
 namespace fairlaw::data {
 

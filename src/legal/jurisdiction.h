@@ -4,7 +4,6 @@
 #include <string>
 #include <vector>
 
-#include "base/result.h"
 #include "legal/doctrine.h"
 
 namespace fairlaw::legal {

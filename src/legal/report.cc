@@ -1,6 +1,5 @@
 #include "legal/report.h"
 
-#include "base/string_util.h"
 #include "legal/jurisdiction.h"
 
 namespace fairlaw::legal {

@@ -3,14 +3,27 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
-#include "audit/auditor.h"
 #include "base/result.h"
 #include "legal/checklist.h"
 #include "legal/doctrine.h"
 #include "legal/four_fifths.h"
+#include "metrics/conditional_metrics.h"
+#include "metrics/fairness_metric.h"
 
 namespace fairlaw::legal {
+
+/// Metric-level findings the report maps onto doctrine. The legal layer
+/// deliberately takes these rather than the audit orchestrator's result
+/// type: doctrine talks about fairness definitions, not about how the
+/// audit pipeline produced them. audit::AuditResult::ToLegalFindings()
+/// converts.
+struct AuditFindings {
+  std::vector<metrics::MetricReport> reports;
+  std::vector<metrics::ConditionalReport> conditional_reports;
+  bool all_satisfied = true;
+};
 
 /// Inputs for a compliance report.
 struct ComplianceReportInputs {
@@ -21,7 +34,7 @@ struct ComplianceReportInputs {
   std::string protected_attribute;
   /// Protected sector of the use case ("employment", "credit", ...).
   std::string sector;
-  audit::AuditResult audit;
+  AuditFindings audit;
   std::optional<FourFifthsResult> four_fifths;
   std::optional<ChecklistReport> checklist;
 };

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <map>
 
-#include "ml/calibration.h"
+#include "stats/calibration.h"
 
 namespace fairlaw::metrics {
 
@@ -41,7 +41,8 @@ Result<CalibrationReport> CalibrationWithinGroups(
     gc.count = rows.size();
     FAIRLAW_ASSIGN_OR_RETURN(
         gc.ece,
-        ml::ExpectedCalibrationError(group_labels, group_scores, num_bins));
+        stats::ExpectedCalibrationError(group_labels, group_scores,
+                                        num_bins));
     double score_sum = 0.0;
     double positives = 0.0;
     for (size_t k = 0; k < rows.size(); ++k) {

@@ -7,11 +7,13 @@ namespace fairlaw::metrics {
 Result<CounterfactualFairnessReport> AuditCounterfactualFairness(
     const causal::Scm& scm, const causal::ScmSample& sample,
     const std::string& protected_node, double value_a, double value_b,
-    const ml::Classifier& model,
-    const std::vector<std::string>& feature_nodes, double threshold,
-    double tolerance) {
+    const HardPredictor& predict,
+    const std::vector<std::string>& feature_nodes, double tolerance) {
   if (tolerance < 0.0) {
     return Status::Invalid("counterfactual fairness: tolerance must be >= 0");
+  }
+  if (!predict) {
+    return Status::Invalid("counterfactual fairness: empty predictor");
   }
   if (feature_nodes.empty()) {
     return Status::Invalid("counterfactual fairness: no feature nodes");
@@ -51,14 +53,14 @@ Result<CounterfactualFairnessReport> AuditCounterfactualFairness(
     for (size_t j = 0; j < feature_indices.size(); ++j) {
       features[j] = world_a[feature_indices[j]];
     }
-    FAIRLAW_ASSIGN_OR_RETURN(int pred_a, model.Predict(features, threshold));
+    FAIRLAW_ASSIGN_OR_RETURN(int pred_a, predict(features));
 
     FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> world_b,
                              scm.Counterfactual(row, do_b));
     for (size_t j = 0; j < feature_indices.size(); ++j) {
       features[j] = world_b[feature_indices[j]];
     }
-    FAIRLAW_ASSIGN_OR_RETURN(int pred_b, model.Predict(features, threshold));
+    FAIRLAW_ASSIGN_OR_RETURN(int pred_b, predict(features));
 
     positives_a += pred_a;
     positives_b += pred_b;

@@ -1,14 +1,26 @@
 #ifndef FAIRLAW_METRICS_COUNTERFACTUAL_FAIRNESS_H_
 #define FAIRLAW_METRICS_COUNTERFACTUAL_FAIRNESS_H_
 
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "base/result.h"
 #include "causal/scm.h"
-#include "ml/classifier.h"
 
 namespace fairlaw::metrics {
+
+/// Hard binary decision for one feature vector. The audit is agnostic to
+/// where the decision comes from — an ml::Classifier, a scored rule, a
+/// remote model — so it takes this functional instead of depending on the
+/// ml layer. Wrap a classifier as:
+///
+///   HardPredictor predictor = [&model](std::span<const double> x) {
+///     return model.Predict(x, /*threshold=*/0.5);
+///   };
+using HardPredictor =
+    std::function<Result<int>(std::span<const double> features)>;
 
 /// Result of a counterfactual-fairness audit (§III-G).
 struct CounterfactualFairnessReport {
@@ -23,16 +35,16 @@ struct CounterfactualFairnessReport {
   std::string detail;
 };
 
-/// Audits counterfactual fairness of `model` over the individuals in
+/// Audits counterfactual fairness of `predict` over the individuals in
 /// `sample` drawn from `scm`.
 ///
 /// For each individual, the exogenous noise is abducted from the observed
 /// row; the world is then re-simulated under do(protected = value_a) and
 /// do(protected = value_b) with that same noise, the model's feature
 /// vector rebuilt from `feature_nodes` in both worlds, and the two hard
-/// predictions (at `threshold`) compared. The definition is satisfied
-/// when the fraction of individuals whose prediction flips is <=
-/// `tolerance` (0 is the paper's strict reading).
+/// predictions compared. The definition is satisfied when the fraction of
+/// individuals whose prediction flips is <= `tolerance` (0 is the paper's
+/// strict reading).
 ///
 /// Note feature_nodes may deliberately exclude the protected node — that
 /// is the "unawareness" configuration, and this audit is exactly the tool
@@ -41,9 +53,8 @@ struct CounterfactualFairnessReport {
 Result<CounterfactualFairnessReport> AuditCounterfactualFairness(
     const causal::Scm& scm, const causal::ScmSample& sample,
     const std::string& protected_node, double value_a, double value_b,
-    const ml::Classifier& model,
-    const std::vector<std::string>& feature_nodes, double threshold = 0.5,
-    double tolerance = 0.0);
+    const HardPredictor& predict,
+    const std::vector<std::string>& feature_nodes, double tolerance = 0.0);
 
 }  // namespace fairlaw::metrics
 

@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "base/result.h"
+#include "base/result.h"  // IWYU pragma: export
 
 namespace fairlaw::metrics {
 

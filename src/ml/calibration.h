@@ -1,38 +1,19 @@
 #ifndef FAIRLAW_ML_CALIBRATION_H_
 #define FAIRLAW_ML_CALIBRATION_H_
 
-#include <span>
-#include <vector>
-
-#include "base/result.h"
+#include "stats/calibration.h"  // IWYU pragma: export
 
 namespace fairlaw::ml {
 
-/// One bin of a reliability diagram.
-struct ReliabilityBin {
-  double lower = 0.0;        // score bin [lower, upper)
-  double upper = 0.0;
-  size_t count = 0;          // examples whose score fell in the bin
-  double mean_score = 0.0;   // average predicted probability
-  double positive_rate = 0.0;  // empirical P(y=1) in the bin
-};
-
-/// Bins predictions into `num_bins` equal-width score bins over [0,1] and
-/// computes the empirical positive rate per bin. Scores outside [0,1] are
-/// an error.
-Result<std::vector<ReliabilityBin>> ReliabilityDiagram(
-    std::span<const int> labels, std::span<const double> scores,
-    size_t num_bins = 10);
-
-/// Expected calibration error: sum over bins of
-/// (bin count / n) * |mean_score - positive_rate|.
-Result<double> ExpectedCalibrationError(std::span<const int> labels,
-                                        std::span<const double> scores,
-                                        size_t num_bins = 10);
-
-/// Brier score: mean squared error of probabilistic predictions.
-Result<double> BrierScore(std::span<const int> labels,
-                          std::span<const double> scores);
+/// Calibration diagnostics are descriptive statistics over (label, score)
+/// pairs, so the implementation lives in stats/ where both the metrics
+/// layer and the ml layer may reach it without an upward dependency.
+/// These aliases keep the historical ml:: spellings working for model
+/// evaluation code.
+using stats::BrierScore;
+using stats::ExpectedCalibrationError;
+using stats::ReliabilityBin;
+using stats::ReliabilityDiagram;
 
 }  // namespace fairlaw::ml
 

@@ -5,8 +5,8 @@
 #include <string>
 #include <vector>
 
-#include "base/result.h"
-#include "ml/dataset.h"
+#include "base/result.h"  // IWYU pragma: export
+#include "ml/dataset.h"  // IWYU pragma: export
 
 namespace fairlaw::ml {
 

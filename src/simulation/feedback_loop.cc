@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
-#include "metrics/group_metrics.h"
+#include "data/column.h"
 #include "mitigation/reweighing.h"
 #include "mitigation/threshold_optimizer.h"
+#include "ml/dataset.h"
 #include "ml/logistic_regression.h"
 #include "simulation/scenarios.h"
 #include "stats/empirical.h"

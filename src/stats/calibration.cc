@@ -1,9 +1,9 @@
-#include "ml/calibration.h"
+#include "stats/calibration.h"
 
 #include <algorithm>
 #include <cmath>
 
-namespace fairlaw::ml {
+namespace fairlaw::stats {
 namespace {
 
 Status CheckInputs(std::span<const int> labels,
@@ -84,4 +84,4 @@ Result<double> BrierScore(std::span<const int> labels,
   return total / static_cast<double>(labels.size());
 }
 
-}  // namespace fairlaw::ml
+}  // namespace fairlaw::stats

@@ -4,7 +4,6 @@
 #include "audit/auditor.h"
 #include "audit/proxy.h"
 #include "causal/graph_analysis.h"
-#include "ml/logistic_regression.h"
 #include "simulation/scenarios.h"
 
 namespace fairlaw {

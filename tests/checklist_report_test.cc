@@ -140,7 +140,7 @@ TEST(ComplianceReportTest, FullRender) {
   inputs.jurisdiction = Jurisdiction::kUs;
   inputs.protected_attribute = "sex";
   inputs.sector = "employment";
-  inputs.audit = audit::RunAudit(table, config).ValueOrDie();
+  inputs.audit = audit::RunAudit(table, config).ValueOrDie().ToLegalFindings();
   inputs.four_fifths =
       FourFifthsTest(audit::MetricInputFromTable(table, "sex", "pred", "")
                          .ValueOrDie())

@@ -40,14 +40,21 @@ ml::LogisticRegression EducationModel() {
   return model;
 }
 
+/// Adapts a classifier to the ml-agnostic HardPredictor the audit takes.
+HardPredictor Predictor(const ml::Classifier& model) {
+  return [&model](std::span<const double> x) {
+    return model.Predict(x, /*threshold=*/0.5);
+  };
+}
+
 TEST(CounterfactualFairnessTest, FairWhenProtectedHasNoEffect) {
   Scm scm = MakeModel(/*gender_effect=*/0.0);
   Rng rng(3);
   ScmSample sample = scm.Sample(500, &rng).ValueOrDie();
   ml::LogisticRegression model = EducationModel();
   CounterfactualFairnessReport report =
-      AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0, model,
-                                  {"education"})
+      AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0,
+                                  Predictor(model), {"education"})
           .ValueOrDie();
   EXPECT_EQ(report.flipped, 0u);
   EXPECT_TRUE(report.satisfied);
@@ -63,8 +70,8 @@ TEST(CounterfactualFairnessTest, UnfairUnderProxyEvenWithoutGenderFeature) {
   ScmSample sample = scm.Sample(500, &rng).ValueOrDie();
   ml::LogisticRegression model = EducationModel();
   CounterfactualFairnessReport report =
-      AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0, model,
-                                  {"education"})
+      AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0,
+                                  Predictor(model), {"education"})
           .ValueOrDie();
   EXPECT_FALSE(report.satisfied);
   EXPECT_GT(report.flip_rate, 0.3);
@@ -78,12 +85,14 @@ TEST(CounterfactualFairnessTest, ToleranceSemantics) {
   ScmSample sample = scm.Sample(500, &rng).ValueOrDie();
   ml::LogisticRegression model = EducationModel();
   CounterfactualFairnessReport strict =
-      AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0, model,
-                                  {"education"}, 0.5, /*tolerance=*/0.0)
+      AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0,
+                                  Predictor(model), {"education"},
+                                  /*tolerance=*/0.0)
           .ValueOrDie();
   CounterfactualFairnessReport lenient =
-      AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0, model,
-                                  {"education"}, 0.5, /*tolerance=*/1.0)
+      AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0,
+                                  Predictor(model), {"education"},
+                                  /*tolerance=*/1.0)
           .ValueOrDie();
   EXPECT_FALSE(strict.satisfied);
   EXPECT_TRUE(lenient.satisfied);
@@ -96,16 +105,18 @@ TEST(CounterfactualFairnessTest, Validation) {
   ScmSample sample = scm.Sample(10, &rng).ValueOrDie();
   ml::LogisticRegression model = EducationModel();
   EXPECT_FALSE(AuditCounterfactualFairness(scm, sample, "nope", 0.0, 1.0,
-                                           model, {"education"})
+                                           Predictor(model), {"education"})
                    .ok());
   EXPECT_FALSE(AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0,
-                                           model, {})
+                                           Predictor(model), {})
                    .ok());
   EXPECT_FALSE(AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0,
-                                           model, {"education"}, 0.5, -1.0)
+                                           Predictor(model), {"education"},
+                                           -1.0)
                    .ok());
   EXPECT_FALSE(AuditCounterfactualFairness(scm, sample, "gender", 0.0, 1.0,
-                                           model, {"unknown_node"})
+                                           Predictor(model),
+                                           {"unknown_node"})
                    .ok());
 }
 

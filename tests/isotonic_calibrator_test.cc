@@ -2,7 +2,6 @@
 #include <gtest/gtest.h>
 
 #include "metrics/calibration_metric.h"
-#include "ml/calibration.h"
 #include "ml/isotonic.h"
 #include "mitigation/group_calibrator.h"
 #include "stats/rng.h"

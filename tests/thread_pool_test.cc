@@ -1,0 +1,110 @@
+// base/thread_pool.h: scheduling, exception propagation, and shutdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "base/thread_pool.h"
+
+namespace fairlaw {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { ++hits[i]; });
+  for (const std::atomic<int>& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, ResultIsIndependentOfThreadCount) {
+  // The same reduction, computed at several pool widths, must agree:
+  // per-index slots make the aggregation order-independent.
+  std::vector<long long> expected_slots(500);
+  for (size_t i = 0; i < expected_slots.size(); ++i) {
+    expected_slots[i] = static_cast<long long>(i * i);
+  }
+  const long long expected = std::accumulate(expected_slots.begin(),
+                                             expected_slots.end(), 0LL);
+  for (const size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<long long> slots(expected_slots.size(), 0);
+    pool.ParallelFor(slots.size(), [&slots](size_t i) {
+      slots[i] = static_cast<long long>(i * i);
+    });
+    EXPECT_EQ(std::accumulate(slots.begin(), slots.end(), 0LL), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.Submit([] { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(64, [](size_t i) {
+      if (i == 7 || i == 31) {
+        throw std::runtime_error("failed at " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "failed at 7");
+  }
+}
+
+TEST(ThreadPoolTest, PoolKeepsWorkingAfterAnException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.Submit([] { throw std::runtime_error("boom"); }).get(),
+               std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, [&counter](size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingQueue) {
+  // Queue far more jobs than workers, then destroy the pool immediately:
+  // shutdown must finish the backlog, not drop it.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 200; ++i) {
+      (void)pool.Submit([&counter] { ++counter; });
+    }
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&ran](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace fairlaw

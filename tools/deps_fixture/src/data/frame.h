@@ -1,0 +1,18 @@
+// Fixture violations: data (rank 2) includes ml (rank 4) — layering —
+// and includes stats/alpha.h without using anything from it —
+// unused-include.
+#ifndef FAIRLAW_DATA_FRAME_H_
+#define FAIRLAW_DATA_FRAME_H_
+
+#include "ml/model.h"
+#include "stats/alpha.h"
+
+namespace fairlaw::data {
+
+struct Frame {
+  ml::Model model;
+};
+
+}  // namespace fairlaw::data
+
+#endif  // FAIRLAW_DATA_FRAME_H_

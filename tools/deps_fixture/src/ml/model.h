@@ -1,0 +1,13 @@
+// Rank-4 header the fixture's data/ module illegally reaches up to.
+#ifndef FAIRLAW_ML_MODEL_H_
+#define FAIRLAW_ML_MODEL_H_
+
+namespace fairlaw::ml {
+
+struct Model {
+  int Predict() { return 0; }
+};
+
+}  // namespace fairlaw::ml
+
+#endif  // FAIRLAW_ML_MODEL_H_

@@ -1,0 +1,16 @@
+// Deliberately broken fixture for the fairlaw_deps self-test: alpha and
+// beta include each other (include-cycle rule).
+#ifndef FAIRLAW_STATS_ALPHA_H_
+#define FAIRLAW_STATS_ALPHA_H_
+
+#include "stats/beta.h"
+
+namespace fairlaw::stats {
+
+struct Alpha {
+  Beta* beta = nullptr;
+};
+
+}  // namespace fairlaw::stats
+
+#endif  // FAIRLAW_STATS_ALPHA_H_

@@ -1,0 +1,15 @@
+// Second half of the include cycle with stats/alpha.h.
+#ifndef FAIRLAW_STATS_BETA_H_
+#define FAIRLAW_STATS_BETA_H_
+
+#include "stats/alpha.h"
+
+namespace fairlaw::stats {
+
+struct Beta {
+  Alpha* alpha = nullptr;
+};
+
+}  // namespace fairlaw::stats
+
+#endif  // FAIRLAW_STATS_BETA_H_

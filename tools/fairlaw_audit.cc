@@ -8,6 +8,7 @@
 // Reads a CSV, runs the configured fairness suite, and prints either the
 // human-readable report or (with --json) the machine-readable artifact.
 // Exit codes: 0 = all clear, 2 = violations found, 1 = error.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -33,7 +34,7 @@ void PrintUsage() {
       "usage: fairlaw_audit <csv> --protected=COL --pred=COL\n"
       "       [--label=COL] [--score=COL] [--strata=COL[,COL...]]\n"
       "       [--proxies=COL[,COL...]] [--subgroups=COL[,COL...]]\n"
-      "       [--tolerance=F] [--di-threshold=F] [--json]\n"
+      "       [--tolerance=F] [--di-threshold=F] [--threads=N] [--json]\n"
       "\n"
       "Audits the decisions in <csv> for the fairness definitions of\n"
       "'Fairness in AI: bridging algorithms and law' (ICDE 2024 wksp).\n"
@@ -90,6 +91,16 @@ fairlaw::Result<CliOptions> Parse(int argc, char** argv) {
         return fairlaw::Status::Invalid(
             "--di-threshold must lie in (0,1], got " + std::string(v));
       }
+    } else if ((v = value_of(arg, "--threads"))) {
+      // The audit output is identical for every thread count; N > 1 only
+      // changes how the metric evaluations are scheduled. 0 = one worker
+      // per hardware thread.
+      FAIRLAW_ASSIGN_OR_RETURN(int64_t threads, fairlaw::ParseInt64(v));
+      if (threads < 0 || threads > 512) {
+        return fairlaw::Status::Invalid(
+            "--threads must lie in [0,512], got " + std::string(v));
+      }
+      options.suite.audit.num_threads = static_cast<size_t>(threads);
     } else if (arg[0] == '-') {
       return fairlaw::Status::Invalid(std::string("unknown flag: ") + arg);
     } else if (options.csv_path.empty()) {

@@ -1,0 +1,882 @@
+// fairlaw_deps — layering / include-graph static analysis pass.
+//
+//   fairlaw_deps [--root=DIR] [--json=PATH] [--dot=PATH] [--verbose]
+//
+// Second analysis pass next to fairlaw_lint: where lint checks local,
+// per-file invariants, deps checks the architecture. It parses every
+// #include in src/, tools/, tests/, bench/, and examples/, builds the
+// file- and module-level dependency graphs, and enforces the declared
+// layering DAG:
+//
+//   rank 0  base                          (no dependencies)
+//   rank 1  stats
+//   rank 2  data
+//   rank 3  metrics, legal, causal
+//   rank 4  audit, mitigation, ml, simulation
+//   rank 5  core                          (API aggregation: registry,
+//                                          suite, umbrella header)
+//   rank 6  tools, tests, bench, examples
+//
+// A file may include headers of its own module, of a lower-ranked
+// module, or of a same-ranked module (same-rank edges are legal as long
+// as the module graph stays acyclic — e.g. mitigation -> ml). `core` is
+// the aggregation layer: it may depend on everything below rank 6, and
+// nothing inside src/ may depend on it. Checks:
+//
+//   1. layering            include whose target module ranks strictly
+//                          higher than the including module.
+//   2. include-cycle       cycle in the file-level include graph.
+//   3. module-cycle        cycle in the module-level graph (catches
+//                          A -> B and B -> A through different files,
+//                          which no single file-level cycle shows).
+//   4. unused-include      IWYU-lite: a project header is included but
+//                          none of the identifiers it provides appear in
+//                          the including file. `// IWYU pragma: keep`
+//                          suppresses; `// IWYU pragma: export` marks a
+//                          deliberate re-export (umbrella headers).
+//   5. transitive-include  IWYU-lite: a src/ file uses an identifier
+//                          that only a transitively included header
+//                          provides; the include should be direct.
+//
+// --json / --dot write the module graph (nodes with ranks, edges with
+// include counts, every file-level edge) for review artifacts; the ctest
+// registration emits them into the build directory on every run so
+// architecture drift is visible per PR.
+//
+// Exit codes match fairlaw_lint: 0 = clean, 1 = violations (one per line
+// as file:line: rule: msg), 2 = usage or I/O error. Directories named
+// *_fixture are skipped: they hold deliberate violations for the
+// negative self-tests.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ModuleSpec {
+  const char* name;
+  int rank;
+};
+
+// The declared layering DAG. Keep in sync with the "Layering" section of
+// DESIGN.md; adding a src/ module without declaring it here is itself a
+// violation (unknown-module).
+constexpr ModuleSpec kModules[] = {
+    {"base", 0},       {"stats", 1},      {"data", 2},
+    {"metrics", 3},    {"legal", 3},      {"causal", 3},
+    {"audit", 4},      {"mitigation", 4}, {"ml", 4},
+    {"simulation", 4}, {"core", 5},       {"tools", 6},
+    {"tests", 6},      {"bench", 6},      {"examples", 6},
+};
+
+int RankOf(const std::string& module) {
+  for (const ModuleSpec& spec : kModules) {
+    if (module == spec.name) return spec.rank;
+  }
+  return -1;
+}
+
+struct IncludeEdge {
+  std::string target;  // repo-relative path of the included project file
+  size_t line = 0;
+  bool pragma_keep = false;    // `// IWYU pragma: keep`
+  bool pragma_export = false;  // `// IWYU pragma: export`
+};
+
+struct FileInfo {
+  std::string rel;     // repo-relative path, generic separators
+  std::string module;  // "base", ..., "tools"
+  bool is_header = false;
+  std::vector<IncludeEdge> includes;  // project includes only
+  /// Lenient provision set (declared names + call-heads + constants);
+  /// drives the unused-include check, where over-inclusion only makes the
+  /// check quieter.
+  std::set<std::string> provided;
+  /// Strict provision set: names actually declared here (class / struct /
+  /// enum / union / using / #define). Drives the transitive-include
+  /// check, where over-inclusion would mean false positives.
+  std::set<std::string> declared;
+  std::set<std::string> used_tokens;  // identifiers the file references
+};
+
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Blanks comment bodies and string/char literal contents, preserving
+/// newlines so byte offsets still map to the right line. Include-pragma
+/// comments are read from the raw text before this runs.
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+size_t LineOfOffset(std::string_view text, size_t offset) {
+  size_t line = 1;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "alignas",   "alignof",  "auto",     "bool",      "break",
+      "case",      "catch",    "char",     "class",     "const",
+      "consteval", "constexpr", "continue", "decltype",  "default",
+      "delete",    "do",       "double",   "else",      "enum",
+      "explicit",  "export",   "extern",   "false",     "final",
+      "float",     "for",      "friend",   "goto",      "if",
+      "inline",    "int",      "long",     "mutable",   "namespace",
+      "new",       "noexcept", "nullptr",  "operator",  "override",
+      "private",   "protected", "public",  "requires",  "return",
+      "short",     "signed",   "sizeof",   "static",    "struct",
+      "switch",    "template", "this",     "throw",     "true",
+      "try",       "typedef",  "typename", "union",     "unsigned",
+      "using",     "virtual",  "void",     "volatile",  "while",
+  };
+  return kKeywords;
+}
+
+/// Splits stripped text into identifier tokens with their offsets.
+std::vector<std::pair<std::string, size_t>> Tokenize(
+    const std::string& stripped) {
+  std::vector<std::pair<std::string, size_t>> tokens;
+  for (size_t i = 0; i < stripped.size();) {
+    if (IsIdentStart(stripped[i])) {
+      size_t begin = i;
+      while (i < stripped.size() && IsIdentChar(stripped[i])) ++i;
+      tokens.emplace_back(stripped.substr(begin, i - begin), begin);
+    } else {
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+char NextCodeChar(const std::string& text, size_t from) {
+  for (size_t i = from; i < text.size(); ++i) {
+    if (!std::isspace(static_cast<unsigned char>(text[i]))) return text[i];
+  }
+  return '\0';
+}
+
+/// Heuristic identifier-provision scan for a header. `declared` gets the
+/// names this header introduces (class/struct/enum/union, using-aliases,
+/// #define); `provided` additionally gets every call/declaration head
+/// (identifier followed by '(') and constant-style names (kCamel /
+/// ALL_CAPS). The lenient set keeps unused-include conservative; the
+/// strict set keeps transitive-include precise.
+void ExtractProvided(const std::string& stripped,
+                     std::set<std::string>* provided,
+                     std::set<std::string>* declared) {
+  const std::vector<std::pair<std::string, size_t>> tokens =
+      Tokenize(stripped);
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    const std::string& tok = tokens[t].first;
+    const size_t end = tokens[t].second + tok.size();
+    const char next = NextCodeChar(stripped, end);
+
+    if (tok == "class" || tok == "struct" || tok == "enum" ||
+        tok == "union") {
+      // The declared name is the first following identifier that is not a
+      // macro invocation (an attribute macro like FAIRLAW_CAPABILITY(..)).
+      for (size_t j = t + 1; j < tokens.size() && j < t + 5; ++j) {
+        const std::string& cand = tokens[j].first;
+        if (cand == "class" || Keywords().count(cand) > 0) continue;
+        const char after =
+            NextCodeChar(stripped, tokens[j].second + cand.size());
+        if (after == '(') continue;  // attribute macro, skip it
+        provided->insert(cand);
+        declared->insert(cand);
+        break;
+      }
+      continue;
+    }
+    if (tok == "using") {
+      // `using X = ...;`, `using ns::X;`; skip `using namespace ...;`.
+      if (t + 1 < tokens.size() && tokens[t + 1].first == "namespace") {
+        continue;
+      }
+      std::string last;
+      for (size_t j = t + 1; j < tokens.size(); ++j) {
+        const std::string& cand = tokens[j].first;
+        const char after =
+            NextCodeChar(stripped, tokens[j].second + cand.size());
+        last = cand;
+        if (after == '=' || after == ';') break;
+      }
+      if (!last.empty()) {
+        provided->insert(last);
+        declared->insert(last);
+      }
+      continue;
+    }
+    if (Keywords().count(tok) > 0) continue;
+    if (next == '(') {
+      provided->insert(tok);
+      continue;
+    }
+    // Constant-style names.
+    if (tok.size() >= 2 && tok[0] == 'k' &&
+        std::isupper(static_cast<unsigned char>(tok[1]))) {
+      provided->insert(tok);
+      continue;
+    }
+    bool all_caps = tok.size() >= 2;
+    for (const char c : tok) {
+      if (std::islower(static_cast<unsigned char>(c))) {
+        all_caps = false;
+        break;
+      }
+    }
+    if (all_caps) provided->insert(tok);
+  }
+  // #define NAME — scan directive lines (include guards excluded).
+  size_t pos = 0;
+  while ((pos = stripped.find("#define", pos)) != std::string::npos) {
+    size_t i = pos + 7;
+    while (i < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[i])) &&
+           stripped[i] != '\n') {
+      ++i;
+    }
+    size_t begin = i;
+    while (i < stripped.size() && IsIdentChar(stripped[i])) ++i;
+    std::string name = stripped.substr(begin, i - begin);
+    if (!name.empty() && name.rfind("_H_") != name.size() - 3) {
+      provided->insert(name);
+      declared->insert(name);
+    }
+    pos = i;
+  }
+}
+
+/// Identifier tokens a file references, excluding #include directive
+/// lines (their contents are paths, not code).
+std::set<std::string> ExtractUsedTokens(const std::string& stripped) {
+  std::set<std::string> used;
+  std::istringstream lines(stripped);
+  std::string line;
+  while (std::getline(lines, line)) {
+    size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos &&
+        line.compare(first, 8, "#include") == 0) {
+      continue;
+    }
+    for (size_t i = 0; i < line.size();) {
+      if (IsIdentStart(line[i])) {
+        size_t begin = i;
+        while (i < line.size() && IsIdentChar(line[i])) ++i;
+        used.insert(line.substr(begin, i - begin));
+      } else {
+        ++i;
+      }
+    }
+  }
+  return used;
+}
+
+class DepsAnalyzer {
+ public:
+  explicit DepsAnalyzer(fs::path root) : root_(std::move(root)) {}
+
+  bool Scan() {
+    bool found_any = false;
+    for (const char* top : {"src", "tools", "tests", "bench", "examples"}) {
+      const fs::path dir = root_ / top;
+      if (!fs::is_directory(dir)) continue;
+      found_any = true;
+      for (fs::recursive_directory_iterator it(dir), end; it != end; ++it) {
+        if (it->is_directory() &&
+            it->path().filename().string().ends_with("_fixture")) {
+          it.disable_recursion_pending();  // deliberate-violation trees
+          continue;
+        }
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+        LoadFile(it->path());
+      }
+    }
+    if (!found_any) {
+      std::fprintf(stderr, "fairlaw_deps: no src/tools/tests under '%s'\n",
+                   root_.string().c_str());
+      return false;
+    }
+    return true;
+  }
+
+  void Analyze() {
+    CheckLayeringAndBuildGraphs();
+    CheckFileCycles();
+    CheckModuleCycles();
+    CheckUnusedIncludes();
+    CheckTransitiveUse();
+    std::sort(violations_.begin(), violations_.end(),
+              [](const Violation& a, const Violation& b) {
+                return std::tie(a.file, a.line, a.rule) <
+                       std::tie(b.file, b.line, b.rule);
+              });
+  }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  std::string GraphJson() const;
+  std::string GraphDot() const;
+
+ private:
+  void LoadFile(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string raw = buffer.str();
+
+    FileInfo info;
+    std::error_code ec;
+    info.rel = fs::relative(path, root_, ec).generic_string();
+    if (ec) info.rel = path.generic_string();
+    info.module = ModuleOf(info.rel);
+    info.is_header = path.extension() == ".h";
+
+    const std::string stripped = StripCommentsAndStrings(raw);
+    ParseIncludes(raw, &info);
+    if (info.is_header) {
+      ExtractProvided(stripped, &info.provided, &info.declared);
+    }
+    info.used_tokens = ExtractUsedTokens(stripped);
+    files_.emplace(info.rel, std::move(info));
+  }
+
+  std::string ModuleOf(const std::string& rel) const {
+    if (rel.rfind("src/", 0) == 0) {
+      const size_t slash = rel.find('/', 4);
+      if (slash != std::string::npos) return rel.substr(4, slash - 4);
+      return "src";  // stray file directly under src/
+    }
+    const size_t slash = rel.find('/');
+    return slash == std::string::npos ? rel : rel.substr(0, slash);
+  }
+
+  /// Parses `#include "..."` directives from the raw text (pragmas live
+  /// in trailing comments, so this runs pre-strip) and resolves them
+  /// against the include roots: src/ for library headers, the repo root
+  /// for anything else.
+  void ParseIncludes(const std::string& raw, FileInfo* info) {
+    size_t pos = 0;
+    while ((pos = raw.find("#include", pos)) != std::string::npos) {
+      const size_t line_end_off = raw.find('\n', pos);
+      const std::string line =
+          raw.substr(pos, (line_end_off == std::string::npos
+                               ? raw.size()
+                               : line_end_off) -
+                              pos);
+      const size_t line_no = LineOfOffset(raw, pos);
+      pos += 8;
+      const size_t open = line.find('"');
+      if (open == std::string::npos) continue;  // <system> include
+      const size_t close = line.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      const std::string target = line.substr(open + 1, close - open - 1);
+
+      IncludeEdge edge;
+      edge.line = line_no;
+      edge.pragma_keep = line.find("IWYU pragma: keep") != std::string::npos;
+      edge.pragma_export =
+          line.find("IWYU pragma: export") != std::string::npos;
+      if (fs::is_regular_file(root_ / "src" / target)) {
+        edge.target = "src/" + target;
+      } else if (fs::is_regular_file(root_ / target)) {
+        edge.target = target;
+      } else {
+        continue;  // unresolvable (generated or external); not ours to judge
+      }
+      info->includes.push_back(std::move(edge));
+    }
+  }
+
+  void Report(std::string file, size_t line, std::string rule,
+              std::string message) {
+    violations_.push_back(Violation{std::move(file), line, std::move(rule),
+                                    std::move(message)});
+  }
+
+  /// Check 1 (+ unknown modules) and the module-level edge map.
+  void CheckLayeringAndBuildGraphs() {
+    for (const auto& [rel, info] : files_) {
+      const int rank = RankOf(info.module);
+      if (rank < 0) {
+        Report(rel, 1, "unknown-module",
+               "module '" + info.module +
+                   "' is not declared in the layering DAG; add it to "
+                   "kModules in tools/fairlaw_deps.cc and to DESIGN.md");
+        continue;
+      }
+      for (const IncludeEdge& edge : info.includes) {
+        const auto it = files_.find(edge.target);
+        if (it == files_.end()) continue;
+        const std::string& target_module = it->second.module;
+        if (target_module != info.module) {
+          module_edges_[{info.module, target_module}] += 1;
+        }
+        const int target_rank = RankOf(target_module);
+        if (target_rank < 0) continue;  // reported above for that file
+        if (target_rank > rank) {
+          Report(rel, edge.line, "layering",
+                 "module '" + info.module + "' (rank " +
+                     std::to_string(rank) + ") must not include '" +
+                     edge.target + "' from higher-ranked module '" +
+                     target_module + "' (rank " +
+                     std::to_string(target_rank) +
+                     "); see the layering DAG in DESIGN.md");
+        }
+      }
+    }
+  }
+
+  /// Check 2: DFS over the file-level include graph.
+  void CheckFileCycles() {
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::string> stack;
+    for (const auto& [rel, info] : files_) {
+      if (color[rel] == 0) DfsFile(rel, &color, &stack);
+    }
+  }
+
+  void DfsFile(const std::string& rel, std::map<std::string, int>* color,
+               std::vector<std::string>* stack) {
+    (*color)[rel] = 1;
+    stack->push_back(rel);
+    const auto it = files_.find(rel);
+    if (it != files_.end()) {
+      for (const IncludeEdge& edge : it->second.includes) {
+        if (files_.find(edge.target) == files_.end()) continue;
+        const int c = (*color)[edge.target];
+        if (c == 0) {
+          DfsFile(edge.target, color, stack);
+        } else if (c == 1) {
+          std::string chain;
+          const auto begin =
+              std::find(stack->begin(), stack->end(), edge.target);
+          for (auto s = begin; s != stack->end(); ++s) chain += *s + " -> ";
+          chain += edge.target;
+          Report(rel, edge.line, "include-cycle",
+                 "include cycle: " + chain);
+        }
+      }
+    }
+    stack->pop_back();
+    (*color)[rel] = 2;
+  }
+
+  /// Check 3: cycles in the module graph (self-edges excluded). Upward
+  /// edges are already layering violations, so any cycle found here runs
+  /// through same-rank modules.
+  void CheckModuleCycles() {
+    std::map<std::string, std::set<std::string>> adjacency;
+    for (const auto& [edge, count] : module_edges_) {
+      adjacency[edge.first].insert(edge.second);
+    }
+    std::map<std::string, int> color;
+    std::vector<std::string> stack;
+    for (const auto& [module, targets] : adjacency) {
+      if (color[module] == 0) DfsModule(module, adjacency, &color, &stack);
+    }
+  }
+
+  void DfsModule(const std::string& module,
+                 const std::map<std::string, std::set<std::string>>& adj,
+                 std::map<std::string, int>* color,
+                 std::vector<std::string>* stack) {
+    (*color)[module] = 1;
+    stack->push_back(module);
+    const auto it = adj.find(module);
+    if (it != adj.end()) {
+      for (const std::string& next : it->second) {
+        const int c = (*color)[next];
+        if (c == 0) {
+          DfsModule(next, adj, color, stack);
+        } else if (c == 1) {
+          std::string chain;
+          const auto begin = std::find(stack->begin(), stack->end(), next);
+          for (auto s = begin; s != stack->end(); ++s) chain += *s + " -> ";
+          chain += next;
+          Report("(module graph)", 0, "module-cycle",
+                 "module cycle: " + chain);
+        }
+      }
+    }
+    stack->pop_back();
+    (*color)[module] = 2;
+  }
+
+  /// Identifiers a header makes visible to its includers: its own plus,
+  /// recursively, those of headers it re-exports via IWYU pragma.
+  const std::set<std::string>& ProvidesClosure(const std::string& rel) {
+    auto cached = provides_closure_.find(rel);
+    if (cached != provides_closure_.end()) return cached->second;
+    // Seed the cache first so re-export cycles terminate.
+    std::set<std::string>& result = provides_closure_[rel];
+    const auto it = files_.find(rel);
+    if (it == files_.end()) return result;
+    result = it->second.provided;
+    for (const IncludeEdge& edge : it->second.includes) {
+      if (!edge.pragma_export) continue;
+      const std::set<std::string>& nested = ProvidesClosure(edge.target);
+      result.insert(nested.begin(), nested.end());
+    }
+    return provides_closure_[rel];
+  }
+
+  static bool IsOwnHeader(const FileInfo& file, const std::string& target) {
+    if (file.is_header) return false;
+    const size_t dot = file.rel.rfind('.');
+    return dot != std::string::npos &&
+           target == file.rel.substr(0, dot) + ".h";
+  }
+
+  /// Check 4: every non-exempt include must contribute at least one
+  /// referenced identifier.
+  void CheckUnusedIncludes() {
+    for (const auto& [rel, info] : files_) {
+      for (const IncludeEdge& edge : info.includes) {
+        if (edge.pragma_keep || edge.pragma_export) continue;
+        if (IsOwnHeader(info, edge.target)) continue;
+        const std::set<std::string>& provides = ProvidesClosure(edge.target);
+        bool used = false;
+        for (const std::string& ident : provides) {
+          if (info.used_tokens.count(ident) > 0) {
+            used = true;
+            break;
+          }
+        }
+        if (!used) {
+          Report(rel, edge.line, "unused-include",
+                 "'" + edge.target +
+                     "' is included but none of its identifiers are "
+                     "referenced; drop it or mark it '// IWYU pragma: "
+                     "keep' with a reason");
+        }
+      }
+    }
+  }
+
+  /// Check 5: src/ files must not lean on identifiers that only a
+  /// transitive include provides. Conservative on purpose: only names a
+  /// header truly declares (class / using / #define, not call-heads) can
+  /// fire, only when exactly one reachable header declares the name, and
+  /// x.cc may rely on anything its own x.h pulls in directly (the
+  /// associated-header exemption IWYU itself grants).
+  void CheckTransitiveUse() {
+    for (const auto& [rel, info] : files_) {
+      if (rel.rfind("src/", 0) != 0) continue;
+
+      std::set<std::string> direct;  // direct includes + their re-exports
+      for (const IncludeEdge& edge : info.includes) {
+        CollectExportClosure(edge.target, &direct);
+        if (IsOwnHeader(info, edge.target)) {
+          const auto own = files_.find(edge.target);
+          if (own != files_.end()) {
+            for (const IncludeEdge& nested : own->second.includes) {
+              CollectExportClosure(nested.target, &direct);
+            }
+          }
+        }
+      }
+      std::set<std::string> reachable;
+      CollectReachable(rel, &reachable);
+      reachable.erase(rel);
+
+      // The lenient provided set keeps this exemption broad: if a direct
+      // include even plausibly supplies the name, stay quiet.
+      std::set<std::string> direct_provided;
+      for (const std::string& d : direct) {
+        const auto it = files_.find(d);
+        if (it == files_.end()) continue;
+        direct_provided.insert(it->second.provided.begin(),
+                               it->second.provided.end());
+      }
+      // How many reachable headers declare each identifier (uniqueness).
+      std::map<std::string, int> provider_count;
+      for (const std::string& r : reachable) {
+        const auto it = files_.find(r);
+        if (it == files_.end()) continue;
+        for (const std::string& ident : it->second.declared) {
+          provider_count[ident] += 1;
+        }
+      }
+
+      for (const std::string& target : reachable) {
+        if (direct.count(target) > 0) continue;
+        const auto it = files_.find(target);
+        if (it == files_.end()) continue;
+        if (IsOwnHeader(info, target)) continue;
+        for (const std::string& ident : it->second.declared) {
+          if (info.used_tokens.count(ident) == 0) continue;
+          if (direct_provided.count(ident) > 0) continue;
+          if (info.provided.count(ident) > 0) continue;
+          if (info.declared.count(ident) > 0) continue;
+          if (provider_count[ident] != 1) continue;
+          Report(rel, 1, "transitive-include",
+                 "uses '" + ident + "' provided only by transitively "
+                     "included '" + target +
+                     "'; include it directly (include what you use)");
+          break;  // one diagnostic per missing header
+        }
+      }
+    }
+  }
+
+  /// Adds `rel` and, recursively, everything it re-exports.
+  void CollectExportClosure(const std::string& rel,
+                            std::set<std::string>* out) {
+    if (!out->insert(rel).second) return;
+    const auto it = files_.find(rel);
+    if (it == files_.end()) return;
+    for (const IncludeEdge& edge : it->second.includes) {
+      if (edge.pragma_export) CollectExportClosure(edge.target, out);
+    }
+  }
+
+  void CollectReachable(const std::string& rel, std::set<std::string>* out) {
+    const auto it = files_.find(rel);
+    if (it == files_.end()) return;
+    for (const IncludeEdge& edge : it->second.includes) {
+      if (out->insert(edge.target).second) {
+        CollectReachable(edge.target, out);
+      }
+    }
+  }
+
+  fs::path root_;
+  std::map<std::string, FileInfo> files_;  // rel path -> info
+  std::map<std::pair<std::string, std::string>, int> module_edges_;
+  std::map<std::string, std::set<std::string>> provides_closure_;
+  std::vector<Violation> violations_;
+};
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string DepsAnalyzer::GraphJson() const {
+  std::map<std::string, int> file_counts;
+  for (const auto& [rel, info] : files_) file_counts[info.module] += 1;
+
+  std::string out = "{\n  \"modules\": [\n";
+  bool first = true;
+  for (const ModuleSpec& spec : kModules) {
+    if (file_counts.find(spec.name) == file_counts.end()) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"name\": \"" + std::string(spec.name) +
+           "\", \"rank\": " + std::to_string(spec.rank) +
+           ", \"files\": " + std::to_string(file_counts[spec.name]) + "}";
+  }
+  out += "\n  ],\n  \"module_edges\": [\n";
+  first = true;
+  for (const auto& [edge, count] : module_edges_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"from\": \"" + JsonEscape(edge.first) + "\", \"to\": \"" +
+           JsonEscape(edge.second) +
+           "\", \"includes\": " + std::to_string(count) + "}";
+  }
+  out += "\n  ],\n  \"file_edges\": [\n";
+  first = true;
+  for (const auto& [rel, info] : files_) {
+    for (const IncludeEdge& edge : info.includes) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "    {\"from\": \"" + JsonEscape(rel) + "\", \"to\": \"" +
+             JsonEscape(edge.target) +
+             "\", \"line\": " + std::to_string(edge.line) + "}";
+    }
+  }
+  out += "\n  ],\n  \"violations\": " + std::to_string(violations_.size()) +
+         "\n}\n";
+  return out;
+}
+
+std::string DepsAnalyzer::GraphDot() const {
+  std::string out = "digraph fairlaw_deps {\n";
+  out += "  rankdir=BT;\n  node [shape=box, fontname=\"Helvetica\"];\n";
+  std::map<int, std::vector<std::string>> by_rank;
+  std::map<std::string, int> file_counts;
+  for (const auto& [rel, info] : files_) file_counts[info.module] += 1;
+  for (const ModuleSpec& spec : kModules) {
+    if (file_counts.find(spec.name) == file_counts.end()) continue;
+    by_rank[spec.rank].push_back(spec.name);
+  }
+  for (const auto& [rank, modules] : by_rank) {
+    out += "  { rank=same;";
+    for (const std::string& module : modules) {
+      out += " \"" + module + "\";";
+    }
+    out += " }\n";
+  }
+  for (const auto& [rank, modules] : by_rank) {
+    for (const std::string& module : modules) {
+      out += "  \"" + module + "\" [label=\"" + module + "\\nrank " +
+             std::to_string(rank) + ", " +
+             std::to_string(file_counts[module]) + " files\"];\n";
+    }
+  }
+  for (const auto& [edge, count] : module_edges_) {
+    out += "  \"" + edge.first + "\" -> \"" + edge.second +
+           "\" [label=\"" + std::to_string(count) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool WriteFileOrComplain(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "fairlaw_deps: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string json_path;
+  std::string dot_path;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = fs::path(std::string(arg.substr(7)));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      dot_path = std::string(arg.substr(6));
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: fairlaw_deps [--root=DIR] [--json=PATH] "
+                   "[--dot=PATH] [--verbose]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "fairlaw_deps: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "fairlaw_deps: root '%s' is not a directory\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  DepsAnalyzer analyzer(root);
+  if (!analyzer.Scan()) return 2;
+  analyzer.Analyze();
+
+  if (!json_path.empty() &&
+      !WriteFileOrComplain(json_path, analyzer.GraphJson())) {
+    return 2;
+  }
+  if (!dot_path.empty() &&
+      !WriteFileOrComplain(dot_path, analyzer.GraphDot())) {
+    return 2;
+  }
+
+  for (const Violation& v : analyzer.violations()) {
+    std::fprintf(stderr, "%s:%zu: %s: %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (verbose || !analyzer.violations().empty()) {
+    std::fprintf(stderr, "fairlaw_deps: %zu violation(s)\n",
+                 analyzer.violations().size());
+  }
+  return analyzer.violations().empty() ? 0 : 1;
+}

@@ -2,29 +2,38 @@
 //
 //   fairlaw_lint [--root=DIR] [--verbose]
 //
-// Walks the source tree under --root (default: current directory) and
-// enforces the fairlaw project invariants that generic compiler warnings
-// cannot express:
+// Walks src/, tools/, and tests/ under --root (default: current
+// directory) and enforces the fairlaw project invariants that generic
+// compiler warnings cannot express:
 //
-//   1. include-guard   every header under src/ uses the canonical
-//                      FAIRLAW_<DIR>_<FILE>_H_ guard derived from its path.
-//   2. banned-function library code (src/) must not call rand, srand,
-//                      atoi, strtod, or printf-to-stdout: randomness goes
-//                      through stats::Rng (reproducible audits), parsing
-//                      through base/string_util.h (checked conversions),
-//                      and diagnostics to stderr.
+//   1. include-guard   every header uses the canonical
+//                      FAIRLAW_<DIR>_<FILE>_H_ guard derived from its path
+//                      (the src/ prefix is dropped; tools/x.h guards with
+//                      FAIRLAW_TOOLS_X_H_).
+//   2. banned-function no rand, srand, atoi, or strtod anywhere:
+//                      randomness goes through stats::Rng (reproducible
+//                      audits) and parsing through base/string_util.h
+//                      (checked conversions). printf-to-stdout is banned
+//                      in library code (src/) only — printing is the
+//                      product of a CLI tool.
 //   3. bare-check      every FAIRLAW_CHECK failure path must carry a
 //                      message (use FAIRLAW_CHECK_MSG / FAIRLAW_CHECK_OK);
 //                      messages must be non-empty.
 //   4. registry-coverage
 //                      every metric name registered in src/core/registry.cc
 //                      must be referenced by name in some tests/*_test.cc.
+//   5. thread-primitive
+//                      raw std::thread and std::this_thread::sleep_for are
+//                      banned outside src/base/: concurrency goes through
+//                      fairlaw::ThreadPool, and synchronization happens on
+//                      state, not wall-clock time.
 //
-// Comments and string literals are stripped before rules 2 and 3 run, so
-// prose mentioning a banned identifier does not trip the pass. Exit code
-// 0 = clean, 1 = violations (listed one per line as file:line: rule: msg),
-// 2 = usage or I/O error. Registered as a ctest test so violations fail
-// tier-1.
+// Comments and string literals are stripped before rules 2, 3, and 5 run,
+// so prose mentioning a banned identifier does not trip the pass.
+// Directories named *_fixture are skipped: they hold the deliberate
+// violations the self-tests check. Exit code 0 = clean, 1 = violations
+// (listed one per line as file:line: rule: msg), 2 = usage or I/O error.
+// Registered as a ctest test so violations fail tier-1.
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -54,26 +63,44 @@ class Linter {
   const std::vector<Violation>& Run() {
     const fs::path src = root_ / "src";
     if (fs::is_directory(src)) {
-      for (const fs::directory_entry& entry :
-           fs::recursive_directory_iterator(src)) {
-        if (!entry.is_regular_file()) continue;
-        const fs::path& path = entry.path();
-        const std::string ext = path.extension().string();
-        if (ext == ".h") CheckIncludeGuard(path);
-        if (ext == ".h" || ext == ".cc") {
-          std::string stripped = StripCommentsAndStrings(ReadFile(path));
-          CheckBannedFunctions(path, stripped);
-          CheckMessagedChecks(path, stripped, ReadFile(path));
-        }
-      }
+      ScanTree(src, /*library=*/true);
     } else {
       Report(src.string(), 0, "tree", "missing src/ directory under root");
+    }
+    // Tools and test helpers get the same hygiene rules except the
+    // stdout ban: printing IS the product of a CLI tool.
+    for (const char* top : {"tools", "tests"}) {
+      const fs::path dir = root_ / top;
+      if (fs::is_directory(dir)) ScanTree(dir, /*library=*/false);
     }
     CheckRegistryCoverage();
     return violations_;
   }
 
  private:
+  /// Applies the per-file rules to every source file under `dir`.
+  /// Directories named *_fixture hold deliberate violations for the
+  /// analysis-pass self-tests and are skipped.
+  void ScanTree(const fs::path& dir, bool library) {
+    for (fs::recursive_directory_iterator it(dir), end; it != end; ++it) {
+      if (it->is_directory() &&
+          it->path().filename().string().ends_with("_fixture")) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const fs::path& path = it->path();
+      const std::string ext = path.extension().string();
+      if (ext == ".h") CheckIncludeGuard(path);
+      if (ext == ".h" || ext == ".cc") {
+        std::string stripped = StripCommentsAndStrings(ReadFile(path));
+        CheckBannedFunctions(path, stripped, library);
+        CheckMessagedChecks(path, stripped, ReadFile(path));
+        CheckThreadPrimitives(path, stripped);
+      }
+    }
+  }
+
   std::string ReadFile(const fs::path& path) {
     std::ifstream in(path, std::ios::binary);
     std::ostringstream buffer;
@@ -188,11 +215,15 @@ class Linter {
   }
 
   /// Rule 1: canonical include guards. src/metrics/group_metrics.h must
-  /// guard with FAIRLAW_METRICS_GROUP_METRICS_H_.
+  /// guard with FAIRLAW_METRICS_GROUP_METRICS_H_; headers outside src/
+  /// keep their top directory in the guard (tools/x.h -> FAIRLAW_TOOLS_X_H_).
   void CheckIncludeGuard(const fs::path& path) {
     std::error_code ec;
     fs::path rel = fs::relative(path, root_ / "src", ec);
-    if (ec) return;
+    if (ec || rel.generic_string().rfind("../", 0) == 0) {
+      rel = fs::relative(path, root_, ec);
+      if (ec) return;
+    }
     std::string guard = "FAIRLAW_";
     for (const char c : rel.generic_string()) {
       if (c == '/' || c == '.' || c == '-') {
@@ -214,22 +245,27 @@ class Linter {
     }
   }
 
-  /// Rule 2: banned functions in library code.
+  /// Rule 2: banned functions. The stdout ban only applies to library
+  /// code (`library` = under src/); the rest apply everywhere.
   void CheckBannedFunctions(const fs::path& path,
-                            const std::string& stripped) {
+                            const std::string& stripped, bool library) {
     struct Ban {
       const char* ident;
       const char* why;
+      bool library_only;
     };
     static constexpr Ban kBans[] = {
-        {"rand", "use stats::Rng: audits must be reproducible"},
-        {"srand", "use stats::Rng: audits must be reproducible"},
-        {"atoi", "use fairlaw::ParseInt64: unchecked parse loses errors"},
-        {"strtod", "use fairlaw::ParseDouble: unchecked parse loses errors"},
+        {"rand", "use stats::Rng: audits must be reproducible", false},
+        {"srand", "use stats::Rng: audits must be reproducible", false},
+        {"atoi", "use fairlaw::ParseInt64: unchecked parse loses errors",
+         false},
+        {"strtod", "use fairlaw::ParseDouble: unchecked parse loses errors",
+         false},
         {"printf", "library code must not write to stdout; report via "
-                   "Status or render strings"},
+                   "Status or render strings", true},
     };
     for (const Ban& ban : kBans) {
+      if (ban.library_only && !library) continue;
       size_t pos = 0;
       while ((pos = FindIdentifier(stripped, ban.ident, pos)) !=
              std::string::npos) {
@@ -281,6 +317,34 @@ class Linter {
                  std::string(macro) + " with an empty message");
         }
       }
+    }
+  }
+
+  /// Rule 5: concurrency goes through base/thread_pool.h. Raw std::thread
+  /// and std::this_thread::sleep_for are banned outside src/base/ — ad-hoc
+  /// threads dodge the annotated-mutex discipline, and sleeps in tests are
+  /// how flakes are born.
+  void CheckThreadPrimitives(const fs::path& path,
+                             const std::string& stripped) {
+    const std::string rel = RelPath(path);
+    if (rel.rfind("src/base/", 0) == 0) return;
+    size_t pos = 0;
+    while ((pos = stripped.find("std::thread", pos)) != std::string::npos) {
+      const size_t end = pos + std::strlen("std::thread");
+      if (end >= stripped.size() || !IsIdentChar(stripped[end])) {
+        Report(rel, LineOfOffset(stripped, pos), "thread-primitive",
+               "raw std::thread outside base/: use fairlaw::ThreadPool "
+               "(base/thread_pool.h) so work is annotated and joined");
+      }
+      pos = end;
+    }
+    pos = 0;
+    while ((pos = FindIdentifier(stripped, "this_thread", pos)) !=
+           std::string::npos) {
+      Report(rel, LineOfOffset(stripped, pos), "thread-primitive",
+             "std::this_thread::sleep_for outside base/: synchronize on "
+             "state, not on wall-clock time");
+      pos += std::strlen("this_thread");
     }
   }
 
