@@ -21,7 +21,7 @@ constexpr double kShift = 1.5;
 
 struct Pool {
   std::vector<double> scores;
-  std::vector<bool> is_minority;
+  std::vector<uint8_t> is_minority;
 };
 
 Pool MakePool(size_t n, Rng* rng) {

@@ -23,7 +23,7 @@ struct Gaps {
 };
 
 Gaps Measure(const std::vector<double>& scores,
-             const std::vector<bool>& is_minority) {
+             const std::vector<uint8_t>& is_minority) {
   double sum[2] = {0.0, 0.0};
   double cnt[2] = {0.0, 0.0};
   double threshold = fairlaw::stats::Median(scores).ValueOrDie();
@@ -62,7 +62,7 @@ int main() {
   // Operational pool WITHOUT labels (we keep them only to evaluate).
   const size_t n = 20000;
   std::vector<double> pooled(n);
-  std::vector<bool> is_minority(n);
+  std::vector<uint8_t> is_minority(n);
   std::vector<std::string> group_names(n);
   for (size_t i = 0; i < n; ++i) {
     is_minority[i] = rng.Bernoulli(0.3);

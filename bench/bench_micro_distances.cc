@@ -1,8 +1,24 @@
 // Microbenchmarks for the bias-detection distance hot paths (§IV-F's
 // runtime-complexity point): W1 and KS are sort-bound (n log n), the
 // binned distances are linear, MMD is quadratic.
+//
+// Two modes, like bench_micro_subgroup:
+//   * with any --benchmark_* flag: the usual google-benchmark suite.
+//   * otherwise: a fixed-size timing sweep over the distance kernels that
+//     writes a machine-readable JSON record (default BENCH_distances.json;
+//     see README "Benchmark JSON output"). Flags: --out=PATH --n=N
+//     --reps=N.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string_view>
+
+#include "base/string_util.h"
+#include "core/json.h"
 #include "stats/distance.h"
 #include "stats/histogram.h"
 #include "stats/ot.h"
@@ -106,6 +122,107 @@ void BM_ExactTransport(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactTransport)->RangeMultiplier(2)->Range(8, 64);
 
+// ---------------------------------------------------------------------------
+// JSON timing harness (default mode).
+
+int64_t BestOfNs(size_t reps, const std::function<void()>& fn) {
+  int64_t best = 0;
+  for (size_t r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const int64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count();
+    if (r == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+int RunTimings(const std::string& out_path, size_t n, size_t reps) {
+  const std::vector<double> x = Draw(n, 0.0, 1);
+  const std::vector<double> y = Draw(n, 1.0, 2);
+  // MMD is quadratic; cap its input so the sweep stays fast.
+  const size_t mmd_n = std::min<size_t>(n, 2048);
+  const std::vector<double> xm = Draw(mmd_n, 0.0, 7);
+  const std::vector<double> ym = Draw(mmd_n, 1.0, 8);
+
+  fairlaw::JsonWriter writer;
+  writer.BeginObject();
+  writer.Field("bench", std::string("distance_kernels"));
+  writer.Field("n", static_cast<int64_t>(n));
+  writer.Field("mmd_n", static_cast<int64_t>(mmd_n));
+  writer.Field("reps", static_cast<int64_t>(reps));
+  writer.Key("timings_ns");
+  writer.BeginObject();
+  writer.Field("wasserstein1", BestOfNs(reps, [&] {
+    benchmark::DoNotOptimize(
+        fairlaw::stats::Wasserstein1Samples(x, y).ValueOrDie());
+  }));
+  writer.Field("kolmogorov_smirnov", BestOfNs(reps, [&] {
+    benchmark::DoNotOptimize(
+        fairlaw::stats::KolmogorovSmirnov(x, y).ValueOrDie());
+  }));
+  writer.Field("binned_total_variation", BestOfNs(reps, [&] {
+    Histogram hx = Histogram::Make(-5.0, 6.0, 40).ValueOrDie();
+    Histogram hy = Histogram::Make(-5.0, 6.0, 40).ValueOrDie();
+    hx.AddAll(x);
+    hy.AddAll(y);
+    benchmark::DoNotOptimize(
+        fairlaw::stats::TotalVariation(hx.Probabilities(),
+                                       hy.Probabilities())
+            .ValueOrDie());
+  }));
+  writer.Field("mmd_biased", BestOfNs(reps, [&] {
+    benchmark::DoNotOptimize(
+        fairlaw::stats::MmdSquaredBiased1d(xm, ym, 1.0).ValueOrDie());
+  }));
+  writer.EndObject();
+  writer.EndObject();
+  const std::string json = writer.Finish().ValueOrDie();
+
+  std::ofstream out(out_path, std::ios::trunc);
+  out << json << "\n";
+  if (!out) {
+    std::fprintf(stderr, "bench_micro_distances: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("%s\n", json.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool gbench_mode = false;
+  std::string out_path = "BENCH_distances.json";
+  size_t n = 1 << 16;
+  size_t reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--benchmark", 0) == 0) {
+      gbench_mode = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = std::string(arg.substr(6));
+    } else if (arg.rfind("--n=", 0) == 0) {
+      n = static_cast<size_t>(fairlaw::ParseInt64(arg.substr(4))
+                                  .ValueOrDie());
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = static_cast<size_t>(fairlaw::ParseInt64(arg.substr(7))
+                                     .ValueOrDie());
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_micro_distances [--benchmark_* flags] "
+                   "[--out=PATH] [--n=N] [--reps=N]\n");
+      return 2;
+    }
+  }
+  if (gbench_mode) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return RunTimings(out_path, n, reps);
+}

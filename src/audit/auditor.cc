@@ -238,6 +238,13 @@ Result<AuditResult> RunAudit(const data::Table& table,
       MetricInputFromTable(table, config.protected_column,
                            config.prediction_column, config.label_column));
 
+  // One bitmap partition per run: every group metric below reads this
+  // shared immutable GroupPartition instead of re-grouping the string
+  // column, so the string pass happens once and each metric is a handful
+  // of fused popcount kernels.
+  FAIRLAW_ASSIGN_OR_RETURN(metrics::GroupPartition partition,
+                           metrics::GroupPartition::Build(input));
+
   // Column extraction stays serial (the table is not guarded); the metric
   // evaluations below are pure functions of the extracted vectors, so they
   // parallelize without touching shared mutable state.
@@ -271,20 +278,20 @@ Result<AuditResult> RunAudit(const data::Table& table,
         ++seq;
       };
 
-  add_metric([&] { return metrics::DemographicParity(input,
+  add_metric([&] { return metrics::DemographicParity(partition,
                                                      config.tolerance); });
-  add_metric([&] { return metrics::DemographicDisparity(input); });
+  add_metric([&] { return metrics::DemographicDisparity(partition); });
   add_metric([&] {
-    return metrics::DisparateImpactRatio(input, config.di_threshold);
+    return metrics::DisparateImpactRatio(partition, config.di_threshold);
   });
   if (!config.label_column.empty()) {
-    add_metric([&] { return metrics::EqualOpportunity(input,
+    add_metric([&] { return metrics::EqualOpportunity(partition,
                                                       config.tolerance); });
-    add_metric([&] { return metrics::EqualizedOdds(input,
+    add_metric([&] { return metrics::EqualizedOdds(partition,
                                                    config.tolerance); });
-    add_metric([&] { return metrics::PredictiveParity(input,
+    add_metric([&] { return metrics::PredictiveParity(partition,
                                                       config.tolerance); });
-    add_metric([&] { return metrics::AccuracyEquality(input,
+    add_metric([&] { return metrics::AccuracyEquality(partition,
                                                       config.tolerance); });
   }
   if (!config.score_column.empty()) {

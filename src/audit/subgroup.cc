@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/thread_pool.h"
+#include "data/bitmap.h"
 #include "data/group_by.h"
+#include "data/group_index.h"
 
 namespace fairlaw::audit {
 
@@ -27,42 +30,232 @@ std::vector<SubgroupFinding> SubgroupAuditResult::Violations(
 
 namespace {
 
-struct AttributeColumn {
-  std::string name;
-  std::vector<std::string> values;          // per-row rendered value
-  std::vector<std::string> distinct;        // value universe
+/// Scores one conjunction; shared by the bitmap and rowwise enumerators
+/// so both produce bit-identical findings.
+void RecordFinding(
+    const std::vector<std::pair<std::string, std::string>>& conditions,
+    size_t member_count, size_t positives, size_t num_rows,
+    double overall_rate, const SubgroupAuditOptions& options,
+    SubgroupAuditResult* result) {
+  ++result->subgroups_examined;
+  if (member_count < options.min_support) {
+    ++result->subgroups_skipped_small;
+    return;
+  }
+  SubgroupFinding finding;
+  finding.subgroup.conditions = conditions;
+  finding.count = member_count;
+  finding.selection_rate = static_cast<double>(positives) /
+                           static_cast<double>(member_count);
+  finding.overall_rate = overall_rate;
+  finding.gap = std::fabs(finding.selection_rate - overall_rate);
+  finding.weighted_gap = finding.gap * static_cast<double>(member_count) /
+                         static_cast<double>(num_rows);
+  if (finding.gap > options.tolerance) result->any_violation = true;
+  result->findings.push_back(std::move(finding));
+}
+
+/// Sorts findings by descending gap. stable_sort keeps equal-gap
+/// findings in enumeration order, which is canonical for every thread
+/// count — std::sort would make tie order an implementation detail.
+void SortFindings(SubgroupAuditResult* result) {
+  std::stable_sort(result->findings.begin(), result->findings.end(),
+                   [](const SubgroupFinding& a, const SubgroupFinding& b) {
+                     return a.gap > b.gap;
+                   });
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap enumerator.
+
+/// Walks the conjunction lattice under one member set. `scratch` holds
+/// one preallocated bitmap per depth level, so the whole walk allocates
+/// nothing: the intersection for depth d is computed into (*scratch)[d]
+/// and its popcount falls out of the same pass (Bitmap::AndInto).
+void EnumerateBitmap(const std::vector<const data::AttributeIndex*>& attrs,
+                     const data::Bitmap& predictions, double overall_rate,
+                     size_t num_rows, const SubgroupAuditOptions& options,
+                     size_t next_attribute, int depth,
+                     const data::Bitmap& members, size_t member_count,
+                     std::vector<std::pair<std::string, std::string>>*
+                         conditions,
+                     std::vector<data::Bitmap>* scratch,
+                     SubgroupAuditResult* result) {
+  if (depth > 0) {
+    const size_t positives = data::Bitmap::AndCount(members, predictions);
+    RecordFinding(*conditions, member_count, positives, num_rows,
+                  overall_rate, options, result);
+  }
+  if (depth >= options.max_depth) return;
+  for (size_t a = next_attribute; a < attrs.size(); ++a) {
+    const data::AttributeIndex& attribute = *attrs[a];
+    for (size_t v = 0; v < attribute.values.size(); ++v) {
+      data::Bitmap& narrowed = (*scratch)[static_cast<size_t>(depth)];
+      const size_t count =
+          data::Bitmap::AndInto(members, attribute.bitmaps[v], &narrowed);
+      if (count == 0) continue;
+      conditions->push_back({attribute.name, attribute.values[v]});
+      EnumerateBitmap(attrs, predictions, overall_rate, num_rows, options,
+                      a + 1, depth + 1, narrowed, count, conditions, scratch,
+                      result);
+      conditions->pop_back();
+    }
+  }
+}
+
+/// One first-condition subtree: the (attribute, value) root plus
+/// everything below it. Subtrees share no mutable state, so they are the
+/// unit of parallelism; merging their results in root order reproduces
+/// the serial walk exactly.
+struct SubtreeTask {
+  size_t attribute;
+  size_t value;
 };
 
-/// Recursively extends the current conjunction with conditions on
-/// attributes with index >= `next_attribute` (attributes are used at most
-/// once per conjunction, in ascending order, so each subgroup is
-/// enumerated exactly once).
-void Enumerate(const std::vector<AttributeColumn>& attributes,
-               const std::vector<int>& predictions, double overall_rate,
-               const SubgroupAuditOptions& options, size_t next_attribute,
-               int depth, std::vector<std::pair<std::string, std::string>>*
-                              conditions,
-               std::vector<size_t>* member_rows, SubgroupAuditResult* result) {
-  if (depth > 0) {
-    ++result->subgroups_examined;
-    if (member_rows->size() < options.min_support) {
-      ++result->subgroups_skipped_small;
-    } else {
-      SubgroupFinding finding;
-      finding.subgroup.conditions = *conditions;
-      finding.count = member_rows->size();
-      size_t positives = 0;
-      for (size_t row : *member_rows) positives += predictions[row];
-      finding.selection_rate = static_cast<double>(positives) /
-                               static_cast<double>(member_rows->size());
-      finding.overall_rate = overall_rate;
-      finding.gap = std::fabs(finding.selection_rate - overall_rate);
-      finding.weighted_gap = finding.gap *
-                             static_cast<double>(member_rows->size()) /
-                             static_cast<double>(predictions.size());
-      if (finding.gap > options.tolerance) result->any_violation = true;
-      result->findings.push_back(std::move(finding));
+SubgroupAuditResult RunSubtree(
+    const std::vector<const data::AttributeIndex*>& attrs,
+    const data::Bitmap& predictions, double overall_rate, size_t num_rows,
+    const SubgroupAuditOptions& options, const SubtreeTask& task) {
+  SubgroupAuditResult result;
+  const data::AttributeIndex& attribute = *attrs[task.attribute];
+  const data::Bitmap& members = attribute.bitmaps[task.value];
+  const size_t count = members.Count();
+  if (count == 0) return result;  // unreachable: index bitmaps are nonempty
+  std::vector<std::pair<std::string, std::string>> conditions = {
+      {attribute.name, attribute.values[task.value]}};
+  // Depth d intersections land in scratch[d]; the root set itself is the
+  // index bitmap, so levels 1..max_depth-1 suffice.
+  std::vector<data::Bitmap> scratch(
+      static_cast<size_t>(options.max_depth) + 1);
+  EnumerateBitmap(attrs, predictions, overall_rate, num_rows, options,
+                  task.attribute + 1, /*depth=*/1, members, count,
+                  &conditions, &scratch, &result);
+  return result;
+}
+
+void MergeResult(SubgroupAuditResult&& subtree, SubgroupAuditResult* total) {
+  total->subgroups_examined += subtree.subgroups_examined;
+  total->subgroups_skipped_small += subtree.subgroups_skipped_small;
+  total->any_violation = total->any_violation || subtree.any_violation;
+  for (SubgroupFinding& finding : subtree.findings) {
+    total->findings.push_back(std::move(finding));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared column extraction / validation.
+
+struct PreparedAudit {
+  data::GroupIndex index;
+  data::Bitmap predictions;
+  double overall_rate = 0.0;
+  size_t num_rows = 0;
+};
+
+Result<PreparedAudit> Prepare(const data::Table& table,
+                              const std::vector<std::string>& attribute_columns,
+                              const std::string& prediction_column,
+                              const SubgroupAuditOptions& options) {
+  if (attribute_columns.empty()) {
+    return Status::Invalid("AuditSubgroups: no attribute columns");
+  }
+  if (options.max_depth < 1) {
+    return Status::Invalid("AuditSubgroups: max_depth must be >= 1");
+  }
+  if (table.num_rows() == 0) {
+    return Status::Invalid("AuditSubgroups: empty table");
+  }
+  PreparedAudit prepared;
+  prepared.num_rows = table.num_rows();
+  FAIRLAW_ASSIGN_OR_RETURN(
+      prepared.predictions,
+      data::GroupIndex::BinaryColumnBitmap(table, prediction_column));
+  prepared.overall_rate = static_cast<double>(prepared.predictions.Count()) /
+                          static_cast<double>(prepared.num_rows);
+  FAIRLAW_ASSIGN_OR_RETURN(prepared.index,
+                           data::GroupIndex::Build(table, attribute_columns));
+  return prepared;
+}
+
+}  // namespace
+
+Result<SubgroupAuditResult> AuditSubgroups(
+    const data::Table& table,
+    const std::vector<std::string>& attribute_columns,
+    const std::string& prediction_column,
+    const SubgroupAuditOptions& options) {
+  FAIRLAW_ASSIGN_OR_RETURN(
+      PreparedAudit prepared,
+      Prepare(table, attribute_columns, prediction_column, options));
+
+  std::vector<const data::AttributeIndex*> attrs;
+  attrs.reserve(prepared.index.attributes().size());
+  for (const data::AttributeIndex& attribute : prepared.index.attributes()) {
+    attrs.push_back(&attribute);
+  }
+
+  // Canonical subtree order: attributes in argument order, values in
+  // first-seen order — the order the serial walk visits them.
+  std::vector<SubtreeTask> tasks;
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    for (size_t v = 0; v < attrs[a]->values.size(); ++v) {
+      tasks.push_back(SubtreeTask{a, v});
     }
+  }
+
+  std::vector<SubgroupAuditResult> subtree_results(tasks.size());
+  auto run_task = [&](size_t t) {
+    subtree_results[t] =
+        RunSubtree(attrs, prepared.predictions, prepared.overall_rate,
+                   prepared.num_rows, options, tasks[t]);
+  };
+  if (options.num_threads == 1 || tasks.size() <= 1) {
+    for (size_t t = 0; t < tasks.size(); ++t) run_task(t);
+  } else {
+    // Each task writes only its own slot, so aggregation needs no lock;
+    // determinism comes from merging in task order below.
+    ThreadPool pool(options.num_threads == 0
+                        ? 0
+                        : std::min(options.num_threads, tasks.size()));
+    pool.ParallelFor(tasks.size(), run_task);
+  }
+
+  SubgroupAuditResult result;
+  for (SubgroupAuditResult& subtree : subtree_results) {
+    MergeResult(std::move(subtree), &result);
+  }
+  SortFindings(&result);
+  return result;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rowwise reference enumerator (pre-kernel implementation, kept as the
+// equivalence oracle and bench baseline).
+
+struct AttributeColumn {
+  std::string name;
+  std::vector<std::string> values;  // per-row rendered value
+  std::vector<std::string> distinct;
+};
+
+void EnumerateRowwise(const std::vector<AttributeColumn>& attributes,
+                      const std::vector<int>& predictions,
+                      double overall_rate,
+                      const SubgroupAuditOptions& options,
+                      size_t next_attribute, int depth,
+                      std::vector<std::pair<std::string, std::string>>*
+                          conditions,
+                      std::vector<size_t>* member_rows,
+                      SubgroupAuditResult* result) {
+  if (depth > 0) {
+    size_t positives = 0;
+    for (size_t row : *member_rows) {
+      positives += static_cast<size_t>(predictions[row]);
+    }
+    RecordFinding(*conditions, member_rows->size(), positives,
+                  predictions.size(), overall_rate, options, result);
   }
   if (depth >= options.max_depth) return;
   for (size_t a = next_attribute; a < attributes.size(); ++a) {
@@ -71,12 +264,14 @@ void Enumerate(const std::vector<AttributeColumn>& attributes,
       std::vector<size_t> narrowed;
       narrowed.reserve(member_rows->size());
       for (size_t row : *member_rows) {
+        // The per-row compare is the scalar baseline the bitmap kernels
+        // replace. lint: allow-string-compare
         if (attribute.values[row] == value) narrowed.push_back(row);
       }
       if (narrowed.empty()) continue;
       conditions->push_back({attribute.name, value});
-      Enumerate(attributes, predictions, overall_rate, options, a + 1,
-                depth + 1, conditions, &narrowed, result);
+      EnumerateRowwise(attributes, predictions, overall_rate, options, a + 1,
+                       depth + 1, conditions, &narrowed, result);
       conditions->pop_back();
     }
   }
@@ -84,7 +279,7 @@ void Enumerate(const std::vector<AttributeColumn>& attributes,
 
 }  // namespace
 
-Result<SubgroupAuditResult> AuditSubgroups(
+Result<SubgroupAuditResult> AuditSubgroupsRowwise(
     const data::Table& table,
     const std::vector<std::string>& attribute_columns,
     const std::string& prediction_column,
@@ -110,7 +305,7 @@ Result<SubgroupAuditResult> AuditSubgroups(
       return Status::Invalid("AuditSubgroups: prediction column must be 0/1");
     }
     predictions[i] = raw_predictions[i] == 1.0 ? 1 : 0;
-    positives += predictions[i];
+    positives += static_cast<size_t>(predictions[i]);
   }
   const double overall_rate =
       static_cast<double>(positives) / static_cast<double>(predictions.size());
@@ -135,13 +330,10 @@ Result<SubgroupAuditResult> AuditSubgroups(
   std::vector<std::pair<std::string, std::string>> conditions;
   std::vector<size_t> all_rows(table.num_rows());
   for (size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
-  Enumerate(attributes, predictions, overall_rate, options,
-            /*next_attribute=*/0, /*depth=*/0, &conditions, &all_rows,
-            &result);
-  std::sort(result.findings.begin(), result.findings.end(),
-            [](const SubgroupFinding& a, const SubgroupFinding& b) {
-              return a.gap > b.gap;
-            });
+  EnumerateRowwise(attributes, predictions, overall_rate, options,
+                   /*next_attribute=*/0, /*depth=*/0, &conditions, &all_rows,
+                   &result);
+  SortFindings(&result);
   return result;
 }
 

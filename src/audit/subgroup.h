@@ -48,6 +48,12 @@ struct SubgroupAuditOptions {
   size_t min_support = 20;
   /// Gap above which a subgroup counts as a violation.
   double tolerance = 0.05;
+  /// Worker threads for the lattice walk: 1 = serial (default), 0 = one
+  /// per hardware thread. The walk is split at the first condition — each
+  /// (attribute, value) root is an independent subtree — and subtree
+  /// results are merged in canonical root order, so the findings are
+  /// byte-identical for every thread count.
+  size_t num_threads = 1;
 };
 
 /// Result of the subgroup audit: all findings (sorted by descending gap)
@@ -65,7 +71,22 @@ struct SubgroupAuditResult {
 /// Enumerates all conjunctions over `attribute_columns` (their distinct
 /// values) up to `options.max_depth` and scores each against the overall
 /// selection rate of `prediction_column` (binary).
+///
+/// The enumerator runs on a data::GroupIndex built once per call:
+/// narrowing a conjunction by one condition is a word-wise bitmap AND,
+/// and the member/selected counts are fused popcounts. With
+/// options.num_threads != 1 the first-condition subtrees run on a
+/// base::ThreadPool; the output is identical to the serial walk.
 Result<SubgroupAuditResult> AuditSubgroups(
+    const data::Table& table,
+    const std::vector<std::string>& attribute_columns,
+    const std::string& prediction_column, const SubgroupAuditOptions& options);
+
+/// Scalar reference implementation: per-row string compares over
+/// std::vector<size_t> row lists, always serial. Kept as the equivalence
+/// oracle for tests and the "before" side of bench_micro_subgroup's
+/// kernel comparison; produces byte-identical results to AuditSubgroups.
+Result<SubgroupAuditResult> AuditSubgroupsRowwise(
     const data::Table& table,
     const std::vector<std::string>& attribute_columns,
     const std::string& prediction_column, const SubgroupAuditOptions& options);

@@ -1,6 +1,7 @@
 #ifndef FAIRLAW_CORE_JSON_H_
 #define FAIRLAW_CORE_JSON_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -45,7 +46,7 @@ class JsonWriter {
 
   std::string out_;
   std::vector<Scope> stack_;
-  std::vector<bool> has_items_;
+  std::vector<uint8_t> has_items_;  // 0/1 per open scope
   bool expecting_value_ = false;  // a Key was just written
 };
 

@@ -42,7 +42,7 @@ Column Column::FromStrings(std::vector<std::string> values) {
   return column;
 }
 
-Column Column::FromBools(std::vector<bool> values) {
+Column Column::FromBools(std::vector<uint8_t> values) {
   Column column(DataType::kBool);
   column.bools_ = std::move(values);
   column.valid_.assign(column.bools_.size(), true);
@@ -73,7 +73,7 @@ void Column::AppendString(std::string value) {
 void Column::AppendBool(bool value) {
   FAIRLAW_CHECK_MSG(type_ == DataType::kBool,
                     "column accessed as bool but holds another type");
-  bools_.push_back(value);
+  bools_.push_back(value ? 1 : 0);
   valid_.push_back(true);
 }
 
@@ -165,7 +165,7 @@ Result<std::string> Column::GetString(size_t row) const {
 
 Result<bool> Column::GetBool(size_t row) const {
   FAIRLAW_RETURN_NOT_OK(CheckAccess(*this, row, DataType::kBool));
-  return bools_[row];
+  return bools_[row] != 0;
 }
 
 Result<Cell> Column::GetCell(size_t row) const {
@@ -183,7 +183,7 @@ Result<Cell> Column::GetCell(size_t row) const {
     case DataType::kString:
       return Cell(strings_[row]);
     case DataType::kBool:
-      return Cell(bools_[row]);
+      return Cell(bools_[row] != 0);
   }
   return Status::Internal("GetCell: unknown column type");
 }
@@ -222,9 +222,9 @@ Result<const std::vector<std::string>*> Column::Strings() const {
   return &strings_;
 }
 
-Result<const std::vector<bool>*> Column::Bools() const {
+Result<std::span<const uint8_t>> Column::Bools() const {
   FAIRLAW_RETURN_NOT_OK(CheckDenseView(*this, DataType::kBool));
-  return &bools_;
+  return std::span<const uint8_t>(bools_);
 }
 
 Result<std::vector<double>> Column::ToDoubles() const {
@@ -242,7 +242,9 @@ Result<std::vector<double>> Column::ToDoubles() const {
       }
       return out;
     case DataType::kBool:
-      for (size_t i = 0; i < size(); ++i) out[i] = bools_[i] ? 1.0 : 0.0;
+      for (size_t i = 0; i < size(); ++i) {
+        out[i] = bools_[i] != 0 ? 1.0 : 0.0;
+      }
       return out;
     case DataType::kString:
       return Status::Invalid("ToDoubles: cannot convert string column");
@@ -272,7 +274,7 @@ Result<Column> Column::Take(std::span<const size_t> indices) const {
         out.AppendString(strings_[index]);
         break;
       case DataType::kBool:
-        out.AppendBool(bools_[index]);
+        out.AppendBool(bools_[index] != 0);
         break;
     }
   }

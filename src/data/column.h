@@ -33,11 +33,14 @@ class Column {
   /// Creates an empty column of the given type.
   explicit Column(DataType type);
 
-  /// Convenience factories from dense (all-valid) values.
+  /// Convenience factories from dense (all-valid) values. Bool columns
+  /// take and expose 0/1 bytes: std::vector<bool> is banned tree-wide
+  /// (fairlaw_lint hot-path rule) because its proxy references defeat
+  /// spans, simd, and sane iteration.
   static Column FromDoubles(std::vector<double> values);
   static Column FromInt64s(std::vector<int64_t> values);
   static Column FromStrings(std::vector<std::string> values);
-  static Column FromBools(std::vector<bool> values);
+  static Column FromBools(std::vector<uint8_t> values);
 
   DataType type() const { return type_; }
   size_t size() const { return valid_.size(); }
@@ -45,7 +48,7 @@ class Column {
 
   /// Number of null slots.
   size_t null_count() const { return null_count_; }
-  bool IsValid(size_t row) const { return valid_[row]; }
+  bool IsValid(size_t row) const { return valid_[row] != 0; }
 
   /// Appends a typed value. The overload must match type(); a mismatch is
   /// a programming error and aborts.
@@ -73,7 +76,7 @@ class Column {
   Result<std::span<const double>> Doubles() const;
   Result<std::span<const int64_t>> Int64s() const;
   Result<const std::vector<std::string>*> Strings() const;
-  Result<const std::vector<bool>*> Bools() const;
+  Result<std::span<const uint8_t>> Bools() const;
 
   /// Returns the column converted to double values (int64 and bool are
   /// widened; string fails). Requires no nulls.
@@ -87,12 +90,13 @@ class Column {
 
  private:
   DataType type_;
-  std::vector<bool> valid_;
+  std::vector<uint8_t> valid_;  // 0/1 bytes, one per row slot
   size_t null_count_ = 0;
   std::vector<double> doubles_;
   std::vector<int64_t> int64s_;
   std::vector<std::string> strings_;
-  std::vector<bool> bools_;
+  std::vector<uint8_t> bools_;  // 0/1 bytes
+
 };
 
 }  // namespace fairlaw::data

@@ -36,30 +36,67 @@ Status MetricInput::Validate(bool require_labels) const {
   return Status::OK();
 }
 
+Result<GroupPartition> GroupPartition::Build(const MetricInput& input) {
+  FAIRLAW_RETURN_NOT_OK(input.Validate(/*require_labels=*/false));
+  GroupPartition partition;
+  partition.num_rows = input.size();
+  std::map<std::string, size_t> index_of;
+  for (size_t i = 0; i < input.size(); ++i) {
+    auto [it, inserted] =
+        index_of.try_emplace(input.groups[i], partition.group_names.size());
+    if (inserted) {
+      partition.group_names.push_back(input.groups[i]);
+      partition.group_bitmaps.emplace_back(partition.num_rows);
+    }
+    partition.group_bitmaps[it->second].Set(i);
+  }
+  partition.predictions = data::Bitmap(partition.num_rows);
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (input.predictions[i] == 1) partition.predictions.Set(i);
+  }
+  partition.has_labels = !input.labels.empty();
+  partition.labels = data::Bitmap(partition.has_labels ? partition.num_rows
+                                                       : 0);
+  if (partition.has_labels) {
+    for (size_t i = 0; i < input.size(); ++i) {
+      if (input.labels[i] == 1) partition.labels.Set(i);
+    }
+  }
+  return partition;
+}
+
 Result<std::vector<GroupStats>> ComputeGroupStats(const MetricInput& input,
                                                   bool with_labels) {
   FAIRLAW_RETURN_NOT_OK(input.Validate(with_labels));
+  FAIRLAW_ASSIGN_OR_RETURN(GroupPartition partition,
+                           GroupPartition::Build(input));
+  return ComputeGroupStats(partition, with_labels);
+}
+
+Result<std::vector<GroupStats>> ComputeGroupStats(
+    const GroupPartition& partition, bool with_labels) {
+  if (with_labels && !partition.has_labels) {
+    return Status::Invalid("ComputeGroupStats: this metric requires labels "
+                           "for every row");
+  }
   std::vector<GroupStats> stats;
-  std::map<std::string, size_t> index_of;
-  for (size_t i = 0; i < input.size(); ++i) {
-    auto [it, inserted] = index_of.try_emplace(input.groups[i], stats.size());
-    if (inserted) {
-      stats.push_back(GroupStats{});
-      stats.back().group = input.groups[i];
-    }
-    GroupStats& gs = stats[it->second];
-    ++gs.count;
-    const bool predicted_positive = input.predictions[i] == 1;
-    if (predicted_positive) ++gs.positive_predictions;
+  stats.reserve(partition.group_names.size());
+  for (size_t g = 0; g < partition.group_names.size(); ++g) {
+    const data::Bitmap& members = partition.group_bitmaps[g];
+    GroupStats gs;
+    gs.group = partition.group_names[g];
+    gs.count = static_cast<int64_t>(members.Count());
+    gs.positive_predictions = static_cast<int64_t>(
+        data::Bitmap::AndCount(members, partition.predictions));
     if (with_labels) {
-      if (input.labels[i] == 1) {
-        ++gs.actual_positives;
-        if (predicted_positive) ++gs.true_positives;
-      } else {
-        ++gs.actual_negatives;
-        if (predicted_positive) ++gs.false_positives;
-      }
+      gs.actual_positives = static_cast<int64_t>(
+          data::Bitmap::AndCount(members, partition.labels));
+      gs.actual_negatives = gs.count - gs.actual_positives;
+      gs.true_positives = static_cast<int64_t>(data::Bitmap::AndCount3(
+          members, partition.predictions, partition.labels));
+      gs.false_positives = gs.positive_predictions - gs.true_positives;
     }
+    stats.push_back(std::move(gs));
   }
   for (GroupStats& gs : stats) {
     gs.selection_rate = gs.count > 0 ? static_cast<double>(

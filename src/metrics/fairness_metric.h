@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/result.h"  // IWYU pragma: export
+#include "data/bitmap.h"
 
 namespace fairlaw::metrics {
 
@@ -63,10 +64,41 @@ struct MetricReport {
   std::string detail;
 };
 
+/// Bitmap partition of a MetricInput, built once and shared by every
+/// group metric of an audit run (the audit::Auditor caches one per run).
+///
+/// Group membership, predictions, and labels are packed into
+/// data::Bitmap, so each per-group statistic is a fused word-wise
+/// AND + popcount over the packed words instead of a per-row pass over
+/// strings:
+///   count              = |group|
+///   positive_preds     = |group & predictions|
+///   true_positives     = |group & predictions & labels|
+///   false_positives    = |group & predictions & ~labels|
+/// Groups appear in first-seen row order, matching the serial
+/// ComputeGroupStats, so reports built either way are identical.
+struct GroupPartition {
+  std::vector<std::string> group_names;      // first-seen order
+  std::vector<data::Bitmap> group_bitmaps;   // aligned with group_names
+  data::Bitmap predictions;                  // bit i = predictions[i] == 1
+  data::Bitmap labels;                       // bit i = labels[i] == 1
+  bool has_labels = false;
+  size_t num_rows = 0;
+
+  /// Validates `input` and builds the partition (labels are packed when
+  /// present).
+  static Result<GroupPartition> Build(const MetricInput& input);
+};
+
 /// Computes per-group statistics. `with_labels` toggles the Y-conditional
 /// fields; when true the input must carry labels.
 Result<std::vector<GroupStats>> ComputeGroupStats(const MetricInput& input,
                                                   bool with_labels);
+
+/// Same statistics from a prebuilt partition via the fused popcount
+/// kernels; `with_labels` requires partition.has_labels.
+Result<std::vector<GroupStats>> ComputeGroupStats(
+    const GroupPartition& partition, bool with_labels);
 
 /// Max absolute pairwise gap of the selected per-group rates.
 double MaxGap(const std::vector<double>& rates);

@@ -22,13 +22,30 @@ Status CheckMultipleGroups(const std::vector<GroupStats>& stats) {
   return Status::OK();
 }
 
+/// Validates the row-wise input (label-requiring metrics demand labels up
+/// front so the error message names the missing piece) and builds the
+/// bitmap partition the metric bodies run on.
+Result<GroupPartition> PartitionInput(const MetricInput& input,
+                                      bool require_labels) {
+  FAIRLAW_RETURN_NOT_OK(input.Validate(require_labels));
+  return GroupPartition::Build(input);
+}
+
 }  // namespace
 
 Result<MetricReport> DemographicParity(const MetricInput& input,
                                        double tolerance) {
+  FAIRLAW_ASSIGN_OR_RETURN(GroupPartition partition,
+                           PartitionInput(input, /*require_labels=*/false));
+  return DemographicParity(partition, tolerance);
+}
+
+Result<MetricReport> DemographicParity(const GroupPartition& partition,
+                                       double tolerance) {
   FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
-  FAIRLAW_ASSIGN_OR_RETURN(std::vector<GroupStats> stats,
-                           ComputeGroupStats(input, /*with_labels=*/false));
+  FAIRLAW_ASSIGN_OR_RETURN(
+      std::vector<GroupStats> stats,
+      ComputeGroupStats(partition, /*with_labels=*/false));
   FAIRLAW_RETURN_NOT_OK(CheckMultipleGroups(stats));
   std::vector<double> rates;
   rates.reserve(stats.size());
@@ -45,9 +62,16 @@ Result<MetricReport> DemographicParity(const MetricInput& input,
 
 Result<MetricReport> EqualOpportunity(const MetricInput& input,
                                       double tolerance) {
+  FAIRLAW_ASSIGN_OR_RETURN(GroupPartition partition,
+                           PartitionInput(input, /*require_labels=*/true));
+  return EqualOpportunity(partition, tolerance);
+}
+
+Result<MetricReport> EqualOpportunity(const GroupPartition& partition,
+                                      double tolerance) {
   FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_ASSIGN_OR_RETURN(std::vector<GroupStats> stats,
-                           ComputeGroupStats(input, /*with_labels=*/true));
+                           ComputeGroupStats(partition, /*with_labels=*/true));
   FAIRLAW_RETURN_NOT_OK(CheckMultipleGroups(stats));
   for (const GroupStats& gs : stats) {
     if (gs.actual_positives == 0) {
@@ -70,9 +94,16 @@ Result<MetricReport> EqualOpportunity(const MetricInput& input,
 
 Result<MetricReport> EqualizedOdds(const MetricInput& input,
                                    double tolerance) {
+  FAIRLAW_ASSIGN_OR_RETURN(GroupPartition partition,
+                           PartitionInput(input, /*require_labels=*/true));
+  return EqualizedOdds(partition, tolerance);
+}
+
+Result<MetricReport> EqualizedOdds(const GroupPartition& partition,
+                                   double tolerance) {
   FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_ASSIGN_OR_RETURN(std::vector<GroupStats> stats,
-                           ComputeGroupStats(input, /*with_labels=*/true));
+                           ComputeGroupStats(partition, /*with_labels=*/true));
   FAIRLAW_RETURN_NOT_OK(CheckMultipleGroups(stats));
   for (const GroupStats& gs : stats) {
     if (gs.actual_positives == 0 || gs.actual_negatives == 0) {
@@ -101,8 +132,15 @@ Result<MetricReport> EqualizedOdds(const MetricInput& input,
 }
 
 Result<MetricReport> DemographicDisparity(const MetricInput& input) {
-  FAIRLAW_ASSIGN_OR_RETURN(std::vector<GroupStats> stats,
-                           ComputeGroupStats(input, /*with_labels=*/false));
+  FAIRLAW_ASSIGN_OR_RETURN(GroupPartition partition,
+                           PartitionInput(input, /*require_labels=*/false));
+  return DemographicDisparity(partition);
+}
+
+Result<MetricReport> DemographicDisparity(const GroupPartition& partition) {
+  FAIRLAW_ASSIGN_OR_RETURN(
+      std::vector<GroupStats> stats,
+      ComputeGroupStats(partition, /*with_labels=*/false));
   MetricReport report;
   report.metric_name = "demographic_disparity";
   report.tolerance = 0.0;
@@ -131,11 +169,19 @@ Result<MetricReport> DemographicDisparity(const MetricInput& input) {
 
 Result<MetricReport> DisparateImpactRatio(const MetricInput& input,
                                           double threshold) {
+  FAIRLAW_ASSIGN_OR_RETURN(GroupPartition partition,
+                           PartitionInput(input, /*require_labels=*/false));
+  return DisparateImpactRatio(partition, threshold);
+}
+
+Result<MetricReport> DisparateImpactRatio(const GroupPartition& partition,
+                                          double threshold) {
   if (threshold <= 0.0 || threshold > 1.0) {
     return Status::Invalid("disparate_impact: threshold must lie in (0,1]");
   }
-  FAIRLAW_ASSIGN_OR_RETURN(std::vector<GroupStats> stats,
-                           ComputeGroupStats(input, /*with_labels=*/false));
+  FAIRLAW_ASSIGN_OR_RETURN(
+      std::vector<GroupStats> stats,
+      ComputeGroupStats(partition, /*with_labels=*/false));
   FAIRLAW_RETURN_NOT_OK(CheckMultipleGroups(stats));
   std::vector<double> rates;
   rates.reserve(stats.size());
@@ -162,9 +208,16 @@ Result<MetricReport> DisparateImpactRatio(const MetricInput& input,
 
 Result<MetricReport> PredictiveParity(const MetricInput& input,
                                       double tolerance) {
+  FAIRLAW_ASSIGN_OR_RETURN(GroupPartition partition,
+                           PartitionInput(input, /*require_labels=*/true));
+  return PredictiveParity(partition, tolerance);
+}
+
+Result<MetricReport> PredictiveParity(const GroupPartition& partition,
+                                      double tolerance) {
   FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_ASSIGN_OR_RETURN(std::vector<GroupStats> stats,
-                           ComputeGroupStats(input, /*with_labels=*/true));
+                           ComputeGroupStats(partition, /*with_labels=*/true));
   FAIRLAW_RETURN_NOT_OK(CheckMultipleGroups(stats));
   for (const GroupStats& gs : stats) {
     if (gs.positive_predictions == 0) {
@@ -186,9 +239,16 @@ Result<MetricReport> PredictiveParity(const MetricInput& input,
 
 Result<MetricReport> AccuracyEquality(const MetricInput& input,
                                       double tolerance) {
+  FAIRLAW_ASSIGN_OR_RETURN(GroupPartition partition,
+                           PartitionInput(input, /*require_labels=*/true));
+  return AccuracyEquality(partition, tolerance);
+}
+
+Result<MetricReport> AccuracyEquality(const GroupPartition& partition,
+                                      double tolerance) {
   FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_ASSIGN_OR_RETURN(std::vector<GroupStats> stats,
-                           ComputeGroupStats(input, /*with_labels=*/true));
+                           ComputeGroupStats(partition, /*with_labels=*/true));
   FAIRLAW_RETURN_NOT_OK(CheckMultipleGroups(stats));
   std::vector<double> rates;
   for (const GroupStats& gs : stats) {

@@ -19,7 +19,7 @@ Result<CrossValidationResult> CrossValidate(const Dataset& data,
 
   CrossValidationResult result;
   for (const std::vector<size_t>& validation_rows : fold_indices) {
-    std::vector<bool> in_validation(data.size(), false);
+    std::vector<uint8_t> in_validation(data.size(), 0);
     for (size_t row : validation_rows) in_validation[row] = true;
     std::vector<size_t> train_rows;
     train_rows.reserve(data.size() - validation_rows.size());

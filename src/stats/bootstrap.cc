@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/thread_pool.h"
 #include "stats/descriptive.h"
 
 namespace fairlaw::stats {
@@ -27,48 +28,87 @@ Result<ConfidenceInterval> PercentileInterval(std::vector<double> replicas,
   return ci;
 }
 
+/// Cheap parameter checks shared by both entry points; runs before any
+/// sample inspection or allocation so a bad replicate count or level is
+/// reported first regardless of the sample contents.
+Status CheckBootstrapArgs(int replicates, double level, const Rng* rng,
+                          const char* fn) {
+  if (replicates < 2) {
+    return Status::Invalid(std::string(fn) + ": need >= 2 replicates");
+  }
+  if (level <= 0.0 || level >= 1.0) {
+    return Status::Invalid(std::string(fn) + ": level must lie in (0,1)");
+  }
+  if (rng == nullptr) return Status::Invalid(std::string(fn) + ": null rng");
+  return Status::OK();
+}
+
+/// The seed of replicate r's private stream. Mixing the counter before
+/// xoring decorrelates streams even though the counters are sequential.
+uint64_t ReplicateSeed(uint64_t stream_base, size_t r) {
+  return SplitMix64(stream_base ^ SplitMix64(static_cast<uint64_t>(r)));
+}
+
+/// Runs fn(0..n-1), serially or on a pool. Every fn(r) writes only state
+/// owned by replicate r, so no lock is needed and the outcome cannot
+/// depend on scheduling.
+void ForEachReplicate(size_t n, size_t num_threads,
+                      const std::function<void(size_t)>& fn) {
+  if (num_threads == 1 || n <= 1) {
+    for (size_t r = 0; r < n; ++r) fn(r);
+    return;
+  }
+  ThreadPool pool(num_threads == 0 ? 0 : std::min(num_threads, n));
+  pool.ParallelFor(n, fn);
+}
+
 }  // namespace
 
 Result<ConfidenceInterval> BootstrapCi(std::span<const double> sample,
                                        const Statistic& statistic,
-                                       int replicates, double level,
-                                       Rng* rng) {
+                                       int replicates, double level, Rng* rng,
+                                       size_t num_threads) {
+  FAIRLAW_RETURN_NOT_OK(
+      CheckBootstrapArgs(replicates, level, rng, "BootstrapCi"));
   if (sample.empty()) return Status::Invalid("BootstrapCi: empty sample");
-  if (replicates < 2) {
-    return Status::Invalid("BootstrapCi: need >= 2 replicates");
+  if (sample.size() == 1) {
+    return Status::Invalid("BootstrapCi: sample of size 1 resamples to "
+                           "itself; the interval would be zero-width");
   }
-  if (level <= 0.0 || level >= 1.0) {
-    return Status::Invalid("BootstrapCi: level must lie in (0,1)");
-  }
-  if (rng == nullptr) return Status::Invalid("BootstrapCi: null rng");
-  std::vector<double> replicas(replicates);
-  for (int r = 0; r < replicates; ++r) {
-    std::vector<double> resampled = Resample(sample, rng);
+  // One draw from the caller's rng anchors all replicate streams, so the
+  // whole computation stays reproducible from the caller's seed.
+  const uint64_t stream_base = rng->Next();
+  std::vector<double> replicas(static_cast<size_t>(replicates));
+  ForEachReplicate(replicas.size(), num_threads, [&](size_t r) {
+    Rng replicate_rng(ReplicateSeed(stream_base, r));
+    std::vector<double> resampled = Resample(sample, &replicate_rng);
     replicas[r] = statistic(resampled);
-  }
+  });
   return PercentileInterval(std::move(replicas), statistic(sample), level);
 }
 
 Result<ConfidenceInterval> BootstrapCiTwoSample(
     std::span<const double> sample_a, std::span<const double> sample_b,
     const TwoSampleStatistic& statistic, int replicates, double level,
-    Rng* rng) {
+    Rng* rng, size_t num_threads) {
+  FAIRLAW_RETURN_NOT_OK(
+      CheckBootstrapArgs(replicates, level, rng, "BootstrapCiTwoSample"));
   if (sample_a.empty() || sample_b.empty()) {
     return Status::Invalid("BootstrapCiTwoSample: empty sample");
   }
-  if (replicates < 2) {
-    return Status::Invalid("BootstrapCiTwoSample: need >= 2 replicates");
+  if (sample_a.size() == 1 && sample_b.size() == 1) {
+    return Status::Invalid("BootstrapCiTwoSample: both samples have size 1; "
+                           "every replicate is identical and the interval "
+                           "would be zero-width");
   }
-  if (level <= 0.0 || level >= 1.0) {
-    return Status::Invalid("BootstrapCiTwoSample: level must lie in (0,1)");
-  }
-  if (rng == nullptr) return Status::Invalid("BootstrapCiTwoSample: null rng");
-  std::vector<double> replicas(replicates);
-  for (int r = 0; r < replicates; ++r) {
-    std::vector<double> ra = Resample(sample_a, rng);
-    std::vector<double> rb = Resample(sample_b, rng);
+  const uint64_t stream_base = rng->Next();
+  std::vector<double> replicas(static_cast<size_t>(replicates));
+  ForEachReplicate(replicas.size(), num_threads, [&](size_t r) {
+    Rng replicate_rng(ReplicateSeed(stream_base, r));
+    std::vector<double> ra = Resample(sample_a, &replicate_rng);
+    std::vector<double> rb = Resample(sample_b, &replicate_rng);
     replicas[r] = statistic(ra, rb);
-  }
+  });
   return PercentileInterval(std::move(replicas),
                             statistic(sample_a, sample_b), level);
 }

@@ -27,17 +27,29 @@ using TwoSampleStatistic =
     std::function<double(std::span<const double>, std::span<const double>)>;
 
 /// Percentile bootstrap CI for `statistic` on `sample`. `replicates` must
-/// be >= 2 and `level` in (0, 1).
+/// be >= 2, `level` in (0, 1), and `sample` must have >= 2 elements (a
+/// single observation resamples to itself, which would silently yield a
+/// zero-width interval).
+///
+/// Replicates draw from counter-based RNG streams: one base value is
+/// taken from `rng`, and replicate r seeds its own generator from
+/// (base, r). With `num_threads` != 1 (0 = one per hardware thread) the
+/// replicates run on a base::ThreadPool; because each stream depends only
+/// on (base, r), the interval is bit-identical for every thread count.
 Result<ConfidenceInterval> BootstrapCi(std::span<const double> sample,
                                        const Statistic& statistic,
-                                       int replicates, double level, Rng* rng);
+                                       int replicates, double level, Rng* rng,
+                                       size_t num_threads = 1);
 
-/// Percentile bootstrap CI for a two-sample statistic; the two samples are
-/// resampled independently.
+/// Percentile bootstrap CI for a two-sample statistic; the two samples
+/// are resampled independently. Fails when both samples are single
+/// observations (every replicate would be identical — a zero-width
+/// interval that looks like certainty). Same deterministic parallelism
+/// as BootstrapCi.
 Result<ConfidenceInterval> BootstrapCiTwoSample(
     std::span<const double> sample_a, std::span<const double> sample_b,
     const TwoSampleStatistic& statistic, int replicates, double level,
-    Rng* rng);
+    Rng* rng, size_t num_threads = 1);
 
 }  // namespace fairlaw::stats
 

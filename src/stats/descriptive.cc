@@ -100,11 +100,11 @@ Result<double> PearsonCorrelation(std::span<const double> x,
   return cov / (sx * sy);
 }
 
-Result<double> PointBiserialCorrelation(const std::vector<bool>& indicator,
+Result<double> PointBiserialCorrelation(std::span<const uint8_t> indicator,
                                         std::span<const double> values) {
   std::vector<double> coded(indicator.size());
   for (size_t i = 0; i < indicator.size(); ++i) {
-    coded[i] = indicator[i] ? 1.0 : 0.0;
+    coded[i] = indicator[i] != 0 ? 1.0 : 0.0;
   }
   return PearsonCorrelation(coded, values);
 }

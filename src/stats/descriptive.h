@@ -40,7 +40,7 @@ Result<double> PearsonCorrelation(std::span<const double> x,
 
 /// Point-biserial correlation between a binary indicator and a continuous
 /// variable (equals Pearson of the 0/1 coding with the values).
-Result<double> PointBiserialCorrelation(const std::vector<bool>& indicator,
+Result<double> PointBiserialCorrelation(std::span<const uint8_t> indicator,
                                         std::span<const double> values);
 
 /// Covariance (denominator n-1). Requires n >= 2.

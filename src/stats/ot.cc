@@ -81,7 +81,7 @@ Result<TransportPlan> ExactTransport(
     // Multi-source Dijkstra from every source with remaining supply.
     std::vector<double> dist(n + m, kInf);
     std::vector<int> parent(n + m, -1);
-    std::vector<bool> done(n + m, false);
+    std::vector<uint8_t> done(n + m, 0);
     for (size_t i = 0; i < n; ++i) {
       if (supply[i] > kMassEpsilon) dist[i] = 0.0;
     }

@@ -8,6 +8,13 @@
 
 namespace fairlaw::stats {
 
+/// One splitmix64 mixing step: maps x to a well-scrambled 64-bit value.
+/// The building block for counter-based RNG streams — replicate r of a
+/// parallel computation seeds its own Rng from SplitMix64(base ^ f(r)),
+/// so the draw sequence depends only on (base, r), never on which thread
+/// runs the replicate.
+uint64_t SplitMix64(uint64_t x);
+
 /// Deterministic pseudo-random generator (xoshiro256++).
 ///
 /// All randomized components of fairlaw (generators, bootstrap, model

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "data/bitmap.h"
+#include "data/csv.h"
+#include "data/group_index.h"
+#include "stats/rng.h"
+
+namespace fairlaw::data {
+namespace {
+
+using stats::Rng;
+
+TEST(BitmapTest, EmptyBitmap) {
+  Bitmap empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.Count(), 0u);
+  EXPECT_EQ(empty.num_words(), 0u);
+  EXPECT_TRUE(empty.ToIndices().empty());
+  // Zero-size bitmaps are same-size, so kernels work (and return zero).
+  Bitmap other;
+  EXPECT_EQ(Bitmap::AndCount(empty, other), 0u);
+  EXPECT_EQ(empty.And(other).ValueOrDie().size(), 0u);
+  EXPECT_EQ(Bitmap::AllSet(0).Count(), 0u);
+}
+
+TEST(BitmapTest, ExactMultipleOf64Sizes) {
+  for (size_t size : {64u, 128u, 256u}) {
+    Bitmap all = Bitmap::AllSet(size);
+    EXPECT_EQ(all.size(), size);
+    EXPECT_EQ(all.num_words(), size / 64);
+    EXPECT_EQ(all.Count(), size);
+    // Every word must be fully set: no spurious tail word, no masking.
+    for (uint64_t word : all.words()) {
+      EXPECT_EQ(word, ~uint64_t{0});
+    }
+    Bitmap zero(size);
+    EXPECT_EQ(zero.Count(), 0u);
+    zero.Set(size - 1);
+    EXPECT_TRUE(zero.Test(size - 1));
+    EXPECT_EQ(zero.Count(), 1u);
+  }
+}
+
+TEST(BitmapTest, TailWordBitsStayMasked) {
+  // 70 bits: one full word plus a 6-bit tail.
+  Bitmap all = Bitmap::AllSet(70);
+  EXPECT_EQ(all.Count(), 70u);
+  ASSERT_EQ(all.num_words(), 2u);
+  EXPECT_EQ(all.words()[1], (uint64_t{1} << 6) - 1);
+
+  Bitmap bits(70);
+  bits.Set(69);
+  bits.Set(0);
+  EXPECT_EQ(bits.Count(), 2u);
+  EXPECT_EQ(bits.ToIndices(), (std::vector<size_t>{0, 69}));
+
+  // AndNot against all-ones must not leak bits past size().
+  Bitmap complement = all.AndNot(bits).ValueOrDie();
+  EXPECT_EQ(complement.Count(), 68u);
+  EXPECT_FALSE(complement.Test(69));
+  EXPECT_EQ(complement.words()[1] >> 6, 0u);
+
+  bits.Reset(69);
+  EXPECT_EQ(bits.Count(), 1u);
+}
+
+TEST(BitmapTest, MismatchedLengthsAreInvalid) {
+  Bitmap a(64);
+  Bitmap b(65);
+  EXPECT_FALSE(a.And(b).ok());
+  EXPECT_FALSE(a.AndNot(b).ok());
+  EXPECT_TRUE(a.And(b).status().IsInvalid());
+  EXPECT_TRUE(a.AndNot(b).status().IsInvalid());
+}
+
+TEST(BitmapTest, KernelsMatchScalarReferenceOnRandomInputs) {
+  Rng rng(17);
+  for (size_t trial = 0; trial < 20; ++trial) {
+    const size_t size = 1 + static_cast<size_t>(rng.UniformInt(300));
+    std::vector<uint8_t> raw_a(size);
+    std::vector<uint8_t> raw_b(size);
+    std::vector<uint8_t> raw_c(size);
+    for (size_t i = 0; i < size; ++i) {
+      raw_a[i] = rng.Bernoulli(0.5);
+      raw_b[i] = rng.Bernoulli(0.3);
+      raw_c[i] = rng.Bernoulli(0.7);
+    }
+    Bitmap a = Bitmap::FromBytes(raw_a);
+    Bitmap b = Bitmap::FromBytes(raw_b);
+    Bitmap c = Bitmap::FromBytes(raw_c);
+
+    size_t count_a = 0;
+    size_t and_ab = 0;
+    size_t and_abc = 0;
+    size_t andnot_ab = 0;
+    size_t and_ab_not_c = 0;
+    for (size_t i = 0; i < size; ++i) {
+      count_a += raw_a[i];
+      and_ab += raw_a[i] & raw_b[i];
+      and_abc += raw_a[i] & raw_b[i] & raw_c[i];
+      andnot_ab += raw_a[i] & (1 - raw_b[i]);
+      and_ab_not_c += raw_a[i] & raw_b[i] & (1 - raw_c[i]);
+    }
+    EXPECT_EQ(a.Count(), count_a);
+    EXPECT_EQ(Bitmap::AndCount(a, b), and_ab);
+    EXPECT_EQ(Bitmap::AndCount3(a, b, c), and_abc);
+    EXPECT_EQ(Bitmap::AndNotCount(a, b), andnot_ab);
+    EXPECT_EQ(Bitmap::AndAndNotCount(a, b, c), and_ab_not_c);
+    EXPECT_EQ(a.And(b).ValueOrDie().Count(), and_ab);
+
+    Bitmap scratch;
+    EXPECT_EQ(Bitmap::AndInto(a, b, &scratch), and_ab);
+    EXPECT_EQ(scratch, a.And(b).ValueOrDie());
+
+    Bitmap in_place = a;
+    in_place.AndInPlace(b);
+    EXPECT_EQ(in_place, scratch);
+
+    // ToIndices returns exactly the set positions, ascending.
+    std::vector<size_t> expected_indices;
+    for (size_t i = 0; i < size; ++i) {
+      if (raw_a[i] != 0) expected_indices.push_back(i);
+    }
+    EXPECT_EQ(a.ToIndices(), expected_indices);
+  }
+}
+
+TEST(GroupIndexTest, BuildsDisjointCoveringBitmapsInFirstSeenOrder) {
+  Table table = ReadCsvString(
+                    "g,pred\n"
+                    "b,1\na,0\nb,1\nc,0\na,1\n")
+                    .ValueOrDie();
+  GroupIndex index = GroupIndex::Build(table, {"g"}).ValueOrDie();
+  EXPECT_EQ(index.num_rows(), 5u);
+  const AttributeIndex* attribute =
+      index.Attribute("g").ValueOrDie();
+  // First-seen order, matching DistinctValues / GroupBy.
+  EXPECT_EQ(attribute->values, (std::vector<std::string>{"b", "a", "c"}));
+  EXPECT_EQ(attribute->bitmaps[0].ToIndices(),
+            (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(attribute->bitmaps[1].ToIndices(),
+            (std::vector<size_t>{1, 4}));
+  EXPECT_EQ(attribute->bitmaps[2].ToIndices(), (std::vector<size_t>{3}));
+  EXPECT_EQ(attribute->IndexOf("c").ValueOrDie(), 2u);
+  EXPECT_FALSE(attribute->IndexOf("zzz").ok());
+  EXPECT_FALSE(index.Attribute("missing").ok());
+}
+
+TEST(GroupIndexTest, BinaryColumnBitmapPacksAndValidates) {
+  Table table = ReadCsvString(
+                    "g,pred,score\n"
+                    "a,1,0.25\nb,0,0.5\na,1,0.75\n")
+                    .ValueOrDie();
+  Bitmap predictions =
+      GroupIndex::BinaryColumnBitmap(table, "pred").ValueOrDie();
+  EXPECT_EQ(predictions.ToIndices(), (std::vector<size_t>{0, 2}));
+  // A non-binary column must be rejected, not truncated.
+  EXPECT_FALSE(GroupIndex::BinaryColumnBitmap(table, "score").ok());
+  EXPECT_FALSE(GroupIndex::BinaryColumnBitmap(table, "missing").ok());
+}
+
+}  // namespace
+}  // namespace fairlaw::data

@@ -62,6 +62,56 @@ TEST(BootstrapTest, Validation) {
   EXPECT_FALSE(BootstrapCi(sample, MeanStatistic(), 100, 0.95, nullptr).ok());
 }
 
+TEST(BootstrapTest, ParameterChecksPrecedeSampleChecks) {
+  // A bad replicate count or level must be reported even when the sample
+  // is also bad: the cheap argument checks run before any allocation or
+  // sample inspection.
+  Rng rng(1);
+  Status status =
+      BootstrapCi({}, MeanStatistic(), 1, 0.95, &rng).status();
+  EXPECT_NE(status.message().find("replicates"), std::string::npos)
+      << status.message();
+  status = BootstrapCi({}, MeanStatistic(), 100, 2.0, &rng).status();
+  EXPECT_NE(status.message().find("level"), std::string::npos)
+      << status.message();
+}
+
+TEST(BootstrapTest, SizeOneSampleIsRejected) {
+  // A single observation resamples to itself; a zero-width interval would
+  // masquerade as certainty, so it is a Status, not a silent degenerate.
+  Rng rng(1);
+  std::vector<double> one = {3.0};
+  Result<ConfidenceInterval> result =
+      BootstrapCi(one, MeanStatistic(), 100, 0.95, &rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalid());
+}
+
+TEST(BootstrapTest, CiIdenticalForEveryThreadCount) {
+  std::vector<double> sample(300);
+  {
+    Rng fill(21);
+    for (double& v : sample) v = fill.Normal(1.0, 2.0);
+  }
+  Rng rng_serial(77);
+  ConfidenceInterval serial =
+      BootstrapCi(sample, MeanStatistic(), 400, 0.95, &rng_serial,
+                  /*num_threads=*/1)
+          .ValueOrDie();
+  for (size_t threads : {2u, 8u, 0u}) {
+    Rng rng_parallel(77);
+    ConfidenceInterval parallel =
+        BootstrapCi(sample, MeanStatistic(), 400, 0.95, &rng_parallel,
+                    threads)
+            .ValueOrDie();
+    // Bit-identical, not just close: the replicate streams are functions
+    // of (base, replicate index), never of thread scheduling.
+    EXPECT_EQ(serial.lower, parallel.lower);
+    EXPECT_EQ(serial.upper, parallel.upper);
+    EXPECT_EQ(serial.estimate, parallel.estimate);
+  }
+}
+
 TEST(BootstrapTwoSampleTest, RateGapCi) {
   // Group A has selection rate 0.8, group B 0.4: the CI of the gap should
   // cover 0.4 and exclude 0.
@@ -89,6 +139,52 @@ TEST(BootstrapTwoSampleTest, Validation) {
   EXPECT_FALSE(BootstrapCiTwoSample({}, sample, gap, 100, 0.95, &rng).ok());
   EXPECT_FALSE(
       BootstrapCiTwoSample(sample, sample, gap, 100, 0.0, &rng).ok());
+}
+
+TEST(BootstrapTwoSampleTest, BothSamplesSizeOneIsRejected) {
+  Rng rng(1);
+  std::vector<double> one_a = {1.0};
+  std::vector<double> one_b = {2.0};
+  std::vector<double> pair = {1.0, 2.0};
+  TwoSampleStatistic gap = [](std::span<const double> x,
+                              std::span<const double> y) {
+    return Mean(x).ValueOrDie() - Mean(y).ValueOrDie();
+  };
+  Result<ConfidenceInterval> degenerate =
+      BootstrapCiTwoSample(one_a, one_b, gap, 100, 0.95, &rng);
+  EXPECT_FALSE(degenerate.ok());
+  EXPECT_TRUE(degenerate.status().IsInvalid());
+  // One singleton side is fine as long as the other side resamples.
+  EXPECT_TRUE(
+      BootstrapCiTwoSample(one_a, pair, gap, 100, 0.95, &rng).ok());
+}
+
+TEST(BootstrapTwoSampleTest, CiIdenticalForEveryThreadCount) {
+  std::vector<double> a(200);
+  std::vector<double> b(150);
+  {
+    Rng fill(33);
+    for (double& v : a) v = fill.Bernoulli(0.7) ? 1.0 : 0.0;
+    for (double& v : b) v = fill.Bernoulli(0.4) ? 1.0 : 0.0;
+  }
+  TwoSampleStatistic gap = [](std::span<const double> x,
+                              std::span<const double> y) {
+    return Mean(x).ValueOrDie() - Mean(y).ValueOrDie();
+  };
+  Rng rng_serial(55);
+  ConfidenceInterval serial =
+      BootstrapCiTwoSample(a, b, gap, 400, 0.95, &rng_serial,
+                           /*num_threads=*/1)
+          .ValueOrDie();
+  for (size_t threads : {2u, 8u, 0u}) {
+    Rng rng_parallel(55);
+    ConfidenceInterval parallel =
+        BootstrapCiTwoSample(a, b, gap, 400, 0.95, &rng_parallel, threads)
+            .ValueOrDie();
+    EXPECT_EQ(serial.lower, parallel.lower);
+    EXPECT_EQ(serial.upper, parallel.upper);
+    EXPECT_EQ(serial.estimate, parallel.estimate);
+  }
 }
 
 }  // namespace

@@ -70,7 +70,7 @@ TEST(DescriptiveTest, PearsonCorrelationZeroVarianceFails) {
 }
 
 TEST(DescriptiveTest, PointBiserial) {
-  std::vector<bool> indicator = {false, false, true, true};
+  std::vector<uint8_t> indicator = {0, 0, 1, 1};
   std::vector<double> values = {1.0, 2.0, 5.0, 6.0};
   double r = PointBiserialCorrelation(indicator, values).ValueOrDie();
   EXPECT_GT(r, 0.9);

@@ -181,7 +181,7 @@ TEST(GroupBlindRepairTest, CompensatesMostOfTheGapWithoutGroupLabels) {
 
   const size_t n = 6000;
   std::vector<double> pooled(n);
-  std::vector<bool> is_b(n);
+  std::vector<uint8_t> is_b(n);
   for (size_t i = 0; i < n; ++i) {
     is_b[i] = rng.Bernoulli(0.5);
     pooled[i] = is_b[i] ? rng.Normal(-1.5, 1.0) : rng.Normal(0.0, 1.0);

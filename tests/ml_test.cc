@@ -263,7 +263,7 @@ TEST(SplitTest, PartitionIsExact) {
   EXPECT_EQ(split.test.size(), 25u);
   EXPECT_EQ(split.train.size(), 75u);
   // Indices partition [0,100).
-  std::vector<bool> seen(100, false);
+  std::vector<uint8_t> seen(100, 0);
   for (size_t index : split.train_indices) seen[index] = true;
   for (size_t index : split.test_indices) {
     EXPECT_FALSE(seen[index]);  // disjoint
@@ -284,7 +284,7 @@ TEST(KFoldTest, FoldsPartition) {
   Rng rng(41);
   auto folds = KFoldIndices(10, 3, &rng).ValueOrDie();
   EXPECT_EQ(folds.size(), 3u);
-  std::vector<bool> seen(10, false);
+  std::vector<uint8_t> seen(10, 0);
   for (const auto& fold : folds) {
     for (size_t index : fold) {
       EXPECT_FALSE(seen[index]);

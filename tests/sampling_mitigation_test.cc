@@ -66,7 +66,7 @@ TEST(PreferentialSamplingTest, IndependentDataKeptVerbatim) {
           .ValueOrDie();
   // All weights are exactly 1: every row exactly once.
   EXPECT_EQ(indices.size(), cells.groups.size());
-  std::vector<bool> seen(cells.groups.size(), false);
+  std::vector<uint8_t> seen(cells.groups.size(), 0);
   for (size_t index : indices) {
     EXPECT_FALSE(seen[index]);
     seen[index] = true;

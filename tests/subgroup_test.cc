@@ -2,6 +2,7 @@
 
 #include "audit/subgroup.h"
 #include "data/csv.h"
+#include "stats/rng.h"
 
 namespace fairlaw::audit {
 namespace {
@@ -121,6 +122,72 @@ TEST(CountConjunctionsTest, AgreesWithAuditExaminedCount) {
       AuditSubgroups(table, {"gender", "race"}, "pred", options)
           .ValueOrDie();
   EXPECT_EQ(result.subgroups_examined, CountConjunctions({2, 2}, 2));
+}
+
+/// Randomized table with enough attribute values to make the depth-3
+/// lattice non-trivial (ties in gap included).
+data::Table RandomizedTable(size_t rows) {
+  stats::Rng rng(42);
+  std::string csv = "a0,a1,a2,a3,pred\n";
+  for (size_t i = 0; i < rows; ++i) {
+    for (int a = 0; a < 4; ++a) {
+      csv += "v" + std::to_string(rng.UniformInt(3)) + ",";
+    }
+    csv += std::to_string(rng.Bernoulli(0.4) ? 1 : 0) + "\n";
+  }
+  return data::ReadCsvString(csv).ValueOrDie();
+}
+
+/// Exact equality — the determinism contract is byte-identical output,
+/// not approximate agreement.
+void ExpectIdentical(const SubgroupAuditResult& a,
+                     const SubgroupAuditResult& b) {
+  EXPECT_EQ(a.subgroups_examined, b.subgroups_examined);
+  EXPECT_EQ(a.subgroups_skipped_small, b.subgroups_skipped_small);
+  EXPECT_EQ(a.any_violation, b.any_violation);
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].subgroup.conditions,
+              b.findings[i].subgroup.conditions)
+        << "finding " << i;
+    EXPECT_EQ(a.findings[i].count, b.findings[i].count);
+    // Bit-level equality on the doubles, not EXPECT_NEAR.
+    EXPECT_EQ(a.findings[i].selection_rate, b.findings[i].selection_rate);
+    EXPECT_EQ(a.findings[i].overall_rate, b.findings[i].overall_rate);
+    EXPECT_EQ(a.findings[i].gap, b.findings[i].gap);
+    EXPECT_EQ(a.findings[i].weighted_gap, b.findings[i].weighted_gap);
+  }
+}
+
+TEST(SubgroupAuditTest, BitmapEnumeratorMatchesRowwiseReference) {
+  data::Table table = RandomizedTable(2000);
+  std::vector<std::string> attrs = {"a0", "a1", "a2", "a3"};
+  SubgroupAuditOptions options;
+  options.max_depth = 3;
+  options.min_support = 5;
+  SubgroupAuditResult bitmap =
+      AuditSubgroups(table, attrs, "pred", options).ValueOrDie();
+  SubgroupAuditResult rowwise =
+      AuditSubgroupsRowwise(table, attrs, "pred", options).ValueOrDie();
+  ExpectIdentical(bitmap, rowwise);
+  EXPECT_GT(bitmap.findings.size(), 0u);
+}
+
+TEST(SubgroupAuditTest, FindingsIdenticalForEveryThreadCount) {
+  data::Table table = RandomizedTable(2000);
+  std::vector<std::string> attrs = {"a0", "a1", "a2", "a3"};
+  SubgroupAuditOptions options;
+  options.max_depth = 3;
+  options.min_support = 5;
+  options.num_threads = 1;
+  SubgroupAuditResult serial =
+      AuditSubgroups(table, attrs, "pred", options).ValueOrDie();
+  for (size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    SubgroupAuditResult parallel =
+        AuditSubgroups(table, attrs, "pred", options).ValueOrDie();
+    ExpectIdentical(serial, parallel);
+  }
 }
 
 TEST(SubgroupDefinitionTest, ToStringFormat) {

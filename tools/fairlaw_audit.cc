@@ -101,6 +101,8 @@ fairlaw::Result<CliOptions> Parse(int argc, char** argv) {
             "--threads must lie in [0,512], got " + std::string(v));
       }
       options.suite.audit.num_threads = static_cast<size_t>(threads);
+      options.suite.subgroup_options.num_threads =
+          static_cast<size_t>(threads);
     } else if (arg[0] == '-') {
       return fairlaw::Status::Invalid(std::string("unknown flag: ") + arg);
     } else if (options.csv_path.empty()) {

@@ -27,13 +27,24 @@
 //                      banned outside src/base/: concurrency goes through
 //                      fairlaw::ThreadPool, and synchronization happens on
 //                      state, not wall-clock time.
+//   6. hot-path        std::vector<bool> is banned tree-wide (its packed
+//                      proxy references defeat spans and word-wise
+//                      kernels; use std::vector<uint8_t> or data::Bitmap),
+//                      and per-row std::string equality comparisons inside
+//                      loops are flagged in src/audit/ and src/metrics/
+//                      (group membership belongs in data::GroupIndex
+//                      bitmaps, not string compares). A deliberate scalar
+//                      baseline can opt out with a
+//                      `lint: allow-string-compare` comment on the line or
+//                      the line above.
 //
-// Comments and string literals are stripped before rules 2, 3, and 5 run,
+// Comments and string literals are stripped before rules 2, 3, 5, and 6 run,
 // so prose mentioning a banned identifier does not trip the pass.
 // Directories named *_fixture are skipped: they hold the deliberate
 // violations the self-tests check. Exit code 0 = clean, 1 = violations
 // (listed one per line as file:line: rule: msg), 2 = usage or I/O error.
 // Registered as a ctest test so violations fail tier-1.
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -67,9 +78,9 @@ class Linter {
     } else {
       Report(src.string(), 0, "tree", "missing src/ directory under root");
     }
-    // Tools and test helpers get the same hygiene rules except the
+    // Tools, tests, and benchmarks get the same hygiene rules except the
     // stdout ban: printing IS the product of a CLI tool.
-    for (const char* top : {"tools", "tests"}) {
+    for (const char* top : {"tools", "tests", "bench"}) {
       const fs::path dir = root_ / top;
       if (fs::is_directory(dir)) ScanTree(dir, /*library=*/false);
     }
@@ -97,6 +108,7 @@ class Linter {
         CheckBannedFunctions(path, stripped, library);
         CheckMessagedChecks(path, stripped, ReadFile(path));
         CheckThreadPrimitives(path, stripped);
+        CheckHotPath(path, stripped, ReadFile(path));
       }
     }
   }
@@ -346,6 +358,159 @@ class Linter {
              "state, not on wall-clock time");
       pos += std::strlen("this_thread");
     }
+  }
+
+  /// Returns the 1-based `line` of `text` (empty when out of range).
+  static std::string_view LineAt(std::string_view text, size_t line) {
+    size_t start = 0;
+    for (size_t current = 1; current < line; ++current) {
+      start = text.find('\n', start);
+      if (start == std::string_view::npos) return {};
+      ++start;
+    }
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    return text.substr(start, end - start);
+  }
+
+  /// True when the flagged line (or the one above, for comments that do
+  /// not fit beside the code) carries the escape-hatch marker. Markers
+  /// live in comments, so we must look at the original text.
+  static bool AllowsStringCompare(const std::string& original, size_t line) {
+    constexpr std::string_view kMarker = "lint: allow-string-compare";
+    if (LineAt(original, line).find(kMarker) != std::string_view::npos) {
+      return true;
+    }
+    return line > 1 &&
+           LineAt(original, line - 1).find(kMarker) != std::string_view::npos;
+  }
+
+  /// Collects the identifiers declared in `stripped` with type
+  /// std::vector<std::string> (values, references, and members alike).
+  /// Purely lexical: the declared name is the first identifier after the
+  /// template closer.
+  static std::vector<std::string> StringVectorNames(
+      const std::string& stripped) {
+    constexpr std::string_view kDecl = "std::vector<std::string>";
+    std::vector<std::string> names;
+    size_t pos = 0;
+    while ((pos = stripped.find(kDecl, pos)) != std::string::npos) {
+      size_t i = pos + kDecl.size();
+      while (i < stripped.size() &&
+             (stripped[i] == '&' || stripped[i] == '*' ||
+              std::isspace(static_cast<unsigned char>(stripped[i])))) {
+        ++i;
+      }
+      size_t end = i;
+      while (end < stripped.size() && IsIdentChar(stripped[end])) ++end;
+      if (end > i &&
+          !std::isdigit(static_cast<unsigned char>(stripped[i]))) {
+        names.push_back(stripped.substr(i, end - i));
+      }
+      pos += kDecl.size();
+    }
+    return names;
+  }
+
+  /// Rule 6: hot-path hygiene. std::vector<bool> is banned in every
+  /// scanned tree; per-row string equality inside loops is flagged for
+  /// the audit/metric kernels, where membership tests must run on
+  /// data::GroupIndex bitmaps (see DESIGN.md §9).
+  void CheckHotPath(const fs::path& path, const std::string& stripped,
+                    const std::string& original) {
+    const std::string rel = RelPath(path);
+    size_t pos = 0;
+    while ((pos = stripped.find("std::vector<bool>", pos)) !=
+           std::string::npos) {
+      Report(rel, LineOfOffset(stripped, pos), "hot-path",
+             "std::vector<bool> is banned: its packed proxies defeat spans "
+             "and word-wise kernels; use std::vector<uint8_t> or "
+             "data::Bitmap");
+      pos += std::strlen("std::vector<bool>");
+    }
+
+    const bool hot_tree = rel.rfind("src/audit/", 0) == 0 ||
+                          rel.rfind("src/metrics/", 0) == 0;
+    if (!hot_tree) return;
+    const std::vector<std::string> names = StringVectorNames(stripped);
+    if (names.empty()) return;
+
+    // One pass over the file tracking which brace depths are loop bodies;
+    // a `for`/`while` header counts as in-loop from its keyword onward,
+    // which also catches per-row compares in the loop condition itself.
+    std::vector<size_t> loop_depths;
+    size_t depth = 0;
+    bool pending_loop = false;
+    for (size_t i = 0; i < stripped.size(); ++i) {
+      const char c = stripped[i];
+      if (c == '{') {
+        ++depth;
+        if (pending_loop) {
+          loop_depths.push_back(depth);
+          pending_loop = false;
+        }
+        continue;
+      }
+      if (c == '}') {
+        if (!loop_depths.empty() && loop_depths.back() == depth) {
+          loop_depths.pop_back();
+        }
+        if (depth > 0) --depth;
+        continue;
+      }
+      if (!IsIdentChar(c) || (i > 0 && IsIdentChar(stripped[i - 1]))) {
+        continue;
+      }
+      size_t end = i;
+      while (end < stripped.size() && IsIdentChar(stripped[end])) ++end;
+      const std::string_view word(stripped.data() + i, end - i);
+      if (word == "for" || word == "while") {
+        pending_loop = true;
+      } else if ((pending_loop || !loop_depths.empty()) &&
+                 std::find(names.begin(), names.end(), word) !=
+                     names.end()) {
+        MaybeReportStringCompare(rel, stripped, original, end);
+      }
+      i = end - 1;
+    }
+  }
+
+  /// Reports a hot-path violation when the text at `after_name` (just past
+  /// a std::vector<std::string> identifier, inside a loop) reads
+  /// `[...] ==` or `[...] !=` and the escape hatch is absent.
+  void MaybeReportStringCompare(const std::string& rel,
+                                const std::string& stripped,
+                                const std::string& original,
+                                size_t after_name) {
+    size_t i = after_name;
+    while (i < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[i]))) {
+      ++i;
+    }
+    if (i >= stripped.size() || stripped[i] != '[') return;
+    int depth = 0;
+    while (i < stripped.size()) {
+      if (stripped[i] == '[') ++depth;
+      if (stripped[i] == ']' && --depth == 0) break;
+      ++i;
+    }
+    if (i >= stripped.size()) return;
+    ++i;  // past ']'
+    while (i < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[i]))) {
+      ++i;
+    }
+    if (i + 1 >= stripped.size() || stripped[i + 1] != '=' ||
+        (stripped[i] != '=' && stripped[i] != '!')) {
+      return;
+    }
+    const size_t line = LineOfOffset(stripped, i);
+    if (AllowsStringCompare(original, line)) return;
+    Report(rel, line, "hot-path",
+           "per-row std::string compare inside a loop: audit/metric "
+           "kernels must test membership via data::GroupIndex bitmaps "
+           "(add `lint: allow-string-compare` only for a deliberate "
+           "scalar baseline)");
   }
 
   /// Rule 4: every metric name registered in src/core/registry.cc must be
