@@ -11,7 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -19,6 +19,7 @@
 
 #include "base/string_util.h"
 #include "core/json.h"
+#include "obs/obs.h"
 #include "stats/distance.h"
 #include "stats/histogram.h"
 #include "stats/ot.h"
@@ -128,12 +129,10 @@ BENCHMARK(BM_ExactTransport)->RangeMultiplier(2)->Range(8, 64);
 int64_t BestOfNs(size_t reps, const std::function<void()>& fn) {
   int64_t best = 0;
   for (size_t r = 0; r < reps; ++r) {
-    const auto start = std::chrono::steady_clock::now();
+    const uint64_t start = fairlaw::obs::MonotonicNowNs();
     fn();
-    const auto elapsed = std::chrono::steady_clock::now() - start;
     const int64_t ns =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-            .count();
+        static_cast<int64_t>(fairlaw::obs::MonotonicNowNs() - start);
     if (r == 0 || ns < best) best = ns;
   }
   return best;

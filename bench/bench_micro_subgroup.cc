@@ -12,7 +12,7 @@
 //     --attrs=N --reps=N.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -22,6 +22,7 @@
 #include "base/string_util.h"
 #include "core/json.h"
 #include "data/column.h"
+#include "obs/obs.h"
 #include "stats/rng.h"
 
 namespace {
@@ -118,12 +119,10 @@ struct HarnessConfig {
 int64_t BestOfNs(size_t reps, const std::function<void()>& fn) {
   int64_t best = 0;
   for (size_t r = 0; r < reps; ++r) {
-    const auto start = std::chrono::steady_clock::now();
+    const uint64_t start = fairlaw::obs::MonotonicNowNs();
     fn();
-    const auto elapsed = std::chrono::steady_clock::now() - start;
     const int64_t ns =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-            .count();
+        static_cast<int64_t>(fairlaw::obs::MonotonicNowNs() - start);
     if (r == 0 || ns < best) best = ns;
   }
   return best;
@@ -180,6 +179,21 @@ int RunComparison(const HarnessConfig& config) {
             .ValueOrDie());
   });
 
+  // Probe overhead: the same bitmap walk with the obs probes live
+  // (bitmap_ns above) vs disabled through the runtime kill switch. The
+  // DESIGN.md §10 budget is < 2% on this walk.
+  fairlaw::obs::SetEnabled(false);
+  const int64_t obs_off_ns = BestOfNs(config.reps, [&] {
+    benchmark::DoNotOptimize(
+        audit::AuditSubgroups(table, attrs, "pred", options).ValueOrDie());
+  });
+  fairlaw::obs::SetEnabled(true);
+  const double obs_overhead_pct =
+      obs_off_ns > 0 ? (static_cast<double>(bitmap_ns) -
+                        static_cast<double>(obs_off_ns)) /
+                           static_cast<double>(obs_off_ns) * 100.0
+                     : 0.0;
+
   fairlaw::JsonWriter writer;
   writer.BeginObject();
   writer.Field("bench", std::string("subgroup_enumeration"));
@@ -197,6 +211,8 @@ int RunComparison(const HarnessConfig& config) {
                               static_cast<double>(bitmap_ns));
   writer.Field("parallel_speedup", static_cast<double>(baseline_ns) /
                                        static_cast<double>(parallel_ns));
+  writer.Field("obs_off_ns", obs_off_ns);
+  writer.Field("obs_overhead_pct", obs_overhead_pct);
   writer.Field("identical_results", identical);
   writer.EndObject();
   const std::string json = writer.Finish().ValueOrDie();

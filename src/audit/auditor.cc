@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <utility>
 
 #include "base/mutex.h"
@@ -10,6 +11,7 @@
 #include "base/thread_annotations.h"
 #include "base/thread_pool.h"
 #include "metrics/group_metrics.h"
+#include "obs/obs.h"
 
 namespace fairlaw::audit {
 namespace {
@@ -130,6 +132,47 @@ class ResultAggregator {
 
 }  // namespace
 
+Status AuditConfig::Validate() const {
+  if (protected_column.empty()) {
+    return Status::Invalid("AuditConfig: protected_column must be set");
+  }
+  if (prediction_column.empty()) {
+    return Status::Invalid("AuditConfig: prediction_column must be set");
+  }
+  for (const std::string& column : strata_columns) {
+    if (column.empty()) {
+      return Status::Invalid(
+          "AuditConfig: strata_columns contains an empty column name");
+    }
+  }
+  if (tolerance < 0.0 || tolerance > 1.0) {
+    return Status::Invalid("AuditConfig: tolerance must lie in [0,1], got " +
+                           FormatDouble(tolerance, 4));
+  }
+  if (di_threshold <= 0.0 || di_threshold > 1.0) {
+    return Status::Invalid(
+        "AuditConfig: di_threshold must lie in (0,1], got " +
+        FormatDouble(di_threshold, 4));
+  }
+  if (calibration_bins == 0) {
+    return Status::Invalid("AuditConfig: calibration_bins must be > 0");
+  }
+  if (calibration_tolerance < 0.0 || calibration_tolerance > 1.0) {
+    return Status::Invalid(
+        "AuditConfig: calibration_tolerance must lie in [0,1], got " +
+        FormatDouble(calibration_tolerance, 4));
+  }
+  if (!score_column.empty() && label_column.empty()) {
+    return Status::Invalid(
+        "AuditConfig: score_column requires label_column (the calibration "
+        "audit needs observed outcomes)");
+  }
+  if (min_stratum_size == 0) {
+    return Status::Invalid("AuditConfig: min_stratum_size must be >= 1");
+  }
+  return Status::OK();
+}
+
 Result<metrics::MetricInput> MetricInputFromTable(
     const data::Table& table, const std::string& protected_column,
     const std::string& prediction_column, const std::string& label_column) {
@@ -224,15 +267,21 @@ legal::AuditFindings AuditResult::ToLegalFindings() const {
 }
 
 Result<const metrics::MetricReport*> AuditResult::Find(
-    const std::string& name) const {
+    std::string_view name) const {
   for (const metrics::MetricReport& report : reports) {
     if (report.metric_name == name) return &report;
   }
-  return Status::NotFound("audit has no metric named '" + name + "'");
+  return Status::NotFound("audit has no metric named '" + std::string(name) +
+                          "'");
 }
 
 Result<AuditResult> RunAudit(const data::Table& table,
                              const AuditConfig& config) {
+  FAIRLAW_RETURN_NOT_OK(config.Validate());
+  obs::TraceSpan run_span("run_audit");
+  obs::GetCounter("audit.runs")->Increment();
+  obs::GetCounter("audit.rows_audited")->Increment(table.num_rows());
+
   FAIRLAW_ASSIGN_OR_RETURN(
       metrics::MetricInput input,
       MetricInputFromTable(table, config.protected_column,
@@ -250,10 +299,6 @@ Result<AuditResult> RunAudit(const data::Table& table,
   // parallelize without touching shared mutable state.
   std::vector<double> scores;
   if (!config.score_column.empty()) {
-    if (config.label_column.empty()) {
-      return Status::Invalid("RunAudit: calibration audit requires a label "
-                             "column alongside the score column");
-    }
     FAIRLAW_ASSIGN_OR_RETURN(const data::Column* score_col,
                              table.GetColumn(config.score_column));
     FAIRLAW_ASSIGN_OR_RETURN(scores, score_col->ToDoubles());
@@ -270,32 +315,49 @@ Result<AuditResult> RunAudit(const data::Table& table,
   ResultAggregator aggregator;
   std::vector<std::function<void()>> jobs;
   size_t seq = 0;
+  // Jobs may run on pool workers whose span stack is empty; capturing the
+  // submitting thread's path here and passing it to TraceSpan keeps the
+  // exported span tree ("run_audit/metric/<name>") identical for every
+  // thread count.
+  const std::string parent_path = obs::CurrentPath();
   auto add_metric =
-      [&](std::function<Result<metrics::MetricReport>()> compute) {
-        jobs.push_back([&aggregator, seq, compute = std::move(compute)] {
+      [&](std::string_view name,
+          std::function<Result<metrics::MetricReport>()> compute) {
+        jobs.push_back([&aggregator, &parent_path, seq,
+                        name = "metric/" + std::string(name),
+                        compute = std::move(compute)] {
+          obs::TraceSpan span(name, parent_path);
           aggregator.AddMetric(seq, compute());
         });
         ++seq;
       };
 
-  add_metric([&] { return metrics::DemographicParity(partition,
-                                                     config.tolerance); });
-  add_metric([&] { return metrics::DemographicDisparity(partition); });
-  add_metric([&] {
+  add_metric("demographic_parity", [&] {
+    return metrics::DemographicParity(partition, config.tolerance);
+  });
+  add_metric("demographic_disparity",
+             [&] { return metrics::DemographicDisparity(partition); });
+  add_metric("disparate_impact_ratio", [&] {
     return metrics::DisparateImpactRatio(partition, config.di_threshold);
   });
   if (!config.label_column.empty()) {
-    add_metric([&] { return metrics::EqualOpportunity(partition,
-                                                      config.tolerance); });
-    add_metric([&] { return metrics::EqualizedOdds(partition,
-                                                   config.tolerance); });
-    add_metric([&] { return metrics::PredictiveParity(partition,
-                                                      config.tolerance); });
-    add_metric([&] { return metrics::AccuracyEquality(partition,
-                                                      config.tolerance); });
+    add_metric("equal_opportunity", [&] {
+      return metrics::EqualOpportunity(partition, config.tolerance);
+    });
+    add_metric("equalized_odds", [&] {
+      return metrics::EqualizedOdds(partition, config.tolerance);
+    });
+    add_metric("predictive_parity", [&] {
+      return metrics::PredictiveParity(partition, config.tolerance);
+    });
+    add_metric("accuracy_equality", [&] {
+      return metrics::AccuracyEquality(partition, config.tolerance);
+    });
   }
   if (!config.score_column.empty()) {
-    jobs.push_back([&aggregator, seq, &input, &scores, &config] {
+    jobs.push_back([&aggregator, &parent_path, seq, &input, &scores,
+                    &config] {
+      obs::TraceSpan span("metric/calibration_within_groups", parent_path);
       aggregator.AddCalibration(
           seq, metrics::CalibrationWithinGroups(input.groups, input.labels,
                                                 scores,
@@ -306,18 +368,22 @@ Result<AuditResult> RunAudit(const data::Table& table,
   }
   if (!config.strata_columns.empty()) {
     auto add_conditional =
-        [&](std::function<Result<metrics::ConditionalReport>()> compute) {
-          jobs.push_back([&aggregator, seq, compute = std::move(compute)] {
+        [&](std::string_view name,
+            std::function<Result<metrics::ConditionalReport>()> compute) {
+          jobs.push_back([&aggregator, &parent_path, seq,
+                          name = "metric/" + std::string(name),
+                          compute = std::move(compute)] {
+            obs::TraceSpan span(name, parent_path);
             aggregator.AddConditional(seq, compute());
           });
           ++seq;
         };
-    add_conditional([&] {
+    add_conditional("conditional_statistical_parity", [&] {
       return metrics::ConditionalStatisticalParity(input, strata,
                                                    config.tolerance,
                                                    config.min_stratum_size);
     });
-    add_conditional([&] {
+    add_conditional("conditional_demographic_disparity", [&] {
       return metrics::ConditionalDemographicDisparity(
           input, strata, config.min_stratum_size);
     });

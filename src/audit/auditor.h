@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/result.h"
@@ -47,6 +48,14 @@ struct AuditConfig {
   /// per hardware thread. The audit output is byte-identical for every
   /// thread count — results are sequenced by metric, not by completion.
   size_t num_threads = 1;
+
+  /// Checks the configuration before any data is touched: required
+  /// column names set (and no empty strata/score names), tolerance and
+  /// di_threshold in range, calibration_bins > 0, score_column only
+  /// alongside label_column. RunAudit calls this first, so a bad config
+  /// fails with one config-shaped error instead of a column-lookup
+  /// error half way through extraction.
+  Status Validate() const;
 };
 
 /// Everything a table audit produced.
@@ -61,7 +70,9 @@ struct AuditResult {
   std::string Render() const;
 
   /// Looks up a report by metric name ("demographic_parity", ...).
-  Result<const metrics::MetricReport*> Find(const std::string& name) const;
+  /// Takes a string_view so call sites with literals or substrings do
+  /// not materialize a temporary std::string.
+  Result<const metrics::MetricReport*> Find(std::string_view name) const;
 
   /// Copies the metric-level findings into the shape the legal layer's
   /// compliance report takes (legal depends on metrics, not on audit).

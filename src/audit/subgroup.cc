@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "base/string_util.h"
 #include "base/thread_pool.h"
 #include "data/bitmap.h"
 #include "data/group_by.h"
 #include "data/group_index.h"
+#include "obs/obs.h"
 
 namespace fairlaw::audit {
 
@@ -17,6 +20,20 @@ std::string SubgroupDefinition::ToString() const {
     out += conditions[i].first + "=" + conditions[i].second;
   }
   return out.empty() ? "(everyone)" : out;
+}
+
+Status SubgroupAuditOptions::Validate() const {
+  if (max_depth < 1) {
+    return Status::Invalid(
+        "SubgroupAuditOptions: max_depth must be >= 1, got " +
+        std::to_string(max_depth));
+  }
+  if (tolerance < 0.0 || tolerance > 1.0) {
+    return Status::Invalid(
+        "SubgroupAuditOptions: tolerance must lie in [0,1], got " +
+        FormatDouble(tolerance, 4));
+  }
+  return Status::OK();
 }
 
 std::vector<SubgroupFinding> SubgroupAuditResult::Violations(
@@ -68,6 +85,19 @@ void SortFindings(SubgroupAuditResult* result) {
 // ---------------------------------------------------------------------------
 // Bitmap enumerator.
 
+/// Per-subtree kernel statistics, tallied on plain fields while the walk
+/// runs and folded into the obs counters once per audit — the lattice
+/// walk is the hot path, so it never touches an atomic per node.
+struct KernelTally {
+  uint64_t popcount_calls = 0;
+  uint64_t pruned_subtrees = 0;
+
+  void MergeInto(KernelTally* total) const {
+    total->popcount_calls += popcount_calls;
+    total->pruned_subtrees += pruned_subtrees;
+  }
+};
+
 /// Walks the conjunction lattice under one member set. `scratch` holds
 /// one preallocated bitmap per depth level, so the whole walk allocates
 /// nothing: the intersection for depth d is computed into (*scratch)[d]
@@ -80,9 +110,10 @@ void EnumerateBitmap(const std::vector<const data::AttributeIndex*>& attrs,
                      std::vector<std::pair<std::string, std::string>>*
                          conditions,
                      std::vector<data::Bitmap>* scratch,
-                     SubgroupAuditResult* result) {
+                     SubgroupAuditResult* result, KernelTally* tally) {
   if (depth > 0) {
     const size_t positives = data::Bitmap::AndCount(members, predictions);
+    ++tally->popcount_calls;
     RecordFinding(*conditions, member_count, positives, num_rows,
                   overall_rate, options, result);
   }
@@ -93,11 +124,15 @@ void EnumerateBitmap(const std::vector<const data::AttributeIndex*>& attrs,
       data::Bitmap& narrowed = (*scratch)[static_cast<size_t>(depth)];
       const size_t count =
           data::Bitmap::AndInto(members, attribute.bitmaps[v], &narrowed);
-      if (count == 0) continue;
+      ++tally->popcount_calls;
+      if (count == 0) {
+        ++tally->pruned_subtrees;
+        continue;
+      }
       conditions->push_back({attribute.name, attribute.values[v]});
       EnumerateBitmap(attrs, predictions, overall_rate, num_rows, options,
                       a + 1, depth + 1, narrowed, count, conditions, scratch,
-                      result);
+                      result, tally);
       conditions->pop_back();
     }
   }
@@ -115,11 +150,13 @@ struct SubtreeTask {
 SubgroupAuditResult RunSubtree(
     const std::vector<const data::AttributeIndex*>& attrs,
     const data::Bitmap& predictions, double overall_rate, size_t num_rows,
-    const SubgroupAuditOptions& options, const SubtreeTask& task) {
+    const SubgroupAuditOptions& options, const SubtreeTask& task,
+    KernelTally* tally) {
   SubgroupAuditResult result;
   const data::AttributeIndex& attribute = *attrs[task.attribute];
   const data::Bitmap& members = attribute.bitmaps[task.value];
   const size_t count = members.Count();
+  ++tally->popcount_calls;
   if (count == 0) return result;  // unreachable: index bitmaps are nonempty
   std::vector<std::pair<std::string, std::string>> conditions = {
       {attribute.name, attribute.values[task.value]}};
@@ -129,7 +166,7 @@ SubgroupAuditResult RunSubtree(
       static_cast<size_t>(options.max_depth) + 1);
   EnumerateBitmap(attrs, predictions, overall_rate, num_rows, options,
                   task.attribute + 1, /*depth=*/1, members, count,
-                  &conditions, &scratch, &result);
+                  &conditions, &scratch, &result, tally);
   return result;
 }
 
@@ -156,11 +193,9 @@ Result<PreparedAudit> Prepare(const data::Table& table,
                               const std::vector<std::string>& attribute_columns,
                               const std::string& prediction_column,
                               const SubgroupAuditOptions& options) {
+  FAIRLAW_RETURN_NOT_OK(options.Validate());
   if (attribute_columns.empty()) {
     return Status::Invalid("AuditSubgroups: no attribute columns");
-  }
-  if (options.max_depth < 1) {
-    return Status::Invalid("AuditSubgroups: max_depth must be >= 1");
   }
   if (table.num_rows() == 0) {
     return Status::Invalid("AuditSubgroups: empty table");
@@ -184,6 +219,7 @@ Result<SubgroupAuditResult> AuditSubgroups(
     const std::vector<std::string>& attribute_columns,
     const std::string& prediction_column,
     const SubgroupAuditOptions& options) {
+  obs::TraceSpan span("audit_subgroups");
   FAIRLAW_ASSIGN_OR_RETURN(
       PreparedAudit prepared,
       Prepare(table, attribute_columns, prediction_column, options));
@@ -204,10 +240,12 @@ Result<SubgroupAuditResult> AuditSubgroups(
   }
 
   std::vector<SubgroupAuditResult> subtree_results(tasks.size());
+  std::vector<KernelTally> subtree_tallies(tasks.size());
   auto run_task = [&](size_t t) {
     subtree_results[t] =
         RunSubtree(attrs, prepared.predictions, prepared.overall_rate,
-                   prepared.num_rows, options, tasks[t]);
+                   prepared.num_rows, options, tasks[t],
+                   &subtree_tallies[t]);
   };
   if (options.num_threads == 1 || tasks.size() <= 1) {
     for (size_t t = 0; t < tasks.size(); ++t) run_task(t);
@@ -221,9 +259,17 @@ Result<SubgroupAuditResult> AuditSubgroups(
   }
 
   SubgroupAuditResult result;
-  for (SubgroupAuditResult& subtree : subtree_results) {
-    MergeResult(std::move(subtree), &result);
+  KernelTally tally;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    MergeResult(std::move(subtree_results[t]), &result);
+    subtree_tallies[t].MergeInto(&tally);
   }
+  obs::GetCounter("subgroup.audits")->Increment();
+  obs::GetCounter("subgroup.nodes_visited")
+      ->Increment(result.subgroups_examined);
+  obs::GetCounter("subgroup.popcount_calls")->Increment(tally.popcount_calls);
+  obs::GetCounter("subgroup.pruned_subtrees")
+      ->Increment(tally.pruned_subtrees);
   SortFindings(&result);
   return result;
 }
@@ -284,11 +330,10 @@ Result<SubgroupAuditResult> AuditSubgroupsRowwise(
     const std::vector<std::string>& attribute_columns,
     const std::string& prediction_column,
     const SubgroupAuditOptions& options) {
+  obs::TraceSpan span("audit_subgroups_rowwise");
+  FAIRLAW_RETURN_NOT_OK(options.Validate());
   if (attribute_columns.empty()) {
     return Status::Invalid("AuditSubgroups: no attribute columns");
-  }
-  if (options.max_depth < 1) {
-    return Status::Invalid("AuditSubgroups: max_depth must be >= 1");
   }
   if (table.num_rows() == 0) {
     return Status::Invalid("AuditSubgroups: empty table");

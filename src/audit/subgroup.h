@@ -54,6 +54,11 @@ struct SubgroupAuditOptions {
   /// results are merged in canonical root order, so the findings are
   /// byte-identical for every thread count.
   size_t num_threads = 1;
+
+  /// Checks the options before the lattice walk: max_depth >= 1 and
+  /// tolerance in [0,1]. Both AuditSubgroups entry points call this
+  /// first, mirroring AuditConfig::Validate.
+  Status Validate() const;
 };
 
 /// Result of the subgroup audit: all findings (sorted by descending gap)

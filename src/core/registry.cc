@@ -66,11 +66,12 @@ Status MetricRegistry::Register(MetricEntry entry) {
   return Status::OK();
 }
 
-Result<const MetricEntry*> MetricRegistry::Get(const std::string& name) const {
+Result<const MetricEntry*> MetricRegistry::Get(std::string_view name) const {
   for (const MetricEntry& entry : entries_) {
     if (entry.name == name) return &entry;
   }
-  return Status::NotFound("MetricRegistry: no metric named '" + name + "'");
+  return Status::NotFound("MetricRegistry: no metric named '" +
+                          std::string(name) + "'");
 }
 
 std::vector<std::string> MetricRegistry::Names() const {

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/result.h"
@@ -36,8 +37,9 @@ class MetricRegistry {
   /// Registers a metric; fails on duplicate name.
   Status Register(MetricEntry entry);
 
-  /// Looks up a metric by name.
-  Result<const MetricEntry*> Get(const std::string& name) const;
+  /// Looks up a metric by name. Takes a string_view so call sites with
+  /// literals or substrings do not materialize a temporary std::string.
+  Result<const MetricEntry*> Get(std::string_view name) const;
 
   /// All registered names in registration order.
   std::vector<std::string> Names() const;

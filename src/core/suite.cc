@@ -2,6 +2,7 @@
 
 #include "base/string_util.h"
 #include "metrics/fairness_metric.h"
+#include "obs/obs.h"
 
 namespace fairlaw {
 
@@ -67,6 +68,7 @@ std::string SuiteReport::Render() const {
 
 Result<SuiteReport> RunFairnessSuite(const data::Table& table,
                                      const SuiteConfig& config) {
+  obs::TraceSpan span("fairness_suite");
   SuiteReport report;
   FAIRLAW_ASSIGN_OR_RETURN(report.audit, audit::RunAudit(table, config.audit));
   report.all_clear = report.audit.all_satisfied;

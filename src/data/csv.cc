@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "base/string_util.h"
+#include "obs/obs.h"
 
 namespace fairlaw::data {
 namespace {
@@ -147,6 +148,8 @@ std::string EscapeField(const std::string& value, char delimiter) {
 
 Result<Table> ReadCsvString(const std::string& text,
                             const CsvOptions& options) {
+  obs::TraceSpan span("read_csv");
+  obs::GetCounter("csv.bytes_read")->Increment(text.size());
   FAIRLAW_ASSIGN_OR_RETURN(auto rows, Tokenize(text, options.delimiter));
   if (rows.empty()) return Status::Invalid("CSV: input has no rows");
 
@@ -189,6 +192,7 @@ Result<Table> ReadCsvString(const std::string& text,
     }
     FAIRLAW_RETURN_NOT_OK(builder.AppendRowWithNulls(cells));
   }
+  obs::GetCounter("csv.rows_loaded")->Increment(rows.size() - first_data_row);
   return builder.Finish();
 }
 

@@ -32,14 +32,15 @@ Result<Schema> Schema::Make(std::vector<Field> fields) {
   return Schema(std::move(fields));
 }
 
-Result<size_t> Schema::FieldIndex(const std::string& name) const {
+Result<size_t> Schema::FieldIndex(std::string_view name) const {
   for (size_t i = 0; i < fields_.size(); ++i) {
     if (fields_[i].name == name) return i;
   }
-  return Status::NotFound("Schema: no field named '" + name + "'");
+  return Status::NotFound("Schema: no field named '" + std::string(name) +
+                          "'");
 }
 
-bool Schema::HasField(const std::string& name) const {
+bool Schema::HasField(std::string_view name) const {
   return FieldIndex(name).ok();
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/result.h"
@@ -42,11 +43,13 @@ class Schema {
   const Field& field(size_t i) const { return fields_[i]; }
   const std::vector<Field>& fields() const { return fields_; }
 
-  /// Index of the field named `name`, or NotFound.
-  Result<size_t> FieldIndex(const std::string& name) const;
+  /// Index of the field named `name`, or NotFound. Takes a string_view
+  /// so lookups with literals or substrings do not materialize a
+  /// temporary std::string.
+  Result<size_t> FieldIndex(std::string_view name) const;
 
   /// True if a field named `name` exists.
-  bool HasField(const std::string& name) const;
+  bool HasField(std::string_view name) const;
 
   /// Returns a new schema with `field` appended; fails on duplicate name.
   Result<Schema> AddField(Field field) const;

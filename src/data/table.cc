@@ -28,7 +28,7 @@ Result<Table> Table::Make(Schema schema, std::vector<Column> columns) {
   return Table(std::move(schema), std::move(columns));
 }
 
-Result<const Column*> Table::GetColumn(const std::string& name) const {
+Result<const Column*> Table::GetColumn(std::string_view name) const {
   FAIRLAW_ASSIGN_OR_RETURN(size_t index, schema_.FieldIndex(name));
   return &columns_[index];
 }

@@ -5,6 +5,7 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/result.h"
@@ -31,9 +32,11 @@ class Table {
   size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
   size_t num_columns() const { return columns_.size(); }
 
-  /// Column access by index / name.
+  /// Column access by index / name. The name lookup takes a string_view
+  /// so call sites with literals or substrings do not materialize a
+  /// temporary std::string.
   const Column& column(size_t i) const { return columns_[i]; }
-  Result<const Column*> GetColumn(const std::string& name) const;
+  Result<const Column*> GetColumn(std::string_view name) const;
 
   /// Returns a new table with `column` appended under `name`. The column
   /// length must equal num_rows() (any length is accepted when the table

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "obs/obs.h"
 #include "stats/empirical.h"
 
 namespace fairlaw::mitigation {
@@ -9,6 +10,7 @@ namespace fairlaw::mitigation {
 Result<std::vector<double>> RepairFeature(
     const std::vector<std::string>& groups, const std::vector<double>& values,
     double repair_level) {
+  obs::TraceSpan span("repair_feature");
   if (groups.size() != values.size()) {
     return Status::Invalid("RepairFeature: size mismatch");
   }
@@ -45,6 +47,7 @@ Result<std::vector<double>> RepairFeature(
     repaired[i] =
         (1.0 - repair_level) * values[i] + repair_level * target;
   }
+  obs::GetCounter("mitigation.values_repaired")->Increment(repaired.size());
   return repaired;
 }
 

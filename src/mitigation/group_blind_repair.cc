@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/obs.h"
 #include "stats/descriptive.h"
 
 namespace fairlaw::mitigation {
@@ -11,6 +12,7 @@ namespace fairlaw::mitigation {
 Result<GroupBlindRepair> GroupBlindRepair::Fit(
     const std::vector<std::vector<double>>& reference_group_scores,
     const std::vector<double>& group_marginals) {
+  obs::TraceSpan span("group_blind_repair_fit");
   if (reference_group_scores.size() < 2) {
     return Status::Invalid("GroupBlindRepair: need >= 2 reference groups");
   }
@@ -110,6 +112,7 @@ std::vector<double> GroupBlindRepair::PosteriorGroupProbabilities(
 
 Result<std::vector<double>> GroupBlindRepair::Apply(
     std::span<const double> pooled_scores, double strength) const {
+  obs::TraceSpan span("group_blind_repair_apply");
   if (strength < 0.0 || strength > 1.0) {
     return Status::Invalid("GroupBlindRepair: strength must lie in [0,1]");
   }
@@ -121,6 +124,7 @@ Result<std::vector<double>> GroupBlindRepair::Apply(
     repaired[i] = pooled_scores[i] +
                   strength * calibration_ * RawCorrection(pooled_scores[i]);
   }
+  obs::GetCounter("mitigation.values_repaired")->Increment(repaired.size());
   return repaired;
 }
 

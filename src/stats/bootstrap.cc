@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/thread_pool.h"
+#include "obs/obs.h"
 #include "stats/descriptive.h"
 
 namespace fairlaw::stats {
@@ -68,6 +69,7 @@ Result<ConfidenceInterval> BootstrapCi(std::span<const double> sample,
                                        const Statistic& statistic,
                                        int replicates, double level, Rng* rng,
                                        size_t num_threads) {
+  obs::TraceSpan span("bootstrap_ci");
   FAIRLAW_RETURN_NOT_OK(
       CheckBootstrapArgs(replicates, level, rng, "BootstrapCi"));
   if (sample.empty()) return Status::Invalid("BootstrapCi: empty sample");
@@ -84,6 +86,7 @@ Result<ConfidenceInterval> BootstrapCi(std::span<const double> sample,
     std::vector<double> resampled = Resample(sample, &replicate_rng);
     replicas[r] = statistic(resampled);
   });
+  obs::GetHistogram("bootstrap.replicates")->Record(replicas.size());
   return PercentileInterval(std::move(replicas), statistic(sample), level);
 }
 
@@ -91,6 +94,7 @@ Result<ConfidenceInterval> BootstrapCiTwoSample(
     std::span<const double> sample_a, std::span<const double> sample_b,
     const TwoSampleStatistic& statistic, int replicates, double level,
     Rng* rng, size_t num_threads) {
+  obs::TraceSpan span("bootstrap_ci_two_sample");
   FAIRLAW_RETURN_NOT_OK(
       CheckBootstrapArgs(replicates, level, rng, "BootstrapCiTwoSample"));
   if (sample_a.empty() || sample_b.empty()) {
@@ -109,6 +113,7 @@ Result<ConfidenceInterval> BootstrapCiTwoSample(
     std::vector<double> rb = Resample(sample_b, &replicate_rng);
     replicas[r] = statistic(ra, rb);
   });
+  obs::GetHistogram("bootstrap.replicates")->Record(replicas.size());
   return PercentileInterval(std::move(replicas),
                             statistic(sample_a, sample_b), level);
 }

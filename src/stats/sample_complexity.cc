@@ -1,8 +1,9 @@
 #include "stats/sample_complexity.h"
 
-#include <chrono>
 #include <cmath>
+#include <cstdint>
 
+#include "obs/obs.h"
 #include "stats/descriptive.h"
 
 namespace fairlaw::stats {
@@ -37,11 +38,10 @@ Result<ComplexityCurve> MeasureSampleComplexity(
     for (int r = 0; r < repetitions; ++r) {
       std::vector<double> x = sampler_p(n, rng);
       std::vector<double> y = sampler_q(n, rng);
-      auto start = std::chrono::steady_clock::now();
+      const uint64_t start_ns = obs::MonotonicNowNs();
       FAIRLAW_ASSIGN_OR_RETURN(double est, estimator(x, y));
-      auto end = std::chrono::steady_clock::now();
-      total_us += std::chrono::duration<double, std::micro>(end - start)
-                      .count();
+      total_us +=
+          static_cast<double>(obs::MonotonicNowNs() - start_ns) / 1000.0;
       estimates.push_back(est);
     }
     ComplexityPoint point;

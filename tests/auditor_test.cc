@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "audit/auditor.h"
 #include "data/csv.h"
 
@@ -144,6 +146,81 @@ TEST(MetricInputMultiTest, CombinesProtectedColumns) {
   }
   EXPECT_TRUE(found);
   EXPECT_FALSE(MetricInputFromTableMulti(table, {}, "pred", "").ok());
+}
+
+TEST(AuditConfigTest, ValidateAcceptsDefaults) {
+  AuditConfig config;
+  config.protected_column = "g";
+  config.prediction_column = "pred";
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(AuditConfigTest, ValidateRejectsBadFields) {
+  AuditConfig valid;
+  valid.protected_column = "g";
+  valid.prediction_column = "pred";
+
+  AuditConfig config = valid;
+  config.protected_column = "";
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = valid;
+  config.prediction_column = "";
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = valid;
+  config.strata_columns = {"dept", ""};
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = valid;
+  config.tolerance = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.tolerance = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = valid;
+  config.di_threshold = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.di_threshold = 1.2;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = valid;
+  config.calibration_bins = 0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = valid;
+  config.calibration_tolerance = -0.5;
+  EXPECT_FALSE(config.Validate().ok());
+
+  // Calibration needs both a score and a label column.
+  config = valid;
+  config.score_column = "score";
+  config.label_column = "";
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = valid;
+  config.min_stratum_size = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(AuditConfigTest, RunAuditRejectsInvalidConfig) {
+  data::Table table = BiasedTable();
+  AuditConfig config;
+  config.protected_column = "gender";
+  config.prediction_column = "pred";
+  config.tolerance = 2.0;
+  EXPECT_FALSE(RunAudit(table, config).ok());
+}
+
+TEST(AuditResultFindTest, AcceptsStringView) {
+  data::Table table = BiasedTable();
+  AuditConfig config;
+  config.protected_column = "gender";
+  config.prediction_column = "pred";
+  AuditResult result = RunAudit(table, config).ValueOrDie();
+  const std::string_view name = "demographic_parity";
+  EXPECT_TRUE(result.Find(name).ok());
+  EXPECT_FALSE(result.Find("no_such_metric").ok());
 }
 
 }  // namespace

@@ -101,6 +101,15 @@ TEST(SubgroupAuditTest, Validation) {
   options.max_depth = 1;
   EXPECT_FALSE(AuditSubgroups(table, {"gender"}, "race", options).ok());
   EXPECT_FALSE(AuditSubgroups(table, {"gender"}, "missing", options).ok());
+
+  // Validate() mirrors AuditConfig::Validate and is what both audit
+  // entry points call first.
+  SubgroupAuditOptions bad_tolerance;
+  bad_tolerance.tolerance = 1.5;
+  EXPECT_FALSE(bad_tolerance.Validate().ok());
+  bad_tolerance.tolerance = -0.1;
+  EXPECT_FALSE(bad_tolerance.Validate().ok());
+  EXPECT_TRUE(SubgroupAuditOptions{}.Validate().ok());
 }
 
 TEST(CountConjunctionsTest, MatchesExhaustiveEnumeration) {

@@ -1,0 +1,164 @@
+#include "tools/cli.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace fairlaw::cli {
+namespace {
+
+/// Renders a double compactly for help text and range messages:
+/// FormatDouble's fixed four digits with trailing zeros (and a bare
+/// trailing dot) trimmed, so 0.0500 -> "0.05" and 1.0000 -> "1".
+std::string TrimmedDouble(double value) {
+  std::string text = FormatDouble(value, 4);
+  if (text.find('.') != std::string::npos) {
+    size_t end = text.size();
+    while (end > 0 && text[end - 1] == '0') --end;
+    if (end > 0 && text[end - 1] == '.') --end;
+    text.resize(end);
+  }
+  return text;
+}
+
+}  // namespace
+
+const char* Flag<std::string>::Hint() { return "VALUE"; }
+Result<std::string> Flag<std::string>::Parse(std::string_view text) {
+  return std::string(text);
+}
+std::string Flag<std::string>::Render(const std::string& value) {
+  return value;
+}
+
+const char* Flag<bool>::Hint() { return ""; }
+Result<bool> Flag<bool>::Parse(std::string_view text) {
+  if (text.empty()) return true;  // bare "--flag" means set
+  return ParseBool(text);
+}
+std::string Flag<bool>::Render(const bool& value) {
+  // Presence flags default to false; showing "(default: false)" on
+  // every one of them is noise.
+  return value ? "true" : "";
+}
+
+const char* Flag<double>::Hint() { return "F"; }
+Result<double> Flag<double>::Parse(std::string_view text) {
+  return ParseDouble(text);
+}
+std::string Flag<double>::Render(const double& value) {
+  return TrimmedDouble(value);
+}
+
+const char* Flag<int64_t>::Hint() { return "N"; }
+Result<int64_t> Flag<int64_t>::Parse(std::string_view text) {
+  return ParseInt64(text);
+}
+std::string Flag<int64_t>::Render(const int64_t& value) {
+  return std::to_string(value);
+}
+
+const char* Flag<uint64_t>::Hint() { return "N"; }
+Result<uint64_t> Flag<uint64_t>::Parse(std::string_view text) {
+  FAIRLAW_ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(text));
+  if (parsed < 0) {
+    return Status::Invalid("value must be >= 0, got " + std::string(text));
+  }
+  return static_cast<uint64_t>(parsed);
+}
+std::string Flag<uint64_t>::Render(const uint64_t& value) {
+  return std::to_string(value);
+}
+
+const char* Flag<std::vector<std::string>>::Hint() { return "A[,B...]"; }
+Result<std::vector<std::string>> Flag<std::vector<std::string>>::Parse(
+    std::string_view text) {
+  return Split(text, ',');
+}
+std::string Flag<std::vector<std::string>>::Render(
+    const std::vector<std::string>& value) {
+  return Join(value, ",");
+}
+
+FlagSet::FlagSet(std::string_view program, std::string_view positionals,
+                 std::string_view summary)
+    : program_(program), positionals_(positionals), summary_(summary) {}
+
+void FlagSet::Register(Entry entry) { entries_.push_back(std::move(entry)); }
+
+const FlagSet::Entry* FlagSet::Find(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Result<ParseResult> FlagSet::Parse(int argc, char* const* argv) const {
+  ParseResult result;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      result.help = true;
+      return result;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      const std::string_view body = arg.substr(2);
+      const size_t eq = body.find('=');
+      const std::string_view name =
+          eq == std::string_view::npos ? body : body.substr(0, eq);
+      const Entry* entry = Find(name);
+      if (entry == nullptr) {
+        return Status::Invalid("unknown flag: --" + std::string(name) +
+                               " (see --help)");
+      }
+      if (entry->takes_value && eq == std::string_view::npos) {
+        return Status::Invalid("--" + entry->name + " requires a value (--" +
+                               entry->name + "=" + entry->value_hint + ")");
+      }
+      const std::string_view value =
+          eq == std::string_view::npos ? std::string_view()
+                                       : body.substr(eq + 1);
+      FAIRLAW_RETURN_NOT_OK(entry->parse(value));
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      return Status::Invalid("unknown flag: " + std::string(arg) +
+                             " (see --help)");
+    } else {
+      result.positionals.emplace_back(arg);
+    }
+  }
+  return result;
+}
+
+std::string FlagSet::Help() const {
+  std::string out = "usage: " + program_;
+  if (!positionals_.empty()) out += " " + positionals_;
+  if (!entries_.empty()) out += " [flags]";
+  out += "\n";
+  if (!summary_.empty()) out += "\n" + summary_ + "\n";
+  if (entries_.empty()) return out;
+
+  std::vector<std::string> lefts;
+  size_t width = 0;
+  for (const Entry& entry : entries_) {
+    std::string left = "  --" + entry.name;
+    if (entry.takes_value) left += "=" + entry.value_hint;
+    width = std::max(width, left.size());
+    lefts.push_back(std::move(left));
+  }
+  out += "\nflags:\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    std::string line = lefts[i];
+    line.append(width + 2 - line.size(), ' ');
+    line += entries_[i].help;
+    if (!entries_[i].default_text.empty()) {
+      line += " (default: " + entries_[i].default_text + ")";
+    }
+    out += line + "\n";
+  }
+  out += "  --help";
+  out.append(width + 2 > 8 ? width + 2 - 8 : 2, ' ');
+  out += "show this help\n";
+  return out;
+}
+
+}  // namespace fairlaw::cli

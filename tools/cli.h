@@ -1,0 +1,201 @@
+#ifndef FAIRLAW_TOOLS_CLI_H_
+#define FAIRLAW_TOOLS_CLI_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+
+/// Shared --flag=value parsing for the fairlaw command-line tools.
+///
+/// Before this existed every tool hand-rolled its own strncmp loop; the
+/// four copies drifted (different unknown-flag behavior, different help
+/// conventions, ad-hoc range checks). The FlagSet registry replaces all
+/// of them:
+///
+///   cli::FlagSet flags("fairlaw_audit", "<csv>", "Audits decisions ...");
+///   std::string protected_column;
+///   double tolerance = 0.05;
+///   bool json = false;
+///   flags.Add("protected", &protected_column, "protected attribute column");
+///   flags.Add("tolerance", &tolerance, "gap tolerance",
+///             cli::Range<double>{0.0, 1.0});
+///   flags.Add("json", &json, "emit machine-readable JSON");
+///   FAIRLAW_ASSIGN_OR_RETURN(cli::ParseResult parsed,
+///                            flags.Parse(argc, argv));
+///
+/// Conventions enforced for every tool:
+///   * values attach with '=' ("--tolerance=0.1"); bool flags are bare
+///     presence flags ("--json", optionally "--json=false").
+///   * unknown flags are Status errors, never silently ignored.
+///   * "--help" / "-h" short-circuit; FlagSet::Help() autogenerates the
+///     flag listing (with defaults) so usage text cannot go stale.
+///   * numeric flags take an optional Range with per-bound openness;
+///     violations report "--name must lie in [lo,hi], got x".
+namespace fairlaw::cli {
+
+/// Typed parse/render behavior of one flag value. Specialized for the
+/// supported target types (std::string, bool, double, int64_t,
+/// uint64_t, std::vector<std::string>); FlagSet::Add works for exactly
+/// these. Each specialization provides:
+///   Hint()   — placeholder shown in help ("--name=F");
+///   Parse()  — whole-input checked conversion of the text after '=';
+///   Render() — value rendering for the "(default: ...)" help suffix
+///              (empty string suppresses the suffix).
+template <typename T>
+struct Flag;
+
+template <>
+struct Flag<std::string> {
+  static const char* Hint();
+  static Result<std::string> Parse(std::string_view text);
+  static std::string Render(const std::string& value);
+};
+
+template <>
+struct Flag<bool> {
+  static const char* Hint();
+  static Result<bool> Parse(std::string_view text);
+  static std::string Render(const bool& value);
+};
+
+template <>
+struct Flag<double> {
+  static const char* Hint();
+  static Result<double> Parse(std::string_view text);
+  static std::string Render(const double& value);
+};
+
+template <>
+struct Flag<int64_t> {
+  static const char* Hint();
+  static Result<int64_t> Parse(std::string_view text);
+  static std::string Render(const int64_t& value);
+};
+
+template <>
+struct Flag<uint64_t> {
+  static const char* Hint();
+  static Result<uint64_t> Parse(std::string_view text);
+  static std::string Render(const uint64_t& value);
+};
+
+template <>
+struct Flag<std::vector<std::string>> {
+  static const char* Hint();
+  static Result<std::vector<std::string>> Parse(std::string_view text);
+  static std::string Render(const std::vector<std::string>& value);
+};
+
+/// Closed/open numeric interval for range-checked flags.
+template <typename T>
+struct Range {
+  T min;
+  T max;
+  bool min_inclusive = true;
+  bool max_inclusive = true;
+
+  bool Contains(T value) const {
+    if (min_inclusive ? value < min : value <= min) return false;
+    if (max_inclusive ? value > max : value >= max) return false;
+    return true;
+  }
+
+  std::string Render() const {
+    return std::string(min_inclusive ? "[" : "(") + Flag<T>::Render(min) +
+           "," + Flag<T>::Render(max) + (max_inclusive ? "]" : ")");
+  }
+};
+
+/// Outcome of a successful parse: the non-flag arguments in order, plus
+/// whether --help/-h was seen (when set, no other argument was
+/// processed and the tool should print Help() and exit 0).
+struct ParseResult {
+  std::vector<std::string> positionals;
+  bool help = false;
+};
+
+/// Registry of a tool's flags; see the file comment for usage.
+class FlagSet {
+ public:
+  /// `positionals` documents the positional arguments for the usage
+  /// line (e.g. "<csv>"); `summary` is the one-paragraph description.
+  FlagSet(std::string_view program, std::string_view positionals,
+          std::string_view summary);
+
+  /// Registers "--name=<value>" writing into `*target` (which holds the
+  /// default and must outlive Parse). Bool targets register a bare
+  /// presence flag.
+  template <typename T>
+  void Add(std::string_view name, T* target, std::string_view help) {
+    AddImpl(name, target, help, std::optional<Range<T>>());
+  }
+
+  /// Range-checked numeric flag.
+  template <typename T>
+  void Add(std::string_view name, T* target, std::string_view help,
+           Range<T> range) {
+    static_assert(std::is_arithmetic_v<T> && !std::is_same_v<T, bool>,
+                  "Range applies to numeric flags only");
+    AddImpl(name, target, help, std::optional<Range<T>>(std::move(range)));
+  }
+
+  /// Parses argv. Flags may interleave with positionals; every
+  /// "--name" must be registered, anything else starting with '-' is an
+  /// unknown-flag error.
+  Result<ParseResult> Parse(int argc, char* const* argv) const;
+
+  /// Autogenerated usage text (usage line, summary, flag listing).
+  std::string Help() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    std::string value_hint;
+    std::string default_text;
+    bool takes_value = true;
+    std::function<Status(std::string_view)> parse;
+  };
+
+  template <typename T>
+  void AddImpl(std::string_view name, T* target, std::string_view help,
+               std::optional<Range<T>> range) {
+    Entry entry;
+    entry.name = std::string(name);
+    entry.help = std::string(help);
+    entry.value_hint = Flag<T>::Hint();
+    entry.default_text = Flag<T>::Render(*target);
+    entry.takes_value = !std::is_same_v<T, bool>;
+    entry.parse = [target, range = std::move(range),
+                   flag = std::string(name)](std::string_view text) -> Status {
+      FAIRLAW_ASSIGN_OR_RETURN(T parsed, Flag<T>::Parse(text));
+      if (range.has_value() && !range->Contains(parsed)) {
+        return Status::Invalid("--" + flag + " must lie in " +
+                               range->Render() + ", got " +
+                               std::string(text));
+      }
+      *target = std::move(parsed);
+      return Status::OK();
+    };
+    Register(std::move(entry));
+  }
+
+  void Register(Entry entry);
+  const Entry* Find(std::string_view name) const;
+
+  std::string program_;
+  std::string positionals_;
+  std::string summary_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fairlaw::cli
+
+#endif  // FAIRLAW_TOOLS_CLI_H_

@@ -4,20 +4,25 @@
 //       [--label=outcome] [--score=probability]
 //       [--strata=dept,level] [--proxies=zip,education]
 //       [--subgroups=gender,race] [--tolerance=0.05] [--json]
+//       [--obs-json=PATH] [--obs-timings]
 //
 // Reads a CSV, runs the configured fairness suite, and prints either the
 // human-readable report or (with --json) the machine-readable artifact.
+// --obs-json additionally dumps the obs probe registry (counters,
+// histograms, trace spans) collected during the run; the dump is
+// byte-identical for every --threads value unless --obs-timings adds the
+// (non-reproducible) wall-clock totals.
 // Exit codes: 0 = all clear, 2 = violations found, 1 = error.
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
+#include <fstream>
 #include <string>
-#include <vector>
 
-#include "base/string_util.h"
 #include "core/json.h"
 #include "core/suite.h"
 #include "data/csv.h"
+#include "obs/obs.h"
+#include "tools/cli.h"
 
 namespace {
 
@@ -25,115 +30,113 @@ struct CliOptions {
   std::string csv_path;
   fairlaw::SuiteConfig suite;
   bool json = false;
-  bool show_help = false;
+  std::string obs_json_path;
+  bool obs_timings = false;
 };
 
-void PrintUsage() {
-  std::fprintf(
-      stderr,
-      "usage: fairlaw_audit <csv> --protected=COL --pred=COL\n"
-      "       [--label=COL] [--score=COL] [--strata=COL[,COL...]]\n"
-      "       [--proxies=COL[,COL...]] [--subgroups=COL[,COL...]]\n"
-      "       [--tolerance=F] [--di-threshold=F] [--threads=N] [--json]\n"
-      "\n"
+fairlaw::cli::FlagSet MakeFlags(CliOptions* options) {
+  fairlaw::cli::FlagSet flags(
+      "fairlaw_audit", "<csv>",
       "Audits the decisions in <csv> for the fairness definitions of\n"
       "'Fairness in AI: bridging algorithms and law' (ICDE 2024 wksp).\n"
-      "exit codes: 0 all clear, 2 violations found, 1 error\n");
+      "exit codes: 0 all clear, 2 violations found, 1 error");
+  fairlaw::audit::AuditConfig& audit = options->suite.audit;
+  flags.Add("protected", &audit.protected_column,
+            "protected attribute column (required)");
+  flags.Add("pred", &audit.prediction_column,
+            "binary decision column (required)");
+  flags.Add("label", &audit.label_column,
+            "outcome column; enables the label-dependent metrics");
+  flags.Add("score", &audit.score_column,
+            "probability score column; enables the calibration audit");
+  flags.Add("strata", &audit.strata_columns,
+            "legitimate-factor columns for the conditional metrics");
+  flags.Add("proxies", &options->suite.proxy_candidates,
+            "candidate proxy columns for the proxy audit");
+  flags.Add("subgroups", &options->suite.subgroup_columns,
+            "attribute columns for the subgroup audit");
+  flags.Add("tolerance", &audit.tolerance,
+            "gap tolerance for the equality-style metrics",
+            fairlaw::cli::Range<double>{0.0, 1.0});
+  flags.Add("di-threshold", &audit.di_threshold,
+            "disparate-impact ratio threshold (four-fifths rule)",
+            fairlaw::cli::Range<double>{0.0, 1.0, /*min_inclusive=*/false});
+  flags.Add("json", &options->json, "emit the machine-readable JSON report");
+  flags.Add("obs-json", &options->obs_json_path,
+            "write the obs probe dump (counters/histograms/spans) here");
+  flags.Add("obs-timings", &options->obs_timings,
+            "include per-span wall-clock totals in the obs dump "
+            "(non-reproducible across runs)");
+  return flags;
 }
 
-fairlaw::Result<CliOptions> Parse(int argc, char** argv) {
+fairlaw::Result<CliOptions> Parse(int argc, char** argv, bool* show_help,
+                                  std::string* help_text) {
   CliOptions options;
-  auto value_of = [](const char* arg,
-                     const char* name) -> const char* {
-    size_t len = std::strlen(name);
-    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-      return arg + len + 1;
-    }
-    return nullptr;
-  };
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* v = nullptr;
-    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      options.show_help = true;
-      return options;
-    }
-    if (std::strcmp(arg, "--json") == 0) {
-      options.json = true;
-    } else if ((v = value_of(arg, "--protected"))) {
-      options.suite.audit.protected_column = v;
-    } else if ((v = value_of(arg, "--pred"))) {
-      options.suite.audit.prediction_column = v;
-    } else if ((v = value_of(arg, "--label"))) {
-      options.suite.audit.label_column = v;
-    } else if ((v = value_of(arg, "--score"))) {
-      options.suite.audit.score_column = v;
-    } else if ((v = value_of(arg, "--strata"))) {
-      options.suite.audit.strata_columns = fairlaw::Split(v, ',');
-    } else if ((v = value_of(arg, "--proxies"))) {
-      options.suite.proxy_candidates = fairlaw::Split(v, ',');
-    } else if ((v = value_of(arg, "--subgroups"))) {
-      options.suite.subgroup_columns = fairlaw::Split(v, ',');
-    } else if ((v = value_of(arg, "--tolerance"))) {
-      // ParseDouble wraps std::from_chars: whole-input, checked conversion.
-      FAIRLAW_ASSIGN_OR_RETURN(options.suite.audit.tolerance,
-                               fairlaw::ParseDouble(v));
-      if (options.suite.audit.tolerance < 0.0 ||
-          options.suite.audit.tolerance > 1.0) {
-        return fairlaw::Status::Invalid(
-            "--tolerance must lie in [0,1], got " + std::string(v));
-      }
-    } else if ((v = value_of(arg, "--di-threshold"))) {
-      FAIRLAW_ASSIGN_OR_RETURN(options.suite.audit.di_threshold,
-                               fairlaw::ParseDouble(v));
-      if (options.suite.audit.di_threshold <= 0.0 ||
-          options.suite.audit.di_threshold > 1.0) {
-        return fairlaw::Status::Invalid(
-            "--di-threshold must lie in (0,1], got " + std::string(v));
-      }
-    } else if ((v = value_of(arg, "--threads"))) {
-      // The audit output is identical for every thread count; N > 1 only
-      // changes how the metric evaluations are scheduled. 0 = one worker
-      // per hardware thread.
-      FAIRLAW_ASSIGN_OR_RETURN(int64_t threads, fairlaw::ParseInt64(v));
-      if (threads < 0 || threads > 512) {
-        return fairlaw::Status::Invalid(
-            "--threads must lie in [0,512], got " + std::string(v));
-      }
-      options.suite.audit.num_threads = static_cast<size_t>(threads);
-      options.suite.subgroup_options.num_threads =
-          static_cast<size_t>(threads);
-    } else if (arg[0] == '-') {
-      return fairlaw::Status::Invalid(std::string("unknown flag: ") + arg);
-    } else if (options.csv_path.empty()) {
-      options.csv_path = arg;
-    } else {
-      return fairlaw::Status::Invalid("more than one input file given");
-    }
+  // --threads is registered on a local so the same value can fan out to
+  // both the metric pool and the subgroup lattice pool.
+  int64_t threads = 1;
+  fairlaw::cli::FlagSet flags = MakeFlags(&options);
+  flags.Add("threads", &threads,
+            "worker threads (0 = one per hardware thread); the output is "
+            "identical for every value",
+            fairlaw::cli::Range<int64_t>{0, 512});
+  *help_text = flags.Help();
+  FAIRLAW_ASSIGN_OR_RETURN(fairlaw::cli::ParseResult parsed,
+                           flags.Parse(argc, argv));
+  if (parsed.help) {
+    *show_help = true;
+    return options;
   }
-  if (options.csv_path.empty()) {
+  options.suite.audit.num_threads = static_cast<size_t>(threads);
+  options.suite.subgroup_options.num_threads = static_cast<size_t>(threads);
+  if (parsed.positionals.empty()) {
     return fairlaw::Status::Invalid("no input CSV given");
   }
+  if (parsed.positionals.size() > 1) {
+    return fairlaw::Status::Invalid("more than one input file given");
+  }
+  options.csv_path = parsed.positionals[0];
   if (options.suite.audit.protected_column.empty() ||
       options.suite.audit.prediction_column.empty()) {
-    return fairlaw::Status::Invalid(
-        "--protected and --pred are required");
+    return fairlaw::Status::Invalid("--protected and --pred are required");
   }
   return options;
+}
+
+/// Writes the obs registry dump; called after the suite so the probes
+/// cover the full run (the ThreadPools are joined by then, so every
+/// worker's spans have merged).
+fairlaw::Status WriteObsJson(const std::string& path, bool include_timings) {
+  fairlaw::obs::ExportOptions export_options;
+  export_options.include_timings = include_timings;
+  const std::string dump = fairlaw::obs::ExportJson(export_options);
+  std::ofstream output(path, std::ios::binary);
+  if (!output) {
+    return fairlaw::Status::IOError("cannot open '" + path +
+                                    "' for writing");
+  }
+  output << dump << '\n';
+  if (!output) {
+    return fairlaw::Status::IOError("error writing '" + path + "'");
+  }
+  return fairlaw::Status::OK();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  fairlaw::Result<CliOptions> parsed = Parse(argc, argv);
+  bool show_help = false;
+  std::string help_text;
+  fairlaw::Result<CliOptions> parsed =
+      Parse(argc, argv, &show_help, &help_text);
   if (!parsed.ok()) {
-    std::fprintf(stderr, "error: %s\n\n",
-                 parsed.status().message().c_str());
-    PrintUsage();
+    std::fprintf(stderr, "error: %s\n\n%s",
+                 parsed.status().message().c_str(), help_text.c_str());
     return 1;
   }
-  if (parsed->show_help) {
-    PrintUsage();
+  if (show_help) {
+    std::printf("%s", help_text.c_str());
     return 0;
   }
 
@@ -152,6 +155,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "audit error: %s\n",
                  report.status().ToString().c_str());
     return 1;
+  }
+
+  if (!parsed->obs_json_path.empty()) {
+    fairlaw::Status obs_status =
+        WriteObsJson(parsed->obs_json_path, parsed->obs_timings);
+    if (!obs_status.ok()) {
+      std::fprintf(stderr, "obs dump error: %s\n",
+                   obs_status.ToString().c_str());
+      return 1;
+    }
   }
 
   if (parsed->json) {

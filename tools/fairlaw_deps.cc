@@ -59,6 +59,8 @@
 #include <string_view>
 #include <vector>
 
+#include "tools/cli.h"
+
 namespace {
 
 namespace fs = std::filesystem;
@@ -72,11 +74,12 @@ struct ModuleSpec {
 // DESIGN.md; adding a src/ module without declaring it here is itself a
 // violation (unknown-module).
 constexpr ModuleSpec kModules[] = {
-    {"base", 0},       {"stats", 1},      {"data", 2},
-    {"metrics", 3},    {"legal", 3},      {"causal", 3},
-    {"audit", 4},      {"mitigation", 4}, {"ml", 4},
-    {"simulation", 4}, {"core", 5},       {"tools", 6},
-    {"tests", 6},      {"bench", 6},      {"examples", 6},
+    {"base", 0},       {"obs", 1},        {"stats", 1},
+    {"data", 2},       {"metrics", 3},    {"legal", 3},
+    {"causal", 3},     {"audit", 4},      {"mitigation", 4},
+    {"ml", 4},         {"simulation", 4}, {"core", 5},
+    {"tools", 6},      {"tests", 6},      {"bench", 6},
+    {"examples", 6},
 };
 
 int RankOf(const std::string& module) {
@@ -827,30 +830,35 @@ bool WriteFileOrComplain(const std::string& path, const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = ".";
+  std::string root_flag = ".";
   std::string json_path;
   std::string dot_path;
   bool verbose = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.rfind("--root=", 0) == 0) {
-      root = fs::path(std::string(arg.substr(7)));
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json_path = std::string(arg.substr(7));
-    } else if (arg.rfind("--dot=", 0) == 0) {
-      dot_path = std::string(arg.substr(6));
-    } else if (arg == "--verbose") {
-      verbose = true;
-    } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr,
-                   "usage: fairlaw_deps [--root=DIR] [--json=PATH] "
-                   "[--dot=PATH] [--verbose]\n");
-      return 0;
-    } else {
-      std::fprintf(stderr, "fairlaw_deps: unknown argument '%s'\n", argv[i]);
-      return 2;
-    }
+  fairlaw::cli::FlagSet flags(
+      "fairlaw_deps", "",
+      "Layering / include-graph pass over the declared module DAG\n"
+      "(see the header of tools/fairlaw_deps.cc for the rule set).\n"
+      "exit codes: 0 clean, 1 violations, 2 usage or I/O error");
+  flags.Add("root", &root_flag, "tree to scan");
+  flags.Add("json", &json_path, "write the module graph as JSON here");
+  flags.Add("dot", &dot_path, "write the module graph as Graphviz here");
+  flags.Add("verbose", &verbose, "print the violation count even when clean");
+  fairlaw::Result<fairlaw::cli::ParseResult> parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "fairlaw_deps: %s\n\n%s",
+                 parsed.status().message().c_str(), flags.Help().c_str());
+    return 2;
   }
+  if (parsed->help) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+  if (!parsed->positionals.empty()) {
+    std::fprintf(stderr, "fairlaw_deps: unexpected argument '%s'\n",
+                 parsed->positionals[0].c_str());
+    return 2;
+  }
+  fs::path root(root_flag);
   if (!fs::is_directory(root)) {
     std::fprintf(stderr, "fairlaw_deps: root '%s' is not a directory\n",
                  root.string().c_str());

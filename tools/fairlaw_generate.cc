@@ -12,28 +12,19 @@
 //
 //   fairlaw_generate hiring --label-bias=1.5 --out=h.csv
 //   fairlaw_audit h.csv --protected=gender --pred=hired --label=merit
+#include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <string>
 
-#include "base/string_util.h"
 #include "data/csv.h"
 #include "simulation/scenarios.h"
+#include "tools/cli.h"
 
 namespace {
 
-void PrintUsage() {
-  std::fprintf(
-      stderr,
-      "usage: fairlaw_generate <hiring|lending|promotion|admissions>\n"
-      "       [--n=N] [--seed=S] [--label-bias=F] [--proxy=F]\n"
-      "       [--subgroup-bias=F] [--out=FILE]\n");
-}
-
 struct CliOptions {
   std::string scenario;
-  bool show_help = false;
-  size_t n = 10000;
+  int64_t n = 10000;
   uint64_t seed = 42;
   double label_bias = 1.0;
   double proxy = 1.0;
@@ -41,86 +32,64 @@ struct CliOptions {
   std::string out;
 };
 
-fairlaw::Result<CliOptions> Parse(int argc, char** argv) {
+fairlaw::Result<CliOptions> Parse(int argc, char** argv, bool* show_help,
+                                  std::string* help_text) {
   CliOptions options;
-  auto value_of = [](const char* arg, const char* name) -> const char* {
-    size_t len = std::strlen(name);
-    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-      return arg + len + 1;
-    }
-    return nullptr;
-  };
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* v = nullptr;
-    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      options.show_help = true;
-      return options;
-    }
-    if ((v = value_of(arg, "--n"))) {
-      // ParseInt64 wraps std::from_chars: whole-input, checked conversion.
-      FAIRLAW_ASSIGN_OR_RETURN(int64_t n, fairlaw::ParseInt64(v));
-      if (n < 10 || n > (int64_t{1} << 31)) {
-        return fairlaw::Status::Invalid(
-            "--n must lie in [10, 2^31], got " + std::string(v));
-      }
-      options.n = static_cast<size_t>(n);
-    } else if ((v = value_of(arg, "--seed"))) {
-      FAIRLAW_ASSIGN_OR_RETURN(int64_t seed, fairlaw::ParseInt64(v));
-      if (seed < 0) {
-        return fairlaw::Status::Invalid("--seed must be >= 0, got " +
-                                        std::string(v));
-      }
-      options.seed = static_cast<uint64_t>(seed);
-    } else if ((v = value_of(arg, "--label-bias"))) {
-      FAIRLAW_ASSIGN_OR_RETURN(options.label_bias,
-                               fairlaw::ParseDouble(v));
-    } else if ((v = value_of(arg, "--proxy"))) {
-      FAIRLAW_ASSIGN_OR_RETURN(options.proxy, fairlaw::ParseDouble(v));
-    } else if ((v = value_of(arg, "--subgroup-bias"))) {
-      FAIRLAW_ASSIGN_OR_RETURN(options.subgroup_bias,
-                               fairlaw::ParseDouble(v));
-    } else if ((v = value_of(arg, "--out"))) {
-      options.out = v;
-    } else if (arg[0] == '-') {
-      return fairlaw::Status::Invalid(std::string("unknown flag: ") + arg);
-    } else if (options.scenario.empty()) {
-      options.scenario = arg;
-    } else {
-      return fairlaw::Status::Invalid("more than one scenario given");
-    }
+  fairlaw::cli::FlagSet flags(
+      "fairlaw_generate", "<hiring|lending|promotion|admissions>",
+      "Emits a synthetic audit-ready decision CSV to stdout or --out.");
+  flags.Add("n", &options.n, "rows to generate",
+            fairlaw::cli::Range<int64_t>{10, int64_t{1} << 31});
+  flags.Add("seed", &options.seed, "rng seed (runs are reproducible)");
+  flags.Add("label-bias", &options.label_bias,
+            "historical label bias strength");
+  flags.Add("proxy", &options.proxy, "proxy-feature strength (hiring)");
+  flags.Add("subgroup-bias", &options.subgroup_bias,
+            "intersectional bias strength (promotion)");
+  flags.Add("out", &options.out, "output file (default: stdout)");
+  *help_text = flags.Help();
+  FAIRLAW_ASSIGN_OR_RETURN(fairlaw::cli::ParseResult parsed,
+                           flags.Parse(argc, argv));
+  if (parsed.help) {
+    *show_help = true;
+    return options;
   }
-  if (options.scenario.empty()) {
+  if (parsed.positionals.empty()) {
     return fairlaw::Status::Invalid("no scenario given");
   }
+  if (parsed.positionals.size() > 1) {
+    return fairlaw::Status::Invalid("more than one scenario given");
+  }
+  options.scenario = parsed.positionals[0];
   return options;
 }
 
 fairlaw::Result<fairlaw::sim::ScenarioData> Generate(
     const CliOptions& options) {
   fairlaw::stats::Rng rng(options.seed);
+  const size_t n = static_cast<size_t>(options.n);
   if (options.scenario == "hiring") {
     fairlaw::sim::HiringOptions hiring;
-    hiring.n = options.n;
+    hiring.n = n;
     hiring.label_bias = options.label_bias;
     hiring.proxy_strength = options.proxy;
     return fairlaw::sim::MakeHiringScenario(hiring, &rng);
   }
   if (options.scenario == "lending") {
     fairlaw::sim::LendingOptions lending;
-    lending.n = options.n;
+    lending.n = n;
     lending.label_bias = options.label_bias;
     return fairlaw::sim::MakeLendingScenario(lending, &rng);
   }
   if (options.scenario == "promotion") {
     fairlaw::sim::PromotionOptions promotion;
-    promotion.n = options.n;
+    promotion.n = n;
     promotion.subgroup_bias = options.subgroup_bias;
     return fairlaw::sim::MakePromotionScenario(promotion, &rng);
   }
   if (options.scenario == "admissions") {
     fairlaw::sim::AdmissionsOptions admissions;
-    admissions.n = options.n;
+    admissions.n = n;
     admissions.label_bias = options.label_bias;
     return fairlaw::sim::MakeAdmissionsScenario(admissions, &rng);
   }
@@ -131,15 +100,17 @@ fairlaw::Result<fairlaw::sim::ScenarioData> Generate(
 }  // namespace
 
 int main(int argc, char** argv) {
-  fairlaw::Result<CliOptions> parsed = Parse(argc, argv);
+  bool show_help = false;
+  std::string help_text;
+  fairlaw::Result<CliOptions> parsed =
+      Parse(argc, argv, &show_help, &help_text);
   if (!parsed.ok()) {
-    std::fprintf(stderr, "error: %s\n\n",
-                 parsed.status().message().c_str());
-    PrintUsage();
+    std::fprintf(stderr, "error: %s\n\n%s",
+                 parsed.status().message().c_str(), help_text.c_str());
     return 1;
   }
-  if (parsed->show_help) {
-    PrintUsage();
+  if (show_help) {
+    std::printf("%s", help_text.c_str());
     return 0;
   }
   fairlaw::Result<fairlaw::sim::ScenarioData> scenario = Generate(*parsed);

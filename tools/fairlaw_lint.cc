@@ -37,9 +37,13 @@
 //                      baseline can opt out with a
 //                      `lint: allow-string-compare` comment on the line or
 //                      the line above.
+//   7. timing-source   raw std::chrono::steady_clock is banned outside
+//                      src/obs/: measurements flow through
+//                      obs::MonotonicNowNs() / obs::TraceSpan so they
+//                      share one clock and honor the obs kill switch.
 //
-// Comments and string literals are stripped before rules 2, 3, 5, and 6 run,
-// so prose mentioning a banned identifier does not trip the pass.
+// Comments and string literals are stripped before rules 2, 3, 5, 6, and 7
+// run, so prose mentioning a banned identifier does not trip the pass.
 // Directories named *_fixture are skipped: they hold the deliberate
 // violations the self-tests check. Exit code 0 = clean, 1 = violations
 // (listed one per line as file:line: rule: msg), 2 = usage or I/O error.
@@ -54,6 +58,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "tools/cli.h"
 
 namespace {
 
@@ -108,6 +114,7 @@ class Linter {
         CheckBannedFunctions(path, stripped, library);
         CheckMessagedChecks(path, stripped, ReadFile(path));
         CheckThreadPrimitives(path, stripped);
+        CheckTimingSource(path, stripped);
         CheckHotPath(path, stripped, ReadFile(path));
       }
     }
@@ -360,6 +367,24 @@ class Linter {
     }
   }
 
+  /// Rule 7: one sanctioned clock. Raw std::chrono::steady_clock is
+  /// banned outside src/obs/ — obs::MonotonicNowNs() and obs::TraceSpan
+  /// are the timing sources, so every measurement shares one clock and
+  /// honors the obs kill switch.
+  void CheckTimingSource(const fs::path& path, const std::string& stripped) {
+    const std::string rel = RelPath(path);
+    if (rel.rfind("src/obs/", 0) == 0) return;
+    size_t pos = 0;
+    while ((pos = FindIdentifier(stripped, "steady_clock", pos)) !=
+           std::string::npos) {
+      Report(rel, LineOfOffset(stripped, pos), "timing-source",
+             "raw std::chrono::steady_clock outside src/obs/: use "
+             "obs::MonotonicNowNs() or obs::TraceSpan so measurements share "
+             "one clock and honor the obs kill switch");
+      pos += std::strlen("steady_clock");
+    }
+  }
+
   /// Returns the 1-based `line` of `text` (empty when out of range).
   static std::string_view LineAt(std::string_view text, size_t line) {
     size_t start = 0;
@@ -557,22 +582,31 @@ class Linter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = ".";
+  std::string root_flag = ".";
   bool verbose = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.rfind("--root=", 0) == 0) {
-      root = fs::path(std::string(arg.substr(7)));
-    } else if (arg == "--verbose") {
-      verbose = true;
-    } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr, "usage: fairlaw_lint [--root=DIR] [--verbose]\n");
-      return 0;
-    } else {
-      std::fprintf(stderr, "fairlaw_lint: unknown argument '%s'\n", argv[i]);
-      return 2;
-    }
+  fairlaw::cli::FlagSet flags(
+      "fairlaw_lint", "",
+      "Static-analysis pass enforcing the fairlaw project invariants\n"
+      "(see the header of tools/fairlaw_lint.cc for the rule set).\n"
+      "exit codes: 0 clean, 1 violations, 2 usage or I/O error");
+  flags.Add("root", &root_flag, "tree to scan");
+  flags.Add("verbose", &verbose, "print the violation count even when clean");
+  fairlaw::Result<fairlaw::cli::ParseResult> parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "fairlaw_lint: %s\n\n%s",
+                 parsed.status().message().c_str(), flags.Help().c_str());
+    return 2;
   }
+  if (parsed->help) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+  if (!parsed->positionals.empty()) {
+    std::fprintf(stderr, "fairlaw_lint: unexpected argument '%s'\n",
+                 parsed->positionals[0].c_str());
+    return 2;
+  }
+  fs::path root(root_flag);
   if (!fs::is_directory(root)) {
     std::fprintf(stderr, "fairlaw_lint: root '%s' is not a directory\n",
                  root.string().c_str());
