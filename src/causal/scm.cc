@@ -1,5 +1,6 @@
 #include "causal/scm.h"
 
+#include <algorithm>
 
 namespace fairlaw::causal {
 
@@ -138,9 +139,20 @@ Result<std::vector<double>> Scm::Counterfactual(
     std::span<const double> observed,
     const std::unordered_map<std::string, double>& interventions) const {
   FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> noise, Abduct(observed));
+  // Validate in sorted-name order: the loop returns on the first unknown
+  // variable, and hash iteration order must not pick which one a caller
+  // hears about.
+  std::vector<const std::string*> names;
+  names.reserve(interventions.size());
+  // detcheck: allow-unordered-iteration (order-insensitive collect, sorted below)
   for (const auto& [name, value] : interventions) {
     (void)value;
-    FAIRLAW_RETURN_NOT_OK(NodeIndex(name).status());
+    names.push_back(&name);
+  }
+  std::sort(names.begin(), names.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* name : names) {
+    FAIRLAW_RETURN_NOT_OK(NodeIndex(*name).status());
   }
   std::vector<double> result(nodes_.size(), 0.0);
   std::vector<double> parent_values;

@@ -1,10 +1,12 @@
 #include "obs/obs.h"
 
+#include <array>
 #include <bit>
 #include <chrono>
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "base/mutex.h"
 #include "base/string_util.h"
@@ -18,7 +20,9 @@ namespace {
 std::atomic<int> g_enabled{-1};
 
 int ReadEnabledFromEnv() {
-  const char* value = std::getenv("FAIRLAW_OBS");
+  // Read-only env lookup before any thread could call setenv; the result
+  // is cached in g_enabled, so this runs once per process.
+  const char* value = std::getenv("FAIRLAW_OBS");  // NOLINT(concurrency-mt-unsafe)
   if (value == nullptr) return 1;
   const std::string lowered = AsciiToLower(value);
   if (lowered == "off" || lowered == "0" || lowered == "false") return 0;
@@ -272,32 +276,78 @@ TraceSpan::~TraceSpan() {
 
 std::string Registry::ExportJson(const ExportOptions& options) {
   LocalSpans().Flush();
+
+  // Snapshot under the lock, render outside it: formatting is O(probes)
+  // worth of allocation and must not serialize other threads' probe
+  // registrations (detcheck rule lock-expensive). The probe values are
+  // relaxed atomics, so reading them inside the critical section costs a
+  // load each; the std::map iteration order keeps the snapshot (and thus
+  // the export) sorted by name with no extra sort pass.
+  struct CounterRow {
+    std::string name;
+    uint64_t value;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::array<uint64_t, Histogram::kNumBuckets> buckets;
+    uint64_t sum;
+  };
+  struct SpanRow {
+    std::string path;
+    SpanStat stat;
+  };
+  std::vector<CounterRow> counters;
+  std::vector<HistogramRow> histograms;
+  std::vector<SpanRow> spans;
   Impl* state = impl();
-  MutexLock lock(state->mu);
+  {
+    MutexLock lock(state->mu);
+    counters.reserve(state->counters.size());
+    for (const auto& [name, counter] : state->counters) {
+      counters.push_back(CounterRow{name, counter->Value()});
+    }
+    histograms.reserve(state->histograms.size());
+    for (const auto& [name, histogram] : state->histograms) {
+      HistogramRow row;
+      row.name = name;
+      row.sum = histogram->Sum();
+      for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+        row.buckets[b] = histogram->BucketCount(b);
+      }
+      histograms.push_back(std::move(row));
+    }
+    spans.reserve(state->spans.size());
+    for (const auto& [path, stat] : state->spans) {
+      spans.push_back(SpanRow{path, stat});
+    }
+  }
+
   std::string out = "{\"fairlaw_obs_version\":1,\"enabled\":";
   out += Enabled() ? "true" : "false";
 
   out += ",\"counters\":[";
   bool first = true;
-  for (const auto& [name, counter] : state->counters) {
+  for (const CounterRow& row : counters) {
     if (!first) out += ',';
     first = false;
-    out += "{\"name\":\"" + JsonEscapeName(name) +
-           "\",\"value\":" + std::to_string(counter->Value()) + "}";
+    out += "{\"name\":\"" + JsonEscapeName(row.name) +
+           "\",\"value\":" + std::to_string(row.value) + "}";
   }
   out += "]";
 
   out += ",\"histograms\":[";
   first = true;
-  for (const auto& [name, histogram] : state->histograms) {
+  for (const HistogramRow& row : histograms) {
+    uint64_t total = 0;
+    for (const uint64_t bucket_count : row.buckets) total += bucket_count;
     if (!first) out += ',';
     first = false;
-    out += "{\"name\":\"" + JsonEscapeName(name) +
-           "\",\"count\":" + std::to_string(histogram->Count()) +
-           ",\"sum\":" + std::to_string(histogram->Sum()) + ",\"buckets\":[";
+    out += "{\"name\":\"" + JsonEscapeName(row.name) +
+           "\",\"count\":" + std::to_string(total) +
+           ",\"sum\":" + std::to_string(row.sum) + ",\"buckets\":[";
     bool first_bucket = true;
     for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
-      const uint64_t bucket_count = histogram->BucketCount(b);
+      const uint64_t bucket_count = row.buckets[b];
       if (bucket_count == 0) continue;  // sparse: zero buckets are implied
       if (!first_bucket) out += ',';
       first_bucket = false;
@@ -310,13 +360,13 @@ std::string Registry::ExportJson(const ExportOptions& options) {
 
   out += ",\"spans\":[";
   first = true;
-  for (const auto& [path, stat] : state->spans) {
+  for (const SpanRow& row : spans) {
     if (!first) out += ',';
     first = false;
-    out += "{\"path\":\"" + JsonEscapeName(path) +
-           "\",\"count\":" + std::to_string(stat.count);
+    out += "{\"path\":\"" + JsonEscapeName(row.path) +
+           "\",\"count\":" + std::to_string(row.stat.count);
     if (options.include_timings) {
-      out += ",\"total_ns\":" + std::to_string(stat.total_ns);
+      out += ",\"total_ns\":" + std::to_string(row.stat.total_ns);
     }
     out += "}";
   }

@@ -42,28 +42,42 @@
 //                      obs::MonotonicNowNs() / obs::TraceSpan so they
 //                      share one clock and honor the obs kill switch.
 //
-// Comments and string literals are stripped before rules 2, 3, 5, 6, and 7
-// run, so prose mentioning a banned identifier does not trip the pass.
-// Directories named *_fixture are skipped: they hold the deliberate
-// violations the self-tests check. Exit code 0 = clean, 1 = violations
-// (listed one per line as file:line: rule: msg), 2 = usage or I/O error.
-// Registered as a ctest test so violations fail tier-1.
+// Rules 2, 3, 5, 6, and 7 run over the token stream produced by the
+// shared analysis lexer (tools/analysis/lexer.h) — the same substrate
+// fairlaw_detcheck uses — so identifiers inside string literals,
+// comments, raw strings, and splice-continued comments never trip a
+// rule (the pre-lexer scanner false-positived on the last two; see
+// tools/lint_clean_fixture/). Directories named *_fixture are skipped:
+// they hold the deliberate violations the self-tests check. Exit code
+// 0 = clean, 1 = violations (listed one per line as
+// file:line: rule: msg), 2 = usage or I/O error. Registered as a ctest
+// test so violations fail tier-1.
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
+#include "tools/analysis/lexer.h"
 #include "tools/cli.h"
 
 namespace {
 
 namespace fs = std::filesystem;
+using fairlaw::analysis::Comment;
+using fairlaw::analysis::HasMarkerOnOrAbove;
+using fairlaw::analysis::Lex;
+using fairlaw::analysis::LexResult;
+using fairlaw::analysis::MatchingClose;
+using fairlaw::analysis::Token;
+using fairlaw::analysis::TokenKind;
+using fairlaw::analysis::TokenSeqAt;
 
 struct Violation {
   std::string file;
@@ -91,6 +105,13 @@ class Linter {
       if (fs::is_directory(dir)) ScanTree(dir, /*library=*/false);
     }
     CheckRegistryCoverage();
+    // Filesystem iteration order is platform-dependent; report in a
+    // canonical order so CI diffs are stable.
+    std::sort(violations_.begin(), violations_.end(),
+              [](const Violation& a, const Violation& b) {
+                return std::tie(a.file, a.line, a.rule) <
+                       std::tie(b.file, b.line, b.rule);
+              });
     return violations_;
   }
 
@@ -110,12 +131,13 @@ class Linter {
       const std::string ext = path.extension().string();
       if (ext == ".h") CheckIncludeGuard(path);
       if (ext == ".h" || ext == ".cc") {
-        std::string stripped = StripCommentsAndStrings(ReadFile(path));
-        CheckBannedFunctions(path, stripped, library);
-        CheckMessagedChecks(path, stripped, ReadFile(path));
-        CheckThreadPrimitives(path, stripped);
-        CheckTimingSource(path, stripped);
-        CheckHotPath(path, stripped, ReadFile(path));
+        const LexResult lex = Lex(ReadFile(path));
+        const std::span<const Token> tokens(lex.tokens);
+        CheckBannedFunctions(path, tokens, library);
+        CheckMessagedChecks(path, tokens);
+        CheckThreadPrimitives(path, tokens);
+        CheckTimingSource(path, tokens);
+        CheckHotPath(path, tokens, lex.comments);
       }
     }
   }
@@ -139,98 +161,12 @@ class Linter {
                                     std::move(message)});
   }
 
-  /// Blanks comment bodies and string/char literal contents, preserving
-  /// newlines so that byte offsets still map to the right line.
-  static std::string StripCommentsAndStrings(const std::string& text) {
-    std::string out = text;
-    enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-    State state = State::kCode;
-    for (size_t i = 0; i < out.size(); ++i) {
-      const char c = out[i];
-      const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            state = State::kLineComment;
-            out[i] = ' ';
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            out[i] = ' ';
-          } else if (c == '"') {
-            state = State::kString;
-          } else if (c == '\'') {
-            state = State::kChar;
-          }
-          break;
-        case State::kLineComment:
-          if (c == '\n') {
-            state = State::kCode;
-          } else {
-            out[i] = ' ';
-          }
-          break;
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            out[i] = ' ';
-            out[i + 1] = ' ';
-            ++i;
-            state = State::kCode;
-          } else if (c != '\n') {
-            out[i] = ' ';
-          }
-          break;
-        case State::kString:
-          if (c == '\\' && next != '\0') {
-            out[i] = ' ';
-            if (next != '\n') out[i + 1] = ' ';
-            ++i;
-          } else if (c == '"') {
-            state = State::kCode;
-          } else if (c != '\n') {
-            out[i] = ' ';
-          }
-          break;
-        case State::kChar:
-          if (c == '\\' && next != '\0') {
-            out[i] = ' ';
-            if (next != '\n') out[i + 1] = ' ';
-            ++i;
-          } else if (c == '\'') {
-            state = State::kCode;
-          } else if (c != '\n') {
-            out[i] = ' ';
-          }
-          break;
-      }
-    }
-    return out;
-  }
-
   static size_t LineOfOffset(std::string_view text, size_t offset) {
     size_t line = 1;
     for (size_t i = 0; i < offset && i < text.size(); ++i) {
       if (text[i] == '\n') ++line;
     }
     return line;
-  }
-
-  static bool IsIdentChar(char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-  }
-
-  /// Finds `ident` as a whole identifier token starting at or after `from`;
-  /// returns npos when absent.
-  static size_t FindIdentifier(std::string_view text, std::string_view ident,
-                               size_t from) {
-    while (true) {
-      size_t pos = text.find(ident, from);
-      if (pos == std::string_view::npos) return pos;
-      const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
-      const size_t end = pos + ident.size();
-      const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
-      if (left_ok && right_ok) return pos;
-      from = pos + 1;
-    }
   }
 
   /// Rule 1: canonical include guards. src/metrics/group_metrics.h must
@@ -267,7 +203,7 @@ class Linter {
   /// Rule 2: banned functions. The stdout ban only applies to library
   /// code (`library` = under src/); the rest apply everywhere.
   void CheckBannedFunctions(const fs::path& path,
-                            const std::string& stripped, bool library) {
+                            std::span<const Token> tokens, bool library) {
     struct Ban {
       const char* ident;
       const char* why;
@@ -283,58 +219,47 @@ class Linter {
         {"printf", "library code must not write to stdout; report via "
                    "Status or render strings", true},
     };
-    for (const Ban& ban : kBans) {
-      if (ban.library_only && !library) continue;
-      size_t pos = 0;
-      while ((pos = FindIdentifier(stripped, ban.ident, pos)) !=
-             std::string::npos) {
-        Report(RelPath(path), LineOfOffset(stripped, pos), "banned-function",
+    for (const Token& token : tokens) {
+      if (token.kind != TokenKind::kIdentifier) continue;
+      for (const Ban& ban : kBans) {
+        if (ban.library_only && !library) continue;
+        if (token.text != ban.ident) continue;
+        Report(RelPath(path), token.line, "banned-function",
                std::string("call to '") + ban.ident + "': " + ban.why);
-        pos += std::strlen(ban.ident);
       }
     }
   }
 
   /// Rule 3: every check carries a non-empty message. Bare FAIRLAW_CHECK
   /// is only allowed inside its defining header.
-  void CheckMessagedChecks(const fs::path& path, const std::string& stripped,
-                           const std::string& original) {
+  void CheckMessagedChecks(const fs::path& path,
+                           std::span<const Token> tokens) {
     const std::string rel = RelPath(path);
     if (rel == "src/base/check.h") return;
-    size_t pos = 0;
-    while ((pos = FindIdentifier(stripped, "FAIRLAW_CHECK", pos)) !=
-           std::string::npos) {
-      Report(rel, LineOfOffset(stripped, pos), "bare-check",
-             "FAIRLAW_CHECK without a message; use FAIRLAW_CHECK_MSG so a "
-             "production crash names the violated invariant");
-      pos += std::strlen("FAIRLAW_CHECK");
-    }
-    for (const char* macro : {"FAIRLAW_CHECK_MSG", "FAIRLAW_NOTREACHED"}) {
-      pos = 0;
-      while ((pos = FindIdentifier(stripped, macro, pos)) !=
-             std::string::npos) {
-        const size_t open = stripped.find('(', pos);
-        pos += std::strlen(macro);
-        if (open == std::string::npos) continue;
-        size_t close = open;
-        int depth = 0;
-        do {
-          if (stripped[close] == '(') ++depth;
-          if (stripped[close] == ')') --depth;
-          if (depth == 0) break;
-          ++close;
-        } while (close < stripped.size());
-        if (close >= stripped.size()) continue;
-        // The stripped text blanks literal contents, so an empty message
-        // shows up as `""` in the original at the argument tail.
-        std::string_view tail =
-            std::string_view(original).substr(open, close - open);
-        const size_t last_quote = tail.rfind('"');
-        if (last_quote != std::string_view::npos && last_quote > 0 &&
-            tail[last_quote - 1] == '"') {
-          Report(rel, LineOfOffset(stripped, pos), "bare-check",
-                 std::string(macro) + " with an empty message");
-        }
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const Token& token = tokens[i];
+      if (token.kind != TokenKind::kIdentifier) continue;
+      if (token.text == "FAIRLAW_CHECK") {
+        Report(rel, token.line, "bare-check",
+               "FAIRLAW_CHECK without a message; use FAIRLAW_CHECK_MSG so a "
+               "production crash names the violated invariant");
+        continue;
+      }
+      if (token.text != "FAIRLAW_CHECK_MSG" &&
+          token.text != "FAIRLAW_NOTREACHED") {
+        continue;
+      }
+      if (i + 1 >= tokens.size() || !tokens[i + 1].IsPunct("(")) continue;
+      const size_t close = MatchingClose(tokens, i + 1);
+      // The message is the last string literal among the arguments; an
+      // empty one defeats the point of the macro.
+      const Token* last_string = nullptr;
+      for (size_t j = i + 2; j < close && j < tokens.size(); ++j) {
+        if (tokens[j].kind == TokenKind::kString) last_string = &tokens[j];
+      }
+      if (last_string != nullptr && last_string->text.empty()) {
+        Report(rel, last_string->line, "bare-check",
+               token.text + " with an empty message");
       }
     }
   }
@@ -344,26 +269,20 @@ class Linter {
   /// threads dodge the annotated-mutex discipline, and sleeps in tests are
   /// how flakes are born.
   void CheckThreadPrimitives(const fs::path& path,
-                             const std::string& stripped) {
+                             std::span<const Token> tokens) {
     const std::string rel = RelPath(path);
     if (rel.rfind("src/base/", 0) == 0) return;
-    size_t pos = 0;
-    while ((pos = stripped.find("std::thread", pos)) != std::string::npos) {
-      const size_t end = pos + std::strlen("std::thread");
-      if (end >= stripped.size() || !IsIdentChar(stripped[end])) {
-        Report(rel, LineOfOffset(stripped, pos), "thread-primitive",
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (TokenSeqAt(tokens, i, {"std", "::", "thread"})) {
+        Report(rel, tokens[i].line, "thread-primitive",
                "raw std::thread outside base/: use fairlaw::ThreadPool "
                "(base/thread_pool.h) so work is annotated and joined");
       }
-      pos = end;
-    }
-    pos = 0;
-    while ((pos = FindIdentifier(stripped, "this_thread", pos)) !=
-           std::string::npos) {
-      Report(rel, LineOfOffset(stripped, pos), "thread-primitive",
-             "std::this_thread::sleep_for outside base/: synchronize on "
-             "state, not on wall-clock time");
-      pos += std::strlen("this_thread");
+      if (tokens[i].IsIdent("this_thread")) {
+        Report(rel, tokens[i].line, "thread-primitive",
+               "std::this_thread::sleep_for outside base/: synchronize on "
+               "state, not on wall-clock time");
+      }
     }
   }
 
@@ -371,68 +290,40 @@ class Linter {
   /// banned outside src/obs/ — obs::MonotonicNowNs() and obs::TraceSpan
   /// are the timing sources, so every measurement shares one clock and
   /// honors the obs kill switch.
-  void CheckTimingSource(const fs::path& path, const std::string& stripped) {
+  void CheckTimingSource(const fs::path& path,
+                         std::span<const Token> tokens) {
     const std::string rel = RelPath(path);
     if (rel.rfind("src/obs/", 0) == 0) return;
-    size_t pos = 0;
-    while ((pos = FindIdentifier(stripped, "steady_clock", pos)) !=
-           std::string::npos) {
-      Report(rel, LineOfOffset(stripped, pos), "timing-source",
+    for (const Token& token : tokens) {
+      if (!token.IsIdent("steady_clock")) continue;
+      Report(rel, token.line, "timing-source",
              "raw std::chrono::steady_clock outside src/obs/: use "
              "obs::MonotonicNowNs() or obs::TraceSpan so measurements share "
              "one clock and honor the obs kill switch");
-      pos += std::strlen("steady_clock");
     }
   }
 
-  /// Returns the 1-based `line` of `text` (empty when out of range).
-  static std::string_view LineAt(std::string_view text, size_t line) {
-    size_t start = 0;
-    for (size_t current = 1; current < line; ++current) {
-      start = text.find('\n', start);
-      if (start == std::string_view::npos) return {};
-      ++start;
-    }
-    size_t end = text.find('\n', start);
-    if (end == std::string_view::npos) end = text.size();
-    return text.substr(start, end - start);
-  }
-
-  /// True when the flagged line (or the one above, for comments that do
-  /// not fit beside the code) carries the escape-hatch marker. Markers
-  /// live in comments, so we must look at the original text.
-  static bool AllowsStringCompare(const std::string& original, size_t line) {
-    constexpr std::string_view kMarker = "lint: allow-string-compare";
-    if (LineAt(original, line).find(kMarker) != std::string_view::npos) {
-      return true;
-    }
-    return line > 1 &&
-           LineAt(original, line - 1).find(kMarker) != std::string_view::npos;
-  }
-
-  /// Collects the identifiers declared in `stripped` with type
-  /// std::vector<std::string> (values, references, and members alike).
-  /// Purely lexical: the declared name is the first identifier after the
-  /// template closer.
+  /// Collects the identifiers declared with type std::vector<std::string>
+  /// (values, references, and members alike). Purely lexical: the
+  /// declared name is the first identifier after the template closer and
+  /// any &/* sigils.
   static std::vector<std::string> StringVectorNames(
-      const std::string& stripped) {
-    constexpr std::string_view kDecl = "std::vector<std::string>";
+      std::span<const Token> tokens) {
     std::vector<std::string> names;
-    size_t pos = 0;
-    while ((pos = stripped.find(kDecl, pos)) != std::string::npos) {
-      size_t i = pos + kDecl.size();
-      while (i < stripped.size() &&
-             (stripped[i] == '&' || stripped[i] == '*' ||
-              std::isspace(static_cast<unsigned char>(stripped[i])))) {
-        ++i;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (!TokenSeqAt(tokens, i,
+                      {"std", "::", "vector", "<", "std", "::", "string",
+                       ">"})) {
+        continue;
       }
-      size_t end = i;
-      while (end < stripped.size() && IsIdentChar(stripped[end])) ++end;
-      if (end > i &&
-          !std::isdigit(static_cast<unsigned char>(stripped[i]))) {
-        names.push_back(stripped.substr(i, end - i));
+      size_t j = i + 8;
+      while (j < tokens.size() &&
+             (tokens[j].IsPunct("&") || tokens[j].IsPunct("*"))) {
+        ++j;
       }
-      pos += kDecl.size();
+      if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier) {
+        names.push_back(tokens[j].text);
+      }
     }
     return names;
   }
@@ -441,34 +332,34 @@ class Linter {
   /// scanned tree; per-row string equality inside loops is flagged for
   /// the audit/metric kernels, where membership tests must run on
   /// data::GroupIndex bitmaps (see DESIGN.md §9).
-  void CheckHotPath(const fs::path& path, const std::string& stripped,
-                    const std::string& original) {
+  void CheckHotPath(const fs::path& path, std::span<const Token> tokens,
+                    const std::vector<Comment>& comments) {
     const std::string rel = RelPath(path);
-    size_t pos = 0;
-    while ((pos = stripped.find("std::vector<bool>", pos)) !=
-           std::string::npos) {
-      Report(rel, LineOfOffset(stripped, pos), "hot-path",
-             "std::vector<bool> is banned: its packed proxies defeat spans "
-             "and word-wise kernels; use std::vector<uint8_t> or "
-             "data::Bitmap");
-      pos += std::strlen("std::vector<bool>");
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (TokenSeqAt(tokens, i, {"std", "::", "vector", "<", "bool", ">"})) {
+        Report(rel, tokens[i].line, "hot-path",
+               "std::vector<bool> is banned: its packed proxies defeat "
+               "spans and word-wise kernels; use std::vector<uint8_t> or "
+               "data::Bitmap");
+      }
     }
 
     const bool hot_tree = rel.rfind("src/audit/", 0) == 0 ||
                           rel.rfind("src/metrics/", 0) == 0;
     if (!hot_tree) return;
-    const std::vector<std::string> names = StringVectorNames(stripped);
+    const std::vector<std::string> names = StringVectorNames(tokens);
     if (names.empty()) return;
 
-    // One pass over the file tracking which brace depths are loop bodies;
-    // a `for`/`while` header counts as in-loop from its keyword onward,
-    // which also catches per-row compares in the loop condition itself.
+    // One pass over the tokens tracking which brace depths are loop
+    // bodies; a `for`/`while` header counts as in-loop from its keyword
+    // onward, which also catches per-row compares in the loop condition
+    // itself.
     std::vector<size_t> loop_depths;
     size_t depth = 0;
     bool pending_loop = false;
-    for (size_t i = 0; i < stripped.size(); ++i) {
-      const char c = stripped[i];
-      if (c == '{') {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const Token& token = tokens[i];
+      if (token.IsPunct("{")) {
         ++depth;
         if (pending_loop) {
           loop_depths.push_back(depth);
@@ -476,66 +367,38 @@ class Linter {
         }
         continue;
       }
-      if (c == '}') {
+      if (token.IsPunct("}")) {
         if (!loop_depths.empty() && loop_depths.back() == depth) {
           loop_depths.pop_back();
         }
         if (depth > 0) --depth;
         continue;
       }
-      if (!IsIdentChar(c) || (i > 0 && IsIdentChar(stripped[i - 1]))) {
+      if (token.kind != TokenKind::kIdentifier) continue;
+      if (token.text == "for" || token.text == "while") {
+        pending_loop = true;
         continue;
       }
-      size_t end = i;
-      while (end < stripped.size() && IsIdentChar(stripped[end])) ++end;
-      const std::string_view word(stripped.data() + i, end - i);
-      if (word == "for" || word == "while") {
-        pending_loop = true;
-      } else if ((pending_loop || !loop_depths.empty()) &&
-                 std::find(names.begin(), names.end(), word) !=
-                     names.end()) {
-        MaybeReportStringCompare(rel, stripped, original, end);
+      if (!(pending_loop || !loop_depths.empty())) continue;
+      if (std::find(names.begin(), names.end(), token.text) == names.end()) {
+        continue;
       }
-      i = end - 1;
+      // `name [ ... ] ==` or `!=`: a per-row rendered-string compare.
+      if (i + 1 >= tokens.size() || !tokens[i + 1].IsPunct("[")) continue;
+      const size_t close = MatchingClose(tokens, i + 1);
+      if (close + 1 >= tokens.size()) continue;
+      const Token& op = tokens[close + 1];
+      if (!op.IsPunct("==") && !op.IsPunct("!=")) continue;
+      if (HasMarkerOnOrAbove(comments, "lint: allow-string-compare",
+                             op.line)) {
+        continue;
+      }
+      Report(rel, op.line, "hot-path",
+             "per-row std::string compare inside a loop: audit/metric "
+             "kernels must test membership via data::GroupIndex bitmaps "
+             "(add `lint: allow-string-compare` only for a deliberate "
+             "scalar baseline)");
     }
-  }
-
-  /// Reports a hot-path violation when the text at `after_name` (just past
-  /// a std::vector<std::string> identifier, inside a loop) reads
-  /// `[...] ==` or `[...] !=` and the escape hatch is absent.
-  void MaybeReportStringCompare(const std::string& rel,
-                                const std::string& stripped,
-                                const std::string& original,
-                                size_t after_name) {
-    size_t i = after_name;
-    while (i < stripped.size() &&
-           std::isspace(static_cast<unsigned char>(stripped[i]))) {
-      ++i;
-    }
-    if (i >= stripped.size() || stripped[i] != '[') return;
-    int depth = 0;
-    while (i < stripped.size()) {
-      if (stripped[i] == '[') ++depth;
-      if (stripped[i] == ']' && --depth == 0) break;
-      ++i;
-    }
-    if (i >= stripped.size()) return;
-    ++i;  // past ']'
-    while (i < stripped.size() &&
-           std::isspace(static_cast<unsigned char>(stripped[i]))) {
-      ++i;
-    }
-    if (i + 1 >= stripped.size() || stripped[i + 1] != '=' ||
-        (stripped[i] != '=' && stripped[i] != '!')) {
-      return;
-    }
-    const size_t line = LineOfOffset(stripped, i);
-    if (AllowsStringCompare(original, line)) return;
-    Report(rel, line, "hot-path",
-           "per-row std::string compare inside a loop: audit/metric "
-           "kernels must test membership via data::GroupIndex bitmaps "
-           "(add `lint: allow-string-compare` only for a deliberate "
-           "scalar baseline)");
   }
 
   /// Rule 4: every metric name registered in src/core/registry.cc must be
