@@ -55,7 +55,7 @@ struct AuditConfig {
   /// alongside label_column. RunAudit calls this first, so a bad config
   /// fails with one config-shaped error instead of a column-lookup
   /// error half way through extraction.
-  Status Validate() const;
+  FAIRLAW_NODISCARD Status Validate() const;
 };
 
 /// Everything a table audit produced.
@@ -72,7 +72,7 @@ struct AuditResult {
   /// Looks up a report by metric name ("demographic_parity", ...).
   /// Takes a string_view so call sites with literals or substrings do
   /// not materialize a temporary std::string.
-  Result<const metrics::MetricReport*> Find(std::string_view name) const;
+  FAIRLAW_NODISCARD Result<const metrics::MetricReport*> Find(std::string_view name) const;
 
   /// Copies the metric-level findings into the shape the legal layer's
   /// compliance report takes (legal depends on metrics, not on audit).
@@ -80,27 +80,27 @@ struct AuditResult {
 };
 
 /// Extracts a MetricInput from table columns. `label_column` may be empty.
-Result<metrics::MetricInput> MetricInputFromTable(
+FAIRLAW_NODISCARD Result<metrics::MetricInput> MetricInputFromTable(
     const data::Table& table, const std::string& protected_column,
     const std::string& prediction_column, const std::string& label_column);
 
 /// Intersectional variant: the group key is the combination of several
 /// protected columns joined with '|' ("female|caucasian"), so all the
 /// group metrics operate directly on §IV-C subpopulations.
-Result<metrics::MetricInput> MetricInputFromTableMulti(
+FAIRLAW_NODISCARD Result<metrics::MetricInput> MetricInputFromTableMulti(
     const data::Table& table,
     const std::vector<std::string>& protected_columns,
     const std::string& prediction_column, const std::string& label_column);
 
 /// Extracts the stratum key per row (values of `strata_columns` joined
 /// with '|').
-Result<std::vector<std::string>> StrataFromTable(
+FAIRLAW_NODISCARD Result<std::vector<std::string>> StrataFromTable(
     const data::Table& table, const std::vector<std::string>& strata_columns);
 
 /// Runs the configured metric suite over `table`. Metrics that need
 /// labels are skipped when `label_column` is empty; conditional metrics
 /// are skipped when `strata_columns` is empty.
-Result<AuditResult> RunAudit(const data::Table& table,
+FAIRLAW_NODISCARD Result<AuditResult> RunAudit(const data::Table& table,
                              const AuditConfig& config);
 
 }  // namespace fairlaw::audit

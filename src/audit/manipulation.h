@@ -48,7 +48,7 @@ struct ManipulationAuditOptions {
 /// (ml::PermutationImportance, ml::LinearAttribution, ...);
 /// `sensitive_feature` names the protected feature inside it; `outcomes`
 /// carries the model's predictions and group memberships.
-Result<ManipulationAuditReport> AuditManipulation(
+FAIRLAW_NODISCARD Result<ManipulationAuditReport> AuditManipulation(
     const std::vector<ml::FeatureImportance>& importances,
     const std::string& sensitive_feature,
     const metrics::MetricInput& outcomes,

@@ -41,7 +41,7 @@ struct ProxyDetectionOptions {
 /// Scores every candidate column against the protected column. Candidates
 /// may be numeric (discretized into quantile bins) or categorical.
 /// Findings are sorted by descending Cramér's V.
-Result<std::vector<ProxyFinding>> DetectProxies(
+FAIRLAW_NODISCARD Result<std::vector<ProxyFinding>> DetectProxies(
     const data::Table& table, const std::string& protected_column,
     const std::vector<std::string>& candidate_columns,
     const ProxyDetectionOptions& options = {});
@@ -49,7 +49,7 @@ Result<std::vector<ProxyFinding>> DetectProxies(
 /// Builds the contingency table of (discretized) `feature_column` x
 /// `protected_column`. Exposed for tests and for custom association
 /// scores.
-Result<std::vector<std::vector<int64_t>>> ProxyContingencyTable(
+FAIRLAW_NODISCARD Result<std::vector<std::vector<int64_t>>> ProxyContingencyTable(
     const data::Table& table, const std::string& feature_column,
     const std::string& protected_column, size_t bins);
 

@@ -52,7 +52,7 @@ struct RepresentationReport {
 /// `reference_shares` (group -> population share; missing groups in
 /// either direction are errors, because silently dropping a category is
 /// itself a representation failure). Shares are normalized internally.
-Result<RepresentationReport> AuditRepresentation(
+FAIRLAW_NODISCARD Result<RepresentationReport> AuditRepresentation(
     const data::Table& table, const std::string& column,
     const std::map<std::string, double>& reference_shares,
     const RepresentationAuditOptions& options = {});
@@ -61,7 +61,7 @@ Result<RepresentationReport> AuditRepresentation(
 /// the expected group count reaches `min_group_count` — the §IV-F
 /// "sample complexity of bias detection" turned into a data-collection
 /// requirement.
-Result<size_t> RequiredDatasetSize(
+FAIRLAW_NODISCARD Result<size_t> RequiredDatasetSize(
     const std::map<std::string, double>& reference_shares,
     size_t min_group_count);
 

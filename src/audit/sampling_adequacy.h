@@ -41,14 +41,14 @@ struct SamplingReport {
 };
 
 /// Assesses sample support for every protected group in `input`.
-Result<SamplingReport> AssessSamplingAdequacy(
+FAIRLAW_NODISCARD Result<SamplingReport> AssessSamplingAdequacy(
     const metrics::MetricInput& input,
     const SamplingAdequacyOptions& options = {});
 
 /// Sample size needed for a selection-rate CI of half-width `halfwidth`
 /// at the given confidence when the underlying rate is `rate` (worst case
 /// rate=0.5 if unknown).
-Result<size_t> RequiredSampleSize(double rate, double halfwidth,
+FAIRLAW_NODISCARD Result<size_t> RequiredSampleSize(double rate, double halfwidth,
                                   double confidence);
 
 }  // namespace fairlaw::audit

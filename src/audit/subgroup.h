@@ -58,7 +58,7 @@ struct SubgroupAuditOptions {
   /// Checks the options before the lattice walk: max_depth >= 1 and
   /// tolerance in [0,1]. Both AuditSubgroups entry points call this
   /// first, mirroring AuditConfig::Validate.
-  Status Validate() const;
+  FAIRLAW_NODISCARD Status Validate() const;
 };
 
 /// Result of the subgroup audit: all findings (sorted by descending gap)
@@ -82,7 +82,7 @@ struct SubgroupAuditResult {
 /// and the member/selected counts are fused popcounts. With
 /// options.num_threads != 1 the first-condition subtrees run on a
 /// base::ThreadPool; the output is identical to the serial walk.
-Result<SubgroupAuditResult> AuditSubgroups(
+FAIRLAW_NODISCARD Result<SubgroupAuditResult> AuditSubgroups(
     const data::Table& table,
     const std::vector<std::string>& attribute_columns,
     const std::string& prediction_column, const SubgroupAuditOptions& options);
@@ -91,7 +91,7 @@ Result<SubgroupAuditResult> AuditSubgroups(
 /// std::vector<size_t> row lists, always serial. Kept as the equivalence
 /// oracle for tests and the "before" side of bench_micro_subgroup's
 /// kernel comparison; produces byte-identical results to AuditSubgroups.
-Result<SubgroupAuditResult> AuditSubgroupsRowwise(
+FAIRLAW_NODISCARD Result<SubgroupAuditResult> AuditSubgroupsRowwise(
     const data::Table& table,
     const std::vector<std::string>& attribute_columns,
     const std::string& prediction_column, const SubgroupAuditOptions& options);

@@ -91,6 +91,19 @@ inline void CheckIndex(
 #define FAIRLAW_DCHECK(cond, msg) FAIRLAW_CHECK_MSG(cond, msg)
 #endif
 
+/// Debug-only OK-check: compiled out under NDEBUG, so `expr` is NOT
+/// evaluated in release builds. Only wrap pure queries whose failure
+/// would already be a bug; a fallible call with side effects inside
+/// this macro silently vanishes from production — fairlaw_flowcheck
+/// rule `dcheck-side-effect` rejects exactly that shape.
+#ifdef NDEBUG
+#define FAIRLAW_DCHECK_OK(expr) \
+  do {                          \
+  } while (false)
+#else
+#define FAIRLAW_DCHECK_OK(expr) FAIRLAW_CHECK_OK(expr)
+#endif
+
 /// Aborts unless `index < size`. Cheap enough for hot paths; reports the
 /// offending index and container size with source location.
 #define FAIRLAW_BOUNDS_CHECK(index, size)                                 \

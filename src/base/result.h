@@ -43,8 +43,8 @@ class Result {
   bool ok() const { return status_.ok(); }
 
   /// Returns the status (OK when a value is held).
-  const Status& status() const& { return status_; }
-  Status status() && { return std::move(status_); }
+  FAIRLAW_NODISCARD const Status& status() const& { return status_; }
+  FAIRLAW_NODISCARD Status status() && { return std::move(status_); }
 
   /// Returns the held value; aborts if !ok(). The *OrDie name signals the
   /// crash-on-error contract at the call site.

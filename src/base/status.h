@@ -6,6 +6,15 @@
 #include <string_view>
 #include <utility>
 
+/// Marks a Status/Result<T>-returning declaration so the compiler warns
+/// when a caller drops the return value on the floor. Every fallible
+/// declaration in src/** headers must carry it — fairlaw_flowcheck rule
+/// `nodiscard-missing` enforces the sweep, and its `discarded-status`
+/// rule catches the call sites the compiler cannot see (macro bodies,
+/// cross-TU templates). Spelled as a macro rather than a bare attribute
+/// so the analysis passes can match one canonical token.
+#define FAIRLAW_NODISCARD [[nodiscard]]
+
 namespace fairlaw {
 
 /// Error category carried by a Status.
@@ -54,30 +63,30 @@ class Status {
   Status(StatusCode code, std::string message);
 
   /// Returns an OK status.
-  static Status OK() { return Status(); }
+  FAIRLAW_NODISCARD static Status OK() { return Status(); }
 
-  static Status Invalid(std::string message) {
+  FAIRLAW_NODISCARD static Status Invalid(std::string message) {
     return Status(StatusCode::kInvalidArgument, std::move(message));
   }
-  static Status OutOfRange(std::string message) {
+  FAIRLAW_NODISCARD static Status OutOfRange(std::string message) {
     return Status(StatusCode::kOutOfRange, std::move(message));
   }
-  static Status NotFound(std::string message) {
+  FAIRLAW_NODISCARD static Status NotFound(std::string message) {
     return Status(StatusCode::kNotFound, std::move(message));
   }
-  static Status AlreadyExists(std::string message) {
+  FAIRLAW_NODISCARD static Status AlreadyExists(std::string message) {
     return Status(StatusCode::kAlreadyExists, std::move(message));
   }
-  static Status IOError(std::string message) {
+  FAIRLAW_NODISCARD static Status IOError(std::string message) {
     return Status(StatusCode::kIOError, std::move(message));
   }
-  static Status NotImplemented(std::string message) {
+  FAIRLAW_NODISCARD static Status NotImplemented(std::string message) {
     return Status(StatusCode::kNotImplemented, std::move(message));
   }
-  static Status FailedPrecondition(std::string message) {
+  FAIRLAW_NODISCARD static Status FailedPrecondition(std::string message) {
     return Status(StatusCode::kFailedPrecondition, std::move(message));
   }
-  static Status Internal(std::string message) {
+  FAIRLAW_NODISCARD static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
 

@@ -20,17 +20,17 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
 /// Parses a decimal floating-point number. The whole (stripped) input must
 /// be consumed; otherwise returns InvalidArgument.
-Result<double> ParseDouble(std::string_view text);
+FAIRLAW_NODISCARD Result<double> ParseDouble(std::string_view text);
 
 /// Parses a decimal integer. The whole (stripped) input must be consumed;
 /// otherwise returns InvalidArgument.
-Result<int64_t> ParseInt64(std::string_view text);
+FAIRLAW_NODISCARD Result<int64_t> ParseInt64(std::string_view text);
 
 /// Formats `value` with `digits` digits after the decimal point.
 std::string FormatDouble(double value, int digits);
 
 /// True if `text` equals "true"/"false" (case-insensitive) or "1"/"0".
-Result<bool> ParseBool(std::string_view text);
+FAIRLAW_NODISCARD Result<bool> ParseBool(std::string_view text);
 
 /// Lowercases ASCII characters.
 std::string AsciiToLower(std::string_view text);

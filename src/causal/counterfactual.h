@@ -30,13 +30,13 @@ Mechanism ThresholdMechanism(std::vector<double> weights,
 /// `value`, holding the exogenous noise fixed (abduction / action /
 /// prediction). Returns a new sample with the same node order. Noise
 /// columns of the result carry the abducted noise.
-Result<ScmSample> CounterfactualSample(const Scm& scm,
+FAIRLAW_NODISCARD Result<ScmSample> CounterfactualSample(const Scm& scm,
                                        const ScmSample& sample,
                                        const std::string& node, double value);
 
 /// Per-row counterfactual values of a single outcome node under the
 /// intervention node=value.
-Result<std::vector<double>> CounterfactualOutcome(const Scm& scm,
+FAIRLAW_NODISCARD Result<std::vector<double>> CounterfactualOutcome(const Scm& scm,
                                                   const ScmSample& sample,
                                                   const std::string& node,
                                                   double value,

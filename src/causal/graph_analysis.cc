@@ -80,6 +80,8 @@ Result<std::vector<std::string>> FindDirectedPath(const Scm& scm,
   std::vector<std::string> path = {to};
   std::string cursor = to;
   while (cursor != from) {
+    // cursor walks via[], which only holds names from the scm's node set
+    // flowcheck: allow-unchecked-result (cursor is a known node name)
     size_t index = scm.NodeIndex(cursor).ValueOrDie();
     cursor = via[index];
     path.push_back(cursor);

@@ -18,22 +18,22 @@ namespace fairlaw::causal {
 // the statistical proxy detector in audit/proxy.h.
 
 /// Direct children of `node` (nodes listing it as a parent).
-Result<std::vector<std::string>> Children(const Scm& scm,
+FAIRLAW_NODISCARD Result<std::vector<std::string>> Children(const Scm& scm,
                                           const std::string& node);
 
 /// All descendants of `node` (children, transitively), in topological
 /// order, excluding the node itself.
-Result<std::vector<std::string>> Descendants(const Scm& scm,
+FAIRLAW_NODISCARD Result<std::vector<std::string>> Descendants(const Scm& scm,
                                              const std::string& node);
 
 /// All ancestors of `node` (parents, transitively), excluding itself.
-Result<std::vector<std::string>> Ancestors(const Scm& scm,
+FAIRLAW_NODISCARD Result<std::vector<std::string>> Ancestors(const Scm& scm,
                                            const std::string& node);
 
 /// One directed path from `from` to `to`, or empty when none exists.
 /// Paths name the mechanism chain through which protected information
 /// reaches a feature ("gender -> university -> hired").
-Result<std::vector<std::string>> FindDirectedPath(const Scm& scm,
+FAIRLAW_NODISCARD Result<std::vector<std::string>> FindDirectedPath(const Scm& scm,
                                                   const std::string& from,
                                                   const std::string& to);
 
@@ -55,7 +55,7 @@ struct FeaturePathReport {
 };
 
 /// Classifies `features` against `protected_node`.
-Result<FeaturePathReport> AnalyzeFeaturePaths(
+FAIRLAW_NODISCARD Result<FeaturePathReport> AnalyzeFeaturePaths(
     const Scm& scm, const std::string& protected_node,
     const std::vector<std::string>& features);
 

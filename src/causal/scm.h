@@ -54,15 +54,15 @@ class ScmSample {
   const std::vector<std::string>& node_names() const { return names_; }
 
   /// Values of node `name` across rows; NotFound if absent.
-  Result<const std::vector<double>*> Values(const std::string& name) const;
+  FAIRLAW_NODISCARD Result<const std::vector<double>*> Values(const std::string& name) const;
   /// Realized exogenous noise of node `name` across rows.
-  Result<const std::vector<double>*> Noise(const std::string& name) const;
+  FAIRLAW_NODISCARD Result<const std::vector<double>*> Noise(const std::string& name) const;
 
   std::vector<double>* mutable_values(size_t node) { return &values_[node]; }
   std::vector<double>* mutable_noise(size_t node) { return &noise_[node]; }
 
  private:
-  Result<size_t> IndexOf(const std::string& name) const;
+  FAIRLAW_NODISCARD Result<size_t> IndexOf(const std::string& name) const;
 
   std::vector<std::string> names_;
   size_t rows_;
@@ -82,27 +82,27 @@ class Scm {
  public:
   /// Adds a node. Fails if the name is duplicated or a parent is unknown
   /// (which also enforces acyclicity).
-  Status AddNode(NodeSpec node);
+  FAIRLAW_NODISCARD Status AddNode(NodeSpec node);
 
   size_t num_nodes() const { return nodes_.size(); }
   const std::vector<NodeSpec>& nodes() const { return nodes_; }
-  Result<size_t> NodeIndex(const std::string& name) const;
+  FAIRLAW_NODISCARD Result<size_t> NodeIndex(const std::string& name) const;
 
   /// Draws `n` i.i.d. rows, recording values and exogenous noise.
-  Result<ScmSample> Sample(size_t n, stats::Rng* rng) const;
+  FAIRLAW_NODISCARD Result<ScmSample> Sample(size_t n, stats::Rng* rng) const;
 
   /// Returns a copy of the model where `name` is replaced by the constant
   /// `value` (the do-operator).
-  Result<Scm> Do(const std::string& name, double value) const;
+  FAIRLAW_NODISCARD Result<Scm> Do(const std::string& name, double value) const;
 
   /// Abduction: recovers the exogenous noise behind one observed row
   /// (`observed[i]` is the value of node i in declaration order).
-  Result<std::vector<double>> Abduct(std::span<const double> observed) const;
+  FAIRLAW_NODISCARD Result<std::vector<double>> Abduct(std::span<const double> observed) const;
 
   /// Counterfactual for one observed row: abducts its noise, applies the
   /// interventions, and recomputes all non-intervened nodes with the same
   /// noise. Returns the counterfactual node values in declaration order.
-  Result<std::vector<double>> Counterfactual(
+  FAIRLAW_NODISCARD Result<std::vector<double>> Counterfactual(
       std::span<const double> observed,
       const std::unordered_map<std::string, double>& interventions) const;
 

@@ -38,7 +38,7 @@ class JsonWriter {
   void Field(const std::string& key, bool value);
 
   /// Returns the document; fails unless all containers are closed.
-  Result<std::string> Finish();
+  FAIRLAW_NODISCARD Result<std::string> Finish();
 
  private:
   enum class Scope { kObject, kArray };
@@ -56,10 +56,10 @@ std::string JsonEscape(const std::string& text);
 
 /// Serializes a full suite report (metric reports, proxy findings,
 /// subgroup findings, sampling support, four-fifths screen) to JSON.
-Result<std::string> SuiteReportToJson(const SuiteReport& report);
+FAIRLAW_NODISCARD Result<std::string> SuiteReportToJson(const SuiteReport& report);
 
 /// Serializes a single metric report.
-Result<std::string> MetricReportToJson(const metrics::MetricReport& report);
+FAIRLAW_NODISCARD Result<std::string> MetricReportToJson(const metrics::MetricReport& report);
 
 }  // namespace fairlaw
 

@@ -35,11 +35,11 @@ class MetricRegistry {
   static const MetricRegistry& Default();
 
   /// Registers a metric; fails on duplicate name.
-  Status Register(MetricEntry entry);
+  FAIRLAW_NODISCARD Status Register(MetricEntry entry);
 
   /// Looks up a metric by name. Takes a string_view so call sites with
   /// literals or substrings do not materialize a temporary std::string.
-  Result<const MetricEntry*> Get(std::string_view name) const;
+  FAIRLAW_NODISCARD Result<const MetricEntry*> Get(std::string_view name) const;
 
   /// All registered names in registration order.
   std::vector<std::string> Names() const;

@@ -56,7 +56,7 @@ struct SuiteReport {
 /// The public one-call entry point: runs the full configured suite over
 /// a table holding protected attribute(s), predictions, and (optionally)
 /// labels.
-Result<SuiteReport> RunFairnessSuite(const data::Table& table,
+FAIRLAW_NODISCARD Result<SuiteReport> RunFairnessSuite(const data::Table& table,
                                      const SuiteConfig& config);
 
 }  // namespace fairlaw

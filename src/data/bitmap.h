@@ -52,10 +52,10 @@ class Bitmap {
 
   /// Word-wise a & b. Sizes must match; mismatch is a Status::Invalid —
   /// two row sets of different tables can never be meaningfully combined.
-  Result<Bitmap> And(const Bitmap& other) const;
+  FAIRLAW_NODISCARD Result<Bitmap> And(const Bitmap& other) const;
 
   /// Word-wise a & ~b (set difference). Sizes must match.
-  Result<Bitmap> AndNot(const Bitmap& other) const;
+  FAIRLAW_NODISCARD Result<Bitmap> AndNot(const Bitmap& other) const;
 
   /// In-place a &= b for pre-validated same-size bitmaps (hot path).
   void AndInPlace(const Bitmap& other);

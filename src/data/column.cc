@@ -283,6 +283,7 @@ Result<Column> Column::Take(std::span<const size_t> indices) const {
 
 std::string Column::ValueToString(size_t row) const {
   if (row >= size() || !valid_[row]) return "null";
+  // flowcheck: allow-unchecked-result (row bound and validity checked above)
   return CellToString(GetCell(row).ValueOrDie());
 }
 

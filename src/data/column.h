@@ -59,31 +59,31 @@ class Column {
   void AppendNull();
 
   /// Appends `cell`, which must match type().
-  Status AppendCell(const Cell& cell);
+  FAIRLAW_NODISCARD Status AppendCell(const Cell& cell);
 
   /// Typed scalar access; fails on type mismatch, row out of range, or
   /// null slot.
-  Result<double> GetDouble(size_t row) const;
-  Result<int64_t> GetInt64(size_t row) const;
-  Result<std::string> GetString(size_t row) const;
-  Result<bool> GetBool(size_t row) const;
+  FAIRLAW_NODISCARD Result<double> GetDouble(size_t row) const;
+  FAIRLAW_NODISCARD Result<int64_t> GetInt64(size_t row) const;
+  FAIRLAW_NODISCARD Result<std::string> GetString(size_t row) const;
+  FAIRLAW_NODISCARD Result<bool> GetBool(size_t row) const;
 
   /// Cell access (type-erased); fails on out-of-range or null.
-  Result<Cell> GetCell(size_t row) const;
+  FAIRLAW_NODISCARD Result<Cell> GetCell(size_t row) const;
 
   /// Dense typed views. Fail unless the column has the right type and no
   /// nulls.
-  Result<std::span<const double>> Doubles() const;
-  Result<std::span<const int64_t>> Int64s() const;
-  Result<const std::vector<std::string>*> Strings() const;
-  Result<std::span<const uint8_t>> Bools() const;
+  FAIRLAW_NODISCARD Result<std::span<const double>> Doubles() const;
+  FAIRLAW_NODISCARD Result<std::span<const int64_t>> Int64s() const;
+  FAIRLAW_NODISCARD Result<const std::vector<std::string>*> Strings() const;
+  FAIRLAW_NODISCARD Result<std::span<const uint8_t>> Bools() const;
 
   /// Returns the column converted to double values (int64 and bool are
   /// widened; string fails). Requires no nulls.
-  Result<std::vector<double>> ToDoubles() const;
+  FAIRLAW_NODISCARD Result<std::vector<double>> ToDoubles() const;
 
   /// Returns a copy containing only the rows in `indices` (in order).
-  Result<Column> Take(std::span<const size_t> indices) const;
+  FAIRLAW_NODISCARD Result<Column> Take(std::span<const size_t> indices) const;
 
   /// Renders the value at `row` ("null" for null slots) for previews.
   std::string ValueToString(size_t row) const;

@@ -23,21 +23,21 @@ struct CsvOptions {
 /// double if every non-null cell parses as a number, else bool if every
 /// non-null cell is true/false, else string. Quoted fields ("a,b" with
 /// embedded delimiters and "" escapes) are supported.
-Result<Table> ReadCsvString(const std::string& text,
+FAIRLAW_NODISCARD Result<Table> ReadCsvString(const std::string& text,
                             const CsvOptions& options = {});
 
 /// Reads and parses a CSV file.
-Result<Table> ReadCsvFile(const std::string& path,
+FAIRLAW_NODISCARD Result<Table> ReadCsvFile(const std::string& path,
                           const CsvOptions& options = {});
 
 /// Serializes a table to CSV text (header row + data rows; nulls render
 /// as empty fields; strings containing the delimiter, quotes, or newlines
 /// are quoted).
-Result<std::string> WriteCsvString(const Table& table,
+FAIRLAW_NODISCARD Result<std::string> WriteCsvString(const Table& table,
                                    const CsvOptions& options = {});
 
 /// Writes a table to a CSV file.
-Status WriteCsvFile(const Table& table, const std::string& path,
+FAIRLAW_NODISCARD Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options = {});
 
 }  // namespace fairlaw::data

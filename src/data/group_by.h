@@ -24,17 +24,17 @@ struct Group {
 /// first-seen row order, members in ascending row order. Any column type
 /// may be used, but fairness audits typically group by protected
 /// attributes stored as strings.
-Result<std::vector<Group>> GroupBy(const Table& table,
+FAIRLAW_NODISCARD Result<std::vector<Group>> GroupBy(const Table& table,
                                    const std::vector<std::string>& columns);
 
 /// Distinct values of one column in first-seen order (nulls rendered as
 /// "null").
-Result<std::vector<std::string>> DistinctValues(const Table& table,
+FAIRLAW_NODISCARD Result<std::vector<std::string>> DistinctValues(const Table& table,
                                                 const std::string& column);
 
 /// Counts of each distinct value of `column`, aligned with
 /// DistinctValues.
-Result<std::vector<int64_t>> ValueCounts(const Table& table,
+FAIRLAW_NODISCARD Result<std::vector<int64_t>> ValueCounts(const Table& table,
                                          const std::string& column);
 
 }  // namespace fairlaw::data

@@ -19,7 +19,7 @@ struct AttributeIndex {
   std::vector<Bitmap> bitmaps;  // aligned with `values`
 
   /// Index into `values` for `value`; NotFound when absent.
-  Result<size_t> IndexOf(const std::string& value) const;
+  FAIRLAW_NODISCARD Result<size_t> IndexOf(const std::string& value) const;
 };
 
 /// Columnar bitmap index over a table: per-attribute-value row bitmaps
@@ -36,19 +36,19 @@ class GroupIndex {
  public:
   /// Indexes `attribute_columns` of `table` (values are compared as
   /// rendered strings, nulls render as "null", matching GroupBy).
-  static Result<GroupIndex> Build(
+  FAIRLAW_NODISCARD static Result<GroupIndex> Build(
       const Table& table, const std::vector<std::string>& attribute_columns);
 
   size_t num_rows() const { return num_rows_; }
   const std::vector<AttributeIndex>& attributes() const { return attributes_; }
 
   /// The indexed attribute named `name`; NotFound when absent.
-  Result<const AttributeIndex*> Attribute(const std::string& name) const;
+  FAIRLAW_NODISCARD Result<const AttributeIndex*> Attribute(const std::string& name) const;
 
   /// Packs a 0/1 column (double/int64/bool) into a bitmap; Invalid on
   /// non-binary values or nulls. Usable standalone for prediction/label
   /// columns.
-  static Result<Bitmap> BinaryColumnBitmap(const Table& table,
+  FAIRLAW_NODISCARD static Result<Bitmap> BinaryColumnBitmap(const Table& table,
                                            const std::string& column);
 
  private:

@@ -16,16 +16,21 @@ Result<std::vector<double>> NonNullNumeric(const Column& column) {
   for (size_t row = 0; row < column.size(); ++row) {
     if (!column.IsValid(row)) continue;
     switch (column.type()) {
-      case DataType::kDouble:
-        values.push_back(column.GetDouble(row).ValueOrDie());
+      case DataType::kDouble: {
+        FAIRLAW_ASSIGN_OR_RETURN(double value, column.GetDouble(row));
+        values.push_back(value);
         break;
-      case DataType::kInt64:
-        values.push_back(
-            static_cast<double>(column.GetInt64(row).ValueOrDie()));
+      }
+      case DataType::kInt64: {
+        FAIRLAW_ASSIGN_OR_RETURN(int64_t value, column.GetInt64(row));
+        values.push_back(static_cast<double>(value));
         break;
-      case DataType::kBool:
-        values.push_back(column.GetBool(row).ValueOrDie() ? 1.0 : 0.0);
+      }
+      case DataType::kBool: {
+        FAIRLAW_ASSIGN_OR_RETURN(bool value, column.GetBool(row));
+        values.push_back(value ? 1.0 : 0.0);
         break;
+      }
       case DataType::kString:
         return Status::Invalid("numeric imputation on string column");
     }

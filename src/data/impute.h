@@ -36,7 +36,7 @@ struct ImputeSpec {
 /// Returns a new table with the requested columns' nulls filled. Columns
 /// not named keep their nulls. Fails if a numeric strategy is applied to
 /// a string column or a column has no non-null values to estimate from.
-Result<Table> ImputeNulls(const Table& table,
+FAIRLAW_NODISCARD Result<Table> ImputeNulls(const Table& table,
                           const std::vector<ImputeSpec>& specs);
 
 /// Result of dropping null rows.
@@ -53,7 +53,7 @@ struct DropNullsReport {
 /// (all columns when empty). `group_column` (optional, may be empty)
 /// attributes the dropped rows to protected groups for the missingness
 /// report.
-Result<DropNullsReport> DropNullRows(const Table& table,
+FAIRLAW_NODISCARD Result<DropNullsReport> DropNullRows(const Table& table,
                                      const std::vector<std::string>& columns,
                                      const std::string& group_column = "");
 

@@ -37,7 +37,7 @@ class Schema {
   Schema() = default;
 
   /// Builds a schema; fails if two fields share a name.
-  static Result<Schema> Make(std::vector<Field> fields);
+  FAIRLAW_NODISCARD static Result<Schema> Make(std::vector<Field> fields);
 
   size_t num_fields() const { return fields_.size(); }
   const Field& field(size_t i) const { return fields_[i]; }
@@ -46,16 +46,16 @@ class Schema {
   /// Index of the field named `name`, or NotFound. Takes a string_view
   /// so lookups with literals or substrings do not materialize a
   /// temporary std::string.
-  Result<size_t> FieldIndex(std::string_view name) const;
+  FAIRLAW_NODISCARD Result<size_t> FieldIndex(std::string_view name) const;
 
   /// True if a field named `name` exists.
   bool HasField(std::string_view name) const;
 
   /// Returns a new schema with `field` appended; fails on duplicate name.
-  Result<Schema> AddField(Field field) const;
+  FAIRLAW_NODISCARD Result<Schema> AddField(Field field) const;
 
   /// Returns a new schema without the field named `name`.
-  Result<Schema> RemoveField(const std::string& name) const;
+  FAIRLAW_NODISCARD Result<Schema> RemoveField(const std::string& name) const;
 
   /// Renders "name:type, name:type, ...".
   std::string ToString() const;

@@ -26,7 +26,7 @@ class Table {
 
   /// Builds a table from a schema and matching columns (same count and
   /// per-column type; all columns the same length).
-  static Result<Table> Make(Schema schema, std::vector<Column> columns);
+  FAIRLAW_NODISCARD static Result<Table> Make(Schema schema, std::vector<Column> columns);
 
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
@@ -36,32 +36,32 @@ class Table {
   /// so call sites with literals or substrings do not materialize a
   /// temporary std::string.
   const Column& column(size_t i) const { return columns_[i]; }
-  Result<const Column*> GetColumn(std::string_view name) const;
+  FAIRLAW_NODISCARD Result<const Column*> GetColumn(std::string_view name) const;
 
   /// Returns a new table with `column` appended under `name`. The column
   /// length must equal num_rows() (any length is accepted when the table
   /// has no columns yet).
-  Result<Table> AddColumn(const std::string& name, Column column) const;
+  FAIRLAW_NODISCARD Result<Table> AddColumn(const std::string& name, Column column) const;
 
   /// Returns a new table without the named column.
-  Result<Table> RemoveColumn(const std::string& name) const;
+  FAIRLAW_NODISCARD Result<Table> RemoveColumn(const std::string& name) const;
 
   /// Returns a new table with the named column replaced (same type not
   /// required; the schema entry is updated).
-  Result<Table> ReplaceColumn(const std::string& name, Column column) const;
+  FAIRLAW_NODISCARD Result<Table> ReplaceColumn(const std::string& name, Column column) const;
 
   /// Returns the rows whose index appears in `indices`, in order.
-  Result<Table> Take(std::span<const size_t> indices) const;
+  FAIRLAW_NODISCARD Result<Table> Take(std::span<const size_t> indices) const;
 
   /// Returns the rows for which `predicate` is true. The predicate
   /// receives the row index.
-  Result<Table> Filter(const std::function<bool(size_t)>& predicate) const;
+  FAIRLAW_NODISCARD Result<Table> Filter(const std::function<bool(size_t)>& predicate) const;
 
   /// Returns rows [offset, offset+length).
-  Result<Table> Slice(size_t offset, size_t length) const;
+  FAIRLAW_NODISCARD Result<Table> Slice(size_t offset, size_t length) const;
 
   /// Row indices where the named string column equals `value`.
-  Result<std::vector<size_t>> RowsWhereEquals(const std::string& column,
+  FAIRLAW_NODISCARD Result<std::vector<size_t>> RowsWhereEquals(const std::string& column,
                                               const std::string& value) const;
 
   /// Renders the first `max_rows` rows as an aligned text preview.
@@ -82,13 +82,13 @@ class TableBuilder {
   explicit TableBuilder(Schema schema);
 
   /// Appends one row; `cells` must match the schema arity and types.
-  Status AppendRow(const std::vector<Cell>& cells);
+  FAIRLAW_NODISCARD Status AppendRow(const std::vector<Cell>& cells);
 
   /// Appends one row where individual cells may be missing (null).
-  Status AppendRowWithNulls(const std::vector<std::optional<Cell>>& cells);
+  FAIRLAW_NODISCARD Status AppendRowWithNulls(const std::vector<std::optional<Cell>>& cells);
 
   /// Finalizes into a table; the builder is left empty.
-  Result<Table> Finish();
+  FAIRLAW_NODISCARD Result<Table> Finish();
 
  private:
   Schema schema_;

@@ -46,7 +46,7 @@ struct BurdenShiftingResult {
 /// Runs the pipeline over the observed outcomes plus the qualitative
 /// facts. The prima facie stage requires both a four-fifths ratio
 /// failure and statistical significance.
-Result<BurdenShiftingResult> RunBurdenShifting(
+FAIRLAW_NODISCARD Result<BurdenShiftingResult> RunBurdenShifting(
     const metrics::MetricInput& outcomes, const BurdenShiftingFacts& facts,
     double threshold = 0.8, double alpha = 0.05);
 

@@ -57,7 +57,7 @@ struct ChecklistReport {
 };
 
 /// Evaluates the checklist.
-Result<ChecklistReport> EvaluateChecklist(const UseCaseProfile& profile);
+FAIRLAW_NODISCARD Result<ChecklistReport> EvaluateChecklist(const UseCaseProfile& profile);
 
 }  // namespace fairlaw::legal
 

@@ -46,7 +46,7 @@ struct DoctrineInfo {
 const std::vector<DoctrineInfo>& AllDoctrines();
 
 /// Looks up one doctrine.
-Result<DoctrineInfo> GetDoctrine(Doctrine doctrine);
+FAIRLAW_NODISCARD Result<DoctrineInfo> GetDoctrine(Doctrine doctrine);
 
 /// Equality concept a fairness definition pursues (§IV-A's distinction).
 enum class EqualityConcept {
@@ -66,13 +66,13 @@ std::string_view EqualityConceptToString(EqualityConcept equality);
 /// demographic disparity and conditional demographic disparity align with
 /// equal outcome; equal opportunity and equalized odds with equal
 /// treatment; counterfactual fairness is the middle ground.
-Result<EqualityConcept> ConceptForMetric(const std::string& metric_name);
+FAIRLAW_NODISCARD Result<EqualityConcept> ConceptForMetric(const std::string& metric_name);
 
 /// The doctrine a metric violation is most probative of, per
 /// jurisdiction. Outcome-style gaps evidence indirect discrimination /
 /// disparate impact; counterfactual flips (holding all else fixed)
 /// evidence direct discrimination / disparate treatment.
-Result<Doctrine> DoctrineForMetric(const std::string& metric_name,
+FAIRLAW_NODISCARD Result<Doctrine> DoctrineForMetric(const std::string& metric_name,
                                    Jurisdiction jurisdiction);
 
 }  // namespace fairlaw::legal

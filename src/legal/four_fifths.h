@@ -44,7 +44,7 @@ struct FourFifthsResult {
 };
 
 /// Runs the four-fifths screen over `input` (labels not required).
-Result<FourFifthsResult> FourFifthsTest(const metrics::MetricInput& input,
+FAIRLAW_NODISCARD Result<FourFifthsResult> FourFifthsTest(const metrics::MetricInput& input,
                                         double threshold = 0.8,
                                         double alpha = 0.05);
 

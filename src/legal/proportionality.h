@@ -51,7 +51,7 @@ struct ProportionalityVerdict {
 };
 
 /// Runs the staged test.
-Result<ProportionalityVerdict> AssessProportionality(
+FAIRLAW_NODISCARD Result<ProportionalityVerdict> AssessProportionality(
     const ProportionalityCase& facts);
 
 }  // namespace fairlaw::legal

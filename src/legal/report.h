@@ -43,7 +43,7 @@ struct ComplianceReportInputs {
 /// instruments protect the attribute in the sector), the metric results
 /// with their doctrine mapping (§IV-A), the four-fifths screen, and the
 /// checklist recommendations.
-Result<std::string> RenderComplianceReport(
+FAIRLAW_NODISCARD Result<std::string> RenderComplianceReport(
     const ComplianceReportInputs& inputs);
 
 }  // namespace fairlaw::legal

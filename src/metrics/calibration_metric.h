@@ -33,7 +33,7 @@ struct CalibrationReport {
 /// Audits calibration within each protected group. `scores[i]` is the
 /// model probability for row i, `labels[i]` the actual outcome,
 /// `groups[i]` the protected-attribute value.
-Result<CalibrationReport> CalibrationWithinGroups(
+FAIRLAW_NODISCARD Result<CalibrationReport> CalibrationWithinGroups(
     const std::vector<std::string>& groups, const std::vector<int>& labels,
     const std::vector<double>& scores, size_t num_bins = 10,
     double tolerance = 0.05);

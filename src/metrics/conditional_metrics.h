@@ -30,13 +30,13 @@ struct ConditionalReport {
 /// i. Strata with fewer than `min_stratum_size` rows or fewer than two
 /// groups are skipped (reported in detail) rather than failing the whole
 /// audit — tiny strata say nothing reliable (§IV-F).
-Result<ConditionalReport> ConditionalStatisticalParity(
+FAIRLAW_NODISCARD Result<ConditionalReport> ConditionalStatisticalParity(
     const MetricInput& input, const std::vector<std::string>& strata,
     double tolerance = 0.0, size_t min_stratum_size = 1);
 
 /// §III-F Conditional demographic disparity: demographic disparity
 /// (selection rate > 1/2 for every group) within every stratum.
-Result<ConditionalReport> ConditionalDemographicDisparity(
+FAIRLAW_NODISCARD Result<ConditionalReport> ConditionalDemographicDisparity(
     const MetricInput& input, const std::vector<std::string>& strata,
     size_t min_stratum_size = 1);
 

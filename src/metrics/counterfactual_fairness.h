@@ -50,7 +50,7 @@ struct CounterfactualFairnessReport {
 /// is the "unawareness" configuration, and this audit is exactly the tool
 /// that shows unawareness does not imply counterfactual fairness when
 /// proxies (descendants of A) are among the features.
-Result<CounterfactualFairnessReport> AuditCounterfactualFairness(
+FAIRLAW_NODISCARD Result<CounterfactualFairnessReport> AuditCounterfactualFairness(
     const causal::Scm& scm, const causal::ScmSample& sample,
     const std::string& protected_node, double value_a, double value_b,
     const HardPredictor& predict,

@@ -42,7 +42,7 @@ struct MetricInput {
 
   /// Structural validation; `require_labels` additionally demands a full
   /// label vector.
-  Status Validate(bool require_labels) const;
+  FAIRLAW_NODISCARD Status Validate(bool require_labels) const;
 };
 
 /// Result of evaluating one fairness definition.
@@ -87,17 +87,17 @@ struct GroupPartition {
 
   /// Validates `input` and builds the partition (labels are packed when
   /// present).
-  static Result<GroupPartition> Build(const MetricInput& input);
+  FAIRLAW_NODISCARD static Result<GroupPartition> Build(const MetricInput& input);
 };
 
 /// Computes per-group statistics. `with_labels` toggles the Y-conditional
 /// fields; when true the input must carry labels.
-Result<std::vector<GroupStats>> ComputeGroupStats(const MetricInput& input,
+FAIRLAW_NODISCARD Result<std::vector<GroupStats>> ComputeGroupStats(const MetricInput& input,
                                                   bool with_labels);
 
 /// Same statistics from a prebuilt partition via the fused popcount
 /// kernels; `with_labels` requires partition.has_labels.
-Result<std::vector<GroupStats>> ComputeGroupStats(
+FAIRLAW_NODISCARD Result<std::vector<GroupStats>> ComputeGroupStats(
     const GroupPartition& partition, bool with_labels);
 
 /// Max absolute pairwise gap of the selected per-group rates.

@@ -20,53 +20,53 @@ namespace fairlaw::metrics {
 
 /// §III-A Demographic parity: P(R=+ | A=a) equal across groups
 /// (equal-outcome family). Labels not required.
-Result<MetricReport> DemographicParity(const MetricInput& input,
+FAIRLAW_NODISCARD Result<MetricReport> DemographicParity(const MetricInput& input,
                                        double tolerance = 0.0);
-Result<MetricReport> DemographicParity(const GroupPartition& partition,
+FAIRLAW_NODISCARD Result<MetricReport> DemographicParity(const GroupPartition& partition,
                                        double tolerance = 0.0);
 
 /// §III-C Equal opportunity: P(R=+ | Y=+, A=a) equal across groups
 /// (equal-treatment family). Requires labels.
-Result<MetricReport> EqualOpportunity(const MetricInput& input,
+FAIRLAW_NODISCARD Result<MetricReport> EqualOpportunity(const MetricInput& input,
                                       double tolerance = 0.0);
-Result<MetricReport> EqualOpportunity(const GroupPartition& partition,
+FAIRLAW_NODISCARD Result<MetricReport> EqualOpportunity(const GroupPartition& partition,
                                       double tolerance = 0.0);
 
 /// §III-D Equalized odds: both TPR and FPR equal across groups. The
 /// reported gap is the worse of the two. Requires labels.
-Result<MetricReport> EqualizedOdds(const MetricInput& input,
+FAIRLAW_NODISCARD Result<MetricReport> EqualizedOdds(const MetricInput& input,
                                    double tolerance = 0.0);
-Result<MetricReport> EqualizedOdds(const GroupPartition& partition,
+FAIRLAW_NODISCARD Result<MetricReport> EqualizedOdds(const GroupPartition& partition,
                                    double tolerance = 0.0);
 
 /// §III-E Demographic disparity: for every group a,
 /// P(R=+ | A=a) > P(R=- | A=a), i.e. the selection rate exceeds 1/2.
 /// The report is satisfied when every group passes; max_gap carries the
 /// largest shortfall below 1/2 (0 when satisfied). Labels not required.
-Result<MetricReport> DemographicDisparity(const MetricInput& input);
-Result<MetricReport> DemographicDisparity(const GroupPartition& partition);
+FAIRLAW_NODISCARD Result<MetricReport> DemographicDisparity(const MetricInput& input);
+FAIRLAW_NODISCARD Result<MetricReport> DemographicDisparity(const GroupPartition& partition);
 
 /// Disparate-impact ratio: min over groups of selection rate divided by
 /// the highest group selection rate. `threshold` is the legal cut-off
 /// (0.8 for the EEOC four-fifths rule); satisfied when the ratio >=
 /// threshold. Labels not required.
-Result<MetricReport> DisparateImpactRatio(const MetricInput& input,
+FAIRLAW_NODISCARD Result<MetricReport> DisparateImpactRatio(const MetricInput& input,
                                           double threshold = 0.8);
-Result<MetricReport> DisparateImpactRatio(const GroupPartition& partition,
+FAIRLAW_NODISCARD Result<MetricReport> DisparateImpactRatio(const GroupPartition& partition,
                                           double threshold = 0.8);
 
 /// Predictive parity: P(Y=+ | R=+, A=a) (precision / PPV) equal across
 /// groups. Requires labels.
-Result<MetricReport> PredictiveParity(const MetricInput& input,
+FAIRLAW_NODISCARD Result<MetricReport> PredictiveParity(const MetricInput& input,
                                       double tolerance = 0.0);
-Result<MetricReport> PredictiveParity(const GroupPartition& partition,
+FAIRLAW_NODISCARD Result<MetricReport> PredictiveParity(const GroupPartition& partition,
                                       double tolerance = 0.0);
 
 /// Overall accuracy equality: P(R=Y | A=a) equal across groups. Requires
 /// labels.
-Result<MetricReport> AccuracyEquality(const MetricInput& input,
+FAIRLAW_NODISCARD Result<MetricReport> AccuracyEquality(const MetricInput& input,
                                       double tolerance = 0.0);
-Result<MetricReport> AccuracyEquality(const GroupPartition& partition,
+FAIRLAW_NODISCARD Result<MetricReport> AccuracyEquality(const GroupPartition& partition,
                                       double tolerance = 0.0);
 
 }  // namespace fairlaw::metrics

@@ -50,7 +50,7 @@ struct ImpossibilityReport {
 
 /// Evaluates the theorem's quantities on decisions. Requires labels;
 /// every group needs both classes and at least one positive prediction.
-Result<ImpossibilityReport> CheckImpossibility(
+FAIRLAW_NODISCARD Result<ImpossibilityReport> CheckImpossibility(
     const std::vector<std::string>& groups, const std::vector<int>& labels,
     const std::vector<int>& predictions, double tolerance = 0.05);
 

@@ -37,7 +37,7 @@ struct ConsistencyReport {
   std::vector<size_t> least_consistent;
 };
 
-Result<ConsistencyReport> KnnConsistency(
+FAIRLAW_NODISCARD Result<ConsistencyReport> KnnConsistency(
     const std::vector<std::vector<double>>& features,
     const std::vector<double>& scores, size_t k = 5, size_t worst = 5,
     const SimilarityMetric& metric = EuclideanDistance);
@@ -64,7 +64,7 @@ struct LipschitzReport {
 /// Audits all pairs with distance <= `epsilon` (O(n^2); intended for
 /// audit samples up to a few thousand rows). `max_violations` caps the
 /// reported list.
-Result<LipschitzReport> AuditLipschitz(
+FAIRLAW_NODISCARD Result<LipschitzReport> AuditLipschitz(
     const std::vector<std::vector<double>>& features,
     const std::vector<double>& scores, double lipschitz_bound,
     double epsilon, size_t max_violations = 20,

@@ -21,14 +21,14 @@ namespace fairlaw::metrics {
 /// a positive mean. Zero benefits are fine for alpha > 0 (the x·ln x
 /// convention handles alpha = 1) but degenerate for alpha <= 0, where
 /// they are rejected.
-Result<double> GeneralizedEntropyIndex(std::span<const double> benefits,
+FAIRLAW_NODISCARD Result<double> GeneralizedEntropyIndex(std::span<const double> benefits,
                                        double alpha);
 
 /// Theil index (generalized entropy at alpha = 1).
-Result<double> TheilIndex(std::span<const double> benefits);
+FAIRLAW_NODISCARD Result<double> TheilIndex(std::span<const double> benefits);
 
 /// Canonical benefit vector for binary decisions: prediction - label + 1.
-Result<std::vector<double>> BinaryBenefits(std::span<const int> labels,
+FAIRLAW_NODISCARD Result<std::vector<double>> BinaryBenefits(std::span<const int> labels,
                                            std::span<const int> predictions);
 
 /// Decomposition of the generalized entropy index into between-group and
@@ -40,7 +40,7 @@ struct EntropyDecomposition {
 };
 
 /// Decomposes the index over the given group assignment.
-Result<EntropyDecomposition> DecomposeEntropyIndex(
+FAIRLAW_NODISCARD Result<EntropyDecomposition> DecomposeEntropyIndex(
     std::span<const double> benefits, const std::vector<std::string>& groups,
     double alpha);
 

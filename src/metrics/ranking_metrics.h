@@ -42,7 +42,7 @@ struct RankingFairnessReport {
 /// Audits group exposure over `ranked_groups` (the group of the item at
 /// each position, best first). `threshold` plays the four-fifths role
 /// for exposure.
-Result<RankingFairnessReport> ExposureFairness(
+FAIRLAW_NODISCARD Result<RankingFairnessReport> ExposureFairness(
     const std::vector<std::string>& ranked_groups, double threshold = 0.8);
 
 /// Representation in every top-k prefix.
@@ -58,7 +58,7 @@ struct PrefixParityReport {
 };
 
 /// Audits the prefixes in `prefix_sizes` (each in [1, n]).
-Result<PrefixParityReport> TopKParity(
+FAIRLAW_NODISCARD Result<PrefixParityReport> TopKParity(
     const std::vector<std::string>& ranked_groups,
     const std::vector<size_t>& prefix_sizes, double tolerance = 0.1);
 
@@ -67,7 +67,7 @@ Result<PrefixParityReport> TopKParity(
 /// floor(min_share[g] * k) members of each constrained group (Celis-style
 /// constrained top-k). Returns the item indices in their new order.
 /// Shares must sum to <= 1.
-Result<std::vector<size_t>> FairRerank(
+FAIRLAW_NODISCARD Result<std::vector<size_t>> FairRerank(
     const std::vector<std::string>& groups, const std::vector<double>& scores,
     const std::map<std::string, double>& min_share);
 

@@ -17,13 +17,13 @@ namespace fairlaw::mitigation {
 
 /// Repairs one numeric feature. `groups[i]` is row i's protected value,
 /// `values[i]` the feature. Returns the repaired values.
-Result<std::vector<double>> RepairFeature(
+FAIRLAW_NODISCARD Result<std::vector<double>> RepairFeature(
     const std::vector<std::string>& groups, const std::vector<double>& values,
     double repair_level);
 
 /// Repairs several feature columns in place (each independently).
 /// `features` is row-major; `columns` lists the indices to repair.
-Status RepairFeatures(const std::vector<std::string>& groups,
+FAIRLAW_NODISCARD Status RepairFeatures(const std::vector<std::string>& groups,
                       std::vector<std::vector<double>>* features,
                       const std::vector<size_t>& columns, double repair_level);
 

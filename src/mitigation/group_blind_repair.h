@@ -37,13 +37,13 @@ class GroupBlindRepair {
   /// Fits from reference per-group score samples (the small research
   /// dataset; >= 2 points each) and the population-wide group marginals
   /// (same order, non-negative, positive total; normalized internally).
-  static Result<GroupBlindRepair> Fit(
+  FAIRLAW_NODISCARD static Result<GroupBlindRepair> Fit(
       const std::vector<std::vector<double>>& reference_group_scores,
       const std::vector<double>& group_marginals);
 
   /// Applies the repair with strength t in [0,1] to operational scores
   /// that do not carry group labels.
-  Result<std::vector<double>> Apply(std::span<const double> pooled_scores,
+  FAIRLAW_NODISCARD Result<std::vector<double>> Apply(std::span<const double> pooled_scores,
                                     double strength) const;
 
   /// Posterior P(group = a | score) under the fitted normal mixture.

@@ -22,16 +22,16 @@ namespace fairlaw::mitigation {
 class GroupCalibrator {
  public:
   /// Fits one isotonic calibrator per group on validation data.
-  static Result<GroupCalibrator> Fit(const std::vector<std::string>& groups,
+  FAIRLAW_NODISCARD static Result<GroupCalibrator> Fit(const std::vector<std::string>& groups,
                                      const std::vector<double>& scores,
                                      const std::vector<int>& labels);
 
   /// Calibrated probability for one (group, score); NotFound for groups
   /// absent at Fit time.
-  Result<double> Calibrate(const std::string& group, double score) const;
+  FAIRLAW_NODISCARD Result<double> Calibrate(const std::string& group, double score) const;
 
   /// Batch calibration.
-  Result<std::vector<double>> CalibrateBatch(
+  FAIRLAW_NODISCARD Result<std::vector<double>> CalibrateBatch(
       const std::vector<std::string>& groups,
       const std::vector<double>& scores) const;
 

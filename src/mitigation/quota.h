@@ -41,7 +41,7 @@ struct QuotaSelection {
 /// per-group minimum shares. If a group has fewer members than its
 /// reserved slots, all its members are selected and the spare slots
 /// return to the open pool.
-Result<QuotaSelection> SelectWithQuota(const std::vector<std::string>& groups,
+FAIRLAW_NODISCARD Result<QuotaSelection> SelectWithQuota(const std::vector<std::string>& groups,
                                        const std::vector<double>& scores,
                                        const QuotaOptions& options);
 

@@ -34,18 +34,18 @@ class RandomizedEqualizedOdds {
  public:
   /// Fits from validation data: per-row group, score, and true label.
   /// Every group needs both classes present.
-  static Result<RandomizedEqualizedOdds> Fit(
+  FAIRLAW_NODISCARD static Result<RandomizedEqualizedOdds> Fit(
       const std::vector<std::string>& groups,
       const std::vector<double>& scores, const std::vector<int>& labels,
       size_t fpr_grid = 101);
 
   /// Probability that the rule outputs 1 for a member of `group` with
   /// `score` (the decision is a Bernoulli draw of this probability).
-  Result<double> PositiveProbability(const std::string& group,
+  FAIRLAW_NODISCARD Result<double> PositiveProbability(const std::string& group,
                                      double score) const;
 
   /// Samples hard decisions for a batch.
-  Result<std::vector<int>> Apply(const std::vector<std::string>& groups,
+  FAIRLAW_NODISCARD Result<std::vector<int>> Apply(const std::vector<std::string>& groups,
                                  const std::vector<double>& scores,
                                  stats::Rng* rng) const;
 

@@ -34,8 +34,8 @@ class FairLogisticRegression : public ml::Classifier {
                          FairLrOptions options = {});
 
   std::string name() const override { return "fair_logistic_regression"; }
-  Status Fit(const ml::Dataset& data) override;
-  Result<double> PredictProba(std::span<const double> x) const override;
+  FAIRLAW_NODISCARD Status Fit(const ml::Dataset& data) override;
+  FAIRLAW_NODISCARD Result<double> PredictProba(std::span<const double> x) const override;
 
   const std::vector<double>& weights() const { return weights_; }
   double bias() const { return bias_; }

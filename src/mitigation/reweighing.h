@@ -18,12 +18,12 @@ namespace fairlaw::mitigation {
 
 /// Per-row reweighing weights for the given group/label assignment.
 /// Every (group, label) cell present in the data must be non-empty.
-Result<std::vector<double>> ReweighingWeights(
+FAIRLAW_NODISCARD Result<std::vector<double>> ReweighingWeights(
     const std::vector<std::string>& groups, const std::vector<int>& labels);
 
 /// Convenience: computes the weights and installs them into
 /// `data->weights` (multiplying into existing weights if present).
-Status ApplyReweighing(const std::vector<std::string>& groups,
+FAIRLAW_NODISCARD Status ApplyReweighing(const std::vector<std::string>& groups,
                        ml::Dataset* data);
 
 }  // namespace fairlaw::mitigation

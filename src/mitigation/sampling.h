@@ -20,12 +20,12 @@ namespace fairlaw::mitigation {
 /// Row indices of a resampled dataset (size ~ the original) in which
 /// group and label are independent. Duplicate indices realize
 /// oversampling.
-Result<std::vector<size_t>> PreferentialSamplingIndices(
+FAIRLAW_NODISCARD Result<std::vector<size_t>> PreferentialSamplingIndices(
     const std::vector<std::string>& groups, const std::vector<int>& labels,
     stats::Rng* rng);
 
 /// Convenience: materializes the resampled dataset.
-Result<ml::Dataset> ApplyPreferentialSampling(
+FAIRLAW_NODISCARD Result<ml::Dataset> ApplyPreferentialSampling(
     const std::vector<std::string>& groups, const ml::Dataset& data,
     stats::Rng* rng);
 

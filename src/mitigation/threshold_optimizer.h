@@ -33,7 +33,7 @@ struct GroupThresholds {
   std::string detail;
 
   /// Applies the thresholds: prediction_i = scores[i] >= threshold[group].
-  Result<std::vector<int>> Apply(const std::vector<std::string>& groups,
+  FAIRLAW_NODISCARD Result<std::vector<int>> Apply(const std::vector<std::string>& groups,
                                  const std::vector<double>& scores) const;
 };
 
@@ -49,7 +49,7 @@ struct ThresholdOptimizerOptions {
 
 /// Fits per-group thresholds on (groups, scores[, labels]).
 /// Labels may be empty for kDemographicParity and are required otherwise.
-Result<GroupThresholds> OptimizeThresholds(
+FAIRLAW_NODISCARD Result<GroupThresholds> OptimizeThresholds(
     const std::vector<std::string>& groups, const std::vector<double>& scores,
     const std::vector<int>& labels, ThresholdCriterion criterion,
     const ThresholdOptimizerOptions& options = {});

@@ -25,19 +25,19 @@ class Classifier {
 
   /// Trains on `data` (validated internally). Refitting replaces the
   /// previous model.
-  virtual Status Fit(const Dataset& data) = 0;
+  FAIRLAW_NODISCARD virtual Status Fit(const Dataset& data) = 0;
 
   /// P(label = 1 | x). Fails if the model is not fitted or the feature
   /// width is wrong.
-  virtual Result<double> PredictProba(std::span<const double> x) const = 0;
+  FAIRLAW_NODISCARD virtual Result<double> PredictProba(std::span<const double> x) const = 0;
 
   /// Hard prediction at the given probability threshold.
-  Result<int> Predict(std::span<const double> x, double threshold = 0.5) const;
+  FAIRLAW_NODISCARD Result<int> Predict(std::span<const double> x, double threshold = 0.5) const;
 
   /// Batch variants.
-  Result<std::vector<double>> PredictProbaBatch(
+  FAIRLAW_NODISCARD Result<std::vector<double>> PredictProbaBatch(
       const std::vector<std::vector<double>>& rows) const;
-  Result<std::vector<int>> PredictBatch(
+  FAIRLAW_NODISCARD Result<std::vector<int>> PredictBatch(
       const std::vector<std::vector<double>>& rows,
       double threshold = 0.5) const;
 };

@@ -48,12 +48,15 @@ Result<CrossValidationResult> CrossValidate(const Dataset& data,
     result.fold_accuracy.push_back(accuracy);
     result.fold_auc.push_back(auc);
   }
-  result.mean_accuracy = stats::Mean(result.fold_accuracy).ValueOrDie();
-  result.stddev_accuracy =
-      result.fold_accuracy.size() >= 2
-          ? stats::StdDev(result.fold_accuracy).ValueOrDie()
-          : 0.0;
-  result.mean_auc = stats::Mean(result.fold_auc).ValueOrDie();
+  FAIRLAW_ASSIGN_OR_RETURN(result.mean_accuracy,
+                           stats::Mean(result.fold_accuracy));
+  if (result.fold_accuracy.size() >= 2) {
+    FAIRLAW_ASSIGN_OR_RETURN(result.stddev_accuracy,
+                             stats::StdDev(result.fold_accuracy));
+  } else {
+    result.stddev_accuracy = 0.0;
+  }
+  FAIRLAW_ASSIGN_OR_RETURN(result.mean_auc, stats::Mean(result.fold_auc));
   return result;
 }
 

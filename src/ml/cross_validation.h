@@ -29,7 +29,7 @@ struct CrossValidationResult {
 /// Requires every validation fold to contain both classes for the AUC;
 /// returns an error otherwise (shuffle with a different seed or reduce
 /// k).
-Result<CrossValidationResult> CrossValidate(const Dataset& data,
+FAIRLAW_NODISCARD Result<CrossValidationResult> CrossValidate(const Dataset& data,
                                             const ModelFactory& factory,
                                             size_t folds, stats::Rng* rng);
 

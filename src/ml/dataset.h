@@ -33,10 +33,10 @@ struct Dataset {
 
   /// Structural validation: rectangular features, labels in {0,1},
   /// weights (if present) non-negative and aligned, at least one example.
-  Status Validate() const;
+  FAIRLAW_NODISCARD Status Validate() const;
 
   /// Returns the subset at `indices` (weights preserved).
-  Result<Dataset> Take(std::span<const size_t> indices) const;
+  FAIRLAW_NODISCARD Result<Dataset> Take(std::span<const size_t> indices) const;
 };
 
 /// Builds a Dataset from a table: `feature_columns` become the feature
@@ -44,12 +44,12 @@ struct Dataset {
 /// an int64/bool column with values in {0,1}. Null cells anywhere in the
 /// used columns are an error — callers must handle missingness explicitly
 /// before modeling.
-Result<Dataset> DatasetFromTable(const data::Table& table,
+FAIRLAW_NODISCARD Result<Dataset> DatasetFromTable(const data::Table& table,
                                  const std::vector<std::string>& feature_columns,
                                  const std::string& label_column);
 
 /// Extracts only the feature matrix (no labels) from a table.
-Result<std::vector<std::vector<double>>> FeaturesFromTable(
+FAIRLAW_NODISCARD Result<std::vector<std::vector<double>>> FeaturesFromTable(
     const data::Table& table, const std::vector<std::string>& feature_columns);
 
 }  // namespace fairlaw::ml

@@ -23,8 +23,8 @@ class DecisionTree : public Classifier {
   explicit DecisionTree(DecisionTreeOptions options = {});
 
   std::string name() const override { return "decision_tree"; }
-  Status Fit(const Dataset& data) override;
-  Result<double> PredictProba(std::span<const double> x) const override;
+  FAIRLAW_NODISCARD Status Fit(const Dataset& data) override;
+  FAIRLAW_NODISCARD Result<double> PredictProba(std::span<const double> x) const override;
 
   /// Number of nodes in the fitted tree (0 before Fit).
   size_t num_nodes() const { return nodes_.size(); }

@@ -22,14 +22,14 @@ struct FeatureImportance {
 /// manipulation experiment audits — an adversarially retrained model can
 /// drive the sensitive feature's importance to ~0 while still
 /// discriminating through proxies.
-Result<std::vector<FeatureImportance>> PermutationImportance(
+FAIRLAW_NODISCARD Result<std::vector<FeatureImportance>> PermutationImportance(
     const Classifier& model, const Dataset& data, int repeats,
     stats::Rng* rng);
 
 /// Coefficient attributions for a linear model: |weight_j| * stddev of
 /// feature j over `data` (the contribution scale of each feature to the
 /// logit).
-Result<std::vector<FeatureImportance>> LinearAttribution(
+FAIRLAW_NODISCARD Result<std::vector<FeatureImportance>> LinearAttribution(
     const std::vector<double>& weights, const Dataset& data);
 
 }  // namespace fairlaw::ml

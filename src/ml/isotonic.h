@@ -18,7 +18,7 @@ class IsotonicCalibrator {
   /// Fits on (score, outcome) pairs with optional per-example weights
   /// (empty = 1.0). Outcomes need not be binary — any bounded target
   /// works — but probability calibration passes 0/1 labels.
-  static Result<IsotonicCalibrator> Fit(
+  FAIRLAW_NODISCARD static Result<IsotonicCalibrator> Fit(
       const std::vector<double>& scores, const std::vector<double>& targets,
       const std::vector<double>& weights = {});
 

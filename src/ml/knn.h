@@ -16,8 +16,8 @@ class KnnClassifier : public Classifier {
   explicit KnnClassifier(int k = 5);
 
   std::string name() const override { return "knn"; }
-  Status Fit(const Dataset& data) override;
-  Result<double> PredictProba(std::span<const double> x) const override;
+  FAIRLAW_NODISCARD Status Fit(const Dataset& data) override;
+  FAIRLAW_NODISCARD Result<double> PredictProba(std::span<const double> x) const override;
 
  private:
   int k_;

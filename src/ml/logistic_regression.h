@@ -26,8 +26,8 @@ class LogisticRegression : public Classifier {
   explicit LogisticRegression(LogisticRegressionOptions options = {});
 
   std::string name() const override { return "logistic_regression"; }
-  Status Fit(const Dataset& data) override;
-  Result<double> PredictProba(std::span<const double> x) const override;
+  FAIRLAW_NODISCARD Status Fit(const Dataset& data) override;
+  FAIRLAW_NODISCARD Result<double> PredictProba(std::span<const double> x) const override;
 
   /// Fitted weights (feature order of the training set); empty before Fit.
   const std::vector<double>& weights() const { return weights_; }

@@ -39,16 +39,16 @@ struct ConfusionMatrix {
 
 /// Builds a confusion matrix from aligned label / prediction vectors
 /// (values must be 0/1).
-Result<ConfusionMatrix> MakeConfusionMatrix(std::span<const int> labels,
+FAIRLAW_NODISCARD Result<ConfusionMatrix> MakeConfusionMatrix(std::span<const int> labels,
                                             std::span<const int> predictions);
 
 /// Area under the ROC curve from scores, handling ties by the
 /// rank/Mann–Whitney formulation. Requires both classes present.
-Result<double> AucRoc(std::span<const int> labels,
+FAIRLAW_NODISCARD Result<double> AucRoc(std::span<const int> labels,
                       std::span<const double> scores);
 
 /// Fraction of matching entries.
-Result<double> Accuracy(std::span<const int> labels,
+FAIRLAW_NODISCARD Result<double> Accuracy(std::span<const int> labels,
                         std::span<const int> predictions);
 
 }  // namespace fairlaw::ml

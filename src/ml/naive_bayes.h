@@ -17,8 +17,8 @@ class GaussianNaiveBayes : public Classifier {
   explicit GaussianNaiveBayes(double var_floor = 1e-9);
 
   std::string name() const override { return "gaussian_naive_bayes"; }
-  Status Fit(const Dataset& data) override;
-  Result<double> PredictProba(std::span<const double> x) const override;
+  FAIRLAW_NODISCARD Status Fit(const Dataset& data) override;
+  FAIRLAW_NODISCARD Result<double> PredictProba(std::span<const double> x) const override;
 
  private:
   double var_floor_;
@@ -37,8 +37,8 @@ class BernoulliNaiveBayes : public Classifier {
   explicit BernoulliNaiveBayes(double alpha = 1.0);
 
   std::string name() const override { return "bernoulli_naive_bayes"; }
-  Status Fit(const Dataset& data) override;
-  Result<double> PredictProba(std::span<const double> x) const override;
+  FAIRLAW_NODISCARD Status Fit(const Dataset& data) override;
+  FAIRLAW_NODISCARD Result<double> PredictProba(std::span<const double> x) const override;
 
  private:
   double alpha_;

@@ -31,8 +31,8 @@ class RandomForest : public Classifier {
   explicit RandomForest(RandomForestOptions options = {});
 
   std::string name() const override { return "random_forest"; }
-  Status Fit(const Dataset& data) override;
-  Result<double> PredictProba(std::span<const double> x) const override;
+  FAIRLAW_NODISCARD Status Fit(const Dataset& data) override;
+  FAIRLAW_NODISCARD Result<double> PredictProba(std::span<const double> x) const override;
 
   size_t num_trees() const { return trees_.size(); }
 

@@ -19,12 +19,12 @@ struct TrainTestSplit {
 
 /// Random shuffle split. `test_fraction` in (0,1); both sides are
 /// guaranteed non-empty.
-Result<TrainTestSplit> SplitTrainTest(const Dataset& data,
+FAIRLAW_NODISCARD Result<TrainTestSplit> SplitTrainTest(const Dataset& data,
                                       double test_fraction, stats::Rng* rng);
 
 /// K-fold partition: returns `k` folds of row indices covering the
 /// dataset exactly once each (shuffled). Requires 2 <= k <= n.
-Result<std::vector<std::vector<size_t>>> KFoldIndices(size_t n, size_t k,
+FAIRLAW_NODISCARD Result<std::vector<std::vector<size_t>>> KFoldIndices(size_t n, size_t k,
                                                       stats::Rng* rng);
 
 }  // namespace fairlaw::ml

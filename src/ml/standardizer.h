@@ -14,17 +14,17 @@ namespace fairlaw::ml {
 class Standardizer {
  public:
   /// Estimates per-feature mean and standard deviation.
-  Status Fit(const std::vector<std::vector<double>>& rows);
+  FAIRLAW_NODISCARD Status Fit(const std::vector<std::vector<double>>& rows);
 
   /// Transforms rows in place; fails before Fit or on width mismatch.
-  Status Transform(std::vector<std::vector<double>>* rows) const;
+  FAIRLAW_NODISCARD Status Transform(std::vector<std::vector<double>>* rows) const;
 
   /// Fits on `data.features` and transforms them; convenience for
   /// training pipelines.
-  Status FitTransform(Dataset* data);
+  FAIRLAW_NODISCARD Status FitTransform(Dataset* data);
 
   /// Applies the fitted transform to a dataset's features.
-  Status TransformDataset(Dataset* data) const;
+  FAIRLAW_NODISCARD Status TransformDataset(Dataset* data) const;
 
   const std::vector<double>& means() const { return means_; }
   const std::vector<double>& scales() const { return scales_; }

@@ -28,7 +28,7 @@ struct MaskingOptions {
 /// feature at `protected_feature_index` — the attacker controls training
 /// and has it). Returns a logistic regression whose protected coefficient
 /// is suppressed.
-Result<ml::LogisticRegression> TrainMaskedModel(
+FAIRLAW_NODISCARD Result<ml::LogisticRegression> TrainMaskedModel(
     const ml::Dataset& data, size_t protected_feature_index,
     const MaskingOptions& options = {});
 

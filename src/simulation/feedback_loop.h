@@ -60,7 +60,7 @@ struct FeedbackLoopResult {
 };
 
 /// Runs the simulation.
-Result<FeedbackLoopResult> RunFeedbackLoop(const FeedbackLoopOptions& options,
+FAIRLAW_NODISCARD Result<FeedbackLoopResult> RunFeedbackLoop(const FeedbackLoopOptions& options,
                                            stats::Rng* rng);
 
 }  // namespace fairlaw::sim

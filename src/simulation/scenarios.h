@@ -50,7 +50,7 @@ struct HiringOptions {
   double label_bias = 1.0;          // logit penalty applied to women
   double proxy_strength = 1.0;      // gender -> university edge weight
 };
-Result<ScenarioData> MakeHiringScenario(const HiringOptions& options,
+FAIRLAW_NODISCARD Result<ScenarioData> MakeHiringScenario(const HiringOptions& options,
                                         stats::Rng* rng);
 
 /// Lending scenario (ECOA setting): continuous credit score, group-based
@@ -61,7 +61,7 @@ struct LendingOptions {
   double label_bias = 1.0;      // logit penalty on minority approvals
   double income_gap = 0.5;      // structural income difference (std units)
 };
-Result<ScenarioData> MakeLendingScenario(const LendingOptions& options,
+FAIRLAW_NODISCARD Result<ScenarioData> MakeLendingScenario(const LendingOptions& options,
                                          stats::Rng* rng);
 
 /// Promotion scenario with two protected attributes (§IV-C). The injected
@@ -74,7 +74,7 @@ struct PromotionOptions {
   double caucasian_share = 0.5;
   double subgroup_bias = 1.5;  // logit penalty on the two gerrymandered cells
 };
-Result<ScenarioData> MakePromotionScenario(const PromotionOptions& options,
+FAIRLAW_NODISCARD Result<ScenarioData> MakePromotionScenario(const PromotionOptions& options,
                                            stats::Rng* rng);
 
 /// University admissions scenario: first-generation applicants face two
@@ -89,7 +89,7 @@ struct AdmissionsOptions {
   double legacy_weight = 0.6;  // admission boost from legacy status
   double label_bias = 0.5;     // direct logit penalty on first-gen
 };
-Result<ScenarioData> MakeAdmissionsScenario(const AdmissionsOptions& options,
+FAIRLAW_NODISCARD Result<ScenarioData> MakeAdmissionsScenario(const AdmissionsOptions& options,
                                             stats::Rng* rng);
 
 }  // namespace fairlaw::sim

@@ -36,7 +36,7 @@ using TwoSampleStatistic =
 /// (base, r). With `num_threads` != 1 (0 = one per hardware thread) the
 /// replicates run on a base::ThreadPool; because each stream depends only
 /// on (base, r), the interval is bit-identical for every thread count.
-Result<ConfidenceInterval> BootstrapCi(std::span<const double> sample,
+FAIRLAW_NODISCARD Result<ConfidenceInterval> BootstrapCi(std::span<const double> sample,
                                        const Statistic& statistic,
                                        int replicates, double level, Rng* rng,
                                        size_t num_threads = 1);
@@ -46,7 +46,7 @@ Result<ConfidenceInterval> BootstrapCi(std::span<const double> sample,
 /// observations (every replicate would be identical — a zero-width
 /// interval that looks like certainty). Same deterministic parallelism
 /// as BootstrapCi.
-Result<ConfidenceInterval> BootstrapCiTwoSample(
+FAIRLAW_NODISCARD Result<ConfidenceInterval> BootstrapCiTwoSample(
     std::span<const double> sample_a, std::span<const double> sample_b,
     const TwoSampleStatistic& statistic, int replicates, double level,
     Rng* rng, size_t num_threads = 1);

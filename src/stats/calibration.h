@@ -20,18 +20,18 @@ struct ReliabilityBin {
 /// Bins predictions into `num_bins` equal-width score bins over [0,1] and
 /// computes the empirical positive rate per bin. Scores outside [0,1] are
 /// an error.
-Result<std::vector<ReliabilityBin>> ReliabilityDiagram(
+FAIRLAW_NODISCARD Result<std::vector<ReliabilityBin>> ReliabilityDiagram(
     std::span<const int> labels, std::span<const double> scores,
     size_t num_bins = 10);
 
 /// Expected calibration error: sum over bins of
 /// (bin count / n) * |mean_score - positive_rate|.
-Result<double> ExpectedCalibrationError(std::span<const int> labels,
+FAIRLAW_NODISCARD Result<double> ExpectedCalibrationError(std::span<const int> labels,
                                         std::span<const double> scores,
                                         size_t num_bins = 10);
 
 /// Brier score: mean squared error of probabilistic predictions.
-Result<double> BrierScore(std::span<const int> labels,
+FAIRLAW_NODISCARD Result<double> BrierScore(std::span<const int> labels,
                           std::span<const double> scores);
 
 }  // namespace fairlaw::stats

@@ -113,13 +113,17 @@ Result<Summary> Summarize(std::span<const double> values) {
   if (values.empty()) return Status::Invalid("Summarize of empty sample");
   Summary summary;
   summary.count = values.size();
-  summary.mean = Mean(values).ValueOrDie();
-  summary.stddev = values.size() >= 2 ? StdDev(values).ValueOrDie() : 0.0;
-  summary.min = Min(values).ValueOrDie();
-  summary.q25 = Quantile(values, 0.25).ValueOrDie();
-  summary.median = Quantile(values, 0.5).ValueOrDie();
-  summary.q75 = Quantile(values, 0.75).ValueOrDie();
-  summary.max = Max(values).ValueOrDie();
+  FAIRLAW_ASSIGN_OR_RETURN(summary.mean, Mean(values));
+  if (values.size() >= 2) {
+    FAIRLAW_ASSIGN_OR_RETURN(summary.stddev, StdDev(values));
+  } else {
+    summary.stddev = 0.0;
+  }
+  FAIRLAW_ASSIGN_OR_RETURN(summary.min, Min(values));
+  FAIRLAW_ASSIGN_OR_RETURN(summary.q25, Quantile(values, 0.25));
+  FAIRLAW_ASSIGN_OR_RETURN(summary.median, Quantile(values, 0.5));
+  FAIRLAW_ASSIGN_OR_RETURN(summary.q75, Quantile(values, 0.75));
+  FAIRLAW_ASSIGN_OR_RETURN(summary.max, Max(values));
   return summary;
 }
 

@@ -9,42 +9,42 @@
 namespace fairlaw::stats {
 
 /// Arithmetic mean. Returns InvalidArgument on empty input.
-Result<double> Mean(std::span<const double> values);
+FAIRLAW_NODISCARD Result<double> Mean(std::span<const double> values);
 
 /// Unbiased sample variance (denominator n-1). Requires n >= 2.
-Result<double> Variance(std::span<const double> values);
+FAIRLAW_NODISCARD Result<double> Variance(std::span<const double> values);
 
 /// Unbiased sample standard deviation. Requires n >= 2.
-Result<double> StdDev(std::span<const double> values);
+FAIRLAW_NODISCARD Result<double> StdDev(std::span<const double> values);
 
 /// Weighted mean with non-negative weights summing to a positive total.
-Result<double> WeightedMean(std::span<const double> values,
+FAIRLAW_NODISCARD Result<double> WeightedMean(std::span<const double> values,
                             std::span<const double> weights);
 
 /// Smallest / largest element. Returns InvalidArgument on empty input.
-Result<double> Min(std::span<const double> values);
-Result<double> Max(std::span<const double> values);
+FAIRLAW_NODISCARD Result<double> Min(std::span<const double> values);
+FAIRLAW_NODISCARD Result<double> Max(std::span<const double> values);
 
 /// Empirical quantile with linear interpolation between order statistics
 /// (type-7, the numpy default). `q` must lie in [0, 1]; input need not be
 /// sorted.
-Result<double> Quantile(std::span<const double> values, double q);
+FAIRLAW_NODISCARD Result<double> Quantile(std::span<const double> values, double q);
 
 /// Median (Quantile at 0.5).
-Result<double> Median(std::span<const double> values);
+FAIRLAW_NODISCARD Result<double> Median(std::span<const double> values);
 
 /// Pearson correlation of two equal-length series. Requires n >= 2 and
 /// non-zero variance on both sides.
-Result<double> PearsonCorrelation(std::span<const double> x,
+FAIRLAW_NODISCARD Result<double> PearsonCorrelation(std::span<const double> x,
                                   std::span<const double> y);
 
 /// Point-biserial correlation between a binary indicator and a continuous
 /// variable (equals Pearson of the 0/1 coding with the values).
-Result<double> PointBiserialCorrelation(std::span<const uint8_t> indicator,
+FAIRLAW_NODISCARD Result<double> PointBiserialCorrelation(std::span<const uint8_t> indicator,
                                         std::span<const double> values);
 
 /// Covariance (denominator n-1). Requires n >= 2.
-Result<double> Covariance(std::span<const double> x,
+FAIRLAW_NODISCARD Result<double> Covariance(std::span<const double> x,
                           std::span<const double> y);
 
 /// Summary of a univariate sample.
@@ -60,7 +60,7 @@ struct Summary {
 };
 
 /// Computes the full summary. Returns InvalidArgument on empty input.
-Result<Summary> Summarize(std::span<const double> values);
+FAIRLAW_NODISCARD Result<Summary> Summarize(std::span<const double> values);
 
 }  // namespace fairlaw::stats
 

@@ -16,42 +16,42 @@ namespace fairlaw::stats {
 // continuous variants operate directly on samples.
 
 /// Total variation distance: (1/2) * sum_i |p_i - q_i|. Range [0, 1].
-Result<double> TotalVariation(std::span<const double> p,
+FAIRLAW_NODISCARD Result<double> TotalVariation(std::span<const double> p,
                               std::span<const double> q);
 
 /// Hellinger distance: sqrt(1 - sum_i sqrt(p_i q_i)) via the Bhattacharyya
 /// coefficient, clamped for numerical safety. Range [0, 1].
-Result<double> Hellinger(std::span<const double> p, std::span<const double> q);
+FAIRLAW_NODISCARD Result<double> Hellinger(std::span<const double> p, std::span<const double> q);
 
 /// Kullback–Leibler divergence KL(p || q) in nats. Infinite (returns
 /// InvalidArgument) if q_i = 0 < p_i for some i.
-Result<double> KlDivergence(std::span<const double> p,
+FAIRLAW_NODISCARD Result<double> KlDivergence(std::span<const double> p,
                             std::span<const double> q);
 
 /// Jensen–Shannon divergence (symmetrized, bounded by ln 2).
-Result<double> JensenShannon(std::span<const double> p,
+FAIRLAW_NODISCARD Result<double> JensenShannon(std::span<const double> p,
                              std::span<const double> q);
 
 /// Chi-square divergence sum_i (p_i - q_i)^2 / q_i; requires q_i > 0
 /// wherever p_i > 0 or p_i != q_i.
-Result<double> ChiSquareDivergence(std::span<const double> p,
+FAIRLAW_NODISCARD Result<double> ChiSquareDivergence(std::span<const double> p,
                                    std::span<const double> q);
 
 /// Exact 1-D Wasserstein-1 (earth mover's) distance between two samples:
 /// the integral of |F_x^{-1} - F_y^{-1}| over [0,1], computed from the
 /// sorted samples. Samples may have different sizes.
-Result<double> Wasserstein1Samples(std::span<const double> x,
+FAIRLAW_NODISCARD Result<double> Wasserstein1Samples(std::span<const double> x,
                                    std::span<const double> y);
 
 /// Wasserstein-1 between two discrete distributions on the real line with
 /// the given support points (strictly increasing) and probabilities.
-Result<double> Wasserstein1Discrete(std::span<const double> support_p,
+FAIRLAW_NODISCARD Result<double> Wasserstein1Discrete(std::span<const double> support_p,
                                     std::span<const double> p,
                                     std::span<const double> support_q,
                                     std::span<const double> q);
 
 /// Two-sample Kolmogorov–Smirnov statistic sup_x |F_x - F_y|.
-Result<double> KolmogorovSmirnov(std::span<const double> x,
+FAIRLAW_NODISCARD Result<double> KolmogorovSmirnov(std::span<const double> x,
                                  std::span<const double> y);
 
 }  // namespace fairlaw::stats

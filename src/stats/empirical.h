@@ -16,7 +16,7 @@ namespace fairlaw::stats {
 class EmpiricalDistribution {
  public:
   /// Builds from a non-empty sample (copied and sorted).
-  static Result<EmpiricalDistribution> Make(std::span<const double> values);
+  FAIRLAW_NODISCARD static Result<EmpiricalDistribution> Make(std::span<const double> values);
 
   size_t size() const { return sorted_.size(); }
   const std::vector<double>& sorted() const { return sorted_; }
@@ -43,11 +43,11 @@ class DiscreteDistribution {
  public:
   /// Builds from non-negative masses with a positive total; masses are
   /// normalized to sum to 1.
-  static Result<DiscreteDistribution> FromMasses(
+  FAIRLAW_NODISCARD static Result<DiscreteDistribution> FromMasses(
       std::span<const double> masses);
 
   /// Builds from integer counts.
-  static Result<DiscreteDistribution> FromCounts(
+  FAIRLAW_NODISCARD static Result<DiscreteDistribution> FromCounts(
       std::span<const int64_t> counts);
 
   size_t size() const { return probs_.size(); }

@@ -19,11 +19,11 @@ namespace fairlaw::stats {
 class Histogram {
  public:
   /// Creates an empty histogram. Requires lo < hi and bins >= 1.
-  static Result<Histogram> Make(double lo, double hi, size_t bins);
+  FAIRLAW_NODISCARD static Result<Histogram> Make(double lo, double hi, size_t bins);
 
   /// Creates a histogram spanning the min/max of `values` and adds them.
   /// Requires a non-empty, non-constant sample.
-  static Result<Histogram> FromValues(std::span<const double> values,
+  FAIRLAW_NODISCARD static Result<Histogram> FromValues(std::span<const double> values,
                                       size_t bins);
 
   /// Adds one observation (clamped into range) with the given weight.

@@ -21,20 +21,20 @@ double NormalCdf(double z);
 
 /// Standard normal quantile (inverse CDF) for p in (0,1), via Acklam's
 /// rational approximation refined by one Halley step (|error| < 1e-9).
-Result<double> NormalQuantile(double p);
+FAIRLAW_NODISCARD Result<double> NormalQuantile(double p);
 
 /// Two-proportion z-test: H0 says the success probabilities behind
 /// (successes_a / n_a) and (successes_b / n_b) are equal; two-sided
 /// p-value from the pooled estimator. Used to test whether a selection-
 /// rate gap between two protected groups is statistically significant.
-Result<TestResult> TwoProportionZTest(int64_t successes_a, int64_t n_a,
+FAIRLAW_NODISCARD Result<TestResult> TwoProportionZTest(int64_t successes_a, int64_t n_a,
                                       int64_t successes_b, int64_t n_b,
                                       double alpha = 0.05);
 
 /// Pearson chi-square test of independence on an r x c contingency table
 /// of counts. P-value via the chi-square survival function (continued-
 /// fraction incomplete gamma).
-Result<TestResult> ChiSquareIndependence(
+FAIRLAW_NODISCARD Result<TestResult> ChiSquareIndependence(
     const std::vector<std::vector<int64_t>>& table, double alpha = 0.05);
 
 /// Upper regularized incomplete gamma Q(s, x) = Γ(s,x)/Γ(s); the survival
@@ -44,11 +44,11 @@ double RegularizedGammaQ(double s, double x);
 /// Cramér's V effect size for an r x c contingency table: sqrt(chi2 / (n *
 /// (min(r,c)-1))). Range [0, 1]; the proxy detector uses it to score the
 /// association between a candidate proxy and the protected attribute.
-Result<double> CramersV(const std::vector<std::vector<int64_t>>& table);
+FAIRLAW_NODISCARD Result<double> CramersV(const std::vector<std::vector<int64_t>>& table);
 
 /// Mutual information (nats) of the joint distribution given by the
 /// contingency table.
-Result<double> MutualInformation(
+FAIRLAW_NODISCARD Result<double> MutualInformation(
     const std::vector<std::vector<int64_t>>& table);
 
 }  // namespace fairlaw::stats

@@ -26,17 +26,17 @@ double MedianHeuristicBandwidth(std::span<const Point> x,
 /// x and y under the RBF kernel with bandwidth sigma. Requires at least 2
 /// points per sample. The estimator may be slightly negative for close
 /// distributions; callers wanting a distance should clamp at 0.
-Result<double> MmdSquaredUnbiased(std::span<const Point> x,
+FAIRLAW_NODISCARD Result<double> MmdSquaredUnbiased(std::span<const Point> x,
                                   std::span<const Point> y, double sigma);
 
 /// Biased (V-statistic) estimator of squared MMD; always >= 0.
-Result<double> MmdSquaredBiased(std::span<const Point> x,
+FAIRLAW_NODISCARD Result<double> MmdSquaredBiased(std::span<const Point> x,
                                 std::span<const Point> y, double sigma);
 
 /// Convenience overloads for 1-D samples.
-Result<double> MmdSquaredUnbiased1d(std::span<const double> x,
+FAIRLAW_NODISCARD Result<double> MmdSquaredUnbiased1d(std::span<const double> x,
                                     std::span<const double> y, double sigma);
-Result<double> MmdSquaredBiased1d(std::span<const double> x,
+FAIRLAW_NODISCARD Result<double> MmdSquaredBiased1d(std::span<const double> x,
                                   std::span<const double> y, double sigma);
 
 }  // namespace fairlaw::stats

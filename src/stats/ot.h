@@ -23,7 +23,7 @@ struct TransportPlan {
 /// they are normalized internally). Intended for small/medium supports
 /// (up to a few hundred atoms), which covers the discrete protected-
 /// attribute and quantile-bin use cases in fairness repair.
-Result<TransportPlan> ExactTransport(
+FAIRLAW_NODISCARD Result<TransportPlan> ExactTransport(
     std::span<const double> p, std::span<const double> q,
     const std::vector<std::vector<double>>& cost);
 
@@ -31,7 +31,7 @@ Result<TransportPlan> ExactTransport(
 /// smoother than the exact solver; `epsilon` is the entropic regularization
 /// strength (> 0), `max_iters` bounds the iteration count and `tolerance`
 /// is the marginal violation at which iteration stops.
-Result<TransportPlan> SinkhornTransport(
+FAIRLAW_NODISCARD Result<TransportPlan> SinkhornTransport(
     std::span<const double> p, std::span<const double> q,
     const std::vector<std::vector<double>>& cost, double epsilon,
     int max_iters = 1000, double tolerance = 1e-9);
@@ -40,7 +40,7 @@ Result<TransportPlan> SinkhornTransport(
 /// the cost-weighted average target location sum_j plan[i][j]*target[j] /
 /// sum_j plan[i][j]. Source atoms with no outgoing mass keep their own
 /// location from `source`.
-Result<std::vector<double>> BarycentricProjection(
+FAIRLAW_NODISCARD Result<std::vector<double>> BarycentricProjection(
     const TransportPlan& plan, std::span<const double> source,
     std::span<const double> target);
 

@@ -46,11 +46,11 @@ Result<ComplexityCurve> MeasureSampleComplexity(
     }
     ComplexityPoint point;
     point.n = n;
-    point.mean_estimate = Mean(estimates).ValueOrDie();
+    FAIRLAW_ASSIGN_OR_RETURN(point.mean_estimate, Mean(estimates));
     double abs_error = 0.0;
     for (double est : estimates) abs_error += std::fabs(est - true_distance);
     point.mean_abs_error = abs_error / static_cast<double>(estimates.size());
-    point.stddev_estimate = StdDev(estimates).ValueOrDie();
+    FAIRLAW_ASSIGN_OR_RETURN(point.stddev_estimate, StdDev(estimates));
     point.mean_runtime_us = total_us / static_cast<double>(repetitions);
     curve.points.push_back(point);
   }
@@ -66,8 +66,8 @@ Result<ComplexityCurve> MeasureSampleComplexity(
     }
   }
   if (log_n.size() >= 2) {
-    double mean_x = Mean(log_n).ValueOrDie();
-    double mean_y = Mean(log_err).ValueOrDie();
+    FAIRLAW_ASSIGN_OR_RETURN(double mean_x, Mean(log_n));
+    FAIRLAW_ASSIGN_OR_RETURN(double mean_y, Mean(log_err));
     double sxy = 0.0;
     double sxx = 0.0;
     for (size_t i = 0; i < log_n.size(); ++i) {

@@ -43,7 +43,7 @@ struct ComplexityCurve {
 /// Runs the sweep: for each n in `sample_sizes`, draws `repetitions`
 /// sample pairs from the two populations, computes the estimator, and
 /// records error and runtime against `true_distance`.
-Result<ComplexityCurve> MeasureSampleComplexity(
+FAIRLAW_NODISCARD Result<ComplexityCurve> MeasureSampleComplexity(
     const std::string& name, const Sampler& sampler_p,
     const Sampler& sampler_q, const DistanceEstimator& estimator,
     double true_distance, const std::vector<size_t>& sample_sizes,

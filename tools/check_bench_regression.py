@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json runs against the checked-in baselines.
+
+Absolute nanosecond timings are not comparable across machines, so every
+comparison here is a within-run ratio:
+
+  * BENCH_subgroup.json: `speedup` and `parallel_speedup` (bitmap kernel
+    vs the row-wise baseline measured in the SAME process) must not drop
+    more than the threshold below the checked-in values, and
+    `identical_results` must stay true.
+  * BENCH_distances.json: each kernel's time normalized by the
+    `binned_total_variation` time from the same run must not grow more
+    than the threshold above the checked-in ratio. The current run must
+    use the baseline's `n`/`mmd_n` for the ratios to be like-for-like
+    (the script fails loudly on a size mismatch rather than comparing
+    noise).
+
+Exit codes: 0 clean, 1 regression or malformed input.
+
+Usage:
+  check_bench_regression.py --baseline-dir=. --current-dir=bench-out \
+      [--threshold=0.20]
+"""
+import argparse
+import json
+import os
+import sys
+
+NORMALIZER = "binned_total_variation"
+
+
+def load(path):
+    try:
+        with open(path) as fp:
+            return json.load(fp)
+    except (OSError, ValueError) as err:
+        print(f"bench-regression: cannot read {path}: {err}")
+        return None
+
+
+def check_subgroup(baseline, current, threshold):
+    failures = []
+    if not current.get("identical_results", False):
+        failures.append(
+            "subgroup: identical_results is false — the bitmap kernel "
+            "no longer matches the row-wise baseline")
+    for key in ("speedup", "parallel_speedup"):
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None or cur is None:
+            failures.append(f"subgroup: missing field '{key}'")
+            continue
+        floor = base * (1.0 - threshold)
+        if cur < floor:
+            failures.append(
+                f"subgroup: {key} regressed: {cur:.3f} < "
+                f"{floor:.3f} (baseline {base:.3f} - {threshold:.0%})")
+        else:
+            print(f"bench-regression: subgroup {key} ok: "
+                  f"{cur:.3f} vs baseline {base:.3f} (floor {floor:.3f})")
+    return failures
+
+
+def check_distances(baseline, current, threshold):
+    failures = []
+    for key in ("n", "mmd_n"):
+        if baseline.get(key) != current.get(key):
+            failures.append(
+                f"distances: size mismatch on '{key}' "
+                f"(baseline {baseline.get(key)}, current {current.get(key)}) "
+                "— run the bench at baseline sizes for a valid comparison")
+    if failures:
+        return failures
+    base_t = baseline.get("timings_ns", {})
+    cur_t = current.get("timings_ns", {})
+    if NORMALIZER not in base_t or NORMALIZER not in cur_t:
+        return [f"distances: missing normalizer kernel '{NORMALIZER}'"]
+    for kernel, base_ns in sorted(base_t.items()):
+        if kernel == NORMALIZER:
+            continue
+        if kernel not in cur_t:
+            failures.append(f"distances: kernel '{kernel}' missing from "
+                            "current run")
+            continue
+        base_ratio = base_ns / base_t[NORMALIZER]
+        cur_ratio = cur_t[kernel] / cur_t[NORMALIZER]
+        ceiling = base_ratio * (1.0 + threshold)
+        if cur_ratio > ceiling:
+            failures.append(
+                f"distances: {kernel}/{NORMALIZER} ratio regressed: "
+                f"{cur_ratio:.2f} > {ceiling:.2f} "
+                f"(baseline {base_ratio:.2f} + {threshold:.0%})")
+        else:
+            print(f"bench-regression: distances {kernel} ok: ratio "
+                  f"{cur_ratio:.2f} vs baseline {base_ratio:.2f} "
+                  f"(ceiling {ceiling:.2f})")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--baseline-dir", default=".")
+    parser.add_argument("--current-dir", required=True)
+    parser.add_argument("--threshold", type=float, default=0.20)
+    args = parser.parse_args()
+
+    failures = []
+    for name, checker in (("BENCH_subgroup.json", check_subgroup),
+                          ("BENCH_distances.json", check_distances)):
+        baseline = load(os.path.join(args.baseline_dir, name))
+        current = load(os.path.join(args.current_dir, name))
+        if baseline is None or current is None:
+            failures.append(f"{name}: unreadable input")
+            continue
+        failures.extend(checker(baseline, current, args.threshold))
+
+    if failures:
+        for failure in failures:
+            print(f"bench-regression: FAIL: {failure}")
+        return 1
+    print("bench-regression: all ratios within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,46 +61,42 @@
 //        reduction helpers every exported number must flow through.
 //
 // Output: one `file:line: rule: message` diagnostic per finding on
-// stderr, plus a machine-readable findings artifact via --json (schema
-// {"fairlaw_detcheck_version":1, findings:[{file,line,rule,message}],
-// suppressed:N}; findings sorted by file/line/rule, byte-identical for
-// a given tree). --self-test=rule1,rule2 exits 0 iff exactly that rule
-// set fires (the fixture tests use it to prove every rule detects its
-// negative fixture). Directories named *_fixture are skipped. Exit
-// codes: 0 clean, 1 findings, 2 usage or I/O error. Registered as a
-// ctest test, so an unsuppressed finding fails tier-1.
+// stderr, plus a machine-readable findings artifact via --json in the
+// schema every analysis pass shares (tools/analysis/report.h:
+// {"tool":"fairlaw_detcheck","schema_version":1,"findings":[{file,line,
+// rule,message}],"count":N,"suppressed":N}; findings sorted by
+// file/line/rule, byte-identical for a given tree). --self-test=rule1,
+// rule2 exits 0 iff exactly that rule set fires (the fixture tests use
+// it to prove every rule detects its negative fixture). Directories
+// named *_fixture are skipped. Exit codes: 0 clean, 1 findings, 2 usage
+// or I/O error. Registered as a ctest test, so an unsuppressed finding
+// fails tier-1.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <set>
 #include <span>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "tools/analysis/lexer.h"
+#include "tools/analysis/report.h"
 #include "tools/cli.h"
 
 namespace {
 
 namespace fs = std::filesystem;
+using fairlaw::analysis::CollectSources;
 using fairlaw::analysis::Comment;
-using fairlaw::analysis::HasMarkerOnOrAbove;
 using fairlaw::analysis::Lex;
 using fairlaw::analysis::LexResult;
 using fairlaw::analysis::MatchingClose;
+using fairlaw::analysis::ReadFileToString;
+using fairlaw::analysis::RelativeTo;
+using fairlaw::analysis::Reporter;
 using fairlaw::analysis::Token;
 using fairlaw::analysis::TokenKind;
 using fairlaw::analysis::TokenSeqAt;
-
-struct Finding {
-  std::string file;
-  size_t line = 0;
-  std::string rule;
-  std::string message;
-};
 
 /// Trees whose iteration/merge order reaches exported results: audit
 /// findings, metric reports, stats CIs, obs exports, legal dossiers,
@@ -173,82 +169,22 @@ class DetChecker {
  public:
   explicit DetChecker(fs::path root) : root_(std::move(root)) {}
 
-  const std::vector<Finding>& Run() {
-    // Deterministic scan order: the findings artifact must be
-    // byte-identical for a given tree, and directory iteration order is
-    // filesystem-defined.
-    std::vector<fs::path> files;
-    for (const char* top : {"src", "tools"}) {
-      const fs::path dir = root_ / top;
-      if (!fs::is_directory(dir)) continue;
-      for (fs::recursive_directory_iterator it(dir), end; it != end; ++it) {
-        if (it->is_directory() &&
-            it->path().filename().string().ends_with("_fixture")) {
-          it.disable_recursion_pending();
-          continue;
-        }
-        if (!it->is_regular_file()) continue;
-        const std::string ext = it->path().extension().string();
-        if (ext == ".h" || ext == ".cc") files.push_back(it->path());
-      }
+  /// Scans the tree and returns the pass's Reporter with findings in
+  /// canonical order. Scan order comes from CollectSources, so the
+  /// artifact is byte-identical for a given tree.
+  Reporter& Run() {
+    static constexpr std::string_view kTops[] = {"src", "tools"};
+    for (const fs::path& path : CollectSources(root_, kTops)) {
+      CheckFile(path);
     }
-    std::sort(files.begin(), files.end());
-    for (const fs::path& path : files) CheckFile(path);
-    std::sort(findings_.begin(), findings_.end(),
-              [](const Finding& a, const Finding& b) {
-                return std::tie(a.file, a.line, a.rule) <
-                       std::tie(b.file, b.line, b.rule);
-              });
-    return findings_;
-  }
-
-  size_t suppressed() const { return suppressed_; }
-
-  /// Distinct rules with at least one unsuppressed finding.
-  std::set<std::string> FiredRules() const {
-    std::set<std::string> rules;
-    for (const Finding& finding : findings_) rules.insert(finding.rule);
-    return rules;
-  }
-
-  std::string FindingsJson() const {
-    std::ostringstream out;
-    out << "{\"fairlaw_detcheck_version\":1,\"findings\":[";
-    bool first = true;
-    for (const Finding& finding : findings_) {
-      if (!first) out << ',';
-      first = false;
-      out << "{\"file\":\"" << finding.file << "\",\"line\":" << finding.line
-          << ",\"rule\":\"" << finding.rule << "\",\"message\":\""
-          << JsonEscape(finding.message) << "\"}";
-    }
-    out << "],\"count\":" << findings_.size()
-        << ",\"suppressed\":" << suppressed_ << "}";
-    return out.str();
+    reporter_.Sorted();
+    return reporter_;
   }
 
  private:
-  static std::string JsonEscape(std::string_view text) {
-    std::string out;
-    out.reserve(text.size());
-    for (const char c : text) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  }
-
   void CheckFile(const fs::path& path) {
-    std::ifstream in(path, std::ios::binary);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = buffer.str();
-
-    std::error_code ec;
-    fs::path rel_path = fs::relative(path, root_, ec);
-    const std::string rel =
-        ec ? path.generic_string() : rel_path.generic_string();
-
+    const std::string text = ReadFileToString(path);
+    const std::string rel = RelativeTo(path, root_);
     const LexResult lex = Lex(text);
     const std::span<const Token> tokens(lex.tokens);
 
@@ -265,21 +201,13 @@ class DetChecker {
     }
   }
 
-  /// Reports unless a `detcheck: allow-<rule>` marker covers the line
-  /// (or, optionally, a second anchor line such as the MutexLock
-  /// declaration). Suppressions are tallied, not dropped silently.
+  /// The escape-marker handling (`detcheck: allow-<rule>` on the line,
+  /// the line above, or the anchor line) lives in Reporter::Report.
   void Report(const std::string& rel, const std::vector<Comment>& comments,
               size_t line, std::string rule, std::string message,
               size_t anchor_line = 0) {
-    const std::string marker = "detcheck: allow-" + rule;
-    if (HasMarkerOnOrAbove(comments, marker, line) ||
-        (anchor_line != 0 &&
-         HasMarkerOnOrAbove(comments, marker, anchor_line))) {
-      ++suppressed_;
-      return;
-    }
-    findings_.push_back(
-        Finding{rel, line, std::move(rule), std::move(message)});
+    reporter_.Report(rel, comments, line, std::move(rule), std::move(message),
+                     anchor_line);
   }
 
   /// Names declared with type std::unordered_map<...> or
@@ -625,8 +553,7 @@ class DetChecker {
   }
 
   fs::path root_;
-  std::vector<Finding> findings_;
-  size_t suppressed_ = 0;
+  Reporter reporter_{"fairlaw_detcheck", "detcheck"};
 };
 
 }  // namespace
@@ -671,56 +598,9 @@ int main(int argc, char** argv) {
   }
 
   DetChecker checker(root);
-  const std::vector<Finding>& findings = checker.Run();
-  for (const Finding& finding : findings) {
-    std::fprintf(stderr, "%s:%zu: %s: %s\n", finding.file.c_str(),
-                 finding.line, finding.rule.c_str(),
-                 finding.message.c_str());
-  }
-  if (verbose || !findings.empty()) {
-    std::fprintf(stderr,
-                 "fairlaw_detcheck: %zu finding(s), %zu suppressed\n",
-                 findings.size(), checker.suppressed());
-  }
-
-  if (!json_path.empty()) {
-    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "fairlaw_detcheck: cannot write '%s'\n",
-                   json_path.c_str());
-      return 2;
-    }
-    out << checker.FindingsJson() << "\n";
-  }
-
-  if (!self_test.empty()) {
-    std::set<std::string> expected;
-    std::string_view rest = self_test;
-    while (!rest.empty()) {
-      const size_t comma = rest.find(',');
-      expected.insert(std::string(rest.substr(0, comma)));
-      if (comma == std::string_view::npos) break;
-      rest.remove_prefix(comma + 1);
-    }
-    const std::set<std::string> fired = checker.FiredRules();
-    if (fired != expected) {
-      std::fprintf(stderr,
-                   "fairlaw_detcheck: self-test mismatch: expected %zu "
-                   "rule(s), got %zu\n",
-                   expected.size(), fired.size());
-      for (const std::string& rule : expected) {
-        if (fired.count(rule) == 0) {
-          std::fprintf(stderr, "  missing: %s\n", rule.c_str());
-        }
-      }
-      for (const std::string& rule : fired) {
-        if (expected.count(rule) == 0) {
-          std::fprintf(stderr, "  unexpected: %s\n", rule.c_str());
-        }
-      }
-      return 1;
-    }
-    return 0;
-  }
-  return findings.empty() ? 0 : 1;
+  Reporter& reporter = checker.Run();
+  reporter.PrintFindings(verbose);
+  if (!json_path.empty() && !reporter.WriteArtifact(json_path)) return 2;
+  if (!self_test.empty()) return reporter.SelfTestMatches(self_test) ? 0 : 1;
+  return reporter.Sorted().empty() ? 0 : 1;
 }

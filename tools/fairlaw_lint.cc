@@ -1,6 +1,6 @@
 // fairlaw_lint — project-invariant static analysis pass.
 //
-//   fairlaw_lint [--root=DIR] [--verbose]
+//   fairlaw_lint [--root=DIR] [--json=PATH] [--verbose]
 //
 // Walks src/, tools/, and tests/ under --root (default: current
 // directory) and enforces the fairlaw project invariants that generic
@@ -50,21 +50,21 @@
 // tools/lint_clean_fixture/). Directories named *_fixture are skipped:
 // they hold the deliberate violations the self-tests check. Exit code
 // 0 = clean, 1 = violations (listed one per line as
-// file:line: rule: msg), 2 = usage or I/O error. Registered as a ctest
-// test so violations fail tier-1.
+// file:line: rule: msg), 2 = usage or I/O error. --json writes the
+// findings artifact in the schema every analysis pass shares
+// (tools/analysis/report.h). Registered as a ctest test so violations
+// fail tier-1.
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <span>
-#include <sstream>
 #include <string>
 #include <string_view>
-#include <tuple>
 #include <vector>
 
 #include "tools/analysis/lexer.h"
+#include "tools/analysis/report.h"
 #include "tools/cli.h"
 
 namespace {
@@ -75,23 +75,20 @@ using fairlaw::analysis::HasMarkerOnOrAbove;
 using fairlaw::analysis::Lex;
 using fairlaw::analysis::LexResult;
 using fairlaw::analysis::MatchingClose;
+using fairlaw::analysis::ReadFileToString;
+using fairlaw::analysis::RelativeTo;
+using fairlaw::analysis::Reporter;
 using fairlaw::analysis::Token;
 using fairlaw::analysis::TokenKind;
 using fairlaw::analysis::TokenSeqAt;
-
-struct Violation {
-  std::string file;
-  size_t line = 0;
-  std::string rule;
-  std::string message;
-};
 
 class Linter {
  public:
   explicit Linter(fs::path root) : root_(std::move(root)) {}
 
-  /// Runs every rule; returns the collected violations.
-  const std::vector<Violation>& Run() {
+  /// Runs every rule; returns the pass's Reporter with findings in
+  /// canonical (file, line, rule) order.
+  Reporter& Run() {
     const fs::path src = root_ / "src";
     if (fs::is_directory(src)) {
       ScanTree(src, /*library=*/true);
@@ -105,14 +102,8 @@ class Linter {
       if (fs::is_directory(dir)) ScanTree(dir, /*library=*/false);
     }
     CheckRegistryCoverage();
-    // Filesystem iteration order is platform-dependent; report in a
-    // canonical order so CI diffs are stable.
-    std::sort(violations_.begin(), violations_.end(),
-              [](const Violation& a, const Violation& b) {
-                return std::tie(a.file, a.line, a.rule) <
-                       std::tie(b.file, b.line, b.rule);
-              });
-    return violations_;
+    reporter_.Sorted();
+    return reporter_;
   }
 
  private:
@@ -143,22 +134,21 @@ class Linter {
   }
 
   std::string ReadFile(const fs::path& path) {
-    std::ifstream in(path, std::ios::binary);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
+    return ReadFileToString(path);
   }
 
   std::string RelPath(const fs::path& path) {
-    std::error_code ec;
-    fs::path rel = fs::relative(path, root_, ec);
-    return ec ? path.string() : rel.generic_string();
+    return RelativeTo(path, root_);
   }
 
+  /// Most lint rules are structural (a wrong include guard cannot be
+  /// "allowed"), so findings bypass the marker machinery; the hot-path
+  /// string-compare rule keeps its own pre-existing
+  /// `lint: allow-string-compare` marker check at the call site.
   void Report(std::string file, size_t line, std::string rule,
               std::string message) {
-    violations_.push_back(Violation{std::move(file), line, std::move(rule),
-                                    std::move(message)});
+    reporter_.ReportAlways(std::move(file), line, std::move(rule),
+                           std::move(message));
   }
 
   static size_t LineOfOffset(std::string_view text, size_t offset) {
@@ -439,13 +429,14 @@ class Linter {
   }
 
   fs::path root_;
-  std::vector<Violation> violations_;
+  Reporter reporter_{"fairlaw_lint", "lint"};
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root_flag = ".";
+  std::string json_path;
   bool verbose = false;
   fairlaw::cli::FlagSet flags(
       "fairlaw_lint", "",
@@ -453,6 +444,7 @@ int main(int argc, char** argv) {
       "(see the header of tools/fairlaw_lint.cc for the rule set).\n"
       "exit codes: 0 clean, 1 violations, 2 usage or I/O error");
   flags.Add("root", &root_flag, "tree to scan");
+  flags.Add("json", &json_path, "write the findings artifact to this path");
   flags.Add("verbose", &verbose, "print the violation count even when clean");
   fairlaw::Result<fairlaw::cli::ParseResult> parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -477,14 +469,8 @@ int main(int argc, char** argv) {
   }
 
   Linter linter(root);
-  const std::vector<Violation>& violations = linter.Run();
-  for (const Violation& v : violations) {
-    std::fprintf(stderr, "%s:%zu: %s: %s\n", v.file.c_str(), v.line,
-                 v.rule.c_str(), v.message.c_str());
-  }
-  if (verbose || !violations.empty()) {
-    std::fprintf(stderr, "fairlaw_lint: %zu violation(s)\n",
-                 violations.size());
-  }
-  return violations.empty() ? 0 : 1;
+  Reporter& reporter = linter.Run();
+  reporter.PrintFindings(verbose);
+  if (!json_path.empty() && !reporter.WriteArtifact(json_path)) return 2;
+  return reporter.Sorted().empty() ? 0 : 1;
 }

@@ -1,0 +1,63 @@
+#include "flow/api.h"
+
+// Deliberately violating implementation for the fairlaw_flowcheck
+// self-test: every error-flow rule must fire at least once in this
+// file (the ctest fixture run asserts the exact rule set via
+// --self-test).
+
+namespace fairlaw::flow {
+
+Status UseStore(Store& store, ThreadPool& pool) {
+  // Rule 1: fallible call as a bare expression statement.
+  store.Save(1);
+
+  // Rule 1: a (void) cast without a flowcheck marker is still a
+  // discard — deliberate discards must name their reason.
+  (void)Store::Touch();
+
+  // Rule 1: qualified free-function call, discarded after an if.
+  if (store.Load().ok()) OpenStore("again");
+
+  // Rule 2: dereferencing a Result local with no ok() check in scope.
+  Result<int> loaded = store.Load();
+  int value = *loaded;
+
+  // Rule 2: ValueOrDie without a dominating check; the earlier check
+  // of a DIFFERENT local must not count for this one.
+  Result<Store> reopened = OpenStore("path");
+  reopened.ValueOrDie().Save(value);
+
+  // Rule 2: dereferencing the temporary of a fallible call in the same
+  // expression — no ok() check is possible before the Result dies.
+  value += store.Load().ValueOrDie();
+
+  // Rule 2: an ok() check buried in a sibling scope does not dominate
+  // the access that follows it.
+  Result<int> sibling = store.Load();
+  {
+    if (sibling.ok()) value += 1;
+  }
+  value += *sibling;
+
+  // Rule 3: fallible call inside a worker whose Status never escapes.
+  pool.Submit([&store]() {
+    store.Save(2);
+  });
+
+  // Rule 3: Status local produced in a task and never read again.
+  pool.ParallelFor(4, [&store](size_t task) {
+    Status st = Store::Touch();
+    store.Save(static_cast<int>(task));
+  });
+
+  // Rule 5: fallible call inside a debug-only check macro vanishes
+  // under NDEBUG.
+  FAIRLAW_DCHECK(Store::Touch().ok(), "touch must succeed");
+
+  // Rule 5: mutation inside a debug-only check macro.
+  FAIRLAW_DCHECK(value++ < 100, "value stays small");
+
+  return Status::OK();
+}
+
+}  // namespace fairlaw::flow
