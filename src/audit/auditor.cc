@@ -6,12 +6,18 @@
 #include <string_view>
 #include <utility>
 
+#include <cmath>
+#include <iterator>
+#include <span>
+
 #include "base/mutex.h"
 #include "base/string_util.h"
 #include "base/thread_annotations.h"
 #include "base/thread_pool.h"
 #include "metrics/group_metrics.h"
 #include "obs/obs.h"
+#include "stats/distance.h"
+#include "stats/histogram.h"
 
 namespace fairlaw::audit {
 namespace {
@@ -42,6 +48,75 @@ Result<std::vector<std::string>> StringKeys(const data::Table& table,
     out[i] = column->ValueToString(i);
   }
   return out;
+}
+
+/// Per-group score-distribution drift: each group's sorted scores against
+/// the multiset difference of the sorted pooled scores (everyone else),
+/// through the presorted W1/KS kernels — or the binned kernels when the
+/// config asks for the O(n) fast path. Runs serially after the metric
+/// jobs, so thread count cannot touch the result.
+Result<ScoreDistributionReport> ScoreDistributionAudit(
+    const metrics::GroupPartition& partition, std::span<const double> scores,
+    const AuditConfig& config) {
+  ScoreDistributionReport report;
+  report.tolerance = config.score_distribution_tolerance;
+  for (double s : scores) {
+    if (!std::isfinite(s)) {
+      return Status::Invalid("score distribution audit: non-finite score");
+    }
+  }
+  std::vector<double> all_sorted(scores.begin(), scores.end());
+  std::sort(all_sorted.begin(), all_sorted.end());
+  const bool constant =
+      !all_sorted.empty() && all_sorted.front() == all_sorted.back();
+  for (size_t g = 0; g < partition.group_names.size(); ++g) {
+    std::vector<double> group_scores;
+    const std::vector<size_t> rows = partition.group_bitmaps[g].ToIndices();
+    group_scores.reserve(rows.size());
+    for (size_t row : rows) group_scores.push_back(scores[row]);
+    std::sort(group_scores.begin(), group_scores.end());
+    // Everyone else = pooled minus this group, linear-time multiset
+    // difference over the two sorted vectors.
+    std::vector<double> rest;
+    rest.reserve(all_sorted.size() - group_scores.size());
+    std::set_difference(all_sorted.begin(), all_sorted.end(),
+                        group_scores.begin(), group_scores.end(),
+                        std::back_inserter(rest));
+    GroupScoreDistance distance;
+    distance.group = partition.group_names[g];
+    distance.count = group_scores.size();
+    if (!rest.empty() && !group_scores.empty() && !constant) {
+      if (config.score_distribution_bins > 0) {
+        FAIRLAW_ASSIGN_OR_RETURN(
+            stats::Histogram hp,
+            stats::Histogram::Make(all_sorted.front(), all_sorted.back(),
+                                   config.score_distribution_bins));
+        FAIRLAW_ASSIGN_OR_RETURN(
+            stats::Histogram hq,
+            stats::Histogram::Make(all_sorted.front(), all_sorted.back(),
+                                   config.score_distribution_bins));
+        hp.AddAll(group_scores);
+        hq.AddAll(rest);
+        FAIRLAW_ASSIGN_OR_RETURN(distance.wasserstein1,
+                                 stats::Wasserstein1Binned(hp, hq));
+        FAIRLAW_ASSIGN_OR_RETURN(distance.ks,
+                                 stats::KolmogorovSmirnovBinned(hp, hq));
+      } else {
+        FAIRLAW_ASSIGN_OR_RETURN(
+            distance.wasserstein1,
+            stats::Wasserstein1Presorted(group_scores, rest));
+        FAIRLAW_ASSIGN_OR_RETURN(
+            distance.ks,
+            stats::KolmogorovSmirnovPresorted(group_scores, rest));
+      }
+    }
+    report.max_wasserstein1 =
+        std::max(report.max_wasserstein1, distance.wasserstein1);
+    report.max_ks = std::max(report.max_ks, distance.ks);
+    report.groups.push_back(std::move(distance));
+  }
+  report.satisfied = report.max_ks <= report.tolerance;
+  return report;
 }
 
 /// Collects metric results completed on worker threads. Each result
@@ -162,6 +237,15 @@ Status AuditConfig::Validate() const {
         "AuditConfig: calibration_tolerance must lie in [0,1], got " +
         FormatDouble(calibration_tolerance, 4));
   }
+  if (audit_score_distribution && score_column.empty()) {
+    return Status::Invalid(
+        "AuditConfig: audit_score_distribution requires score_column");
+  }
+  if (score_distribution_tolerance < 0.0 || score_distribution_tolerance > 1.0) {
+    return Status::Invalid(
+        "AuditConfig: score_distribution_tolerance must lie in [0,1], got " +
+        FormatDouble(score_distribution_tolerance, 4));
+  }
   if (!score_column.empty() && label_column.empty()) {
     return Status::Invalid(
         "AuditConfig: score_column requires label_column (the calibration "
@@ -253,6 +337,20 @@ std::string AuditResult::Render() const {
       out += "  " + gc.group + ": ece=" + FormatDouble(gc.ece, 4) +
              " mean_score=" + FormatDouble(gc.mean_score, 4) +
              " base_rate=" + FormatDouble(gc.positive_rate, 4) + "\n";
+    }
+  }
+  if (score_distribution.has_value()) {
+    out += "score_distribution_drift: " +
+           std::string(score_distribution->satisfied ? "SATISFIED"
+                                                     : "VIOLATED") +
+           " (max KS " + FormatDouble(score_distribution->max_ks, 4) +
+           " vs tolerance " + FormatDouble(score_distribution->tolerance, 4) +
+           ", max W1 " + FormatDouble(score_distribution->max_wasserstein1, 4) +
+           ")\n";
+    for (const GroupScoreDistance& gd : score_distribution->groups) {
+      out += "  " + gd.group + ": n=" + std::to_string(gd.count) +
+             " w1=" + FormatDouble(gd.wasserstein1, 4) +
+             " ks=" + FormatDouble(gd.ks, 4) + "\n";
     }
   }
   return out;
@@ -399,7 +497,16 @@ Result<AuditResult> RunAudit(const data::Table& table,
                         : std::min(config.num_threads, jobs.size()));
     pool.ParallelFor(jobs.size(), [&jobs](size_t i) { jobs[i](); });
   }
-  return aggregator.Finish();
+  FAIRLAW_ASSIGN_OR_RETURN(AuditResult result, aggregator.Finish());
+  if (config.audit_score_distribution) {
+    obs::TraceSpan span("metric/score_distribution", parent_path);
+    FAIRLAW_ASSIGN_OR_RETURN(
+        result.score_distribution,
+        ScoreDistributionAudit(partition, scores, config));
+    result.all_satisfied =
+        result.all_satisfied && result.score_distribution->satisfied;
+  }
+  return result;
 }
 
 }  // namespace fairlaw::audit

@@ -44,6 +44,17 @@ struct AuditConfig {
   /// Bins and max per-group ECE for the calibration audit.
   size_t calibration_bins = 10;
   double calibration_tolerance = 0.05;
+  /// Set true (together with score_column) to audit per-group score
+  /// distribution drift: each group's scores against everyone else's,
+  /// measured by Wasserstein-1 and Kolmogorov–Smirnov over cached sorted
+  /// samples — the §IV-F distributional distances on the audit path.
+  bool audit_score_distribution = false;
+  /// Max per-group KS statistic for the drift audit to pass. KS is
+  /// scale-free, so it gates the verdict; W1 is reported alongside.
+  double score_distribution_tolerance = 0.1;
+  /// Histogram bins for the O(n) binned drift fast path; 0 (default)
+  /// uses the exact presorted path.
+  size_t score_distribution_bins = 0;
   /// Worker threads for metric evaluation: 1 = serial (default), 0 = one
   /// per hardware thread. The audit output is byte-identical for every
   /// thread count — results are sequenced by metric, not by completion.
@@ -58,12 +69,33 @@ struct AuditConfig {
   FAIRLAW_NODISCARD Status Validate() const;
 };
 
+/// Distances between one group's score distribution and the scores of
+/// all other groups combined.
+struct GroupScoreDistance {
+  std::string group;
+  size_t count = 0;
+  double wasserstein1 = 0.0;
+  double ks = 0.0;
+};
+
+/// Per-group score-distribution drift audit (groups in first-seen
+/// order). `satisfied` holds iff max_ks <= tolerance.
+struct ScoreDistributionReport {
+  std::vector<GroupScoreDistance> groups;
+  double max_wasserstein1 = 0.0;
+  double max_ks = 0.0;
+  double tolerance = 0.0;
+  bool satisfied = true;
+};
+
 /// Everything a table audit produced.
 struct AuditResult {
   std::vector<metrics::MetricReport> reports;
   std::vector<metrics::ConditionalReport> conditional_reports;
   /// Present when a score column was configured.
   std::optional<metrics::CalibrationReport> calibration;
+  /// Present when audit_score_distribution was enabled.
+  std::optional<ScoreDistributionReport> score_distribution;
   bool all_satisfied = true;
 
   /// Renders the full audit as human-readable text.

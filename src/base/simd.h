@@ -1,0 +1,491 @@
+#ifndef FAIRLAW_BASE_SIMD_H_
+#define FAIRLAW_BASE_SIMD_H_
+
+// The single sanctioned home for SIMD intrinsics in fairlaw.
+//
+// Backend selection happens at configure time via the FAIRLAW_SIMD cache
+// variable (AUTO / AVX2 / NEON / OFF); CMake translates it into exactly one
+// of the compile definitions FAIRLAW_SIMD_AVX2 / FAIRLAW_SIMD_NEON, or
+// neither (scalar fallback). There is no runtime dispatch: every
+// translation unit in a build sees the same backend, so a build's results
+// are a pure function of its configuration.
+//
+// Contract:
+//  * The word-popcount kernels are exact integer computations and return
+//    byte-identical results on every backend — the SIMD and scalar builds
+//    of the Bitmap fused kernels are interchangeable bit for bit.
+//  * CosSum / CosSumAffine are floating-point reductions. Within one build
+//    they are deterministic (fixed lane order, fixed tail handling), but
+//    the vectorized polynomial cosine may differ from std::cos by a few
+//    ulps, so cross-backend float results agree only to tolerance.
+//  * The `scalar` nested namespace always provides the reference
+//    implementations regardless of backend, for equivalence tests and
+//    benchmark comparisons.
+//
+// fairlaw_lint rule 8 bans intrinsic identifiers (_mm*/__m*/v*q NEON
+// names, <immintrin.h>, <arm_neon.h>) everywhere outside this header.
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(FAIRLAW_SIMD_AVX2)
+#include <immintrin.h>
+#elif defined(FAIRLAW_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace fairlaw::simd {
+
+#if defined(FAIRLAW_SIMD_AVX2)
+inline constexpr const char* kBackendName = "avx2";
+inline constexpr bool kVectorizedPopcount = true;
+inline constexpr bool kVectorizedCos = true;
+#elif defined(FAIRLAW_SIMD_NEON)
+inline constexpr const char* kBackendName = "neon";
+inline constexpr bool kVectorizedPopcount = true;
+inline constexpr bool kVectorizedCos = false;
+#else
+inline constexpr const char* kBackendName = "scalar";
+inline constexpr bool kVectorizedPopcount = false;
+inline constexpr bool kVectorizedCos = false;
+#endif
+
+/// Reference implementations, always available on every backend. The
+/// dispatching functions below must match these bit for bit on the integer
+/// kernels; tests enforce it.
+namespace scalar {
+
+inline uint64_t PopcountWords(const uint64_t* a, size_t n) {
+  uint64_t count = 0;
+  for (size_t w = 0; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w]));
+  }
+  return count;
+}
+
+inline uint64_t AndPopcountWords(const uint64_t* a, const uint64_t* b,
+                                 size_t n) {
+  uint64_t count = 0;
+  for (size_t w = 0; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w] & b[w]));
+  }
+  return count;
+}
+
+inline uint64_t And3PopcountWords(const uint64_t* a, const uint64_t* b,
+                                  const uint64_t* c, size_t n) {
+  uint64_t count = 0;
+  for (size_t w = 0; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w] & b[w] & c[w]));
+  }
+  return count;
+}
+
+inline uint64_t AndNotPopcountWords(const uint64_t* a, const uint64_t* b,
+                                    size_t n) {
+  uint64_t count = 0;
+  for (size_t w = 0; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w] & ~b[w]));
+  }
+  return count;
+}
+
+inline uint64_t AndAndNotPopcountWords(const uint64_t* a, const uint64_t* b,
+                                       const uint64_t* c, size_t n) {
+  uint64_t count = 0;
+  for (size_t w = 0; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w] & b[w] & ~c[w]));
+  }
+  return count;
+}
+
+inline uint64_t AndIntoPopcountWords(const uint64_t* a, const uint64_t* b,
+                                     uint64_t* out, size_t n) {
+  uint64_t count = 0;
+  for (size_t w = 0; w < n; ++w) {
+    const uint64_t word = a[w] & b[w];
+    out[w] = word;
+    count += static_cast<uint64_t>(std::popcount(word));
+  }
+  return count;
+}
+
+/// Sum of cos(x[i]) over i in [0, n).
+inline double CosSum(const double* x, size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += std::cos(x[i]);
+  return total;
+}
+
+/// Sum of cos(scale * x[i] + offset) over i in [0, n).
+inline double CosSumAffine(const double* x, size_t n, double scale,
+                           double offset) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += std::cos(scale * x[i] + offset);
+  return total;
+}
+
+}  // namespace scalar
+
+#if defined(FAIRLAW_SIMD_AVX2)
+
+namespace internal {
+
+/// Per-8-byte-group popcounts of v (Muła): nibble LUT via PSHUFB, then
+/// PSADBW against zero sums the byte counts into the four 64-bit lanes.
+inline __m256i PopcountLanes(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+inline uint64_t HorizontalSumU64(__m256i acc) {
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+inline __m256i LoadWords(const uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+/// Vectorized cos over one 4-lane register: Cody–Waite range reduction
+/// modulo 2*pi, then an even minimax-style polynomial in r^2 (degree 16,
+/// max error a few 1e-10 at |r| = pi). FMA is guaranteed under this
+/// backend (CMake adds -mfma with -mavx2).
+inline __m256d CosLanes(__m256d arg) {
+  const __m256d inv_two_pi = _mm256_set1_pd(0x1.45f306dc9c883p-3);
+  // 2*pi split into a high part exact in 27 bits and two tails, so
+  // arg - k*2pi keeps full precision for |k| up to ~2^26.
+  const __m256d two_pi_hi = _mm256_set1_pd(0x1.921fb54p+2);
+  const __m256d two_pi_mid = _mm256_set1_pd(0x1.10b46118p-28);
+  const __m256d two_pi_lo = _mm256_set1_pd(0x1.313198a2e037p-59);
+  const __m256d k = _mm256_round_pd(
+      _mm256_mul_pd(arg, inv_two_pi),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fnmadd_pd(k, two_pi_hi, arg);
+  r = _mm256_fnmadd_pd(k, two_pi_mid, r);
+  r = _mm256_fnmadd_pd(k, two_pi_lo, r);
+  const __m256d u = _mm256_mul_pd(r, r);
+  // cos(r) = sum_{m=0..10} (-1)^m u^m / (2m)!  (Horner in u); the m=11
+  // Taylor remainder at |r| = pi is below 1e-10.
+  __m256d poly = _mm256_set1_pd(4.1103176233121648e-19);
+  poly = _mm256_fmadd_pd(poly, u, _mm256_set1_pd(-1.5619206968586225e-16));
+  poly = _mm256_fmadd_pd(poly, u, _mm256_set1_pd(4.7794773323873853e-14));
+  poly = _mm256_fmadd_pd(poly, u, _mm256_set1_pd(-1.1470745597729725e-11));
+  poly = _mm256_fmadd_pd(poly, u, _mm256_set1_pd(2.0876756987868099e-9));
+  poly = _mm256_fmadd_pd(poly, u, _mm256_set1_pd(-2.7557319223985891e-7));
+  poly = _mm256_fmadd_pd(poly, u, _mm256_set1_pd(2.4801587301587302e-5));
+  poly = _mm256_fmadd_pd(poly, u, _mm256_set1_pd(-1.3888888888888889e-3));
+  poly = _mm256_fmadd_pd(poly, u, _mm256_set1_pd(4.1666666666666666e-2));
+  poly = _mm256_fmadd_pd(poly, u, _mm256_set1_pd(-0.5));
+  poly = _mm256_fmadd_pd(poly, u, _mm256_set1_pd(1.0));
+  return poly;
+}
+
+}  // namespace internal
+
+inline uint64_t PopcountWords(const uint64_t* a, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    acc = _mm256_add_epi64(acc, internal::PopcountLanes(
+                                    internal::LoadWords(a + w)));
+  }
+  uint64_t count = internal::HorizontalSumU64(acc);
+  for (; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w]));
+  }
+  return count;
+}
+
+inline uint64_t AndPopcountWords(const uint64_t* a, const uint64_t* b,
+                                 size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i word = _mm256_and_si256(internal::LoadWords(a + w),
+                                          internal::LoadWords(b + w));
+    acc = _mm256_add_epi64(acc, internal::PopcountLanes(word));
+  }
+  uint64_t count = internal::HorizontalSumU64(acc);
+  for (; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w] & b[w]));
+  }
+  return count;
+}
+
+inline uint64_t And3PopcountWords(const uint64_t* a, const uint64_t* b,
+                                  const uint64_t* c, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i word = _mm256_and_si256(
+        _mm256_and_si256(internal::LoadWords(a + w),
+                         internal::LoadWords(b + w)),
+        internal::LoadWords(c + w));
+    acc = _mm256_add_epi64(acc, internal::PopcountLanes(word));
+  }
+  uint64_t count = internal::HorizontalSumU64(acc);
+  for (; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w] & b[w] & c[w]));
+  }
+  return count;
+}
+
+inline uint64_t AndNotPopcountWords(const uint64_t* a, const uint64_t* b,
+                                    size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    // andnot computes ~first & second, so b goes first.
+    const __m256i word = _mm256_andnot_si256(internal::LoadWords(b + w),
+                                             internal::LoadWords(a + w));
+    acc = _mm256_add_epi64(acc, internal::PopcountLanes(word));
+  }
+  uint64_t count = internal::HorizontalSumU64(acc);
+  for (; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w] & ~b[w]));
+  }
+  return count;
+}
+
+inline uint64_t AndAndNotPopcountWords(const uint64_t* a, const uint64_t* b,
+                                       const uint64_t* c, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i word = _mm256_andnot_si256(
+        internal::LoadWords(c + w),
+        _mm256_and_si256(internal::LoadWords(a + w),
+                         internal::LoadWords(b + w)));
+    acc = _mm256_add_epi64(acc, internal::PopcountLanes(word));
+  }
+  uint64_t count = internal::HorizontalSumU64(acc);
+  for (; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w] & b[w] & ~c[w]));
+  }
+  return count;
+}
+
+inline uint64_t AndIntoPopcountWords(const uint64_t* a, const uint64_t* b,
+                                     uint64_t* out, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i word = _mm256_and_si256(internal::LoadWords(a + w),
+                                          internal::LoadWords(b + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w), word);
+    acc = _mm256_add_epi64(acc, internal::PopcountLanes(word));
+  }
+  uint64_t count = internal::HorizontalSumU64(acc);
+  for (; w < n; ++w) {
+    const uint64_t word = a[w] & b[w];
+    out[w] = word;
+    count += static_cast<uint64_t>(std::popcount(word));
+  }
+  return count;
+}
+
+inline double CosSum(const double* x, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, internal::CosLanes(_mm256_loadu_pd(x + i)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) total += std::cos(x[i]);
+  return total;
+}
+
+inline double CosSumAffine(const double* x, size_t n, double scale,
+                           double offset) {
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m256d voffset = _mm256_set1_pd(offset);
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d arg =
+        _mm256_fmadd_pd(vscale, _mm256_loadu_pd(x + i), voffset);
+    acc = _mm256_add_pd(acc, internal::CosLanes(arg));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) total += std::cos(scale * x[i] + offset);
+  return total;
+}
+
+#elif defined(FAIRLAW_SIMD_NEON)
+
+namespace internal {
+
+/// Popcount of one 16-byte register summed into a uint64x2_t.
+inline uint64x2_t PopcountLanes(uint8x16_t v) {
+  return vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(v))));
+}
+
+inline uint8x16_t LoadWords(const uint64_t* p) {
+  return vreinterpretq_u8_u64(vld1q_u64(p));
+}
+
+}  // namespace internal
+
+inline uint64_t PopcountWords(const uint64_t* a, size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t w = 0;
+  for (; w + 2 <= n; w += 2) {
+    acc = vaddq_u64(acc, internal::PopcountLanes(internal::LoadWords(a + w)));
+  }
+  uint64_t count = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w]));
+  }
+  return count;
+}
+
+inline uint64_t AndPopcountWords(const uint64_t* a, const uint64_t* b,
+                                 size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t w = 0;
+  for (; w + 2 <= n; w += 2) {
+    const uint8x16_t word = vandq_u8(internal::LoadWords(a + w),
+                                     internal::LoadWords(b + w));
+    acc = vaddq_u64(acc, internal::PopcountLanes(word));
+  }
+  uint64_t count = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w] & b[w]));
+  }
+  return count;
+}
+
+inline uint64_t And3PopcountWords(const uint64_t* a, const uint64_t* b,
+                                  const uint64_t* c, size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t w = 0;
+  for (; w + 2 <= n; w += 2) {
+    const uint8x16_t word =
+        vandq_u8(vandq_u8(internal::LoadWords(a + w),
+                          internal::LoadWords(b + w)),
+                 internal::LoadWords(c + w));
+    acc = vaddq_u64(acc, internal::PopcountLanes(word));
+  }
+  uint64_t count = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w] & b[w] & c[w]));
+  }
+  return count;
+}
+
+inline uint64_t AndNotPopcountWords(const uint64_t* a, const uint64_t* b,
+                                    size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t w = 0;
+  for (; w + 2 <= n; w += 2) {
+    const uint8x16_t word = vbicq_u8(internal::LoadWords(a + w),
+                                     internal::LoadWords(b + w));
+    acc = vaddq_u64(acc, internal::PopcountLanes(word));
+  }
+  uint64_t count = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w] & ~b[w]));
+  }
+  return count;
+}
+
+inline uint64_t AndAndNotPopcountWords(const uint64_t* a, const uint64_t* b,
+                                       const uint64_t* c, size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t w = 0;
+  for (; w + 2 <= n; w += 2) {
+    const uint8x16_t word =
+        vbicq_u8(vandq_u8(internal::LoadWords(a + w),
+                          internal::LoadWords(b + w)),
+                 internal::LoadWords(c + w));
+    acc = vaddq_u64(acc, internal::PopcountLanes(word));
+  }
+  uint64_t count = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; w < n; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a[w] & b[w] & ~c[w]));
+  }
+  return count;
+}
+
+inline uint64_t AndIntoPopcountWords(const uint64_t* a, const uint64_t* b,
+                                     uint64_t* out, size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t w = 0;
+  for (; w + 2 <= n; w += 2) {
+    const uint8x16_t word = vandq_u8(internal::LoadWords(a + w),
+                                     internal::LoadWords(b + w));
+    vst1q_u64(out + w, vreinterpretq_u64_u8(word));
+    acc = vaddq_u64(acc, internal::PopcountLanes(word));
+  }
+  uint64_t count = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; w < n; ++w) {
+    const uint64_t word = a[w] & b[w];
+    out[w] = word;
+    count += static_cast<uint64_t>(std::popcount(word));
+  }
+  return count;
+}
+
+// No vectorized cosine on NEON yet; the feature map falls back to the
+// libm loop (counted by the stats fallback counter).
+inline double CosSum(const double* x, size_t n) {
+  return scalar::CosSum(x, n);
+}
+inline double CosSumAffine(const double* x, size_t n, double scale,
+                           double offset) {
+  return scalar::CosSumAffine(x, n, scale, offset);
+}
+
+#else  // scalar fallback
+
+inline uint64_t PopcountWords(const uint64_t* a, size_t n) {
+  return scalar::PopcountWords(a, n);
+}
+inline uint64_t AndPopcountWords(const uint64_t* a, const uint64_t* b,
+                                 size_t n) {
+  return scalar::AndPopcountWords(a, b, n);
+}
+inline uint64_t And3PopcountWords(const uint64_t* a, const uint64_t* b,
+                                  const uint64_t* c, size_t n) {
+  return scalar::And3PopcountWords(a, b, c, n);
+}
+inline uint64_t AndNotPopcountWords(const uint64_t* a, const uint64_t* b,
+                                    size_t n) {
+  return scalar::AndNotPopcountWords(a, b, n);
+}
+inline uint64_t AndAndNotPopcountWords(const uint64_t* a, const uint64_t* b,
+                                       const uint64_t* c, size_t n) {
+  return scalar::AndAndNotPopcountWords(a, b, c, n);
+}
+inline uint64_t AndIntoPopcountWords(const uint64_t* a, const uint64_t* b,
+                                     uint64_t* out, size_t n) {
+  return scalar::AndIntoPopcountWords(a, b, out, n);
+}
+inline double CosSum(const double* x, size_t n) {
+  return scalar::CosSum(x, n);
+}
+inline double CosSumAffine(const double* x, size_t n, double scale,
+                           double offset) {
+  return scalar::CosSumAffine(x, n, scale, offset);
+}
+
+#endif
+
+}  // namespace fairlaw::simd
+
+#endif  // FAIRLAW_BASE_SIMD_H_

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "base/check.h"
+#include "base/simd.h"
 
 namespace fairlaw::data {
 namespace {
@@ -54,11 +55,8 @@ bool Bitmap::Test(size_t i) const {
 }
 
 size_t Bitmap::Count() const {
-  size_t count = 0;
-  for (uint64_t word : words_) {
-    count += static_cast<size_t>(std::popcount(word));
-  }
-  return count;
+  return static_cast<size_t>(
+      simd::PopcountWords(words_.data(), words_.size()));
 }
 
 Result<Bitmap> Bitmap::And(const Bitmap& other) const {
@@ -99,54 +97,36 @@ size_t Bitmap::AndInto(const Bitmap& a, const Bitmap& b, Bitmap* out) {
   FAIRLAW_DCHECK(a.size_ == b.size_, "Bitmap::AndInto: size mismatch");
   out->size_ = a.size_;
   out->words_.resize(a.words_.size());
-  size_t count = 0;
-  for (size_t w = 0; w < a.words_.size(); ++w) {
-    const uint64_t word = a.words_[w] & b.words_[w];
-    out->words_[w] = word;
-    count += static_cast<size_t>(std::popcount(word));
-  }
-  return count;
+  return static_cast<size_t>(simd::AndIntoPopcountWords(
+      a.words_.data(), b.words_.data(), out->words_.data(),
+      a.words_.size()));
 }
 
 size_t Bitmap::AndCount(const Bitmap& a, const Bitmap& b) {
   FAIRLAW_DCHECK(a.size_ == b.size_, "Bitmap::AndCount: size mismatch");
-  size_t count = 0;
-  for (size_t w = 0; w < a.words_.size(); ++w) {
-    count += static_cast<size_t>(std::popcount(a.words_[w] & b.words_[w]));
-  }
-  return count;
+  return static_cast<size_t>(simd::AndPopcountWords(
+      a.words_.data(), b.words_.data(), a.words_.size()));
 }
 
 size_t Bitmap::AndCount3(const Bitmap& a, const Bitmap& b, const Bitmap& c) {
   FAIRLAW_DCHECK(a.size_ == b.size_ && b.size_ == c.size_,
                  "Bitmap::AndCount3: size mismatch");
-  size_t count = 0;
-  for (size_t w = 0; w < a.words_.size(); ++w) {
-    count += static_cast<size_t>(
-        std::popcount(a.words_[w] & b.words_[w] & c.words_[w]));
-  }
-  return count;
+  return static_cast<size_t>(simd::And3PopcountWords(
+      a.words_.data(), b.words_.data(), c.words_.data(), a.words_.size()));
 }
 
 size_t Bitmap::AndNotCount(const Bitmap& a, const Bitmap& b) {
   FAIRLAW_DCHECK(a.size_ == b.size_, "Bitmap::AndNotCount: size mismatch");
-  size_t count = 0;
-  for (size_t w = 0; w < a.words_.size(); ++w) {
-    count += static_cast<size_t>(std::popcount(a.words_[w] & ~b.words_[w]));
-  }
-  return count;
+  return static_cast<size_t>(simd::AndNotPopcountWords(
+      a.words_.data(), b.words_.data(), a.words_.size()));
 }
 
 size_t Bitmap::AndAndNotCount(const Bitmap& a, const Bitmap& b,
                               const Bitmap& c) {
   FAIRLAW_DCHECK(a.size_ == b.size_ && b.size_ == c.size_,
                  "Bitmap::AndAndNotCount: size mismatch");
-  size_t count = 0;
-  for (size_t w = 0; w < a.words_.size(); ++w) {
-    count += static_cast<size_t>(
-        std::popcount(a.words_[w] & b.words_[w] & ~c.words_[w]));
-  }
-  return count;
+  return static_cast<size_t>(simd::AndAndNotPopcountWords(
+      a.words_.data(), b.words_.data(), c.words_.data(), a.words_.size()));
 }
 
 std::vector<size_t> Bitmap::ToIndices() const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace fairlaw::stats {
 namespace {
 
@@ -17,6 +19,69 @@ Status CheckAligned(std::span<const double> p, std::span<const double> q) {
     }
   }
   return Status::OK();
+}
+
+Status CheckSorted(std::span<const double> v, const char* fn,
+                   const char* which) {
+  if (v.empty()) {
+    return Status::Invalid(std::string(fn) + ": empty sample");
+  }
+  if (!std::is_sorted(v.begin(), v.end())) {
+    return Status::Invalid(std::string(fn) + ": " + which +
+                           " is not sorted ascending");
+  }
+  return Status::OK();
+}
+
+Status CheckAlignedHistograms(const Histogram& p, const Histogram& q,
+                              const char* fn) {
+  if (p.num_bins() != q.num_bins() || p.lo() != q.lo() || p.hi() != q.hi()) {
+    return Status::Invalid(std::string(fn) + ": histograms must share the "
+                           "same range and bin count");
+  }
+  return Status::OK();
+}
+
+/// Merged-quantile sweep over two ascending samples: the integral of
+/// |F_x^{-1}(u) - F_y^{-1}(u)| du. Each sample point owns a block of
+/// quantile mass, and on the intersection of two blocks both inverse CDFs
+/// are constant.
+double Wasserstein1SortedCore(std::span<const double> xs,
+                              std::span<const double> ys) {
+  const double nx = static_cast<double>(xs.size());
+  const double ny = static_cast<double>(ys.size());
+  size_t i = 0;
+  size_t j = 0;
+  double cursor = 0.0;  // current quantile level
+  double total = 0.0;
+  while (i < xs.size() && j < ys.size()) {
+    double next_x = static_cast<double>(i + 1) / nx;
+    double next_y = static_cast<double>(j + 1) / ny;
+    double next = std::min(next_x, next_y);
+    total += (next - cursor) * std::fabs(xs[i] - ys[j]);
+    cursor = next;
+    if (next_x <= next) ++i;
+    if (next_y <= next) ++j;
+  }
+  return total;
+}
+
+/// CDF sweep over two ascending samples: sup_t |F_x(t) - F_y(t)|.
+double KolmogorovSmirnovSortedCore(std::span<const double> xs,
+                                   std::span<const double> ys) {
+  const double nx = static_cast<double>(xs.size());
+  const double ny = static_cast<double>(ys.size());
+  size_t i = 0;
+  size_t j = 0;
+  double best = 0.0;
+  while (i < xs.size() && j < ys.size()) {
+    double t = std::min(xs[i], ys[j]);
+    while (i < xs.size() && xs[i] <= t) ++i;
+    while (j < ys.size() && ys[j] <= t) ++j;
+    best = std::max(best, std::fabs(static_cast<double>(i) / nx -
+                                    static_cast<double>(j) / ny));
+  }
+  return best;
 }
 
 }  // namespace
@@ -87,27 +152,38 @@ Result<double> Wasserstein1Samples(std::span<const double> x,
   if (x.empty() || y.empty()) {
     return Status::Invalid("Wasserstein1Samples: empty sample");
   }
+  obs::TraceSpan span("distance/wasserstein1");
   std::vector<double> xs(x.begin(), x.end());
   std::vector<double> ys(y.begin(), y.end());
   std::sort(xs.begin(), xs.end());
   std::sort(ys.begin(), ys.end());
-  // Integrate |F_x^{-1}(u) - F_y^{-1}(u)| du by sweeping the merged
-  // quantile grid: each sample point owns a block of quantile mass, and on
-  // the intersection of two blocks both inverse CDFs are constant.
-  const double nx = static_cast<double>(xs.size());
-  const double ny = static_cast<double>(ys.size());
-  size_t i = 0;
-  size_t j = 0;
-  double cursor = 0.0;  // current quantile level
+  return Wasserstein1SortedCore(xs, ys);
+}
+
+Result<double> Wasserstein1Presorted(std::span<const double> x_sorted,
+                                     std::span<const double> y_sorted) {
+  FAIRLAW_RETURN_NOT_OK(CheckSorted(x_sorted, "Wasserstein1Presorted", "x"));
+  FAIRLAW_RETURN_NOT_OK(CheckSorted(y_sorted, "Wasserstein1Presorted", "y"));
+  obs::TraceSpan span("distance/wasserstein1_presorted");
+  return Wasserstein1SortedCore(x_sorted, y_sorted);
+}
+
+Result<double> Wasserstein1Binned(const Histogram& p, const Histogram& q) {
+  FAIRLAW_RETURN_NOT_OK(CheckAlignedHistograms(p, q, "Wasserstein1Binned"));
+  obs::TraceSpan span("distance/wasserstein1_binned");
+  // W1 on the line = integral of |F_p - F_q| dt; with all mass at bin
+  // centers both CDFs are constant between consecutive centers, which for
+  // equal-width bins are one bin width apart.
+  const std::vector<double> pp = p.Probabilities();
+  const std::vector<double> qq = q.Probabilities();
+  const double width = (p.hi() - p.lo()) / static_cast<double>(p.num_bins());
+  double cdf_p = 0.0;
+  double cdf_q = 0.0;
   double total = 0.0;
-  while (i < xs.size() && j < ys.size()) {
-    double next_x = static_cast<double>(i + 1) / nx;
-    double next_y = static_cast<double>(j + 1) / ny;
-    double next = std::min(next_x, next_y);
-    total += (next - cursor) * std::fabs(xs[i] - ys[j]);
-    cursor = next;
-    if (next_x <= next) ++i;
-    if (next_y <= next) ++j;
+  for (size_t b = 0; b + 1 < pp.size(); ++b) {
+    cdf_p += pp[b];
+    cdf_q += qq[b];
+    total += std::fabs(cdf_p - cdf_q) * width;
   }
   return total;
 }
@@ -166,21 +242,38 @@ Result<double> KolmogorovSmirnov(std::span<const double> x,
   if (x.empty() || y.empty()) {
     return Status::Invalid("KolmogorovSmirnov: empty sample");
   }
+  obs::TraceSpan span("distance/kolmogorov_smirnov");
   std::vector<double> xs(x.begin(), x.end());
   std::vector<double> ys(y.begin(), y.end());
   std::sort(xs.begin(), xs.end());
   std::sort(ys.begin(), ys.end());
-  const double nx = static_cast<double>(xs.size());
-  const double ny = static_cast<double>(ys.size());
-  size_t i = 0;
-  size_t j = 0;
+  return KolmogorovSmirnovSortedCore(xs, ys);
+}
+
+Result<double> KolmogorovSmirnovPresorted(std::span<const double> x_sorted,
+                                          std::span<const double> y_sorted) {
+  FAIRLAW_RETURN_NOT_OK(
+      CheckSorted(x_sorted, "KolmogorovSmirnovPresorted", "x"));
+  FAIRLAW_RETURN_NOT_OK(
+      CheckSorted(y_sorted, "KolmogorovSmirnovPresorted", "y"));
+  obs::TraceSpan span("distance/kolmogorov_smirnov_presorted");
+  return KolmogorovSmirnovSortedCore(x_sorted, y_sorted);
+}
+
+Result<double> KolmogorovSmirnovBinned(const Histogram& p,
+                                       const Histogram& q) {
+  FAIRLAW_RETURN_NOT_OK(
+      CheckAlignedHistograms(p, q, "KolmogorovSmirnovBinned"));
+  obs::TraceSpan span("distance/kolmogorov_smirnov_binned");
+  const std::vector<double> pp = p.Probabilities();
+  const std::vector<double> qq = q.Probabilities();
+  double cdf_p = 0.0;
+  double cdf_q = 0.0;
   double best = 0.0;
-  while (i < xs.size() && j < ys.size()) {
-    double t = std::min(xs[i], ys[j]);
-    while (i < xs.size() && xs[i] <= t) ++i;
-    while (j < ys.size() && ys[j] <= t) ++j;
-    best = std::max(best, std::fabs(static_cast<double>(i) / nx -
-                                    static_cast<double>(j) / ny));
+  for (size_t b = 0; b < pp.size(); ++b) {
+    cdf_p += pp[b];
+    cdf_q += qq[b];
+    best = std::max(best, std::fabs(cdf_p - cdf_q));
   }
   return best;
 }

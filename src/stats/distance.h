@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "stats/histogram.h"
 
 namespace fairlaw::stats {
 
@@ -43,6 +44,21 @@ FAIRLAW_NODISCARD Result<double> ChiSquareDivergence(std::span<const double> p,
 FAIRLAW_NODISCARD Result<double> Wasserstein1Samples(std::span<const double> x,
                                    std::span<const double> y);
 
+/// Wasserstein1Samples for inputs the caller has already sorted ascending
+/// (cached sorted samples, repeated windowed comparisons). Skips the
+/// per-call copy + sort; returns Status::Invalid when either input is
+/// empty or out of order. Exactly equals Wasserstein1Samples on the same
+/// data.
+FAIRLAW_NODISCARD Result<double> Wasserstein1Presorted(
+    std::span<const double> x_sorted, std::span<const double> y_sorted);
+
+/// Wasserstein-1 between two histograms over the same [lo, hi] range with
+/// the same bin count, treating each bin's mass as sitting at its center.
+/// An O(bins) approximation of the sample distance — error is bounded by
+/// one bin width — for monitoring paths that already maintain histograms.
+FAIRLAW_NODISCARD Result<double> Wasserstein1Binned(const Histogram& p,
+                                                    const Histogram& q);
+
 /// Wasserstein-1 between two discrete distributions on the real line with
 /// the given support points (strictly increasing) and probabilities.
 FAIRLAW_NODISCARD Result<double> Wasserstein1Discrete(std::span<const double> support_p,
@@ -53,6 +69,16 @@ FAIRLAW_NODISCARD Result<double> Wasserstein1Discrete(std::span<const double> su
 /// Two-sample Kolmogorov–Smirnov statistic sup_x |F_x - F_y|.
 FAIRLAW_NODISCARD Result<double> KolmogorovSmirnov(std::span<const double> x,
                                  std::span<const double> y);
+
+/// KolmogorovSmirnov for inputs already sorted ascending; same contract
+/// as Wasserstein1Presorted.
+FAIRLAW_NODISCARD Result<double> KolmogorovSmirnovPresorted(
+    std::span<const double> x_sorted, std::span<const double> y_sorted);
+
+/// KS statistic between two aligned histograms (same range and bin
+/// count): the max CDF gap at bin granularity.
+FAIRLAW_NODISCARD Result<double> KolmogorovSmirnovBinned(const Histogram& p,
+                                                         const Histogram& q);
 
 }  // namespace fairlaw::stats
 

@@ -212,6 +212,113 @@ TEST(AuditConfigTest, RunAuditRejectsInvalidConfig) {
   EXPECT_FALSE(RunAudit(table, config).ok());
 }
 
+// Score table with a deliberate per-group score shift: male scores
+// cluster high, female scores cluster low, so the distribution-drift
+// audit has a real gap to find.
+data::Table ScoredTable(bool shifted) {
+  std::string csv = "gender,pred,label,score\n";
+  auto add = [&csv](const std::string& g, int p, int y, double score,
+                    int count) {
+    for (int i = 0; i < count; ++i) {
+      csv += g + "," + std::to_string(p) + "," + std::to_string(y) + "," +
+             std::to_string(score) + "\n";
+    }
+  };
+  const double offset = shifted ? 0.4 : 0.0;
+  for (int step = 0; step < 10; ++step) {
+    const double base = 0.05 * step;
+    add("male", step >= 5 ? 1 : 0, step >= 5 ? 1 : 0, base + offset, 4);
+    add("female", step >= 5 ? 1 : 0, step >= 5 ? 1 : 0, base, 4);
+  }
+  return data::ReadCsvString(csv).ValueOrDie();
+}
+
+AuditConfig ScoreDistConfig() {
+  AuditConfig config;
+  config.protected_column = "gender";
+  config.prediction_column = "pred";
+  config.label_column = "label";
+  config.score_column = "score";
+  config.audit_score_distribution = true;
+  return config;
+}
+
+TEST(ScoreDistributionTest, DriftDetectedAndReported) {
+  data::Table table = ScoredTable(/*shifted=*/true);
+  AuditConfig config = ScoreDistConfig();
+  config.score_distribution_tolerance = 0.1;
+  AuditResult result = RunAudit(table, config).ValueOrDie();
+  ASSERT_TRUE(result.score_distribution.has_value());
+  const ScoreDistributionReport& report = *result.score_distribution;
+  ASSERT_EQ(report.groups.size(), 2u);
+  EXPECT_EQ(report.groups[0].group, "male");
+  EXPECT_EQ(report.groups[0].count, 40u);
+  // Each group is compared against everyone else, so the two KS values
+  // coincide and reflect the 0.4 shift.
+  EXPECT_GT(report.max_ks, 0.1);
+  EXPECT_GT(report.max_wasserstein1, 0.1);
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_FALSE(result.all_satisfied);
+  // The rendered report names the new section.
+  EXPECT_NE(result.Render().find("score_distribution_drift"),
+            std::string::npos);
+}
+
+TEST(ScoreDistributionTest, MatchedDistributionsSatisfied) {
+  data::Table table = ScoredTable(/*shifted=*/false);
+  AuditConfig config = ScoreDistConfig();
+  config.score_distribution_tolerance = 0.05;
+  AuditResult result = RunAudit(table, config).ValueOrDie();
+  ASSERT_TRUE(result.score_distribution.has_value());
+  EXPECT_TRUE(result.score_distribution->satisfied);
+  EXPECT_NEAR(result.score_distribution->max_ks, 0.0, 1e-12);
+  EXPECT_NEAR(result.score_distribution->max_wasserstein1, 0.0, 1e-12);
+}
+
+TEST(ScoreDistributionTest, BinnedPathAgreesWithExact) {
+  data::Table table = ScoredTable(/*shifted=*/true);
+  AuditConfig exact_config = ScoreDistConfig();
+  AuditConfig binned_config = ScoreDistConfig();
+  binned_config.score_distribution_bins = 128;
+  const AuditResult exact = RunAudit(table, exact_config).ValueOrDie();
+  const AuditResult binned = RunAudit(table, binned_config).ValueOrDie();
+  ASSERT_TRUE(exact.score_distribution.has_value());
+  ASSERT_TRUE(binned.score_distribution.has_value());
+  EXPECT_NEAR(binned.score_distribution->max_ks,
+              exact.score_distribution->max_ks, 0.1);
+  EXPECT_NEAR(binned.score_distribution->max_wasserstein1,
+              exact.score_distribution->max_wasserstein1, 0.05);
+}
+
+TEST(ScoreDistributionTest, ThreadCountDoesNotChangeReport) {
+  data::Table table = ScoredTable(/*shifted=*/true);
+  AuditConfig config = ScoreDistConfig();
+  AuditResult serial = RunAudit(table, config).ValueOrDie();
+  config.num_threads = 4;
+  AuditResult parallel = RunAudit(table, config).ValueOrDie();
+  EXPECT_EQ(serial.Render(), parallel.Render());
+}
+
+TEST(ScoreDistributionTest, OffByDefaultAndValidated) {
+  data::Table table = ScoredTable(/*shifted=*/true);
+  AuditConfig config = ScoreDistConfig();
+  config.audit_score_distribution = false;
+  AuditResult result = RunAudit(table, config).ValueOrDie();
+  EXPECT_FALSE(result.score_distribution.has_value());
+
+  // The drift audit needs a score column.
+  config = ScoreDistConfig();
+  config.score_column = "";
+  config.label_column = "";
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = ScoreDistConfig();
+  config.score_distribution_tolerance = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config.score_distribution_tolerance = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
 TEST(AuditResultFindTest, AcceptsStringView) {
   data::Table table = BiasedTable();
   AuditConfig config;

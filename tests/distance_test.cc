@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/distance.h"
+#include "stats/histogram.h"
 #include "stats/rng.h"
 
 namespace fairlaw::stats {
@@ -208,6 +210,86 @@ TEST_P(DistancePropertyTest, AxiomsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DistancePropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- presorted fast paths -------------------------------------------------
+
+std::vector<double> DrawSample(uint64_t seed, size_t n, double mean) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Normal(mean, 1.0);
+  return v;
+}
+
+TEST(PresortedTest, ExactlyEqualsSortingVariant) {
+  std::vector<double> x = DrawSample(41, 257, 0.0);
+  std::vector<double> y = DrawSample(42, 193, 1.0);
+  const double w1 = Wasserstein1Samples(x, y).ValueOrDie();
+  const double ks = KolmogorovSmirnov(x, y).ValueOrDie();
+  std::sort(x.begin(), x.end());
+  std::sort(y.begin(), y.end());
+  EXPECT_EQ(Wasserstein1Presorted(x, y).ValueOrDie(), w1);
+  EXPECT_EQ(KolmogorovSmirnovPresorted(x, y).ValueOrDie(), ks);
+}
+
+TEST(PresortedTest, RejectsUnsortedAndEmpty) {
+  std::vector<double> sorted = {0.0, 1.0, 2.0};
+  std::vector<double> unsorted = {2.0, 0.0, 1.0};
+  EXPECT_FALSE(Wasserstein1Presorted(unsorted, sorted).ok());
+  EXPECT_FALSE(Wasserstein1Presorted(sorted, unsorted).ok());
+  EXPECT_FALSE(Wasserstein1Presorted({}, sorted).ok());
+  EXPECT_FALSE(KolmogorovSmirnovPresorted(unsorted, sorted).ok());
+  EXPECT_FALSE(KolmogorovSmirnovPresorted(sorted, {}).ok());
+}
+
+TEST(PresortedTest, TiesAndEqualSamplesHandled) {
+  std::vector<double> ties = {1.0, 1.0, 1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(Wasserstein1Presorted(ties, ties).ValueOrDie(), 0.0);
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovPresorted(ties, ties).ValueOrDie(),
+                   0.0);
+}
+
+// --- binned fast paths ----------------------------------------------------
+
+TEST(BinnedTest, ApproximatesSampleDistanceWithinBinWidth) {
+  const std::vector<double> x = DrawSample(43, 4000, 0.0);
+  const std::vector<double> y = DrawSample(44, 4000, 1.0);
+  const double exact_w1 = Wasserstein1Samples(x, y).ValueOrDie();
+  const double exact_ks = KolmogorovSmirnov(x, y).ValueOrDie();
+
+  const double lo = -5.0;
+  const double hi = 6.0;
+  const size_t bins = 200;
+  Histogram hx = Histogram::Make(lo, hi, bins).ValueOrDie();
+  Histogram hy = Histogram::Make(lo, hi, bins).ValueOrDie();
+  hx.AddAll(x);
+  hy.AddAll(y);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  EXPECT_NEAR(Wasserstein1Binned(hx, hy).ValueOrDie(), exact_w1, width);
+  // The KS statistic at bin granularity underestimates by at most the
+  // CDF mass crossing inside one bin; a loose band suffices.
+  EXPECT_NEAR(KolmogorovSmirnovBinned(hx, hy).ValueOrDie(), exact_ks,
+              0.05);
+}
+
+TEST(BinnedTest, IdenticalHistogramsAreZero) {
+  Histogram h = Histogram::Make(0.0, 1.0, 10).ValueOrDie();
+  h.AddAll(std::vector<double>{0.1, 0.5, 0.9});
+  EXPECT_DOUBLE_EQ(Wasserstein1Binned(h, h).ValueOrDie(), 0.0);
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovBinned(h, h).ValueOrDie(), 0.0);
+}
+
+TEST(BinnedTest, RejectsMisalignedHistograms) {
+  Histogram a = Histogram::Make(0.0, 1.0, 10).ValueOrDie();
+  Histogram wrong_bins = Histogram::Make(0.0, 1.0, 20).ValueOrDie();
+  Histogram wrong_range = Histogram::Make(0.0, 2.0, 10).ValueOrDie();
+  a.AddAll(std::vector<double>{0.5});
+  wrong_bins.AddAll(std::vector<double>{0.5});
+  wrong_range.AddAll(std::vector<double>{0.5});
+  EXPECT_FALSE(Wasserstein1Binned(a, wrong_bins).ok());
+  EXPECT_FALSE(Wasserstein1Binned(a, wrong_range).ok());
+  EXPECT_FALSE(KolmogorovSmirnovBinned(a, wrong_bins).ok());
+  EXPECT_FALSE(KolmogorovSmirnovBinned(a, wrong_range).ok());
+}
 
 }  // namespace
 }  // namespace fairlaw::stats

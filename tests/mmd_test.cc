@@ -88,5 +88,130 @@ TEST(MmdTest, InputValidation) {
   EXPECT_FALSE(MmdSquaredBiased1d({}, two, 1.0).ok());
 }
 
+// The tiled exact path promises bit-identical results for every thread
+// count: per-block partial sums merged in block order, never a shared
+// accumulator.
+TEST(MmdTest, ExactEstimatorsThreadDeterministic) {
+  Rng rng(17);
+  std::vector<double> x = Draw(&rng, 700, 0.0, 1.0);
+  std::vector<double> y = Draw(&rng, 500, 1.0, 1.0);
+  const double serial_unbiased =
+      MmdSquaredUnbiased1d(x, y, 0.8).ValueOrDie();
+  const double serial_biased = MmdSquaredBiased1d(x, y, 0.8).ValueOrDie();
+  for (const size_t threads : {size_t{2}, size_t{8}}) {
+    MmdExactOptions options;
+    options.num_threads = threads;
+    EXPECT_EQ(MmdSquaredUnbiased1d(x, y, 0.8, options).ValueOrDie(),
+              serial_unbiased)
+        << "threads=" << threads;
+    EXPECT_EQ(MmdSquaredBiased1d(x, y, 0.8, options).ValueOrDie(),
+              serial_biased)
+        << "threads=" << threads;
+  }
+}
+
+// RFF features draw from counter-based streams keyed by feature index,
+// so the estimate is a pure function of (inputs, sigma, D, seed) — the
+// thread count and feature-block schedule must not show through.
+TEST(MmdRffTest, ThreadDeterministic) {
+  Rng rng(19);
+  std::vector<double> x = Draw(&rng, 400, 0.0, 1.0);
+  std::vector<double> y = Draw(&rng, 300, 1.0, 1.0);
+  MmdRffOptions serial;
+  serial.num_features = 96;  // not a multiple of the feature block
+  const double reference = MmdSquaredRff1d(x, y, 1.0, serial).ValueOrDie();
+  for (const size_t threads : {size_t{2}, size_t{8}}) {
+    MmdRffOptions options = serial;
+    options.num_threads = threads;
+    EXPECT_EQ(MmdSquaredRff1d(x, y, 1.0, options).ValueOrDie(), reference)
+        << "threads=" << threads;
+  }
+}
+
+TEST(MmdRffTest, NonNegativeAndSeedSensitive) {
+  Rng rng(21);
+  std::vector<double> x = Draw(&rng, 200, 0.0, 1.0);
+  std::vector<double> y = Draw(&rng, 200, 0.0, 1.0);
+  MmdRffOptions options;
+  options.num_features = 64;
+  const double estimate = MmdSquaredRff1d(x, y, 1.0, options).ValueOrDie();
+  EXPECT_GE(estimate, 0.0);
+  MmdRffOptions reseeded = options;
+  reseeded.seed = 0x9999;
+  // A different seed draws different features; on close distributions
+  // the small-D estimates differ.
+  EXPECT_NE(MmdSquaredRff1d(x, y, 1.0, reseeded).ValueOrDie(), estimate);
+}
+
+// Convergence to the exact oracle: error decays as O(1/sqrt(D)), so the
+// D = 2048 estimate must land much closer than the D = 32 one, and
+// within a calibrated absolute band.
+TEST(MmdRffTest, ConvergesToExactBiasedEstimator) {
+  Rng rng(23);
+  std::vector<double> x = Draw(&rng, 500, 0.0, 1.0);
+  std::vector<double> y = Draw(&rng, 500, 1.0, 1.0);
+  const double exact = MmdSquaredBiased1d(x, y, 1.0).ValueOrDie();
+
+  MmdRffOptions small;
+  small.num_features = 32;
+  MmdRffOptions large;
+  large.num_features = 2048;
+  const double err_small =
+      std::abs(MmdSquaredRff1d(x, y, 1.0, small).ValueOrDie() - exact);
+  const double err_large =
+      std::abs(MmdSquaredRff1d(x, y, 1.0, large).ValueOrDie() - exact);
+  EXPECT_LT(err_large, 0.02);
+  EXPECT_LT(err_large, err_small + 1e-12);
+}
+
+TEST(MmdRffTest, MultivariateAgreesWithExact) {
+  Rng rng(29);
+  std::vector<Point> x(300);
+  std::vector<Point> y(300);
+  for (auto& p : x) p = {rng.Normal(), rng.Normal()};
+  for (auto& p : y) p = {rng.Normal(1.0, 1.0), rng.Normal(1.0, 1.0)};
+  const double sigma = MedianHeuristicBandwidth(x, y);
+  const double exact = MmdSquaredBiased(x, y, sigma).ValueOrDie();
+  MmdRffOptions options;
+  options.num_features = 2048;
+  const double rff = MmdSquaredRff(x, y, sigma, options).ValueOrDie();
+  EXPECT_NEAR(rff, exact, 0.02);
+}
+
+TEST(MmdRffTest, RffInputValidation) {
+  std::vector<double> two = {1.0, 2.0};
+  MmdRffOptions no_features;
+  no_features.num_features = 0;
+  EXPECT_FALSE(MmdSquaredRff1d(two, two, 1.0, no_features).ok());
+  EXPECT_FALSE(MmdSquaredRff1d(two, two, 0.0).ok());
+  EXPECT_FALSE(MmdSquaredRff1d({}, two, 1.0).ok());
+  // Dimension mismatch across points.
+  std::vector<Point> ragged = {{1.0, 2.0}, {3.0}};
+  std::vector<Point> fine = {{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_FALSE(MmdSquaredRff(ragged, fine, 1.0).ok());
+}
+
+// The sampled median heuristic draws pairs from counter-based streams:
+// repeated calls agree exactly, and the subsampled estimate lands near
+// the all-pairs median.
+TEST(MedianHeuristicTest, SampledPathDeterministicAndClose) {
+  Rng rng(31);
+  std::vector<Point> x(120);
+  std::vector<Point> y(120);
+  for (auto& p : x) p = {rng.Normal()};
+  for (auto& p : y) p = {rng.Normal(1.0, 1.0)};
+  const double exact = MedianHeuristicBandwidth(x, y);  // all pairs
+  const double sampled = MedianHeuristicBandwidth(x, y, /*max_pairs=*/2000);
+  EXPECT_EQ(MedianHeuristicBandwidth(x, y, 2000), sampled);
+  EXPECT_GT(sampled, 0.0);
+  EXPECT_NEAR(sampled, exact, 0.25 * exact);
+}
+
+TEST(MedianHeuristicTest, ZeroPairBudgetStillPositive) {
+  std::vector<Point> x = {{0.0}, {1.0}};
+  std::vector<Point> y = {{2.0}};
+  EXPECT_GT(MedianHeuristicBandwidth(x, y, /*max_pairs=*/0), 0.0);
+}
+
 }  // namespace
 }  // namespace fairlaw::stats

@@ -13,7 +13,12 @@ comparison here is a within-run ratio:
     than the threshold above the checked-in ratio. The current run must
     use the baseline's `n`/`mmd_n` for the ratios to be like-for-like
     (the script fails loudly on a size mismatch rather than comparing
-    noise).
+    noise). Additionally: `rff_within_tolerance` must stay true (the
+    linear-time RFF MMD still agrees with the exact quadratic oracle),
+    `mmd_rff_speedup_d256` must not drop more than the threshold below
+    the baseline speedup, and — when the current run's `simd_backend` is
+    not "scalar" — `simd_popcount_speedup` must stay >= 1.0 (the vector
+    popcount never loses to the reference scalar kernel).
 
 Exit codes: 0 clean, 1 regression or malformed input.
 
@@ -94,6 +99,43 @@ def check_distances(baseline, current, threshold):
             print(f"bench-regression: distances {kernel} ok: ratio "
                   f"{cur_ratio:.2f} vs baseline {base_ratio:.2f} "
                   f"(ceiling {ceiling:.2f})")
+
+    if not current.get("rff_within_tolerance", False):
+        failures.append(
+            "distances: rff_within_tolerance is false — the RFF MMD "
+            "estimate no longer agrees with the exact estimator "
+            f"(abs err {current.get('rff_vs_exact_abs_err')}, tolerance "
+            f"{current.get('rff_tolerance')})")
+
+    base_speedup = baseline.get("mmd_rff_speedup_d256")
+    cur_speedup = current.get("mmd_rff_speedup_d256")
+    if base_speedup is None or cur_speedup is None:
+        failures.append("distances: missing field 'mmd_rff_speedup_d256'")
+    else:
+        floor = base_speedup * (1.0 - threshold)
+        if cur_speedup < floor:
+            failures.append(
+                f"distances: mmd_rff_speedup_d256 regressed: "
+                f"{cur_speedup:.1f}x < {floor:.1f}x "
+                f"(baseline {base_speedup:.1f}x - {threshold:.0%})")
+        else:
+            print(f"bench-regression: distances mmd_rff_speedup_d256 ok: "
+                  f"{cur_speedup:.1f}x vs baseline {base_speedup:.1f}x "
+                  f"(floor {floor:.1f}x)")
+
+    backend = current.get("simd_backend", "scalar")
+    if backend != "scalar":
+        pop_speedup = current.get("simd_popcount_speedup")
+        if pop_speedup is None:
+            failures.append("distances: missing field 'simd_popcount_speedup'")
+        elif pop_speedup < 1.0:
+            failures.append(
+                f"distances: simd_popcount_speedup {pop_speedup:.2f} < 1.0 "
+                f"on backend '{backend}' — the vector popcount lost to the "
+                "reference scalar kernel")
+        else:
+            print(f"bench-regression: distances simd_popcount_speedup ok: "
+                  f"{pop_speedup:.2f}x on backend '{backend}'")
     return failures
 
 

@@ -49,6 +49,12 @@ fairlaw::cli::FlagSet MakeFlags(CliOptions* options) {
             "outcome column; enables the label-dependent metrics");
   flags.Add("score", &audit.score_column,
             "probability score column; enables the calibration audit");
+  flags.Add("score-dist", &audit.audit_score_distribution,
+            "audit per-group score-distribution drift (W1/KS against "
+            "everyone else; requires --score)");
+  flags.Add("score-dist-tolerance", &audit.score_distribution_tolerance,
+            "max per-group KS statistic for the drift audit to pass",
+            fairlaw::cli::Range<double>{0.0, 1.0});
   flags.Add("strata", &audit.strata_columns,
             "legitimate-factor columns for the conditional metrics");
   flags.Add("proxies", &options->suite.proxy_candidates,
@@ -76,7 +82,12 @@ fairlaw::Result<CliOptions> Parse(int argc, char** argv, bool* show_help,
   // --threads is registered on a local so the same value can fan out to
   // both the metric pool and the subgroup lattice pool.
   int64_t threads = 1;
+  int64_t score_dist_bins = 0;
   fairlaw::cli::FlagSet flags = MakeFlags(&options);
+  flags.Add("score-dist-bins", &score_dist_bins,
+            "histogram bins for the binned drift fast path (0 = exact "
+            "presorted path)",
+            fairlaw::cli::Range<int64_t>{0, 100000});
   flags.Add("threads", &threads,
             "worker threads (0 = one per hardware thread); the output is "
             "identical for every value",
@@ -90,6 +101,8 @@ fairlaw::Result<CliOptions> Parse(int argc, char** argv, bool* show_help,
   }
   options.suite.audit.num_threads = static_cast<size_t>(threads);
   options.suite.subgroup_options.num_threads = static_cast<size_t>(threads);
+  options.suite.audit.score_distribution_bins =
+      static_cast<size_t>(score_dist_bins);
   if (parsed.positionals.empty()) {
     return fairlaw::Status::Invalid("no input CSV given");
   }

@@ -41,6 +41,12 @@
 //                      src/obs/: measurements flow through
 //                      obs::MonotonicNowNs() / obs::TraceSpan so they
 //                      share one clock and honor the obs kill switch.
+//   8. simd-intrinsic  vendor SIMD intrinsics (<immintrin.h>/<arm_neon.h>
+//                      includes, _mm*/__m* identifiers, NEON v*q_*
+//                      builtins and vector types) live in exactly one
+//                      header, src/base/simd.h. Everything else calls the
+//                      fairlaw::simd wrappers, so the scalar fallback and
+//                      the vector paths can never diverge silently.
 //
 // Rules 2, 3, 5, 6, and 7 run over the token stream produced by the
 // shared analysis lexer (tools/analysis/lexer.h) — the same substrate
@@ -128,6 +134,7 @@ class Linter {
         CheckMessagedChecks(path, tokens);
         CheckThreadPrimitives(path, tokens);
         CheckTimingSource(path, tokens);
+        CheckSimdConfinement(path, tokens);
         CheckHotPath(path, tokens, lex.comments);
       }
     }
@@ -290,6 +297,41 @@ class Linter {
              "raw std::chrono::steady_clock outside src/obs/: use "
              "obs::MonotonicNowNs() or obs::TraceSpan so measurements share "
              "one clock and honor the obs kill switch");
+    }
+  }
+
+  /// Rule 8: vendor intrinsics are confined to src/base/simd.h — the one
+  /// translation-unit-visible place where backend divergence is possible,
+  /// and the only code the SIMD-vs-scalar equivalence tests exercise.
+  /// Matches the intrinsic headers by name, the x86 _mm*/_MM*/__m*
+  /// namespace, and the NEON builtin/vector-type spellings.
+  void CheckSimdConfinement(const fs::path& path,
+                            std::span<const Token> tokens) {
+    const std::string rel = RelPath(path);
+    if (rel == "src/base/simd.h") return;
+    static constexpr const char* kPrefixes[] = {
+        "_mm", "_MM", "__m",                            // x86 SSE/AVX
+        "vld1", "vst1", "vcntq", "vpaddl", "vaddq",     // NEON builtins
+        "vgetq", "vdupq", "vbicq", "vandq", "vreinterpretq",
+        "uint8x", "uint16x", "uint32x", "uint64x",      // NEON vector types
+    };
+    for (const Token& token : tokens) {
+      if (token.kind != TokenKind::kIdentifier) continue;
+      const bool header = token.text == "immintrin" ||
+                          token.text == "arm_neon" ||
+                          token.text == "x86intrin";
+      bool prefixed = false;
+      for (const char* prefix : kPrefixes) {
+        if (token.text.rfind(prefix, 0) == 0) {
+          prefixed = true;
+          break;
+        }
+      }
+      if (!header && !prefixed) continue;
+      Report(rel, token.line, "simd-intrinsic",
+             "vendor SIMD intrinsic '" + token.text +
+                 "' outside src/base/simd.h: call the fairlaw::simd "
+                 "wrappers so scalar and vector builds stay equivalent");
     }
   }
 
