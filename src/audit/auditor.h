@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "base/result.h"
+#include "data/chunked.h"
+#include "data/csv.h"
 #include "data/table.h"
 #include "legal/report.h"
 #include "metrics/calibration_metric.h"
@@ -59,6 +61,12 @@ struct AuditConfig {
   /// per hardware thread. The audit output is byte-identical for every
   /// thread count — results are sequenced by metric, not by completion.
   size_t num_threads = 1;
+  /// Rows per morsel for the chunked engine: the table is split into
+  /// chunks of this many rows, each chunk produces mergeable partials
+  /// (integer tallies, row-ordered series), and the partials merge in
+  /// chunk order — so the audit output is byte-identical for every chunk
+  /// size too. 0 (default) audits the whole table as one chunk.
+  size_t chunk_rows = 0;
 
   /// Checks the configuration before any data is touched: required
   /// column names set (and no empty strata/score names), tolerance and
@@ -131,9 +139,33 @@ FAIRLAW_NODISCARD Result<std::vector<std::string>> StrataFromTable(
 
 /// Runs the configured metric suite over `table`. Metrics that need
 /// labels are skipped when `label_column` is empty; conditional metrics
-/// are skipped when `strata_columns` is empty.
+/// are skipped when `strata_columns` is empty. Splits the table into
+/// `config.chunk_rows`-row morsels and runs the chunked engine below;
+/// the result is byte-identical for every chunk size and thread count.
 FAIRLAW_NODISCARD Result<AuditResult> RunAudit(const data::Table& table,
                              const AuditConfig& config);
+
+/// The morsel-driven core: one scheduled job per chunk produces exact
+/// integer tallies (and row-ordered series for the order-sensitive
+/// score paths); the partials merge in sequence-numbered chunk order and
+/// the metrics evaluate on the merged state, so output does not depend
+/// on chunk boundaries or scheduling.
+FAIRLAW_NODISCARD Result<AuditResult> RunAudit(const data::ChunkedTable& table,
+                             const AuditConfig& config);
+
+/// Out-of-core audit: streams `path` through data::CsvChunkReader one
+/// chunk at a time (chunk size = config.chunk_rows, default
+/// data::kDefaultChunkRows) with a bounded in-flight window, merging
+/// each chunk's partials as soon as it completes. Peak memory is
+/// O(window * chunk) + O(groups) for the count metrics — independent of
+/// file size — plus O(rows) scores only when a score column is
+/// configured. The result is byte-identical to loading the whole file
+/// and calling RunAudit.
+FAIRLAW_NODISCARD Result<AuditResult> RunAuditCsv(const std::string& path,
+                                const AuditConfig& config);
+FAIRLAW_NODISCARD Result<AuditResult> RunAuditCsv(const std::string& path,
+                                const AuditConfig& config,
+                                const data::CsvOptions& csv_options);
 
 }  // namespace fairlaw::audit
 

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <map>
+#include <utility>
 
 #include "base/string_util.h"
 #include "base/thread_pool.h"
 #include "data/bitmap.h"
+#include "data/chunked.h"
 #include "data/group_by.h"
 #include "data/group_index.h"
 #include "obs/obs.h"
@@ -98,32 +101,51 @@ struct KernelTally {
   }
 };
 
+/// The chunked analogue of data::AttributeIndex: the same first-seen
+/// value dictionary, with one chunk-spanning bitmap per value. Values
+/// absent from a chunk hold an all-zero bitmap there, so every value's
+/// ChunkedBitmap shares the table's chunk layout and the AND/popcount
+/// kernels never special-case absence.
+struct ChunkedAttributeIndex {
+  std::string name;
+  std::vector<std::string> values;
+  std::vector<data::ChunkedBitmap> bitmaps;  // aligned with `values`
+};
+
 /// Walks the conjunction lattice under one member set. `scratch` holds
 /// one preallocated bitmap per depth level, so the whole walk allocates
 /// nothing: the intersection for depth d is computed into (*scratch)[d]
-/// and its popcount falls out of the same pass (Bitmap::AndInto).
-void EnumerateBitmap(const std::vector<const data::AttributeIndex*>& attrs,
-                     const data::Bitmap& predictions, double overall_rate,
+/// and its popcount falls out of the same pass (BitmapT::AndInto).
+///
+/// Templated over the index/bitmap pair — (data::AttributeIndex,
+/// data::Bitmap) for the contiguous path, (ChunkedAttributeIndex,
+/// data::ChunkedBitmap) for the morsel path — so both walks share every
+/// branch, visit order, and tally increment. One logical kernel call
+/// counts once in the tally however many chunks it spans, which keeps
+/// the kernel counters chunk-layout-invariant.
+template <typename AttributeT, typename BitmapT>
+void EnumerateBitmap(const std::vector<const AttributeT*>& attrs,
+                     const BitmapT& predictions, double overall_rate,
                      size_t num_rows, const SubgroupAuditOptions& options,
                      size_t next_attribute, int depth,
-                     const data::Bitmap& members, size_t member_count,
+                     const BitmapT& members, size_t member_count,
                      std::vector<std::pair<std::string, std::string>>*
                          conditions,
-                     std::vector<data::Bitmap>* scratch,
+                     std::vector<BitmapT>* scratch,
                      SubgroupAuditResult* result, KernelTally* tally) {
   if (depth > 0) {
-    const size_t positives = data::Bitmap::AndCount(members, predictions);
+    const size_t positives = BitmapT::AndCount(members, predictions);
     ++tally->popcount_calls;
     RecordFinding(*conditions, member_count, positives, num_rows,
                   overall_rate, options, result);
   }
   if (depth >= options.max_depth) return;
   for (size_t a = next_attribute; a < attrs.size(); ++a) {
-    const data::AttributeIndex& attribute = *attrs[a];
+    const AttributeT& attribute = *attrs[a];
     for (size_t v = 0; v < attribute.values.size(); ++v) {
-      data::Bitmap& narrowed = (*scratch)[static_cast<size_t>(depth)];
+      BitmapT& narrowed = (*scratch)[static_cast<size_t>(depth)];
       const size_t count =
-          data::Bitmap::AndInto(members, attribute.bitmaps[v], &narrowed);
+          BitmapT::AndInto(members, attribute.bitmaps[v], &narrowed);
       ++tally->popcount_calls;
       if (count == 0) {
         ++tally->pruned_subtrees;
@@ -147,14 +169,15 @@ struct SubtreeTask {
   size_t value;
 };
 
+template <typename AttributeT, typename BitmapT>
 SubgroupAuditResult RunSubtree(
-    const std::vector<const data::AttributeIndex*>& attrs,
-    const data::Bitmap& predictions, double overall_rate, size_t num_rows,
+    const std::vector<const AttributeT*>& attrs,
+    const BitmapT& predictions, double overall_rate, size_t num_rows,
     const SubgroupAuditOptions& options, const SubtreeTask& task,
     KernelTally* tally) {
   SubgroupAuditResult result;
-  const data::AttributeIndex& attribute = *attrs[task.attribute];
-  const data::Bitmap& members = attribute.bitmaps[task.value];
+  const AttributeT& attribute = *attrs[task.attribute];
+  const BitmapT& members = attribute.bitmaps[task.value];
   const size_t count = members.Count();
   ++tally->popcount_calls;
   if (count == 0) return result;  // unreachable: index bitmaps are nonempty
@@ -162,7 +185,7 @@ SubgroupAuditResult RunSubtree(
       {attribute.name, attribute.values[task.value]}};
   // Depth d intersections land in scratch[d]; the root set itself is the
   // index bitmap, so levels 1..max_depth-1 suffice.
-  std::vector<data::Bitmap> scratch(
+  std::vector<BitmapT> scratch(
       static_cast<size_t>(options.max_depth) + 1);
   EnumerateBitmap(attrs, predictions, overall_rate, num_rows, options,
                   task.attribute + 1, /*depth=*/1, members, count,
@@ -177,6 +200,64 @@ void MergeResult(SubgroupAuditResult&& subtree, SubgroupAuditResult* total) {
   for (SubgroupFinding& finding : subtree.findings) {
     total->findings.push_back(std::move(finding));
   }
+}
+
+/// The full lattice walk over a prepared index: canonical subtree order,
+/// per-subtree slots (serial or ThreadPool), merge in task order, obs
+/// counters, final sort. Shared by the contiguous and chunked entry
+/// points so their scheduling and bookkeeping cannot drift apart.
+template <typename AttributeT, typename BitmapT>
+SubgroupAuditResult RunLattice(const std::vector<AttributeT>& attributes,
+                               const BitmapT& predictions,
+                               double overall_rate, size_t num_rows,
+                               const SubgroupAuditOptions& options) {
+  std::vector<const AttributeT*> attrs;
+  attrs.reserve(attributes.size());
+  for (const AttributeT& attribute : attributes) {
+    attrs.push_back(&attribute);
+  }
+
+  // Canonical subtree order: attributes in argument order, values in
+  // first-seen order — the order the serial walk visits them.
+  std::vector<SubtreeTask> tasks;
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    for (size_t v = 0; v < attrs[a]->values.size(); ++v) {
+      tasks.push_back(SubtreeTask{a, v});
+    }
+  }
+
+  std::vector<SubgroupAuditResult> subtree_results(tasks.size());
+  std::vector<KernelTally> subtree_tallies(tasks.size());
+  auto run_task = [&](size_t t) {
+    subtree_results[t] =
+        RunSubtree(attrs, predictions, overall_rate, num_rows, options,
+                   tasks[t], &subtree_tallies[t]);
+  };
+  if (options.num_threads == 1 || tasks.size() <= 1) {
+    for (size_t t = 0; t < tasks.size(); ++t) run_task(t);
+  } else {
+    // Each task writes only its own slot, so aggregation needs no lock;
+    // determinism comes from merging in task order below.
+    ThreadPool pool(options.num_threads == 0
+                        ? 0
+                        : std::min(options.num_threads, tasks.size()));
+    pool.ParallelFor(tasks.size(), run_task);
+  }
+
+  SubgroupAuditResult result;
+  KernelTally tally;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    MergeResult(std::move(subtree_results[t]), &result);
+    subtree_tallies[t].MergeInto(&tally);
+  }
+  obs::GetCounter("subgroup.audits")->Increment();
+  obs::GetCounter("subgroup.nodes_visited")
+      ->Increment(result.subgroups_examined);
+  obs::GetCounter("subgroup.popcount_calls")->Increment(tally.popcount_calls);
+  obs::GetCounter("subgroup.pruned_subtrees")
+      ->Increment(tally.pruned_subtrees);
+  SortFindings(&result);
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -212,6 +293,38 @@ Result<PreparedAudit> Prepare(const data::Table& table,
   return prepared;
 }
 
+// ---------------------------------------------------------------------------
+// Chunked (morsel-driven) preparation.
+
+/// Per-chunk indexing output: both extraction steps always run so the
+/// step-ranked error merge below can reproduce the contiguous path's
+/// error precedence (predictions are extracted before the index is
+/// built, and every step error is a row-independent string).
+struct ChunkIndexPartial {
+  Status prediction_status;
+  Status index_status;
+  data::Bitmap predictions;
+  data::GroupIndex index;
+};
+
+ChunkIndexPartial IndexChunk(const data::Table& chunk,
+                             const std::vector<std::string>& attribute_columns,
+                             const std::string& prediction_column) {
+  ChunkIndexPartial partial;
+  auto predictions =
+      data::GroupIndex::BinaryColumnBitmap(chunk, prediction_column);
+  partial.prediction_status = predictions.status();
+  if (partial.prediction_status.ok()) {
+    partial.predictions = std::move(predictions).ValueOrDie();
+  }
+  auto index = data::GroupIndex::Build(chunk, attribute_columns);
+  partial.index_status = index.status();
+  if (partial.index_status.ok()) {
+    partial.index = std::move(index).ValueOrDie();
+  }
+  return partial;
+}
+
 }  // namespace
 
 Result<SubgroupAuditResult> AuditSubgroups(
@@ -219,59 +332,105 @@ Result<SubgroupAuditResult> AuditSubgroups(
     const std::vector<std::string>& attribute_columns,
     const std::string& prediction_column,
     const SubgroupAuditOptions& options) {
+  if (options.chunk_rows > 0) {
+    FAIRLAW_ASSIGN_OR_RETURN(
+        data::ChunkedTable chunked,
+        data::ChunkedTable::FromTable(table, options.chunk_rows));
+    return AuditSubgroups(chunked, attribute_columns, prediction_column,
+                          options);
+  }
   obs::TraceSpan span("audit_subgroups");
   FAIRLAW_ASSIGN_OR_RETURN(
       PreparedAudit prepared,
       Prepare(table, attribute_columns, prediction_column, options));
+  return RunLattice(prepared.index.attributes(), prepared.predictions,
+                    prepared.overall_rate, prepared.num_rows, options);
+}
 
-  std::vector<const data::AttributeIndex*> attrs;
-  attrs.reserve(prepared.index.attributes().size());
-  for (const data::AttributeIndex& attribute : prepared.index.attributes()) {
-    attrs.push_back(&attribute);
+Result<SubgroupAuditResult> AuditSubgroups(
+    const data::ChunkedTable& table,
+    const std::vector<std::string>& attribute_columns,
+    const std::string& prediction_column,
+    const SubgroupAuditOptions& options) {
+  obs::TraceSpan span("audit_subgroups");
+  FAIRLAW_RETURN_NOT_OK(options.Validate());
+  if (attribute_columns.empty()) {
+    return Status::Invalid("AuditSubgroups: no attribute columns");
+  }
+  if (table.num_rows() == 0) {
+    return Status::Invalid("AuditSubgroups: empty table");
   }
 
-  // Canonical subtree order: attributes in argument order, values in
-  // first-seen order — the order the serial walk visits them.
-  std::vector<SubtreeTask> tasks;
-  for (size_t a = 0; a < attrs.size(); ++a) {
-    for (size_t v = 0; v < attrs[a]->values.size(); ++v) {
-      tasks.push_back(SubtreeTask{a, v});
+  // Morsel phase: every chunk is indexed independently.
+  const size_t num_chunks = table.num_chunks();
+  std::vector<ChunkIndexPartial> partials(num_chunks);
+  auto index_chunk = [&](size_t c) {
+    partials[c] =
+        IndexChunk(table.chunk(c), attribute_columns, prediction_column);
+  };
+  if (options.num_threads == 1 || num_chunks <= 1) {
+    for (size_t c = 0; c < num_chunks; ++c) index_chunk(c);
+  } else {
+    ThreadPool pool(options.num_threads == 0
+                        ? 0
+                        : std::min(options.num_threads, num_chunks));
+    pool.ParallelFor(num_chunks, index_chunk);
+  }
+  // Step outranks chunk: the contiguous path fails on the prediction
+  // column before it ever builds the index, so any chunk's prediction
+  // error beats any chunk's index error.
+  for (const ChunkIndexPartial& partial : partials) {
+    FAIRLAW_RETURN_NOT_OK(partial.prediction_status);
+  }
+  for (const ChunkIndexPartial& partial : partials) {
+    FAIRLAW_RETURN_NOT_OK(partial.index_status);
+  }
+
+  std::vector<size_t> chunk_sizes(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    chunk_sizes[c] = table.chunk(c).num_rows();
+  }
+
+  std::vector<data::Bitmap> prediction_chunks;
+  prediction_chunks.reserve(num_chunks);
+  for (ChunkIndexPartial& partial : partials) {
+    prediction_chunks.push_back(std::move(partial.predictions));
+  }
+  data::ChunkedBitmap predictions(std::move(prediction_chunks));
+  const double overall_rate = static_cast<double>(predictions.Count()) /
+                              static_cast<double>(table.num_rows());
+
+  // Merge the per-chunk value dictionaries in chunk order: each chunk's
+  // values are in its first-seen row order, so first-seen-across-chunks
+  // is exactly the whole-table first-seen order.
+  std::vector<ChunkedAttributeIndex> attributes(attribute_columns.size());
+  for (size_t a = 0; a < attribute_columns.size(); ++a) {
+    ChunkedAttributeIndex& merged = attributes[a];
+    merged.name = attribute_columns[a];
+    std::map<std::string, size_t> global_of;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const data::AttributeIndex& local = partials[c].index.attributes()[a];
+      for (const std::string& value : local.values) {
+        auto [it, inserted] = global_of.try_emplace(value,
+                                                    merged.values.size());
+        if (inserted) merged.values.push_back(it->first);
+      }
+    }
+    merged.bitmaps.reserve(merged.values.size());
+    for (size_t v = 0; v < merged.values.size(); ++v) {
+      merged.bitmaps.push_back(data::ChunkedBitmap::AllZero(chunk_sizes));
+    }
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const data::AttributeIndex& local = partials[c].index.attributes()[a];
+      for (size_t v = 0; v < local.values.size(); ++v) {
+        *merged.bitmaps[global_of.at(local.values[v])].mutable_chunk(c) =
+            local.bitmaps[v];
+      }
     }
   }
 
-  std::vector<SubgroupAuditResult> subtree_results(tasks.size());
-  std::vector<KernelTally> subtree_tallies(tasks.size());
-  auto run_task = [&](size_t t) {
-    subtree_results[t] =
-        RunSubtree(attrs, prepared.predictions, prepared.overall_rate,
-                   prepared.num_rows, options, tasks[t],
-                   &subtree_tallies[t]);
-  };
-  if (options.num_threads == 1 || tasks.size() <= 1) {
-    for (size_t t = 0; t < tasks.size(); ++t) run_task(t);
-  } else {
-    // Each task writes only its own slot, so aggregation needs no lock;
-    // determinism comes from merging in task order below.
-    ThreadPool pool(options.num_threads == 0
-                        ? 0
-                        : std::min(options.num_threads, tasks.size()));
-    pool.ParallelFor(tasks.size(), run_task);
-  }
-
-  SubgroupAuditResult result;
-  KernelTally tally;
-  for (size_t t = 0; t < tasks.size(); ++t) {
-    MergeResult(std::move(subtree_results[t]), &result);
-    subtree_tallies[t].MergeInto(&tally);
-  }
-  obs::GetCounter("subgroup.audits")->Increment();
-  obs::GetCounter("subgroup.nodes_visited")
-      ->Increment(result.subgroups_examined);
-  obs::GetCounter("subgroup.popcount_calls")->Increment(tally.popcount_calls);
-  obs::GetCounter("subgroup.pruned_subtrees")
-      ->Increment(tally.pruned_subtrees);
-  SortFindings(&result);
-  return result;
+  return RunLattice(attributes, predictions, overall_rate, table.num_rows(),
+                    options);
 }
 
 namespace {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "data/chunked.h"
 #include "data/table.h"
 
 namespace fairlaw::audit {
@@ -54,6 +55,13 @@ struct SubgroupAuditOptions {
   /// results are merged in canonical root order, so the findings are
   /// byte-identical for every thread count.
   size_t num_threads = 1;
+  /// Rows per morsel for the chunked engine: with a nonzero value the
+  /// table is split into chunks, each chunk is indexed independently
+  /// (in parallel when num_threads != 1), and the lattice walk runs on
+  /// chunk-spanning bitmaps whose counts sum to the whole-table counts —
+  /// so the findings are byte-identical for every chunk size. 0
+  /// (default) builds one contiguous index.
+  size_t chunk_rows = 0;
 
   /// Checks the options before the lattice walk: max_depth >= 1 and
   /// tolerance in [0,1]. Both AuditSubgroups entry points call this
@@ -84,6 +92,19 @@ struct SubgroupAuditResult {
 /// base::ThreadPool; the output is identical to the serial walk.
 FAIRLAW_NODISCARD Result<SubgroupAuditResult> AuditSubgroups(
     const data::Table& table,
+    const std::vector<std::string>& attribute_columns,
+    const std::string& prediction_column, const SubgroupAuditOptions& options);
+
+/// Morsel-driven variant: indexes every chunk independently (one morsel
+/// per chunk on a base::ThreadPool when options.num_threads != 1), merges
+/// the per-chunk value dictionaries in chunk order — which reproduces the
+/// whole-table first-seen value order — and walks the same conjunction
+/// lattice over data::ChunkedBitmap AND/popcount kernels. Per-chunk
+/// popcounts sum to the contiguous counts, so the findings (and the
+/// kernel counters) are byte-identical to the contiguous path for every
+/// chunk layout and thread count.
+FAIRLAW_NODISCARD Result<SubgroupAuditResult> AuditSubgroups(
+    const data::ChunkedTable& table,
     const std::vector<std::string>& attribute_columns,
     const std::string& prediction_column, const SubgroupAuditOptions& options);
 

@@ -281,6 +281,39 @@ Result<Column> Column::Take(std::span<const size_t> indices) const {
   return out;
 }
 
+Result<Column> Column::Slice(size_t offset, size_t length) const {
+  if (offset > size() || length > size() - offset) {
+    return Status::OutOfRange("Slice: [" + std::to_string(offset) + ", " +
+                              std::to_string(offset + length) +
+                              ") exceeds column size " +
+                              std::to_string(size()));
+  }
+  const auto begin = static_cast<ptrdiff_t>(offset);
+  const auto end = static_cast<ptrdiff_t>(offset + length);
+  Column out(type_);
+  out.valid_.assign(valid_.begin() + begin, valid_.begin() + end);
+  for (uint8_t v : out.valid_) {
+    if (v == 0) ++out.null_count_;
+  }
+  switch (type_) {
+    case DataType::kDouble:
+      out.doubles_.assign(doubles_.begin() + begin, doubles_.begin() + end);
+      break;
+    case DataType::kInt64:
+      out.int64s_.assign(int64s_.begin() + begin, int64s_.begin() + end);
+      break;
+    case DataType::kString:
+      out.strings_.assign(strings_.begin() + begin, strings_.begin() + end);
+      break;
+    case DataType::kBool:
+      out.bools_.assign(bools_.begin() + begin, bools_.begin() + end);
+      break;
+  }
+  return out;
+}
+
+Bitmap Column::ValidityBitmap() const { return Bitmap::FromBytes(valid_); }
+
 std::string Column::ValueToString(size_t row) const {
   if (row >= size() || !valid_[row]) return "null";
   // flowcheck: allow-unchecked-result (row bound and validity checked above)

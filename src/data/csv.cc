@@ -10,66 +10,121 @@
 namespace fairlaw::data {
 namespace {
 
-/// Splits raw CSV text into rows of fields honoring quoting. Returns an
-/// error on an unterminated quote.
-Result<std::vector<std::vector<std::string>>> Tokenize(
-    const std::string& text, char delimiter) {
-  std::vector<std::vector<std::string>> rows;
-  std::vector<std::string> row;
-  std::string field;
-  bool in_quotes = false;
-  bool row_has_content = false;
+/// Incremental CSV row scanner over a stream: pulls one row per call with
+/// a fixed-size read buffer, honoring quoting ("" escapes), CR/LF/CRLF
+/// newlines, and blank-line skipping. This is the single tokenizer behind
+/// both the whole-table readers and the streaming CsvChunkReader, so the
+/// two ingestion paths cannot drift apart.
+class RowScanner {
+ public:
+  RowScanner(std::istream* input, char delimiter)
+      : input_(input), delimiter_(delimiter) {}
 
-  size_t i = 0;
-  while (i < text.size()) {
-    char c = text[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          field += '"';
-          i += 2;
+  /// Scans the next row into *row (cleared first). Returns true when a
+  /// row was produced, false at clean end of input; Invalid on an
+  /// unterminated quote, IOError on a read failure.
+  FAIRLAW_NODISCARD Result<bool> NextRow(std::vector<std::string>* row) {
+    row->clear();
+    std::string field;
+    bool in_quotes = false;
+    bool row_has_content = false;
+    for (;;) {
+      const int ci = TakeByte();
+      if (ci < 0) {
+        if (input_->bad()) return Status::IOError("error reading CSV stream");
+        if (in_quotes) return Status::Invalid("CSV: unterminated quoted field");
+        if (row_has_content || !field.empty()) {
+          row->push_back(std::move(field));
+          return true;
+        }
+        return false;
+      }
+      const char c = static_cast<char>(ci);
+      if (in_quotes) {
+        if (c == '"') {
+          if (PeekByte() == '"') {
+            field += '"';
+            (void)TakeByte();
+            continue;
+          }
+          in_quotes = false;
           continue;
         }
-        in_quotes = false;
-        ++i;
+        field += c;
         continue;
       }
-      field += c;
-      ++i;
-      continue;
-    }
-    if (c == '"') {
-      in_quotes = true;
-      row_has_content = true;
-      ++i;
-      continue;
-    }
-    if (c == delimiter) {
-      row.push_back(std::move(field));
-      field.clear();
-      row_has_content = true;
-      ++i;
-      continue;
-    }
-    if (c == '\n' || c == '\r') {
-      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
-      if (row_has_content || !field.empty()) {
-        row.push_back(std::move(field));
-        field.clear();
-        rows.push_back(std::move(row));
-        row.clear();
-        row_has_content = false;
+      if (c == '"') {
+        in_quotes = true;
+        row_has_content = true;
+        continue;
       }
-      ++i;
-      continue;
+      if (c == delimiter_) {
+        row->push_back(std::move(field));
+        field.clear();
+        row_has_content = true;
+        continue;
+      }
+      if (c == '\n' || c == '\r') {
+        if (c == '\r' && PeekByte() == '\n') (void)TakeByte();
+        if (row_has_content || !field.empty()) {
+          row->push_back(std::move(field));
+          return true;
+        }
+        continue;  // blank line: keep scanning
+      }
+      field += c;
+      row_has_content = true;
     }
-    field += c;
-    row_has_content = true;
-    ++i;
   }
-  if (in_quotes) return Status::Invalid("CSV: unterminated quoted field");
-  if (row_has_content || !field.empty()) {
-    row.push_back(std::move(field));
+
+  /// Bytes consumed from the stream so far.
+  size_t bytes_consumed() const { return bytes_consumed_; }
+
+ private:
+  static constexpr size_t kBufferSize = size_t{1} << 16;
+
+  int TakeByte() {
+    if (pos_ >= len_ && !Fill()) return -1;
+    ++bytes_consumed_;
+    return static_cast<unsigned char>(buffer_[pos_++]);
+  }
+
+  int PeekByte() {
+    if (pos_ >= len_ && !Fill()) return -1;
+    return static_cast<unsigned char>(buffer_[pos_]);
+  }
+
+  bool Fill() {
+    if (at_end_) return false;
+    input_->read(buffer_.data(), static_cast<std::streamsize>(kBufferSize));
+    len_ = static_cast<size_t>(input_->gcount());
+    pos_ = 0;
+    if (len_ == 0) {
+      at_end_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::istream* input_;
+  char delimiter_;
+  std::vector<char> buffer_ = std::vector<char>(kBufferSize);
+  size_t pos_ = 0;
+  size_t len_ = 0;
+  size_t bytes_consumed_ = 0;
+  bool at_end_ = false;
+};
+
+/// Scans every row of `input` (used by the whole-table readers; the
+/// streaming reader drives RowScanner chunk by chunk instead).
+Result<std::vector<std::vector<std::string>>> ScanAllRows(std::istream* input,
+                                                          char delimiter) {
+  RowScanner scanner(input, delimiter);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  for (;;) {
+    FAIRLAW_ASSIGN_OR_RETURN(bool has_row, scanner.NextRow(&row));
+    if (!has_row) break;
     rows.push_back(std::move(row));
   }
   return rows;
@@ -83,28 +138,45 @@ bool IsNullToken(const std::string& raw, const CsvOptions& options) {
   return false;
 }
 
-DataType InferColumnType(const std::vector<std::vector<std::string>>& rows,
-                         size_t column, size_t first_data_row,
-                         const CsvOptions& options) {
+/// O(1)-memory column type tracker: the streaming inference pass keeps one
+/// of these per column instead of the token matrix, and the whole-table
+/// reader folds its rows through the same flags, so both ingestion paths
+/// infer identical schemas by construction. Priority: int64 > double >
+/// bool > string; a column with no non-null values is string.
+struct ColumnTypeFlags {
   bool all_int = true;
   bool all_double = true;
   bool all_bool = true;
   bool any_value = false;
-  for (size_t r = first_data_row; r < rows.size(); ++r) {
-    if (column >= rows[r].size()) continue;
-    const std::string& raw = rows[r][column];
-    if (IsNullToken(raw, options)) continue;
+
+  void Observe(const std::string& raw) {
     any_value = true;
     if (all_int && !ParseInt64(raw).ok()) all_int = false;
     if (all_double && !ParseDouble(raw).ok()) all_double = false;
     if (all_bool && !ParseBool(raw).ok()) all_bool = false;
-    if (!all_int && !all_double && !all_bool) return DataType::kString;
   }
-  if (!any_value) return DataType::kString;
-  if (all_int) return DataType::kInt64;
-  if (all_double) return DataType::kDouble;
-  if (all_bool) return DataType::kBool;
-  return DataType::kString;
+
+  DataType Resolve() const {
+    if (!any_value) return DataType::kString;
+    if (all_int) return DataType::kInt64;
+    if (all_double) return DataType::kDouble;
+    if (all_bool) return DataType::kBool;
+    return DataType::kString;
+  }
+};
+
+DataType InferColumnType(const std::vector<std::vector<std::string>>& rows,
+                         size_t column, size_t first_data_row,
+                         const CsvOptions& options) {
+  ColumnTypeFlags flags;
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    if (column >= rows[r].size()) continue;
+    const std::string& raw = rows[r][column];
+    if (IsNullToken(raw, options)) continue;
+    flags.Observe(raw);
+    if (!flags.all_int && !flags.all_double && !flags.all_bool) break;
+  }
+  return flags.Resolve();
 }
 
 Result<std::optional<Cell>> ParseCell(const std::string& raw, DataType type,
@@ -150,7 +222,9 @@ Result<Table> ReadCsvString(const std::string& text,
                             const CsvOptions& options) {
   obs::TraceSpan span("read_csv");
   obs::GetCounter("csv.bytes_read")->Increment(text.size());
-  FAIRLAW_ASSIGN_OR_RETURN(auto rows, Tokenize(text, options.delimiter));
+  std::istringstream input(text);
+  FAIRLAW_ASSIGN_OR_RETURN(auto rows,
+                           ScanAllRows(&input, options.delimiter));
   if (rows.empty()) return Status::Invalid("CSV: input has no rows");
 
   const size_t num_columns = rows[0].size();
@@ -236,6 +310,164 @@ Status WriteCsvFile(const Table& table, const std::string& path,
   output << text;
   if (!output) return Status::IOError("error writing '" + path + "'");
   return Status::OK();
+}
+
+struct CsvChunkReader::Impl {
+  CsvChunkReader::Options options;
+  size_t chunk_rows = kDefaultChunkRows;
+  Schema schema;
+  size_t num_rows = 0;   // data rows in the file
+  size_t rows_read = 0;  // data rows emitted so far
+  std::ifstream input;   // pass-2 stream; scanner points into it
+  std::unique_ptr<RowScanner> scanner;
+};
+
+CsvChunkReader::CsvChunkReader() : impl_(std::make_unique<Impl>()) {}
+CsvChunkReader::CsvChunkReader(CsvChunkReader&&) noexcept = default;
+CsvChunkReader& CsvChunkReader::operator=(CsvChunkReader&&) noexcept =
+    default;
+CsvChunkReader::~CsvChunkReader() = default;
+
+const Schema& CsvChunkReader::schema() const { return impl_->schema; }
+size_t CsvChunkReader::num_rows() const { return impl_->num_rows; }
+size_t CsvChunkReader::rows_read() const { return impl_->rows_read; }
+
+Result<CsvChunkReader> CsvChunkReader::Make(const std::string& path) {
+  return Make(path, Options{});
+}
+
+Result<CsvChunkReader> CsvChunkReader::Make(const std::string& path,
+                                            const Options& options) {
+  obs::TraceSpan span("csv_open_stream");
+  CsvChunkReader reader;
+  Impl& impl = *reader.impl_;
+  impl.options = options;
+  impl.chunk_rows =
+      options.chunk_rows == 0 ? kDefaultChunkRows : options.chunk_rows;
+
+  // Pass 1: flags-only inference sweep. Holds one row of tokens plus
+  // O(columns) type flags, never the file.
+  std::ifstream infer_input(path, std::ios::binary);
+  if (!infer_input) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  RowScanner infer_scanner(&infer_input, options.csv.delimiter);
+  std::vector<std::string> row;
+  std::vector<std::string> names;
+  std::vector<ColumnTypeFlags> flags;
+  size_t num_columns = 0;
+  size_t row_index = 0;
+  size_t data_rows = 0;
+  for (;;) {
+    FAIRLAW_ASSIGN_OR_RETURN(bool has_row, infer_scanner.NextRow(&row));
+    if (!has_row) break;
+    if (row_index == 0) {
+      num_columns = row.size();
+      flags.assign(num_columns, ColumnTypeFlags{});
+      names.resize(num_columns);
+      for (size_t c = 0; c < num_columns; ++c) {
+        names[c] = options.csv.has_header
+                       ? std::string(StripWhitespace(row[c]))
+                       : std::string("c").append(std::to_string(c));
+      }
+    }
+    if (row.size() != num_columns) {
+      return Status::Invalid("CSV: row " + std::to_string(row_index) +
+                             " has " + std::to_string(row.size()) +
+                             " fields, expected " +
+                             std::to_string(num_columns));
+    }
+    if (!(options.csv.has_header && row_index == 0)) {
+      ++data_rows;
+      for (size_t c = 0; c < num_columns; ++c) {
+        if (IsNullToken(row[c], options.csv)) continue;
+        flags[c].Observe(row[c]);
+      }
+    }
+    ++row_index;
+  }
+  if (row_index == 0) return Status::Invalid("CSV: input has no rows");
+  obs::GetCounter("csv.bytes_read")
+      ->Increment(infer_scanner.bytes_consumed());
+
+  std::vector<Field> fields(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    fields[c] = Field{names[c], flags[c].Resolve()};
+  }
+  FAIRLAW_ASSIGN_OR_RETURN(impl.schema, Schema::Make(std::move(fields)));
+  impl.num_rows = data_rows;
+
+  // Pass 2 setup: reopen and pre-consume the header so Next() starts at
+  // the first data row.
+  impl.input.open(path, std::ios::binary);
+  if (!impl.input) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  impl.scanner =
+      std::make_unique<RowScanner>(&impl.input, options.csv.delimiter);
+  if (options.csv.has_header) {
+    FAIRLAW_ASSIGN_OR_RETURN(bool has_row, impl.scanner->NextRow(&row));
+    if (!has_row) {
+      return Status::IOError("CSV: file shrank between inference and "
+                             "read passes");
+    }
+  }
+  return reader;
+}
+
+Result<std::optional<Table>> CsvChunkReader::Next() {
+  Impl& impl = *impl_;
+  if (impl.rows_read >= impl.num_rows) return std::optional<Table>();
+  obs::TraceSpan span("csv_chunk");
+  TableBuilder builder(impl.schema);
+  std::vector<std::string> row;
+  std::vector<std::optional<Cell>> cells(impl.schema.num_fields());
+  const size_t header_offset = impl.options.csv.has_header ? 1 : 0;
+  size_t in_chunk = 0;
+  while (in_chunk < impl.chunk_rows && impl.rows_read < impl.num_rows) {
+    FAIRLAW_ASSIGN_OR_RETURN(bool has_row, impl.scanner->NextRow(&row));
+    if (!has_row) {
+      return Status::IOError("CSV: file shrank between inference and "
+                             "read passes");
+    }
+    if (row.size() != impl.schema.num_fields()) {
+      return Status::Invalid(
+          "CSV: row " + std::to_string(impl.rows_read + header_offset) +
+          " has " + std::to_string(row.size()) + " fields, expected " +
+          std::to_string(impl.schema.num_fields()));
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      FAIRLAW_ASSIGN_OR_RETURN(
+          cells[c],
+          ParseCell(row[c], impl.schema.field(c).type, impl.options.csv));
+    }
+    FAIRLAW_RETURN_NOT_OK(builder.AppendRowWithNulls(cells));
+    ++in_chunk;
+    ++impl.rows_read;
+  }
+  obs::GetCounter("csv.rows_loaded")->Increment(in_chunk);
+  obs::GetCounter("csv.chunks_streamed")->Increment();
+  FAIRLAW_ASSIGN_OR_RETURN(Table chunk, builder.Finish());
+  return std::optional<Table>(std::move(chunk));
+}
+
+Result<ChunkedTable> ReadCsvFileChunked(const std::string& path,
+                                        const CsvChunkReader::Options& options) {
+  FAIRLAW_ASSIGN_OR_RETURN(CsvChunkReader reader,
+                           CsvChunkReader::Make(path, options));
+  std::vector<Table> chunks;
+  for (;;) {
+    FAIRLAW_ASSIGN_OR_RETURN(std::optional<Table> chunk, reader.Next());
+    if (!chunk.has_value()) break;
+    chunks.push_back(std::move(*chunk));
+  }
+  if (chunks.empty()) {
+    // Header-only file: a zero-chunk table that still carries the schema.
+    TableBuilder builder(reader.schema());
+    FAIRLAW_ASSIGN_OR_RETURN(Table empty, builder.Finish());
+    return ChunkedTable::FromTable(empty, options.chunk_rows);
+  }
+  return ChunkedTable::FromChunks(std::move(chunks));
 }
 
 }  // namespace fairlaw::data

@@ -1,9 +1,12 @@
 #ifndef FAIRLAW_DATA_CSV_H_
 #define FAIRLAW_DATA_CSV_H_
 
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "base/result.h"
+#include "data/chunked.h"
 #include "data/table.h"
 
 namespace fairlaw::data {
@@ -39,6 +42,60 @@ FAIRLAW_NODISCARD Result<std::string> WriteCsvString(const Table& table,
 /// Writes a table to a CSV file.
 FAIRLAW_NODISCARD Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options = {});
+
+/// Streams a CSV file chunk-at-a-time so ingestion is out-of-core: peak
+/// memory is bounded by the chunk size, never the file size.
+///
+/// Open() makes a flags-only inference pass over the whole file (O(columns)
+/// state: per-column all-int/all-double/all-bool trackers plus the ragged-
+/// row check), so the resulting schema — and therefore every parsed cell —
+/// is byte-identical to what ReadCsvFile would produce for the same file.
+/// Next() then re-streams the file, emitting tables of at most
+/// `chunk_rows` rows until the file is exhausted.
+class CsvChunkReader {
+ public:
+  struct Options {
+    CsvOptions csv;
+    /// Rows per emitted chunk; 0 falls back to kDefaultChunkRows.
+    size_t chunk_rows = kDefaultChunkRows;
+  };
+
+  /// Opens `path` and runs the inference pass. Fails on IO errors, ragged
+  /// rows, unterminated quotes, or an empty file — the same failures (and
+  /// messages) ReadCsvFile reports.
+  FAIRLAW_NODISCARD static Result<CsvChunkReader> Make(
+      const std::string& path, const Options& options);
+  FAIRLAW_NODISCARD static Result<CsvChunkReader> Make(const std::string& path);
+
+  CsvChunkReader(CsvChunkReader&&) noexcept;
+  CsvChunkReader& operator=(CsvChunkReader&&) noexcept;
+  ~CsvChunkReader();
+
+  /// The inferred schema (identical to ReadCsvFile's).
+  const Schema& schema() const;
+
+  /// Total data rows in the file (known after the inference pass).
+  size_t num_rows() const;
+
+  /// Data rows emitted by Next() so far.
+  size_t rows_read() const;
+
+  /// Parses and returns the next chunk (1..chunk_rows rows), or nullopt
+  /// once the file is exhausted.
+  FAIRLAW_NODISCARD Result<std::optional<Table>> Next();
+
+ private:
+  CsvChunkReader();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Reads a whole CSV file through the streaming reader into a
+/// ChunkedTable — the in-memory counterpart of driving CsvChunkReader by
+/// hand, used where the chunk layout matters but the data fits in RAM.
+FAIRLAW_NODISCARD Result<ChunkedTable> ReadCsvFileChunked(
+    const std::string& path,
+    const CsvChunkReader::Options& options = CsvChunkReader::Options{});
 
 }  // namespace fairlaw::data
 

@@ -94,9 +94,15 @@ Result<Table> Table::Slice(size_t offset, size_t length) const {
                               ") exceeds row count " +
                               std::to_string(num_rows()));
   }
-  std::vector<size_t> indices(length);
-  for (size_t i = 0; i < length; ++i) indices[i] = offset + i;
-  return Take(indices);
+  std::vector<Column> columns;
+  // Per-column Slice re-checks bounds, but the table-level check above
+  // also covers the zero-column table.
+  columns.reserve(columns_.size());
+  for (const Column& column : columns_) {
+    FAIRLAW_ASSIGN_OR_RETURN(Column sliced, column.Slice(offset, length));
+    columns.push_back(std::move(sliced));
+  }
+  return Table(schema_, std::move(columns));
 }
 
 Result<std::vector<size_t>> Table::RowsWhereEquals(

@@ -1,7 +1,7 @@
 #include "metrics/calibration_metric.h"
 
 #include <algorithm>
-#include <map>
+#include <numeric>
 
 #include "stats/calibration.h"
 
@@ -16,41 +16,55 @@ Result<CalibrationReport> CalibrationWithinGroups(
   if (labels.size() != groups.size() || scores.size() != groups.size()) {
     return Status::Invalid("CalibrationWithinGroups: size mismatch");
   }
+  // The row-wise pass is the one-chunk case of the morsel path: fold the
+  // rows into a per-group series and finalize, sharing every
+  // floating-point step with the chunked engine.
+  stats::GroupedSeries series;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    series.Append(series.KeyIndex(groups[i]), scores[i],
+                  static_cast<uint8_t>(labels[i]));
+  }
+  return CalibrationFromSeries(series, num_bins, tolerance);
+}
+
+Result<CalibrationReport> CalibrationFromSeries(
+    const stats::GroupedSeries& series, size_t num_bins, double tolerance) {
+  if (series.num_keys() == 0) {
+    return Status::Invalid("CalibrationWithinGroups: empty input");
+  }
   if (tolerance < 0.0) {
     return Status::Invalid("CalibrationWithinGroups: tolerance must be >= 0");
   }
 
-  std::map<std::string, std::vector<size_t>> members;
-  for (size_t i = 0; i < groups.size(); ++i) {
-    members[groups[i]].push_back(i);
-  }
+  // The series keys groups in first-seen row order; the report lists them
+  // alphabetically.
+  std::vector<size_t> order(series.num_keys());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return series.keys()[a] < series.keys()[b];
+  });
 
   CalibrationReport report;
   report.tolerance = tolerance;
-  for (const auto& [group, rows] : members) {
-    std::vector<int> group_labels;
-    std::vector<double> group_scores;
-    group_labels.reserve(rows.size());
-    group_scores.reserve(rows.size());
-    for (size_t row : rows) {
-      group_labels.push_back(labels[row]);
-      group_scores.push_back(scores[row]);
-    }
+  for (size_t key : order) {
+    const std::vector<double>& group_scores = series.values(key);
+    const std::vector<uint8_t>& group_tags = series.tags(key);
+    std::vector<int> group_labels(group_tags.begin(), group_tags.end());
     GroupCalibration gc;
-    gc.group = group;
-    gc.count = rows.size();
+    gc.group = series.keys()[key];
+    gc.count = group_scores.size();
     FAIRLAW_ASSIGN_OR_RETURN(
         gc.ece,
         stats::ExpectedCalibrationError(group_labels, group_scores,
                                         num_bins));
     double score_sum = 0.0;
     double positives = 0.0;
-    for (size_t k = 0; k < rows.size(); ++k) {
+    for (size_t k = 0; k < group_scores.size(); ++k) {
       score_sum += group_scores[k];
       positives += group_labels[k];
     }
-    gc.mean_score = score_sum / static_cast<double>(rows.size());
-    gc.positive_rate = positives / static_cast<double>(rows.size());
+    gc.mean_score = score_sum / static_cast<double>(group_scores.size());
+    gc.positive_rate = positives / static_cast<double>(group_scores.size());
     report.groups.push_back(std::move(gc));
   }
 

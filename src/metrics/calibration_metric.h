@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "stats/mergeable.h"
 
 namespace fairlaw::metrics {
 
@@ -36,6 +37,17 @@ struct CalibrationReport {
 FAIRLAW_NODISCARD Result<CalibrationReport> CalibrationWithinGroups(
     const std::vector<std::string>& groups, const std::vector<int>& labels,
     const std::vector<double>& scores, size_t num_bins = 10,
+    double tolerance = 0.05);
+
+/// Chunk-merged form for the morsel-driven audit engine: `series` holds
+/// one (score, label) pair per row, keyed by group, with each group's
+/// rows in global row order (tag = label). ECE and the mean-score /
+/// base-rate sums are order-sensitive floating-point folds, so the
+/// chunk-order merge contract (stats::GroupedSeries) is exactly what
+/// makes this reproduce CalibrationWithinGroups bit-for-bit; groups are
+/// reported in alphabetical order either way.
+FAIRLAW_NODISCARD Result<CalibrationReport> CalibrationFromSeries(
+    const stats::GroupedSeries& series, size_t num_bins = 10,
     double tolerance = 0.05);
 
 }  // namespace fairlaw::metrics

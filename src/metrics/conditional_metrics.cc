@@ -5,6 +5,7 @@
 
 #include "base/string_util.h"
 #include "metrics/group_metrics.h"
+#include "stats/mergeable.h"
 
 namespace fairlaw::metrics {
 namespace {
@@ -105,6 +106,87 @@ Result<ConditionalReport> ConditionalDemographicDisparity(
     }
     MetricInput slice = Subset(input, rows);
     FAIRLAW_ASSIGN_OR_RETURN(MetricReport inner, DemographicDisparity(slice));
+    inner.metric_name = "demographic_disparity[" + stratum + "]";
+    report.max_gap = std::max(report.max_gap, inner.max_gap);
+    report.satisfied = report.satisfied && inner.satisfied;
+    report.strata.push_back(StratumReport{stratum, std::move(inner)});
+    ++evaluated;
+  }
+  if (evaluated == 0) {
+    return Status::Invalid("conditional_demographic_disparity: no stratum "
+                           "was large enough to evaluate");
+  }
+  if (!skipped.empty()) report.detail = "skipped strata: " + skipped;
+  return report;
+}
+
+Result<ConditionalReport> ConditionalStatisticalParityFromCounts(
+    const stats::StratifiedCountsAccumulator& counts, double tolerance,
+    size_t min_stratum_size) {
+  ConditionalReport report;
+  report.metric_name = "conditional_statistical_parity";
+  report.tolerance = tolerance;
+  report.satisfied = true;
+  std::string skipped;
+  size_t evaluated = 0;
+  for (size_t s = 0; s < counts.num_strata(); ++s) {
+    const std::string& stratum = counts.keys()[s];
+    const stats::GroupCountsAccumulator& tallies = counts.stratum(s);
+    int64_t stratum_rows = 0;
+    for (size_t g = 0; g < tallies.num_keys(); ++g) {
+      stratum_rows += tallies.counts(g).count;
+    }
+    if (static_cast<size_t>(stratum_rows) < min_stratum_size ||
+        tallies.num_keys() < 2) {
+      if (!skipped.empty()) skipped += ", ";
+      skipped += stratum;
+      continue;
+    }
+    FAIRLAW_ASSIGN_OR_RETURN(
+        MetricReport inner,
+        DemographicParityFromStats(
+            GroupStatsFromCounts(tallies, /*with_labels=*/false), tolerance));
+    inner.metric_name = "demographic_parity[" + stratum + "]";
+    report.max_gap = std::max(report.max_gap, inner.max_gap);
+    report.satisfied = report.satisfied && inner.satisfied;
+    report.strata.push_back(StratumReport{stratum, std::move(inner)});
+    ++evaluated;
+  }
+  if (evaluated == 0) {
+    return Status::Invalid("conditional_statistical_parity: no stratum was "
+                           "large enough to evaluate");
+  }
+  if (!skipped.empty()) {
+    report.detail = "skipped strata (too small or single-group): " + skipped;
+  }
+  return report;
+}
+
+Result<ConditionalReport> ConditionalDemographicDisparityFromCounts(
+    const stats::StratifiedCountsAccumulator& counts,
+    size_t min_stratum_size) {
+  ConditionalReport report;
+  report.metric_name = "conditional_demographic_disparity";
+  report.tolerance = 0.0;
+  report.satisfied = true;
+  std::string skipped;
+  size_t evaluated = 0;
+  for (size_t s = 0; s < counts.num_strata(); ++s) {
+    const std::string& stratum = counts.keys()[s];
+    const stats::GroupCountsAccumulator& tallies = counts.stratum(s);
+    int64_t stratum_rows = 0;
+    for (size_t g = 0; g < tallies.num_keys(); ++g) {
+      stratum_rows += tallies.counts(g).count;
+    }
+    if (static_cast<size_t>(stratum_rows) < min_stratum_size) {
+      if (!skipped.empty()) skipped += ", ";
+      skipped += stratum;
+      continue;
+    }
+    FAIRLAW_ASSIGN_OR_RETURN(
+        MetricReport inner,
+        DemographicDisparityFromStats(
+            GroupStatsFromCounts(tallies, /*with_labels=*/false)));
     inner.metric_name = "demographic_disparity[" + stratum + "]";
     report.max_gap = std::max(report.max_gap, inner.max_gap);
     report.satisfied = report.satisfied && inner.satisfied;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "metrics/fairness_metric.h"
+#include "stats/mergeable.h"
 
 namespace fairlaw::metrics {
 
@@ -38,6 +39,20 @@ FAIRLAW_NODISCARD Result<ConditionalReport> ConditionalStatisticalParity(
 /// (selection rate > 1/2 for every group) within every stratum.
 FAIRLAW_NODISCARD Result<ConditionalReport> ConditionalDemographicDisparity(
     const MetricInput& input, const std::vector<std::string>& strata,
+    size_t min_stratum_size = 1);
+
+// Chunk-merged forms for the morsel-driven audit engine: the
+// StratifiedCountsAccumulator holds per-stratum, per-group tallies merged
+// in chunk order (strata and groups both in global first-seen row order),
+// and these produce reports identical to the row-wise forms above on the
+// concatenated input.
+
+FAIRLAW_NODISCARD Result<ConditionalReport> ConditionalStatisticalParityFromCounts(
+    const stats::StratifiedCountsAccumulator& counts, double tolerance = 0.0,
+    size_t min_stratum_size = 1);
+
+FAIRLAW_NODISCARD Result<ConditionalReport> ConditionalDemographicDisparityFromCounts(
+    const stats::StratifiedCountsAccumulator& counts,
     size_t min_stratum_size = 1);
 
 /// Renders a ConditionalReport as a human-readable block.

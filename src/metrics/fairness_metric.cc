@@ -79,21 +79,48 @@ Result<std::vector<GroupStats>> ComputeGroupStats(
     return Status::Invalid("ComputeGroupStats: this metric requires labels "
                            "for every row");
   }
-  std::vector<GroupStats> stats;
-  stats.reserve(partition.group_names.size());
+  // The whole-table pass is the one-chunk case of the morsel path:
+  // accumulate this partition's popcounts, then derive rates from the
+  // integer tallies. Sharing the derivation with the chunked engine is
+  // what makes the byte-identity contract structural rather than
+  // coincidental.
+  stats::GroupCountsAccumulator accumulator;
+  AccumulateGroupCounts(partition, with_labels, &accumulator);
+  return GroupStatsFromCounts(accumulator, with_labels);
+}
+
+void AccumulateGroupCounts(const GroupPartition& partition, bool with_labels,
+                           stats::GroupCountsAccumulator* accumulator) {
   for (size_t g = 0; g < partition.group_names.size(); ++g) {
     const data::Bitmap& members = partition.group_bitmaps[g];
-    GroupStats gs;
-    gs.group = partition.group_names[g];
-    gs.count = static_cast<int64_t>(members.Count());
-    gs.positive_predictions = static_cast<int64_t>(
+    stats::GroupCounts tally;
+    tally.count = static_cast<int64_t>(members.Count());
+    tally.positive_predictions = static_cast<int64_t>(
         data::Bitmap::AndCount(members, partition.predictions));
     if (with_labels) {
-      gs.actual_positives = static_cast<int64_t>(
+      tally.actual_positives = static_cast<int64_t>(
           data::Bitmap::AndCount(members, partition.labels));
-      gs.actual_negatives = gs.count - gs.actual_positives;
-      gs.true_positives = static_cast<int64_t>(data::Bitmap::AndCount3(
+      tally.true_positives = static_cast<int64_t>(data::Bitmap::AndCount3(
           members, partition.predictions, partition.labels));
+    }
+    accumulator->Add(partition.group_names[g], tally);
+  }
+}
+
+std::vector<GroupStats> GroupStatsFromCounts(
+    const stats::GroupCountsAccumulator& counts, bool with_labels) {
+  std::vector<GroupStats> stats;
+  stats.reserve(counts.num_keys());
+  for (size_t g = 0; g < counts.num_keys(); ++g) {
+    const stats::GroupCounts& tally = counts.counts(g);
+    GroupStats gs;
+    gs.group = counts.keys()[g];
+    gs.count = tally.count;
+    gs.positive_predictions = tally.positive_predictions;
+    if (with_labels) {
+      gs.actual_positives = tally.actual_positives;
+      gs.actual_negatives = gs.count - gs.actual_positives;
+      gs.true_positives = tally.true_positives;
       gs.false_positives = gs.positive_predictions - gs.true_positives;
     }
     stats.push_back(std::move(gs));

@@ -6,6 +6,7 @@
 
 #include "base/result.h"  // IWYU pragma: export
 #include "data/bitmap.h"
+#include "stats/mergeable.h"
 
 namespace fairlaw::metrics {
 
@@ -99,6 +100,23 @@ FAIRLAW_NODISCARD Result<std::vector<GroupStats>> ComputeGroupStats(const Metric
 /// kernels; `with_labels` requires partition.has_labels.
 FAIRLAW_NODISCARD Result<std::vector<GroupStats>> ComputeGroupStats(
     const GroupPartition& partition, bool with_labels);
+
+/// Folds one partition's fused popcounts into `accumulator` — the morsel
+/// side of the chunked audit. Call once per chunk partition (in any
+/// order); merge the per-chunk accumulators in chunk order and the
+/// result feeds GroupStatsFromCounts. `with_labels` requires
+/// partition.has_labels.
+void AccumulateGroupCounts(const GroupPartition& partition, bool with_labels,
+                           stats::GroupCountsAccumulator* accumulator);
+
+/// Derives GroupStats from chunk-merged integer tallies. Given an
+/// accumulator whose partials were merged in chunk order, this returns
+/// exactly what ComputeGroupStats would have on the concatenated input:
+/// the rates are computed from the merged int64 counts by the same
+/// divisions, so the doubles are bit-identical. `with_labels` toggles
+/// the Y-conditional fields (the label tallies are ignored when false).
+std::vector<GroupStats> GroupStatsFromCounts(
+    const stats::GroupCountsAccumulator& counts, bool with_labels);
 
 /// Max absolute pairwise gap of the selected per-group rates.
 double MaxGap(const std::vector<double>& rates);

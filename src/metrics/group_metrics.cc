@@ -46,6 +46,12 @@ Result<MetricReport> DemographicParity(const GroupPartition& partition,
   FAIRLAW_ASSIGN_OR_RETURN(
       std::vector<GroupStats> stats,
       ComputeGroupStats(partition, /*with_labels=*/false));
+  return DemographicParityFromStats(std::move(stats), tolerance);
+}
+
+Result<MetricReport> DemographicParityFromStats(std::vector<GroupStats> stats,
+                                                double tolerance) {
+  FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_RETURN_NOT_OK(CheckMultipleGroups(stats));
   std::vector<double> rates;
   rates.reserve(stats.size());
@@ -72,6 +78,12 @@ Result<MetricReport> EqualOpportunity(const GroupPartition& partition,
   FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_ASSIGN_OR_RETURN(std::vector<GroupStats> stats,
                            ComputeGroupStats(partition, /*with_labels=*/true));
+  return EqualOpportunityFromStats(std::move(stats), tolerance);
+}
+
+Result<MetricReport> EqualOpportunityFromStats(std::vector<GroupStats> stats,
+                                               double tolerance) {
+  FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_RETURN_NOT_OK(CheckMultipleGroups(stats));
   for (const GroupStats& gs : stats) {
     if (gs.actual_positives == 0) {
@@ -104,6 +116,12 @@ Result<MetricReport> EqualizedOdds(const GroupPartition& partition,
   FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_ASSIGN_OR_RETURN(std::vector<GroupStats> stats,
                            ComputeGroupStats(partition, /*with_labels=*/true));
+  return EqualizedOddsFromStats(std::move(stats), tolerance);
+}
+
+Result<MetricReport> EqualizedOddsFromStats(std::vector<GroupStats> stats,
+                                            double tolerance) {
+  FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_RETURN_NOT_OK(CheckMultipleGroups(stats));
   for (const GroupStats& gs : stats) {
     if (gs.actual_positives == 0 || gs.actual_negatives == 0) {
@@ -141,6 +159,11 @@ Result<MetricReport> DemographicDisparity(const GroupPartition& partition) {
   FAIRLAW_ASSIGN_OR_RETURN(
       std::vector<GroupStats> stats,
       ComputeGroupStats(partition, /*with_labels=*/false));
+  return DemographicDisparityFromStats(std::move(stats));
+}
+
+Result<MetricReport> DemographicDisparityFromStats(
+    std::vector<GroupStats> stats) {
   MetricReport report;
   report.metric_name = "demographic_disparity";
   report.tolerance = 0.0;
@@ -182,6 +205,14 @@ Result<MetricReport> DisparateImpactRatio(const GroupPartition& partition,
   FAIRLAW_ASSIGN_OR_RETURN(
       std::vector<GroupStats> stats,
       ComputeGroupStats(partition, /*with_labels=*/false));
+  return DisparateImpactRatioFromStats(std::move(stats), threshold);
+}
+
+Result<MetricReport> DisparateImpactRatioFromStats(
+    std::vector<GroupStats> stats, double threshold) {
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::Invalid("disparate_impact: threshold must lie in (0,1]");
+  }
   FAIRLAW_RETURN_NOT_OK(CheckMultipleGroups(stats));
   std::vector<double> rates;
   rates.reserve(stats.size());
@@ -218,6 +249,12 @@ Result<MetricReport> PredictiveParity(const GroupPartition& partition,
   FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_ASSIGN_OR_RETURN(std::vector<GroupStats> stats,
                            ComputeGroupStats(partition, /*with_labels=*/true));
+  return PredictiveParityFromStats(std::move(stats), tolerance);
+}
+
+Result<MetricReport> PredictiveParityFromStats(std::vector<GroupStats> stats,
+                                               double tolerance) {
+  FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_RETURN_NOT_OK(CheckMultipleGroups(stats));
   for (const GroupStats& gs : stats) {
     if (gs.positive_predictions == 0) {
@@ -249,6 +286,12 @@ Result<MetricReport> AccuracyEquality(const GroupPartition& partition,
   FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_ASSIGN_OR_RETURN(std::vector<GroupStats> stats,
                            ComputeGroupStats(partition, /*with_labels=*/true));
+  return AccuracyEqualityFromStats(std::move(stats), tolerance);
+}
+
+Result<MetricReport> AccuracyEqualityFromStats(std::vector<GroupStats> stats,
+                                               double tolerance) {
+  FAIRLAW_RETURN_NOT_OK(CheckTolerance(tolerance));
   FAIRLAW_RETURN_NOT_OK(CheckMultipleGroups(stats));
   std::vector<double> rates;
   for (const GroupStats& gs : stats) {

@@ -11,12 +11,16 @@ namespace fairlaw::metrics {
 // of the constrained rate is <= tolerance (the paper's equalities, made
 // testable on finite samples).
 //
-// Every metric has two forms: the MetricInput overload (convenient,
-// builds a partition internally) and a GroupPartition overload that runs
-// on a prebuilt bitmap partition. An audit evaluating several metrics
-// over the same rows builds one GroupPartition and passes it to each, so
-// the strings are grouped once per run instead of once per metric; both
-// forms produce identical reports.
+// Every metric has three forms: the MetricInput overload (convenient,
+// builds a partition internally), a GroupPartition overload that runs
+// on a prebuilt bitmap partition, and a FromStats core that evaluates
+// the definition on already-computed per-group statistics. An audit
+// evaluating several metrics over the same rows builds one
+// GroupPartition and passes it to each, so the strings are grouped once
+// per run instead of once per metric; the chunked audit engine derives
+// one std::vector<GroupStats> from chunk-merged integer tallies
+// (GroupStatsFromCounts) and feeds the FromStats cores. All forms
+// produce identical reports — the first two route through the third.
 
 /// §III-A Demographic parity: P(R=+ | A=a) equal across groups
 /// (equal-outcome family). Labels not required.
@@ -24,6 +28,8 @@ FAIRLAW_NODISCARD Result<MetricReport> DemographicParity(const MetricInput& inpu
                                        double tolerance = 0.0);
 FAIRLAW_NODISCARD Result<MetricReport> DemographicParity(const GroupPartition& partition,
                                        double tolerance = 0.0);
+FAIRLAW_NODISCARD Result<MetricReport> DemographicParityFromStats(
+    std::vector<GroupStats> stats, double tolerance = 0.0);
 
 /// §III-C Equal opportunity: P(R=+ | Y=+, A=a) equal across groups
 /// (equal-treatment family). Requires labels.
@@ -31,6 +37,8 @@ FAIRLAW_NODISCARD Result<MetricReport> EqualOpportunity(const MetricInput& input
                                       double tolerance = 0.0);
 FAIRLAW_NODISCARD Result<MetricReport> EqualOpportunity(const GroupPartition& partition,
                                       double tolerance = 0.0);
+FAIRLAW_NODISCARD Result<MetricReport> EqualOpportunityFromStats(
+    std::vector<GroupStats> stats, double tolerance = 0.0);
 
 /// §III-D Equalized odds: both TPR and FPR equal across groups. The
 /// reported gap is the worse of the two. Requires labels.
@@ -38,6 +46,8 @@ FAIRLAW_NODISCARD Result<MetricReport> EqualizedOdds(const MetricInput& input,
                                    double tolerance = 0.0);
 FAIRLAW_NODISCARD Result<MetricReport> EqualizedOdds(const GroupPartition& partition,
                                    double tolerance = 0.0);
+FAIRLAW_NODISCARD Result<MetricReport> EqualizedOddsFromStats(
+    std::vector<GroupStats> stats, double tolerance = 0.0);
 
 /// §III-E Demographic disparity: for every group a,
 /// P(R=+ | A=a) > P(R=- | A=a), i.e. the selection rate exceeds 1/2.
@@ -45,6 +55,8 @@ FAIRLAW_NODISCARD Result<MetricReport> EqualizedOdds(const GroupPartition& parti
 /// largest shortfall below 1/2 (0 when satisfied). Labels not required.
 FAIRLAW_NODISCARD Result<MetricReport> DemographicDisparity(const MetricInput& input);
 FAIRLAW_NODISCARD Result<MetricReport> DemographicDisparity(const GroupPartition& partition);
+FAIRLAW_NODISCARD Result<MetricReport> DemographicDisparityFromStats(
+    std::vector<GroupStats> stats);
 
 /// Disparate-impact ratio: min over groups of selection rate divided by
 /// the highest group selection rate. `threshold` is the legal cut-off
@@ -54,6 +66,8 @@ FAIRLAW_NODISCARD Result<MetricReport> DisparateImpactRatio(const MetricInput& i
                                           double threshold = 0.8);
 FAIRLAW_NODISCARD Result<MetricReport> DisparateImpactRatio(const GroupPartition& partition,
                                           double threshold = 0.8);
+FAIRLAW_NODISCARD Result<MetricReport> DisparateImpactRatioFromStats(
+    std::vector<GroupStats> stats, double threshold = 0.8);
 
 /// Predictive parity: P(Y=+ | R=+, A=a) (precision / PPV) equal across
 /// groups. Requires labels.
@@ -61,6 +75,8 @@ FAIRLAW_NODISCARD Result<MetricReport> PredictiveParity(const MetricInput& input
                                       double tolerance = 0.0);
 FAIRLAW_NODISCARD Result<MetricReport> PredictiveParity(const GroupPartition& partition,
                                       double tolerance = 0.0);
+FAIRLAW_NODISCARD Result<MetricReport> PredictiveParityFromStats(
+    std::vector<GroupStats> stats, double tolerance = 0.0);
 
 /// Overall accuracy equality: P(R=Y | A=a) equal across groups. Requires
 /// labels.
@@ -68,6 +84,8 @@ FAIRLAW_NODISCARD Result<MetricReport> AccuracyEquality(const MetricInput& input
                                       double tolerance = 0.0);
 FAIRLAW_NODISCARD Result<MetricReport> AccuracyEquality(const GroupPartition& partition,
                                       double tolerance = 0.0);
+FAIRLAW_NODISCARD Result<MetricReport> AccuracyEqualityFromStats(
+    std::vector<GroupStats> stats, double tolerance = 0.0);
 
 }  // namespace fairlaw::metrics
 

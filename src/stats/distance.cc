@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/obs.h"
+#include "stats/sort.h"
 
 namespace fairlaw::stats {
 namespace {
@@ -155,8 +156,8 @@ Result<double> Wasserstein1Samples(std::span<const double> x,
   obs::TraceSpan span("distance/wasserstein1");
   std::vector<double> xs(x.begin(), x.end());
   std::vector<double> ys(y.begin(), y.end());
-  std::sort(xs.begin(), xs.end());
-  std::sort(ys.begin(), ys.end());
+  SortDoubles(xs);
+  SortDoubles(ys);
   return Wasserstein1SortedCore(xs, ys);
 }
 
@@ -245,8 +246,8 @@ Result<double> KolmogorovSmirnov(std::span<const double> x,
   obs::TraceSpan span("distance/kolmogorov_smirnov");
   std::vector<double> xs(x.begin(), x.end());
   std::vector<double> ys(y.begin(), y.end());
-  std::sort(xs.begin(), xs.end());
-  std::sort(ys.begin(), ys.end());
+  SortDoubles(xs);
+  SortDoubles(ys);
   return KolmogorovSmirnovSortedCore(xs, ys);
 }
 

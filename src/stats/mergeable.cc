@@ -1,0 +1,67 @@
+#include "stats/mergeable.h"
+
+namespace fairlaw::stats {
+
+size_t GroupCountsAccumulator::KeyIndex(std::string_view key) {
+  auto [it, inserted] = index_.try_emplace(std::string(key), keys_.size());
+  if (inserted) {
+    keys_.emplace_back(key);
+    counts_.emplace_back();
+  }
+  return it->second;
+}
+
+void GroupCountsAccumulator::Add(std::string_view key,
+                                 const GroupCounts& counts) {
+  counts_[KeyIndex(key)] += counts;
+}
+
+void GroupCountsAccumulator::MergeFrom(const GroupCountsAccumulator& other) {
+  for (size_t i = 0; i < other.keys_.size(); ++i) {
+    counts_[KeyIndex(other.keys_[i])] += other.counts_[i];
+  }
+}
+
+GroupCountsAccumulator* StratifiedCountsAccumulator::Stratum(
+    std::string_view stratum) {
+  auto [it, inserted] = index_.try_emplace(std::string(stratum), keys_.size());
+  if (inserted) {
+    keys_.emplace_back(stratum);
+    strata_.emplace_back();
+  }
+  return &strata_[it->second];
+}
+
+void StratifiedCountsAccumulator::MergeFrom(
+    const StratifiedCountsAccumulator& other) {
+  for (size_t i = 0; i < other.keys_.size(); ++i) {
+    Stratum(other.keys_[i])->MergeFrom(other.strata_[i]);
+  }
+}
+
+size_t GroupedSeries::KeyIndex(std::string_view key) {
+  auto [it, inserted] = index_.try_emplace(std::string(key), keys_.size());
+  if (inserted) {
+    keys_.emplace_back(key);
+    values_.emplace_back();
+    tags_.emplace_back();
+  }
+  return it->second;
+}
+
+void GroupedSeries::Append(size_t key_index, double value, uint8_t tag) {
+  values_[key_index].push_back(value);
+  tags_[key_index].push_back(tag);
+}
+
+void GroupedSeries::MergeFrom(const GroupedSeries& other) {
+  for (size_t i = 0; i < other.keys_.size(); ++i) {
+    const size_t slot = KeyIndex(other.keys_[i]);
+    values_[slot].insert(values_[slot].end(), other.values_[i].begin(),
+                         other.values_[i].end());
+    tags_[slot].insert(tags_[slot].end(), other.tags_[i].begin(),
+                       other.tags_[i].end());
+  }
+}
+
+}  // namespace fairlaw::stats

@@ -1,0 +1,131 @@
+#ifndef FAIRLAW_STATS_MERGEABLE_H_
+#define FAIRLAW_STATS_MERGEABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fairlaw::stats {
+
+/// Chunk-mergeable accumulators for the morsel-driven audit engine.
+///
+/// The determinism contract (DESIGN.md §14): every morsel produces one of
+/// these over its own rows, and the scheduler merges them in
+/// sequence-numbered chunk order. Because the payloads are exact integer
+/// tallies (or row-ordered series), a merge in chunk order reconstructs
+/// exactly what a single sequential pass over the whole table would have
+/// produced — which is what makes audit output byte-identical for any
+/// thread count and any chunk size. Keys keep first-seen order under the
+/// same rule: a key's position is where the first row holding it appears
+/// in global row order.
+///
+/// Layering note: this lives in stats (below data/metrics) on purpose —
+/// it is plain keyed arithmetic with no table or bitmap dependencies, and
+/// the planned `fairlaw_serve` sketches merge through the same interface.
+
+/// Exact integer tallies for one group. The four stored fields are the
+/// popcount outputs of the metric kernels; everything else a group metric
+/// needs (negatives, FP, rates) derives from them after the merge.
+struct GroupCounts {
+  int64_t count = 0;
+  int64_t positive_predictions = 0;
+  int64_t actual_positives = 0;
+  int64_t true_positives = 0;
+
+  GroupCounts& operator+=(const GroupCounts& other) {
+    count += other.count;
+    positive_predictions += other.positive_predictions;
+    actual_positives += other.actual_positives;
+    true_positives += other.true_positives;
+    return *this;
+  }
+  friend bool operator==(const GroupCounts& a, const GroupCounts& b) = default;
+};
+
+/// First-seen-ordered map from group key to GroupCounts, mergeable in
+/// chunk order.
+class GroupCountsAccumulator {
+ public:
+  /// Returns the slot index for `key`, inserting (zeroed, at the end of
+  /// the first-seen order) when absent.
+  size_t KeyIndex(std::string_view key);
+
+  /// Adds `counts` into `key`'s slot.
+  void Add(std::string_view key, const GroupCounts& counts);
+
+  /// Folds `other` in: other's keys are appended in their first-seen
+  /// order, existing keys accumulate. Calling MergeFrom over chunk
+  /// partials in ascending chunk order reproduces the whole-table pass.
+  void MergeFrom(const GroupCountsAccumulator& other);
+
+  size_t num_keys() const { return keys_.size(); }
+  const std::vector<std::string>& keys() const { return keys_; }
+  const GroupCounts& counts(size_t key_index) const {
+    return counts_[key_index];
+  }
+
+ private:
+  std::vector<std::string> keys_;
+  std::vector<GroupCounts> counts_;
+  std::map<std::string, size_t, std::less<>> index_;
+};
+
+/// Two-level accumulator: stratum -> per-group tallies, both levels in
+/// first-seen order, merged stratum-by-stratum in chunk order. Feeds the
+/// conditional (stratified) metrics.
+class StratifiedCountsAccumulator {
+ public:
+  /// The per-group accumulator for `stratum`, inserting an empty one (at
+  /// the end of the first-seen order) when absent.
+  GroupCountsAccumulator* Stratum(std::string_view stratum);
+
+  void MergeFrom(const StratifiedCountsAccumulator& other);
+
+  size_t num_strata() const { return keys_.size(); }
+  const std::vector<std::string>& keys() const { return keys_; }
+  const GroupCountsAccumulator& stratum(size_t index) const {
+    return strata_[index];
+  }
+
+ private:
+  std::vector<std::string> keys_;
+  std::vector<GroupCountsAccumulator> strata_;
+  std::map<std::string, size_t, std::less<>> index_;
+};
+
+/// Row-ordered per-key series: each key holds parallel (value, tag)
+/// vectors in global row order. Merging chunk partials in chunk order
+/// concatenates each key's rows in row order, so order-sensitive floating
+/// point consumers (calibration's running sums, score-distribution
+/// sorts) see exactly the sequence a sequential pass would have fed them.
+class GroupedSeries {
+ public:
+  size_t KeyIndex(std::string_view key);
+
+  /// Appends one row to `key_index`'s series.
+  void Append(size_t key_index, double value, uint8_t tag);
+
+  void MergeFrom(const GroupedSeries& other);
+
+  size_t num_keys() const { return keys_.size(); }
+  const std::vector<std::string>& keys() const { return keys_; }
+  const std::vector<double>& values(size_t key_index) const {
+    return values_[key_index];
+  }
+  const std::vector<uint8_t>& tags(size_t key_index) const {
+    return tags_[key_index];
+  }
+
+ private:
+  std::vector<std::string> keys_;
+  std::vector<std::vector<double>> values_;
+  std::vector<std::vector<uint8_t>> tags_;
+  std::map<std::string, size_t, std::less<>> index_;
+};
+
+}  // namespace fairlaw::stats
+
+#endif  // FAIRLAW_STATS_MERGEABLE_H_

@@ -1,0 +1,71 @@
+#include "stats/sort.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fairlaw::stats {
+namespace {
+
+constexpr uint64_t kSignBit = uint64_t{1} << 63;
+
+/// Maps a double to a uint64 whose unsigned order matches the double's
+/// numeric order: non-negatives get the sign bit set (so they sort above
+/// negatives), negatives are bit-inverted (so more-negative sorts lower).
+inline uint64_t KeyFromDouble(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return (bits & kSignBit) != 0 ? ~bits : bits ^ kSignBit;
+}
+
+inline double DoubleFromKey(uint64_t key) {
+  const uint64_t bits = (key & kSignBit) != 0 ? key ^ kSignBit : ~key;
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+void RadixSortDoubles(std::span<double> values) {
+  const size_t n = values.size();
+  if (n < 2) return;
+  std::vector<uint64_t> keys(n);
+  std::vector<uint64_t> scratch(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = KeyFromDouble(values[i]);
+
+  uint64_t* source = keys.data();
+  uint64_t* target = scratch.data();
+  for (int pass = 0; pass < 8; ++pass) {
+    const int shift = pass * 8;
+    std::array<size_t, 256> counts{};
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[(source[i] >> shift) & 0xff];
+    }
+    // A pass whose keys all share one digit is the identity permutation.
+    if (counts[(source[0] >> shift) & 0xff] == n) continue;
+    size_t offset = 0;
+    std::array<size_t, 256> starts{};
+    for (size_t digit = 0; digit < 256; ++digit) {
+      starts[digit] = offset;
+      offset += counts[digit];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      target[starts[(source[i] >> shift) & 0xff]++] = source[i];
+    }
+    std::swap(source, target);
+  }
+  for (size_t i = 0; i < n; ++i) values[i] = DoubleFromKey(source[i]);
+}
+
+void SortDoubles(std::span<double> values) {
+  if (values.size() >= kRadixSortMinSize) {
+    RadixSortDoubles(values);
+    return;
+  }
+  std::sort(values.begin(), values.end());
+}
+
+}  // namespace fairlaw::stats

@@ -1,0 +1,32 @@
+#ifndef FAIRLAW_STATS_SORT_H_
+#define FAIRLAW_STATS_SORT_H_
+
+#include <cstddef>
+#include <span>
+
+namespace fairlaw::stats {
+
+/// Below this size the branch-light comparison sort wins; above it the
+/// LSD radix sort's O(n) passes beat std::sort's O(n log n) compares.
+/// (DESIGN.md §13: tier selection must never change results, only speed.)
+inline constexpr size_t kRadixSortMinSize = 2048;
+
+/// Sorts doubles ascending via an 8-pass LSD radix sort on the
+/// order-preserving IEEE-754 key transform (flip the sign bit of
+/// non-negatives, invert all bits of negatives). The resulting order
+/// agrees with std::sort's operator< everywhere it is defined, and is
+/// additionally total and deterministic on the edge cases comparison
+/// sorts mishandle: -0.0 sorts (bitwise) before +0.0, and NaNs land
+/// deterministically at the ends (negative NaNs first, positive NaNs
+/// last) instead of triggering the undefined behavior std::sort has on
+/// unordered values.
+void RadixSortDoubles(std::span<double> values);
+
+/// Tiered entry: radix at or above kRadixSortMinSize, std::sort below.
+/// Used by the unsorted Wasserstein-1/KS paths; the presorted tier is the
+/// equality oracle for both branches.
+void SortDoubles(std::span<double> values);
+
+}  // namespace fairlaw::stats
+
+#endif  // FAIRLAW_STATS_SORT_H_

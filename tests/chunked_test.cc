@@ -1,0 +1,465 @@
+// Tests for the chunked columnar substrate and the morsel-driven audit
+// engine (DESIGN.md §14): chunk-boundary edges, nulls straddling chunk
+// edges, byte-identical audit output across chunk sizes / thread counts /
+// ingestion paths, the chunked subgroup walk against the row-wise oracle,
+// and the radix/presorted tiers of the distance path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "base/string_util.h"
+#include "audit/subgroup.h"
+#include "data/bitmap.h"
+#include "data/chunked.h"
+#include "data/csv.h"
+#include "data/table.h"
+#include "stats/distance.h"
+#include "stats/rng.h"
+#include "stats/sort.h"
+
+namespace fairlaw {
+namespace {
+
+using audit::AuditConfig;
+using audit::AuditResult;
+using audit::SubgroupAuditOptions;
+using audit::SubgroupAuditResult;
+using data::ChunkedTable;
+using data::Table;
+using stats::Rng;
+
+/// Deterministic decisions CSV: group, stratum, prediction, label, score.
+std::string MakeAuditCsv(size_t rows, uint64_t seed) {
+  const char* groups[] = {"a", "b", "c"};
+  const double rates[] = {0.3, 0.5, 0.7};
+  Rng rng(seed);
+  std::string text = "g,st,p,y,s\n";
+  for (size_t i = 0; i < rows; ++i) {
+    const size_t g = static_cast<size_t>(rng.UniformInt(3));
+    text += groups[g];
+    text += ",s";
+    text += std::to_string(rng.UniformInt(2));
+    text += ',';
+    text += rng.Bernoulli(rates[g]) ? '1' : '0';
+    text += ',';
+    text += rng.Bernoulli(0.5) ? '1' : '0';
+    text += ',';
+    text += FormatDouble(rng.Uniform(), 6);
+    text += '\n';
+  }
+  return text;
+}
+
+AuditConfig FullAuditConfig() {
+  AuditConfig config;
+  config.protected_column = "g";
+  config.prediction_column = "p";
+  config.label_column = "y";
+  config.score_column = "s";
+  config.strata_columns = {"st"};
+  config.min_stratum_size = 5;
+  config.audit_score_distribution = true;
+  return config;
+}
+
+bool SameCells(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      if (a.column(c).IsValid(r) != b.column(c).IsValid(r)) return false;
+      if (a.column(c).ValueToString(r) != b.column(c).ValueToString(r)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ChunkedTable substrate.
+
+TEST(ChunkedTableTest, BoundarySizesSplitAndRoundTrip) {
+  // 0, 1, chunk-1, chunk, chunk+1, and 3*chunk+7 rows at chunk size 8.
+  const size_t kChunk = 8;
+  for (size_t rows : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                      size_t{31}}) {
+    Table table = data::ReadCsvString(MakeAuditCsv(rows, 11)).ValueOrDie();
+    ChunkedTable chunked = ChunkedTable::FromTable(table, kChunk).ValueOrDie();
+    EXPECT_EQ(chunked.num_rows(), rows);
+    EXPECT_EQ(chunked.num_chunks(), (rows + kChunk - 1) / kChunk);
+    size_t total = 0;
+    for (size_t c = 0; c < chunked.num_chunks(); ++c) {
+      EXPECT_GE(chunked.chunk(c).num_rows(), 1u);
+      EXPECT_LE(chunked.chunk(c).num_rows(), kChunk);
+      total += chunked.chunk(c).num_rows();
+    }
+    EXPECT_EQ(total, rows);
+    Table back = chunked.Materialize().ValueOrDie();
+    EXPECT_TRUE(SameCells(table, back)) << "rows=" << rows;
+  }
+}
+
+TEST(ChunkedTableTest, ZeroRowTableKeepsSchemaWithZeroChunks) {
+  Table table = data::ReadCsvString("g,p\n").ValueOrDie();
+  ChunkedTable chunked = ChunkedTable::FromTable(table, 4).ValueOrDie();
+  EXPECT_EQ(chunked.num_chunks(), 0u);
+  EXPECT_EQ(chunked.num_rows(), 0u);
+  EXPECT_TRUE(chunked.schema().HasField("g"));
+  Table back = chunked.Materialize().ValueOrDie();
+  EXPECT_EQ(back.num_rows(), 0u);
+  EXPECT_EQ(back.num_columns(), 2u);
+}
+
+TEST(ChunkedTableTest, NullsStraddlingChunkEdgesSurvive) {
+  // Nulls at rows 6..9 straddle the 8-row chunk boundary: the last two
+  // rows of chunk 0 and the first two of chunk 1.
+  std::string text = "x,t\n";
+  for (size_t i = 0; i < 12; ++i) {
+    const bool null_row = i >= 6 && i <= 9;
+    text += null_row ? "" : std::to_string(i);
+    text += ",r" + std::to_string(i) + "\n";
+  }
+  Table table = data::ReadCsvString(text).ValueOrDie();
+  ASSERT_EQ(table.GetColumn("x").ValueOrDie()->null_count(), 4u);
+  ChunkedTable chunked = ChunkedTable::FromTable(table, 8).ValueOrDie();
+  ASSERT_EQ(chunked.num_chunks(), 2u);
+  EXPECT_EQ(chunked.chunk(0).GetColumn("x").ValueOrDie()->null_count(), 2u);
+  EXPECT_EQ(chunked.chunk(1).GetColumn("x").ValueOrDie()->null_count(), 2u);
+  EXPECT_FALSE(chunked.chunk(0).GetColumn("x").ValueOrDie()->IsValid(7));
+  EXPECT_FALSE(chunked.chunk(1).GetColumn("x").ValueOrDie()->IsValid(1));
+  EXPECT_TRUE(chunked.chunk(1).GetColumn("x").ValueOrDie()->IsValid(2));
+  Table back = chunked.Materialize().ValueOrDie();
+  EXPECT_TRUE(SameCells(table, back));
+}
+
+TEST(ChunkedBitmapTest, KernelCountsMatchContiguousBitmap) {
+  const size_t n = 100;
+  data::Bitmap whole_a(n);
+  data::Bitmap whole_b(n);
+  std::vector<data::Bitmap> parts_a;
+  std::vector<data::Bitmap> parts_b;
+  parts_a.emplace_back(64);
+  parts_a.emplace_back(36);
+  parts_b.emplace_back(64);
+  parts_b.emplace_back(36);
+  Rng rng(3);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t chunk = i < 64 ? 0 : 1;
+    const size_t offset = i < 64 ? i : i - 64;
+    if (rng.Bernoulli(0.4)) {
+      whole_a.Set(i);
+      parts_a[chunk].Set(offset);
+    }
+    if (rng.Bernoulli(0.6)) {
+      whole_b.Set(i);
+      parts_b[chunk].Set(offset);
+    }
+  }
+  data::ChunkedBitmap chunked_a(std::move(parts_a));
+  data::ChunkedBitmap chunked_b(std::move(parts_b));
+  EXPECT_EQ(chunked_a.size(), n);
+  EXPECT_EQ(chunked_a.Count(), whole_a.Count());
+  EXPECT_EQ(data::ChunkedBitmap::AndCount(chunked_a, chunked_b),
+            data::Bitmap::AndCount(whole_a, whole_b));
+  data::ChunkedBitmap narrowed;
+  data::Bitmap whole_narrowed;
+  EXPECT_EQ(data::ChunkedBitmap::AndInto(chunked_a, chunked_b, &narrowed),
+            data::Bitmap::AndInto(whole_a, whole_b, &whole_narrowed));
+  EXPECT_EQ(narrowed.Count(), whole_narrowed.Count());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming CSV reader.
+
+TEST(CsvChunkReaderTest, MatchesWholeFileReadOnAwkwardFixtures) {
+  // Quoted delimiters/escapes, CRLF line endings, and null tokens — the
+  // cases where a chunk-at-a-time re-scan could drift from the one-shot
+  // parse.
+  const std::string text =
+      "name,score,tag\r\n"
+      "\"x,y\",1.5,\"he said \"\"hi\"\"\"\r\n"
+      ",2.5,plain\r\n"
+      "NA,,third\r\n"
+      "dora,4.5,\"multi\nline\"\r\n"
+      "eve,5.5,last\r\n";
+  const std::string path = "chunked_test_fixture.csv";
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << text;
+    ASSERT_TRUE(out.good());
+  }
+  Table whole = data::ReadCsvFile(path).ValueOrDie();
+  for (size_t chunk_rows : {size_t{1}, size_t{2}, size_t{3}, size_t{100}}) {
+    data::CsvChunkReader::Options options;
+    options.chunk_rows = chunk_rows;
+    ChunkedTable chunked =
+        data::ReadCsvFileChunked(path, options).ValueOrDie();
+    EXPECT_TRUE(chunked.schema() == whole.schema());
+    EXPECT_EQ(chunked.num_rows(), whole.num_rows());
+    for (size_t c = 0; c < chunked.num_chunks(); ++c) {
+      EXPECT_LE(chunked.chunk(c).num_rows(), chunk_rows);
+    }
+    Table back = chunked.Materialize().ValueOrDie();
+    EXPECT_TRUE(SameCells(whole, back)) << "chunk_rows=" << chunk_rows;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvChunkReaderTest, ReportsRowCountBeforeStreamingAndDrains) {
+  const std::string path = "chunked_test_drain.csv";
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << MakeAuditCsv(10, 5);
+    ASSERT_TRUE(out.good());
+  }
+  data::CsvChunkReader::Options options;
+  options.chunk_rows = 4;
+  data::CsvChunkReader reader =
+      data::CsvChunkReader::Make(path, options).ValueOrDie();
+  EXPECT_EQ(reader.num_rows(), 10u);
+  size_t chunks = 0;
+  size_t rows = 0;
+  while (true) {
+    auto chunk = reader.Next().ValueOrDie();
+    if (!chunk.has_value()) break;
+    ++chunks;
+    rows += chunk->num_rows();
+  }
+  EXPECT_EQ(chunks, 3u);  // 4 + 4 + 2
+  EXPECT_EQ(rows, 10u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven audit engine.
+
+TEST(ChunkedAuditTest, ByteIdenticalAcrossChunkSizesAndThreads) {
+  Table table = data::ReadCsvString(MakeAuditCsv(300, 23)).ValueOrDie();
+  const AuditConfig reference_config = FullAuditConfig();
+  const std::string reference =
+      audit::RunAudit(table, reference_config).ValueOrDie().Render();
+  for (size_t chunk_rows : {size_t{1}, size_t{7}, size_t{64}, size_t{1000}}) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      AuditConfig config = FullAuditConfig();
+      config.chunk_rows = chunk_rows;
+      config.num_threads = threads;
+      const std::string render =
+          audit::RunAudit(table, config).ValueOrDie().Render();
+      EXPECT_EQ(render, reference)
+          << "chunk_rows=" << chunk_rows << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ChunkedAuditTest, StreamingCsvMatchesInMemoryAudit) {
+  const std::string path = "chunked_test_stream.csv";
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << MakeAuditCsv(200, 29);
+    ASSERT_TRUE(out.good());
+  }
+  Table table = data::ReadCsvFile(path).ValueOrDie();
+  const std::string reference =
+      audit::RunAudit(table, FullAuditConfig()).ValueOrDie().Render();
+  for (size_t chunk_rows : {size_t{9}, size_t{64}, size_t{100000}}) {
+    for (size_t threads : {size_t{1}, size_t{3}}) {
+      AuditConfig config = FullAuditConfig();
+      config.chunk_rows = chunk_rows;
+      config.num_threads = threads;
+      const std::string streamed =
+          audit::RunAuditCsv(path, config).ValueOrDie().Render();
+      EXPECT_EQ(streamed, reference)
+          << "chunk_rows=" << chunk_rows << " threads=" << threads;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ChunkedAuditTest, ErrorsMatchContiguousPathForEveryChunkSize) {
+  // A non-binary prediction value in the last row: whichever chunk holds
+  // it, the engine must surface the same row-independent message the
+  // contiguous path produces.
+  std::string text = "g,p\n";
+  for (size_t i = 0; i < 20; ++i) text += "a,1\n";
+  text += "b,2\n";
+  Table table = data::ReadCsvString(text).ValueOrDie();
+  AuditConfig config;
+  config.protected_column = "g";
+  config.prediction_column = "p";
+  const std::string reference =
+      audit::RunAudit(table, config).status().message();
+  ASSERT_FALSE(reference.empty());
+  for (size_t chunk_rows : {size_t{3}, size_t{8}, size_t{21}}) {
+    AuditConfig chunked = config;
+    chunked.chunk_rows = chunk_rows;
+    EXPECT_EQ(audit::RunAudit(table, chunked).status().message(), reference)
+        << "chunk_rows=" << chunk_rows;
+  }
+  // Empty input: the zero-chunk path reports the same error as the
+  // contiguous extractor.
+  Table empty = data::ReadCsvString("g,p\n").ValueOrDie();
+  const std::string empty_reference =
+      audit::RunAudit(empty, config).status().message();
+  AuditConfig chunked = config;
+  chunked.chunk_rows = 4;
+  EXPECT_EQ(audit::RunAudit(empty, chunked).status().message(),
+            empty_reference);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked subgroup audit.
+
+std::string MakeSubgroupCsv(size_t rows, uint64_t seed) {
+  const char* values[] = {"x", "y", "z"};
+  Rng rng(seed);
+  std::string text = "a1,a2,a3,pred\n";
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t a = 0; a < 3; ++a) {
+      text += values[rng.UniformInt(3)];
+      text += ',';
+    }
+    text += rng.Bernoulli(0.4) ? '1' : '0';
+    text += '\n';
+  }
+  return text;
+}
+
+void ExpectSameFindings(const SubgroupAuditResult& got,
+                        const SubgroupAuditResult& want) {
+  EXPECT_EQ(got.subgroups_examined, want.subgroups_examined);
+  EXPECT_EQ(got.subgroups_skipped_small, want.subgroups_skipped_small);
+  EXPECT_EQ(got.any_violation, want.any_violation);
+  ASSERT_EQ(got.findings.size(), want.findings.size());
+  for (size_t i = 0; i < got.findings.size(); ++i) {
+    EXPECT_EQ(got.findings[i].subgroup.conditions,
+              want.findings[i].subgroup.conditions) << "finding " << i;
+    EXPECT_EQ(got.findings[i].count, want.findings[i].count);
+    EXPECT_EQ(got.findings[i].selection_rate,
+              want.findings[i].selection_rate);
+    EXPECT_EQ(got.findings[i].gap, want.findings[i].gap);
+    EXPECT_EQ(got.findings[i].weighted_gap, want.findings[i].weighted_gap);
+  }
+}
+
+TEST(ChunkedSubgroupTest, MatchesRowwiseOracleForEveryChunkLayout) {
+  Table table = data::ReadCsvString(MakeSubgroupCsv(400, 41)).ValueOrDie();
+  const std::vector<std::string> attrs = {"a1", "a2", "a3"};
+  SubgroupAuditOptions options;
+  options.max_depth = 3;
+  options.min_support = 5;
+  const SubgroupAuditResult oracle =
+      audit::AuditSubgroupsRowwise(table, attrs, "pred", options)
+          .ValueOrDie();
+  for (size_t chunk_rows : {size_t{0}, size_t{7}, size_t{64}, size_t{1000}}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      SubgroupAuditOptions chunked = options;
+      chunked.chunk_rows = chunk_rows;
+      chunked.num_threads = threads;
+      SubgroupAuditResult result =
+          audit::AuditSubgroups(table, attrs, "pred", chunked).ValueOrDie();
+      ExpectSameFindings(result, oracle);
+    }
+  }
+}
+
+TEST(ChunkedSubgroupTest, ChunkedTableOverloadMatchesContiguous) {
+  Table table = data::ReadCsvString(MakeSubgroupCsv(120, 43)).ValueOrDie();
+  const std::vector<std::string> attrs = {"a1", "a2"};
+  SubgroupAuditOptions options;
+  options.max_depth = 2;
+  options.min_support = 3;
+  const SubgroupAuditResult contiguous =
+      audit::AuditSubgroups(table, attrs, "pred", options).ValueOrDie();
+  ChunkedTable chunked = ChunkedTable::FromTable(table, 13).ValueOrDie();
+  SubgroupAuditResult result =
+      audit::AuditSubgroups(chunked, attrs, "pred", options).ValueOrDie();
+  ExpectSameFindings(result, contiguous);
+  // Value dictionaries merged across chunks must reproduce the
+  // contiguous error strings too.
+  EXPECT_EQ(audit::AuditSubgroups(chunked, {}, "pred", options)
+                .status()
+                .message(),
+            "AuditSubgroups: no attribute columns");
+}
+
+// ---------------------------------------------------------------------------
+// Radix sort tier and the unsorted distance paths.
+
+TEST(RadixSortTest, MatchesStdSortIncludingEdgeValues) {
+  Rng rng(57);
+  std::vector<double> values;
+  // Above kRadixSortMinSize so SortDoubles takes the radix tier.
+  for (size_t i = 0; i < 3000; ++i) {
+    values.push_back(rng.Normal() * 1e6);
+  }
+  const double kEdges[] = {0.0, -0.0, 1e-310, -1e-310,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::lowest(), 42.0,
+                           42.0, 42.0};
+  values.insert(values.end(), std::begin(kEdges), std::end(kEdges));
+  std::vector<double> expected = values;
+  std::sort(expected.begin(), expected.end());
+  std::vector<double> radix = values;
+  stats::RadixSortDoubles(radix);
+  std::vector<double> tiered = values;
+  stats::SortDoubles(tiered);
+  ASSERT_EQ(radix.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    // Bitwise-compatible comparison: -0.0 and 0.0 are interchangeable for
+    // std::sort, so compare by value not by bits.
+    EXPECT_EQ(radix[i], expected[i]) << "index " << i;
+    EXPECT_EQ(tiered[i], expected[i]) << "index " << i;
+  }
+}
+
+TEST(RadixSortTest, NansLandDeterministicallyAtTheEnds) {
+  std::vector<double> values = {3.0,
+                                std::copysign(
+                                    std::numeric_limits<double>::quiet_NaN(),
+                                    -1.0),
+                                -1.0,
+                                std::numeric_limits<double>::quiet_NaN(),
+                                2.0};
+  stats::RadixSortDoubles(values);
+  EXPECT_TRUE(std::isnan(values.front()));
+  EXPECT_TRUE(std::signbit(values.front()));
+  EXPECT_TRUE(std::isnan(values.back()));
+  EXPECT_FALSE(std::signbit(values.back()));
+  EXPECT_EQ(values[1], -1.0);
+  EXPECT_EQ(values[2], 2.0);
+  EXPECT_EQ(values[3], 3.0);
+}
+
+TEST(DistanceTierTest, UnsortedW1AndKsEqualPresortedOracle) {
+  Rng rng(61);
+  // n above the radix threshold so the unsorted path exercises the new
+  // tier; the presorted calls are the equality oracle.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (size_t i = 0; i < 3000; ++i) x.push_back(rng.Normal());
+  for (size_t i = 0; i < 2500; ++i) y.push_back(rng.Normal(0.3, 1.2));
+  std::vector<double> xs = x;
+  std::vector<double> ys = y;
+  std::sort(xs.begin(), xs.end());
+  std::sort(ys.begin(), ys.end());
+  EXPECT_EQ(stats::Wasserstein1Samples(x, y).ValueOrDie(),
+            stats::Wasserstein1Presorted(xs, ys).ValueOrDie());
+  EXPECT_EQ(stats::KolmogorovSmirnov(x, y).ValueOrDie(),
+            stats::KolmogorovSmirnovPresorted(xs, ys).ValueOrDie());
+}
+
+}  // namespace
+}  // namespace fairlaw

@@ -8,6 +8,17 @@ comparison here is a within-run ratio:
     vs the row-wise baseline measured in the SAME process) must not drop
     more than the threshold below the checked-in values, and
     `identical_results` must stay true.
+  * BENCH_audit.json: the three engine invariants `chunk_identical`,
+    `streaming_identical`, and `flat_memory_ok` must stay true (audit
+    output byte-identical across chunk sizes / thread counts / ingestion
+    paths, and peak RSS flat between the 1M- and 10M-row streaming
+    runs), `thread_scaling` (serial vs parallel wall time in the SAME
+    process) must not drop more than the threshold below the checked-in
+    value — on a single-core runner the baseline itself is ~1.0, so the
+    gate is honest for the machine class — and the big/small streaming
+    time ratio must not grow more than the threshold above the baseline
+    ratio (out-of-core cost stays linear in rows). The run must use the
+    baseline's `rows`/`big_rows`.
   * BENCH_distances.json: each kernel's time normalized by the
     `binned_total_variation` time from the same run must not grow more
     than the threshold above the checked-in ratio. The current run must
@@ -63,6 +74,60 @@ def check_subgroup(baseline, current, threshold):
         else:
             print(f"bench-regression: subgroup {key} ok: "
                   f"{cur:.3f} vs baseline {base:.3f} (floor {floor:.3f})")
+    return failures
+
+
+def check_audit(baseline, current, threshold):
+    failures = []
+    for key in ("rows", "big_rows"):
+        if baseline.get(key) != current.get(key):
+            failures.append(
+                f"audit: size mismatch on '{key}' "
+                f"(baseline {baseline.get(key)}, current {current.get(key)}) "
+                "— run the bench at baseline sizes for a valid comparison")
+    if failures:
+        return failures
+    for key in ("chunk_identical", "streaming_identical", "flat_memory_ok"):
+        if not current.get(key, False):
+            failures.append(
+                f"audit: {key} is false — the morsel engine broke its "
+                "determinism or flat-memory contract "
+                f"(rss_growth_mb={current.get('rss_growth_mb')})")
+        else:
+            print(f"bench-regression: audit {key} ok")
+
+    base_scaling = baseline.get("thread_scaling")
+    cur_scaling = current.get("thread_scaling")
+    if base_scaling is None or cur_scaling is None:
+        failures.append("audit: missing field 'thread_scaling'")
+    else:
+        floor = base_scaling * (1.0 - threshold)
+        if cur_scaling < floor:
+            failures.append(
+                f"audit: thread_scaling regressed: {cur_scaling:.3f} < "
+                f"{floor:.3f} (baseline {base_scaling:.3f} - {threshold:.0%})")
+        else:
+            print(f"bench-regression: audit thread_scaling ok: "
+                  f"{cur_scaling:.3f} vs baseline {base_scaling:.3f} "
+                  f"(floor {floor:.3f})")
+
+    try:
+        base_ratio = baseline["stream_big_ns"] / baseline["stream_small_ns"]
+        cur_ratio = current["stream_big_ns"] / current["stream_small_ns"]
+    except (KeyError, ZeroDivisionError):
+        failures.append("audit: missing or zero stream_{small,big}_ns")
+        return failures
+    ceiling = base_ratio * (1.0 + threshold)
+    if cur_ratio > ceiling:
+        failures.append(
+            f"audit: big/small streaming time ratio regressed: "
+            f"{cur_ratio:.2f} > {ceiling:.2f} "
+            f"(baseline {base_ratio:.2f} + {threshold:.0%}) — out-of-core "
+            "cost is no longer linear in rows")
+    else:
+        print(f"bench-regression: audit streaming linearity ok: ratio "
+              f"{cur_ratio:.2f} vs baseline {base_ratio:.2f} "
+              f"(ceiling {ceiling:.2f})")
     return failures
 
 
@@ -148,6 +213,7 @@ def main():
 
     failures = []
     for name, checker in (("BENCH_subgroup.json", check_subgroup),
+                          ("BENCH_audit.json", check_audit),
                           ("BENCH_distances.json", check_distances)):
         baseline = load(os.path.join(args.baseline_dir, name))
         current = load(os.path.join(args.current_dir, name))

@@ -4,20 +4,29 @@
 //       [--label=outcome] [--score=probability]
 //       [--strata=dept,level] [--proxies=zip,education]
 //       [--subgroups=gender,race] [--tolerance=0.05] [--json]
+//       [--chunk-rows=65536] [--max-memory-mb=512] [--streaming]
 //       [--obs-json=PATH] [--obs-timings]
 //
 // Reads a CSV, runs the configured fairness suite, and prints either the
 // human-readable report or (with --json) the machine-readable artifact.
-// --obs-json additionally dumps the obs probe registry (counters,
-// histograms, trace spans) collected during the run; the dump is
-// byte-identical for every --threads value unless --obs-timings adds the
-// (non-reproducible) wall-clock totals.
+// --chunk-rows feeds the morsel-driven engine (the output is identical
+// for every value); --streaming audits the CSV out-of-core one chunk at
+// a time (metric audit only — the table never materializes, so the
+// proxy/subgroup/sampling extras are unavailable); --max-memory-mb caps
+// the derived chunk size so the bounded in-flight window fits the
+// budget. --obs-json additionally dumps the obs probe registry
+// (counters, histograms, trace spans) collected during the run; the dump
+// is byte-identical for every --threads value unless --obs-timings adds
+// the (non-reproducible) wall-clock totals.
 // Exit codes: 0 = all clear, 2 = violations found, 1 = error.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 
+#include "audit/auditor.h"
 #include "core/json.h"
 #include "core/suite.h"
 #include "data/csv.h"
@@ -30,9 +39,28 @@ struct CliOptions {
   std::string csv_path;
   fairlaw::SuiteConfig suite;
   bool json = false;
+  bool streaming = false;
   std::string obs_json_path;
   bool obs_timings = false;
 };
+
+/// Rows per chunk that keep the streaming engine's bounded in-flight
+/// window under `max_memory_mb`. The window holds ~2*threads chunks plus
+/// the one being read; rows are costed at a conservative flat estimate
+/// (mixed string/double columns) since the schema is unknown before the
+/// first read. --threads=0 means "one per hardware thread", whose count
+/// is unknown here, so the budget assumes a generous 16 workers rather
+/// than querying thread primitives in a flag parser.
+size_t ChunkRowsForBudget(size_t max_memory_mb, size_t threads) {
+  constexpr size_t kBytesPerRowEstimate = 256;
+  const size_t workers = threads == 0 ? 16 : threads;
+  const size_t window_chunks = 2 * workers + 1;
+  const size_t budget_rows = max_memory_mb * 1024 * 1024 /
+                             (kBytesPerRowEstimate * window_chunks);
+  // Never go below a useful morsel: tiny chunks drown in scheduling
+  // overhead without buying memory back.
+  return std::max<size_t>(budget_rows, 1024);
+}
 
 fairlaw::cli::FlagSet MakeFlags(CliOptions* options) {
   fairlaw::cli::FlagSet flags(
@@ -68,6 +96,9 @@ fairlaw::cli::FlagSet MakeFlags(CliOptions* options) {
             "disparate-impact ratio threshold (four-fifths rule)",
             fairlaw::cli::Range<double>{0.0, 1.0, /*min_inclusive=*/false});
   flags.Add("json", &options->json, "emit the machine-readable JSON report");
+  flags.Add("streaming", &options->streaming,
+            "stream the CSV out-of-core one chunk at a time (metric audit "
+            "only; incompatible with --proxies/--subgroups)");
   flags.Add("obs-json", &options->obs_json_path,
             "write the obs probe dump (counters/histograms/spans) here");
   flags.Add("obs-timings", &options->obs_timings,
@@ -92,6 +123,17 @@ fairlaw::Result<CliOptions> Parse(int argc, char** argv, bool* show_help,
             "worker threads (0 = one per hardware thread); the output is "
             "identical for every value",
             fairlaw::cli::Range<int64_t>{0, 512});
+  int64_t chunk_rows = 0;
+  flags.Add("chunk-rows", &chunk_rows,
+            "rows per morsel for the chunked engine (0 = whole table as "
+            "one chunk, or the 64k default when --streaming); the output "
+            "is identical for every value",
+            fairlaw::cli::Range<int64_t>{0, int64_t{1} << 31});
+  int64_t max_memory_mb = 0;
+  flags.Add("max-memory-mb", &max_memory_mb,
+            "approximate memory budget; caps the chunk size so the "
+            "in-flight window fits (0 = no cap)",
+            fairlaw::cli::Range<int64_t>{0, int64_t{1} << 31});
   *help_text = flags.Help();
   FAIRLAW_ASSIGN_OR_RETURN(fairlaw::cli::ParseResult parsed,
                            flags.Parse(argc, argv));
@@ -103,6 +145,20 @@ fairlaw::Result<CliOptions> Parse(int argc, char** argv, bool* show_help,
   options.suite.subgroup_options.num_threads = static_cast<size_t>(threads);
   options.suite.audit.score_distribution_bins =
       static_cast<size_t>(score_dist_bins);
+  size_t chunk = static_cast<size_t>(chunk_rows);
+  if (max_memory_mb > 0) {
+    const size_t budget_rows = ChunkRowsForBudget(
+        static_cast<size_t>(max_memory_mb), static_cast<size_t>(threads));
+    chunk = chunk == 0 ? budget_rows : std::min(chunk, budget_rows);
+  }
+  options.suite.audit.chunk_rows = chunk;
+  options.suite.subgroup_options.chunk_rows = chunk;
+  if (options.streaming && (!options.suite.proxy_candidates.empty() ||
+                            !options.suite.subgroup_columns.empty())) {
+    return fairlaw::Status::Invalid(
+        "--streaming runs the metric audit only; drop --proxies and "
+        "--subgroups or drop --streaming");
+  }
   if (parsed.positionals.empty()) {
     return fairlaw::Status::Invalid("no input CSV given");
   }
@@ -153,21 +209,37 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  fairlaw::Result<fairlaw::data::Table> table =
-      fairlaw::data::ReadCsvFile(parsed->csv_path);
-  if (!table.ok()) {
-    std::fprintf(stderr, "error reading '%s': %s\n",
-                 parsed->csv_path.c_str(),
-                 table.status().ToString().c_str());
-    return 1;
-  }
+  fairlaw::SuiteReport suite_report;
+  if (parsed->streaming) {
+    // Out-of-core path: the CSV streams through the chunk reader and the
+    // table never materializes; only the metric audit section fills in.
+    fairlaw::Result<fairlaw::audit::AuditResult> audit =
+        fairlaw::audit::RunAuditCsv(parsed->csv_path, parsed->suite.audit);
+    if (!audit.ok()) {
+      std::fprintf(stderr, "audit error: %s\n",
+                   audit.status().ToString().c_str());
+      return 1;
+    }
+    suite_report.audit = std::move(*audit);
+    suite_report.all_clear = suite_report.audit.all_satisfied;
+  } else {
+    fairlaw::Result<fairlaw::data::Table> table =
+        fairlaw::data::ReadCsvFile(parsed->csv_path);
+    if (!table.ok()) {
+      std::fprintf(stderr, "error reading '%s': %s\n",
+                   parsed->csv_path.c_str(),
+                   table.status().ToString().c_str());
+      return 1;
+    }
 
-  fairlaw::Result<fairlaw::SuiteReport> report =
-      fairlaw::RunFairnessSuite(*table, parsed->suite);
-  if (!report.ok()) {
-    std::fprintf(stderr, "audit error: %s\n",
-                 report.status().ToString().c_str());
-    return 1;
+    fairlaw::Result<fairlaw::SuiteReport> report =
+        fairlaw::RunFairnessSuite(*table, parsed->suite);
+    if (!report.ok()) {
+      std::fprintf(stderr, "audit error: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    suite_report = std::move(*report);
   }
 
   if (!parsed->obs_json_path.empty()) {
@@ -182,7 +254,7 @@ int main(int argc, char** argv) {
 
   if (parsed->json) {
     fairlaw::Result<std::string> json =
-        fairlaw::SuiteReportToJson(*report);
+        fairlaw::SuiteReportToJson(suite_report);
     if (!json.ok()) {
       std::fprintf(stderr, "serialization error: %s\n",
                    json.status().ToString().c_str());
@@ -190,7 +262,7 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", json->c_str());
   } else {
-    std::printf("%s", report->Render().c_str());
+    std::printf("%s", suite_report.Render().c_str());
   }
-  return report->all_clear ? 0 : 2;
+  return suite_report.all_clear ? 0 : 2;
 }
