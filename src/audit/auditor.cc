@@ -1,493 +1,13 @@
 #include "audit/auditor.h"
 
-#include <algorithm>
-#include <cstdint>
-#include <deque>
-#include <functional>
-#include <future>
-#include <optional>
 #include <string_view>
 #include <utility>
 
-#include <cmath>
-#include <iterator>
-#include <span>
-
-#include "base/mutex.h"
+#include "audit/partials.h"
+#include "audit/source.h"
 #include "base/string_util.h"
-#include "base/thread_annotations.h"
-#include "base/thread_pool.h"
-#include "metrics/group_metrics.h"
-#include "obs/obs.h"
-#include "stats/distance.h"
-#include "stats/histogram.h"
-#include "stats/mergeable.h"
 
 namespace fairlaw::audit {
-namespace {
-
-Result<std::vector<int>> BinaryColumn(const data::Table& table,
-                                      const std::string& name) {
-  FAIRLAW_ASSIGN_OR_RETURN(const data::Column* column, table.GetColumn(name));
-  FAIRLAW_ASSIGN_OR_RETURN(std::vector<double> values, column->ToDoubles());
-  std::vector<int> out(values.size());
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (values[i] != 0.0 && values[i] != 1.0) {
-      return Status::Invalid("column '" + name + "' must be binary 0/1");
-    }
-    out[i] = values[i] == 1.0 ? 1 : 0;
-  }
-  return out;
-}
-
-Result<std::vector<std::string>> StringKeys(const data::Table& table,
-                                            const std::string& name) {
-  FAIRLAW_ASSIGN_OR_RETURN(const data::Column* column, table.GetColumn(name));
-  if (column->null_count() > 0) {
-    return Status::Invalid("column '" + name + "' has nulls; audits require "
-                           "explicit missing-value handling upstream");
-  }
-  std::vector<std::string> out(column->size());
-  for (size_t i = 0; i < column->size(); ++i) {
-    out[i] = column->ValueToString(i);
-  }
-  return out;
-}
-
-/// Per-group score-distribution drift: each group's sorted scores against
-/// the multiset difference of the sorted pooled scores (everyone else),
-/// through the presorted W1/KS kernels — or the binned kernels when the
-/// config asks for the O(n) fast path. Runs serially after the metric
-/// jobs, so thread count cannot touch the result. `series` holds each
-/// group's scores in global row order (the chunk-order merge guarantees
-/// that), and `scores` is the full score column in row order, so the
-/// sorts see exactly the sequences the old whole-table pass fed them.
-Result<ScoreDistributionReport> ScoreDistributionAudit(
-    const stats::GroupedSeries& series, std::span<const double> scores,
-    const AuditConfig& config) {
-  ScoreDistributionReport report;
-  report.tolerance = config.score_distribution_tolerance;
-  for (double s : scores) {
-    if (!std::isfinite(s)) {
-      return Status::Invalid("score distribution audit: non-finite score");
-    }
-  }
-  std::vector<double> all_sorted(scores.begin(), scores.end());
-  std::sort(all_sorted.begin(), all_sorted.end());
-  const bool constant =
-      !all_sorted.empty() && all_sorted.front() == all_sorted.back();
-  for (size_t g = 0; g < series.num_keys(); ++g) {
-    std::vector<double> group_scores = series.values(g);
-    std::sort(group_scores.begin(), group_scores.end());
-    // Everyone else = pooled minus this group, linear-time multiset
-    // difference over the two sorted vectors.
-    std::vector<double> rest;
-    rest.reserve(all_sorted.size() - group_scores.size());
-    std::set_difference(all_sorted.begin(), all_sorted.end(),
-                        group_scores.begin(), group_scores.end(),
-                        std::back_inserter(rest));
-    GroupScoreDistance distance;
-    distance.group = series.keys()[g];
-    distance.count = group_scores.size();
-    if (!rest.empty() && !group_scores.empty() && !constant) {
-      if (config.score_distribution_bins > 0) {
-        FAIRLAW_ASSIGN_OR_RETURN(
-            stats::Histogram hp,
-            stats::Histogram::Make(all_sorted.front(), all_sorted.back(),
-                                   config.score_distribution_bins));
-        FAIRLAW_ASSIGN_OR_RETURN(
-            stats::Histogram hq,
-            stats::Histogram::Make(all_sorted.front(), all_sorted.back(),
-                                   config.score_distribution_bins));
-        hp.AddAll(group_scores);
-        hq.AddAll(rest);
-        FAIRLAW_ASSIGN_OR_RETURN(distance.wasserstein1,
-                                 stats::Wasserstein1Binned(hp, hq));
-        FAIRLAW_ASSIGN_OR_RETURN(distance.ks,
-                                 stats::KolmogorovSmirnovBinned(hp, hq));
-      } else {
-        FAIRLAW_ASSIGN_OR_RETURN(
-            distance.wasserstein1,
-            stats::Wasserstein1Presorted(group_scores, rest));
-        FAIRLAW_ASSIGN_OR_RETURN(
-            distance.ks,
-            stats::KolmogorovSmirnovPresorted(group_scores, rest));
-      }
-    }
-    report.max_wasserstein1 =
-        std::max(report.max_wasserstein1, distance.wasserstein1);
-    report.max_ks = std::max(report.max_ks, distance.ks);
-    report.groups.push_back(std::move(distance));
-  }
-  report.satisfied = report.max_ks <= report.tolerance;
-  return report;
-}
-
-/// Collects metric results completed on worker threads. Each result
-/// carries the sequence number of its job in the canonical (serial)
-/// evaluation order, so Finish() can assemble an AuditResult that is
-/// byte-identical for any thread count — including which error wins when
-/// several metrics fail at once.
-class ResultAggregator {
- public:
-  void AddMetric(size_t seq, Result<metrics::MetricReport> report)
-      FAIRLAW_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    metric_reports_.emplace_back(seq, std::move(report));
-  }
-
-  void AddConditional(size_t seq, Result<metrics::ConditionalReport> report)
-      FAIRLAW_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    conditional_reports_.emplace_back(seq, std::move(report));
-  }
-
-  void AddCalibration(size_t seq, Result<metrics::CalibrationReport> report)
-      FAIRLAW_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    calibration_.emplace(seq, std::move(report));
-  }
-
-  /// Deterministic assembly; call only after every job has completed.
-  Result<AuditResult> Finish() FAIRLAW_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    auto by_seq = [](const auto& a, const auto& b) {
-      return a.first < b.first;
-    };
-    std::sort(metric_reports_.begin(), metric_reports_.end(), by_seq);
-    std::sort(conditional_reports_.begin(), conditional_reports_.end(),
-              by_seq);
-
-    // Serial evaluation returns the error of the first failing job; keep
-    // that contract by picking the non-OK status with the lowest seq.
-    size_t first_error_seq = SIZE_MAX;
-    const Status* first_error = nullptr;
-    auto consider = [&](size_t seq, const Status& status) {
-      if (!status.ok() && seq < first_error_seq) {
-        first_error_seq = seq;
-        first_error = &status;
-      }
-    };
-    for (const auto& [seq, report] : metric_reports_) {
-      consider(seq, report.status());
-    }
-    if (calibration_.has_value()) {
-      consider(calibration_->first, calibration_->second.status());
-    }
-    for (const auto& [seq, report] : conditional_reports_) {
-      consider(seq, report.status());
-    }
-    if (first_error != nullptr) return *first_error;
-
-    AuditResult result;
-    for (auto& [seq, report] : metric_reports_) {
-      metrics::MetricReport r = std::move(report).ValueOrDie();
-      result.all_satisfied = result.all_satisfied && r.satisfied;
-      result.reports.push_back(std::move(r));
-    }
-    if (calibration_.has_value()) {
-      metrics::CalibrationReport calibration =
-          std::move(calibration_->second).ValueOrDie();
-      result.all_satisfied = result.all_satisfied && calibration.satisfied;
-      result.calibration = std::move(calibration);
-    }
-    for (auto& [seq, report] : conditional_reports_) {
-      metrics::ConditionalReport r = std::move(report).ValueOrDie();
-      result.all_satisfied = result.all_satisfied && r.satisfied;
-      result.conditional_reports.push_back(std::move(r));
-    }
-    return result;
-  }
-
- private:
-  Mutex mu_;
-  std::vector<std::pair<size_t, Result<metrics::MetricReport>>>
-      metric_reports_ FAIRLAW_GUARDED_BY(mu_);
-  std::vector<std::pair<size_t, Result<metrics::ConditionalReport>>>
-      conditional_reports_ FAIRLAW_GUARDED_BY(mu_);
-  std::optional<std::pair<size_t, Result<metrics::CalibrationReport>>>
-      calibration_ FAIRLAW_GUARDED_BY(mu_);
-};
-
-/// Everything one morsel contributes to the audit: exact integer tallies
-/// for the count metrics, row-ordered series for the order-sensitive
-/// score paths, and one status per extraction step so the error that
-/// wins after the merge is the one the serial whole-table pass would
-/// have reported (the serial pass scans whole columns in a fixed order,
-/// so a step's failure anywhere outranks any later step's failure).
-struct ChunkPartial {
-  Status protected_status;
-  Status prediction_status;
-  Status label_status;
-  Status partition_status;
-  Status score_status;
-  Status strata_status;
-  stats::GroupCountsAccumulator counts;
-  stats::StratifiedCountsAccumulator strata_counts;
-  stats::GroupedSeries score_series;
-  std::vector<double> scores;
-};
-
-/// Extracts and tallies one chunk. Pure function of (chunk, config), so
-/// it runs on pool workers without touching shared mutable state.
-ChunkPartial ProcessChunk(const data::Table& chunk, const AuditConfig& config,
-                          const std::string& parent_path) {
-  obs::TraceSpan span("audit_chunk", parent_path);
-  obs::GetCounter("audit.chunks_processed")->Increment();
-  ChunkPartial partial;
-  metrics::MetricInput input;
-  {
-    Result<std::vector<std::string>> groups =
-        StringKeys(chunk, config.protected_column);
-    partial.protected_status = groups.status();
-    if (groups.status().ok()) input.groups = std::move(groups).ValueOrDie();
-  }
-  {
-    Result<std::vector<int>> predictions =
-        BinaryColumn(chunk, config.prediction_column);
-    partial.prediction_status = predictions.status();
-    if (predictions.status().ok()) {
-      input.predictions = std::move(predictions).ValueOrDie();
-    }
-  }
-  if (!config.label_column.empty()) {
-    Result<std::vector<int>> labels = BinaryColumn(chunk, config.label_column);
-    partial.label_status = labels.status();
-    if (labels.status().ok()) input.labels = std::move(labels).ValueOrDie();
-  }
-  std::vector<double> scores;
-  if (!config.score_column.empty()) {
-    Result<const data::Column*> score_column =
-        chunk.GetColumn(config.score_column);
-    if (!score_column.status().ok()) {
-      partial.score_status = score_column.status();
-    } else {
-      Result<std::vector<double>> values =
-          std::move(score_column).ValueOrDie()->ToDoubles();
-      partial.score_status = values.status();
-      if (values.status().ok()) scores = std::move(values).ValueOrDie();
-    }
-  }
-  std::vector<std::string> strata;
-  if (!config.strata_columns.empty()) {
-    Result<std::vector<std::string>> chunk_strata =
-        StrataFromTable(chunk, config.strata_columns);
-    partial.strata_status = chunk_strata.status();
-    if (chunk_strata.status().ok()) {
-      strata = std::move(chunk_strata).ValueOrDie();
-    }
-  }
-  if (!partial.protected_status.ok() || !partial.prediction_status.ok() ||
-      !partial.label_status.ok() || !partial.score_status.ok() ||
-      !partial.strata_status.ok()) {
-    return partial;
-  }
-
-  Result<metrics::GroupPartition> partition =
-      metrics::GroupPartition::Build(input);
-  partial.partition_status = partition.status();
-  if (!partial.partition_status.ok()) return partial;
-  metrics::AccumulateGroupCounts(std::move(partition).ValueOrDie(),
-                                 !input.labels.empty(), &partial.counts);
-  for (size_t i = 0; i < strata.size(); ++i) {
-    stats::GroupCounts row;
-    row.count = 1;
-    row.positive_predictions = input.predictions[i];
-    partial.strata_counts.Stratum(strata[i])->Add(input.groups[i], row);
-  }
-  if (!config.score_column.empty()) {
-    for (size_t i = 0; i < scores.size(); ++i) {
-      partial.score_series.Append(
-          partial.score_series.KeyIndex(input.groups[i]), scores[i],
-          static_cast<uint8_t>(input.labels[i]));
-    }
-    partial.scores = std::move(scores);
-  }
-  return partial;
-}
-
-/// Chunk partials folded in chunk order. Step statuses rank extraction
-/// steps in the order the serial pass runs them; within a step the
-/// earliest chunk wins (all of a step's failure messages are identical
-/// anyway — none embeds a row number).
-class MergedPartials {
- public:
-  void Fold(ChunkPartial&& partial) {
-    RecordFirst(&protected_status_, partial.protected_status);
-    RecordFirst(&prediction_status_, partial.prediction_status);
-    RecordFirst(&label_status_, partial.label_status);
-    RecordFirst(&partition_status_, partial.partition_status);
-    RecordFirst(&score_status_, partial.score_status);
-    RecordFirst(&strata_status_, partial.strata_status);
-    if (!FirstError().ok()) return;  // result discarded; skip the merge work
-    counts_.MergeFrom(partial.counts);
-    strata_counts_.MergeFrom(partial.strata_counts);
-    score_series_.MergeFrom(partial.score_series);
-    scores_.insert(scores_.end(), partial.scores.begin(),
-                   partial.scores.end());
-  }
-
-  Status FirstError() const {
-    for (const Status* status :
-         {&protected_status_, &prediction_status_, &label_status_,
-          &partition_status_, &score_status_, &strata_status_}) {
-      if (!status->ok()) return *status;
-    }
-    return Status::OK();
-  }
-
-  const stats::GroupCountsAccumulator& counts() const { return counts_; }
-  const stats::StratifiedCountsAccumulator& strata_counts() const {
-    return strata_counts_;
-  }
-  const stats::GroupedSeries& score_series() const { return score_series_; }
-  const std::vector<double>& scores() const { return scores_; }
-
- private:
-  static void RecordFirst(Status* slot, const Status& status) {
-    if (slot->ok() && !status.ok()) *slot = status;
-  }
-
-  Status protected_status_;
-  Status prediction_status_;
-  Status label_status_;
-  Status partition_status_;
-  Status score_status_;
-  Status strata_status_;
-  stats::GroupCountsAccumulator counts_;
-  stats::StratifiedCountsAccumulator strata_counts_;
-  stats::GroupedSeries score_series_;
-  std::vector<double> scores_;
-};
-
-/// The evaluation phase shared by the in-memory and streaming engines:
-/// one closure per metric over the merged partials, sequenced in the
-/// canonical report order and assembled by sequence number.
-Result<AuditResult> EvaluateMergedPartials(const MergedPartials& merged,
-                                           const AuditConfig& config,
-                                           const std::string& parent_path) {
-  FAIRLAW_RETURN_NOT_OK(merged.FirstError());
-  const stats::GroupCountsAccumulator& counts = merged.counts();
-
-  ResultAggregator aggregator;
-  std::vector<std::function<void()>> jobs;
-  size_t seq = 0;
-  auto add_metric =
-      [&](std::string_view name,
-          std::function<Result<metrics::MetricReport>()> compute) {
-        jobs.push_back([&aggregator, &parent_path, seq,
-                        name = "metric/" + std::string(name),
-                        compute = std::move(compute)] {
-          obs::TraceSpan span(name, parent_path);
-          aggregator.AddMetric(seq, compute());
-        });
-        ++seq;
-      };
-
-  add_metric("demographic_parity", [&] {
-    return metrics::DemographicParityFromStats(
-        metrics::GroupStatsFromCounts(counts, /*with_labels=*/false),
-        config.tolerance);
-  });
-  add_metric("demographic_disparity", [&] {
-    return metrics::DemographicDisparityFromStats(
-        metrics::GroupStatsFromCounts(counts, /*with_labels=*/false));
-  });
-  add_metric("disparate_impact_ratio", [&] {
-    return metrics::DisparateImpactRatioFromStats(
-        metrics::GroupStatsFromCounts(counts, /*with_labels=*/false),
-        config.di_threshold);
-  });
-  if (!config.label_column.empty()) {
-    add_metric("equal_opportunity", [&] {
-      return metrics::EqualOpportunityFromStats(
-          metrics::GroupStatsFromCounts(counts, /*with_labels=*/true),
-          config.tolerance);
-    });
-    add_metric("equalized_odds", [&] {
-      return metrics::EqualizedOddsFromStats(
-          metrics::GroupStatsFromCounts(counts, /*with_labels=*/true),
-          config.tolerance);
-    });
-    add_metric("predictive_parity", [&] {
-      return metrics::PredictiveParityFromStats(
-          metrics::GroupStatsFromCounts(counts, /*with_labels=*/true),
-          config.tolerance);
-    });
-    add_metric("accuracy_equality", [&] {
-      return metrics::AccuracyEqualityFromStats(
-          metrics::GroupStatsFromCounts(counts, /*with_labels=*/true),
-          config.tolerance);
-    });
-  }
-  if (!config.score_column.empty()) {
-    jobs.push_back([&aggregator, &parent_path, seq, &merged, &config] {
-      obs::TraceSpan span("metric/calibration_within_groups", parent_path);
-      aggregator.AddCalibration(
-          seq, metrics::CalibrationFromSeries(merged.score_series(),
-                                              config.calibration_bins,
-                                              config.calibration_tolerance));
-    });
-    ++seq;
-  }
-  if (!config.strata_columns.empty()) {
-    auto add_conditional =
-        [&](std::string_view name,
-            std::function<Result<metrics::ConditionalReport>()> compute) {
-          jobs.push_back([&aggregator, &parent_path, seq,
-                          name = "metric/" + std::string(name),
-                          compute = std::move(compute)] {
-            obs::TraceSpan span(name, parent_path);
-            aggregator.AddConditional(seq, compute());
-          });
-          ++seq;
-        };
-    add_conditional("conditional_statistical_parity", [&] {
-      return metrics::ConditionalStatisticalParityFromCounts(
-          merged.strata_counts(), config.tolerance, config.min_stratum_size);
-    });
-    add_conditional("conditional_demographic_disparity", [&] {
-      return metrics::ConditionalDemographicDisparityFromCounts(
-          merged.strata_counts(), config.min_stratum_size);
-    });
-  }
-
-  if (config.num_threads == 1) {
-    for (const std::function<void()>& job : jobs) job();
-  } else {
-    // num_threads == 0 sizes the pool to the hardware; otherwise never
-    // spawn more workers than there are jobs.
-    ThreadPool pool(config.num_threads == 0
-                        ? 0
-                        : std::min(config.num_threads, jobs.size()));
-    pool.ParallelFor(jobs.size(), [&jobs](size_t i) { jobs[i](); });
-  }
-  FAIRLAW_ASSIGN_OR_RETURN(AuditResult result, aggregator.Finish());
-  if (config.audit_score_distribution) {
-    obs::TraceSpan span("metric/score_distribution", parent_path);
-    FAIRLAW_ASSIGN_OR_RETURN(
-        result.score_distribution,
-        ScoreDistributionAudit(merged.score_series(), merged.scores(),
-                               config));
-    result.all_satisfied =
-        result.all_satisfied && result.score_distribution->satisfied;
-  }
-  return result;
-}
-
-/// Reproduces the serial pass's error on a zero-row audit: a missing
-/// column still reports the lookup failure, existing columns the
-/// empty-input error.
-Status EmptyAuditError(const data::Table& empty, const AuditConfig& config) {
-  Status probe = MetricInputFromTable(empty, config.protected_column,
-                                      config.prediction_column,
-                                      config.label_column)
-                     .status();
-  if (!probe.ok()) return probe;
-  return Status::Invalid("MetricInput: empty input");
-}
-
-}  // namespace
 
 Status AuditConfig::Validate() const {
   if (protected_column.empty()) {
@@ -628,6 +148,7 @@ std::string AuditResult::Render() const {
            " (max KS " + FormatDouble(score_distribution->max_ks, 4) +
            " vs tolerance " + FormatDouble(score_distribution->tolerance, 4) +
            ", max W1 " + FormatDouble(score_distribution->max_wasserstein1, 4) +
+           (score_distribution->approximate ? ", sketch-approximate" : "") +
            ")\n";
     for (const GroupScoreDistance& gd : score_distribution->groups) {
       out += "  " + gd.group + ": n=" + std::to_string(gd.count) +
@@ -657,124 +178,23 @@ Result<const metrics::MetricReport*> AuditResult::Find(
 
 Result<AuditResult> RunAudit(const data::Table& table,
                              const AuditConfig& config) {
-  FAIRLAW_RETURN_NOT_OK(config.Validate());
-  FAIRLAW_ASSIGN_OR_RETURN(
-      data::ChunkedTable chunked,
-      data::ChunkedTable::FromTable(table, config.chunk_rows));
-  return RunAudit(chunked, config);
+  return Auditor::Run(AuditSource::FromTable(table), config);
 }
 
 Result<AuditResult> RunAudit(const data::ChunkedTable& table,
                              const AuditConfig& config) {
-  FAIRLAW_RETURN_NOT_OK(config.Validate());
-  obs::TraceSpan run_span("run_audit");
-  obs::GetCounter("audit.runs")->Increment();
-  obs::GetCounter("audit.rows_audited")->Increment(table.num_rows());
-  // Morsels may run on pool workers whose span stack is empty; capturing
-  // the scheduling thread's path here and passing it to TraceSpan keeps
-  // the exported span tree identical for every thread count.
-  const std::string parent_path = obs::CurrentPath();
-
-  if (table.num_chunks() == 0) {
-    FAIRLAW_ASSIGN_OR_RETURN(data::Table empty, table.Materialize());
-    return EmptyAuditError(empty, config);
-  }
-
-  obs::GetCounter("audit.morsels_scheduled")->Increment(table.num_chunks());
-  std::vector<ChunkPartial> partials(table.num_chunks());
-  if (config.num_threads == 1 || table.num_chunks() == 1) {
-    for (size_t i = 0; i < table.num_chunks(); ++i) {
-      partials[i] = ProcessChunk(table.chunk(i), config, parent_path);
-    }
-  } else {
-    ThreadPool pool(config.num_threads == 0
-                        ? 0
-                        : std::min(config.num_threads, table.num_chunks()));
-    pool.ParallelFor(table.num_chunks(),
-                     [&partials, &table, &config, &parent_path](size_t i) {
-                       partials[i] =
-                           ProcessChunk(table.chunk(i), config, parent_path);
-                     });
-  }
-  MergedPartials merged;
-  for (ChunkPartial& partial : partials) merged.Fold(std::move(partial));
-  return EvaluateMergedPartials(merged, config, parent_path);
+  return Auditor::Run(AuditSource::FromChunked(table), config);
 }
 
 Result<AuditResult> RunAuditCsv(const std::string& path,
                                 const AuditConfig& config) {
-  return RunAuditCsv(path, config, data::CsvOptions{});
+  return Auditor::Run(AuditSource::FromCsv(path), config);
 }
 
 Result<AuditResult> RunAuditCsv(const std::string& path,
                                 const AuditConfig& config,
                                 const data::CsvOptions& csv_options) {
-  FAIRLAW_RETURN_NOT_OK(config.Validate());
-  obs::TraceSpan run_span("run_audit");
-  obs::GetCounter("audit.runs")->Increment();
-  const std::string parent_path = obs::CurrentPath();
-
-  data::CsvChunkReader::Options reader_options;
-  reader_options.csv = csv_options;
-  reader_options.chunk_rows =
-      config.chunk_rows == 0 ? data::kDefaultChunkRows : config.chunk_rows;
-  FAIRLAW_ASSIGN_OR_RETURN(data::CsvChunkReader reader,
-                           data::CsvChunkReader::Make(path, reader_options));
-  obs::GetCounter("audit.rows_audited")->Increment(reader.num_rows());
-
-  if (reader.num_rows() == 0) {
-    data::TableBuilder builder(reader.schema());
-    FAIRLAW_ASSIGN_OR_RETURN(data::Table empty, builder.Finish());
-    return EmptyAuditError(empty, config);
-  }
-
-  MergedPartials merged;
-  if (config.num_threads == 1) {
-    // Serial streaming: read, tally, merge, drop — peak memory is one
-    // chunk plus the merged accumulators.
-    while (true) {
-      FAIRLAW_ASSIGN_OR_RETURN(std::optional<data::Table> chunk,
-                               reader.Next());
-      if (!chunk.has_value()) break;
-      obs::GetCounter("audit.morsels_scheduled")->Increment();
-      merged.Fold(ProcessChunk(*chunk, config, parent_path));
-    }
-  } else {
-    // Bounded in-flight window: the reader stays on this thread, workers
-    // tally chunks, and the oldest in-flight chunk merges first — which
-    // is chunk order, so the stream reproduces the in-memory result.
-    // Deque slots are stable across push/pop at the ends, and the pool
-    // is declared after the deque so its destructor joins the workers
-    // before any slot they might still write goes away.
-    struct InFlight {
-      ChunkPartial partial;
-      std::future<void> done;
-    };
-    std::deque<InFlight> in_flight;
-    ThreadPool pool(config.num_threads);
-    const size_t window = pool.num_threads() * 2;
-    auto drain_front = [&merged, &in_flight] {
-      in_flight.front().done.get();
-      merged.Fold(std::move(in_flight.front().partial));
-      in_flight.pop_front();
-    };
-    while (true) {
-      FAIRLAW_ASSIGN_OR_RETURN(std::optional<data::Table> chunk,
-                               reader.Next());
-      if (!chunk.has_value()) break;
-      if (in_flight.size() >= window) drain_front();
-      in_flight.emplace_back();
-      InFlight& slot = in_flight.back();
-      obs::GetCounter("audit.morsels_scheduled")->Increment();
-      slot.done = pool.Submit([&partial = slot.partial,
-                               chunk = std::move(*chunk), &config,
-                               &parent_path] {
-        partial = ProcessChunk(chunk, config, parent_path);
-      });
-    }
-    while (!in_flight.empty()) drain_front();
-  }
-  return EvaluateMergedPartials(merged, config, parent_path);
+  return Auditor::Run(AuditSource::FromCsv(path, csv_options), config);
 }
 
 }  // namespace fairlaw::audit

@@ -94,6 +94,10 @@ struct ScoreDistributionReport {
   double max_ks = 0.0;
   double tolerance = 0.0;
   bool satisfied = true;
+  /// True when the distances came from KLL sketches (the serve windowed
+  /// path) rather than the exact row-level kernels: values carry O(1/k)
+  /// rank error and must not be diffed against exact-path output.
+  bool approximate = false;
 };
 
 /// Everything a table audit produced.
@@ -137,30 +141,28 @@ FAIRLAW_NODISCARD Result<metrics::MetricInput> MetricInputFromTableMulti(
 FAIRLAW_NODISCARD Result<std::vector<std::string>> StrataFromTable(
     const data::Table& table, const std::vector<std::string>& strata_columns);
 
+/// DEPRECATED shims over the unified entry point — prefer
+/// `Auditor::Run(AuditSource::FromTable(table), config)` and friends
+/// (audit/source.h). Each forwards to the same morsel-driven engine, so
+/// behaviour and byte-for-byte output are unchanged; the free functions
+/// remain only so existing call sites migrate mechanically.
+///
 /// Runs the configured metric suite over `table`. Metrics that need
 /// labels are skipped when `label_column` is empty; conditional metrics
-/// are skipped when `strata_columns` is empty. Splits the table into
-/// `config.chunk_rows`-row morsels and runs the chunked engine below;
-/// the result is byte-identical for every chunk size and thread count.
+/// are skipped when `strata_columns` is empty. The result is
+/// byte-identical for every chunk size and thread count.
 FAIRLAW_NODISCARD Result<AuditResult> RunAudit(const data::Table& table,
                              const AuditConfig& config);
 
-/// The morsel-driven core: one scheduled job per chunk produces exact
-/// integer tallies (and row-ordered series for the order-sensitive
-/// score paths); the partials merge in sequence-numbered chunk order and
-/// the metrics evaluate on the merged state, so output does not depend
-/// on chunk boundaries or scheduling.
+/// DEPRECATED: use Auditor::Run(AuditSource::FromChunked(table), config).
 FAIRLAW_NODISCARD Result<AuditResult> RunAudit(const data::ChunkedTable& table,
                              const AuditConfig& config);
 
-/// Out-of-core audit: streams `path` through data::CsvChunkReader one
-/// chunk at a time (chunk size = config.chunk_rows, default
-/// data::kDefaultChunkRows) with a bounded in-flight window, merging
-/// each chunk's partials as soon as it completes. Peak memory is
-/// O(window * chunk) + O(groups) for the count metrics — independent of
-/// file size — plus O(rows) scores only when a score column is
-/// configured. The result is byte-identical to loading the whole file
-/// and calling RunAudit.
+/// DEPRECATED: use Auditor::Run(AuditSource::FromCsv(path), config).
+/// Out-of-core audit: streams `path` through data::CsvChunkReader with a
+/// bounded in-flight window; peak memory is O(window * chunk) +
+/// O(groups) for the count metrics, and the result is byte-identical to
+/// loading the whole file and calling RunAudit.
 FAIRLAW_NODISCARD Result<AuditResult> RunAuditCsv(const std::string& path,
                                 const AuditConfig& config);
 FAIRLAW_NODISCARD Result<AuditResult> RunAuditCsv(const std::string& path,

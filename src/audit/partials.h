@@ -1,0 +1,81 @@
+#ifndef FAIRLAW_AUDIT_PARTIALS_H_
+#define FAIRLAW_AUDIT_PARTIALS_H_
+
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "base/result.h"
+#include "data/table.h"
+#include "stats/mergeable.h"
+
+namespace fairlaw::audit {
+
+/// Column extraction shared by the chunk tally and the MetricInput
+/// entry points: a 0/1 integer column and a rendered-string key column.
+FAIRLAW_NODISCARD Result<std::vector<int>> BinaryColumn(
+    const data::Table& table, const std::string& name);
+FAIRLAW_NODISCARD Result<std::vector<std::string>> StringKeys(
+    const data::Table& table, const std::string& name);
+
+/// Everything one morsel contributes to the audit: exact integer tallies
+/// for the count metrics, row-ordered series for the order-sensitive
+/// score paths, and one status per extraction step so the error that
+/// wins after the merge is the one the serial whole-table pass would
+/// have reported (the serial pass scans whole columns in a fixed order,
+/// so a step's failure anywhere outranks any later step's failure).
+struct ChunkPartial {
+  Status protected_status;
+  Status prediction_status;
+  Status label_status;
+  Status partition_status;
+  Status score_status;
+  Status strata_status;
+  stats::GroupCountsAccumulator counts;
+  stats::StratifiedCountsAccumulator strata_counts;
+  stats::GroupedSeries score_series;
+  std::vector<double> scores;
+};
+
+/// Extracts and tallies one chunk. Pure function of (chunk, config), so
+/// it runs on pool workers without touching shared mutable state.
+ChunkPartial ProcessChunk(const data::Table& chunk, const AuditConfig& config,
+                          const std::string& parent_path);
+
+/// Chunk partials folded in chunk order. Step statuses rank extraction
+/// steps in the order the serial pass runs them; within a step the
+/// earliest chunk wins (all of a step's failure messages are identical
+/// anyway — none embeds a row number).
+class MergedPartials {
+ public:
+  void Fold(ChunkPartial&& partial);
+
+  FAIRLAW_NODISCARD Status FirstError() const;
+
+  const stats::GroupCountsAccumulator& counts() const { return counts_; }
+  const stats::StratifiedCountsAccumulator& strata_counts() const {
+    return strata_counts_;
+  }
+  const stats::GroupedSeries& score_series() const { return score_series_; }
+  const std::vector<double>& scores() const { return scores_; }
+
+ private:
+  static void RecordFirst(Status* slot, const Status& status) {
+    if (slot->ok() && !status.ok()) *slot = status;
+  }
+
+  Status protected_status_;
+  Status prediction_status_;
+  Status label_status_;
+  Status partition_status_;
+  Status score_status_;
+  Status strata_status_;
+  stats::GroupCountsAccumulator counts_;
+  stats::StratifiedCountsAccumulator strata_counts_;
+  stats::GroupedSeries score_series_;
+  std::vector<double> scores_;
+};
+
+}  // namespace fairlaw::audit
+
+#endif  // FAIRLAW_AUDIT_PARTIALS_H_

@@ -1,213 +1,34 @@
 #include "core/json.h"
 
-#include <cmath>
-#include <cstdio>
-
 #include "audit/proxy.h"
+#include "audit/report_io.h"
 #include "audit/sampling_adequacy.h"
 #include "audit/subgroup.h"
-#include "base/check.h"
 #include "legal/four_fifths.h"
 #include "metrics/conditional_metrics.h"
 #include "metrics/fairness_metric.h"
 
 namespace fairlaw {
 
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned char>(c));
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-void JsonWriter::Separate() {
-  if (!stack_.empty() && !expecting_value_) {
-    if (has_items_.back()) out_ += ',';
-  }
-}
-
-void JsonWriter::BeginObject() {
-  Separate();
-  out_ += '{';
-  stack_.push_back(Scope::kObject);
-  has_items_.push_back(false);
-  expecting_value_ = false;
-}
-
-void JsonWriter::EndObject() {
-  FAIRLAW_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
-                    "EndObject() without a matching BeginObject()");
-  FAIRLAW_CHECK_MSG(!expecting_value_,
-                    "EndObject() called while a key awaits its value");
-  out_ += '}';
-  stack_.pop_back();
-  has_items_.pop_back();
-  if (!has_items_.empty()) has_items_.back() = true;
-}
-
-void JsonWriter::BeginArray() {
-  Separate();
-  out_ += '[';
-  stack_.push_back(Scope::kArray);
-  has_items_.push_back(false);
-  expecting_value_ = false;
-}
-
-void JsonWriter::EndArray() {
-  FAIRLAW_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kArray,
-                    "EndArray() without a matching BeginArray()");
-  out_ += ']';
-  stack_.pop_back();
-  has_items_.pop_back();
-  if (!has_items_.empty()) has_items_.back() = true;
-}
-
-void JsonWriter::Key(const std::string& key) {
-  FAIRLAW_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
-                    "Key() called outside an open object");
-  FAIRLAW_CHECK_MSG(!expecting_value_, "Key() called while a value is due");
-  if (has_items_.back()) out_ += ',';
-  out_ += '"';
-  out_ += JsonEscape(key);
-  out_ += "\":";
-  expecting_value_ = true;
-}
-
-void JsonWriter::String(const std::string& value) {
-  Separate();
-  out_ += '"';
-  out_ += JsonEscape(value);
-  out_ += '"';
-  if (!has_items_.empty()) has_items_.back() = true;
-  expecting_value_ = false;
-}
-
-void JsonWriter::Number(double value) {
-  Separate();
-  if (std::isfinite(value)) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.10g", value);
-    out_ += buffer;
-  } else {
-    out_ += "null";  // JSON has no NaN/Inf
-  }
-  if (!has_items_.empty()) has_items_.back() = true;
-  expecting_value_ = false;
-}
-
-void JsonWriter::Int(int64_t value) {
-  Separate();
-  out_ += std::to_string(value);
-  if (!has_items_.empty()) has_items_.back() = true;
-  expecting_value_ = false;
-}
-
-void JsonWriter::Bool(bool value) {
-  Separate();
-  out_ += value ? "true" : "false";
-  if (!has_items_.empty()) has_items_.back() = true;
-  expecting_value_ = false;
-}
-
-void JsonWriter::Field(const std::string& key, const std::string& value) {
-  Key(key);
-  String(value);
-}
-void JsonWriter::Field(const std::string& key, double value) {
-  Key(key);
-  Number(value);
-}
-void JsonWriter::Field(const std::string& key, int64_t value) {
-  Key(key);
-  Int(value);
-}
-void JsonWriter::Field(const std::string& key, bool value) {
-  Key(key);
-  Bool(value);
-}
-
-Result<std::string> JsonWriter::Finish() {
-  if (!stack_.empty()) {
-    return Status::FailedPrecondition("JsonWriter: " +
-                                      std::to_string(stack_.size()) +
-                                      " unclosed containers");
-  }
-  return out_;
-}
-
-namespace {
-
-void WriteMetricReport(JsonWriter* json,
-                       const metrics::MetricReport& report) {
-  json->BeginObject();
-  json->Field("metric", report.metric_name);
-  json->Field("satisfied", report.satisfied);
-  json->Field("max_gap", report.max_gap);
-  json->Field("min_ratio", report.min_ratio);
-  json->Field("tolerance", report.tolerance);
-  if (!report.detail.empty()) json->Field("detail", report.detail);
-  json->Key("groups");
-  json->BeginArray();
-  for (const metrics::GroupStats& gs : report.groups) {
-    json->BeginObject();
-    json->Field("group", gs.group);
-    json->Field("count", gs.count);
-    json->Field("selection_rate", gs.selection_rate);
-    if (gs.actual_positives + gs.actual_negatives > 0) {
-      json->Field("tpr", gs.tpr);
-      json->Field("fpr", gs.fpr);
-      json->Field("ppv", gs.ppv);
-    }
-    json->EndObject();
-  }
-  json->EndArray();
-  json->EndObject();
-}
-
-}  // namespace
-
 Result<std::string> MetricReportToJson(const metrics::MetricReport& report) {
   JsonWriter json;
-  WriteMetricReport(&json, report);
+  audit::WriteMetricReport(&json, report);
   return json.Finish();
 }
 
 Result<std::string> SuiteReportToJson(const SuiteReport& report) {
   JsonWriter json;
   json.BeginObject();
+  json.Field("schema_version", audit::kReportSchemaVersion);
+  json.Field("kind", std::string("suite_report"));
+  json.Key("findings");
+  json.BeginObject();
   json.Field("all_clear", report.all_clear);
 
   json.Key("metrics");
   json.BeginArray();
   for (const metrics::MetricReport& metric : report.audit.reports) {
-    WriteMetricReport(&json, metric);
+    audit::WriteMetricReport(&json, metric);
   }
   json.EndArray();
 
@@ -215,23 +36,19 @@ Result<std::string> SuiteReportToJson(const SuiteReport& report) {
   json.BeginArray();
   for (const metrics::ConditionalReport& conditional :
        report.audit.conditional_reports) {
-    json.BeginObject();
-    json.Field("metric", conditional.metric_name);
-    json.Field("satisfied", conditional.satisfied);
-    json.Field("max_gap", conditional.max_gap);
-    json.Key("strata");
-    json.BeginArray();
-    for (const metrics::StratumReport& stratum : conditional.strata) {
-      json.BeginObject();
-      json.Field("stratum", stratum.stratum);
-      json.Field("satisfied", stratum.report.satisfied);
-      json.Field("gap", stratum.report.max_gap);
-      json.EndObject();
-    }
-    json.EndArray();
-    json.EndObject();
+    audit::WriteConditionalReport(&json, conditional);
   }
   json.EndArray();
+
+  if (report.audit.calibration.has_value()) {
+    json.Key("calibration");
+    audit::WriteCalibrationReport(&json, *report.audit.calibration);
+  }
+  if (report.audit.score_distribution.has_value()) {
+    json.Key("score_distribution");
+    audit::WriteScoreDistributionReport(&json,
+                                        *report.audit.score_distribution);
+  }
 
   json.Key("proxies");
   json.BeginArray();
@@ -304,7 +121,8 @@ Result<std::string> SuiteReportToJson(const SuiteReport& report) {
     json.EndObject();
   }
 
-  json.EndObject();
+  json.EndObject();  // findings
+  json.EndObject();  // envelope
   return json.Finish();
 }
 

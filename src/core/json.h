@@ -1,64 +1,27 @@
 #ifndef FAIRLAW_CORE_JSON_H_
 #define FAIRLAW_CORE_JSON_H_
 
-#include <cstdint>
 #include <string>
-#include <vector>
 
+// The streaming JsonWriter moved to base/json_writer.h (rank 0) so the
+// audit report envelope and the serve daemon can emit JSON without
+// depending on core; re-exported here so existing call sites keep one
+// include.
+#include "base/json_writer.h"  // IWYU pragma: export
 #include "base/result.h"
 #include "core/suite.h"
 #include "metrics/fairness_metric.h"
 
 namespace fairlaw {
 
-/// Minimal streaming JSON writer (objects, arrays, strings, numbers,
-/// booleans). Used to export audit artifacts in a machine-readable form
-/// so compliance pipelines can archive and diff them; fairlaw needs no
-/// JSON *parsing*, so only the writer exists.
-class JsonWriter {
- public:
-  /// Structural tokens. Misnested calls abort via FAIRLAW_CHECK — the
-  /// writer is driven by library code, not user input.
-  void BeginObject();
-  void EndObject();
-  void BeginArray();
-  void EndArray();
-
-  /// Keys inside objects; values everywhere a value is legal.
-  void Key(const std::string& key);
-  void String(const std::string& value);
-  void Number(double value);
-  void Int(int64_t value);
-  void Bool(bool value);
-
-  /// Shorthand: Key(key) + value.
-  void Field(const std::string& key, const std::string& value);
-  void Field(const std::string& key, double value);
-  void Field(const std::string& key, int64_t value);
-  void Field(const std::string& key, bool value);
-
-  /// Returns the document; fails unless all containers are closed.
-  FAIRLAW_NODISCARD Result<std::string> Finish();
-
- private:
-  enum class Scope { kObject, kArray };
-  void Separate();
-
-  std::string out_;
-  std::vector<Scope> stack_;
-  std::vector<uint8_t> has_items_;  // 0/1 per open scope
-  bool expecting_value_ = false;  // a Key was just written
-};
-
-/// Escapes a string for inclusion in a JSON document (quotes, control
-/// characters, backslashes).
-std::string JsonEscape(const std::string& text);
-
 /// Serializes a full suite report (metric reports, proxy findings,
-/// subgroup findings, sampling support, four-fifths screen) to JSON.
+/// subgroup findings, sampling support, four-fifths screen) inside the
+/// versioned envelope from audit/report_io.h:
+/// {"schema_version":2,"kind":"suite_report","findings":{...}}.
 FAIRLAW_NODISCARD Result<std::string> SuiteReportToJson(const SuiteReport& report);
 
-/// Serializes a single metric report.
+/// Serializes a single metric report (no envelope — it is the embedded
+/// per-metric shape shared with audit::WriteMetricReport).
 FAIRLAW_NODISCARD Result<std::string> MetricReportToJson(const metrics::MetricReport& report);
 
 }  // namespace fairlaw

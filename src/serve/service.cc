@@ -1,0 +1,296 @@
+#include "serve/service.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "audit/evaluate.h"
+#include "audit/report_io.h"
+#include "audit/source.h"
+#include "audit/windowed.h"
+#include "base/json_writer.h"
+#include "metrics/fairness_metric.h"
+#include "obs/obs.h"
+#include "serve/json_value.h"
+#include "stats/kll.h"
+#include "stats/mergeable.h"
+
+namespace fairlaw::serve {
+
+namespace {
+
+/// Obs names allowed inside query responses. These three are pure
+/// functions of the event/query sequence (events accepted, events
+/// rejected, buckets folded per query), so including them cannot break
+/// the byte-identity contract. Batch-dependent telemetry
+/// (serve.requests, latency histograms) is only reachable through the
+/// stats op.
+void WriteQueryObs(JsonWriter* json) {
+  json->Key("obs");
+  json->BeginObject();
+  json->Field("serve.events_ingested",
+              static_cast<int64_t>(
+                  obs::GetCounter("serve.events_ingested")->Value()));
+  json->Field("serve.events_rejected",
+              static_cast<int64_t>(
+                  obs::GetCounter("serve.events_rejected")->Value()));
+  json->Field("serve.window_merges",
+              static_cast<int64_t>(
+                  obs::GetCounter("serve.window_merges")->Value()));
+  json->EndObject();
+}
+
+/// Frame prelude shared by every query response: schema_version, op,
+/// type, and the window span the answer was computed over (all pure
+/// functions of the event sequence).
+void BeginQueryFrame(JsonWriter* json, const std::string& type,
+                     const WindowRing& ring) {
+  json->BeginObject();
+  json->Field("schema_version", audit::kReportSchemaVersion);
+  json->Field("op", std::string("query"));
+  json->Field("type", type);
+  json->Key("window");
+  json->BeginObject();
+  json->Field("start_bucket", ring.window_start());
+  json->Field("watermark", ring.watermark());
+  json->Field("events", static_cast<int64_t>(ring.num_events()));
+  json->EndObject();
+}
+
+std::string FinishFrame(JsonWriter* json) {
+  json->EndObject();
+  // flowcheck: allow-unchecked-result (handlers balance their scopes by construction; Finish only fails on unclosed containers)
+  return json->Finish().ValueOrDie();
+}
+
+/// A recognized query that cannot be answered (empty window, unknown
+/// group, ...). Keeps "op":"query" so the frame participates in the
+/// batch-identity comparison — the same query against the same events
+/// fails identically however the events were batched.
+std::string QueryErrorFrame(const std::string& type, const WindowRing& ring,
+                            const Status& status) {
+  JsonWriter json;
+  BeginQueryFrame(&json, type, ring);
+  audit::WriteErrorObject(&json, status);
+  WriteQueryObs(&json);
+  return FinishFrame(&json);
+}
+
+/// A request that never made it to a handler (parse failure, unknown
+/// op, schema mismatch). `op_label` echoes the request's op when it
+/// could be recovered, else "error".
+std::string RequestErrorFrame(const std::string& op_label,
+                              const Status& status) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("schema_version", audit::kReportSchemaVersion);
+  json.Field("op", op_label);
+  audit::WriteErrorObject(&json, status);
+  return FinishFrame(&json);
+}
+
+}  // namespace
+
+Service::Service(const ServeConfig& config)
+    : config_(config), ring_(config) {
+  if (config_.num_threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+}
+
+std::string Service::HandleLine(std::string_view line) {
+  const uint64_t start_ns = obs::MonotonicNowNs();
+  obs::GetCounter("serve.requests")->Increment();
+
+  std::string op_label = "error";
+  std::string response;
+  Result<JsonValue> doc = JsonValue::Parse(line);
+  if (!doc.ok()) {
+    response = RequestErrorFrame(op_label, doc.status());
+  } else {
+    // Recover the op for error frames and latency attribution even when
+    // the request fails validation.
+    if (doc.ValueOrDie().is_object()) {
+      if (const JsonValue* op = doc.ValueOrDie().GetOrNull("op");
+          op != nullptr && op->is_string()) {
+        Result<std::string> name = op->AsString();
+        // Only known ops name an error frame / latency series — an
+        // arbitrary op string must not mint unbounded registry probes.
+        if (name.ok() && (name.ValueOrDie() == "ingest" ||
+                          name.ValueOrDie() == "query" ||
+                          name.ValueOrDie() == "stats")) {
+          op_label = name.ValueOrDie();
+        }
+      }
+    }
+    Result<Request> request = ParseRequest(doc.ValueOrDie(), config_);
+    if (!request.ok()) {
+      response = RequestErrorFrame(op_label, request.status());
+    } else {
+      switch (request.ValueOrDie().op) {
+        case Request::Op::kIngest:
+          response = HandleIngest(request.ValueOrDie().ingest);
+          break;
+        case Request::Op::kQuery:
+          response = HandleQuery(request.ValueOrDie().query);
+          break;
+        case Request::Op::kStats:
+          response = HandleStats();
+          break;
+      }
+    }
+  }
+  obs::GetHistogram("serve.latency." + op_label + "_ns")
+      ->Record(obs::MonotonicNowNs() - start_ns);
+  return response;
+}
+
+std::string Service::HandleIngest(const IngestRequest& request) {
+  obs::TraceSpan span("serve/ingest");
+  int64_t accepted = 0;
+  int64_t rejected = 0;
+  for (const Event& event : request.events) {
+    Status status = event.Validate(config_);
+    if (status.ok()) status = ring_.Ingest(event);
+    if (status.ok()) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  obs::GetCounter("serve.events_ingested")
+      ->Increment(static_cast<uint64_t>(accepted));
+  obs::GetCounter("serve.events_rejected")
+      ->Increment(static_cast<uint64_t>(rejected));
+
+  // The ack legitimately depends on batching (per-batch counts), so it
+  // is excluded from the byte-identity comparison.
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("schema_version", audit::kReportSchemaVersion);
+  json.Field("op", std::string("ingest"));
+  json.Field("accepted", accepted);
+  json.Field("rejected", rejected);
+  json.Field("watermark", ring_.watermark());
+  return FinishFrame(&json);
+}
+
+std::string Service::HandleQuery(const QueryRequest& request) {
+  obs::TraceSpan span("serve/query");
+  const audit::WindowedPartial window = ring_.Window(pool_.get());
+  const audit::AuditConfig audit_config = config_.ToAuditConfig();
+
+  if (request.type == "audit" || request.type == "four_fifths" ||
+      request.type == "drift") {
+    Result<audit::AuditResult> result = audit::Auditor::Run(
+        audit::AuditSource::FromWindow(window), audit_config);
+    if (!result.ok()) {
+      return QueryErrorFrame(request.type, ring_, result.status());
+    }
+    const audit::AuditResult& audit_result = result.ValueOrDie();
+    JsonWriter json;
+    BeginQueryFrame(&json, request.type, ring_);
+    if (request.type == "audit") {
+      json.Key("findings");
+      audit::WriteAuditFindings(&json, audit_result);
+    } else if (request.type == "four_fifths") {
+      Result<const metrics::MetricReport*> report =
+          audit_result.Find("disparate_impact_ratio");
+      if (!report.ok()) {
+        return QueryErrorFrame(request.type, ring_, report.status());
+      }
+      json.Key("four_fifths");
+      audit::WriteMetricReport(&json, *report.ValueOrDie());
+    } else {
+      if (!audit_result.score_distribution.has_value()) {
+        return QueryErrorFrame(
+            request.type, ring_,
+            Status::FailedPrecondition(
+                "drift: the windowed audit produced no score-distribution "
+                "report"));
+      }
+      json.Key("score_distribution");
+      audit::WriteScoreDistributionReport(&json,
+                                          *audit_result.score_distribution);
+    }
+    WriteQueryObs(&json);
+    return FinishFrame(&json);
+  }
+
+  if (request.type == "drilldown") {
+    const stats::StratifiedCountsAccumulator& strata = window.strata_counts;
+    size_t index = strata.num_strata();
+    for (size_t i = 0; i < strata.num_strata(); ++i) {
+      if (strata.keys()[i] == request.stratum) {
+        index = i;
+        break;
+      }
+    }
+    if (index == strata.num_strata()) {
+      return QueryErrorFrame(
+          request.type, ring_,
+          Status::NotFound("drilldown: stratum '" + request.stratum +
+                           "' not present in the window"));
+    }
+    // Stratum tallies only retain counts and positive predictions, so
+    // the drill-down runs the prediction-only metric family — exactly
+    // what a conditional metric would compute within this stratum.
+    audit::EvaluateInputs inputs;
+    inputs.counts = &strata.stratum(index);
+    inputs.has_labels = false;
+    Result<audit::AuditResult> result =
+        audit::EvaluateMetrics(inputs, audit_config, obs::CurrentPath());
+    if (!result.ok()) {
+      return QueryErrorFrame(request.type, ring_, result.status());
+    }
+    JsonWriter json;
+    BeginQueryFrame(&json, request.type, ring_);
+    json.Field("stratum", request.stratum);
+    json.Key("findings");
+    audit::WriteAuditFindings(&json, result.ValueOrDie());
+    WriteQueryObs(&json);
+    return FinishFrame(&json);
+  }
+
+  // "quantiles" — QueryRequest::Validate admits nothing else.
+  const size_t slot = window.sketches.FindKey(request.group);
+  if (slot >= window.sketches.num_keys()) {
+    return QueryErrorFrame(
+        request.type, ring_,
+        Status::NotFound("quantiles: group '" + request.group +
+                         "' not present in the window"));
+  }
+  const stats::KllSketch& sketch = window.sketches.sketch(slot);
+  JsonWriter json;
+  BeginQueryFrame(&json, request.type, ring_);
+  json.Field("group", request.group);
+  json.Field("count", static_cast<int64_t>(sketch.count()));
+  json.Key("quantiles");
+  json.BeginArray();
+  for (double q : request.quantiles) {
+    Result<double> value = sketch.Quantile(q);
+    if (!value.ok()) {
+      return QueryErrorFrame(request.type, ring_, value.status());
+    }
+    json.BeginObject();
+    json.Field("q", q);
+    json.Field("value", value.ValueOrDie());
+    json.EndObject();
+  }
+  json.EndArray();
+  WriteQueryObs(&json);
+  return FinishFrame(&json);
+}
+
+std::string Service::HandleStats() {
+  obs::TraceSpan span("serve/stats");
+  // Full telemetry — counters, histograms, span stats — straight from
+  // the registry export (already a sorted-key JSON object). Carries
+  // batch- and timing-dependent data by design, so stats responses are
+  // excluded from identity comparisons.
+  return "{\"schema_version\":" + std::to_string(audit::kReportSchemaVersion) +
+         ",\"op\":\"stats\",\"obs\":" + obs::ExportJson() + "}";
+}
+
+}  // namespace fairlaw::serve

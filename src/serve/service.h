@@ -1,0 +1,52 @@
+#ifndef FAIRLAW_SERVE_SERVICE_H_
+#define FAIRLAW_SERVE_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/thread_pool.h"
+#include "serve/api.h"
+#include "serve/window.h"
+
+namespace fairlaw::serve {
+
+/// The serve daemon's request loop body: one Service per process,
+/// handling line-delimited requests against one WindowRing.
+///
+/// Determinism contract (the serve analogue of the chunked auditor's
+/// chunk-size/thread-count invariance, CI-gated the same way): for a
+/// fixed event sequence and query sequence, every query response is
+/// byte-identical regardless of how the events were batched into
+/// ingest requests and of num_threads. Ingest acks legitimately vary
+/// with batching (they report per-batch accepted counts) and stats
+/// responses carry full telemetry (including per-request counters and
+/// latency histograms), so identity comparisons filter to
+/// '"op":"query"' lines.
+class Service {
+ public:
+  /// `config` must already Validate(). A worker pool is spun up once
+  /// when num_threads != 1 and reused across requests.
+  explicit Service(const ServeConfig& config);
+
+  /// Handles one request line, returning the response document
+  /// (no trailing newline). Never fails: malformed input produces an
+  /// error-envelope response.
+  std::string HandleLine(std::string_view line);
+
+  const ServeConfig& config() const { return config_; }
+  const WindowRing& ring() const { return ring_; }
+
+ private:
+  std::string HandleIngest(const IngestRequest& request);
+  std::string HandleQuery(const QueryRequest& request);
+  std::string HandleStats();
+
+  ServeConfig config_;
+  WindowRing ring_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+};
+
+}  // namespace fairlaw::serve
+
+#endif  // FAIRLAW_SERVE_SERVICE_H_

@@ -1,0 +1,141 @@
+#include "serve/window.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/obs.h"
+#include "stats/mergeable.h"
+#include "stats/kll.h"
+
+namespace fairlaw::serve {
+
+WindowRing::WindowRing(const ServeConfig& config)
+    : bucket_width_(config.bucket_width),
+      num_buckets_(static_cast<int64_t>(config.num_buckets)),
+      with_scores_(config.with_scores) {
+  sketch_options_.k = config.sketch_k;
+  slots_.reserve(config.num_buckets);
+  for (size_t i = 0; i < config.num_buckets; ++i) {
+    Slot slot;
+    slot.partial = audit::WindowedPartial(sketch_options_);
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void WindowRing::Advance(int64_t bucket) {
+  // Reset only the slots the new buckets claim: at most num_buckets_
+  // of them, however far the watermark jumps.
+  const int64_t first = std::max(watermark_ + 1, bucket - num_buckets_ + 1);
+  for (int64_t index = first; index <= bucket; ++index) {
+    Slot& slot = slots_[static_cast<size_t>(index % num_buckets_)];
+    slot.bucket_index = index;
+    slot.partial = audit::WindowedPartial(sketch_options_);
+  }
+  watermark_ = bucket;
+}
+
+Status WindowRing::Ingest(const Event& event) {
+  const int64_t bucket = event.t / bucket_width_;
+  if (bucket > watermark_) Advance(bucket);
+  if (bucket <= watermark_ - num_buckets_) {
+    return Status::OutOfRange(
+        "event bucket " + std::to_string(bucket) +
+        " is older than the window (watermark " +
+        std::to_string(watermark_) + ", " + std::to_string(num_buckets_) +
+        " buckets)");
+  }
+  Slot& slot = slots_[static_cast<size_t>(bucket % num_buckets_)];
+  audit::WindowedPartial& partial = slot.partial;
+
+  stats::GroupCounts row;
+  row.count = 1;
+  row.positive_predictions = event.pred;
+  if (event.has_label) {
+    row.actual_positives = event.label;
+    row.true_positives = (event.label == 1 && event.pred == 1) ? 1 : 0;
+  }
+  partial.counts.Add(event.group, row);
+  if (event.has_stratum) {
+    stats::GroupCounts stratum_row;
+    stratum_row.count = 1;
+    stratum_row.positive_predictions = event.pred;
+    partial.strata_counts.Stratum(event.stratum)
+        ->Add(event.group, stratum_row);
+  }
+  if (event.has_score) {
+    partial.sketches.Add(partial.sketches.KeyIndex(event.group),
+                         event.score);
+  }
+  partial.num_rows += 1;
+  return Status::OK();
+}
+
+uint64_t WindowRing::num_events() const {
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.bucket_index >= 0) total += slot.partial.num_rows;
+  }
+  return total;
+}
+
+int64_t WindowRing::window_start() const {
+  return std::max<int64_t>(0, watermark_ - num_buckets_ + 1);
+}
+
+audit::WindowedPartial WindowRing::Window(ThreadPool* pool) const {
+  audit::WindowedPartial merged(sketch_options_);
+  if (watermark_ < 0) return merged;
+
+  // Live buckets in ascending absolute order — the fixed fold order
+  // every mergeable accumulator's determinism contract requires.
+  std::vector<const audit::WindowedPartial*> buckets;
+  buckets.reserve(static_cast<size_t>(num_buckets_));
+  for (int64_t index = window_start(); index <= watermark_; ++index) {
+    const Slot& slot = slots_[static_cast<size_t>(index % num_buckets_)];
+    if (slot.bucket_index == index && slot.partial.num_rows > 0) {
+      buckets.push_back(&slot.partial);
+    }
+  }
+  obs::GetCounter("serve.window_merges")->Increment(buckets.size());
+
+  // Counts and strata: cheap integer folds, merged serially.
+  for (const audit::WindowedPartial* bucket : buckets) {
+    merged.counts.MergeFrom(bucket->counts);
+    merged.strata_counts.MergeFrom(bucket->strata_counts);
+    merged.num_rows += bucket->num_rows;
+  }
+
+  if (!with_scores_) return merged;
+
+  // Sketches: fix the canonical key order serially (first-seen across
+  // buckets in ascending order — exactly what a serial MergeFrom chain
+  // would produce), then fold each group's chain independently. Each
+  // worker writes only its own slot, and a chain's merge order is the
+  // same ascending bucket order regardless of scheduling, so the
+  // merged sketches are identical for every thread count.
+  for (const audit::WindowedPartial* bucket : buckets) {
+    for (const std::string& key : bucket->sketches.keys()) {
+      merged.sketches.KeyIndex(key);
+    }
+  }
+  const std::vector<std::string>& keys = merged.sketches.keys();
+  auto fold_group = [&merged, &buckets](size_t key_index) {
+    stats::KllSketch* target = merged.sketches.mutable_sketch(key_index);
+    const std::string& key = merged.sketches.keys()[key_index];
+    for (const audit::WindowedPartial* bucket : buckets) {
+      const size_t slot = bucket->sketches.FindKey(key);
+      if (slot < bucket->sketches.num_keys()) {
+        target->Merge(bucket->sketches.sketch(slot));
+      }
+    }
+  };
+  if (pool == nullptr || keys.size() <= 1) {
+    for (size_t i = 0; i < keys.size(); ++i) fold_group(i);
+  } else {
+    pool->ParallelFor(keys.size(), fold_group);
+  }
+  return merged;
+}
+
+}  // namespace fairlaw::serve

@@ -1,0 +1,254 @@
+#include "stats/kll.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace fairlaw::stats {
+namespace {
+
+// Floor for the geometric capacity decay: levels never shrink below
+// this, so small sketches still compact in sensible steps.
+constexpr size_t kMinLevelCapacity = 8;
+
+}  // namespace
+
+KllSketch::KllSketch() : KllSketch(Options()) {}
+
+KllSketch::KllSketch(const Options& options)
+    : k_(options.k == 0 ? 1 : options.k), seed_(options.seed) {
+  levels_.emplace_back();
+}
+
+size_t KllSketch::LevelCapacity(size_t level) const {
+  // cap(h) = max(min, ceil(k * (2/3)^(H-1-h))): the top level holds k
+  // items, each level below two-thirds of the one above.
+  const size_t height = levels_.size();
+  double cap = static_cast<double>(k_);
+  for (size_t h = height - 1; h > level; --h) cap *= 2.0 / 3.0;
+  const auto rounded = static_cast<size_t>(std::ceil(cap));
+  return std::max(kMinLevelCapacity, rounded);
+}
+
+size_t KllSketch::TotalCapacity() const {
+  size_t total = 0;
+  for (size_t h = 0; h < levels_.size(); ++h) total += LevelCapacity(h);
+  return total;
+}
+
+size_t KllSketch::TotalRetained() const {
+  size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+bool KllSketch::NextCoin() {
+  ++compactions_;
+  return (SplitMix64(seed_ ^ compactions_) & 1) != 0;
+}
+
+bool KllSketch::CompactOnce() {
+  // Compact the lowest level holding at least two items, preferring the
+  // lowest over-capacity one. Compacting low levels first keeps the
+  // cheap-to-recreate items churning and the heavy top items stable.
+  size_t target = levels_.size();
+  for (size_t h = 0; h < levels_.size(); ++h) {
+    if (levels_[h].size() > LevelCapacity(h)) {
+      target = h;
+      break;
+    }
+  }
+  if (target == levels_.size()) {
+    for (size_t h = 0; h < levels_.size(); ++h) {
+      if (levels_[h].size() >= 2) {
+        target = h;
+        break;
+      }
+    }
+  }
+  if (target == levels_.size()) return false;
+
+  // Grow the ladder before taking references: emplace_back may
+  // reallocate levels_ and would invalidate them.
+  if (target + 1 == levels_.size()) levels_.emplace_back();
+  auto& level = levels_[target];
+  if (level.size() < 2) return false;
+  std::sort(level.begin(), level.end());
+
+  std::vector<double> keep;
+  size_t start = 0;
+  if (level.size() % 2 == 1) {
+    // Odd count: the first (smallest) item stays behind so the promoted
+    // pairs cover an even count.
+    keep.push_back(level[0]);
+    start = 1;
+  }
+  const bool coin = NextCoin();
+  auto& above = levels_[target + 1];
+  for (size_t i = start + (coin ? 1 : 0); i < level.size(); i += 2) {
+    above.push_back(level[i]);
+  }
+  level = std::move(keep);
+  return true;
+}
+
+void KllSketch::Add(double value) {
+  levels_[0].push_back(value);
+  ++n_;
+  while (TotalRetained() > TotalCapacity()) {
+    if (!CompactOnce()) break;
+  }
+}
+
+void KllSketch::Merge(const KllSketch& other) {
+  if (other.n_ == 0) return;
+  if (other.levels_.size() > levels_.size()) {
+    levels_.resize(other.levels_.size());
+  }
+  // Self's retained items come first at every level — merge order is
+  // part of the deterministic contract, so callers must fold buckets in
+  // ascending index order.
+  for (size_t h = 0; h < other.levels_.size(); ++h) {
+    levels_[h].insert(levels_[h].end(), other.levels_[h].begin(),
+                      other.levels_[h].end());
+  }
+  n_ += other.n_;
+  while (TotalRetained() > TotalCapacity()) {
+    if (!CompactOnce()) break;
+  }
+}
+
+size_t KllSketch::num_retained() const { return TotalRetained(); }
+
+std::vector<KllSketch::WeightedItem> KllSketch::SortedItems() const {
+  std::vector<WeightedItem> items;
+  items.reserve(TotalRetained());
+  for (size_t h = 0; h < levels_.size(); ++h) {
+    const auto weight = static_cast<uint64_t>(1) << h;
+    for (double value : levels_[h]) items.push_back({value, weight});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const WeightedItem& a, const WeightedItem& b) {
+              if (a.value != b.value) return a.value < b.value;
+              return a.weight < b.weight;
+            });
+  return items;
+}
+
+Result<double> KllSketch::Quantile(double q) const {
+  if (n_ == 0) {
+    return Status::Invalid("KllSketch::Quantile on empty sketch");
+  }
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::Invalid("quantile must lie in [0, 1]");
+  }
+  const auto items = SortedItems();
+  // Total retained weight can differ from n_ when compactions dropped
+  // odd items; rank against the retained mass so q=1 hits the max.
+  uint64_t total_weight = 0;
+  for (const auto& item : items) total_weight += item.weight;
+  const double target = q * static_cast<double>(total_weight);
+  double cumulative = 0.0;
+  for (const auto& item : items) {
+    cumulative += static_cast<double>(item.weight);
+    if (cumulative >= target) return item.value;
+  }
+  return items.back().value;
+}
+
+Result<double> KllSketch::Cdf(double x) const {
+  if (n_ == 0) {
+    return Status::Invalid("KllSketch::Cdf on empty sketch");
+  }
+  const auto items = SortedItems();
+  uint64_t total_weight = 0;
+  uint64_t at_or_below = 0;
+  for (const auto& item : items) {
+    total_weight += item.weight;
+    if (item.value <= x) at_or_below += item.weight;
+  }
+  return static_cast<double>(at_or_below) /
+         static_cast<double>(total_weight);
+}
+
+namespace {
+
+// Two-pointer sweep over the union support of two weight-sorted item
+// lists, invoking `visit(x, gap_to_next, fp, fq)` at every distinct
+// union value with the CDFs evaluated just after x. Shared by the KS
+// (max gap) and W1 (integrated gap) kernels below.
+template <typename Visit>
+Status SweepSketchCdfs(const KllSketch& p, const KllSketch& q,
+                       Visit&& visit) {
+  if (p.empty() || q.empty()) {
+    return Status::Invalid(
+        "sketch distance requires two non-empty sketches");
+  }
+  const auto items_p = p.SortedItems();
+  const auto items_q = q.SortedItems();
+  uint64_t total_p = 0;
+  uint64_t total_q = 0;
+  for (const auto& item : items_p) total_p += item.weight;
+  for (const auto& item : items_q) total_q += item.weight;
+
+  size_t i = 0;
+  size_t j = 0;
+  uint64_t mass_p = 0;
+  uint64_t mass_q = 0;
+  while (i < items_p.size() || j < items_q.size()) {
+    double x;
+    if (j >= items_q.size()) {
+      x = items_p[i].value;
+    } else if (i >= items_p.size()) {
+      x = items_q[j].value;
+    } else {
+      x = std::min(items_p[i].value, items_q[j].value);
+    }
+    while (i < items_p.size() && items_p[i].value == x) {
+      mass_p += items_p[i].weight;
+      ++i;
+    }
+    while (j < items_q.size() && items_q[j].value == x) {
+      mass_q += items_q[j].weight;
+      ++j;
+    }
+    double next = x;
+    if (i < items_p.size()) next = items_p[i].value;
+    if (j < items_q.size()) {
+      next = (i < items_p.size()) ? std::min(next, items_q[j].value)
+                                  : items_q[j].value;
+    }
+    const double fp =
+        static_cast<double>(mass_p) / static_cast<double>(total_p);
+    const double fq =
+        static_cast<double>(mass_q) / static_cast<double>(total_q);
+    visit(x, next - x, fp, fq);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> KolmogorovSmirnovSketch(const KllSketch& p,
+                                       const KllSketch& q) {
+  double ks = 0.0;
+  Status status =
+      SweepSketchCdfs(p, q, [&ks](double, double, double fp, double fq) {
+        ks = std::max(ks, std::abs(fp - fq));
+      });
+  if (!status.ok()) return status;
+  return ks;
+}
+
+Result<double> Wasserstein1Sketch(const KllSketch& p, const KllSketch& q) {
+  double w1 = 0.0;
+  Status status =
+      SweepSketchCdfs(p, q, [&w1](double, double gap, double fp, double fq) {
+        w1 += gap * std::abs(fp - fq);
+      });
+  if (!status.ok()) return status;
+  return w1;
+}
+
+}  // namespace fairlaw::stats

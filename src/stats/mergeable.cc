@@ -64,4 +64,28 @@ void GroupedSeries::MergeFrom(const GroupedSeries& other) {
   }
 }
 
+size_t GroupedSketches::KeyIndex(std::string_view key) {
+  auto [it, inserted] = index_.try_emplace(std::string(key), keys_.size());
+  if (inserted) {
+    keys_.emplace_back(key);
+    sketches_.emplace_back(options_);
+  }
+  return it->second;
+}
+
+size_t GroupedSketches::FindKey(std::string_view key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? keys_.size() : it->second;
+}
+
+void GroupedSketches::Add(size_t key_index, double value) {
+  sketches_[key_index].Add(value);
+}
+
+void GroupedSketches::MergeFrom(const GroupedSketches& other) {
+  for (size_t i = 0; i < other.keys_.size(); ++i) {
+    sketches_[KeyIndex(other.keys_[i])].Merge(other.sketches_[i]);
+  }
+}
+
 }  // namespace fairlaw::stats

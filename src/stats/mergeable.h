@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "stats/kll.h"
+
 namespace fairlaw::stats {
 
 /// Chunk-mergeable accumulators for the morsel-driven audit engine.
@@ -123,6 +125,58 @@ class GroupedSeries {
   std::vector<std::string> keys_;
   std::vector<std::vector<double>> values_;
   std::vector<std::vector<uint8_t>> tags_;
+  std::map<std::string, size_t, std::less<>> index_;
+};
+
+/// First-seen-ordered map from group key to a KLL quantile sketch — the
+/// bounded-memory counterpart of GroupedSeries for the serve daemon's
+/// window buckets, where score series cannot grow with history. Same
+/// merge contract as the other accumulators: MergeFrom in ascending
+/// bucket order reproduces the single sequential pass (the sketch's own
+/// coin stream is counter-based, so state is a pure function of the
+/// operation sequence).
+class GroupedSketches {
+ public:
+  explicit GroupedSketches(const KllSketch::Options& options = {})
+      : options_(options) {}
+
+  /// Slot index for `key`, inserting an empty sketch (at the end of the
+  /// first-seen order) when absent.
+  size_t KeyIndex(std::string_view key);
+
+  /// Read-only lookup: the slot index for `key`, or num_keys() when
+  /// absent (serve's window fold probes buckets without mutating them).
+  size_t FindKey(std::string_view key) const;
+
+  /// Adds one score into `key_index`'s sketch.
+  void Add(size_t key_index, double value);
+
+  /// Folds other's sketches in: other's keys append in their first-seen
+  /// order; sketches for shared keys merge self-first.
+  void MergeFrom(const GroupedSketches& other);
+
+  size_t num_keys() const { return keys_.size(); }
+  const std::vector<std::string>& keys() const { return keys_; }
+  const KllSketch& sketch(size_t key_index) const {
+    return sketches_[key_index];
+  }
+  /// Mutable slot access for parallel window folds: the caller
+  /// establishes the canonical key order serially via KeyIndex, then
+  /// workers each fill one distinct slot (serve's per-group merge
+  /// chains) — indexed writes, never shared-state compound updates.
+  KllSketch* mutable_sketch(size_t key_index) {
+    return &sketches_[key_index];
+  }
+  const KllSketch::Options& options() const { return options_; }
+
+  friend bool operator==(const GroupedSketches& a, const GroupedSketches& b) {
+    return a.keys_ == b.keys_ && a.sketches_ == b.sketches_;
+  }
+
+ private:
+  KllSketch::Options options_;
+  std::vector<std::string> keys_;
+  std::vector<KllSketch> sketches_;
   std::map<std::string, size_t, std::less<>> index_;
 };
 

@@ -1,0 +1,396 @@
+// Tests for the fairlaw_serve daemon layers (src/serve/): the
+// line-JSON parser, the versioned request schema, the window ring's
+// event-time semantics, and the daemon's central contract — query
+// responses byte-identical across ingest batch boundaries and thread
+// counts — plus the unified Auditor::Run entry over window sources.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "audit/report_io.h"
+#include "audit/source.h"
+#include "audit/windowed.h"
+#include "base/json_writer.h"
+#include "base/thread_pool.h"
+#include "obs/obs.h"
+#include "serve/api.h"
+#include "serve/json_value.h"
+#include "serve/service.h"
+#include "serve/window.h"
+#include "stats/rng.h"
+
+namespace fairlaw {
+namespace {
+
+using serve::Event;
+using serve::JsonValue;
+using serve::ParseRequest;
+using serve::Request;
+using serve::ServeConfig;
+using serve::Service;
+using serve::WindowRing;
+using stats::Rng;
+
+TEST(JsonValueTest, ParsesScalarsObjectsArrays) {
+  Result<JsonValue> doc = JsonValue::Parse(
+      R"({"a":1,"b":-2.5e2,"c":"x\n\"y\"","d":[true,false,null],"e":{}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(*(*doc->Get("a"))->AsInt64(), 1);
+  EXPECT_DOUBLE_EQ(*(*doc->Get("b"))->AsDouble(), -250.0);
+  EXPECT_EQ(*(*doc->Get("c"))->AsString(), "x\n\"y\"");
+  const JsonValue* array = *doc->Get("d");
+  ASSERT_TRUE(array->is_array());
+  ASSERT_EQ(array->size(), 3u);
+  EXPECT_TRUE(*array->at(0).AsBool());
+  EXPECT_TRUE(array->at(2).is_null());
+  EXPECT_TRUE((*doc->Get("e"))->is_object());
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "{}extra", "nul",
+        "\"unterminated", "{\"a\":01}", "[1 2]", "\"bad\\escape\""}) {
+    EXPECT_FALSE(JsonValue::Parse(bad).ok()) << bad;
+  }
+  // Integer vs double typing: 1e3 is a number but not integral.
+  Result<JsonValue> doc = JsonValue::Parse("[1, 1e3, 2.0]");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->at(0).AsInt64().ok());
+  EXPECT_FALSE(doc->at(1).AsInt64().ok());
+  EXPECT_TRUE(doc->at(1).AsDouble().ok());
+  EXPECT_FALSE(doc->at(2).AsInt64().ok());
+}
+
+TEST(ServeApiTest, ConfigValidation) {
+  ServeConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.bucket_width = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ServeConfig{};
+  config.with_scores = true;
+  config.with_labels = false;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ServeApiTest, RequestParsingAndSchemaVersion) {
+  ServeConfig config;
+  config.with_strata = false;
+
+  auto parse = [&config](const std::string& line) {
+    Result<JsonValue> doc = JsonValue::Parse(line);
+    EXPECT_TRUE(doc.ok()) << line;
+    return ParseRequest(*doc, config);
+  };
+
+  Result<Request> ingest = parse(
+      R"({"op":"ingest","events":[{"t":5,"group":"a","pred":1,"label":0,)"
+      R"("score":0.25}]})");
+  ASSERT_TRUE(ingest.ok()) << ingest.status().ToString();
+  ASSERT_EQ(ingest->ingest.events.size(), 1u);
+  EXPECT_TRUE(ingest->ingest.events[0].Validate(config).ok());
+
+  // Schema from the future => NotImplemented, not a half-parse.
+  Result<Request> future =
+      parse(R"({"schema_version":99,"op":"ingest","events":[]})");
+  ASSERT_FALSE(future.ok());
+  EXPECT_EQ(future.status().code(), StatusCode::kNotImplemented);
+
+  // Current version is accepted explicitly.
+  EXPECT_TRUE(parse(R"({"schema_version":2,"op":"stats"})").ok());
+
+  // Unknown op / unknown query type / capability mismatches.
+  EXPECT_FALSE(parse(R"({"op":"explode"})").ok());
+  EXPECT_FALSE(parse(R"({"op":"query","type":"nope"})").ok());
+  EXPECT_FALSE(parse(R"({"op":"query","type":"drilldown"})").ok());
+  EXPECT_FALSE(
+      parse(R"({"op":"query","type":"quantiles","group":"a"})").ok());
+  EXPECT_TRUE(parse(
+      R"({"op":"query","type":"quantiles","group":"a","q":[0.5]})").ok());
+  EXPECT_FALSE(parse(
+      R"({"op":"query","type":"quantiles","group":"a","q":[1.5]})").ok());
+
+  // Event schema mismatches are caught by Event::Validate.
+  Result<Request> no_label =
+      parse(R"({"op":"ingest","events":[{"t":1,"group":"a","pred":0,)"
+            R"("score":0.5}]})");
+  ASSERT_TRUE(no_label.ok());
+  EXPECT_FALSE(no_label->ingest.events[0].Validate(config).ok());
+}
+
+Event MakeEvent(int64_t t, const std::string& group, int pred, int label,
+                double score) {
+  Event event;
+  event.t = t;
+  event.group = group;
+  event.pred = pred;
+  event.label = label;
+  event.has_label = true;
+  event.score = score;
+  event.has_score = true;
+  return event;
+}
+
+TEST(WindowRingTest, EventTimeWindowAndOldEventRejection) {
+  ServeConfig config;
+  config.bucket_width = 10;
+  config.num_buckets = 3;
+  ASSERT_TRUE(config.Validate().ok());
+  WindowRing ring(config);
+  EXPECT_EQ(ring.watermark(), -1);
+
+  ASSERT_TRUE(ring.Ingest(MakeEvent(0, "a", 1, 1, 0.5)).ok());
+  ASSERT_TRUE(ring.Ingest(MakeEvent(25, "a", 0, 0, 0.4)).ok());
+  EXPECT_EQ(ring.watermark(), 2);
+  EXPECT_EQ(ring.num_events(), 2u);
+
+  // Advancing to bucket 4 slides buckets {0,1} out: the window is now
+  // {2,3,4} and events for bucket <= 1 are rejected as too old.
+  ASSERT_TRUE(ring.Ingest(MakeEvent(45, "b", 1, 0, 0.6)).ok());
+  EXPECT_EQ(ring.watermark(), 4);
+  EXPECT_EQ(ring.window_start(), 2);
+  EXPECT_EQ(ring.num_events(), 2u);  // the t=0 event slid out
+  Status too_old = ring.Ingest(MakeEvent(5, "a", 1, 1, 0.2));
+  EXPECT_FALSE(too_old.ok());
+  EXPECT_EQ(too_old.code(), StatusCode::kOutOfRange);
+  // Late but still inside the window is fine.
+  EXPECT_TRUE(ring.Ingest(MakeEvent(29, "b", 0, 1, 0.7)).ok());
+
+  // A jump far past the ring resets every slot.
+  ASSERT_TRUE(ring.Ingest(MakeEvent(1000, "a", 1, 1, 0.9)).ok());
+  EXPECT_EQ(ring.num_events(), 1u);
+}
+
+TEST(WindowRingTest, WindowMergeIsThreadCountInvariant) {
+  ServeConfig config;
+  config.bucket_width = 10;
+  config.num_buckets = 16;
+  WindowRing ring(config);
+  Rng rng(23);
+  const char* groups[] = {"a", "b", "c", "d", "e"};
+  for (int64_t i = 0; i < 5000; ++i) {
+    const size_t g = rng.UniformInt(5);
+    ASSERT_TRUE(ring.Ingest(MakeEvent(i / 32, groups[g],
+                                      rng.Bernoulli(0.5) ? 1 : 0,
+                                      rng.Bernoulli(0.5) ? 1 : 0,
+                                      rng.Uniform()))
+                    .ok());
+  }
+  const audit::WindowedPartial serial = ring.Window(nullptr);
+  ThreadPool pool4(4);
+  ThreadPool pool7(7);
+  const audit::WindowedPartial par4 = ring.Window(&pool4);
+  const audit::WindowedPartial par7 = ring.Window(&pool7);
+  EXPECT_TRUE(serial.sketches == par4.sketches);
+  EXPECT_TRUE(serial.sketches == par7.sketches);
+  EXPECT_EQ(serial.num_rows, par4.num_rows);
+}
+
+/// Replays one request stream through a fresh Service and returns the
+/// responses. Resets the obs registry first: serve's obs counters are
+/// process-global, and query responses embed the schedule-invariant
+/// ones, so each replay must start from zero like a fresh daemon.
+std::vector<std::string> Replay(const ServeConfig& config,
+                                const std::vector<std::string>& lines) {
+  obs::ResetAll();
+  Service service(config);
+  std::vector<std::string> responses;
+  responses.reserve(lines.size());
+  for (const std::string& line : lines) {
+    responses.push_back(service.HandleLine(line));
+  }
+  return responses;
+}
+
+/// The generator mirror of tools/fairlaw_generate --events-jsonl, in
+/// miniature: same event sequence, batched at `batch` events per ingest
+/// line, the query suite after every `query_every` events.
+std::vector<std::string> MakeStream(size_t n, size_t batch,
+                                    size_t query_every, uint64_t seed) {
+  Rng rng(seed);
+  const char* groups[] = {"alpha", "beta", "gamma"};
+  const double pred_rate[] = {0.5, 0.35, 0.44};
+  std::vector<std::string> lines;
+  std::string current;
+  size_t in_batch = 0;
+  auto flush = [&]() {
+    if (in_batch == 0) return;
+    lines.push_back("{\"op\":\"ingest\",\"events\":[" + current + "]}");
+    current.clear();
+    in_batch = 0;
+  };
+  auto queries = [&]() {
+    flush();
+    lines.push_back(R"({"op":"query","type":"audit"})");
+    lines.push_back(R"({"op":"query","type":"four_fifths"})");
+    lines.push_back(R"({"op":"query","type":"drift"})");
+    lines.push_back(
+        R"({"op":"query","type":"quantiles","group":"alpha","q":[0.5,0.9]})");
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const size_t g = static_cast<size_t>(rng.UniformInt(3));
+    const int pred = rng.Bernoulli(pred_rate[g]) ? 1 : 0;
+    const int label = rng.Bernoulli(0.42) ? 1 : 0;
+    // Scores as exact six-digit decimal text, so every replay parses
+    // bit-identical doubles.
+    std::string mil = std::to_string(rng.UniformInt(1000000));
+    mil.insert(0, 6 - mil.size(), '0');
+    if (in_batch > 0) current += ",";
+    current += "{\"t\":" + std::to_string(i * 3) + ",\"group\":\"" +
+               groups[g] + "\",\"pred\":" + std::to_string(pred) +
+               ",\"label\":" + std::to_string(label) + ",\"score\":0." +
+               mil + "}";
+    ++in_batch;
+    if (in_batch == batch) flush();
+    if (query_every > 0 && (i + 1) % query_every == 0) queries();
+  }
+  flush();
+  queries();
+  return lines;
+}
+
+std::vector<std::string> QueryLines(const std::vector<std::string>& lines) {
+  std::vector<std::string> result;
+  for (const std::string& line : lines) {
+    if (line.find("\"op\":\"query\"") != std::string::npos) {
+      result.push_back(line);
+    }
+  }
+  return result;
+}
+
+TEST(ServeServiceTest, QueryResponsesAreBatchBoundaryInvariant) {
+  ServeConfig config;
+  config.bucket_width = 50;
+  config.num_buckets = 32;
+  ASSERT_TRUE(config.Validate().ok());
+
+  // Same event/query sequence, three very different batchings.
+  const std::vector<std::string> a = MakeStream(3000, 1000, 1000, 31);
+  const std::vector<std::string> b = MakeStream(3000, 7, 1000, 31);
+  const std::vector<std::string> c = MakeStream(3000, 311, 1000, 31);
+
+  const std::vector<std::string> ra = QueryLines(Replay(config, a));
+  const std::vector<std::string> rb = QueryLines(Replay(config, b));
+  const std::vector<std::string> rc = QueryLines(Replay(config, c));
+
+  ASSERT_EQ(ra.size(), 16u);  // 4 query types x (3 mid-stream + 1 final)
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(ra, rc);
+  // The responses actually carry findings, not errors.
+  EXPECT_NE(ra[0].find("\"findings\""), std::string::npos);
+  EXPECT_NE(ra[2].find("\"approximate\":true"), std::string::npos);
+}
+
+TEST(ServeServiceTest, QueryResponsesAreThreadCountInvariant) {
+  const std::vector<std::string> stream = MakeStream(2000, 128, 0, 37);
+  ServeConfig config;
+  config.bucket_width = 50;
+  config.num_buckets = 32;
+
+  config.num_threads = 1;
+  const std::vector<std::string> serial = QueryLines(Replay(config, stream));
+  config.num_threads = 4;
+  const std::vector<std::string> par = QueryLines(Replay(config, stream));
+  config.num_threads = 0;  // one per hardware thread
+  const std::vector<std::string> hw = QueryLines(Replay(config, stream));
+
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, par);
+  EXPECT_EQ(serial, hw);
+}
+
+TEST(ServeServiceTest, ErrorEnvelopesAndStats) {
+  ServeConfig config;
+  Service service(config);
+
+  // Unparseable line => op "error" envelope with the version header.
+  const std::string bad = service.HandleLine("not json at all");
+  EXPECT_NE(bad.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(bad.find("\"op\":\"error\""), std::string::npos);
+  EXPECT_NE(bad.find("\"error\":{"), std::string::npos);
+
+  // Recognized-but-unanswerable query keeps "op":"query" (it must be
+  // identical across batchings, so it participates in the identity
+  // comparison) — here: empty window.
+  const std::string empty =
+      service.HandleLine(R"({"op":"query","type":"audit"})");
+  EXPECT_NE(empty.find("\"op\":\"query\""), std::string::npos);
+  EXPECT_NE(empty.find("\"error\":{"), std::string::npos);
+
+  // Unknown group for quantiles.
+  ASSERT_NE(service
+                .HandleLine(R"({"op":"ingest","events":[{"t":1,)"
+                            R"("group":"a","pred":1,"label":1,)"
+                            R"("score":0.5}]})")
+                .find("\"accepted\":1"),
+            std::string::npos);
+  const std::string missing = service.HandleLine(
+      R"({"op":"query","type":"quantiles","group":"zzz","q":[0.5]})");
+  EXPECT_NE(missing.find("\"op\":\"query\""), std::string::npos);
+  EXPECT_NE(missing.find("not found"), std::string::npos);
+
+  // Stats carries the full obs export.
+  const std::string stats = service.HandleLine(R"({"op":"stats"})");
+  EXPECT_NE(stats.find("\"op\":\"stats\""), std::string::npos);
+  EXPECT_NE(stats.find("serve.requests"), std::string::npos);
+}
+
+TEST(ServeServiceTest, IngestAckCountsRejections) {
+  ServeConfig config;
+  config.bucket_width = 10;
+  config.num_buckets = 2;
+  Service service(config);
+
+  // Second event is stale (bucket 0 after watermark jumps to 9), third
+  // fails schema validation (missing label/score).
+  const std::string ack = service.HandleLine(
+      R"({"op":"ingest","events":[)"
+      R"({"t":95,"group":"a","pred":1,"label":1,"score":0.5},)"
+      R"({"t":5,"group":"a","pred":0,"label":0,"score":0.4},)"
+      R"({"t":96,"group":"a","pred":1}]})");
+  EXPECT_NE(ack.find("\"accepted\":1"), std::string::npos);
+  EXPECT_NE(ack.find("\"rejected\":2"), std::string::npos);
+  EXPECT_NE(ack.find("\"watermark\":9"), std::string::npos);
+}
+
+TEST(AuditorRunTest, WindowSourceMatchesServiceFindings) {
+  // The unified entry point over a window source is exactly what the
+  // service serves: build the same window by hand, run Auditor::Run,
+  // and the audit query's findings must embed its serialized report.
+  ServeConfig config;
+  config.bucket_width = 50;
+  config.num_buckets = 32;
+
+  const std::vector<std::string> stream = MakeStream(1500, 100, 0, 41);
+  obs::ResetAll();
+  Service service(config);
+  std::string audit_response;
+  for (const std::string& line : stream) {
+    const std::string response = service.HandleLine(line);
+    if (line.find("\"type\":\"audit\"") != std::string::npos) {
+      audit_response = response;
+    }
+  }
+  ASSERT_FALSE(audit_response.empty());
+
+  const audit::WindowedPartial window = service.ring().Window(nullptr);
+  Result<audit::AuditResult> result = audit::Auditor::Run(
+      audit::AuditSource::FromWindow(window), config.ToAuditConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  JsonWriter json;
+  audit::WriteAuditFindings(&json, *result);
+  Result<std::string> findings = json.Finish();
+  ASSERT_TRUE(findings.ok());
+  EXPECT_NE(audit_response.find("\"findings\":" + *findings),
+            std::string::npos)
+      << "service audit response must embed the exact findings object "
+         "Auditor::Run produces over the same window";
+}
+
+}  // namespace
+}  // namespace fairlaw

@@ -19,6 +19,15 @@ comparison here is a within-run ratio:
     time ratio must not grow more than the threshold above the baseline
     ratio (out-of-core cost stays linear in rows). The run must use the
     baseline's `rows`/`big_rows`.
+  * BENCH_serve.json: the daemon invariants `batch_identical`,
+    `thread_identical`, and `sketch_within_tolerance` must stay true
+    (query responses byte-identical across ingest batch sizes and
+    thread counts; window sketches agree with the exact in-window
+    scores), and the two query-cost ratios `audit_query_cost_ratio` /
+    `quantiles_query_cost_ratio` (query latency over amortized
+    per-event ingest cost, measured in the SAME process) must not grow
+    more than the threshold above the checked-in values. The run must
+    use the baseline's `events`.
   * BENCH_distances.json: each kernel's time normalized by the
     `binned_total_variation` time from the same run must not grow more
     than the threshold above the checked-in ratio. The current run must
@@ -131,6 +140,47 @@ def check_audit(baseline, current, threshold):
     return failures
 
 
+def check_serve(baseline, current, threshold):
+    failures = []
+    if baseline.get("events") != current.get("events"):
+        return [
+            f"serve: size mismatch on 'events' "
+            f"(baseline {baseline.get('events')}, "
+            f"current {current.get('events')}) — run the bench at the "
+            "baseline size for a valid comparison"]
+    for key in ("batch_identical", "thread_identical"):
+        if not current.get(key, False):
+            failures.append(
+                f"serve: {key} is false — query responses are no longer "
+                "byte-identical across replays of the same event sequence")
+        else:
+            print(f"bench-regression: serve {key} ok")
+    if not current.get("sketch_within_tolerance", False):
+        failures.append(
+            "serve: sketch_within_tolerance is false — the window's KLL "
+            "sketches disagree with the exact in-window scores "
+            f"(quantile_rank_err={current.get('quantile_rank_err')}, "
+            f"distance_err={current.get('distance_err')})")
+    else:
+        print("bench-regression: serve sketch_within_tolerance ok")
+    for key in ("audit_query_cost_ratio", "quantiles_query_cost_ratio"):
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None or cur is None:
+            failures.append(f"serve: missing field '{key}'")
+            continue
+        ceiling = base * (1.0 + threshold)
+        if cur > ceiling:
+            failures.append(
+                f"serve: {key} regressed: {cur:.0f} > {ceiling:.0f} "
+                f"(baseline {base:.0f} + {threshold:.0%}) — queries got "
+                "more expensive relative to ingest in the same process")
+        else:
+            print(f"bench-regression: serve {key} ok: "
+                  f"{cur:.0f} vs baseline {base:.0f} (ceiling {ceiling:.0f})")
+    return failures
+
+
 def check_distances(baseline, current, threshold):
     failures = []
     for key in ("n", "mmd_n"):
@@ -214,6 +264,7 @@ def main():
     failures = []
     for name, checker in (("BENCH_subgroup.json", check_subgroup),
                           ("BENCH_audit.json", check_audit),
+                          ("BENCH_serve.json", check_serve),
                           ("BENCH_distances.json", check_distances)):
         baseline = load(os.path.join(args.baseline_dir, name))
         current = load(os.path.join(args.current_dir, name))

@@ -145,15 +145,28 @@ std::string FlagSet::Help() const {
     width = std::max(width, left.size());
     lefts.push_back(std::move(left));
   }
-  out += "\nflags:\n";
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    std::string line = lefts[i];
-    line.append(width + 2 - line.size(), ' ');
-    line += entries_[i].help;
-    if (!entries_[i].default_text.empty()) {
-      line += " (default: " + entries_[i].default_text + ")";
+
+  // Sections in first-registration order; the unnamed group (flags
+  // added before any Section call) renders as plain "flags:".
+  std::vector<std::string> sections;
+  for (const Entry& entry : entries_) {
+    if (std::find(sections.begin(), sections.end(), entry.section) ==
+        sections.end()) {
+      sections.push_back(entry.section);
     }
-    out += line + "\n";
+  }
+  for (const std::string& section : sections) {
+    out += "\n" + (section.empty() ? std::string("flags") : section) + ":\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].section != section) continue;
+      std::string line = lefts[i];
+      line.append(width + 2 - line.size(), ' ');
+      line += entries_[i].help;
+      if (!entries_[i].default_text.empty()) {
+        line += " (default: " + entries_[i].default_text + ")";
+      }
+      out += line + "\n";
+    }
   }
   out += "  --help";
   out.append(width + 2 > 8 ? width + 2 - 8 : 2, ' ');

@@ -27,6 +27,8 @@
 #include <utility>
 
 #include "audit/auditor.h"
+#include "audit/report_io.h"
+#include "audit/source.h"
 #include "core/json.h"
 #include "core/suite.h"
 #include "data/csv.h"
@@ -69,6 +71,7 @@ fairlaw::cli::FlagSet MakeFlags(CliOptions* options) {
       "'Fairness in AI: bridging algorithms and law' (ICDE 2024 wksp).\n"
       "exit codes: 0 all clear, 2 violations found, 1 error");
   fairlaw::audit::AuditConfig& audit = options->suite.audit;
+  flags.Section("column mapping");
   flags.Add("protected", &audit.protected_column,
             "protected attribute column (required)");
   flags.Add("pred", &audit.prediction_column,
@@ -77,33 +80,36 @@ fairlaw::cli::FlagSet MakeFlags(CliOptions* options) {
             "outcome column; enables the label-dependent metrics");
   flags.Add("score", &audit.score_column,
             "probability score column; enables the calibration audit");
-  flags.Add("score-dist", &audit.audit_score_distribution,
-            "audit per-group score-distribution drift (W1/KS against "
-            "everyone else; requires --score)");
-  flags.Add("score-dist-tolerance", &audit.score_distribution_tolerance,
-            "max per-group KS statistic for the drift audit to pass",
-            fairlaw::cli::Range<double>{0.0, 1.0});
   flags.Add("strata", &audit.strata_columns,
             "legitimate-factor columns for the conditional metrics");
   flags.Add("proxies", &options->suite.proxy_candidates,
             "candidate proxy columns for the proxy audit");
   flags.Add("subgroups", &options->suite.subgroup_columns,
             "attribute columns for the subgroup audit");
+  flags.Section("audit gates");
+  flags.Add("score-dist", &audit.audit_score_distribution,
+            "audit per-group score-distribution drift (W1/KS against "
+            "everyone else; requires --score)");
+  flags.Add("score-dist-tolerance", &audit.score_distribution_tolerance,
+            "max per-group KS statistic for the drift audit to pass",
+            fairlaw::cli::Range<double>{0.0, 1.0});
   flags.Add("tolerance", &audit.tolerance,
             "gap tolerance for the equality-style metrics",
             fairlaw::cli::Range<double>{0.0, 1.0});
   flags.Add("di-threshold", &audit.di_threshold,
             "disparate-impact ratio threshold (four-fifths rule)",
             fairlaw::cli::Range<double>{0.0, 1.0, /*min_inclusive=*/false});
+  flags.Section("output");
   flags.Add("json", &options->json, "emit the machine-readable JSON report");
-  flags.Add("streaming", &options->streaming,
-            "stream the CSV out-of-core one chunk at a time (metric audit "
-            "only; incompatible with --proxies/--subgroups)");
   flags.Add("obs-json", &options->obs_json_path,
             "write the obs probe dump (counters/histograms/spans) here");
   flags.Add("obs-timings", &options->obs_timings,
             "include per-span wall-clock totals in the obs dump "
             "(non-reproducible across runs)");
+  flags.Section("execution");
+  flags.Add("streaming", &options->streaming,
+            "stream the CSV out-of-core one chunk at a time (metric audit "
+            "only; incompatible with --proxies/--subgroups)");
   return flags;
 }
 
@@ -214,7 +220,9 @@ int main(int argc, char** argv) {
     // Out-of-core path: the CSV streams through the chunk reader and the
     // table never materializes; only the metric audit section fills in.
     fairlaw::Result<fairlaw::audit::AuditResult> audit =
-        fairlaw::audit::RunAuditCsv(parsed->csv_path, parsed->suite.audit);
+        fairlaw::audit::Auditor::Run(
+            fairlaw::audit::AuditSource::FromCsv(parsed->csv_path),
+            parsed->suite.audit);
     if (!audit.ok()) {
       std::fprintf(stderr, "audit error: %s\n",
                    audit.status().ToString().c_str());
@@ -254,7 +262,20 @@ int main(int argc, char** argv) {
 
   if (parsed->json) {
     fairlaw::Result<std::string> json =
-        fairlaw::SuiteReportToJson(suite_report);
+        [&]() -> fairlaw::Result<std::string> {
+      if (parsed->streaming) {
+        // The streaming run produced a bare AuditResult; serialize it
+        // as the versioned audit envelope rather than a suite report
+        // with empty extras. audit.rows_audited is the one obs counter
+        // that is chunk- and thread-invariant, so it may ride in the
+        // envelope.
+        fairlaw::audit::ReportEnvelopeOptions envelope;
+        envelope.obs_counters = {"audit.rows_audited"};
+        return fairlaw::audit::AuditResultToJson(suite_report.audit,
+                                                 envelope);
+      }
+      return fairlaw::SuiteReportToJson(suite_report);
+    }();
     if (!json.ok()) {
       std::fprintf(stderr, "serialization error: %s\n",
                    json.status().ToString().c_str());

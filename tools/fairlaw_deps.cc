@@ -12,7 +12,7 @@
 //   rank 1  stats
 //   rank 2  data
 //   rank 3  metrics, legal, causal
-//   rank 4  audit, mitigation, ml, simulation
+//   rank 4  audit, mitigation, ml, simulation, serve
 //   rank 5  core                          (API aggregation: registry,
 //                                          suite, umbrella header)
 //   rank 6  tools, tests, bench, examples
@@ -77,7 +77,8 @@ constexpr ModuleSpec kModules[] = {
     {"base", 0},       {"obs", 1},        {"stats", 1},
     {"data", 2},       {"metrics", 3},    {"legal", 3},
     {"causal", 3},     {"audit", 4},      {"mitigation", 4},
-    {"ml", 4},         {"simulation", 4}, {"core", 5},
+    {"ml", 4},         {"simulation", 4}, {"serve", 4},
+    {"core", 5},
     {"tools", 6},      {"tests", 6},      {"bench", 6},
     {"examples", 6},
 };
@@ -840,6 +841,7 @@ int main(int argc, char** argv) {
       "(see the header of tools/fairlaw_deps.cc for the rule set).\n"
       "exit codes: 0 clean, 1 violations, 2 usage or I/O error");
   flags.Add("root", &root_flag, "tree to scan");
+  flags.Section("output");
   flags.Add("json", &json_path, "write the module graph as JSON here");
   flags.Add("dot", &dot_path, "write the module graph as Graphviz here");
   flags.Add("verbose", &verbose, "print the violation count even when clean");

@@ -570,6 +570,7 @@ int main(int argc, char** argv) {
       "rule set and the `detcheck: allow-<rule>` escape convention).\n"
       "exit codes: 0 clean, 1 findings, 2 usage or I/O error");
   flags.Add("root", &root_flag, "tree to scan");
+  flags.Section("output");
   flags.Add("json", &json_path, "write the findings artifact to this path");
   flags.Add("self-test", &self_test,
             "comma-separated rule names; exit 0 iff exactly these rules "

@@ -581,6 +581,7 @@ int main(int argc, char** argv) {
       "`flowcheck: allow-<rule>` escape convention).\n"
       "exit codes: 0 clean, 1 findings, 2 usage or I/O error");
   flags.Add("root", &root_flag, "tree to scan");
+  flags.Section("output");
   flags.Add("json", &json_path, "write the findings artifact to this path");
   flags.Add("self-test", &self_test,
             "comma-separated rule names; exit 0 iff exactly these rules "
@@ -609,6 +610,7 @@ int main(int argc, char** argv) {
   }
 
   FlowChecker checker(root);
+  // flowcheck: allow-discarded-status (FlowChecker::Run returns void; the name-keyed index collides with the fallible audit::Auditor::Run)
   checker.Run();
   checker.reporter().Sorted();
   checker.reporter().PrintFindings(verbose);

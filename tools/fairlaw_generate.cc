@@ -12,10 +12,22 @@
 //
 //   fairlaw_generate hiring --label-bias=1.5 --out=h.csv
 //   fairlaw_audit h.csv --protected=gender --pred=hired --label=merit
+//
+// The "events" scenario instead emits a fairlaw_serve request stream
+// (--events-jsonl): ingest requests of --batch events each, with query
+// requests injected at fixed event positions (--query-every). The event
+// sequence depends only on --seed/--n, never on --batch, so replaying
+// the same seed at two batch sizes must produce byte-identical
+// '"op":"query"' responses — the CI identity gate:
+//
+//   fairlaw_generate events --events-jsonl --n=100000 --batch=512 |
+//       fairlaw_serve
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "base/string_util.h"
 #include "data/csv.h"
 #include "simulation/scenarios.h"
 #include "tools/cli.h"
@@ -30,6 +42,11 @@ struct CliOptions {
   double proxy = 1.0;
   double subgroup_bias = 1.5;
   std::string out;
+  bool events_jsonl = false;
+  int64_t batch = 256;
+  int64_t query_every = 0;
+  int64_t t_step = 10;
+  bool with_strata = false;
 };
 
 fairlaw::Result<CliOptions> Parse(int argc, char** argv, bool* show_help,
@@ -47,6 +64,22 @@ fairlaw::Result<CliOptions> Parse(int argc, char** argv, bool* show_help,
   flags.Add("subgroup-bias", &options.subgroup_bias,
             "intersectional bias strength (promotion)");
   flags.Add("out", &options.out, "output file (default: stdout)");
+  flags.Section("serve event stream (scenario 'events')");
+  flags.Add("events-jsonl", &options.events_jsonl,
+            "emit a fairlaw_serve request stream instead of CSV");
+  flags.Add("batch", &options.batch, "events per ingest request",
+            fairlaw::cli::Range<int64_t>{1, int64_t{1} << 20});
+  flags.Add("query-every", &options.query_every,
+            "inject the query suite after every N events (0 = only once, "
+            "after all events); positions depend on N alone, never on "
+            "--batch",
+            fairlaw::cli::Range<int64_t>{0, int64_t{1} << 31});
+  flags.Add("t-step", &options.t_step,
+            "event-time increment between consecutive events",
+            fairlaw::cli::Range<int64_t>{1, int64_t{1} << 31});
+  flags.Add("with-strata", &options.with_strata,
+            "events carry a 'stratum' field (pairs with fairlaw_serve "
+            "--with-strata)");
   *help_text = flags.Help();
   FAIRLAW_ASSIGN_OR_RETURN(fairlaw::cli::ParseResult parsed,
                            flags.Parse(argc, argv));
@@ -61,7 +94,92 @@ fairlaw::Result<CliOptions> Parse(int argc, char** argv, bool* show_help,
     return fairlaw::Status::Invalid("more than one scenario given");
   }
   options.scenario = parsed.positionals[0];
+  if ((options.scenario == "events") != options.events_jsonl) {
+    return fairlaw::Status::Invalid(
+        "the 'events' scenario and --events-jsonl go together (both or "
+        "neither)");
+  }
   return options;
+}
+
+/// Emits the fairlaw_serve request stream. The event sequence is a pure
+/// function of (seed, n, t_step, with_strata): one fixed Rng draws
+/// every event in order, and --batch only decides how many consecutive
+/// events share an ingest line. Three groups with deliberately
+/// different positive rates and score distributions keep the audit
+/// queries non-trivial (the four-fifths and drift gates actually have
+/// something to find).
+fairlaw::Status EmitEventStream(const CliOptions& options, std::FILE* out) {
+  static const char* const kGroups[] = {"alpha", "beta", "gamma"};
+  static const double kPredRate[] = {0.50, 0.35, 0.44};
+  static const double kBaseRate[] = {0.45, 0.40, 0.42};
+  static const double kScoreShift[] = {0.0, -0.08, 0.03};
+  static const char* const kStrata[] = {"north", "south"};
+
+  fairlaw::stats::Rng rng(options.seed);
+  const int64_t n = options.n;
+  const int64_t query_every = options.query_every;
+  std::string batch_buffer;
+  int64_t in_batch = 0;
+
+  auto flush_batch = [&]() {
+    if (in_batch == 0) return;
+    std::fputs("{\"op\":\"ingest\",\"events\":[", out);
+    std::fputs(batch_buffer.c_str(), out);
+    std::fputs("]}\n", out);
+    batch_buffer.clear();
+    in_batch = 0;
+  };
+  auto emit_queries = [&]() {
+    flush_batch();
+    std::fputs("{\"op\":\"query\",\"type\":\"audit\"}\n", out);
+    std::fputs("{\"op\":\"query\",\"type\":\"four_fifths\"}\n", out);
+    std::fputs("{\"op\":\"query\",\"type\":\"drift\"}\n", out);
+    std::fputs(
+        "{\"op\":\"query\",\"type\":\"quantiles\",\"group\":\"alpha\","
+        "\"q\":[0.25,0.5,0.75]}\n",
+        out);
+    if (options.with_strata) {
+      std::fputs(
+          "{\"op\":\"query\",\"type\":\"drilldown\",\"stratum\":\"north\"}"
+          "\n",
+          out);
+    }
+  };
+
+  for (int64_t i = 0; i < n; ++i) {
+    const size_t g = static_cast<size_t>(rng.UniformInt(3));
+    const int pred = rng.Bernoulli(kPredRate[g]) ? 1 : 0;
+    const int label = rng.Bernoulli(kBaseRate[g]) ? 1 : 0;
+    double score = rng.Uniform() * 0.6 + 0.2 + kScoreShift[g] +
+                   0.15 * static_cast<double>(label);
+    if (score < 0.0) score = 0.0;
+    if (score > 1.0) score = 1.0;
+
+    std::string event = "{\"t\":" + std::to_string(i * options.t_step) +
+                        ",\"group\":\"" + kGroups[g] +
+                        "\",\"pred\":" + std::to_string(pred) +
+                        ",\"label\":" + std::to_string(label) + ",\"score\":" +
+                        fairlaw::FormatDouble(score, 6);
+    if (options.with_strata) {
+      event += std::string(",\"stratum\":\"") +
+               kStrata[rng.UniformInt(2)] + "\"";
+    }
+    event += "}";
+    if (in_batch > 0) batch_buffer += ",";
+    batch_buffer += event;
+    ++in_batch;
+    if (in_batch == options.batch) flush_batch();
+    if (query_every > 0 && (i + 1) % query_every == 0) emit_queries();
+  }
+  flush_batch();
+  // Always finish with one query suite over the full stream — unless
+  // the loop's last iteration just emitted it.
+  if (query_every == 0 || n % query_every != 0) emit_queries();
+  if (std::ferror(out) != 0) {
+    return fairlaw::Status::IOError("error writing the event stream");
+  }
+  return fairlaw::Status::OK();
 }
 
 fairlaw::Result<fairlaw::sim::ScenarioData> Generate(
@@ -111,6 +229,24 @@ int main(int argc, char** argv) {
   }
   if (show_help) {
     std::printf("%s", help_text.c_str());
+    return 0;
+  }
+  if (parsed->events_jsonl) {
+    std::FILE* out = stdout;
+    if (!parsed->out.empty()) {
+      out = std::fopen(parsed->out.c_str(), "wb");
+      if (out == nullptr) {
+        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                     parsed->out.c_str());
+        return 1;
+      }
+    }
+    fairlaw::Status status = EmitEventStream(*parsed, out);
+    if (out != stdout) std::fclose(out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
     return 0;
   }
   fairlaw::Result<fairlaw::sim::ScenarioData> scenario = Generate(*parsed);

@@ -486,6 +486,7 @@ int main(int argc, char** argv) {
       "(see the header of tools/fairlaw_lint.cc for the rule set).\n"
       "exit codes: 0 clean, 1 violations, 2 usage or I/O error");
   flags.Add("root", &root_flag, "tree to scan");
+  flags.Section("output");
   flags.Add("json", &json_path, "write the findings artifact to this path");
   flags.Add("verbose", &verbose, "print the violation count even when clean");
   fairlaw::Result<fairlaw::cli::ParseResult> parsed = flags.Parse(argc, argv);

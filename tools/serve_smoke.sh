@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Serve determinism smoke: replay one generated event stream at two
+# ingest batch sizes and several thread counts; every '"op":"query"'
+# response line must be byte-identical (ingest acks and stats dumps
+# legitimately vary and are filtered out). Driven by ctest
+# (tools_serve_identity) and by the CI serve job with a larger --n.
+#
+# Usage: serve_smoke.sh <fairlaw_generate> <fairlaw_serve> <n> <workdir>
+set -euo pipefail
+
+gen="$1"
+serve="$2"
+n="$3"
+dir="$4"
+
+mkdir -p "$dir"
+query_every=$((n / 4))
+
+# Same seed, different batching: the event sequence and the query
+# positions (after every query_every events) are identical by
+# construction; only the ingest line boundaries differ.
+"$gen" events --events-jsonl --n="$n" --batch=64 \
+    --query-every="$query_every" --with-strata --out="$dir/stream_a.jsonl"
+"$gen" events --events-jsonl --n="$n" --batch=977 \
+    --query-every="$query_every" --with-strata --out="$dir/stream_b.jsonl"
+
+"$serve" --with-strata <"$dir/stream_a.jsonl" \
+    | grep '"op":"query"' >"$dir/resp_batch64.jsonl"
+"$serve" --with-strata --threads=4 <"$dir/stream_b.jsonl" \
+    | grep '"op":"query"' >"$dir/resp_batch977_t4.jsonl"
+"$serve" --with-strata --threads=0 <"$dir/stream_a.jsonl" \
+    | grep '"op":"query"' >"$dir/resp_batch64_t0.jsonl"
+
+cmp "$dir/resp_batch64.jsonl" "$dir/resp_batch977_t4.jsonl"
+cmp "$dir/resp_batch64.jsonl" "$dir/resp_batch64_t0.jsonl"
+
+count=$(wc -l <"$dir/resp_batch64.jsonl")
+if [ "$count" -lt 4 ]; then
+  echo "expected at least one full query suite, got $count lines" >&2
+  exit 1
+fi
+echo "serve identity ok: $count query responses byte-identical"
